@@ -1,0 +1,117 @@
+// Repair-policy ablations (Sections 5.3 and 7):
+//   * violation choice: first-reported (the paper's experiment) vs
+//     worst-client-first (its proposed smarter scheme);
+//   * damping on/off: the paper observed oscillation (clients moving back
+//     and forth) and noted that repairs take time to show effect — the
+//     settle/cooldown machinery is the fix;
+//   * strategy authoring: interpreted Figure 5 script vs native C++;
+//   * Figure 5 strict script vs the extended script with the load-shedding
+//     move tactic.
+#include <iomanip>
+#include <iostream>
+#include <map>
+
+#include "acme/script.hpp"
+#include "core/experiment.hpp"
+
+namespace {
+
+using namespace arcadia;
+
+struct Row {
+  std::string name;
+  double frac_above = 0.0;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t moves = 0;
+  std::uint64_t added = 0;
+  int oscillations = 0;  ///< client move-backs (A->B then back to A)
+};
+
+Row measure(const std::string& name,
+            const std::function<void(core::ExperimentOptions&)>& tweak) {
+  core::ExperimentOptions opt;
+  opt.adaptation = true;
+  tweak(opt);
+  core::ExperimentResult r = core::run_experiment(opt);
+  Row row;
+  row.name = name;
+  row.frac_above = r.mean_fraction_above();
+  row.committed = r.repair_stats.committed;
+  row.aborted = r.repair_stats.aborted;
+  row.moves = r.repair_stats.moves;
+  row.added = r.repair_stats.servers_added;
+  // Count oscillations: a client moved to a group it had left before.
+  std::map<std::string, std::vector<std::string>> history;
+  for (const auto& rec : r.repairs) {
+    if (!rec.committed || rec.moves == 0) continue;
+    for (const auto& op : rec.ops) {
+      auto pos = op.find("boundTo = ");
+      if (pos == std::string::npos) continue;
+      std::string group = op.substr(pos + 10);
+      auto& h = history[rec.element];
+      for (const auto& prev : h) {
+        if (prev == group) {
+          ++row.oscillations;
+          break;
+        }
+      }
+      h.push_back(group);
+    }
+  }
+  return row;
+}
+
+void print(const Row& row) {
+  std::cout << std::left << std::setw(30) << row.name << std::setw(11)
+            << row.frac_above << std::setw(11) << row.committed
+            << std::setw(10) << row.aborted << std::setw(8) << row.moves
+            << std::setw(9) << row.added << row.oscillations << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Repair policy ablations (1800 s paper scenario) ===\n\n";
+  std::cout << std::left << std::setw(30) << "configuration" << std::setw(11)
+            << "frac>2s" << std::setw(11) << "committed" << std::setw(10)
+            << "aborted" << std::setw(8) << "moves" << std::setw(9)
+            << "+servers" << "move-backs\n";
+
+  print(measure("first-reported (paper)", [](core::ExperimentOptions&) {}));
+  print(measure("worst-client-first", [](core::ExperimentOptions& o) {
+    o.framework.policy = repair::ViolationPolicy::WorstFirst;
+  }));
+  print(measure("damping off", [](core::ExperimentOptions& o) {
+    o.framework.damping = false;
+  }));
+  print(measure("native C++ strategies", [](core::ExperimentOptions& o) {
+    o.framework.use_script = false;
+  }));
+  print(measure("figure-5 strict script", [](core::ExperimentOptions& o) {
+    o.framework.script_source = acme::figure5_script();
+  }));
+  print(measure("no adaptation thresholds x2", [](core::ExperimentOptions& o) {
+    // Looser profile: is the 2 s bound load-bearing?
+    o.framework.profile.max_latency = SimTime::seconds(4);
+    o.scenario.thresholds.max_latency = SimTime::seconds(4);
+  }));
+  // Heavier stress leaves both groups marginal even after the spares are
+  // recruited — the regime where the paper observed clients "moving back
+  // and forth between server groups".
+  auto heavy = [](core::ExperimentOptions& o) {
+    o.scenario.stress_rate_hz = 2.6;
+  };
+  print(measure("heavy stress, damped", heavy));
+  print(measure("heavy stress, damping off", [&](core::ExperimentOptions& o) {
+    heavy(o);
+    o.framework.damping = false;
+  }));
+
+  std::cout << "\nnotes: the figure-5 strict script lacks the load-shedding "
+               "move, so once both\nspares are active further load "
+               "violations abort (the paper instead observed\nmoves and "
+               "oscillation); damping off reproduces repeated repairs on "
+               "stale gauge\nreadings.\n";
+  return 0;
+}

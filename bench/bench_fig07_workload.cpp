@@ -1,0 +1,58 @@
+// Figure 7: the stepping functions used for generating bandwidth
+// competition and server load. Prints the schedules as the paper draws
+// them and validates their integrals (total offered work).
+#include <iostream>
+
+#include "sim/scenario.hpp"
+#include "util/step_function.hpp"
+
+int main() {
+  using namespace arcadia;
+  sim::ScenarioConfig cfg;
+
+  std::cout << "=== Figure 7: bandwidth and server load generation ===\n\n";
+
+  StepFunction comp_sg1(0.0);
+  comp_sg1.step(cfg.quiescent_end, cfg.comp_sg1_phase1_mbps);
+  comp_sg1.step(cfg.stress_start, cfg.comp_sg1_stress_mbps);
+  comp_sg1.step(cfg.stress_end, cfg.comp_sg1_final_mbps);
+
+  StepFunction comp_sg2(0.0);
+  comp_sg2.step(cfg.quiescent_end, cfg.comp_sg2_phase1_mbps);
+  comp_sg2.step(cfg.stress_start, cfg.comp_sg2_stress_mbps);
+  comp_sg2.step(cfg.stress_end, cfg.comp_sg2_final_mbps);
+
+  StepFunction rate(cfg.normal_rate_hz);
+  rate.step(cfg.stress_start, cfg.stress_rate_hz);
+  rate.step(cfg.stress_end, cfg.normal_rate_hz);
+
+  StepFunction size_kb(cfg.normal_response_mean.as_kilobytes());
+  size_kb.step(cfg.stress_start, cfg.stress_response_size.as_kilobytes());
+  size_kb.step(cfg.stress_end, cfg.normal_response_mean.as_kilobytes());
+
+  std::cout << "time_s  comp_C34_SG1_Mbps  comp_C34_SG2_Mbps  "
+               "req_rate_per_client_hz  resp_size_KB\n";
+  for (double t = 0; t <= cfg.horizon.as_seconds(); t += 60) {
+    SimTime st = SimTime::seconds(t);
+    std::cout << t << "  " << comp_sg1.value_at(st) << "  "
+              << comp_sg2.value_at(st) << "  " << rate.value_at(st) << "  "
+              << size_kb.value_at(st) << "\n";
+  }
+
+  std::cout << "\n# phase summary (paper: 2 min quiescent; 8 min bandwidth "
+               "competition\n# against C3&4<->SG1; 10 min 20KB@2/s stress; "
+               "10 min recovery with\n# better bandwidth to SG2)\n";
+  std::cout << "quiescent until " << cfg.quiescent_end.as_seconds()
+            << " s; stress " << cfg.stress_start.as_seconds() << ".."
+            << cfg.stress_end.as_seconds() << " s\n";
+
+  const double offered_requests =
+      rate.integrate(SimTime::zero(), cfg.horizon) * 6.0;  // six clients
+  std::cout << "total offered requests (expected): " << offered_requests
+            << "\n";
+  const double comp_volume_gbit =
+      comp_sg1.integrate(SimTime::zero(), cfg.horizon) / 1e3;
+  std::cout << "competition volume on the SG1 trunk: " << comp_volume_gbit
+            << " Gbit\n";
+  return 0;
+}

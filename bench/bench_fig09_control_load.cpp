@@ -1,0 +1,27 @@
+// Figure 9: server load (queue length) for the control run. Paper shape:
+// the queue grows into the hundreds/thousands during the stress phase and
+// has barely begun draining by 1800 s. The dashed line at 6 requests is
+// the overload threshold used by the server repair tactic.
+#include <iostream>
+
+#include "paper_experiment.hpp"
+
+int main() {
+  using namespace arcadia;
+  core::ExperimentResult r = bench::run_paper_experiment(/*adaptation=*/false);
+  bench::print_header("Figure 9", "server load for control (queue length)", r);
+  core::print_load_figure(std::cout, r, SimTime::seconds(60));
+
+  std::cout << "\n# shape checks vs the paper\n";
+  const core::GroupSeries* sg1 = r.group("ServerGrp1");
+  std::cout << "max queue length: " << r.max_queue_length()
+            << " (paper: grows to ~10^3)\n";
+  std::cout << "SG1 queue at 1200 s: "
+            << sg1->queue_length.value_at(SimTime::seconds(1200))
+            << ", at 1800 s: "
+            << sg1->queue_length.value_at(SimTime::seconds(1798))
+            << " (draining only at the very end)\n";
+  std::cout << "first time above the limit of 6: "
+            << sg1->queue_length.first_crossing(6.0).as_seconds() << " s\n";
+  return 0;
+}

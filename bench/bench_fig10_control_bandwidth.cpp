@@ -1,0 +1,32 @@
+// Figure 10: available bandwidth in the control run. Paper shape: the
+// C3/C4 paths collapse by orders of magnitude (bottoming out around
+// 0.0001 Mbps on the log axis) and never recover; the dashed line at
+// 10 Kbps (0.01 Mbps) is the bandwidth-repair threshold.
+#include <iostream>
+
+#include "paper_experiment.hpp"
+
+int main() {
+  using namespace arcadia;
+  core::ExperimentResult r = bench::run_paper_experiment(/*adaptation=*/false);
+  bench::print_header("Figure 10", "available bandwidth in control (Mbps)", r);
+  core::print_bandwidth_figure(std::cout, r, SimTime::seconds(60));
+
+  std::cout << "\n# shape checks vs the paper\n";
+  const core::ClientSeries* c3 = r.client("User3");
+  const core::ClientSeries* c1 = r.client("User1");
+  double c3_before = c3->bandwidth_mbps.mean_over(SimTime::seconds(10),
+                                                  SimTime::seconds(115));
+  double c3_during = c3->bandwidth_mbps.min_over(SimTime::seconds(130),
+                                                 SimTime::seconds(590));
+  std::cout << "C3 available bandwidth: quiescent " << c3_before
+            << " Mbps -> competition floor " << c3_during
+            << " Mbps (drop of "
+            << (c3_during > 0 ? c3_before / c3_during : 0) << "x)\n";
+  std::cout << "C1 (unthrottled path) stays at "
+            << c1->bandwidth_mbps.mean_over(SimTime::seconds(130),
+                                            SimTime::seconds(590))
+            << " Mbps\n";
+  std::cout << "threshold line: 0.01 Mbps (10 Kbps)\n";
+  return 0;
+}

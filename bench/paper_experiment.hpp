@@ -1,0 +1,42 @@
+// Shared setup for the figure-reproduction benches: the paper's full
+// 1800 s experiment (Figure 7 schedule on the Figure 6 testbed) with the
+// default calibration, plus small printing helpers.
+#pragma once
+
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+
+namespace arcadia::bench {
+
+inline core::ExperimentOptions paper_options() {
+  core::ExperimentOptions opt;  // defaults are the paper's parameters
+  return opt;
+}
+
+inline core::ExperimentResult run_paper_experiment(bool adaptation) {
+  core::ExperimentOptions opt = paper_options();
+  opt.adaptation = adaptation;
+  return core::run_experiment(opt);
+}
+
+inline void print_header(const char* figure, const char* what,
+                         const core::ExperimentResult& result) {
+  std::cout << "=== " << figure << ": " << what << " ===\n"
+            << "run: " << (result.adaptive ? "with repair" : "control")
+            << ", horizon " << result.horizon.as_seconds() << " s, "
+            << result.responses_completed << " responses, "
+            << result.sim_events << " simulator events\n\n";
+}
+
+inline void print_repair_marks(const core::ExperimentResult& result) {
+  if (result.repair_windows.empty()) return;
+  std::cout << "\n# repair windows (the bars atop Figures 11-13)\n";
+  for (const auto& [start, end] : result.repair_windows) {
+    std::cout << "  repair " << start.as_seconds() << " .. "
+              << end.as_seconds() << " s\n";
+  }
+}
+
+}  // namespace arcadia::bench

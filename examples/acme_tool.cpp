@@ -1,0 +1,91 @@
+// A small Acme workbench: parse an architecture description (a file given
+// on the command line, or the paper's built-in grid architecture), check
+// it against the client-server style, evaluate Armani constraint
+// expressions against it, and pretty-print it back.
+//
+//   acme_tool [file.acme] [--eval "<armani expression>"]
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "acme/adl.hpp"
+#include "acme/evaluator.hpp"
+#include "acme/expr_parser.hpp"
+#include "model/types.hpp"
+
+int main(int argc, char** argv) {
+  using namespace arcadia;
+
+  std::string source = acme::grid_acme_source();
+  std::vector<std::string> expressions = {
+      "size(self.Components)",
+      "forall c : ClientT in self.Components | averageLatency <= 2.0",
+      "exists g : ServerGroupT in self.Components | g.replicationCount >= 3",
+      "select one g : ServerGroupT in self.Components | "
+      "connected(g, select one c : ClientT in self.Components | "
+      "c.name == \"User3\")",
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--eval" && i + 1 < argc) {
+      expressions.assign(1, argv[++i]);
+    } else if (arg[0] != '-') {
+      std::ifstream in(arg);
+      if (!in) {
+        std::cerr << "cannot open " << arg << "\n";
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      source = buf.str();
+    }
+  }
+
+  try {
+    auto system = acme::parse_system(source);
+    std::cout << "parsed system '" << system->name() << "': "
+              << system->components().size() << " components, "
+              << system->connectors().size() << " connectors, "
+              << system->attachments().size() << " attachments\n\n";
+
+    for (const model::Component* c : system->components()) {
+      std::cout << "  component " << c->name() << " : " << c->type_name();
+      if (c->has_representation()) {
+        std::cout << " (representation with "
+                  << c->representation_const().components().size()
+                  << " members)";
+      }
+      std::cout << "\n";
+    }
+
+    model::Style style = model::client_server_style();
+    auto problems = style.check_system(*system);
+    std::cout << "\nstyle check (" << style.name() << "): ";
+    if (problems.empty()) {
+      std::cout << "OK\n";
+    } else {
+      std::cout << problems.size() << " problem(s)\n";
+      for (const auto& p : problems) std::cout << "  - " << p << "\n";
+    }
+
+    acme::Evaluator evaluator;
+    std::cout << "\nconstraint expressions:\n";
+    for (const std::string& src : expressions) {
+      acme::EvalContext ctx(*system);
+      try {
+        auto expr = acme::parse_expression(src);
+        acme::EvalValue v = evaluator.evaluate(*expr, ctx);
+        std::cout << "  " << src << "\n    => " << v.to_string() << "\n";
+      } catch (const Error& e) {
+        std::cout << "  " << src << "\n    !! " << e.what() << "\n";
+      }
+    }
+
+    std::cout << "\npretty-printed:\n" << acme::print_system(*system);
+  } catch (const ParseError& e) {
+    std::cerr << "parse failed: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

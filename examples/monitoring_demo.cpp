@@ -1,0 +1,76 @@
+// The monitoring infrastructure by itself (Figure 4): probes observing a
+// running system publish on the probe bus; gauges interpret observations
+// as architectural properties and report on the gauge bus; a consumer
+// prints what the model layer would see. No repairs — this is the reusable
+// substrate the paper argues should be shared across applications.
+#include <iomanip>
+#include <iostream>
+
+#include "events/bus.hpp"
+#include "monitor/gauge.hpp"
+#include "monitor/gauge_manager.hpp"
+#include "monitor/probes.hpp"
+#include "monitor/topics.hpp"
+#include "remos/remos.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace arcadia;
+  std::cout << "=== Monitoring infrastructure demo (probes -> gauges -> "
+               "consumer) ===\n\n";
+
+  sim::Simulator sim;
+  sim::ScenarioConfig cfg;
+  cfg.horizon = SimTime::seconds(300);
+  cfg.quiescent_end = SimTime::seconds(120);  // competition starts at 120 s
+  sim::Testbed tb = sim::build_testbed(sim, cfg);
+
+  remos::RemosService remos(sim, *tb.net);
+  events::SimEventBus probe_bus(sim, events::fixed_delay(SimTime::millis(5)));
+  events::SimEventBus gauge_bus(
+      sim, events::network_delay(*tb.net, SimTime::millis(50), false));
+
+  // Probes observe the running system.
+  monitor::ProbeSet probes = monitor::make_standard_probes(
+      sim, *tb.app, remos, probe_bus, SimTime::seconds(1));
+  probes.start_all();
+
+  // Gauges interpret probe streams as model properties.
+  monitor::GaugeManagerConfig gauge_cfg;
+  monitor::GaugeManager gauges(sim, probe_bus, gauge_bus, gauge_cfg);
+  gauges.deploy(monitor::make_latency_gauge(
+      sim, "User3", tb.app->client_node(tb.clients[2]), SimTime::seconds(30)));
+  gauges.deploy(monitor::make_bandwidth_gauge(
+      sim, "User3", "Conn_User3.clientSide",
+      tb.app->client_node(tb.clients[2])));
+  gauges.deploy(monitor::make_load_gauge(sim, "ServerGrp1",
+                                         tb.app->queue_node(),
+                                         SimTime::seconds(30)));
+
+  // A gauge consumer — what the architecture manager subscribes as.
+  std::cout << std::left << std::setw(9) << "time_s" << std::setw(28)
+            << "element.property" << "value\n";
+  gauge_bus.subscribe(
+      events::Filter::topic(monitor::topics::kGaugeReport),
+      [&](const events::Notification& n) {
+        static SimTime last_print = SimTime::seconds(-100);
+        if (sim.now() - last_print < SimTime::seconds(10)) return;
+        last_print = sim.now();
+        std::cout << std::left << std::setw(9) << sim.now().as_seconds()
+                  << std::setw(28)
+                  << n.get(monitor::topics::kAttrElement).as_string() + "." +
+                         n.get(monitor::topics::kAttrProperty).as_string()
+                  << n.get(monitor::topics::kAttrValue).as_double() << "\n";
+      },
+      tb.manager_node);
+
+  tb.start();
+  sim.run_until(cfg.horizon);
+
+  std::cout << "\nbus stats: probe bus published " << probe_bus.stats().published
+            << ", gauge bus delivered " << gauge_bus.stats().delivered << "\n";
+  std::cout << "watch the latency/bandwidth values collapse after the "
+               "competition starts at 120 s —\nexactly the signal the "
+               "architecture manager repairs from.\n";
+  return 0;
+}

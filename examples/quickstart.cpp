@@ -1,0 +1,51 @@
+// Quickstart: run the paper's experiment end-to-end — build the Figure 6
+// testbed, attach the adaptation framework, drive the Figure 7 schedule,
+// and print what happened. A shortened horizon keeps it snappy; pass
+// --full for the whole 1800 s run, --control to disable adaptation.
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "util/log.hpp"
+
+int main(int argc, char** argv) {
+  using namespace arcadia;
+  bool full = false;
+  bool adaptation = true;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--full") full = true;
+    if (arg == "--control") adaptation = false;
+    if (arg == "--verbose") Logger::instance().set_level(LogLevel::Info);
+  }
+
+  core::ExperimentOptions options;
+  options.adaptation = adaptation;
+  if (!full) {
+    // Quick run: quiescent 60 s, bandwidth trouble until 300 s, done.
+    options.scenario.horizon = SimTime::seconds(420);
+    options.scenario.quiescent_end = SimTime::seconds(60);
+    options.scenario.stress_start = SimTime::seconds(300);
+    options.scenario.stress_end = SimTime::seconds(360);
+  }
+
+  std::cout << "Running " << (adaptation ? "adaptive" : "control")
+            << " experiment (" << options.scenario.horizon.as_seconds()
+            << " s simulated)...\n";
+  core::ExperimentResult result = core::run_experiment(options);
+
+  std::cout << "\nsimulated " << result.sim_events << " events; "
+            << result.requests_issued << " requests issued, "
+            << result.responses_completed << " responses completed\n\n";
+
+  core::print_latency_figure(std::cout, result, SimTime::seconds(30));
+  std::cout << "\n";
+  core::print_load_figure(std::cout, result, SimTime::seconds(30));
+  std::cout << "\n";
+  core::print_repairs(std::cout, result);
+
+  std::cout << "\nmean fraction of time above the 2 s bound: "
+            << result.mean_fraction_above() << "\n";
+  return 0;
+}

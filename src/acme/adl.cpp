@@ -1,0 +1,402 @@
+#include "acme/adl.hpp"
+
+#include <sstream>
+
+#include "acme/expr_parser.hpp"
+#include "acme/lexer.hpp"
+
+namespace arcadia::acme {
+
+namespace {
+
+model::PropertyValue parse_property_value(TokenStream& ts) {
+  const Token& t = ts.peek();
+  switch (t.kind) {
+    case TokenKind::Number: {
+      ts.take();
+      // Integral literals without a decimal point stay ints.
+      if (t.text.find('.') == std::string::npos &&
+          t.text.find('e') == std::string::npos &&
+          t.text.find('E') == std::string::npos) {
+        return model::PropertyValue(static_cast<std::int64_t>(t.number));
+      }
+      return model::PropertyValue(t.number);
+    }
+    case TokenKind::Minus: {
+      ts.take();
+      const Token& n = ts.expect(TokenKind::Number, "after unary minus");
+      if (n.text.find('.') == std::string::npos) {
+        return model::PropertyValue(-static_cast<std::int64_t>(n.number));
+      }
+      return model::PropertyValue(-n.number);
+    }
+    case TokenKind::String:
+      ts.take();
+      return model::PropertyValue(t.text);
+    case TokenKind::Identifier:
+      if (t.text == "true" || t.text == "false") {
+        ts.take();
+        return model::PropertyValue(t.text == "true");
+      }
+      [[fallthrough]];
+    default:
+      ts.fail("expected a property value (number, string, true/false)");
+  }
+}
+
+/// Property IDENT [: type-name] [= value] ;
+void parse_property(TokenStream& ts, model::Element& element) {
+  const std::string name = ts.expect_identifier("as property name");
+  std::string declared_type;
+  if (ts.accept(TokenKind::Colon)) {
+    declared_type = ts.expect_identifier("as property type");
+  }
+  if (ts.accept(TokenKind::Assign)) {
+    model::PropertyValue value = parse_property_value(ts);
+    // Honor the declared type: "float = 0" must stay a double through a
+    // print/parse round trip.
+    if ((declared_type == "float" || declared_type == "double") &&
+        value.is_int()) {
+      value = model::PropertyValue(static_cast<double>(value.as_int()));
+    } else if (declared_type == "int" && value.is_double()) {
+      value = model::PropertyValue(static_cast<std::int64_t>(value.as_double()));
+    }
+    element.set_property(name, value);
+  }
+  ts.expect(TokenKind::Semicolon, "after property");
+}
+
+void parse_system_body(TokenStream& ts, model::System& system);
+
+void parse_component_body(TokenStream& ts, model::Component& component) {
+  ts.expect(TokenKind::LBrace, "to open component body");
+  while (!ts.at(TokenKind::RBrace)) {
+    if (ts.accept_keyword("Port")) {
+      const std::string pname = ts.expect_identifier("as port name");
+      std::string ptype;
+      if (ts.accept(TokenKind::Colon)) {
+        ptype = ts.expect_identifier("as port type");
+      }
+      model::Port& port = component.add_port(pname, ptype);
+      if (ts.accept(TokenKind::Assign)) {
+        ts.expect(TokenKind::LBrace, "to open port body");
+        while (!ts.at(TokenKind::RBrace)) {
+          ts.expect_keyword("Property", "in port body");
+          parse_property(ts, port);
+        }
+        ts.take();
+      }
+      ts.accept(TokenKind::Semicolon);
+      continue;
+    }
+    if (ts.accept_keyword("Property")) {
+      parse_property(ts, component);
+      continue;
+    }
+    if (ts.accept_keyword("Representation")) {
+      ts.expect(TokenKind::Assign, "after 'Representation'");
+      ts.expect(TokenKind::LBrace, "to open representation");
+      ts.expect_keyword("System", "inside representation");
+      const std::string rep_name = ts.expect_identifier("as representation system name");
+      (void)rep_name;
+      if (ts.accept(TokenKind::Colon)) ts.expect_identifier("as style name");
+      ts.expect(TokenKind::Assign, "in representation system");
+      ts.expect(TokenKind::LBrace, "to open representation system body");
+      parse_system_body(ts, component.representation());
+      ts.expect(TokenKind::RBrace, "to close representation system body");
+      ts.accept(TokenKind::Semicolon);
+      ts.expect(TokenKind::RBrace, "to close representation");
+      ts.accept(TokenKind::Semicolon);
+      continue;
+    }
+    ts.fail("expected 'Port', 'Property', or 'Representation' in component");
+  }
+  ts.take();  // '}'
+}
+
+void parse_connector_body(TokenStream& ts, model::Connector& connector) {
+  ts.expect(TokenKind::LBrace, "to open connector body");
+  while (!ts.at(TokenKind::RBrace)) {
+    if (ts.accept_keyword("Role")) {
+      const std::string rname = ts.expect_identifier("as role name");
+      std::string rtype;
+      if (ts.accept(TokenKind::Colon)) {
+        rtype = ts.expect_identifier("as role type");
+      }
+      model::Role& role = connector.add_role(rname, rtype);
+      if (ts.accept(TokenKind::Assign)) {
+        ts.expect(TokenKind::LBrace, "to open role body");
+        while (!ts.at(TokenKind::RBrace)) {
+          ts.expect_keyword("Property", "in role body");
+          parse_property(ts, role);
+        }
+        ts.take();
+      }
+      ts.accept(TokenKind::Semicolon);
+      continue;
+    }
+    if (ts.accept_keyword("Property")) {
+      parse_property(ts, connector);
+      continue;
+    }
+    ts.fail("expected 'Role' or 'Property' in connector");
+  }
+  ts.take();
+}
+
+void parse_system_body(TokenStream& ts, model::System& system) {
+  while (!ts.at(TokenKind::RBrace)) {
+    if (ts.accept_keyword("Component")) {
+      const std::string name = ts.expect_identifier("as component name");
+      std::string type;
+      if (ts.accept(TokenKind::Colon)) {
+        type = ts.expect_identifier("as component type");
+      }
+      model::Component& comp = system.add_component(name, type);
+      if (ts.accept(TokenKind::Assign)) parse_component_body(ts, comp);
+      ts.accept(TokenKind::Semicolon);
+      continue;
+    }
+    if (ts.accept_keyword("Connector")) {
+      const std::string name = ts.expect_identifier("as connector name");
+      std::string type;
+      if (ts.accept(TokenKind::Colon)) {
+        type = ts.expect_identifier("as connector type");
+      }
+      model::Connector& conn = system.add_connector(name, type);
+      if (ts.accept(TokenKind::Assign)) parse_connector_body(ts, conn);
+      ts.accept(TokenKind::Semicolon);
+      continue;
+    }
+    if (ts.accept_keyword("Attachment")) {
+      model::Attachment a;
+      a.component = ts.expect_identifier("as attachment component");
+      ts.expect(TokenKind::Dot, "in attachment");
+      a.port = ts.expect_identifier("as attachment port");
+      ts.expect_keyword("to", "in attachment");
+      a.connector = ts.expect_identifier("as attachment connector");
+      ts.expect(TokenKind::Dot, "in attachment");
+      a.role = ts.expect_identifier("as attachment role");
+      ts.expect(TokenKind::Semicolon, "after attachment");
+      system.attach(a);
+      continue;
+    }
+    ts.fail("expected 'Component', 'Connector', or 'Attachment'");
+  }
+}
+
+void print_properties(std::ostringstream& out, const model::Element& el,
+                      const std::string& indent) {
+  for (const auto& [name, value] : el.properties()) {
+    out << indent << "Property " << name;
+    if (value.is_bool()) {
+      out << " : boolean = " << (value.as_bool() ? "true" : "false");
+    } else if (value.is_int()) {
+      out << " : int = " << value.as_int();
+    } else if (value.is_double()) {
+      out << " : float = " << value.as_double();
+    } else {
+      out << " : string = \"" << value.as_string() << "\"";
+    }
+    out << ";\n";
+  }
+}
+
+void print_system_body(std::ostringstream& out, const model::System& system,
+                       const std::string& indent);
+
+void print_component(std::ostringstream& out, const model::Component& comp,
+                     const std::string& indent) {
+  out << indent << "Component " << comp.name();
+  if (!comp.type_name().empty()) out << " : " << comp.type_name();
+  out << " = {\n";
+  print_properties(out, comp, indent + "  ");
+  for (const model::Port* port : comp.ports()) {
+    out << indent << "  Port " << port->name();
+    if (!port->type_name().empty()) out << " : " << port->type_name();
+    if (!port->properties().empty()) {
+      out << " = {\n";
+      print_properties(out, *port, indent + "    ");
+      out << indent << "  }";
+    }
+    out << ";\n";
+  }
+  if (comp.has_representation()) {
+    out << indent << "  Representation = {\n";
+    out << indent << "    System " << comp.representation_const().name()
+        << " = {\n";
+    print_system_body(out, comp.representation_const(), indent + "      ");
+    out << indent << "    }\n" << indent << "  };\n";
+  }
+  out << indent << "};\n";
+}
+
+void print_system_body(std::ostringstream& out, const model::System& system,
+                       const std::string& indent) {
+  for (const model::Component* comp : system.components()) {
+    print_component(out, *comp, indent);
+  }
+  for (const model::Connector* conn : system.connectors()) {
+    out << indent << "Connector " << conn->name();
+    if (!conn->type_name().empty()) out << " : " << conn->type_name();
+    out << " = {\n";
+    print_properties(out, *conn, indent + "  ");
+    for (const model::Role* role : conn->roles()) {
+      out << indent << "  Role " << role->name();
+      if (!role->type_name().empty()) out << " : " << role->type_name();
+      if (!role->properties().empty()) {
+        out << " = {\n";
+        print_properties(out, *role, indent + "    ");
+        out << indent << "  }";
+      }
+      out << ";\n";
+    }
+    out << indent << "};\n";
+  }
+  for (const model::Attachment& a : system.attachments()) {
+    out << indent << "Attachment " << a.component << "." << a.port << " to "
+        << a.connector << "." << a.role << ";\n";
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<model::System> parse_system(const std::string& source) {
+  TokenStream ts(tokenize(source));
+  ts.expect_keyword("System", "at start of description");
+  const std::string name = ts.expect_identifier("as system name");
+  if (ts.accept(TokenKind::Colon)) {
+    ts.expect_identifier("as style name");
+  }
+  ts.expect(TokenKind::Assign, "before system body");
+  ts.expect(TokenKind::LBrace, "to open system body");
+  auto system = std::make_unique<model::System>(name);
+  parse_system_body(ts, *system);
+  ts.expect(TokenKind::RBrace, "to close system body");
+  ts.accept(TokenKind::Semicolon);
+  if (!ts.done()) ts.fail("unexpected input after system declaration");
+  return system;
+}
+
+std::string print_system(const model::System& system) {
+  std::ostringstream out;
+  out << "System " << system.name() << " = {\n";
+  print_system_body(out, system, "  ");
+  out << "};\n";
+  return out.str();
+}
+
+const char* grid_acme_source() {
+  // Figures 2 and 3 of the paper: three server groups of replicated
+  // servers serving six users; ServerGrp1 refined by a representation
+  // (ServerGrpRep) holding Server1..Server3.
+  return R"acme(
+System GridStorage : ClientServerStyle = {
+  Component ServerGrp1 : ServerGroupT = {
+    Property load : float = 0.0;
+    Property replicationCount : int = 3;
+    Property utilization : float = 0.0;
+    Port provide : ProvideT;
+    Representation = {
+      System ServerGrp1_rep = {
+        Component Server1 : ServerT = { Property isActive : boolean = true; };
+        Component Server2 : ServerT = { Property isActive : boolean = true; };
+        Component Server3 : ServerT = { Property isActive : boolean = true; };
+      }
+    };
+  };
+  Component ServerGrp2 : ServerGroupT = {
+    Property load : float = 0.0;
+    Property replicationCount : int = 2;
+    Property utilization : float = 0.0;
+    Port provide : ProvideT;
+    Representation = {
+      System ServerGrp2_rep = {
+        Component Server5 : ServerT = { Property isActive : boolean = true; };
+        Component Server6 : ServerT = { Property isActive : boolean = true; };
+      }
+    };
+  };
+  Component ServerGrp3 : ServerGroupT = {
+    Property load : float = 0.0;
+    Property replicationCount : int = 2;
+    Property utilization : float = 0.0;
+    Port provide : ProvideT;
+    Representation = {
+      System ServerGrp3_rep = {
+        Component Server8 : ServerT = { Property isActive : boolean = true; };
+        Component Server9 : ServerT = { Property isActive : boolean = true; };
+      }
+    };
+  };
+  Component User1 : ClientT = {
+    Property averageLatency : float = 0.0;
+    Property maxLatency : float = 2.0;
+    Port request : RequestT;
+  };
+  Component User2 : ClientT = {
+    Property averageLatency : float = 0.0;
+    Property maxLatency : float = 2.0;
+    Port request : RequestT;
+  };
+  Component User3 : ClientT = {
+    Property averageLatency : float = 0.0;
+    Property maxLatency : float = 2.0;
+    Port request : RequestT;
+  };
+  Component User4 : ClientT = {
+    Property averageLatency : float = 0.0;
+    Property maxLatency : float = 2.0;
+    Port request : RequestT;
+  };
+  Component User5 : ClientT = {
+    Property averageLatency : float = 0.0;
+    Property maxLatency : float = 2.0;
+    Port request : RequestT;
+  };
+  Component User6 : ClientT = {
+    Property averageLatency : float = 0.0;
+    Property maxLatency : float = 2.0;
+    Port request : RequestT;
+  };
+  Connector Conn1 : ClientServerConnT = {
+    Role clientSide : ClientRoleT = { Property bandwidth : float = 10000000.0; };
+    Role serverSide : ServerRoleT;
+  };
+  Connector Conn2 : ClientServerConnT = {
+    Role clientSide : ClientRoleT = { Property bandwidth : float = 10000000.0; };
+    Role serverSide : ServerRoleT;
+  };
+  Connector Conn3 : ClientServerConnT = {
+    Role clientSide : ClientRoleT = { Property bandwidth : float = 10000000.0; };
+    Role serverSide : ServerRoleT;
+  };
+  Connector Conn4 : ClientServerConnT = {
+    Role clientSide : ClientRoleT = { Property bandwidth : float = 10000000.0; };
+    Role serverSide : ServerRoleT;
+  };
+  Connector Conn5 : ClientServerConnT = {
+    Role clientSide : ClientRoleT = { Property bandwidth : float = 10000000.0; };
+    Role serverSide : ServerRoleT;
+  };
+  Connector Conn6 : ClientServerConnT = {
+    Role clientSide : ClientRoleT = { Property bandwidth : float = 10000000.0; };
+    Role serverSide : ServerRoleT;
+  };
+  Attachment User1.request to Conn1.clientSide;
+  Attachment ServerGrp1.provide to Conn1.serverSide;
+  Attachment User2.request to Conn2.clientSide;
+  Attachment ServerGrp1.provide to Conn2.serverSide;
+  Attachment User3.request to Conn3.clientSide;
+  Attachment ServerGrp2.provide to Conn3.serverSide;
+  Attachment User4.request to Conn4.clientSide;
+  Attachment ServerGrp2.provide to Conn4.serverSide;
+  Attachment User5.request to Conn5.clientSide;
+  Attachment ServerGrp3.provide to Conn5.serverSide;
+  Attachment User6.request to Conn6.clientSide;
+  Attachment ServerGrp3.provide to Conn6.serverSide;
+};
+)acme";
+}
+
+}  // namespace arcadia::acme

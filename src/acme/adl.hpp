@@ -1,0 +1,28 @@
+// The Acme architecture description language (Garlan, Monroe, Wile):
+// textual system descriptions with components, ports, connectors, roles,
+// properties, representations, and attachments. parse_system loads a
+// description into a model::System; print_system emits one back out
+// (round-trip stable modulo ordering).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "model/system.hpp"
+
+namespace arcadia::acme {
+
+/// Parse one `System name [: Style] = { ... }` declaration.
+/// Throws ParseError with position information on malformed input.
+std::unique_ptr<model::System> parse_system(const std::string& source);
+
+/// Emit an Acme description of the system (deterministic ordering).
+std::string print_system(const model::System& system);
+
+/// The paper's software architecture (Figures 2 and 3): three server
+/// groups of replicated servers serving six users over request/reply
+/// connectors, ServerGrp1 refined by a representation holding its
+/// replicas. Used by examples and tests.
+const char* grid_acme_source();
+
+}  // namespace arcadia::acme

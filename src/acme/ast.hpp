@@ -1,0 +1,191 @@
+// AST for Armani-style expressions and the repair-script language.
+// Figure 5 of the paper is written in exactly this surface syntax:
+//
+//   invariant r : averageLatency <= maxLatency  !-> fixLatency(r);
+//   strategy fixLatency(badRole : ClientRoleT) = { ... }
+//   tactic fixServerLoad(client : ClientT) : boolean = {
+//     let loadedServerGroups : set{ServerGroupT} =
+//       select sgrp : ServerGroupT in self.Components |
+//         connected(sgrp, client) and sgrp.load > maxServerLoad;
+//     if (size(loadedServerGroups) == 0) { return false; }
+//     foreach sGrp in loadedServerGroups { sGrp.addServer(); }
+//     return true;
+//   }
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace arcadia::acme {
+
+// ---------- expressions ----------
+
+struct Expr {
+  virtual ~Expr() = default;
+  int line = 0;
+  int column = 0;
+};
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct LiteralExpr : Expr {
+  enum class Kind { Bool, Number, String, Nil } kind = Kind::Nil;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+};
+
+/// A bare name: a binding, parameter, `self`, or a property looked up on
+/// the contextual element (Armani's unqualified property reference, used by
+/// invariants attached to an element: `averageLatency <= maxLatency`).
+struct NameExpr : Expr {
+  std::string name;
+};
+
+/// object.member — property access or a built-in collection
+/// (Components, Connectors, Ports, Roles, Representation, name, type).
+struct MemberExpr : Expr {
+  ExprPtr object;
+  std::string member;
+};
+
+/// Free-function call f(args) or method-style call obj.m(args); in the
+/// latter case `callee` is a MemberExpr and the interpreter dispatches to a
+/// style operator.
+struct CallExpr : Expr {
+  ExprPtr callee;
+  std::vector<ExprPtr> args;
+};
+
+struct UnaryExpr : Expr {
+  enum class Op { Not, Neg } op = Op::Not;
+  ExprPtr operand;
+};
+
+struct BinaryExpr : Expr {
+  enum class Op {
+    Or, And,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    Add, Sub, Mul, Div, Mod,
+  } op = Op::Or;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+/// select [one] binder : Type in domain | predicate
+struct SelectExpr : Expr {
+  bool one = false;
+  std::string binder;
+  std::string type_name;  ///< empty = untyped binder
+  ExprPtr domain;
+  ExprPtr predicate;
+};
+
+/// exists/forall binder : Type in domain | predicate
+struct QuantExpr : Expr {
+  bool exists = true;
+  std::string binder;
+  std::string type_name;
+  ExprPtr domain;
+  ExprPtr predicate;
+};
+
+// ---------- repair-script declarations & statements ----------
+
+struct Stmt {
+  virtual ~Stmt() = default;
+  int line = 0;
+  int column = 0;
+};
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct BlockStmt : Stmt {
+  std::vector<StmtPtr> statements;
+};
+
+struct LetStmt : Stmt {
+  std::string name;
+  std::string type_annotation;  ///< informational ("ServerGroupT", "set{..}")
+  ExprPtr value;
+};
+
+struct IfStmt : Stmt {
+  ExprPtr condition;
+  StmtPtr then_branch;
+  StmtPtr else_branch;  ///< may be null
+};
+
+struct ForeachStmt : Stmt {
+  std::string binder;
+  ExprPtr domain;
+  StmtPtr body;
+};
+
+struct ReturnStmt : Stmt {
+  ExprPtr value;  ///< may be null (bare return)
+};
+
+/// `commit repair;`
+struct CommitStmt : Stmt {};
+
+/// `abort Reason;`
+struct AbortStmt : Stmt {
+  std::string reason;
+};
+
+struct ExprStmt : Stmt {
+  ExprPtr expr;
+};
+
+struct Param {
+  std::string name;
+  std::string type_annotation;
+};
+
+struct TacticDecl {
+  std::string name;
+  std::vector<Param> params;
+  std::string return_type;  ///< informational
+  std::unique_ptr<BlockStmt> body;
+  int line = 0;
+};
+
+struct StrategyDecl {
+  std::string name;
+  std::vector<Param> params;
+  std::unique_ptr<BlockStmt> body;
+  int line = 0;
+};
+
+/// invariant [name :] expr !-> handler(args);
+struct InvariantDecl {
+  std::string name;  ///< the bound violation variable ("r"); may be empty
+  /// Shared so constraint instances survive the Script they came from.
+  std::shared_ptr<Expr> condition;
+  std::string handler;            ///< strategy to invoke on violation
+  std::vector<std::string> args;  ///< argument names (usually the binder)
+  int line = 0;
+};
+
+/// A parsed repair script: invariants plus the strategies and tactics they
+/// reference.
+struct Script {
+  std::vector<InvariantDecl> invariants;
+  std::vector<StrategyDecl> strategies;
+  std::vector<TacticDecl> tactics;
+
+  const StrategyDecl* find_strategy(const std::string& name) const {
+    for (const auto& s : strategies) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+  const TacticDecl* find_tactic(const std::string& name) const {
+    for (const auto& t : tactics) {
+      if (t.name == name) return &t;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace arcadia::acme

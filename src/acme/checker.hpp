@@ -1,0 +1,101 @@
+// Static analysis of Armani expressions and repair scripts against an
+// architectural style. Armani was a *typed* constraint language; this
+// checker restores that: it catches misspelled properties, unknown
+// operators and functions, arity errors, unbound names, and
+// commit/abort misuse before a script ever runs against a live model —
+// exactly the class of bug the paper's handwritten repairs were prone to
+// (Figure 5 itself contains several).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "acme/ast.hpp"
+#include "model/types.hpp"
+
+namespace arcadia::acme {
+
+struct CheckIssue {
+  int line = 0;
+  std::string message;
+  std::string to_string() const {
+    return "line " + std::to_string(line) + ": " + message;
+  }
+};
+
+/// Best-effort type vocabulary: style element-type names, "set{T}",
+/// "number", "string", "boolean", "nil", "System", or "" (unknown —
+/// checks involving it are skipped rather than reported).
+class ScriptChecker {
+ public:
+  explicit ScriptChecker(const model::Style& style);
+
+  /// Task-layer globals visible to scripts (maxServerLoad, ...).
+  void declare_global(const std::string& name, std::string type = "number");
+  /// Free functions: arity range and (optional) result type.
+  void declare_function(const std::string& name, std::size_t min_args,
+                        std::size_t max_args, std::string result_type = "");
+  /// Style operators (element methods): the element type they apply to
+  /// ("" = any) and their argument count.
+  void declare_operator(const std::string& name, std::string target_type,
+                        std::size_t args, std::string result_type = "boolean");
+
+  /// Check a whole script: every invariant, strategy, and tactic.
+  std::vector<CheckIssue> check_script(const Script& script);
+
+  /// Check one expression; `context_type` is the element type unqualified
+  /// property names resolve against (the invariant's element), may be "".
+  std::vector<CheckIssue> check_expression(const Expr& expr,
+                                           const std::string& context_type);
+
+ private:
+  struct FunctionSig {
+    std::size_t min_args;
+    std::size_t max_args;
+    std::string result_type;
+  };
+  struct OperatorSig {
+    std::string target_type;
+    std::size_t args;
+    std::string result_type;
+  };
+  struct Scope {
+    std::map<std::string, std::string> names;  // name -> type
+  };
+
+  std::string infer(const Expr& expr, std::vector<Scope>& scopes,
+                    const std::string& context_type,
+                    std::vector<CheckIssue>& out);
+  void check_stmt(const Stmt& stmt, std::vector<Scope>& scopes,
+                  const std::string& context_type, bool in_strategy,
+                  std::vector<CheckIssue>& out);
+  std::string member_type(const std::string& object_type,
+                          const std::string& member, int line,
+                          std::vector<CheckIssue>& out) const;
+  const std::string* lookup(const std::vector<Scope>& scopes,
+                            const std::string& name) const;
+  static bool is_set(const std::string& type) {
+    return type.rfind("set{", 0) == 0;
+  }
+  static std::string set_element(const std::string& type) {
+    return is_set(type) ? type.substr(4, type.size() - 5) : "";
+  }
+
+  const model::Style& style_;
+  std::map<std::string, std::string> globals_;
+  std::map<std::string, FunctionSig> functions_;
+  std::map<std::string, OperatorSig> operators_;
+  const Script* script_ = nullptr;  // for tactic-call resolution
+  /// Invariant conditions resolve names against an element chosen only at
+  /// instantiation time; unknown names there are not errors.
+  bool lenient_names_ = false;
+};
+
+/// A checker preloaded with the client-server style's operators
+/// (addServer/move/removeServer), the runtime query functions
+/// (findGoodSGrp, findServer-family), the expression builtins, and the
+/// standard task-layer globals — ready to check the shipped scripts.
+ScriptChecker make_client_server_checker(const model::Style& style);
+
+}  // namespace arcadia::acme

@@ -1,0 +1,459 @@
+#include "acme/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace arcadia::acme {
+
+namespace {
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw ScriptError(message + (line > 0 ? " (line " + std::to_string(line) + ")"
+                                        : ""));
+}
+
+const std::string kSelfName = "self";
+}  // namespace
+
+const std::string& ElementRef::name() const {
+  if (element) return element->name();
+  if (system) return system->name();
+  return kSelfName;
+}
+
+bool EvalValue::as_bool() const {
+  if (!is_bool()) throw ScriptError("expected boolean, got " + to_string());
+  return bool_;
+}
+
+double EvalValue::as_number() const {
+  if (!is_number()) throw ScriptError("expected number, got " + to_string());
+  return number_;
+}
+
+const std::string& EvalValue::as_string() const {
+  if (!is_string()) throw ScriptError("expected string, got " + to_string());
+  return string_;
+}
+
+const ElementRef& EvalValue::as_element() const {
+  if (!is_element()) {
+    throw ScriptError("expected element reference, got " + to_string());
+  }
+  return element_;
+}
+
+const EvalValue::Set& EvalValue::as_set() const {
+  if (!is_set()) throw ScriptError("expected set, got " + to_string());
+  return *set_;
+}
+
+bool EvalValue::truthy() const {
+  if (!is_bool()) {
+    throw ScriptError("condition is not boolean: " + to_string());
+  }
+  return bool_;
+}
+
+bool EvalValue::equals(const EvalValue& other) const {
+  if (is_nil() || other.is_nil()) return is_nil() && other.is_nil();
+  if (is_number() && other.is_number()) return number_ == other.number_;
+  if (is_bool() && other.is_bool()) return bool_ == other.bool_;
+  if (is_string() && other.is_string()) return string_ == other.string_;
+  if (is_element() && other.is_element()) return element_ == other.element_;
+  if (is_set() && other.is_set()) {
+    if (set_->size() != other.set_->size()) return false;
+    for (std::size_t i = 0; i < set_->size(); ++i) {
+      if (!(*set_)[i].equals((*other.set_)[i])) return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+std::string EvalValue::to_string() const {
+  switch (kind_) {
+    case Kind::Nil: return "nil";
+    case Kind::Bool: return bool_ ? "true" : "false";
+    case Kind::Number: {
+      std::string s = std::to_string(number_);
+      return s;
+    }
+    case Kind::String: return "\"" + string_ + "\"";
+    case Kind::Element: return "<" + element_.name() + ">";
+    case Kind::Set: {
+      std::string s = "{";
+      for (std::size_t i = 0; i < set_->size(); ++i) {
+        if (i) s += ", ";
+        s += (*set_)[i].to_string();
+      }
+      return s + "}";
+    }
+  }
+  return "?";
+}
+
+const EvalValue* EvalContext::lookup(const std::string& name) const {
+  auto it = bindings_.find(name);
+  if (it != bindings_.end()) return &it->second;
+  return parent_ ? parent_->lookup(name) : nullptr;
+}
+
+EvalContext EvalContext::child() const {
+  EvalContext c(*self_);
+  c.parent_ = this;
+  c.functions_ = functions_;
+  c.method_handler_ = method_handler_;
+  c.context_element_ = context_element_;
+  c.has_context_element_ = has_context_element_;
+  return c;
+}
+
+const ExprFn* EvalContext::find_function(const std::string& name) const {
+  if (functions_) {
+    auto it = functions_->find(name);
+    if (it != functions_->end()) return &it->second;
+  }
+  return parent_ ? parent_->find_function(name) : nullptr;
+}
+
+const MethodFn* EvalContext::method_handler() const {
+  if (method_handler_) return method_handler_;
+  return parent_ ? parent_->method_handler() : nullptr;
+}
+
+const ElementRef* EvalContext::context_element() const {
+  if (has_context_element_) return &context_element_;
+  return parent_ ? parent_->context_element() : nullptr;
+}
+
+// ---------------------------------------------------------------------------
+
+Evaluator::Evaluator() {
+  builtins_["size"] = [](std::vector<EvalValue>& args,
+                         EvalContext&) -> EvalValue {
+    if (args.size() != 1) throw ScriptError("size() takes one argument");
+    return EvalValue(static_cast<double>(args[0].as_set().size()));
+  };
+  builtins_["empty"] = [](std::vector<EvalValue>& args,
+                          EvalContext&) -> EvalValue {
+    if (args.size() != 1) throw ScriptError("empty() takes one argument");
+    return EvalValue(args[0].as_set().empty());
+  };
+  builtins_["contains"] = [](std::vector<EvalValue>& args,
+                             EvalContext&) -> EvalValue {
+    if (args.size() != 2) throw ScriptError("contains(set, x) takes two arguments");
+    for (const EvalValue& v : args[0].as_set()) {
+      if (v.equals(args[1])) return EvalValue(true);
+    }
+    return EvalValue(false);
+  };
+  builtins_["connected"] = [](std::vector<EvalValue>& args,
+                              EvalContext& ctx) -> EvalValue {
+    if (args.size() != 2) {
+      throw ScriptError("connected(a, b) takes two arguments");
+    }
+    const ElementRef& a = args[0].as_element();
+    const ElementRef& b = args[1].as_element();
+    const model::System& sys = a.system ? *a.system : ctx.self();
+    return EvalValue(sys.connected(a.name(), b.name()));
+  };
+  builtins_["attached"] = [](std::vector<EvalValue>& args,
+                             EvalContext& ctx) -> EvalValue {
+    if (args.size() != 2) {
+      throw ScriptError("attached(x, y) takes two arguments");
+    }
+    ElementRef a = args[0].as_element();
+    ElementRef b = args[1].as_element();
+    // Normalize to (port-ish, role).
+    if (a.kind == model::ElementKind::Role) std::swap(a, b);
+    if (b.kind != model::ElementKind::Role) {
+      throw ScriptError("attached(): one argument must be a role");
+    }
+    const model::System& sys = b.system ? *b.system : ctx.self();
+    for (const model::Attachment& att : sys.attachments()) {
+      if (att.connector != b.owner || att.role != b.name()) continue;
+      if (a.kind == model::ElementKind::Port) {
+        if (att.component == a.owner && att.port == a.name()) return EvalValue(true);
+      } else if (a.kind == model::ElementKind::Component) {
+        if (att.component == a.name()) return EvalValue(true);
+      }
+    }
+    return EvalValue(false);
+  };
+  builtins_["abs"] = [](std::vector<EvalValue>& args, EvalContext&) -> EvalValue {
+    if (args.size() != 1) throw ScriptError("abs() takes one argument");
+    return EvalValue(std::fabs(args[0].as_number()));
+  };
+  builtins_["min"] = [](std::vector<EvalValue>& args, EvalContext&) -> EvalValue {
+    if (args.size() != 2) throw ScriptError("min() takes two arguments");
+    return EvalValue(std::min(args[0].as_number(), args[1].as_number()));
+  };
+  builtins_["max"] = [](std::vector<EvalValue>& args, EvalContext&) -> EvalValue {
+    if (args.size() != 2) throw ScriptError("max() takes two arguments");
+    return EvalValue(std::max(args[0].as_number(), args[1].as_number()));
+  };
+  builtins_["hasProperty"] = [](std::vector<EvalValue>& args,
+                                EvalContext&) -> EvalValue {
+    if (args.size() != 2) {
+      throw ScriptError("hasProperty(element, name) takes two arguments");
+    }
+    const ElementRef& e = args[0].as_element();
+    if (!e.element) return EvalValue(false);
+    return EvalValue(e.element->has_property(args[1].as_string()));
+  };
+}
+
+EvalValue Evaluator::evaluate(const Expr& expr, EvalContext& ctx) const {
+  if (const auto* lit = dynamic_cast<const LiteralExpr*>(&expr)) {
+    switch (lit->kind) {
+      case LiteralExpr::Kind::Bool: return EvalValue(lit->bool_value);
+      case LiteralExpr::Kind::Number: return EvalValue(lit->number_value);
+      case LiteralExpr::Kind::String: return EvalValue(lit->string_value);
+      case LiteralExpr::Kind::Nil: return EvalValue::nil();
+    }
+  }
+  if (const auto* name = dynamic_cast<const NameExpr*>(&expr)) {
+    if (name->name == "self") return EvalValue(ElementRef::of_system(ctx.self()));
+    if (const EvalValue* bound = ctx.lookup(name->name)) return *bound;
+    // Unqualified property reference against the contextual element.
+    if (const ElementRef* el = ctx.context_element()) {
+      if (el->element && el->element->has_property(name->name)) {
+        return member_of_element(*el, name->name, name->line);
+      }
+    }
+    fail(name->line, "unbound name '" + name->name + "'");
+  }
+  if (const auto* member = dynamic_cast<const MemberExpr*>(&expr)) {
+    return eval_member(*member, ctx);
+  }
+  if (const auto* call = dynamic_cast<const CallExpr*>(&expr)) {
+    return eval_call(*call, ctx);
+  }
+  if (const auto* unary = dynamic_cast<const UnaryExpr*>(&expr)) {
+    EvalValue v = evaluate(*unary->operand, ctx);
+    if (unary->op == UnaryExpr::Op::Not) return EvalValue(!v.truthy());
+    return EvalValue(-v.as_number());
+  }
+  if (const auto* binary = dynamic_cast<const BinaryExpr*>(&expr)) {
+    return eval_binary(*binary, ctx);
+  }
+  if (const auto* select = dynamic_cast<const SelectExpr*>(&expr)) {
+    return eval_select(*select, ctx);
+  }
+  if (const auto* quant = dynamic_cast<const QuantExpr*>(&expr)) {
+    return eval_quant(*quant, ctx);
+  }
+  fail(expr.line, "unknown expression node");
+}
+
+bool Evaluator::evaluate_bool(const Expr& expr, EvalContext& ctx) const {
+  return evaluate(expr, ctx).truthy();
+}
+
+EvalValue Evaluator::member_of_element(const ElementRef& ref,
+                                       const std::string& member,
+                                       int line) const {
+  using model::ElementKind;
+  // System-level collections.
+  if (ref.is_system()) {
+    const model::System& sys = *ref.system;
+    if (member == "Components") {
+      EvalValue::Set set;
+      for (const model::Component* c : sys.components()) {
+        set.push_back(EvalValue(ElementRef::of_component(sys, *c)));
+      }
+      return EvalValue(std::move(set));
+    }
+    if (member == "Connectors") {
+      EvalValue::Set set;
+      for (const model::Connector* c : sys.connectors()) {
+        set.push_back(EvalValue(ElementRef::of_connector(sys, *c)));
+      }
+      return EvalValue(std::move(set));
+    }
+    if (member == "name") return EvalValue(sys.name());
+    fail(line, "system has no member '" + member + "'");
+  }
+
+  const model::Element& el = *ref.element;
+  if (member == "name") return EvalValue(el.name());
+  if (member == "type") return EvalValue(el.type_name());
+
+  if (ref.kind == ElementKind::Component) {
+    const auto& comp = static_cast<const model::Component&>(el);
+    if (member == "Ports") {
+      EvalValue::Set set;
+      for (const model::Port* p : comp.ports()) {
+        set.push_back(EvalValue(ElementRef::of_port(*ref.system, comp, *p)));
+      }
+      return EvalValue(std::move(set));
+    }
+    if (member == "Representation") {
+      if (!comp.has_representation()) return EvalValue::nil();
+      return EvalValue(ElementRef::of_system(comp.representation_const()));
+    }
+  }
+  if (ref.kind == ElementKind::Connector) {
+    const auto& conn = static_cast<const model::Connector&>(el);
+    if (member == "Roles") {
+      EvalValue::Set set;
+      for (const model::Role* r : conn.roles()) {
+        set.push_back(EvalValue(ElementRef::of_role(*ref.system, conn, *r)));
+      }
+      return EvalValue(std::move(set));
+    }
+  }
+
+  // Property access.
+  if (!el.has_property(member)) {
+    fail(line, std::string(to_string(ref.kind)) + " '" + el.name() +
+                   "' has no property or member '" + member + "'");
+  }
+  const model::PropertyValue& v = el.property(member);
+  if (v.is_bool()) return EvalValue(v.as_bool());
+  if (v.is_numeric()) return EvalValue(v.as_double());
+  return EvalValue(v.as_string());
+}
+
+EvalValue Evaluator::eval_member(const MemberExpr& m, EvalContext& ctx) const {
+  EvalValue object = evaluate(*m.object, ctx);
+  if (!object.is_element()) {
+    fail(m.line, "member access '." + m.member + "' on non-element value " +
+                     object.to_string());
+  }
+  return member_of_element(object.as_element(), m.member, m.line);
+}
+
+EvalValue Evaluator::eval_call(const CallExpr& c, EvalContext& ctx) const {
+  std::vector<EvalValue> args;
+  args.reserve(c.args.size());
+
+  // Method-style call: element.op(args) -> style operator dispatch.
+  if (const auto* member = dynamic_cast<const MemberExpr*>(c.callee.get())) {
+    EvalValue object = evaluate(*member->object, ctx);
+    for (const ExprPtr& a : c.args) args.push_back(evaluate(*a, ctx));
+    if (!object.is_element()) {
+      fail(c.line, "method call on non-element value " + object.to_string());
+    }
+    const MethodFn* handler = ctx.method_handler();
+    if (!handler) {
+      fail(c.line, "no operator dispatch available for '" + member->member +
+                       "' (method calls are only valid inside repair scripts)");
+    }
+    return (*handler)(object.as_element(), member->member, args, ctx);
+  }
+
+  const auto* name = dynamic_cast<const NameExpr*>(c.callee.get());
+  if (!name) fail(c.line, "call of non-function expression");
+  for (const ExprPtr& a : c.args) args.push_back(evaluate(*a, ctx));
+
+  if (const ExprFn* fn = ctx.find_function(name->name)) {
+    return (*fn)(args, ctx);
+  }
+  auto it = builtins_.find(name->name);
+  if (it != builtins_.end()) return it->second(args, ctx);
+  fail(c.line, "unknown function '" + name->name + "'");
+}
+
+EvalValue Evaluator::eval_binary(const BinaryExpr& b, EvalContext& ctx) const {
+  using Op = BinaryExpr::Op;
+  // Short-circuit logical operators.
+  if (b.op == Op::And) {
+    if (!evaluate(*b.lhs, ctx).truthy()) return EvalValue(false);
+    return EvalValue(evaluate(*b.rhs, ctx).truthy());
+  }
+  if (b.op == Op::Or) {
+    if (evaluate(*b.lhs, ctx).truthy()) return EvalValue(true);
+    return EvalValue(evaluate(*b.rhs, ctx).truthy());
+  }
+
+  EvalValue lhs = evaluate(*b.lhs, ctx);
+  EvalValue rhs = evaluate(*b.rhs, ctx);
+  switch (b.op) {
+    case Op::Eq: return EvalValue(lhs.equals(rhs));
+    case Op::Ne: return EvalValue(!lhs.equals(rhs));
+    case Op::Lt:
+    case Op::Le:
+    case Op::Gt:
+    case Op::Ge: {
+      int cmp;
+      if (lhs.is_number() && rhs.is_number()) {
+        double x = lhs.as_number();
+        double y = rhs.as_number();
+        cmp = (x < y) ? -1 : (x > y) ? 1 : 0;
+      } else if (lhs.is_string() && rhs.is_string()) {
+        int c = lhs.as_string().compare(rhs.as_string());
+        cmp = (c < 0) ? -1 : (c > 0) ? 1 : 0;
+      } else {
+        fail(b.line, "cannot order " + lhs.to_string() + " and " +
+                         rhs.to_string());
+      }
+      switch (b.op) {
+        case Op::Lt: return EvalValue(cmp < 0);
+        case Op::Le: return EvalValue(cmp <= 0);
+        case Op::Gt: return EvalValue(cmp > 0);
+        default: return EvalValue(cmp >= 0);
+      }
+    }
+    case Op::Add:
+      if (lhs.is_string() && rhs.is_string()) {
+        return EvalValue(lhs.as_string() + rhs.as_string());
+      }
+      return EvalValue(lhs.as_number() + rhs.as_number());
+    case Op::Sub: return EvalValue(lhs.as_number() - rhs.as_number());
+    case Op::Mul: return EvalValue(lhs.as_number() * rhs.as_number());
+    case Op::Div: {
+      double d = rhs.as_number();
+      if (d == 0.0) fail(b.line, "division by zero");
+      return EvalValue(lhs.as_number() / d);
+    }
+    case Op::Mod: {
+      double d = rhs.as_number();
+      if (d == 0.0) fail(b.line, "modulo by zero");
+      return EvalValue(std::fmod(lhs.as_number(), d));
+    }
+    default:
+      fail(b.line, "unhandled binary operator");
+  }
+}
+
+namespace {
+bool binder_matches(const EvalValue& v, const std::string& type_name) {
+  if (type_name.empty()) return true;
+  if (!v.is_element() || !v.as_element().element) return false;
+  return v.as_element().element->type_name() == type_name;
+}
+}  // namespace
+
+EvalValue Evaluator::eval_select(const SelectExpr& s, EvalContext& ctx) const {
+  EvalValue domain = evaluate(*s.domain, ctx);
+  EvalValue::Set out;
+  for (const EvalValue& item : domain.as_set()) {
+    if (!binder_matches(item, s.type_name)) continue;
+    EvalContext scope = ctx.child();
+    scope.bind(s.binder, item);
+    if (evaluate(*s.predicate, scope).truthy()) {
+      if (s.one) return item;
+      out.push_back(item);
+    }
+  }
+  if (s.one) return EvalValue::nil();
+  return EvalValue(std::move(out));
+}
+
+EvalValue Evaluator::eval_quant(const QuantExpr& q, EvalContext& ctx) const {
+  EvalValue domain = evaluate(*q.domain, ctx);
+  for (const EvalValue& item : domain.as_set()) {
+    if (!binder_matches(item, q.type_name)) continue;
+    EvalContext scope = ctx.child();
+    scope.bind(q.binder, item);
+    bool holds = evaluate(*q.predicate, scope).truthy();
+    if (q.exists && holds) return EvalValue(true);
+    if (!q.exists && !holds) return EvalValue(false);
+  }
+  return EvalValue(!q.exists);
+}
+
+}  // namespace arcadia::acme

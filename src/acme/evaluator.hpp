@@ -1,0 +1,171 @@
+// Tree-walking evaluator for Armani-style expressions over an architectural
+// model. Used for: style invariants (constraint checking), tactic
+// preconditions, and the expression half of repair scripts.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "acme/ast.hpp"
+#include "model/system.hpp"
+
+namespace arcadia::acme {
+
+/// A reference to a model element (or to a system itself, for `self`).
+struct ElementRef {
+  const model::Element* element = nullptr;  ///< null for system references
+  const model::System* system = nullptr;    ///< containing system (or self)
+  model::ElementKind kind = model::ElementKind::System;
+  std::string owner;  ///< owning component/connector name for ports/roles
+
+  const std::string& name() const;
+  bool is_system() const { return kind == model::ElementKind::System; }
+
+  friend bool operator==(const ElementRef& a, const ElementRef& b) {
+    return a.element == b.element && a.system == b.system;
+  }
+
+  static ElementRef of_system(const model::System& sys) {
+    return ElementRef{nullptr, &sys, model::ElementKind::System, ""};
+  }
+  static ElementRef of_component(const model::System& sys,
+                                 const model::Component& c) {
+    return ElementRef{&c, &sys, model::ElementKind::Component, ""};
+  }
+  static ElementRef of_connector(const model::System& sys,
+                                 const model::Connector& c) {
+    return ElementRef{&c, &sys, model::ElementKind::Connector, ""};
+  }
+  static ElementRef of_port(const model::System& sys, const model::Component& c,
+                            const model::Port& p) {
+    return ElementRef{&p, &sys, model::ElementKind::Port, c.name()};
+  }
+  static ElementRef of_role(const model::System& sys, const model::Connector& c,
+                            const model::Role& r) {
+    return ElementRef{&r, &sys, model::ElementKind::Role, c.name()};
+  }
+};
+
+/// Runtime value domain of the expression language.
+class EvalValue {
+ public:
+  enum class Kind { Nil, Bool, Number, String, Element, Set };
+  using Set = std::vector<EvalValue>;
+
+  EvalValue() : kind_(Kind::Nil) {}
+  static EvalValue nil() { return EvalValue(); }
+  EvalValue(bool b) : kind_(Kind::Bool), bool_(b) {}              // NOLINT
+  EvalValue(double n) : kind_(Kind::Number), number_(n) {}        // NOLINT
+  EvalValue(int n) : EvalValue(static_cast<double>(n)) {}         // NOLINT
+  EvalValue(std::string s) : kind_(Kind::String), string_(std::move(s)) {}  // NOLINT
+  EvalValue(const char* s) : EvalValue(std::string(s)) {}         // NOLINT
+  EvalValue(ElementRef e) : kind_(Kind::Element), element_(std::move(e)) {}  // NOLINT
+  explicit EvalValue(Set set)
+      : kind_(Kind::Set), set_(std::make_shared<Set>(std::move(set))) {}
+
+  Kind kind() const { return kind_; }
+  bool is_nil() const { return kind_ == Kind::Nil; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_element() const { return kind_ == Kind::Element; }
+  bool is_set() const { return kind_ == Kind::Set; }
+
+  /// Typed accessors; throw ScriptError on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const ElementRef& as_element() const;
+  const Set& as_set() const;
+
+  /// Truthiness: only booleans are truthy/falsy (no implicit coercion).
+  bool truthy() const;
+
+  bool equals(const EvalValue& other) const;
+  std::string to_string() const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  ElementRef element_;
+  std::shared_ptr<Set> set_;
+};
+
+class EvalContext;
+
+/// Extension function: free functions callable from expressions (the
+/// runtime-layer queries such as findGoodSGrp plug in here).
+using ExprFn =
+    std::function<EvalValue(std::vector<EvalValue>&, EvalContext&)>;
+/// Method dispatch hook for `element.op(args)` calls (style operators);
+/// installed by the script interpreter.
+using MethodFn = std::function<EvalValue(const ElementRef&, const std::string&,
+                                         std::vector<EvalValue>&, EvalContext&)>;
+
+/// Lexical scope chain + the model being queried.
+class EvalContext {
+ public:
+  explicit EvalContext(const model::System& self) : self_(&self) {}
+
+  const model::System& self() const { return *self_; }
+
+  void bind(const std::string& name, EvalValue value) {
+    bindings_[name] = std::move(value);
+  }
+  /// Walks the scope chain; null when unbound.
+  const EvalValue* lookup(const std::string& name) const;
+
+  /// Child scope sharing registries and self.
+  EvalContext child() const;
+
+  void set_functions(std::map<std::string, ExprFn>* fns) { functions_ = fns; }
+  const ExprFn* find_function(const std::string& name) const;
+  void set_method_handler(MethodFn* handler) { method_handler_ = handler; }
+  const MethodFn* method_handler() const;
+
+  /// Element supplying unqualified property references (an invariant
+  /// attached to a client evaluates `averageLatency` against that client).
+  void set_context_element(ElementRef element) {
+    context_element_ = std::move(element);
+    has_context_element_ = true;
+  }
+  const ElementRef* context_element() const;
+
+ private:
+  const model::System* self_;
+  const EvalContext* parent_ = nullptr;
+  std::map<std::string, EvalValue> bindings_;
+  std::map<std::string, ExprFn>* functions_ = nullptr;
+  MethodFn* method_handler_ = nullptr;
+  ElementRef context_element_;
+  bool has_context_element_ = false;
+};
+
+class Evaluator {
+ public:
+  Evaluator();
+
+  EvalValue evaluate(const Expr& expr, EvalContext& ctx) const;
+
+  /// Evaluate an expression expected to produce a boolean (invariants,
+  /// preconditions); throws ScriptError otherwise.
+  bool evaluate_bool(const Expr& expr, EvalContext& ctx) const;
+
+ private:
+  EvalValue eval_member(const MemberExpr& m, EvalContext& ctx) const;
+  EvalValue eval_call(const CallExpr& c, EvalContext& ctx) const;
+  EvalValue eval_binary(const BinaryExpr& b, EvalContext& ctx) const;
+  EvalValue eval_select(const SelectExpr& s, EvalContext& ctx) const;
+  EvalValue eval_quant(const QuantExpr& q, EvalContext& ctx) const;
+  EvalValue member_of_element(const ElementRef& ref, const std::string& member,
+                              int line) const;
+
+  std::map<std::string, ExprFn> builtins_;
+};
+
+}  // namespace arcadia::acme

@@ -1,0 +1,262 @@
+#include "acme/expr_parser.hpp"
+
+namespace arcadia::acme {
+
+const Token& TokenStream::expect(TokenKind kind, const std::string& context) {
+  if (!at(kind)) {
+    fail("expected " + std::string(to_string(kind)) + " " + context +
+         ", found " + std::string(to_string(peek().kind)) +
+         (peek().text.empty() ? "" : " '" + peek().text + "'"));
+  }
+  return take();
+}
+
+std::string TokenStream::expect_identifier(const std::string& context) {
+  return expect(TokenKind::Identifier, context).text;
+}
+
+void TokenStream::expect_keyword(const char* kw, const std::string& context) {
+  if (!at_keyword(kw)) {
+    fail("expected '" + std::string(kw) + "' " + context);
+  }
+  take();
+}
+
+void TokenStream::fail(const std::string& message) const {
+  throw ParseError(message, peek().line, peek().column);
+}
+
+namespace {
+
+template <typename T>
+std::unique_ptr<T> node(const Token& at) {
+  auto n = std::make_unique<T>();
+  n->line = at.line;
+  n->column = at.column;
+  return n;
+}
+
+ExprPtr parse_or(TokenStream& ts);
+
+/// select/exists/forall header: binder [: Type] in domain | predicate
+void parse_comprehension_tail(TokenStream& ts, std::string& binder,
+                              std::string& type_name, ExprPtr& domain,
+                              ExprPtr& predicate) {
+  binder = ts.expect_identifier("after quantifier/select");
+  if (ts.accept(TokenKind::Colon)) {
+    type_name = ts.expect_identifier("as binder type");
+    // Tolerate `set{T}` annotations in binder positions.
+    if (type_name == "set" && ts.accept(TokenKind::LBrace)) {
+      type_name = ts.expect_identifier("inside set{...}");
+      ts.expect(TokenKind::RBrace, "closing set{...}");
+    }
+  }
+  ts.expect_keyword("in", "before comprehension domain");
+  domain = parse_or(ts);
+  ts.expect(TokenKind::Pipe, "before comprehension predicate");
+  predicate = parse_or(ts);
+}
+
+ExprPtr parse_primary(TokenStream& ts) {
+  const Token& t = ts.peek();
+  switch (t.kind) {
+    case TokenKind::Number: {
+      auto lit = node<LiteralExpr>(t);
+      lit->kind = LiteralExpr::Kind::Number;
+      lit->number_value = t.number;
+      ts.take();
+      return lit;
+    }
+    case TokenKind::String: {
+      auto lit = node<LiteralExpr>(t);
+      lit->kind = LiteralExpr::Kind::String;
+      lit->string_value = t.text;
+      ts.take();
+      return lit;
+    }
+    case TokenKind::LParen: {
+      ts.take();
+      ExprPtr inner = parse_or(ts);
+      ts.expect(TokenKind::RParen, "to close parenthesized expression");
+      return inner;
+    }
+    case TokenKind::Identifier: {
+      if (t.text == "true" || t.text == "false") {
+        auto lit = node<LiteralExpr>(t);
+        lit->kind = LiteralExpr::Kind::Bool;
+        lit->bool_value = (t.text == "true");
+        ts.take();
+        return lit;
+      }
+      if (t.text == "nil" || t.text == "null") {
+        auto lit = node<LiteralExpr>(t);
+        lit->kind = LiteralExpr::Kind::Nil;
+        ts.take();
+        return lit;
+      }
+      if (t.text == "select") {
+        auto sel = node<SelectExpr>(t);
+        ts.take();
+        sel->one = ts.accept_keyword("one");
+        parse_comprehension_tail(ts, sel->binder, sel->type_name, sel->domain,
+                                 sel->predicate);
+        return sel;
+      }
+      if (t.text == "exists" || t.text == "forall") {
+        auto q = node<QuantExpr>(t);
+        q->exists = (t.text == "exists");
+        ts.take();
+        parse_comprehension_tail(ts, q->binder, q->type_name, q->domain,
+                                 q->predicate);
+        return q;
+      }
+      auto name = node<NameExpr>(t);
+      name->name = t.text;
+      ts.take();
+      return name;
+    }
+    default:
+      ts.fail("expected an expression");
+  }
+}
+
+ExprPtr parse_postfix(TokenStream& ts) {
+  ExprPtr expr = parse_primary(ts);
+  for (;;) {
+    if (ts.at(TokenKind::Dot)) {
+      const Token& dot = ts.take();
+      auto member = node<MemberExpr>(dot);
+      member->member = ts.expect_identifier("after '.'");
+      member->object = std::move(expr);
+      expr = std::move(member);
+      continue;
+    }
+    if (ts.at(TokenKind::LParen)) {
+      const Token& paren = ts.take();
+      auto call = node<CallExpr>(paren);
+      call->callee = std::move(expr);
+      if (!ts.at(TokenKind::RParen)) {
+        for (;;) {
+          call->args.push_back(parse_or(ts));
+          if (!ts.accept(TokenKind::Comma)) break;
+        }
+      }
+      ts.expect(TokenKind::RParen, "to close call arguments");
+      expr = std::move(call);
+      continue;
+    }
+    break;
+  }
+  return expr;
+}
+
+ExprPtr parse_unary(TokenStream& ts) {
+  const Token& t = ts.peek();
+  if (ts.accept(TokenKind::Not) || ts.accept_keyword("not")) {
+    auto u = node<UnaryExpr>(t);
+    u->op = UnaryExpr::Op::Not;
+    u->operand = parse_unary(ts);
+    return u;
+  }
+  if (ts.accept(TokenKind::Minus)) {
+    auto u = node<UnaryExpr>(t);
+    u->op = UnaryExpr::Op::Neg;
+    u->operand = parse_unary(ts);
+    return u;
+  }
+  return parse_postfix(ts);
+}
+
+ExprPtr binary(const Token& at, BinaryExpr::Op op, ExprPtr lhs, ExprPtr rhs) {
+  auto b = node<BinaryExpr>(at);
+  b->op = op;
+  b->lhs = std::move(lhs);
+  b->rhs = std::move(rhs);
+  return b;
+}
+
+ExprPtr parse_mul(TokenStream& ts) {
+  ExprPtr expr = parse_unary(ts);
+  for (;;) {
+    const Token& t = ts.peek();
+    if (ts.accept(TokenKind::Star)) {
+      expr = binary(t, BinaryExpr::Op::Mul, std::move(expr), parse_unary(ts));
+    } else if (ts.accept(TokenKind::Slash)) {
+      expr = binary(t, BinaryExpr::Op::Div, std::move(expr), parse_unary(ts));
+    } else if (ts.accept(TokenKind::Percent)) {
+      expr = binary(t, BinaryExpr::Op::Mod, std::move(expr), parse_unary(ts));
+    } else {
+      return expr;
+    }
+  }
+}
+
+ExprPtr parse_add(TokenStream& ts) {
+  ExprPtr expr = parse_mul(ts);
+  for (;;) {
+    const Token& t = ts.peek();
+    if (ts.accept(TokenKind::Plus)) {
+      expr = binary(t, BinaryExpr::Op::Add, std::move(expr), parse_mul(ts));
+    } else if (ts.accept(TokenKind::Minus)) {
+      expr = binary(t, BinaryExpr::Op::Sub, std::move(expr), parse_mul(ts));
+    } else {
+      return expr;
+    }
+  }
+}
+
+ExprPtr parse_cmp(TokenStream& ts) {
+  ExprPtr expr = parse_add(ts);
+  const Token& t = ts.peek();
+  BinaryExpr::Op op;
+  switch (t.kind) {
+    case TokenKind::Eq: op = BinaryExpr::Op::Eq; break;
+    case TokenKind::Ne: op = BinaryExpr::Op::Ne; break;
+    case TokenKind::Lt: op = BinaryExpr::Op::Lt; break;
+    case TokenKind::Le: op = BinaryExpr::Op::Le; break;
+    case TokenKind::Gt: op = BinaryExpr::Op::Gt; break;
+    case TokenKind::Ge: op = BinaryExpr::Op::Ge; break;
+    default: return expr;
+  }
+  ts.take();
+  return binary(t, op, std::move(expr), parse_add(ts));
+}
+
+ExprPtr parse_and(TokenStream& ts) {
+  ExprPtr expr = parse_cmp(ts);
+  for (;;) {
+    const Token& t = ts.peek();
+    if (ts.accept(TokenKind::AndAnd) || ts.accept_keyword("and")) {
+      expr = binary(t, BinaryExpr::Op::And, std::move(expr), parse_cmp(ts));
+    } else {
+      return expr;
+    }
+  }
+}
+
+ExprPtr parse_or(TokenStream& ts) {
+  ExprPtr expr = parse_and(ts);
+  for (;;) {
+    const Token& t = ts.peek();
+    if (ts.accept(TokenKind::OrOr) || ts.accept_keyword("or")) {
+      expr = binary(t, BinaryExpr::Op::Or, std::move(expr), parse_and(ts));
+    } else {
+      return expr;
+    }
+  }
+}
+
+}  // namespace
+
+ExprPtr parse_expression(TokenStream& ts) { return parse_or(ts); }
+
+ExprPtr parse_expression(const std::string& source) {
+  TokenStream ts(tokenize(source));
+  ExprPtr expr = parse_expression(ts);
+  if (!ts.done()) {
+    ts.fail("unexpected trailing input after expression");
+  }
+  return expr;
+}
+
+}  // namespace arcadia::acme

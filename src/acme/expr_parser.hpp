@@ -1,0 +1,57 @@
+// Recursive-descent parser for Armani-style expressions. Also exposes the
+// token-stream cursor so the ADL and script parsers can share it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "acme/ast.hpp"
+#include "acme/lexer.hpp"
+
+namespace arcadia::acme {
+
+/// Token cursor with common expect/accept helpers.
+class TokenStream {
+ public:
+  explicit TokenStream(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const Token& peek(std::size_t ahead = 0) const {
+    std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& take() {
+    const Token& t = peek();
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  bool at(TokenKind kind) const { return peek().kind == kind; }
+  bool at_keyword(const char* kw) const { return peek().is_keyword(kw); }
+  bool accept(TokenKind kind) {
+    if (!at(kind)) return false;
+    take();
+    return true;
+  }
+  bool accept_keyword(const char* kw) {
+    if (!at_keyword(kw)) return false;
+    take();
+    return true;
+  }
+  const Token& expect(TokenKind kind, const std::string& context);
+  std::string expect_identifier(const std::string& context);
+  void expect_keyword(const char* kw, const std::string& context);
+  [[noreturn]] void fail(const std::string& message) const;
+  bool done() const { return at(TokenKind::EndOfFile); }
+
+ private:
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+/// Parse one expression from the stream (does not require EOF after).
+ExprPtr parse_expression(TokenStream& ts);
+
+/// Parse a standalone expression source string; requires full consumption.
+ExprPtr parse_expression(const std::string& source);
+
+}  // namespace arcadia::acme

@@ -1,0 +1,205 @@
+#include "acme/interpreter.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace arcadia::acme {
+
+Interpreter::Interpreter(const model::System& system, const Script& script)
+    : system_(system), script_(script) {
+  // Bridge element.method(args) calls to registered style operators.
+  method_bridge_ = [this](const ElementRef& target, const std::string& name,
+                          std::vector<EvalValue>& args,
+                          EvalContext&) -> EvalValue {
+    auto it = operators_.find(name);
+    if (it == operators_.end()) {
+      throw ScriptError("unknown style operator '" + name + "' on element '" +
+                        target.name() + "'");
+    }
+    if (!txn_) {
+      throw ScriptError("operator '" + name +
+                        "' invoked outside a repair transaction");
+    }
+    return it->second(target, args, *txn_);
+  };
+
+  // Tactics are callable as functions from strategy bodies.
+  for (const TacticDecl& tactic : script_.tactics) {
+    const TacticDecl* decl = &tactic;
+    functions_[tactic.name] = [this, decl](std::vector<EvalValue>& args,
+                                           EvalContext&) -> EvalValue {
+      if (!txn_) {
+        throw ScriptError("tactic '" + decl->name +
+                          "' invoked outside a repair transaction");
+      }
+      return call_tactic(*decl, args, *txn_, trace_);
+    };
+  }
+}
+
+void Interpreter::register_operator(const std::string& name, OperatorFn fn) {
+  operators_[name] = std::move(fn);
+}
+
+void Interpreter::register_function(const std::string& name, ExprFn fn) {
+  functions_[name] = std::move(fn);
+}
+
+void Interpreter::bind_global(const std::string& name, EvalValue value) {
+  globals_[name] = std::move(value);
+}
+
+EvalContext Interpreter::make_root_context() {
+  EvalContext ctx(system_);
+  ctx.set_functions(&functions_);
+  ctx.set_method_handler(&method_bridge_);
+  for (const auto& [name, value] : globals_) ctx.bind(name, value);
+  return ctx;
+}
+
+StrategyOutcome Interpreter::run_strategy(const std::string& name,
+                                          std::vector<EvalValue> args,
+                                          model::Transaction& txn) {
+  const StrategyDecl* decl = script_.find_strategy(name);
+  if (!decl) throw ScriptError("unknown strategy '" + name + "'");
+  if (decl->params.size() != args.size()) {
+    throw ScriptError("strategy '" + name + "' expects " +
+                      std::to_string(decl->params.size()) + " argument(s), got " +
+                      std::to_string(args.size()));
+  }
+
+  StrategyOutcome outcome;
+  txn_ = &txn;
+  trace_ = &outcome.tactics_run;
+  EvalContext root = make_root_context();
+  EvalContext scope = root.child();
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    scope.bind(decl->params[i].name, args[i]);
+  }
+  try {
+    exec_block(*decl->body, scope);
+    // Falling off the end without `commit repair` is an implicit abort: the
+    // strategy made no decision.
+    outcome.aborted = true;
+    outcome.abort_reason = "NoCommit";
+  } catch (const CommitSignal&) {
+    outcome.committed = true;
+  } catch (const AbortSignal& abort) {
+    outcome.aborted = true;
+    outcome.abort_reason = abort.reason;
+  } catch (const ReturnSignal&) {
+    outcome.aborted = true;
+    outcome.abort_reason = "ReturnWithoutCommit";
+  } catch (...) {
+    txn_ = nullptr;
+    trace_ = nullptr;
+    throw;
+  }
+  txn_ = nullptr;
+  trace_ = nullptr;
+  return outcome;
+}
+
+bool Interpreter::run_tactic(const std::string& name,
+                             std::vector<EvalValue> args,
+                             model::Transaction& txn) {
+  const TacticDecl* decl = script_.find_tactic(name);
+  if (!decl) throw ScriptError("unknown tactic '" + name + "'");
+  txn_ = &txn;
+  trace_ = nullptr;
+  EvalValue result;
+  try {
+    result = call_tactic(*decl, args, txn, nullptr);
+  } catch (...) {
+    txn_ = nullptr;
+    throw;
+  }
+  txn_ = nullptr;
+  return result.is_bool() && result.as_bool();
+}
+
+EvalValue Interpreter::call_tactic(
+    const TacticDecl& tactic, std::vector<EvalValue>& args,
+    model::Transaction& /*txn*/,
+    std::vector<std::pair<std::string, bool>>* trace) {
+  if (tactic.params.size() != args.size()) {
+    throw ScriptError("tactic '" + tactic.name + "' expects " +
+                      std::to_string(tactic.params.size()) +
+                      " argument(s), got " + std::to_string(args.size()));
+  }
+  EvalContext root = make_root_context();
+  EvalContext scope = root.child();
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    scope.bind(tactic.params[i].name, args[i]);
+  }
+  EvalValue result;
+  try {
+    exec_block(*tactic.body, scope);
+    result = EvalValue::nil();  // fell off the end
+  } catch (const ReturnSignal& ret) {
+    result = ret.value;
+  }
+  if (trace) {
+    trace->emplace_back(tactic.name, result.is_bool() && result.as_bool());
+  }
+  ARC_DEBUG << "tactic " << tactic.name << " -> " << result.to_string();
+  return result;
+}
+
+void Interpreter::exec_block(const BlockStmt& block, EvalContext& ctx) {
+  // let-bindings are visible to subsequent statements in the same block.
+  EvalContext scope = ctx.child();
+  for (const StmtPtr& stmt : block.statements) exec_stmt(*stmt, scope);
+}
+
+void Interpreter::exec_stmt(const Stmt& stmt, EvalContext& ctx) {
+  if (const auto* block = dynamic_cast<const BlockStmt*>(&stmt)) {
+    exec_block(*block, ctx);
+    return;
+  }
+  if (const auto* let = dynamic_cast<const LetStmt*>(&stmt)) {
+    ctx.bind(let->name, evaluator_.evaluate(*let->value, ctx));
+    return;
+  }
+  if (const auto* ifs = dynamic_cast<const IfStmt*>(&stmt)) {
+    if (evaluator_.evaluate_bool(*ifs->condition, ctx)) {
+      exec_stmt(*ifs->then_branch, ctx);
+    } else if (ifs->else_branch) {
+      exec_stmt(*ifs->else_branch, ctx);
+    }
+    return;
+  }
+  if (const auto* fe = dynamic_cast<const ForeachStmt*>(&stmt)) {
+    EvalValue domain = evaluator_.evaluate(*fe->domain, ctx);
+    for (const EvalValue& item : domain.as_set()) {
+      EvalContext scope = ctx.child();
+      scope.bind(fe->binder, item);
+      exec_stmt(*fe->body, scope);
+    }
+    return;
+  }
+  if (const auto* ret = dynamic_cast<const ReturnStmt*>(&stmt)) {
+    ReturnSignal signal;
+    signal.value = ret->value ? evaluator_.evaluate(*ret->value, ctx)
+                              : EvalValue::nil();
+    throw signal;
+  }
+  if (dynamic_cast<const CommitStmt*>(&stmt)) {
+    throw CommitSignal{};
+  }
+  if (const auto* ab = dynamic_cast<const AbortStmt*>(&stmt)) {
+    throw AbortSignal{ab->reason};
+  }
+  if (const auto* es = dynamic_cast<const ExprStmt*>(&stmt)) {
+    evaluator_.evaluate(*es->expr, ctx);
+    return;
+  }
+  throw ScriptError("unknown statement node");
+}
+
+EvalValue Interpreter::eval(const Expr& expr) {
+  EvalContext ctx = make_root_context();
+  return evaluator_.evaluate(expr, ctx);
+}
+
+}  // namespace arcadia::acme

@@ -1,0 +1,91 @@
+// Executes repair scripts against an architectural model. Strategies run
+// inside a model Transaction supplied by the caller (the repair engine):
+// style operators invoked as element methods (sGrp.addServer()) mutate the
+// model through that transaction; `commit repair` ends the strategy
+// successfully; `abort Reason` ends it unsuccessfully (the engine then
+// rolls the transaction back).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "acme/ast.hpp"
+#include "acme/evaluator.hpp"
+#include "model/transaction.hpp"
+
+namespace arcadia::acme {
+
+/// A style operator callable method-style from scripts. Receives the target
+/// element, evaluated arguments, and the live transaction.
+using OperatorFn = std::function<EvalValue(
+    const ElementRef& target, std::vector<EvalValue>& args,
+    model::Transaction& txn)>;
+
+/// Result of running a strategy.
+struct StrategyOutcome {
+  bool committed = false;
+  bool aborted = false;
+  std::string abort_reason;
+  /// Tactics that executed (in order) and whether each returned true.
+  std::vector<std::pair<std::string, bool>> tactics_run;
+};
+
+class Interpreter {
+ public:
+  Interpreter(const model::System& system, const Script& script);
+
+  /// Style operators (addServer, move, removeServer, ...).
+  void register_operator(const std::string& name, OperatorFn fn);
+  /// Free functions callable from expressions (findGoodSGrp, roleOf, ...).
+  void register_function(const std::string& name, ExprFn fn);
+  /// Global bindings visible to every evaluation (the task-layer thresholds:
+  /// maxServerLoad, minBandwidth, minUtilization, ...).
+  void bind_global(const std::string& name, EvalValue value);
+
+  const Script& script() const { return script_; }
+
+  /// Run a named strategy. The transaction must target the same system the
+  /// interpreter reads; on abort the caller is responsible for rollback.
+  StrategyOutcome run_strategy(const std::string& name,
+                               std::vector<EvalValue> args,
+                               model::Transaction& txn);
+
+  /// Evaluate a named tactic directly (precondition probing in tests).
+  bool run_tactic(const std::string& name, std::vector<EvalValue> args,
+                  model::Transaction& txn);
+
+  /// Evaluate a bare expression in the script's global scope.
+  EvalValue eval(const Expr& expr);
+
+ private:
+  struct CommitSignal {};
+  struct AbortSignal {
+    std::string reason;
+  };
+  struct ReturnSignal {
+    EvalValue value;
+  };
+
+  EvalValue call_tactic(const TacticDecl& tactic, std::vector<EvalValue>& args,
+                        model::Transaction& txn,
+                        std::vector<std::pair<std::string, bool>>* trace);
+  void exec_block(const BlockStmt& block, EvalContext& ctx);
+  void exec_stmt(const Stmt& stmt, EvalContext& ctx);
+  EvalContext make_root_context();
+
+  const model::System& system_;
+  const Script& script_;
+  Evaluator evaluator_;
+  std::map<std::string, OperatorFn> operators_;
+  std::map<std::string, ExprFn> functions_;
+  std::map<std::string, EvalValue> globals_;
+
+  // Per-run state (valid while run_strategy is on the stack).
+  model::Transaction* txn_ = nullptr;
+  std::vector<std::pair<std::string, bool>>* trace_ = nullptr;
+  MethodFn method_bridge_;
+};
+
+}  // namespace arcadia::acme

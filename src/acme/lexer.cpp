@@ -1,0 +1,272 @@
+#include "acme/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace arcadia::acme {
+
+const char* to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::Number: return "number";
+    case TokenKind::String: return "string";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::Colon: return "':'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Dot: return "'.'";
+    case TokenKind::Assign: return "'='";
+    case TokenKind::Eq: return "'=='";
+    case TokenKind::Ne: return "'!='";
+    case TokenKind::Lt: return "'<'";
+    case TokenKind::Le: return "'<='";
+    case TokenKind::Gt: return "'>'";
+    case TokenKind::Ge: return "'>='";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::Percent: return "'%'";
+    case TokenKind::Not: return "'!'";
+    case TokenKind::AndAnd: return "'&&'";
+    case TokenKind::OrOr: return "'||'";
+    case TokenKind::Arrow: return "'->'";
+    case TokenKind::BangArrow: return "'!->'";
+    case TokenKind::Pipe: return "'|'";
+    case TokenKind::EndOfFile: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+class Cursor {
+ public:
+  explicit Cursor(const std::string& src) : src_(src) {}
+  bool done() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char take() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> out;
+  Cursor cur(source);
+
+  auto push = [&out](TokenKind kind, std::string text, int line, int column) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.column = column;
+    out.push_back(std::move(t));
+  };
+
+  while (!cur.done()) {
+    const int line = cur.line();
+    const int col = cur.column();
+    char c = cur.peek();
+
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.take();
+      continue;
+    }
+    // Comments.
+    if (c == '/' && cur.peek(1) == '/') {
+      while (!cur.done() && cur.peek() != '\n') cur.take();
+      continue;
+    }
+    if (c == '/' && cur.peek(1) == '*') {
+      cur.take();
+      cur.take();
+      bool closed = false;
+      while (!cur.done()) {
+        if (cur.peek() == '*' && cur.peek(1) == '/') {
+          cur.take();
+          cur.take();
+          closed = true;
+          break;
+        }
+        cur.take();
+      }
+      if (!closed) throw ParseError("unterminated block comment", line, col);
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string text;
+      while (!cur.done() && (std::isalnum(static_cast<unsigned char>(cur.peek())) ||
+                             cur.peek() == '_')) {
+        text += cur.take();
+      }
+      push(TokenKind::Identifier, std::move(text), line, col);
+      continue;
+    }
+    // Numbers (integer or decimal, optional exponent).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(cur.peek(1))))) {
+      std::string text;
+      while (!cur.done() && (std::isdigit(static_cast<unsigned char>(cur.peek())) ||
+                             cur.peek() == '.')) {
+        text += cur.take();
+      }
+      if (cur.peek() == 'e' || cur.peek() == 'E') {
+        text += cur.take();
+        if (cur.peek() == '+' || cur.peek() == '-') text += cur.take();
+        while (!cur.done() &&
+               std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+          text += cur.take();
+        }
+      }
+      Token t;
+      t.kind = TokenKind::Number;
+      t.text = text;
+      t.number = std::strtod(text.c_str(), nullptr);
+      t.line = line;
+      t.column = col;
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Strings.
+    if (c == '"') {
+      cur.take();
+      std::string text;
+      bool closed = false;
+      while (!cur.done()) {
+        char d = cur.take();
+        if (d == '"') {
+          closed = true;
+          break;
+        }
+        if (d == '\\' && !cur.done()) {
+          char e = cur.take();
+          switch (e) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            default: text += e;
+          }
+          continue;
+        }
+        text += d;
+      }
+      if (!closed) throw ParseError("unterminated string literal", line, col);
+      push(TokenKind::String, std::move(text), line, col);
+      continue;
+    }
+
+    // Operators / punctuation.
+    cur.take();
+    switch (c) {
+      case '{': push(TokenKind::LBrace, "{", line, col); break;
+      case '}': push(TokenKind::RBrace, "}", line, col); break;
+      case '(': push(TokenKind::LParen, "(", line, col); break;
+      case ')': push(TokenKind::RParen, ")", line, col); break;
+      case '[': push(TokenKind::LBracket, "[", line, col); break;
+      case ']': push(TokenKind::RBracket, "]", line, col); break;
+      case ';': push(TokenKind::Semicolon, ";", line, col); break;
+      case ':': push(TokenKind::Colon, ":", line, col); break;
+      case ',': push(TokenKind::Comma, ",", line, col); break;
+      case '.': push(TokenKind::Dot, ".", line, col); break;
+      case '%': push(TokenKind::Percent, "%", line, col); break;
+      case '+': push(TokenKind::Plus, "+", line, col); break;
+      case '*': push(TokenKind::Star, "*", line, col); break;
+      case '/': push(TokenKind::Slash, "/", line, col); break;
+      case '=':
+        if (cur.peek() == '=') {
+          cur.take();
+          push(TokenKind::Eq, "==", line, col);
+        } else {
+          push(TokenKind::Assign, "=", line, col);
+        }
+        break;
+      case '!':
+        if (cur.peek() == '=') {
+          cur.take();
+          push(TokenKind::Ne, "!=", line, col);
+        } else if (cur.peek() == '-' && cur.peek(1) == '>') {
+          cur.take();
+          cur.take();
+          push(TokenKind::BangArrow, "!->", line, col);
+        } else {
+          push(TokenKind::Not, "!", line, col);
+        }
+        break;
+      case '<':
+        if (cur.peek() == '=') {
+          cur.take();
+          push(TokenKind::Le, "<=", line, col);
+        } else {
+          push(TokenKind::Lt, "<", line, col);
+        }
+        break;
+      case '>':
+        if (cur.peek() == '=') {
+          cur.take();
+          push(TokenKind::Ge, ">=", line, col);
+        } else {
+          push(TokenKind::Gt, ">", line, col);
+        }
+        break;
+      case '-':
+        if (cur.peek() == '>') {
+          cur.take();
+          push(TokenKind::Arrow, "->", line, col);
+        } else {
+          push(TokenKind::Minus, "-", line, col);
+        }
+        break;
+      case '&':
+        if (cur.peek() == '&') {
+          cur.take();
+          push(TokenKind::AndAnd, "&&", line, col);
+        } else {
+          throw ParseError("stray '&'", line, col);
+        }
+        break;
+      case '|':
+        if (cur.peek() == '|') {
+          cur.take();
+          push(TokenKind::OrOr, "||", line, col);
+        } else {
+          push(TokenKind::Pipe, "|", line, col);
+        }
+        break;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'", line,
+                         col);
+    }
+  }
+  Token eof;
+  eof.kind = TokenKind::EndOfFile;
+  eof.line = cur.line();
+  eof.column = cur.column();
+  out.push_back(std::move(eof));
+  return out;
+}
+
+}  // namespace arcadia::acme

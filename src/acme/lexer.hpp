@@ -1,0 +1,51 @@
+// Lexer shared by the three surface languages: the Acme ADL, Armani-style
+// constraint expressions, and the Figure 5 repair-script language.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace arcadia::acme {
+
+enum class TokenKind {
+  Identifier,
+  Number,
+  String,
+  // punctuation / operators
+  LBrace, RBrace, LParen, RParen, LBracket, RBracket,
+  Semicolon, Colon, Comma, Dot,
+  Assign,      // =
+  Eq, Ne, Lt, Le, Gt, Ge,
+  Plus, Minus, Star, Slash, Percent,
+  Not,         // !
+  AndAnd, OrOr,
+  Arrow,       // ->
+  BangArrow,   // !-> (the paper's "! →" invariant-to-repair link)
+  Pipe,        // |
+  EndOfFile,
+};
+
+const char* to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::EndOfFile;
+  std::string text;   ///< identifier name / string contents / number text
+  double number = 0.0;
+  int line = 1;
+  int column = 1;
+
+  bool is(TokenKind k) const { return kind == k; }
+  /// Case-sensitive keyword check against an identifier token.
+  bool is_keyword(const char* kw) const {
+    return kind == TokenKind::Identifier && text == kw;
+  }
+};
+
+/// Tokenize the whole input. Comments: // to end of line and /* ... */.
+/// Throws ParseError on malformed input (unterminated string/comment,
+/// stray characters).
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace arcadia::acme

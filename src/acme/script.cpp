@@ -1,0 +1,271 @@
+#include "acme/script.hpp"
+
+namespace arcadia::acme {
+
+namespace {
+
+template <typename T>
+std::unique_ptr<T> node(const Token& at) {
+  auto n = std::make_unique<T>();
+  n->line = at.line;
+  n->column = at.column;
+  return n;
+}
+
+std::string parse_type_annotation(TokenStream& ts) {
+  std::string type = ts.expect_identifier("as type annotation");
+  if (type == "set" && ts.accept(TokenKind::LBrace)) {
+    type = "set{" + ts.expect_identifier("inside set{...}") + "}";
+    ts.expect(TokenKind::RBrace, "to close set{...}");
+  }
+  return type;
+}
+
+std::vector<Param> parse_params(TokenStream& ts) {
+  std::vector<Param> params;
+  ts.expect(TokenKind::LParen, "to open parameter list");
+  if (!ts.at(TokenKind::RParen)) {
+    for (;;) {
+      Param p;
+      p.name = ts.expect_identifier("as parameter name");
+      if (ts.accept(TokenKind::Colon)) {
+        p.type_annotation = parse_type_annotation(ts);
+      }
+      params.push_back(std::move(p));
+      if (!ts.accept(TokenKind::Comma)) break;
+    }
+  }
+  ts.expect(TokenKind::RParen, "to close parameter list");
+  return params;
+}
+
+StmtPtr parse_statement(TokenStream& ts);
+
+std::unique_ptr<BlockStmt> parse_block(TokenStream& ts) {
+  const Token& open = ts.peek();
+  ts.expect(TokenKind::LBrace, "to open block");
+  auto block = node<BlockStmt>(open);
+  while (!ts.at(TokenKind::RBrace)) {
+    if (ts.done()) ts.fail("unterminated block");
+    block->statements.push_back(parse_statement(ts));
+  }
+  ts.take();  // '}'
+  return block;
+}
+
+/// A single statement or a braced block (for if/else arms).
+StmtPtr parse_block_or_statement(TokenStream& ts) {
+  if (ts.at(TokenKind::LBrace)) return parse_block(ts);
+  return parse_statement(ts);
+}
+
+StmtPtr parse_statement(TokenStream& ts) {
+  const Token& t = ts.peek();
+
+  if (t.is_keyword("let")) {
+    ts.take();
+    auto let = node<LetStmt>(t);
+    let->name = ts.expect_identifier("as let binding name");
+    if (ts.accept(TokenKind::Colon)) {
+      let->type_annotation = parse_type_annotation(ts);
+    }
+    ts.expect(TokenKind::Assign, "in let statement");
+    let->value = parse_expression(ts);
+    ts.expect(TokenKind::Semicolon, "after let statement");
+    return let;
+  }
+
+  if (t.is_keyword("if")) {
+    ts.take();
+    auto ifs = node<IfStmt>(t);
+    ts.expect(TokenKind::LParen, "after 'if'");
+    ifs->condition = parse_expression(ts);
+    ts.expect(TokenKind::RParen, "after if condition");
+    ifs->then_branch = parse_block_or_statement(ts);
+    if (ts.accept_keyword("else")) {
+      ifs->else_branch = parse_block_or_statement(ts);
+    }
+    return ifs;
+  }
+
+  if (t.is_keyword("foreach")) {
+    ts.take();
+    auto fe = node<ForeachStmt>(t);
+    fe->binder = ts.expect_identifier("as foreach binder");
+    // Tolerate an optional type annotation on the binder.
+    if (ts.accept(TokenKind::Colon)) parse_type_annotation(ts);
+    ts.expect_keyword("in", "in foreach statement");
+    fe->domain = parse_expression(ts);
+    fe->body = parse_block(ts);
+    return fe;
+  }
+
+  if (t.is_keyword("return")) {
+    ts.take();
+    auto ret = node<ReturnStmt>(t);
+    if (!ts.at(TokenKind::Semicolon)) ret->value = parse_expression(ts);
+    ts.expect(TokenKind::Semicolon, "after return");
+    return ret;
+  }
+
+  if (t.is_keyword("commit")) {
+    ts.take();
+    ts.expect_keyword("repair", "after 'commit'");
+    ts.expect(TokenKind::Semicolon, "after 'commit repair'");
+    return node<CommitStmt>(t);
+  }
+
+  if (t.is_keyword("abort")) {
+    ts.take();
+    auto ab = node<AbortStmt>(t);
+    ab->reason = ts.expect_identifier("as abort reason");
+    ts.expect(TokenKind::Semicolon, "after abort");
+    return ab;
+  }
+
+  auto es = node<ExprStmt>(t);
+  es->expr = parse_expression(ts);
+  ts.expect(TokenKind::Semicolon, "after expression statement");
+  return es;
+}
+
+InvariantDecl parse_invariant(TokenStream& ts) {
+  InvariantDecl inv;
+  inv.line = ts.peek().line;
+  ts.expect_keyword("invariant", "");
+  // Optional "name :" prefix — the bound violation variable.
+  if (ts.at(TokenKind::Identifier) && ts.peek(1).is(TokenKind::Colon)) {
+    inv.name = ts.take().text;
+    ts.take();  // ':'
+  }
+  inv.condition = parse_expression(ts);
+  if (ts.accept(TokenKind::BangArrow)) {
+    inv.handler = ts.expect_identifier("as repair handler name");
+    ts.expect(TokenKind::LParen, "after handler name");
+    if (!ts.at(TokenKind::RParen)) {
+      for (;;) {
+        inv.args.push_back(ts.expect_identifier("as handler argument"));
+        if (!ts.accept(TokenKind::Comma)) break;
+      }
+    }
+    ts.expect(TokenKind::RParen, "to close handler arguments");
+  }
+  ts.expect(TokenKind::Semicolon, "after invariant");
+  return inv;
+}
+
+}  // namespace
+
+Script parse_script(const std::string& source) {
+  TokenStream ts(tokenize(source));
+  Script script;
+  while (!ts.done()) {
+    const Token& t = ts.peek();
+    if (t.is_keyword("invariant")) {
+      script.invariants.push_back(parse_invariant(ts));
+      continue;
+    }
+    if (t.is_keyword("strategy")) {
+      ts.take();
+      StrategyDecl s;
+      s.line = t.line;
+      s.name = ts.expect_identifier("as strategy name");
+      s.params = parse_params(ts);
+      ts.expect(TokenKind::Assign, "before strategy body");
+      s.body = parse_block(ts);
+      script.strategies.push_back(std::move(s));
+      continue;
+    }
+    if (t.is_keyword("tactic")) {
+      ts.take();
+      TacticDecl d;
+      d.line = t.line;
+      d.name = ts.expect_identifier("as tactic name");
+      d.params = parse_params(ts);
+      if (ts.accept(TokenKind::Colon)) {
+        d.return_type = ts.expect_identifier("as tactic return type");
+      }
+      ts.expect(TokenKind::Assign, "before tactic body");
+      d.body = parse_block(ts);
+      script.tactics.push_back(std::move(d));
+      continue;
+    }
+    ts.fail("expected 'invariant', 'strategy', or 'tactic'");
+  }
+  return script;
+}
+
+const char* figure5_script() {
+  return R"script(
+// Figure 5 of Cheng et al., HPDC 2002 — the latency repair strategy.
+// Line 1-2: the constraint, and the strategy triggered when it fails.
+invariant r : averageLatency <= maxLatency !-> fixLatency(r);
+
+strategy fixLatency(badClient : ClientT) = {
+  if (fixServerLoad(badClient)) {
+    commit repair;
+  } else if (fixBandwidth(badClient, roleOf(badClient))) {
+    commit repair;
+  } else {
+    abort ModelError;
+  }
+}
+
+// First tactic: a connected server group is overloaded -> grow it.
+tactic fixServerLoad(client : ClientT) : boolean = {
+  let loadedServerGroups : set{ServerGroupT} =
+    select sgrp : ServerGroupT in self.Components |
+      connected(sgrp, client) and sgrp.load > maxServerLoad;
+  if (size(loadedServerGroups) == 0) {
+    return false;
+  }
+  foreach sGrp in loadedServerGroups {
+    sGrp.addServer();
+  }
+  return size(loadedServerGroups) > 0;
+}
+
+// Second tactic: high latency is due to communication delay -> move the
+// client to a server group with better bandwidth.
+tactic fixBandwidth(client : ClientT, role : ClientRoleT) : boolean = {
+  if (role.bandwidth >= minBandwidth) {
+    return false;
+  }
+  let oldSGrp : ServerGroupT =
+    select one sGrp : ServerGroupT in self.Components |
+      connected(client, sGrp);
+  let goodSGrp : ServerGroupT = findGoodSGrp(client, minBandwidth);
+  if (goodSGrp != nil) {
+    client.move(goodSGrp);
+    return true;
+  } else {
+    abort NoServerGroupFound;
+  }
+}
+
+// The paper's "third repair (not shown)": release a server from a group
+// that is underutilized, to keep the active server set minimal.
+invariant u : utilization >= minUtilization !-> trimServers(u);
+
+strategy trimServers(group : ServerGroupT) = {
+  if (shrinkGroup(group)) {
+    commit repair;
+  } else {
+    abort NothingToTrim;
+  }
+}
+
+tactic shrinkGroup(group : ServerGroupT) : boolean = {
+  if (group.utilization >= minUtilization) {
+    return false;
+  }
+  if (group.replicationCount <= minReplicas) {
+    return false;
+  }
+  group.removeServer();
+  return true;
+}
+)script";
+}
+
+}  // namespace arcadia::acme

@@ -1,0 +1,24 @@
+// Parser for the repair-script language of Figure 5: invariants wired to
+// repair strategies, strategies sequencing guarded tactics, tactics written
+// as imperative programs over the architectural model.
+#pragma once
+
+#include <string>
+
+#include "acme/ast.hpp"
+#include "acme/expr_parser.hpp"
+
+namespace arcadia::acme {
+
+/// Parse a whole script (any number of invariant / strategy / tactic
+/// declarations, in any order). Throws ParseError with position info.
+Script parse_script(const std::string& source);
+
+/// The paper's Figure 5 repair script (with its surface typos fixed), plus
+/// the "third repair (not shown)": trimServers, which releases a server
+/// from an underutilized group. This is the script the framework installs
+/// by default; tests check it parses and behaves identically to the C++
+/// strategy implementation.
+const char* figure5_script();
+
+}  // namespace arcadia::acme

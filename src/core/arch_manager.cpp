@@ -1,0 +1,84 @@
+#include "core/arch_manager.hpp"
+
+#include "monitor/topics.hpp"
+#include "util/log.hpp"
+
+namespace arcadia::core {
+
+ArchitectureManager::ArchitectureManager(sim::Simulator& sim,
+                                         model::System& system,
+                                         events::EventBus& gauge_bus,
+                                         repair::RepairEngine& engine,
+                                         ArchManagerConfig config)
+    : sim_(sim),
+      system_(system),
+      gauge_bus_(gauge_bus),
+      engine_(engine),
+      config_(config),
+      checker_(system) {}
+
+ArchitectureManager::~ArchitectureManager() { stop(); }
+
+void ArchitectureManager::start() {
+  sub_ = gauge_bus_.subscribe(
+      events::Filter::topic(monitor::topics::kGaugeReport),
+      [this](const events::Notification& n) {
+        if (apply_gauge_report(n)) {
+          ++stats_.reports_applied;
+        } else {
+          ++stats_.reports_ignored;
+        }
+      },
+      config_.manager_node);
+  check_task_ = std::make_unique<sim::PeriodicTask>(
+      sim_, sim_.now() + config_.first_check, config_.check_period, [this] {
+        run_check();
+        return true;
+      });
+}
+
+void ArchitectureManager::stop() {
+  if (sub_ != 0) {
+    gauge_bus_.unsubscribe(sub_);
+    sub_ = 0;
+  }
+  check_task_.reset();
+}
+
+bool ArchitectureManager::apply_gauge_report(const events::Notification& n) {
+  if (!n.has(monitor::topics::kAttrElement) ||
+      !n.has(monitor::topics::kAttrProperty) ||
+      !n.has(monitor::topics::kAttrValue)) {
+    return false;
+  }
+  const std::string element = n.get(monitor::topics::kAttrElement).as_string();
+  const std::string property =
+      n.get(monitor::topics::kAttrProperty).as_string();
+  const events::Value& value = n.get(monitor::topics::kAttrValue);
+
+  const auto dot = element.find('.');
+  if (dot == std::string::npos) {
+    if (!system_.has_component(element)) return false;
+    system_.component(element).set_property(property, value);
+    return true;
+  }
+  const std::string connector = element.substr(0, dot);
+  const std::string role = element.substr(dot + 1);
+  if (!system_.has_connector(connector)) return false;
+  model::Connector& conn = system_.connector(connector);
+  if (!conn.has_role(role)) return false;
+  conn.role(role).set_property(property, value);
+  return true;
+}
+
+void ArchitectureManager::run_check() {
+  ++stats_.checks;
+  std::vector<repair::Violation> violations = checker_.check();
+  stats_.violations_seen += violations.size();
+  if (violations.empty()) return;
+  if (engine_.handle_violations(violations)) {
+    ++stats_.repairs_triggered;
+  }
+}
+
+}  // namespace arcadia::core

@@ -1,0 +1,74 @@
+// The architecture manager (Figure 1, item 4): consumes gauge reports,
+// folds them into the architectural model's properties, periodically
+// verifies the model's constraints, and hands violations to the repair
+// engine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "events/bus.hpp"
+#include "model/system.hpp"
+#include "repair/constraint.hpp"
+#include "repair/engine.hpp"
+#include "sim/simulator.hpp"
+
+namespace arcadia::core {
+
+struct ArchManagerConfig {
+  /// Constraint-evaluation period. (Offset slightly from gauge reports so
+  /// checks see fresh values.)
+  SimTime check_period = SimTime::seconds(5);
+  SimTime first_check = SimTime::seconds(15);
+  /// The machine the manager runs on (gauge reports are delivered here —
+  /// in the paper's testbed, the machine running Server 4).
+  sim::NodeId manager_node = sim::kNoNode;
+};
+
+struct ArchManagerStats {
+  std::uint64_t reports_applied = 0;
+  std::uint64_t reports_ignored = 0;
+  std::uint64_t checks = 0;
+  std::uint64_t violations_seen = 0;
+  std::uint64_t repairs_triggered = 0;
+};
+
+class ArchitectureManager {
+ public:
+  /// The checker is owned by the manager; the engine is shared with the
+  /// framework. `gauge_bus` supplies property updates.
+  ArchitectureManager(sim::Simulator& sim, model::System& system,
+                      events::EventBus& gauge_bus, repair::RepairEngine& engine,
+                      ArchManagerConfig config);
+  ~ArchitectureManager();
+
+  ArchitectureManager(const ArchitectureManager&) = delete;
+  ArchitectureManager& operator=(const ArchitectureManager&) = delete;
+
+  repair::ConstraintChecker& checker() { return checker_; }
+  const ArchManagerStats& stats() const { return stats_; }
+
+  /// Subscribe to the gauge bus and arm periodic constraint checking.
+  void start();
+  void stop();
+
+  /// Apply one gauge report to the model (public for tests). Element may
+  /// be a component name or "Connector.role".
+  bool apply_gauge_report(const events::Notification& n);
+
+ private:
+  void run_check();
+
+  sim::Simulator& sim_;
+  model::System& system_;
+  events::EventBus& gauge_bus_;
+  repair::RepairEngine& engine_;
+  ArchManagerConfig config_;
+  repair::ConstraintChecker checker_;
+  events::SubscriptionId sub_ = 0;
+  std::unique_ptr<sim::PeriodicTask> check_task_;
+  ArchManagerStats stats_;
+};
+
+}  // namespace arcadia::core

@@ -1,0 +1,157 @@
+#include "core/framework.hpp"
+
+#include "acme/checker.hpp"
+#include "model/types.hpp"
+#include "monitor/gauge.hpp"
+#include "util/log.hpp"
+
+namespace arcadia::core {
+
+Framework::Framework(sim::Simulator& sim, sim::Testbed& testbed,
+                     FrameworkConfig config)
+    : sim_(sim),
+      testbed_(testbed),
+      config_(std::move(config)),
+      script_(acme::parse_script(config_.script_source.empty()
+                                     ? repair::extended_script()
+                                     : config_.script_source)) {
+  // Static-check the repair script against the style before trusting it
+  // with the live model (misspelled properties, bad arities, ...).
+  {
+    static const model::Style style = model::client_server_style();
+    acme::ScriptChecker checker = acme::make_client_server_checker(style);
+    for (const acme::CheckIssue& problem : checker.check_script(script_)) {
+      ARC_WARN << "repair script: " << problem.to_string();
+    }
+  }
+
+  sim::GridApp& app = *testbed_.app;
+
+  remos_ = std::make_unique<remos::RemosService>(sim_, *testbed_.net,
+                                                 config_.remos_config);
+
+  // Probe bus: probes and gauges are effectively colocated per machine, so
+  // delivery is a small fixed cost. Gauge bus: reports cross the shared
+  // network to the manager machine, so congestion delays them — unless the
+  // QoS option prioritizes monitoring traffic (Section 5.3).
+  probe_bus_ = std::make_unique<events::SimEventBus>(
+      sim_, events::fixed_delay(SimTime::millis(5)));
+  gauge_bus_ = std::make_unique<events::SimEventBus>(
+      sim_, events::network_delay(*testbed_.net, config_.bus_base_delay,
+                                  config_.monitoring_qos));
+
+  rt::ModelBuildOptions model_opts;
+  model_opts.conventions = config_.conventions;
+  model_opts.max_latency = config_.profile.max_latency;
+  system_ = rt::build_grid_model(testbed_, model_opts);
+  task::apply_profile(*system_, config_.profile);
+
+  env_ = std::make_unique<rt::SimEnvironmentManager>(app, *testbed_.topo,
+                                                     *remos_, config_.env_costs);
+  queries_ = std::make_unique<rt::SimRuntimeQueries>(app, *env_, *remos_);
+  translator_ =
+      std::make_unique<rt::SimTranslator>(*env_, config_.conventions);
+
+  monitor::GaugeManagerConfig gauge_cfg = config_.gauge_costs;
+  gauge_cfg.caching = config_.gauge_caching;
+  gauge_manager_ = std::make_unique<monitor::GaugeManager>(
+      sim_, *probe_bus_, *gauge_bus_, gauge_cfg);
+
+  repair::RepairEngineConfig engine_cfg;
+  engine_cfg.policy = config_.policy;
+  engine_cfg.damping = config_.damping;
+  engine_cfg.settle_time = config_.settle_time;
+  engine_cfg.abort_cooldown = config_.abort_cooldown;
+  engine_cfg.use_script = config_.use_script;
+  engine_cfg.max_server_load = config_.profile.max_server_load;
+  engine_cfg.min_bandwidth = config_.profile.min_bandwidth;
+  engine_cfg.min_utilization = config_.profile.min_utilization;
+  engine_cfg.min_replicas = config_.profile.min_replicas;
+  engine_cfg.load_improvement = config_.load_improvement;
+  engine_cfg.conventions = config_.conventions;
+  engine_ = std::make_unique<repair::RepairEngine>(
+      sim_, *system_, script_, queries_.get(), translator_.get(),
+      gauge_manager_.get(), engine_cfg);
+
+  ArchManagerConfig mgr_cfg;
+  mgr_cfg.check_period = config_.check_period;
+  mgr_cfg.first_check = config_.first_check;
+  mgr_cfg.manager_node = testbed_.manager_node;
+  manager_ = std::make_unique<ArchitectureManager>(sim_, *system_, *gauge_bus_,
+                                                   *engine_, mgr_cfg);
+
+  // Task-layer thresholds visible in constraint expressions.
+  repair::ConstraintChecker& checker = manager_->checker();
+  checker.bind_global("maxServerLoad",
+                      acme::EvalValue(config_.profile.max_server_load));
+  checker.bind_global(
+      "minBandwidth",
+      acme::EvalValue(config_.profile.min_bandwidth.as_bps()));
+  checker.bind_global("minUtilization",
+                      acme::EvalValue(config_.profile.min_utilization));
+  checker.bind_global(
+      "minReplicas",
+      acme::EvalValue(static_cast<double>(config_.profile.min_replicas)));
+  checker.instantiate(script_);
+}
+
+Framework::~Framework() = default;
+
+void Framework::warm_remos() {
+  if (!config_.remos_prequery) return;
+  sim::GridApp& app = *testbed_.app;
+  std::vector<std::pair<sim::NodeId, sim::NodeId>> pairs;
+  for (sim::ClientIdx c = 0; c < static_cast<sim::ClientIdx>(app.client_count());
+       ++c) {
+    for (sim::GroupIdx g = 0;
+         g < static_cast<sim::GroupIdx>(app.group_count()); ++g) {
+      pairs.emplace_back(app.group_node(g), app.client_node(c));
+    }
+    for (sim::ServerIdx s = 0;
+         s < static_cast<sim::ServerIdx>(app.server_count()); ++s) {
+      pairs.emplace_back(app.server_node(s), app.client_node(c));
+    }
+  }
+  remos_->prequery(pairs);
+  ARC_INFO << "remos: pre-queried " << pairs.size() << " pairs";
+}
+
+void Framework::deploy_gauges() {
+  sim::GridApp& app = *testbed_.app;
+  const sim::Topology& topo = *testbed_.topo;
+  (void)topo;
+  for (sim::ClientIdx c = 0; c < static_cast<sim::ClientIdx>(app.client_count());
+       ++c) {
+    const std::string client = app.client_name(c);
+    gauge_manager_->deploy(monitor::make_latency_gauge(
+        sim_, client, app.client_node(c), config_.gauge_window));
+    const std::string role_element =
+        "Conn_" + client + "." + config_.conventions.client_role;
+    gauge_manager_->deploy(monitor::make_bandwidth_gauge(
+        sim_, client, role_element, app.client_node(c)));
+  }
+  for (sim::GroupIdx g = 0; g < static_cast<sim::GroupIdx>(app.group_count());
+       ++g) {
+    const std::string group = app.group_name(g);
+    gauge_manager_->deploy(monitor::make_load_gauge(
+        sim_, group, app.queue_node(), config_.gauge_window));
+    gauge_manager_->deploy(monitor::make_utilization_gauge(
+        sim_, group, app.queue_node(), /*alpha=*/0.1));
+  }
+}
+
+void Framework::start() {
+  if (started_) throw Error("Framework::start called twice");
+  started_ = true;
+  warm_remos();
+  probes_ = monitor::make_standard_probes(sim_, *testbed_.app, *remos_,
+                                          *probe_bus_, config_.probe_period);
+  probes_.start_all();
+  deploy_gauges();
+  manager_->start();
+  ARC_INFO << "framework: started (" << gauge_manager_->gauge_count()
+           << " gauges deploying, script="
+           << (config_.use_script ? "interpreted" : "native") << ")";
+}
+
+}  // namespace arcadia::core

@@ -1,0 +1,109 @@
+// The adaptation framework facade: wires the three layers of Figure 1 over
+// a built testbed — monitoring (probes -> gauges -> architecture manager),
+// the architectural model with its constraints, the repair engine, and the
+// translator back down to the environment manager.
+#pragma once
+
+#include <memory>
+
+#include "acme/script.hpp"
+#include "core/arch_manager.hpp"
+#include "events/bus.hpp"
+#include "monitor/gauge_manager.hpp"
+#include "monitor/probes.hpp"
+#include "remos/remos.hpp"
+#include "repair/engine.hpp"
+#include "repair/scripts.hpp"
+#include "runtime/environment.hpp"
+#include "runtime/model_builder.hpp"
+#include "runtime/queries.hpp"
+#include "runtime/translator.hpp"
+#include "sim/scenario.hpp"
+#include "task/task.hpp"
+
+namespace arcadia::core {
+
+struct FrameworkConfig {
+  task::PerformanceProfile profile;
+
+  /// Interpreted script strategies (default) vs native C++ strategies.
+  bool use_script = true;
+  /// Repair-script source; empty selects repair::extended_script().
+  std::string script_source;
+
+  repair::ViolationPolicy policy = repair::ViolationPolicy::FirstReported;
+  bool damping = true;
+  SimTime settle_time = SimTime::seconds(30);
+  SimTime abort_cooldown = SimTime::seconds(60);
+  double load_improvement = 2.0;
+
+  /// Gauge caching/relocation (Section 5.3's proposed speed-up) vs
+  /// destroy-and-create.
+  bool gauge_caching = false;
+  monitor::GaugeManagerConfig gauge_costs;
+
+  /// Pre-query Remos at start-up, as the paper's experiment did.
+  bool remos_prequery = true;
+  remos::RemosConfig remos_config;
+
+  /// Prioritize monitoring traffic (QoS) instead of sharing the
+  /// application's network.
+  bool monitoring_qos = false;
+  SimTime bus_base_delay = SimTime::millis(50);
+
+  SimTime probe_period = SimTime::seconds(1);
+  SimTime gauge_window = SimTime::seconds(30);
+  SimTime check_period = SimTime::seconds(5);
+  SimTime first_check = SimTime::seconds(15);
+
+  rt::EnvironmentCosts env_costs;
+  repair::StyleConventions conventions;
+};
+
+class Framework {
+ public:
+  Framework(sim::Simulator& sim, sim::Testbed& testbed, FrameworkConfig config);
+  ~Framework();
+
+  Framework(const Framework&) = delete;
+  Framework& operator=(const Framework&) = delete;
+
+  /// Deploy probes and gauges, warm Remos, arm constraint checking.
+  void start();
+
+  model::System& system() { return *system_; }
+  const acme::Script& script() const { return script_; }
+  repair::RepairEngine& engine() { return *engine_; }
+  ArchitectureManager& manager() { return *manager_; }
+  monitor::GaugeManager& gauges() { return *gauge_manager_; }
+  remos::RemosService& remos() { return *remos_; }
+  rt::SimEnvironmentManager& environment() { return *env_; }
+  rt::SimTranslator& translator() { return *translator_; }
+  events::SimEventBus& probe_bus() { return *probe_bus_; }
+  events::SimEventBus& gauge_bus() { return *gauge_bus_; }
+  const FrameworkConfig& config() const { return config_; }
+
+ private:
+  void deploy_gauges();
+  void warm_remos();
+
+  sim::Simulator& sim_;
+  sim::Testbed& testbed_;
+  FrameworkConfig config_;
+
+  std::unique_ptr<remos::RemosService> remos_;
+  std::unique_ptr<events::SimEventBus> probe_bus_;
+  std::unique_ptr<events::SimEventBus> gauge_bus_;
+  std::unique_ptr<model::System> system_;
+  acme::Script script_;
+  std::unique_ptr<rt::SimEnvironmentManager> env_;
+  std::unique_ptr<rt::SimRuntimeQueries> queries_;
+  std::unique_ptr<rt::SimTranslator> translator_;
+  std::unique_ptr<monitor::GaugeManager> gauge_manager_;
+  std::unique_ptr<repair::RepairEngine> engine_;
+  std::unique_ptr<ArchitectureManager> manager_;
+  monitor::ProbeSet probes_;
+  bool started_ = false;
+};
+
+}  // namespace arcadia::core

@@ -1,0 +1,126 @@
+#include "core/report.hpp"
+
+#include <iomanip>
+
+namespace arcadia::core {
+
+void print_series(std::ostream& out, const TimeSeries& series, SimTime bucket,
+                  const std::string& unit) {
+  TimeSeries rs = series.resample(bucket);
+  out << "# " << series.name() << " (" << unit << ")\n";
+  for (const auto& [t, v] : rs.points()) {
+    out << std::setw(7) << t.as_seconds() << "  " << v << "\n";
+  }
+}
+
+void print_series_table(std::ostream& out,
+                        const std::vector<const TimeSeries*>& series,
+                        SimTime bucket) {
+  std::vector<TimeSeries> resampled;
+  resampled.reserve(series.size());
+  for (const TimeSeries* s : series) resampled.push_back(s->resample(bucket));
+
+  out << std::setw(8) << "time_s";
+  for (const TimeSeries& s : resampled) out << std::setw(18) << s.name();
+  out << "\n";
+  for (SimTime t = SimTime::zero();; t += bucket) {
+    bool any = false;
+    for (const TimeSeries& s : resampled) {
+      if (!s.empty() && t <= s.last_time()) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) break;
+    out << std::setw(8) << t.as_seconds();
+    for (const TimeSeries& s : resampled) {
+      out << std::setw(18) << std::setprecision(5) << s.value_at(t, 0.0);
+    }
+    out << "\n";
+  }
+}
+
+void print_latency_figure(std::ostream& out, const ExperimentResult& result,
+                          SimTime bucket) {
+  std::vector<const TimeSeries*> series;
+  for (const ClientSeries& c : result.clients) series.push_back(&c.window_latency);
+  out << "# windowed average latency per client (s); threshold "
+      << result.threshold_s << " s\n";
+  print_series_table(out, series, bucket);
+}
+
+void print_load_figure(std::ostream& out, const ExperimentResult& result,
+                       SimTime bucket) {
+  std::vector<const TimeSeries*> series;
+  for (const GroupSeries& g : result.groups) series.push_back(&g.queue_length);
+  out << "# queue length per server group (requests); overload limit 6\n";
+  print_series_table(out, series, bucket);
+}
+
+void print_bandwidth_figure(std::ostream& out, const ExperimentResult& result,
+                            SimTime bucket) {
+  std::vector<const TimeSeries*> series;
+  for (const ClientSeries& c : result.clients) series.push_back(&c.bandwidth_mbps);
+  out << "# available bandwidth group->client (Mbps); floor 0.0001, limit "
+         "0.01 (10 Kbps)\n";
+  print_series_table(out, series, bucket);
+}
+
+void print_repairs(std::ostream& out, const ExperimentResult& result) {
+  out << "# repairs: " << result.repairs.size() << " triggered, "
+      << result.repair_stats.committed << " committed, "
+      << result.repair_stats.aborted << " aborted; moves="
+      << result.repair_stats.moves
+      << " +servers=" << result.repair_stats.servers_added
+      << " -servers=" << result.repair_stats.servers_removed << "\n";
+  for (const repair::RepairRecord& r : result.repairs) {
+    out << "  [" << std::setw(7) << r.started.as_seconds() << "s] "
+        << r.strategy << "(" << r.element << ") ";
+    if (r.committed && !r.finished) {
+      out << "committed, still completing at horizon";
+    } else if (r.committed) {
+      out << "committed, " << r.duration().as_seconds() << "s"
+          << " (decision " << r.decision_cost.as_seconds() << "s, queries "
+          << r.query_cost.as_seconds() << "s, ops " << r.op_cost.as_seconds()
+          << "s, gauges " << r.gauge_cost.as_seconds() << "s)";
+    } else {
+      out << "aborted: " << r.abort_reason;
+    }
+    out << "; tactics:";
+    for (const auto& [name, ok] : r.tactics) {
+      out << " " << name << (ok ? "+" : "-");
+    }
+    out << "\n";
+  }
+  for (const ServerEvent& e : result.server_events) {
+    out << "  [" << std::setw(7) << e.time.as_seconds() << "s] server "
+        << e.server << (e.active ? " activated" : " deactivated") << "\n";
+  }
+}
+
+void print_comparison(std::ostream& out, const ExperimentResult& control,
+                      const ExperimentResult& repair) {
+  out << "\n# control vs repair (fraction of time above " << control.threshold_s
+      << " s)\n";
+  out << std::setw(10) << "client" << std::setw(12) << "control"
+      << std::setw(12) << "repair" << std::setw(16) << "first>2s ctl"
+      << std::setw(16) << "first>2s rep\n";
+  for (std::size_t i = 0; i < control.clients.size(); ++i) {
+    auto fmt_cross = [](SimTime t) {
+      return t.is_infinite() ? std::string("never")
+                             : std::to_string(t.as_seconds());
+    };
+    out << std::setw(10) << control.clients[i].name << std::setw(12)
+        << control.client_fraction_above(i) << std::setw(12)
+        << repair.client_fraction_above(i) << std::setw(16)
+        << fmt_cross(control.client_first_crossing(i)) << std::setw(16)
+        << fmt_cross(repair.client_first_crossing(i)) << "\n";
+  }
+  out << "mean fraction above threshold: control="
+      << control.mean_fraction_above()
+      << " repair=" << repair.mean_fraction_above() << "\n";
+  out << "max queue length: control=" << control.max_queue_length()
+      << " repair=" << repair.max_queue_length() << "\n";
+}
+
+}  // namespace arcadia::core

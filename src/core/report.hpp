@@ -1,0 +1,43 @@
+// Paper-style reporting: prints the series behind each figure (log-scale
+// friendly), the repair windows, and the summary comparisons the
+// evaluation section states in prose. Used by the bench harness and the
+// examples.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace arcadia::core {
+
+/// Print one series as "t value" rows, bucketed for readability.
+void print_series(std::ostream& out, const TimeSeries& series, SimTime bucket,
+                  const std::string& unit);
+
+/// Print several aligned series as columns.
+void print_series_table(std::ostream& out,
+                        const std::vector<const TimeSeries*>& series,
+                        SimTime bucket);
+
+/// Figure 8/11 content: per-client windowed average latency.
+void print_latency_figure(std::ostream& out, const ExperimentResult& result,
+                          SimTime bucket);
+
+/// Figure 9/13 content: per-group queue length.
+void print_load_figure(std::ostream& out, const ExperimentResult& result,
+                       SimTime bucket);
+
+/// Figure 10/12 content: per-client available bandwidth.
+void print_bandwidth_figure(std::ostream& out, const ExperimentResult& result,
+                            SimTime bucket);
+
+/// Repair windows + per-repair breakdown (strategy, tactics, costs).
+void print_repairs(std::ostream& out, const ExperimentResult& result);
+
+/// The control-vs-repair headline comparison (who wins, by how much).
+void print_comparison(std::ostream& out, const ExperimentResult& control,
+                      const ExperimentResult& repair);
+
+}  // namespace arcadia::core

@@ -1,0 +1,101 @@
+#include "events/bus.hpp"
+
+#include <algorithm>
+
+namespace arcadia::events {
+
+SubscriptionId LocalEventBus::subscribe(Filter filter, Handler handler,
+                                        sim::NodeId /*subscriber_node*/) {
+  std::lock_guard lock(mutex_);
+  SubscriptionId id = next_id_++;
+  subs_.push_back(
+      Sub{id, std::move(filter), std::make_shared<Handler>(std::move(handler))});
+  return id;
+}
+
+void LocalEventBus::unsubscribe(SubscriptionId id) {
+  std::lock_guard lock(mutex_);
+  subs_.erase(std::remove_if(subs_.begin(), subs_.end(),
+                             [id](const Sub& s) { return s.id == id; }),
+              subs_.end());
+}
+
+void LocalEventBus::publish(Notification n) {
+  std::vector<std::shared_ptr<Handler>> targets;
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.published;
+    for (const Sub& s : subs_) {
+      if (s.filter.matches(n)) targets.push_back(s.handler);
+    }
+    if (targets.empty()) {
+      ++stats_.dropped_no_match;
+    } else {
+      stats_.delivered += targets.size();
+    }
+  }
+  for (const auto& h : targets) (*h)(n);
+}
+
+DelayModel fixed_delay(SimTime delay) {
+  return [delay](const Notification&, sim::NodeId) { return delay; };
+}
+
+DelayModel network_delay(const sim::FlowNetwork& net, SimTime base,
+                         bool prioritized) {
+  return [&net, base, prioritized](const Notification& n,
+                                   sim::NodeId subscriber) -> SimTime {
+    if (prioritized || n.source_node == sim::kNoNode ||
+        subscriber == sim::kNoNode || n.source_node == subscriber) {
+      return base;
+    }
+    Bandwidth avail = net.available_bandwidth(n.source_node, subscriber);
+    return base + transfer_time(n.wire_size, avail);
+  };
+}
+
+SimEventBus::SimEventBus(sim::Simulator& sim, DelayModel delay)
+    : sim_(sim), delay_(std::move(delay)) {}
+
+SubscriptionId SimEventBus::subscribe(Filter filter, Handler handler,
+                                      sim::NodeId subscriber_node) {
+  SubscriptionId id = next_id_++;
+  subs_.push_back(Sub{id, std::move(filter),
+                      std::make_shared<Handler>(std::move(handler)),
+                      subscriber_node, std::make_shared<bool>(true)});
+  return id;
+}
+
+void SimEventBus::unsubscribe(SubscriptionId id) {
+  for (auto& s : subs_) {
+    if (s.id == id) *s.alive = false;
+  }
+  subs_.erase(std::remove_if(subs_.begin(), subs_.end(),
+                             [id](const Sub& s) { return s.id == id; }),
+              subs_.end());
+}
+
+void SimEventBus::publish(Notification n) {
+  ++stats_.published;
+  n.published = sim_.now();
+  auto shared = std::make_shared<Notification>(std::move(n));
+  bool matched = false;
+  for (const Sub& s : subs_) {
+    if (!s.filter.matches(*shared)) continue;
+    matched = true;
+    SimTime delay = delay_(*shared, s.node);
+    ++in_flight_;
+    // Capture the liveness token: deliveries racing an unsubscribe are
+    // dropped, like messages to a deleted Siena subscription.
+    sim_.schedule_in(delay,
+                     [this, shared, handler = s.handler, alive = s.alive] {
+                       --in_flight_;
+                       if (!*alive) return;
+                       ++stats_.delivered;
+                       (*handler)(*shared);
+                     });
+  }
+  if (!matched) ++stats_.dropped_no_match;
+}
+
+}  // namespace arcadia::events

@@ -1,0 +1,121 @@
+// Event buses. The paper's monitoring infrastructure runs two logical buses
+// (a probe bus and a gauge reporting bus) over Siena. Arcadia provides:
+//   * LocalEventBus  — immediate synchronous dispatch, thread-safe; for
+//                      standalone use of the monitoring stack.
+//   * SimEventBus    — dispatch scheduled through the Simulator with a
+//                      pluggable per-delivery delay model. With the
+//                      network-aware delay model, monitoring messages slow
+//                      down exactly when the network is congested — the
+//                      paper's "the same network is being used to monitor
+//                      the system as to run it" observation. A QoS mode
+//                      (prioritized monitoring traffic) removes that
+//                      penalty, implementing the mitigation the paper
+//                      proposes in Section 5.3.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "events/filter.hpp"
+#include "events/notification.hpp"
+#include "sim/simulator.hpp"
+
+namespace arcadia::events {
+
+using SubscriptionId = std::uint64_t;
+using Handler = std::function<void(const Notification&)>;
+
+struct BusStats {
+  std::uint64_t published = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_no_match = 0;
+};
+
+class EventBus {
+ public:
+  virtual ~EventBus() = default;
+
+  /// Register a handler; `subscriber_node` is where the subscriber runs
+  /// (used by delay models; kNoNode = colocated/no delay).
+  virtual SubscriptionId subscribe(Filter filter, Handler handler,
+                                   sim::NodeId subscriber_node) = 0;
+  SubscriptionId subscribe(Filter filter, Handler handler) {
+    return subscribe(std::move(filter), std::move(handler), sim::kNoNode);
+  }
+  virtual void unsubscribe(SubscriptionId id) = 0;
+  virtual void publish(Notification n) = 0;
+  virtual const BusStats& stats() const = 0;
+};
+
+/// Immediate dispatch. Handlers run on the publisher's thread, under no
+/// bus lock (subscriptions are snapshotted), so handlers may re-enter the
+/// bus (publish, subscribe, unsubscribe).
+class LocalEventBus : public EventBus {
+ public:
+  SubscriptionId subscribe(Filter filter, Handler handler,
+                           sim::NodeId subscriber_node) override;
+  using EventBus::subscribe;
+  void unsubscribe(SubscriptionId id) override;
+  void publish(Notification n) override;
+  const BusStats& stats() const override { return stats_; }
+
+ private:
+  struct Sub {
+    SubscriptionId id;
+    Filter filter;
+    std::shared_ptr<Handler> handler;
+  };
+  mutable std::mutex mutex_;
+  std::vector<Sub> subs_;
+  SubscriptionId next_id_ = 1;
+  BusStats stats_;
+};
+
+/// Computes the delivery delay of a notification to a subscriber node.
+using DelayModel =
+    std::function<SimTime(const Notification&, sim::NodeId subscriber)>;
+
+/// Fixed-delay model (the LAN base cost).
+DelayModel fixed_delay(SimTime delay);
+
+/// Network-aware model: base + wire_size / available_bandwidth(source ->
+/// subscriber). When `prioritized` (QoS for monitoring traffic) the
+/// congestion term is dropped.
+DelayModel network_delay(const sim::FlowNetwork& net, SimTime base,
+                         bool prioritized);
+
+/// Bus whose deliveries are simulator events.
+class SimEventBus : public EventBus {
+ public:
+  SimEventBus(sim::Simulator& sim, DelayModel delay);
+
+  SubscriptionId subscribe(Filter filter, Handler handler,
+                           sim::NodeId subscriber_node) override;
+  using EventBus::subscribe;
+  void unsubscribe(SubscriptionId id) override;
+  void publish(Notification n) override;
+  const BusStats& stats() const override { return stats_; }
+
+  /// Total queued-but-undelivered notifications (for tests/benches).
+  std::uint64_t in_flight() const { return in_flight_; }
+
+ private:
+  struct Sub {
+    SubscriptionId id;
+    Filter filter;
+    std::shared_ptr<Handler> handler;
+    sim::NodeId node;
+    std::shared_ptr<bool> alive;
+  };
+  sim::Simulator& sim_;
+  DelayModel delay_;
+  std::vector<Sub> subs_;
+  SubscriptionId next_id_ = 1;
+  BusStats stats_;
+  std::uint64_t in_flight_ = 0;
+};
+
+}  // namespace arcadia::events

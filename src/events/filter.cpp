@@ -1,0 +1,81 @@
+#include "events/filter.hpp"
+
+namespace arcadia::events {
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::Eq: return "==";
+    case Op::Ne: return "!=";
+    case Op::Lt: return "<";
+    case Op::Le: return "<=";
+    case Op::Gt: return ">";
+    case Op::Ge: return ">=";
+    case Op::Exists: return "exists";
+    case Op::Prefix: return "prefix";
+    case Op::Suffix: return "suffix";
+    case Op::Contains: return "contains";
+  }
+  return "?";
+}
+
+bool Filter::matches(const Notification& n) const {
+  if (!topic_.empty()) {
+    if (!topic_.empty() && topic_.back() == '*') {
+      const std::string prefix = topic_.substr(0, topic_.size() - 1);
+      if (n.topic.compare(0, prefix.size(), prefix) != 0) return false;
+    } else if (n.topic != topic_) {
+      return false;
+    }
+  }
+  for (const auto& c : constraints_) {
+    if (!match_constraint(c, n)) return false;
+  }
+  return true;
+}
+
+bool Filter::match_constraint(const AttrConstraint& c, const Notification& n) {
+  auto it = n.attributes.find(c.name);
+  if (it == n.attributes.end()) return false;
+  const Value& v = it->second;
+  switch (c.op) {
+    case Op::Exists:
+      return true;
+    case Op::Eq:
+      return v == c.value;
+    case Op::Ne:
+      return v != c.value;
+    case Op::Lt:
+    case Op::Le:
+    case Op::Gt:
+    case Op::Ge: {
+      int cmp = 0;
+      if (!Value::compare(v, c.value, cmp)) return false;
+      switch (c.op) {
+        case Op::Lt: return cmp < 0;
+        case Op::Le: return cmp <= 0;
+        case Op::Gt: return cmp > 0;
+        default: return cmp >= 0;
+      }
+    }
+    case Op::Prefix: {
+      if (!v.is_string() || !c.value.is_string()) return false;
+      const auto& s = v.as_string();
+      const auto& p = c.value.as_string();
+      return s.size() >= p.size() && s.compare(0, p.size(), p) == 0;
+    }
+    case Op::Suffix: {
+      if (!v.is_string() || !c.value.is_string()) return false;
+      const auto& s = v.as_string();
+      const auto& p = c.value.as_string();
+      return s.size() >= p.size() &&
+             s.compare(s.size() - p.size(), p.size(), p) == 0;
+    }
+    case Op::Contains: {
+      if (!v.is_string() || !c.value.is_string()) return false;
+      return v.as_string().find(c.value.as_string()) != std::string::npos;
+    }
+  }
+  return false;
+}
+
+}  // namespace arcadia::events

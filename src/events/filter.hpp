@@ -1,0 +1,61 @@
+// Content-based subscription filters: a topic pattern plus a conjunction of
+// attribute constraints, following Siena's filter model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "events/notification.hpp"
+
+namespace arcadia::events {
+
+enum class Op {
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Exists,    ///< attribute present, value ignored
+  Prefix,    ///< string starts-with
+  Suffix,    ///< string ends-with
+  Contains,  ///< string substring
+};
+
+const char* to_string(Op op);
+
+struct AttrConstraint {
+  std::string name;
+  Op op = Op::Exists;
+  Value value;
+};
+
+/// Conjunctive filter. Topic pattern: exact match, "" (all topics), or a
+/// prefix ending in '*' ("gauge.*").
+class Filter {
+ public:
+  Filter() = default;
+  static Filter topic(std::string pattern) {
+    Filter f;
+    f.topic_ = std::move(pattern);
+    return f;
+  }
+  static Filter any() { return Filter(); }
+
+  Filter& where(std::string name, Op op, Value value = Value()) {
+    constraints_.push_back({std::move(name), op, std::move(value)});
+    return *this;
+  }
+
+  bool matches(const Notification& n) const;
+
+  const std::string& topic_pattern() const { return topic_; }
+  const std::vector<AttrConstraint>& constraints() const { return constraints_; }
+
+ private:
+  static bool match_constraint(const AttrConstraint& c, const Notification& n);
+  std::string topic_;
+  std::vector<AttrConstraint> constraints_;
+};
+
+}  // namespace arcadia::events

@@ -1,0 +1,43 @@
+// A bus notification: a topic, a flat attribute map, and provenance
+// (source node, publish time) used by the simulated bus to model delivery
+// delay over the shared network.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "events/value.hpp"
+#include "sim/network.hpp"
+#include "util/units.hpp"
+
+namespace arcadia::events {
+
+struct Notification {
+  std::string topic;
+  std::map<std::string, Value> attributes;
+  /// Node the publisher runs on (kNoNode for in-process publishers).
+  sim::NodeId source_node = sim::kNoNode;
+  /// Publish timestamp (filled by the bus).
+  SimTime published;
+  /// Approximate wire size of the encoded notification; the simulated bus
+  /// uses it to derive delivery delay under congestion.
+  DataSize wire_size = DataSize::bytes(1024);
+
+  Notification() = default;
+  Notification(std::string topic_) : topic(std::move(topic_)) {}  // NOLINT
+
+  Notification& set(const std::string& name, Value value) {
+    attributes[name] = std::move(value);
+    return *this;
+  }
+  bool has(const std::string& name) const { return attributes.count(name) > 0; }
+  /// Attribute access; throws std::out_of_range when missing.
+  const Value& get(const std::string& name) const { return attributes.at(name); }
+  /// Attribute access with fallback.
+  Value get_or(const std::string& name, Value fallback) const {
+    auto it = attributes.find(name);
+    return it == attributes.end() ? fallback : it->second;
+  }
+};
+
+}  // namespace arcadia::events

@@ -1,0 +1,40 @@
+#include "events/value.hpp"
+
+#include <sstream>
+
+namespace arcadia::events {
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.is_numeric() && b.is_numeric()) return a.as_double() == b.as_double();
+  if (a.is_bool() && b.is_bool()) return a.as_bool() == b.as_bool();
+  if (a.is_string() && b.is_string()) return a.as_string() == b.as_string();
+  return false;
+}
+
+bool Value::compare(const Value& a, const Value& b, int& out_cmp) {
+  if (a.is_numeric() && b.is_numeric()) {
+    double x = a.as_double();
+    double y = b.as_double();
+    out_cmp = (x < y) ? -1 : (x > y) ? 1 : 0;
+    return true;
+  }
+  if (a.is_string() && b.is_string()) {
+    int c = a.as_string().compare(b.as_string());
+    out_cmp = (c < 0) ? -1 : (c > 0) ? 1 : 0;
+    return true;
+  }
+  return false;
+}
+
+std::string Value::to_string() const {
+  if (is_bool()) return as_bool() ? "true" : "false";
+  if (is_int()) return std::to_string(as_int());
+  if (is_double()) {
+    std::ostringstream os;
+    os << as_double();
+    return os.str();
+  }
+  return as_string();
+}
+
+}  // namespace arcadia::events

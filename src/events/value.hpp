@@ -1,0 +1,55 @@
+// Typed attribute values carried in bus notifications. Siena's data model:
+// notifications are flat sets of named, typed attributes; filters constrain
+// them. Numeric comparisons coerce int<->double, mirroring Siena's
+// behaviour for numeric attribute types.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace arcadia::events {
+
+class Value {
+ public:
+  Value() : v_(false) {}
+  Value(bool b) : v_(b) {}                       // NOLINT(runtime/explicit)
+  Value(std::int64_t i) : v_(i) {}               // NOLINT(runtime/explicit)
+  Value(int i) : v_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Value(double d) : v_(d) {}                     // NOLINT(runtime/explicit)
+  Value(std::string s) : v_(std::move(s)) {}     // NOLINT(runtime/explicit)
+  Value(const char* s) : v_(std::string(s)) {}   // NOLINT(runtime/explicit)
+
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  /// Numeric read with int->double coercion; throws std::bad_variant_access
+  /// for non-numeric values.
+  double as_double() const {
+    if (is_int()) return static_cast<double>(as_int());
+    return std::get<double>(v_);
+  }
+
+  /// Equality with numeric coercion (1 == 1.0); distinct non-numeric types
+  /// are never equal.
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Three-way ordering for filter range operators: numerics by value,
+  /// strings lexicographically. Returns false via `ordered` for
+  /// incomparable pairs (bool vs string, etc.).
+  static bool compare(const Value& a, const Value& b, int& out_cmp);
+
+  std::string to_string() const;
+
+ private:
+  std::variant<bool, std::int64_t, double, std::string> v_;
+};
+
+}  // namespace arcadia::events

@@ -1,0 +1,161 @@
+#include "model/element.hpp"
+
+#include "model/system.hpp"
+
+namespace arcadia::model {
+
+const char* to_string(ElementKind kind) {
+  switch (kind) {
+    case ElementKind::Component: return "component";
+    case ElementKind::Connector: return "connector";
+    case ElementKind::Port: return "port";
+    case ElementKind::Role: return "role";
+    case ElementKind::System: return "system";
+  }
+  return "?";
+}
+
+const PropertyValue& Element::property(const std::string& prop) const {
+  auto it = properties_.find(prop);
+  if (it == properties_.end()) {
+    throw ModelError("element '" + name_ + "' has no property '" + prop + "'");
+  }
+  return it->second;
+}
+
+PropertyValue Element::property_or(const std::string& prop,
+                                   PropertyValue fallback) const {
+  auto it = properties_.find(prop);
+  return it == properties_.end() ? fallback : it->second;
+}
+
+std::unique_ptr<Port> Port::clone() const {
+  auto copy = std::make_unique<Port>(name(), type_name());
+  copy->copy_properties_from(*this);
+  return copy;
+}
+
+std::unique_ptr<Role> Role::clone() const {
+  auto copy = std::make_unique<Role>(name(), type_name());
+  copy->copy_properties_from(*this);
+  return copy;
+}
+
+Port& Component::add_port(const std::string& name,
+                          const std::string& type_name) {
+  if (ports_.count(name)) {
+    throw ModelError("component '" + this->name() + "' already has port '" +
+                     name + "'");
+  }
+  auto [it, _] = ports_.emplace(name, std::make_unique<Port>(name, type_name));
+  return *it->second;
+}
+
+void Component::remove_port(const std::string& name) {
+  if (ports_.erase(name) == 0) {
+    throw ModelError("component '" + this->name() + "' has no port '" + name +
+                     "'");
+  }
+}
+
+Port& Component::port(const std::string& name) {
+  auto it = ports_.find(name);
+  if (it == ports_.end()) {
+    throw ModelError("component '" + this->name() + "' has no port '" + name +
+                     "'");
+  }
+  return *it->second;
+}
+
+const Port& Component::port(const std::string& name) const {
+  return const_cast<Component*>(this)->port(name);
+}
+
+std::vector<const Port*> Component::ports() const {
+  std::vector<const Port*> out;
+  out.reserve(ports_.size());
+  for (const auto& [n, p] : ports_) out.push_back(p.get());
+  return out;
+}
+
+std::vector<Port*> Component::ports() {
+  std::vector<Port*> out;
+  out.reserve(ports_.size());
+  for (auto& [n, p] : ports_) out.push_back(p.get());
+  return out;
+}
+
+System& Component::representation() {
+  if (!representation_) {
+    representation_ = std::make_unique<System>(name() + "_rep");
+  }
+  return *representation_;
+}
+
+const System& Component::representation_const() const {
+  if (!representation_) {
+    throw ModelError("component '" + name() + "' has no representation");
+  }
+  return *representation_;
+}
+
+std::unique_ptr<Component> Component::clone() const {
+  auto copy = std::make_unique<Component>(name(), type_name());
+  copy->copy_properties_from(*this);
+  for (const auto& [n, p] : ports_) copy->ports_[n] = p->clone();
+  if (representation_) copy->representation_ = representation_->clone();
+  return copy;
+}
+
+Role& Connector::add_role(const std::string& name,
+                          const std::string& type_name) {
+  if (roles_.count(name)) {
+    throw ModelError("connector '" + this->name() + "' already has role '" +
+                     name + "'");
+  }
+  auto [it, _] = roles_.emplace(name, std::make_unique<Role>(name, type_name));
+  return *it->second;
+}
+
+void Connector::remove_role(const std::string& name) {
+  if (roles_.erase(name) == 0) {
+    throw ModelError("connector '" + this->name() + "' has no role '" + name +
+                     "'");
+  }
+}
+
+Role& Connector::role(const std::string& name) {
+  auto it = roles_.find(name);
+  if (it == roles_.end()) {
+    throw ModelError("connector '" + this->name() + "' has no role '" + name +
+                     "'");
+  }
+  return *it->second;
+}
+
+const Role& Connector::role(const std::string& name) const {
+  return const_cast<Connector*>(this)->role(name);
+}
+
+std::vector<const Role*> Connector::roles() const {
+  std::vector<const Role*> out;
+  out.reserve(roles_.size());
+  for (const auto& [n, r] : roles_) out.push_back(r.get());
+  return out;
+}
+
+std::vector<Role*> Connector::roles() {
+  std::vector<Role*> out;
+  out.reserve(roles_.size());
+  for (auto& [n, r] : roles_) out.push_back(r.get());
+  return out;
+}
+
+std::unique_ptr<Connector> Connector::clone() const {
+  auto copy = std::make_unique<Connector>(name(), type_name());
+  copy->copy_properties_from(*this);
+  for (const auto& [n, r] : roles_) copy->roles_[n] = r->clone();
+  return copy;
+}
+
+}  // namespace arcadia::model

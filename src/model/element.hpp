@@ -1,0 +1,128 @@
+// Architectural elements: components, connectors, ports, roles. This is the
+// core graph vocabulary of Acme-like ADLs (Section 2): components are the
+// computational nodes, connectors the interaction pathways, ports the
+// component interfaces, roles the connector endpoints.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/property.hpp"
+#include "util/error.hpp"
+
+namespace arcadia::model {
+
+class System;
+
+enum class ElementKind { Component, Connector, Port, Role, System };
+
+const char* to_string(ElementKind kind);
+
+/// Common state: a name, a declared type (from a style), and a property
+/// list.
+class Element {
+ public:
+  Element(std::string name, std::string type_name)
+      : name_(std::move(name)), type_name_(std::move(type_name)) {}
+  virtual ~Element() = default;
+
+  virtual ElementKind kind() const = 0;
+  const std::string& name() const { return name_; }
+  const std::string& type_name() const { return type_name_; }
+
+  bool has_property(const std::string& prop) const {
+    return properties_.count(prop) > 0;
+  }
+  /// Throws ModelError when absent.
+  const PropertyValue& property(const std::string& prop) const;
+  PropertyValue property_or(const std::string& prop,
+                            PropertyValue fallback) const;
+  void set_property(const std::string& prop, PropertyValue value) {
+    properties_[prop] = std::move(value);
+  }
+  /// Removes a property; returns whether it existed.
+  bool clear_property(const std::string& prop) {
+    return properties_.erase(prop) > 0;
+  }
+  const std::map<std::string, PropertyValue>& properties() const {
+    return properties_;
+  }
+
+ protected:
+  void copy_properties_from(const Element& other) {
+    properties_ = other.properties_;
+  }
+
+ private:
+  std::string name_;
+  std::string type_name_;
+  std::map<std::string, PropertyValue> properties_;
+};
+
+/// A component interface point.
+class Port : public Element {
+ public:
+  using Element::Element;
+  ElementKind kind() const override { return ElementKind::Port; }
+  std::unique_ptr<Port> clone() const;
+};
+
+/// A connector endpoint.
+class Role : public Element {
+ public:
+  using Element::Element;
+  ElementKind kind() const override { return ElementKind::Role; }
+  std::unique_ptr<Role> clone() const;
+};
+
+/// A computational element or data store. May carry a representation: a
+/// nested System refining the component (the paper's ServerGrpRep holding
+/// the replicated servers).
+class Component : public Element {
+ public:
+  using Element::Element;
+  ElementKind kind() const override { return ElementKind::Component; }
+
+  Port& add_port(const std::string& name, const std::string& type_name);
+  void remove_port(const std::string& name);
+  bool has_port(const std::string& name) const { return ports_.count(name) > 0; }
+  Port& port(const std::string& name);
+  const Port& port(const std::string& name) const;
+  std::vector<const Port*> ports() const;
+  std::vector<Port*> ports();
+
+  bool has_representation() const { return representation_ != nullptr; }
+  /// Creates the representation on first use.
+  System& representation();
+  const System& representation_const() const;
+
+  std::unique_ptr<Component> clone() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Port>> ports_;
+  std::unique_ptr<System> representation_;
+};
+
+/// An interaction pathway between components.
+class Connector : public Element {
+ public:
+  using Element::Element;
+  ElementKind kind() const override { return ElementKind::Connector; }
+
+  Role& add_role(const std::string& name, const std::string& type_name);
+  void remove_role(const std::string& name);
+  bool has_role(const std::string& name) const { return roles_.count(name) > 0; }
+  Role& role(const std::string& name);
+  const Role& role(const std::string& name) const;
+  std::vector<const Role*> roles() const;
+  std::vector<Role*> roles();
+
+  std::unique_ptr<Connector> clone() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Role>> roles_;
+};
+
+}  // namespace arcadia::model

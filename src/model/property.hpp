@@ -1,0 +1,14 @@
+// Property values on architectural elements. The paper annotates elements
+// with property lists (Section 2: "properties associated with a connector
+// might define its protocol of interaction, or performance attributes").
+// The value domain is shared with bus notifications — gauges report model
+// properties, so using one Value type keeps that path conversion-free.
+#pragma once
+
+#include "events/value.hpp"
+
+namespace arcadia::model {
+
+using PropertyValue = events::Value;
+
+}  // namespace arcadia::model

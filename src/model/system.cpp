@@ -1,0 +1,295 @@
+#include "model/system.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace arcadia::model {
+
+Component& System::add_component(const std::string& name,
+                                 const std::string& type_name) {
+  if (components_.count(name)) {
+    throw ModelError("system '" + name_ + "' already has component '" + name +
+                     "'");
+  }
+  auto [it, _] =
+      components_.emplace(name, std::make_unique<Component>(name, type_name));
+  return *it->second;
+}
+
+void System::remove_component(const std::string& name) {
+  auto it = components_.find(name);
+  if (it == components_.end()) {
+    throw ModelError("system '" + name_ + "' has no component '" + name + "'");
+  }
+  attachments_.erase(
+      std::remove_if(attachments_.begin(), attachments_.end(),
+                     [&](const Attachment& a) { return a.component == name; }),
+      attachments_.end());
+  components_.erase(it);
+}
+
+Connector& System::add_connector(const std::string& name,
+                                 const std::string& type_name) {
+  if (connectors_.count(name)) {
+    throw ModelError("system '" + name_ + "' already has connector '" + name +
+                     "'");
+  }
+  auto [it, _] =
+      connectors_.emplace(name, std::make_unique<Connector>(name, type_name));
+  return *it->second;
+}
+
+void System::remove_connector(const std::string& name) {
+  auto it = connectors_.find(name);
+  if (it == connectors_.end()) {
+    throw ModelError("system '" + name_ + "' has no connector '" + name + "'");
+  }
+  attachments_.erase(
+      std::remove_if(attachments_.begin(), attachments_.end(),
+                     [&](const Attachment& a) { return a.connector == name; }),
+      attachments_.end());
+  connectors_.erase(it);
+}
+
+void System::attach(const Attachment& a) {
+  Component& comp = component(a.component);
+  if (!comp.has_port(a.port)) {
+    throw ModelError("attach: component '" + a.component + "' has no port '" +
+                     a.port + "'");
+  }
+  Connector& conn = connector(a.connector);
+  if (!conn.has_role(a.role)) {
+    throw ModelError("attach: connector '" + a.connector + "' has no role '" +
+                     a.role + "'");
+  }
+  if (std::find(attachments_.begin(), attachments_.end(), a) !=
+      attachments_.end()) {
+    throw ModelError("attach: duplicate attachment " + a.component + "." +
+                     a.port + " <-> " + a.connector + "." + a.role);
+  }
+  attachments_.push_back(a);
+}
+
+void System::detach(const Attachment& a) {
+  auto it = std::find(attachments_.begin(), attachments_.end(), a);
+  if (it == attachments_.end()) {
+    throw ModelError("detach: no attachment " + a.component + "." + a.port +
+                     " <-> " + a.connector + "." + a.role);
+  }
+  attachments_.erase(it);
+}
+
+Component& System::adopt_component(std::unique_ptr<Component> component) {
+  const std::string name = component->name();
+  if (components_.count(name)) {
+    throw ModelError("adopt: duplicate component '" + name + "'");
+  }
+  auto [it, _] = components_.emplace(name, std::move(component));
+  return *it->second;
+}
+
+Connector& System::adopt_connector(std::unique_ptr<Connector> connector) {
+  const std::string name = connector->name();
+  if (connectors_.count(name)) {
+    throw ModelError("adopt: duplicate connector '" + name + "'");
+  }
+  auto [it, _] = connectors_.emplace(name, std::move(connector));
+  return *it->second;
+}
+
+std::unique_ptr<Component> System::release_component(const std::string& name) {
+  auto it = components_.find(name);
+  if (it == components_.end()) {
+    throw ModelError("release: no component '" + name + "'");
+  }
+  auto out = std::move(it->second);
+  components_.erase(it);
+  return out;
+}
+
+std::unique_ptr<Connector> System::release_connector(const std::string& name) {
+  auto it = connectors_.find(name);
+  if (it == connectors_.end()) {
+    throw ModelError("release: no connector '" + name + "'");
+  }
+  auto out = std::move(it->second);
+  connectors_.erase(it);
+  return out;
+}
+
+Component& System::component(const std::string& name) {
+  auto it = components_.find(name);
+  if (it == components_.end()) {
+    throw ModelError("system '" + name_ + "' has no component '" + name + "'");
+  }
+  return *it->second;
+}
+
+const Component& System::component(const std::string& name) const {
+  return const_cast<System*>(this)->component(name);
+}
+
+Connector& System::connector(const std::string& name) {
+  auto it = connectors_.find(name);
+  if (it == connectors_.end()) {
+    throw ModelError("system '" + name_ + "' has no connector '" + name + "'");
+  }
+  return *it->second;
+}
+
+const Connector& System::connector(const std::string& name) const {
+  return const_cast<System*>(this)->connector(name);
+}
+
+std::vector<Component*> System::components() {
+  std::vector<Component*> out;
+  out.reserve(components_.size());
+  for (auto& [n, c] : components_) out.push_back(c.get());
+  return out;
+}
+
+std::vector<const Component*> System::components() const {
+  std::vector<const Component*> out;
+  out.reserve(components_.size());
+  for (const auto& [n, c] : components_) out.push_back(c.get());
+  return out;
+}
+
+std::vector<Connector*> System::connectors() {
+  std::vector<Connector*> out;
+  out.reserve(connectors_.size());
+  for (auto& [n, c] : connectors_) out.push_back(c.get());
+  return out;
+}
+
+std::vector<const Connector*> System::connectors() const {
+  std::vector<const Connector*> out;
+  out.reserve(connectors_.size());
+  for (const auto& [n, c] : connectors_) out.push_back(c.get());
+  return out;
+}
+
+bool System::connected(const std::string& a, const std::string& b) const {
+  for (const auto& [name, conn] : connectors_) {
+    bool touches_a = false;
+    bool touches_b = false;
+    for (const Attachment& att : attachments_) {
+      if (att.connector != name) continue;
+      if (att.component == a) touches_a = true;
+      if (att.component == b) touches_b = true;
+    }
+    if (touches_a && touches_b) return true;
+  }
+  return false;
+}
+
+bool System::attached(const std::string& component, const std::string& port,
+                      const std::string& connector,
+                      const std::string& role) const {
+  Attachment a{component, port, connector, role};
+  return std::find(attachments_.begin(), attachments_.end(), a) !=
+         attachments_.end();
+}
+
+std::vector<const Connector*> System::connectors_of(
+    const std::string& component) const {
+  std::set<std::string> names;
+  for (const Attachment& a : attachments_) {
+    if (a.component == component) names.insert(a.connector);
+  }
+  std::vector<const Connector*> out;
+  for (const auto& n : names) out.push_back(&connector(n));
+  return out;
+}
+
+std::vector<const Component*> System::components_on(
+    const std::string& connector) const {
+  std::set<std::string> names;
+  for (const Attachment& a : attachments_) {
+    if (a.connector == connector) names.insert(a.component);
+  }
+  std::vector<const Component*> out;
+  for (const auto& n : names) out.push_back(&component(n));
+  return out;
+}
+
+std::vector<const Component*> System::neighbors(
+    const std::string& component) const {
+  std::set<std::string> names;
+  for (const Connector* conn : connectors_of(component)) {
+    for (const Component* c : components_on(conn->name())) {
+      if (c->name() != component) names.insert(c->name());
+    }
+  }
+  std::vector<const Component*> out;
+  for (const auto& n : names) out.push_back(&this->component(n));
+  return out;
+}
+
+std::vector<Attachment> System::attachments_of(
+    const std::string& component) const {
+  std::vector<Attachment> out;
+  for (const Attachment& a : attachments_) {
+    if (a.component == component) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<Attachment> System::attachments_on(
+    const std::string& connector) const {
+  std::vector<Attachment> out;
+  for (const Attachment& a : attachments_) {
+    if (a.connector == connector) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<std::string> System::structural_violations() const {
+  std::vector<std::string> out;
+  std::set<std::pair<std::string, std::string>> seen_roles;
+  for (const Attachment& a : attachments_) {
+    auto cit = components_.find(a.component);
+    if (cit == components_.end()) {
+      out.push_back("attachment references missing component '" + a.component +
+                    "'");
+      continue;
+    }
+    if (!cit->second->has_port(a.port)) {
+      out.push_back("attachment references missing port '" + a.component +
+                    "." + a.port + "'");
+    }
+    auto kit = connectors_.find(a.connector);
+    if (kit == connectors_.end()) {
+      out.push_back("attachment references missing connector '" + a.connector +
+                    "'");
+      continue;
+    }
+    if (!kit->second->has_role(a.role)) {
+      out.push_back("attachment references missing role '" + a.connector +
+                    "." + a.role + "'");
+    }
+    auto key = std::make_pair(a.connector, a.role);
+    if (!seen_roles.insert(key).second) {
+      out.push_back("role '" + a.connector + "." + a.role +
+                    "' attached more than once");
+    }
+  }
+  // Recurse into representations.
+  for (const auto& [n, c] : components_) {
+    if (!c->has_representation()) continue;
+    for (const std::string& v : c->representation_const().structural_violations()) {
+      out.push_back(n + ": " + v);
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<System> System::clone() const {
+  auto copy = std::make_unique<System>(name_);
+  for (const auto& [n, c] : components_) copy->components_[n] = c->clone();
+  for (const auto& [n, c] : connectors_) copy->connectors_[n] = c->clone();
+  copy->attachments_ = attachments_;
+  return copy;
+}
+
+}  // namespace arcadia::model

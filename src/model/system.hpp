@@ -1,0 +1,101 @@
+// The architectural model: a graph of components and connectors joined by
+// attachments (port <-> role). Systems nest: a component's representation
+// is itself a System.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/element.hpp"
+
+namespace arcadia::model {
+
+/// A port<->role binding: component `component`'s port `port` is attached
+/// to connector `connector`'s role `role`.
+struct Attachment {
+  std::string component;
+  std::string port;
+  std::string connector;
+  std::string role;
+
+  friend bool operator==(const Attachment&, const Attachment&) = default;
+};
+
+class System {
+ public:
+  explicit System(std::string name = "system") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // ---- structure mutation (raw; prefer Transaction for repairs) ----
+  Component& add_component(const std::string& name,
+                           const std::string& type_name);
+  /// Removes the component and every attachment referencing it.
+  void remove_component(const std::string& name);
+  Connector& add_connector(const std::string& name,
+                           const std::string& type_name);
+  void remove_connector(const std::string& name);
+  /// Validates that all four endpoints exist; throws ModelError otherwise.
+  void attach(const Attachment& a);
+  /// Removes an attachment; throws ModelError when absent.
+  void detach(const Attachment& a);
+
+  /// Move a fully-built component in (used by transaction rollback).
+  Component& adopt_component(std::unique_ptr<Component> component);
+  Connector& adopt_connector(std::unique_ptr<Connector> connector);
+  std::unique_ptr<Component> release_component(const std::string& name);
+  std::unique_ptr<Connector> release_connector(const std::string& name);
+
+  // ---- lookup ----
+  bool has_component(const std::string& name) const {
+    return components_.count(name) > 0;
+  }
+  bool has_connector(const std::string& name) const {
+    return connectors_.count(name) > 0;
+  }
+  Component& component(const std::string& name);
+  const Component& component(const std::string& name) const;
+  Connector& connector(const std::string& name);
+  const Connector& connector(const std::string& name) const;
+  std::vector<Component*> components();
+  std::vector<const Component*> components() const;
+  std::vector<Connector*> connectors();
+  std::vector<const Connector*> connectors() const;
+  const std::vector<Attachment>& attachments() const { return attachments_; }
+
+  // ---- graph queries (the predicates Armani expressions use) ----
+  /// True when some connector has one role attached to a port of `a` and
+  /// another attached to a port of `b`.
+  bool connected(const std::string& a, const std::string& b) const;
+  /// True when the named port/role pair is attached.
+  bool attached(const std::string& component, const std::string& port,
+                const std::string& connector, const std::string& role) const;
+  /// Connectors with at least one role attached to `component`.
+  std::vector<const Connector*> connectors_of(const std::string& component) const;
+  /// Components attached (via any connector role) to `connector`.
+  std::vector<const Component*> components_on(const std::string& connector) const;
+  /// Components connected to `component` through any connector.
+  std::vector<const Component*> neighbors(const std::string& component) const;
+  /// The attachments involving a component (optionally a specific port).
+  std::vector<Attachment> attachments_of(const std::string& component) const;
+  /// The attachments involving a connector.
+  std::vector<Attachment> attachments_on(const std::string& connector) const;
+
+  /// Structural well-formedness: every attachment references an existing
+  /// component port and connector role, and no role is attached twice.
+  /// Returns human-readable violations (empty = valid).
+  std::vector<std::string> structural_violations() const;
+
+  std::unique_ptr<System> clone() const;
+
+ private:
+  std::string name_;
+  std::map<std::string, std::unique_ptr<Component>> components_;
+  std::map<std::string, std::unique_ptr<Connector>> connectors_;
+  std::vector<Attachment> attachments_;
+};
+
+}  // namespace arcadia::model

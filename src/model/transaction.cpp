@@ -1,0 +1,221 @@
+#include "model/transaction.hpp"
+
+#include <memory>
+
+namespace arcadia::model {
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::AddComponent: return "add-component";
+    case OpKind::RemoveComponent: return "remove-component";
+    case OpKind::AddConnector: return "add-connector";
+    case OpKind::RemoveConnector: return "remove-connector";
+    case OpKind::AddPort: return "add-port";
+    case OpKind::RemovePort: return "remove-port";
+    case OpKind::AddRole: return "add-role";
+    case OpKind::RemoveRole: return "remove-role";
+    case OpKind::Attach: return "attach";
+    case OpKind::Detach: return "detach";
+    case OpKind::SetProperty: return "set-property";
+  }
+  return "?";
+}
+
+std::string OpRecord::describe() const {
+  std::string s = to_string(kind);
+  for (const auto& part : scope) s += " " + part + "/";
+  switch (kind) {
+    case OpKind::Attach:
+    case OpKind::Detach:
+      s += " " + attachment.component + "." + attachment.port + " <-> " +
+           attachment.connector + "." + attachment.role;
+      break;
+    case OpKind::SetProperty:
+      s += " " + element + (sub.empty() ? "" : "." + sub) + "." + property +
+           " = " + value.to_string();
+      break;
+    default:
+      s += " " + element + (sub.empty() ? "" : "." + sub);
+      if (!type_name.empty()) s += " : " + type_name;
+  }
+  return s;
+}
+
+Transaction::~Transaction() {
+  if (state_ == State::Open) rollback();
+}
+
+void Transaction::require_open() const {
+  if (state_ != State::Open) {
+    throw ModelError("transaction is no longer open");
+  }
+}
+
+System& Transaction::resolve_scope(const std::vector<std::string>& scope) {
+  System* sys = &root_;
+  for (const std::string& comp : scope) {
+    sys = &sys->component(comp).representation();
+  }
+  return *sys;
+}
+
+Component& Transaction::add_component(const std::vector<std::string>& scope,
+                                      const std::string& name,
+                                      const std::string& type_name) {
+  require_open();
+  System& sys = resolve_scope(scope);
+  Component& c = sys.add_component(name, type_name);
+  records_.push_back({OpKind::AddComponent, scope, name, "", type_name, "",
+                      PropertyValue(), {}, ElementKind::Component});
+  undo_.push_back([&sys, name] { sys.remove_component(name); });
+  return c;
+}
+
+void Transaction::remove_component(const std::vector<std::string>& scope,
+                                   const std::string& name) {
+  require_open();
+  System& sys = resolve_scope(scope);
+  // Snapshot for undo: the component subtree and its attachments.
+  auto snapshot = std::make_shared<std::unique_ptr<Component>>(
+      sys.component(name).clone());
+  auto atts = std::make_shared<std::vector<Attachment>>(sys.attachments_of(name));
+  sys.remove_component(name);
+  records_.push_back({OpKind::RemoveComponent, scope, name, "", "", "",
+                      PropertyValue(), {}, ElementKind::Component});
+  undo_.push_back([&sys, snapshot, atts] {
+    sys.adopt_component(std::move(*snapshot));
+    for (const Attachment& a : *atts) sys.attach(a);
+  });
+}
+
+Connector& Transaction::add_connector(const std::vector<std::string>& scope,
+                                      const std::string& name,
+                                      const std::string& type_name) {
+  require_open();
+  System& sys = resolve_scope(scope);
+  Connector& c = sys.add_connector(name, type_name);
+  records_.push_back({OpKind::AddConnector, scope, name, "", type_name, "",
+                      PropertyValue(), {}, ElementKind::Connector});
+  undo_.push_back([&sys, name] { sys.remove_connector(name); });
+  return c;
+}
+
+void Transaction::remove_connector(const std::vector<std::string>& scope,
+                                   const std::string& name) {
+  require_open();
+  System& sys = resolve_scope(scope);
+  auto snapshot = std::make_shared<std::unique_ptr<Connector>>(
+      sys.connector(name).clone());
+  auto atts = std::make_shared<std::vector<Attachment>>(sys.attachments_on(name));
+  sys.remove_connector(name);
+  records_.push_back({OpKind::RemoveConnector, scope, name, "", "", "",
+                      PropertyValue(), {}, ElementKind::Connector});
+  undo_.push_back([&sys, snapshot, atts] {
+    sys.adopt_connector(std::move(*snapshot));
+    for (const Attachment& a : *atts) sys.attach(a);
+  });
+}
+
+Port& Transaction::add_port(const std::vector<std::string>& scope,
+                            const std::string& component,
+                            const std::string& port,
+                            const std::string& type_name) {
+  require_open();
+  System& sys = resolve_scope(scope);
+  Port& p = sys.component(component).add_port(port, type_name);
+  records_.push_back({OpKind::AddPort, scope, component, port, type_name, "",
+                      PropertyValue(), {}, ElementKind::Port});
+  undo_.push_back(
+      [&sys, component, port] { sys.component(component).remove_port(port); });
+  return p;
+}
+
+Role& Transaction::add_role(const std::vector<std::string>& scope,
+                            const std::string& connector,
+                            const std::string& role,
+                            const std::string& type_name) {
+  require_open();
+  System& sys = resolve_scope(scope);
+  Role& r = sys.connector(connector).add_role(role, type_name);
+  records_.push_back({OpKind::AddRole, scope, connector, role, type_name, "",
+                      PropertyValue(), {}, ElementKind::Role});
+  undo_.push_back(
+      [&sys, connector, role] { sys.connector(connector).remove_role(role); });
+  return r;
+}
+
+void Transaction::attach(const std::vector<std::string>& scope, Attachment a) {
+  require_open();
+  System& sys = resolve_scope(scope);
+  sys.attach(a);
+  records_.push_back({OpKind::Attach, scope, "", "", "", "", PropertyValue(),
+                      a, ElementKind::System});
+  undo_.push_back([&sys, a] { sys.detach(a); });
+}
+
+void Transaction::detach(const std::vector<std::string>& scope, Attachment a) {
+  require_open();
+  System& sys = resolve_scope(scope);
+  sys.detach(a);
+  records_.push_back({OpKind::Detach, scope, "", "", "", "", PropertyValue(),
+                      a, ElementKind::System});
+  undo_.push_back([&sys, a] { sys.attach(a); });
+}
+
+Element& Transaction::resolve_element(System& sys, ElementKind kind,
+                                      const std::string& element,
+                                      const std::string& sub) {
+  switch (kind) {
+    case ElementKind::Component:
+      return sys.component(element);
+    case ElementKind::Connector:
+      return sys.connector(element);
+    case ElementKind::Port:
+      return sys.component(element).port(sub);
+    case ElementKind::Role:
+      return sys.connector(element).role(sub);
+    case ElementKind::System:
+      break;
+  }
+  throw ModelError("set_property: unsupported element kind");
+}
+
+void Transaction::set_property(const std::vector<std::string>& scope,
+                               ElementKind kind, const std::string& element,
+                               const std::string& sub,
+                               const std::string& property,
+                               PropertyValue value) {
+  require_open();
+  System& sys = resolve_scope(scope);
+  Element& el = resolve_element(sys, kind, element, sub);
+  const bool had = el.has_property(property);
+  const PropertyValue old = had ? el.property(property) : PropertyValue();
+  el.set_property(property, value);
+  records_.push_back({OpKind::SetProperty, scope, element, sub, "", property,
+                      std::move(value), {}, kind});
+  undo_.push_back([this, scope, kind, element, sub, property, had, old] {
+    System& s = resolve_scope(scope);
+    Element& e = resolve_element(s, kind, element, sub);
+    if (had) {
+      e.set_property(property, old);
+    } else {
+      e.clear_property(property);
+    }
+  });
+}
+
+void Transaction::commit() {
+  require_open();
+  state_ = State::Committed;
+  undo_.clear();
+}
+
+void Transaction::rollback() {
+  require_open();
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) (*it)();
+  undo_.clear();
+  records_.clear();
+  state_ = State::RolledBack;
+}
+
+}  // namespace arcadia::model

@@ -1,0 +1,123 @@
+// Journaled model mutation. A repair script runs inside a Transaction:
+// every change is applied to the model immediately (so later script steps
+// observe earlier ones) and journaled with its inverse. `commit repair`
+// seals the transaction and hands the op records to the translator;
+// `abort` rolls everything back, leaving the model untouched — Figure 5's
+// commit/abort semantics.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/system.hpp"
+
+namespace arcadia::model {
+
+enum class OpKind {
+  AddComponent,
+  RemoveComponent,
+  AddConnector,
+  RemoveConnector,
+  AddPort,
+  RemovePort,
+  AddRole,
+  RemoveRole,
+  Attach,
+  Detach,
+  SetProperty,
+};
+
+const char* to_string(OpKind kind);
+
+/// A committed change, in a form the translator can map to runtime
+/// operations. Field use by kind:
+///  - Add/RemoveComponent/Connector: element, type_name
+///  - Add/RemovePort/Role:           element (owner), sub, type_name
+///  - Attach/Detach:                 attachment
+///  - SetProperty:                   element_kind, element, sub (port/role
+///                                   name or empty), property, value
+struct OpRecord {
+  OpKind kind;
+  std::vector<std::string> scope;  ///< representation path from the root
+  std::string element;
+  std::string sub;
+  std::string type_name;
+  std::string property;
+  PropertyValue value;
+  Attachment attachment;
+  ElementKind element_kind = ElementKind::Component;
+
+  std::string describe() const;
+};
+
+class Transaction {
+ public:
+  explicit Transaction(System& root) : root_(root) {}
+  /// An open transaction rolls back on destruction (exception safety).
+  ~Transaction();
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  /// Resolve a representation path ("ServerGrp1" -> that component's
+  /// representation system). An empty scope is the root system.
+  System& resolve_scope(const std::vector<std::string>& scope);
+
+  // ---- mutations (all throw ModelError on invalid input, leaving the
+  //      transaction consistent and still open) ----
+  Component& add_component(const std::vector<std::string>& scope,
+                           const std::string& name,
+                           const std::string& type_name);
+  void remove_component(const std::vector<std::string>& scope,
+                        const std::string& name);
+  Connector& add_connector(const std::vector<std::string>& scope,
+                           const std::string& name,
+                           const std::string& type_name);
+  void remove_connector(const std::vector<std::string>& scope,
+                        const std::string& name);
+  Port& add_port(const std::vector<std::string>& scope,
+                 const std::string& component, const std::string& port,
+                 const std::string& type_name);
+  Role& add_role(const std::vector<std::string>& scope,
+                 const std::string& connector, const std::string& role,
+                 const std::string& type_name);
+  void attach(const std::vector<std::string>& scope, Attachment a);
+  void detach(const std::vector<std::string>& scope, Attachment a);
+  void set_property(const std::vector<std::string>& scope, ElementKind kind,
+                    const std::string& element, const std::string& sub,
+                    const std::string& property, PropertyValue value);
+
+  // Root-scope conveniences.
+  Component& add_component(const std::string& name, const std::string& type) {
+    return add_component({}, name, type);
+  }
+  Connector& add_connector(const std::string& name, const std::string& type) {
+    return add_connector({}, name, type);
+  }
+  void attach(Attachment a) { attach({}, std::move(a)); }
+  void detach(Attachment a) { detach({}, std::move(a)); }
+
+  /// Seal the transaction. Changes are already in the model; records()
+  /// describes them for the translator.
+  void commit();
+  /// Undo everything, newest first.
+  void rollback();
+
+  bool is_open() const { return state_ == State::Open; }
+  bool committed() const { return state_ == State::Committed; }
+  const std::vector<OpRecord>& records() const { return records_; }
+  std::size_t op_count() const { return records_.size(); }
+
+ private:
+  enum class State { Open, Committed, RolledBack };
+  void require_open() const;
+  Element& resolve_element(System& sys, ElementKind kind,
+                           const std::string& element, const std::string& sub);
+
+  System& root_;
+  State state_ = State::Open;
+  std::vector<OpRecord> records_;
+  std::vector<std::function<void()>> undo_;
+};
+
+}  // namespace arcadia::model

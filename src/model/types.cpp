@@ -1,0 +1,142 @@
+#include "model/types.hpp"
+
+namespace arcadia::model {
+
+const char* to_string(PropertyType type) {
+  switch (type) {
+    case PropertyType::Bool: return "bool";
+    case PropertyType::Int: return "int";
+    case PropertyType::Double: return "double";
+    case PropertyType::String: return "string";
+    case PropertyType::Any: return "any";
+  }
+  return "?";
+}
+
+bool value_matches(PropertyType type, const PropertyValue& value) {
+  switch (type) {
+    case PropertyType::Bool: return value.is_bool();
+    case PropertyType::Int: return value.is_int();
+    // Numeric promotion: an int is acceptable where a double is declared.
+    case PropertyType::Double: return value.is_numeric();
+    case PropertyType::String: return value.is_string();
+    case PropertyType::Any: return true;
+  }
+  return false;
+}
+
+const PropertySpec* ElementTypeDef::find_prop(const std::string& pname) const {
+  for (const auto& p : properties) {
+    if (p.name == pname) return &p;
+  }
+  return nullptr;
+}
+
+ElementTypeDef& Style::define(const std::string& type_name, ElementKind kind) {
+  auto [it, inserted] = types_.try_emplace(type_name);
+  it->second.name = type_name;
+  it->second.kind = kind;
+  return it->second;
+}
+
+const ElementTypeDef* Style::find(const std::string& type_name) const {
+  auto it = types_.find(type_name);
+  return it == types_.end() ? nullptr : &it->second;
+}
+
+std::vector<const ElementTypeDef*> Style::types() const {
+  std::vector<const ElementTypeDef*> out;
+  for (const auto& [n, t] : types_) out.push_back(&t);
+  return out;
+}
+
+void Style::apply_defaults(Element& element) const {
+  const ElementTypeDef* def = find(element.type_name());
+  if (!def) return;
+  for (const auto& spec : def->properties) {
+    if (spec.default_value && !element.has_property(spec.name)) {
+      element.set_property(spec.name, *spec.default_value);
+    }
+  }
+}
+
+std::vector<std::string> Style::check_element(const Element& element) const {
+  std::vector<std::string> out;
+  const ElementTypeDef* def = find(element.type_name());
+  if (!def) {
+    out.push_back("element '" + element.name() + "' has unknown type '" +
+                  element.type_name() + "'");
+    return out;
+  }
+  if (def->kind != element.kind()) {
+    out.push_back("element '" + element.name() + "': type '" + def->name +
+                  "' is a " + std::string(to_string(def->kind)) + " type, not a " +
+                  to_string(element.kind()));
+  }
+  for (const auto& spec : def->properties) {
+    if (!element.has_property(spec.name)) {
+      if (spec.required) {
+        out.push_back("element '" + element.name() +
+                      "' missing required property '" + spec.name + "'");
+      }
+      continue;
+    }
+    if (!value_matches(spec.type, element.property(spec.name))) {
+      out.push_back("element '" + element.name() + "' property '" + spec.name +
+                    "' is not a " + to_string(spec.type));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Style::check_system(const System& system) const {
+  std::vector<std::string> out = system.structural_violations();
+  auto absorb = [&out](std::vector<std::string> v) {
+    for (auto& s : v) out.push_back(std::move(s));
+  };
+  for (const Component* c : system.components()) {
+    absorb(check_element(*c));
+    for (const Port* p : c->ports()) absorb(check_element(*p));
+    if (c->has_representation()) absorb(check_system(c->representation_const()));
+  }
+  for (const Connector* k : system.connectors()) {
+    absorb(check_element(*k));
+    for (const Role* r : k->roles()) absorb(check_element(*r));
+  }
+  return out;
+}
+
+Style client_server_style() {
+  Style style("ClientServerStyle");
+  using PT = PropertyType;
+
+  style.define(cs::kClientT, ElementKind::Component)
+      .prop(cs::kPropAvgLatency, PT::Double, false, PropertyValue(0.0))
+      .prop(cs::kPropMaxLatency, PT::Double, true, PropertyValue(2.0))
+      .prop(cs::kPropLocation, PT::String, false);
+
+  style.define(cs::kServerT, ElementKind::Component)
+      .prop(cs::kPropIsActive, PT::Bool, false, PropertyValue(true))
+      .prop(cs::kPropLocation, PT::String, false);
+
+  style.define(cs::kServerGroupT, ElementKind::Component)
+      .prop(cs::kPropLoad, PT::Double, false, PropertyValue(0.0))
+      .prop(cs::kPropReplication, PT::Int, true, PropertyValue(0))
+      .prop(cs::kPropUtilization, PT::Double, false, PropertyValue(0.0))
+      .prop(cs::kPropLocation, PT::String, false);
+
+  style.define(cs::kConnT, ElementKind::Connector);
+
+  style.define(cs::kClientRoleT, ElementKind::Role)
+      .prop(cs::kPropBandwidth, PT::Double, false, PropertyValue(1.0e7));
+  style.define(cs::kServerRoleT, ElementKind::Role);
+
+  style.define(cs::kRequestPortT, ElementKind::Port);
+  style.define(cs::kProvidePortT, ElementKind::Port);
+
+  // Figure 5, line 1 — the latency invariant each client must satisfy.
+  style.add_invariant("averageLatency <= maxLatency");
+  return style;
+}
+
+}  // namespace arcadia::model

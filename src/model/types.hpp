@@ -1,0 +1,108 @@
+// Architectural styles: families of element types with property
+// requirements and style invariants. Repairs are written against a style
+// ("architecture adaptation operators will be specific to the structure of
+// the architecture (this is called an architecture style)" — Section 3.3);
+// the style also supplies the vocabulary the paper's Figure 5 strategy
+// uses: ClientT, ServerGroupT, ClientRoleT, RequestT...
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/system.hpp"
+
+namespace arcadia::model {
+
+enum class PropertyType { Bool, Int, Double, String, Any };
+
+const char* to_string(PropertyType type);
+bool value_matches(PropertyType type, const PropertyValue& value);
+
+struct PropertySpec {
+  std::string name;
+  PropertyType type = PropertyType::Any;
+  bool required = false;
+  std::optional<PropertyValue> default_value;
+};
+
+struct ElementTypeDef {
+  std::string name;
+  ElementKind kind = ElementKind::Component;
+  std::vector<PropertySpec> properties;
+
+  ElementTypeDef& prop(std::string pname, PropertyType type,
+                       bool required = false,
+                       std::optional<PropertyValue> def = std::nullopt) {
+    properties.push_back({std::move(pname), type, required, std::move(def)});
+    return *this;
+  }
+  const PropertySpec* find_prop(const std::string& pname) const;
+};
+
+class Style {
+ public:
+  explicit Style(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  ElementTypeDef& define(const std::string& type_name, ElementKind kind);
+  const ElementTypeDef* find(const std::string& type_name) const;
+  std::vector<const ElementTypeDef*> types() const;
+
+  /// Armani invariant sources attached to the style; the acme module
+  /// parses and the repair module enforces them.
+  void add_invariant(std::string source) {
+    invariants_.push_back(std::move(source));
+  }
+  const std::vector<std::string>& invariants() const { return invariants_; }
+
+  /// Fill in defaults for declared-but-absent properties.
+  void apply_defaults(Element& element) const;
+
+  /// Type-conformance problems for one element (unknown type, kind
+  /// mismatch, missing required property, property type mismatch).
+  std::vector<std::string> check_element(const Element& element) const;
+
+  /// Whole-system check: every element (including ports, roles, and
+  /// representation members) conforms, plus structural well-formedness.
+  std::vector<std::string> check_system(const System& system) const;
+
+ private:
+  std::string name_;
+  std::map<std::string, ElementTypeDef> types_;
+  std::vector<std::string> invariants_;
+};
+
+/// The paper's replicated client-server style. Type vocabulary follows
+/// Figure 5 and Section 3.3:
+///   components: ClientT, ServerT, ServerGroupT
+///   connector:  ClientServerConnT with roles ClientRoleT / ServerRoleT
+///   ports:      RequestT (client side), ProvideT (server-group side)
+/// Properties: client.averageLatency / maxLatency; group.load /
+/// replicationCount / utilization / location; role.bandwidth.
+Style client_server_style();
+
+/// Well-known names used when instantiating the style.
+namespace cs {
+inline constexpr const char* kClientT = "ClientT";
+inline constexpr const char* kServerT = "ServerT";
+inline constexpr const char* kServerGroupT = "ServerGroupT";
+inline constexpr const char* kConnT = "ClientServerConnT";
+inline constexpr const char* kClientRoleT = "ClientRoleT";
+inline constexpr const char* kServerRoleT = "ServerRoleT";
+inline constexpr const char* kRequestPortT = "RequestT";
+inline constexpr const char* kProvidePortT = "ProvideT";
+
+inline constexpr const char* kPropAvgLatency = "averageLatency";
+inline constexpr const char* kPropMaxLatency = "maxLatency";
+inline constexpr const char* kPropLoad = "load";
+inline constexpr const char* kPropReplication = "replicationCount";
+inline constexpr const char* kPropUtilization = "utilization";
+inline constexpr const char* kPropBandwidth = "bandwidth";
+inline constexpr const char* kPropLocation = "location";
+inline constexpr const char* kPropIsActive = "isActive";
+}  // namespace cs
+
+}  // namespace arcadia::model

@@ -1,0 +1,152 @@
+#include "monitor/gauge.hpp"
+
+#include "monitor/topics.hpp"
+
+namespace arcadia::monitor {
+
+SlidingWindowGauge::SlidingWindowGauge(sim::Simulator& sim, GaugeSpec spec,
+                                       events::Filter filter,
+                                       std::string value_attr, SimTime window,
+                                       SimTime max_staleness)
+    : Gauge(sim, std::move(spec)),
+      filter_(std::move(filter)),
+      value_attr_(std::move(value_attr)),
+      window_(window),
+      max_staleness_(max_staleness) {}
+
+void SlidingWindowGauge::consume(const events::Notification& n) {
+  auto it = n.attributes.find(value_attr_);
+  if (it == n.attributes.end() || !it->second.is_numeric()) return;
+  samples_.emplace_back(sim_.now(), it->second.as_double());
+  last_sample_time_ = sim_.now();
+  // Track the newest observation so read() can hold a value through short
+  // probe silences even if it never ran while the window was populated.
+  last_value_ = it->second.as_double();
+  evict();
+}
+
+void SlidingWindowGauge::evict() {
+  const SimTime cutoff = sim_.now() - window_;
+  while (!samples_.empty() && samples_.front().first < cutoff) {
+    samples_.pop_front();
+  }
+}
+
+std::optional<double> SlidingWindowGauge::read() {
+  evict();
+  if (!samples_.empty()) {
+    double sum = 0.0;
+    for (const auto& [t, v] : samples_) sum += v;
+    last_value_ = sum / static_cast<double>(samples_.size());
+    return last_value_;
+  }
+  // No samples in the window: hold the last value briefly.
+  if (last_value_ && sim_.now() - last_sample_time_ <= max_staleness_) {
+    return last_value_;
+  }
+  return std::nullopt;
+}
+
+void SlidingWindowGauge::reset() {
+  samples_.clear();
+  last_value_.reset();
+}
+
+EwmaGauge::EwmaGauge(sim::Simulator& sim, GaugeSpec spec, events::Filter filter,
+                     std::string value_attr, double alpha)
+    : Gauge(sim, std::move(spec)),
+      filter_(std::move(filter)),
+      value_attr_(std::move(value_attr)),
+      ewma_(alpha) {}
+
+void EwmaGauge::consume(const events::Notification& n) {
+  auto it = n.attributes.find(value_attr_);
+  if (it == n.attributes.end() || !it->second.is_numeric()) return;
+  ewma_.add(it->second.as_double());
+}
+
+std::optional<double> EwmaGauge::read() {
+  if (!ewma_.initialized()) return std::nullopt;
+  return ewma_.value();
+}
+
+void EwmaGauge::reset() { ewma_.reset(); }
+
+LatestValueGauge::LatestValueGauge(sim::Simulator& sim, GaugeSpec spec,
+                                   events::Filter filter,
+                                   std::string value_attr)
+    : Gauge(sim, std::move(spec)),
+      filter_(std::move(filter)),
+      value_attr_(std::move(value_attr)) {}
+
+void LatestValueGauge::consume(const events::Notification& n) {
+  auto it = n.attributes.find(value_attr_);
+  if (it == n.attributes.end() || !it->second.is_numeric()) return;
+  latest_ = it->second.as_double();
+}
+
+std::optional<double> LatestValueGauge::read() { return latest_; }
+
+void LatestValueGauge::reset() { latest_.reset(); }
+
+std::unique_ptr<Gauge> make_latency_gauge(sim::Simulator& sim,
+                                          const std::string& client,
+                                          sim::NodeId host, SimTime window) {
+  GaugeSpec spec;
+  spec.id = "latency:" + client;
+  spec.element = client;
+  spec.property = "averageLatency";
+  spec.host_node = host;
+  auto filter = events::Filter::topic(topics::kProbeLatency)
+                    .where(topics::kAttrClient, events::Op::Eq, client);
+  return std::make_unique<SlidingWindowGauge>(
+      sim, std::move(spec), std::move(filter), topics::kAttrValue, window,
+      window * 2.0);
+}
+
+std::unique_ptr<Gauge> make_load_gauge(sim::Simulator& sim,
+                                       const std::string& group,
+                                       sim::NodeId host, SimTime window) {
+  GaugeSpec spec;
+  spec.id = "load:" + group;
+  spec.element = group;
+  spec.property = "load";
+  spec.host_node = host;
+  auto filter = events::Filter::topic(topics::kProbeQueue)
+                    .where(topics::kAttrGroup, events::Op::Eq, group);
+  return std::make_unique<SlidingWindowGauge>(
+      sim, std::move(spec), std::move(filter), topics::kAttrValue, window,
+      window * 2.0);
+}
+
+std::unique_ptr<Gauge> make_bandwidth_gauge(sim::Simulator& sim,
+                                            const std::string& client,
+                                            const std::string& role_element,
+                                            sim::NodeId host) {
+  GaugeSpec spec;
+  spec.id = "bandwidth:" + client;
+  spec.element = role_element;
+  spec.property = "bandwidth";
+  spec.host_node = host;
+  auto filter = events::Filter::topic(topics::kProbeBandwidth)
+                    .where(topics::kAttrClient, events::Op::Eq, client);
+  return std::make_unique<LatestValueGauge>(sim, std::move(spec),
+                                            std::move(filter),
+                                            topics::kAttrValue);
+}
+
+std::unique_ptr<Gauge> make_utilization_gauge(sim::Simulator& sim,
+                                              const std::string& group,
+                                              sim::NodeId host, double alpha) {
+  GaugeSpec spec;
+  spec.id = "utilization:" + group;
+  spec.element = group;
+  spec.property = "utilization";
+  spec.host_node = host;
+  auto filter = events::Filter::topic(topics::kProbeUtilization)
+                    .where(topics::kAttrGroup, events::Op::Eq, group);
+  return std::make_unique<EwmaGauge>(sim, std::move(spec), std::move(filter),
+                                     topics::kAttrValue, alpha);
+}
+
+}  // namespace arcadia::monitor

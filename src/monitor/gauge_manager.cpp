@@ -1,0 +1,187 @@
+#include "monitor/gauge_manager.hpp"
+
+#include "monitor/topics.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace arcadia::monitor {
+
+GaugeManager::GaugeManager(sim::Simulator& sim, events::EventBus& probe_bus,
+                           events::EventBus& gauge_bus,
+                           GaugeManagerConfig config)
+    : sim_(sim), probe_bus_(probe_bus), gauge_bus_(gauge_bus), config_(config) {}
+
+GaugeManager::~GaugeManager() {
+  for (auto& [id, m] : gauges_) take_offline(m);
+}
+
+std::string GaugeManager::deploy(std::unique_ptr<Gauge> gauge,
+                                 std::function<void()> on_live) {
+  const std::string id = gauge->spec().id;
+  if (gauges_.count(id)) throw Error("gauge already deployed: " + id);
+  Managed m;
+  m.gauge = std::move(gauge);
+  gauges_.emplace(id, std::move(m));
+  sim_.schedule_in(config_.create_cost, [this, id, on_live] {
+    go_live(id, on_live);
+  });
+  return id;
+}
+
+void GaugeManager::go_live(const std::string& id,
+                           std::function<void()> on_live) {
+  auto it = gauges_.find(id);
+  if (it == gauges_.end()) return;  // destroyed while being created
+  Managed& m = it->second;
+  Gauge* g = m.gauge.get();
+  m.probe_sub = probe_bus_.subscribe(
+      g->probe_filter(), [g](const events::Notification& n) { g->consume(n); },
+      g->spec().host_node);
+  m.reporter = std::make_unique<sim::PeriodicTask>(
+      sim_, sim_.now() + config_.report_period, config_.report_period,
+      [this, g]() {
+        auto it2 = gauges_.find(g->spec().id);
+        if (it2 == gauges_.end() || !it2->second.live) return false;
+        report(it2->second);
+        return true;
+      });
+  m.live = true;
+  ++stats_.created;
+  publish_lifecycle(id, "created");
+  if (on_live) on_live();
+}
+
+void GaugeManager::report(Managed& m) {
+  std::optional<double> value = m.gauge->read();
+  if (!value) return;
+  const GaugeSpec& spec = m.gauge->spec();
+  events::Notification n(topics::kGaugeReport);
+  n.set(topics::kAttrGaugeId, spec.id)
+      .set(topics::kAttrElement, spec.element)
+      .set(topics::kAttrProperty, spec.property)
+      .set(topics::kAttrValue, *value);
+  n.source_node = spec.host_node;
+  n.wire_size = DataSize::bytes(512);
+  ++stats_.reports;
+  gauge_bus_.publish(std::move(n));
+}
+
+void GaugeManager::take_offline(Managed& m) {
+  if (m.probe_sub != 0) {
+    probe_bus_.unsubscribe(m.probe_sub);
+    m.probe_sub = 0;
+  }
+  m.reporter.reset();
+  m.live = false;
+}
+
+void GaugeManager::destroy(const std::string& gauge_id,
+                           std::function<void()> on_done) {
+  auto it = gauges_.find(gauge_id);
+  if (it == gauges_.end()) throw Error("destroy: unknown gauge " + gauge_id);
+  take_offline(it->second);
+  gauges_.erase(it);
+  ++stats_.destroyed;
+  publish_lifecycle(gauge_id, "deleted");
+  sim_.schedule_in(config_.destroy_cost, [on_done] {
+    if (on_done) on_done();
+  });
+}
+
+void GaugeManager::publish_lifecycle(const std::string& id,
+                                     const std::string& phase) {
+  events::Notification n(topics::kGaugeLifecycle);
+  n.set(topics::kAttrGaugeId, id).set(topics::kAttrPhase, phase);
+  n.wire_size = DataSize::bytes(256);
+  gauge_bus_.publish(std::move(n));
+}
+
+std::vector<std::string> GaugeManager::gauges_for(
+    const std::string& element) const {
+  std::vector<std::string> out;
+  for (const auto& [id, m] : gauges_) {
+    if (m.gauge->spec().element == element) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::string> GaugeManager::all_elements() const {
+  std::vector<std::string> out;
+  for (const auto& [id, m] : gauges_) {
+    const std::string& el = m.gauge->spec().element;
+    if (std::find(out.begin(), out.end(), el) == out.end()) out.push_back(el);
+  }
+  return out;
+}
+
+bool GaugeManager::is_live(const std::string& gauge_id) const {
+  auto it = gauges_.find(gauge_id);
+  return it != gauges_.end() && it->second.live;
+}
+
+SimTime GaugeManager::redeploy_cost(const std::string& element) const {
+  const std::size_t n = gauges_for(element).size();
+  const SimTime per = config_.caching
+                          ? config_.relocate_cost
+                          : config_.destroy_cost + config_.create_cost;
+  return per * static_cast<double>(n);
+}
+
+void GaugeManager::redeploy_element(const std::string& element,
+                                    std::function<void()> on_done) {
+  std::vector<std::string> ids = gauges_for(element);
+  ++stats_.redeploys;
+  if (ids.empty()) {
+    sim_.schedule_in(SimTime::zero(), [on_done] {
+      if (on_done) on_done();
+    });
+    return;
+  }
+  const SimTime started = sim_.now();
+  // All of the element's gauges stop reporting now; they come back one by
+  // one as the (sequential) lifecycle communication completes.
+  SimTime cursor = SimTime::zero();
+  for (const std::string& id : ids) {
+    Managed& m = gauges_.at(id);
+    take_offline(m);
+    if (config_.caching) {
+      ++stats_.relocated;
+      cursor += config_.relocate_cost;
+      // Relocation keeps accumulated state (the cache is the point).
+    } else {
+      ++stats_.destroyed;
+      ++stats_.created;
+      m.gauge->reset();
+      cursor += config_.destroy_cost + config_.create_cost;
+    }
+    publish_lifecycle(id, config_.caching ? "relocating" : "deleted");
+    const bool last = (id == ids.back());
+    sim_.schedule_in(cursor, [this, id, last, started, on_done] {
+      auto it = gauges_.find(id);
+      if (it == gauges_.end()) return;
+      // Bring the gauge back online.
+      Managed& mm = it->second;
+      Gauge* g = mm.gauge.get();
+      mm.probe_sub = probe_bus_.subscribe(
+          g->probe_filter(),
+          [g](const events::Notification& n) { g->consume(n); },
+          g->spec().host_node);
+      mm.reporter = std::make_unique<sim::PeriodicTask>(
+          sim_, sim_.now() + config_.report_period, config_.report_period,
+          [this, g]() {
+            auto it2 = gauges_.find(g->spec().id);
+            if (it2 == gauges_.end() || !it2->second.live) return false;
+            report(it2->second);
+            return true;
+          });
+      mm.live = true;
+      publish_lifecycle(id, "created");
+      if (last) {
+        stats_.redeploy_time_total_s += (sim_.now() - started).as_seconds();
+        if (on_done) on_done();
+      }
+    });
+  }
+}
+
+}  // namespace arcadia::monitor

@@ -1,0 +1,106 @@
+// Gauge lifecycle per the paper's gauge protocol: creation, reporting,
+// deletion — and the cost of doing so over a wide-area bus. Section 5.3:
+// "The time that it takes to effect a repair averages 30 seconds. Most of
+// this time is spent in communicating to create and delete gauges.
+// Improving this time by caching gauges or relocating them (rather than
+// destroying and creating new ones) should see our repair speed improve
+// dramatically." The `caching` flag switches between those two worlds and
+// is the axis of the bench_repair_time ablation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "events/bus.hpp"
+#include "monitor/gauge.hpp"
+#include "sim/simulator.hpp"
+
+namespace arcadia::monitor {
+
+struct GaugeManagerConfig {
+  SimTime report_period = SimTime::seconds(5);
+  /// Communication cost to create a gauge from scratch.
+  SimTime create_cost = SimTime::seconds(12);
+  /// Communication cost to delete a gauge.
+  SimTime destroy_cost = SimTime::seconds(3);
+  /// Cost to relocate/retarget a cached gauge (caching mode).
+  SimTime relocate_cost = SimTime::seconds(1.5);
+  /// Cached-gauge mode: redeployments relocate instead of destroy+create.
+  bool caching = false;
+};
+
+struct GaugeManagerStats {
+  std::uint64_t created = 0;
+  std::uint64_t destroyed = 0;
+  std::uint64_t relocated = 0;
+  std::uint64_t reports = 0;
+  double redeploy_time_total_s = 0.0;
+  std::uint64_t redeploys = 0;
+};
+
+/// Owns gauges; wires them to the probe bus; reports their readings on the
+/// gauge bus; models the (dominant) communication costs of lifecycle
+/// operations.
+class GaugeManager {
+ public:
+  GaugeManager(sim::Simulator& sim, events::EventBus& probe_bus,
+               events::EventBus& gauge_bus, GaugeManagerConfig config);
+  ~GaugeManager();
+
+  GaugeManager(const GaugeManager&) = delete;
+  GaugeManager& operator=(const GaugeManager&) = delete;
+
+  /// Deploy a gauge: after the creation cost it subscribes to the probe
+  /// bus and starts periodic reports. `on_live` fires when it is reporting.
+  std::string deploy(std::unique_ptr<Gauge> gauge,
+                     std::function<void()> on_live = {});
+
+  /// Tear a gauge down (costs destroy_cost before `on_done`).
+  void destroy(const std::string& gauge_id, std::function<void()> on_done = {});
+
+  /// Re-deploy every gauge attached to `element` — the step a repair incurs
+  /// after reconfiguring an element. Costs are sequential over the
+  /// element's gauges (they share the manager's command channel), cold mode
+  /// destroy+create per gauge, caching mode one relocation per gauge.
+  /// `on_done` fires when all of the element's gauges report again.
+  void redeploy_element(const std::string& element,
+                        std::function<void()> on_done = {});
+
+  bool is_live(const std::string& gauge_id) const;
+  std::vector<std::string> gauges_for(const std::string& element) const;
+  /// Distinct element names that have at least one gauge.
+  std::vector<std::string> all_elements() const;
+  std::size_t gauge_count() const { return gauges_.size(); }
+  const GaugeManagerStats& stats() const { return stats_; }
+  const GaugeManagerConfig& config() const { return config_; }
+
+  /// The modeled wall-clock cost of redeploying one element's gauges, given
+  /// the current mode — used by planning/benches, not by execution.
+  SimTime redeploy_cost(const std::string& element) const;
+
+ private:
+  struct Managed {
+    std::unique_ptr<Gauge> gauge;
+    events::SubscriptionId probe_sub = 0;
+    std::unique_ptr<sim::PeriodicTask> reporter;
+    bool live = false;
+  };
+
+  void go_live(const std::string& id, std::function<void()> on_live);
+  void take_offline(Managed& m);
+  void publish_lifecycle(const std::string& id, const std::string& phase);
+  void report(Managed& m);
+
+  sim::Simulator& sim_;
+  events::EventBus& probe_bus_;
+  events::EventBus& gauge_bus_;
+  GaugeManagerConfig config_;
+  std::map<std::string, Managed> gauges_;
+  GaugeManagerStats stats_;
+};
+
+}  // namespace arcadia::monitor

@@ -1,0 +1,29 @@
+// Well-known bus topics and attribute names for the monitoring stack
+// (Figure 4): probes publish observations on the probe bus; gauges publish
+// interpreted model properties on the gauge reporting bus; the gauge
+// manager publishes lifecycle messages per the gauge protocol.
+#pragma once
+
+namespace arcadia::monitor::topics {
+
+// Probe bus.
+inline constexpr const char* kProbeLatency = "probe.latency";
+inline constexpr const char* kProbeQueue = "probe.queue";
+inline constexpr const char* kProbeBandwidth = "probe.bandwidth";
+inline constexpr const char* kProbeUtilization = "probe.utilization";
+inline constexpr const char* kProbeMethodCall = "probe.method_call";
+
+// Gauge reporting bus.
+inline constexpr const char* kGaugeReport = "gauge.report";
+inline constexpr const char* kGaugeLifecycle = "gauge.lifecycle";
+
+// Common attribute names.
+inline constexpr const char* kAttrElement = "element";    // model element
+inline constexpr const char* kAttrProperty = "property";  // model property
+inline constexpr const char* kAttrValue = "value";
+inline constexpr const char* kAttrGaugeId = "gauge";
+inline constexpr const char* kAttrClient = "client";
+inline constexpr const char* kAttrGroup = "group";
+inline constexpr const char* kAttrPhase = "phase";  // lifecycle: created/deleted
+
+}  // namespace arcadia::monitor::topics

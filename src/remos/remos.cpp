@@ -1,0 +1,52 @@
+#include "remos/remos.hpp"
+
+namespace arcadia::remos {
+
+RemosService::RemosService(sim::Simulator& sim, const sim::FlowNetwork& net,
+                           RemosConfig config)
+    : sim_(sim), net_(net), config_(config) {}
+
+Bandwidth RemosService::get_flow(sim::NodeId src, sim::NodeId dst) {
+  ++stats_.queries;
+  const auto key = std::make_pair(src, dst);
+  const SimTime now = sim_.now();
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    // Cold: Remos must collect and analyze data for this pair.
+    ++stats_.cold_queries;
+    last_cost_ = config_.first_query_cost;
+    Bandwidth value = net_.available_bandwidth(src, dst);
+    cache_[key] = Entry{value, now};
+    return value;
+  }
+  if (now - it->second.measured_at > config_.cache_ttl) {
+    ++stats_.refreshes;
+    last_cost_ = config_.cached_query_cost;
+    it->second.value = net_.available_bandwidth(src, dst);
+    it->second.measured_at = now;
+    return it->second.value;
+  }
+  ++stats_.cache_hits;
+  last_cost_ = config_.cached_query_cost;
+  return it->second.value;
+}
+
+bool RemosService::is_warm(sim::NodeId src, sim::NodeId dst) const {
+  return cache_.count(std::make_pair(src, dst)) > 0;
+}
+
+SimTime RemosService::prequery(
+    const std::vector<std::pair<sim::NodeId, sim::NodeId>>& pairs) {
+  bool any_cold = false;
+  for (const auto& [src, dst] : pairs) {
+    const auto key = std::make_pair(src, dst);
+    if (cache_.count(key)) continue;
+    any_cold = true;
+    ++stats_.queries;
+    ++stats_.cold_queries;
+    cache_[key] = Entry{net_.available_bandwidth(src, dst), sim_.now()};
+  }
+  return any_cold ? config_.first_query_cost : SimTime::zero();
+}
+
+}  // namespace arcadia::remos

@@ -1,0 +1,160 @@
+#include "repair/constraint.hpp"
+
+#include <set>
+
+#include "acme/expr_parser.hpp"
+
+namespace arcadia::repair {
+
+namespace {
+
+void collect_free_names(const acme::Expr& expr, std::set<std::string>& out) {
+  using namespace acme;
+  if (const auto* name = dynamic_cast<const NameExpr*>(&expr)) {
+    if (name->name != "self") out.insert(name->name);
+    return;
+  }
+  if (const auto* member = dynamic_cast<const MemberExpr*>(&expr)) {
+    collect_free_names(*member->object, out);
+    return;
+  }
+  if (const auto* call = dynamic_cast<const CallExpr*>(&expr)) {
+    // The callee name is a function, not a property; only walk arguments.
+    for (const auto& a : call->args) collect_free_names(*a, out);
+    return;
+  }
+  if (const auto* unary = dynamic_cast<const UnaryExpr*>(&expr)) {
+    collect_free_names(*unary->operand, out);
+    return;
+  }
+  if (const auto* binary = dynamic_cast<const BinaryExpr*>(&expr)) {
+    collect_free_names(*binary->lhs, out);
+    collect_free_names(*binary->rhs, out);
+    return;
+  }
+  if (const auto* sel = dynamic_cast<const acme::SelectExpr*>(&expr)) {
+    collect_free_names(*sel->domain, out);
+    std::set<std::string> inner;
+    collect_free_names(*sel->predicate, inner);
+    inner.erase(sel->binder);
+    out.insert(inner.begin(), inner.end());
+    return;
+  }
+  if (const auto* q = dynamic_cast<const acme::QuantExpr*>(&expr)) {
+    collect_free_names(*q->domain, out);
+    std::set<std::string> inner;
+    collect_free_names(*q->predicate, inner);
+    inner.erase(q->binder);
+    out.insert(inner.begin(), inner.end());
+    return;
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> free_names(const acme::Expr& expr) {
+  std::set<std::string> set;
+  collect_free_names(expr, set);
+  return {set.begin(), set.end()};
+}
+
+ConstraintChecker::ConstraintChecker(const model::System& system)
+    : system_(system) {}
+
+void ConstraintChecker::bind_global(const std::string& name,
+                                    acme::EvalValue value) {
+  globals_[name] = std::move(value);
+}
+
+void ConstraintChecker::add_constraint(const std::string& id,
+                                       const std::string& element,
+                                       const std::string& armani_source,
+                                       const std::string& handler) {
+  Constraint c;
+  c.id = id;
+  c.element = element;
+  c.condition = std::shared_ptr<acme::Expr>(acme::parse_expression(armani_source));
+  c.handler = handler;
+  c.source = armani_source;
+  constraints_.push_back(std::move(c));
+}
+
+std::size_t ConstraintChecker::instantiate(const acme::Script& script) {
+  std::size_t created = 0;
+  for (const acme::InvariantDecl& inv : script.invariants) {
+    // Which properties must an element carry for this invariant to apply?
+    std::vector<std::string> needed;
+    for (const std::string& name : free_names(*inv.condition)) {
+      if (!globals_.count(name)) needed.push_back(name);
+    }
+    for (const model::Component* comp : system_.components()) {
+      bool applies = !needed.empty();
+      for (const std::string& prop : needed) {
+        if (!comp->has_property(prop)) {
+          applies = false;
+          break;
+        }
+      }
+      if (!applies) continue;
+      Constraint c;
+      c.id = (inv.name.empty() ? inv.handler : inv.name) + ":" + comp->name();
+      c.element = comp->name();
+      c.condition = inv.condition;  // shared across instances
+      c.handler = inv.handler;
+      c.source = "<script invariant line " + std::to_string(inv.line) + ">";
+      constraints_.push_back(std::move(c));
+      ++created;
+    }
+  }
+  return created;
+}
+
+bool ConstraintChecker::eval_constraint(const Constraint& c,
+                                        double* observed) const {
+  acme::EvalContext ctx(system_);
+  for (const auto& [name, value] : globals_) ctx.bind(name, value);
+  if (!c.element.empty() && system_.has_component(c.element)) {
+    ctx.set_context_element(acme::ElementRef::of_component(
+        system_, system_.component(c.element)));
+  }
+  bool ok = evaluator_.evaluate_bool(*c.condition, ctx);
+  if (observed) {
+    *observed = 0.0;
+    // For threshold comparisons, report the left-hand side's value so the
+    // worst-first policy can rank violations.
+    if (const auto* cmp = dynamic_cast<const acme::BinaryExpr*>(c.condition.get())) {
+      using Op = acme::BinaryExpr::Op;
+      if (cmp->op == Op::Le || cmp->op == Op::Lt || cmp->op == Op::Ge ||
+          cmp->op == Op::Gt) {
+        try {
+          acme::EvalValue lhs = evaluator_.evaluate(*cmp->lhs, ctx);
+          if (lhs.is_number()) *observed = lhs.as_number();
+        } catch (const Error&) {
+          // Leave observed at 0; ranking degrades gracefully.
+        }
+      }
+    }
+  }
+  return ok;
+}
+
+std::vector<Violation> ConstraintChecker::check() const {
+  std::vector<Violation> out;
+  for (const Constraint& c : constraints_) {
+    if (!c.element.empty() && !system_.has_component(c.element)) continue;
+    double observed = 0.0;
+    if (!eval_constraint(c, &observed)) {
+      out.push_back(Violation{&c, c.element, observed});
+    }
+  }
+  return out;
+}
+
+bool ConstraintChecker::satisfied(const std::string& id) const {
+  for (const Constraint& c : constraints_) {
+    if (c.id == id) return eval_constraint(c, nullptr);
+  }
+  throw ModelError("unknown constraint '" + id + "'");
+}
+
+}  // namespace arcadia::repair

@@ -1,0 +1,74 @@
+// Architectural constraints and their checker. The task layer supplies
+// threshold properties ("average latency < maxLatency"); the checker
+// evaluates each constraint against the live model and emits violations
+// that trigger repair strategies (Section 3.2).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "acme/ast.hpp"
+#include "acme/evaluator.hpp"
+#include "model/system.hpp"
+
+namespace arcadia::repair {
+
+struct Constraint {
+  std::string id;       ///< unique ("latency:User3")
+  std::string element;  ///< component the constraint is attached to
+  std::shared_ptr<acme::Expr> condition;  ///< must evaluate to true
+  std::string handler;  ///< strategy invoked on violation (may be empty)
+  std::string source;   ///< original Armani text (for reports)
+};
+
+struct Violation {
+  const Constraint* constraint = nullptr;
+  std::string element;
+  /// Value of the left-hand property when the constraint is a simple
+  /// threshold comparison; 0 otherwise. Used by the worst-first policy.
+  double observed = 0.0;
+};
+
+class ConstraintChecker {
+ public:
+  explicit ConstraintChecker(const model::System& system);
+
+  /// Global bindings visible in constraint expressions (task-layer
+  /// thresholds such as maxServerLoad / minBandwidth / minUtilization).
+  void bind_global(const std::string& name, acme::EvalValue value);
+
+  /// Attach a parsed constraint to a specific element.
+  void add_constraint(const std::string& id, const std::string& element,
+                      const std::string& armani_source,
+                      const std::string& handler);
+
+  /// Instantiate a script's invariants over every component that carries
+  /// all the properties the invariant mentions (unqualified names that are
+  /// not global bindings). Returns the number of constraints created.
+  std::size_t instantiate(const acme::Script& script);
+
+  /// Evaluate everything; returns current violations in a deterministic
+  /// order (constraint id).
+  std::vector<Violation> check() const;
+
+  /// Evaluate one constraint (by id); true = satisfied.
+  bool satisfied(const std::string& id) const;
+
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+ private:
+  bool eval_constraint(const Constraint& c, double* observed) const;
+
+  const model::System& system_;
+  acme::Evaluator evaluator_;
+  std::map<std::string, acme::EvalValue> globals_;
+  std::vector<Constraint> constraints_;
+};
+
+/// Free unqualified names mentioned in an expression (helper exposed for
+/// tests; used to decide which elements an invariant applies to).
+std::vector<std::string> free_names(const acme::Expr& expr);
+
+}  // namespace arcadia::repair

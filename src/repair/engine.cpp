@@ -1,0 +1,308 @@
+#include "repair/engine.hpp"
+
+#include <algorithm>
+
+#include "model/types.hpp"
+#include "util/log.hpp"
+
+namespace arcadia::repair {
+
+RepairEngine::RepairEngine(sim::Simulator& sim, model::System& root,
+                           const acme::Script& script, RuntimeQueries* queries,
+                           Translator* translator,
+                           monitor::GaugeManager* gauges,
+                           RepairEngineConfig config)
+    : sim_(sim),
+      root_(root),
+      script_(script),
+      queries_(queries),
+      translator_(translator),
+      gauges_(gauges),
+      config_(config),
+      interpreter_(root, script) {
+  OperatorThresholds op_th;
+  op_th.min_bandwidth = config_.min_bandwidth;
+  op_th.load_improvement = config_.load_improvement;
+  register_client_server_ops(interpreter_, root_, queries_,
+                             config_.conventions, op_th);
+  interpreter_.bind_global("maxServerLoad",
+                           acme::EvalValue(config_.max_server_load));
+  interpreter_.bind_global("minBandwidth",
+                           acme::EvalValue(config_.min_bandwidth.as_bps()));
+  interpreter_.bind_global("minUtilization",
+                           acme::EvalValue(config_.min_utilization));
+  interpreter_.bind_global(
+      "minReplicas",
+      acme::EvalValue(static_cast<double>(config_.min_replicas)));
+
+  native_[make_fix_latency_strategy().name] = make_fix_latency_strategy();
+  native_[make_trim_strategy().name] = make_trim_strategy();
+}
+
+bool RepairEngine::suppressed(const std::string& element) const {
+  auto it = settle_until_.find(element);
+  return it != settle_until_.end() && sim_.now() < it->second;
+}
+
+bool RepairEngine::constraint_cooling(const std::string& constraint_id) const {
+  auto it = cooldown_until_.find(constraint_id);
+  return it != cooldown_until_.end() && sim_.now() < it->second;
+}
+
+bool RepairEngine::handle_violations(const std::vector<Violation>& violations) {
+  if (busy_) return false;
+  const Violation* chosen = nullptr;
+  for (const Violation& v : violations) {
+    if (v.constraint->handler.empty()) continue;
+    if (config_.damping) {
+      if (suppressed(v.element)) continue;
+      if (constraint_cooling(v.constraint->id)) continue;
+    }
+    if (!chosen) {
+      chosen = &v;
+      if (config_.policy == ViolationPolicy::FirstReported) break;
+    } else if (config_.policy == ViolationPolicy::WorstFirst &&
+               v.observed > chosen->observed) {
+      chosen = &v;
+    }
+  }
+  if (!chosen) return false;
+  execute(*chosen);
+  return true;
+}
+
+acme::StrategyOutcome RepairEngine::run_native(const std::string& handler,
+                                               const std::string& element,
+                                               model::Transaction& txn) {
+  auto it = native_.find(handler);
+  if (it == native_.end()) {
+    acme::StrategyOutcome out;
+    out.aborted = true;
+    out.abort_reason = "UnknownStrategy:" + handler;
+    return out;
+  }
+  TacticContext ctx{root_,
+                    txn,
+                    queries_,
+                    config_.conventions,
+                    config_.max_server_load,
+                    config_.min_bandwidth,
+                    config_.min_utilization,
+                    config_.min_replicas,
+                    config_.load_improvement,
+                    element};
+  return it->second.run(ctx);
+}
+
+void RepairEngine::execute(const Violation& violation) {
+  RepairRecord record;
+  record.id = records_.size();
+  record.constraint_id = violation.constraint->id;
+  record.element = violation.element;
+  record.strategy = violation.constraint->handler;
+  record.started = sim_.now();
+  record.decision_cost = config_.decision_cost;
+
+  ARC_INFO << "[" << sim_.now().as_seconds() << "s] repair: " << record.strategy
+           << "(" << record.element << ") triggered by "
+           << record.constraint_id;
+
+  model::Transaction txn(root_);
+  acme::StrategyOutcome outcome;
+  try {
+    if (config_.use_script && script_.find_strategy(record.strategy)) {
+      acme::EvalValue arg(acme::ElementRef::of_component(
+          root_, root_.component(record.element)));
+      outcome = interpreter_.run_strategy(record.strategy, {arg}, txn);
+    } else {
+      outcome = run_native(record.strategy, record.element, txn);
+    }
+  } catch (const Error& e) {
+    outcome.aborted = true;
+    outcome.abort_reason = e.what();
+  }
+  record.tactics = outcome.tactics_run;
+  record.query_cost = queries_ ? queries_->drain_query_cost() : SimTime::zero();
+
+  if (outcome.committed && txn.op_count() > 0) {
+    std::vector<model::OpRecord> op_records = txn.records();
+    txn.commit();
+    record.committed = true;
+    summarize_ops(op_records, record);
+    std::size_t idx = records_.size();
+    records_.push_back(std::move(record));
+    busy_ = true;
+    const SimTime pre = records_[idx].decision_cost + records_[idx].query_cost;
+    sim_.schedule_in(pre, [this, idx, ops = std::move(op_records)]() mutable {
+      apply_committed(idx, std::move(ops));
+    });
+    return;
+  }
+
+  // Abort (or a commit that changed nothing — nothing to translate).
+  if (txn.is_open()) txn.rollback();
+  record.aborted = true;
+  record.abort_reason = outcome.committed ? "NoEffect" : outcome.abort_reason;
+  record.completed = sim_.now() + record.decision_cost + record.query_cost;
+  record.finished = true;
+  ++stats_.aborted;
+  if (config_.damping) {
+    cooldown_until_[record.constraint_id] =
+        sim_.now() + config_.abort_cooldown;
+  }
+  ARC_INFO << "  -> aborted: " << record.abort_reason;
+  records_.push_back(std::move(record));
+}
+
+void RepairEngine::summarize_ops(const std::vector<model::OpRecord>& op_records,
+                                 RepairRecord& record) {
+  bool moved = false;
+  for (const model::OpRecord& op : op_records) {
+    record.ops.push_back(op.describe());
+    switch (op.kind) {
+      case model::OpKind::AddComponent:
+        if (!op.scope.empty()) ++record.servers_added;
+        break;
+      case model::OpKind::RemoveComponent:
+        if (!op.scope.empty()) ++record.servers_removed;
+        break;
+      case model::OpKind::Attach:
+        moved = true;
+        break;
+      default:
+        break;
+    }
+  }
+  if (moved) ++record.moves;
+}
+
+void RepairEngine::apply_committed(std::size_t idx,
+                                   std::vector<model::OpRecord> op_records) {
+  RepairRecord& record = records_[idx];
+  SimTime op_cost = SimTime::zero();
+  if (translator_) {
+    try {
+      op_cost = translator_->apply(op_records);
+    } catch (const Error& e) {
+      // The runtime rejected the change (paper Section 7: "if the server
+      // load is too high and there are no available servers ... it may be
+      // necessary to alert a human observer"). The model now disagrees
+      // with the runtime for this repair; record the failure, cool the
+      // constraint down, and surface it loudly.
+      record.aborted = true;
+      record.abort_reason = std::string("RuntimeFailure: ") + e.what();
+      record.completed = sim_.now();
+      record.finished = true;
+      busy_ = false;
+      ++stats_.aborted;
+      if (config_.damping) {
+        cooldown_until_[record.constraint_id] =
+            sim_.now() + config_.abort_cooldown;
+      }
+      ARC_ERROR << "repair #" << record.id
+                << " failed at the runtime layer: " << e.what()
+                << " — operator attention required";
+      return;
+    }
+  }
+  record.op_cost = op_cost;
+  auto affected = std::make_shared<std::vector<std::string>>(
+      affected_gauge_elements(op_records));
+  sim_.schedule_in(op_cost, [this, idx, affected] {
+    redeploy_chain(idx, affected, 0, sim_.now());
+  });
+}
+
+void RepairEngine::redeploy_chain(
+    std::size_t idx, std::shared_ptr<std::vector<std::string>> elements,
+    std::size_t next, SimTime gauge_started) {
+  if (!gauges_ || next >= elements->size()) {
+    records_[idx].gauge_cost = sim_.now() - gauge_started;
+    finish(idx, *elements);
+    return;
+  }
+  const std::string element = (*elements)[next];
+  gauges_->redeploy_element(element, [this, idx, elements, next,
+                                      gauge_started] {
+    redeploy_chain(idx, elements, next + 1, gauge_started);
+  });
+}
+
+void RepairEngine::finish(std::size_t idx,
+                          const std::vector<std::string>& affected) {
+  RepairRecord& record = records_[idx];
+  record.completed = sim_.now();
+  record.finished = true;
+  busy_ = false;
+  ++stats_.committed;
+  stats_.moves += record.moves;
+  stats_.servers_added += record.servers_added;
+  stats_.servers_removed += record.servers_removed;
+  stats_.repair_seconds_total += record.duration().as_seconds();
+  if (config_.damping) {
+    for (const std::string& element : affected) {
+      settle_until_[element] = sim_.now() + config_.settle_time;
+    }
+    settle_until_[record.element] = sim_.now() + config_.settle_time;
+  }
+  ARC_INFO << "[" << sim_.now().as_seconds() << "s] repair #" << record.id
+           << " done in " << record.duration().as_seconds() << "s (ops "
+           << record.op_cost.as_seconds() << "s, gauges "
+           << record.gauge_cost.as_seconds() << "s): moves=" << record.moves
+           << " +servers=" << record.servers_added
+           << " -servers=" << record.servers_removed;
+}
+
+std::vector<std::string> RepairEngine::affected_gauge_elements(
+    const std::vector<model::OpRecord>& op_records) const {
+  std::set<std::string> components;
+  std::set<std::string> connectors;
+  for (const model::OpRecord& op : op_records) {
+    if (!op.scope.empty()) {
+      components.insert(op.scope.front());
+      continue;
+    }
+    switch (op.kind) {
+      case model::OpKind::Attach:
+      case model::OpKind::Detach:
+        // The re-wired element is the connector (and so the client gauges
+        // keyed on its roles); the groups on either end keep serving their
+        // other clients undisturbed.
+        connectors.insert(op.attachment.connector);
+        break;
+      case model::OpKind::SetProperty:
+        components.insert(op.element);
+        break;
+      default:
+        components.insert(op.element);
+    }
+  }
+  std::vector<std::string> out;
+  if (!gauges_) {
+    out.assign(components.begin(), components.end());
+    return out;
+  }
+  // Keep only elements that actually carry gauges; include connector-role
+  // elements ("Conn_User3.clientSide") touched by attach/detach.
+  for (const std::string& element : gauges_->all_elements()) {
+    if (components.count(element)) {
+      out.push_back(element);
+      continue;
+    }
+    auto dot = element.find('.');
+    if (dot != std::string::npos && connectors.count(element.substr(0, dot))) {
+      out.push_back(element);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<SimTime, SimTime>> RepairEngine::repair_windows() const {
+  std::vector<std::pair<SimTime, SimTime>> out;
+  for (const RepairRecord& r : records_) {
+    if (r.committed && r.finished) out.emplace_back(r.started, r.completed);
+  }
+  return out;
+}
+
+}  // namespace arcadia::repair

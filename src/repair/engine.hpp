@@ -1,0 +1,170 @@
+// The repair engine: turns constraint violations into executed repairs.
+//
+// Lifecycle of one repair (Section 3.2 / 3.3 and the timing observations
+// of Section 5.3):
+//   1. pick a violation (policy: first-reported, as the paper's experiment
+//      did, or worst-first, the smarter scheme its future work proposes);
+//   2. run the bound strategy inside a model Transaction (interpreted
+//      script or native C++ strategy);
+//   3. on commit: charge decision + runtime-query time, hand the op records
+//      to the translator (Table 1 operations, each with its RMI cost), then
+//      re-deploy the gauges of every affected element — the step that
+//      dominates the paper's ~30 s repair time;
+//   4. on abort: roll the transaction back and apply a cooldown so a
+//      hopeless constraint does not spin.
+//
+// While a repair is in flight, and for settle_time afterwards on the
+// affected elements, new violations are suppressed — the paper's "effects
+// of a repair on a system will take time ... without taking this effect
+// into account, unnecessary repairs are likely to occur".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "acme/interpreter.hpp"
+#include "acme/script.hpp"
+#include "model/transaction.hpp"
+#include "monitor/gauge_manager.hpp"
+#include "repair/constraint.hpp"
+#include "repair/runtime_queries.hpp"
+#include "repair/strategy.hpp"
+#include "sim/simulator.hpp"
+
+namespace arcadia::repair {
+
+/// Maps committed model changes to runtime operations; implemented by the
+/// runtime module against the environment manager.
+class Translator {
+ public:
+  virtual ~Translator() = default;
+  /// Apply the records to the running system; returns the modeled cost of
+  /// the runtime operations performed.
+  virtual SimTime apply(const std::vector<model::OpRecord>& records) = 0;
+};
+
+enum class ViolationPolicy {
+  FirstReported,  ///< the paper's experiment
+  WorstFirst,     ///< fix the client experiencing the worst value first
+};
+
+struct RepairEngineConfig {
+  ViolationPolicy policy = ViolationPolicy::FirstReported;
+  /// Strategy-evaluation cost charged before runtime ops.
+  SimTime decision_cost = SimTime::millis(100);
+  /// Per-element suppression after a repair completes.
+  SimTime settle_time = SimTime::seconds(30);
+  /// Per-constraint suppression after an aborted repair.
+  SimTime abort_cooldown = SimTime::seconds(60);
+  /// Disable to reproduce undamped oscillation (ablation).
+  bool damping = true;
+  /// true: interpreted script strategies; false: native C++ strategies.
+  bool use_script = true;
+
+  // Task-layer thresholds, mirrored into script globals and native
+  // tactic contexts.
+  double max_server_load = 6.0;
+  Bandwidth min_bandwidth = Bandwidth::kbps(10);
+  double min_utilization = 0.2;
+  std::int64_t min_replicas = 2;
+  double load_improvement = 2.0;
+
+  StyleConventions conventions;
+};
+
+struct RepairRecord {
+  std::uint64_t id = 0;
+  std::string constraint_id;
+  std::string element;
+  std::string strategy;
+  SimTime started;
+  SimTime completed;
+  bool committed = false;
+  bool aborted = false;
+  bool finished = false;
+  std::string abort_reason;
+  std::vector<std::pair<std::string, bool>> tactics;
+  std::vector<std::string> ops;
+  SimTime decision_cost;
+  SimTime query_cost;
+  SimTime op_cost;
+  SimTime gauge_cost;
+  int moves = 0;
+  int servers_added = 0;
+  int servers_removed = 0;
+
+  SimTime duration() const { return completed - started; }
+};
+
+struct RepairStats {
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t moves = 0;
+  std::uint64_t servers_added = 0;
+  std::uint64_t servers_removed = 0;
+  double repair_seconds_total = 0.0;
+};
+
+class RepairEngine {
+ public:
+  /// `queries`, `translator`, and `gauges` may be null for model-only use
+  /// (unit tests); costs they would contribute are then zero.
+  RepairEngine(sim::Simulator& sim, model::System& root,
+               const acme::Script& script, RuntimeQueries* queries,
+               Translator* translator, monitor::GaugeManager* gauges,
+               RepairEngineConfig config);
+
+  /// Consider current violations; start at most one repair. Returns true
+  /// when a repair was initiated.
+  bool handle_violations(const std::vector<Violation>& violations);
+
+  bool busy() const { return busy_; }
+  /// Element currently under repair or settling.
+  bool suppressed(const std::string& element) const;
+  bool constraint_cooling(const std::string& constraint_id) const;
+
+  const std::vector<RepairRecord>& records() const { return records_; }
+  const RepairStats& stats() const { return stats_; }
+  /// (start, end) of committed repairs — the repair-duration bars of
+  /// Figures 11-13.
+  std::vector<std::pair<SimTime, SimTime>> repair_windows() const;
+
+  acme::Interpreter& interpreter() { return interpreter_; }
+
+ private:
+  void execute(const Violation& violation);
+  acme::StrategyOutcome run_native(const std::string& handler,
+                                   const std::string& element,
+                                   model::Transaction& txn);
+  void apply_committed(std::size_t idx,
+                       std::vector<model::OpRecord> op_records);
+  void redeploy_chain(std::size_t idx,
+                      std::shared_ptr<std::vector<std::string>> elements,
+                      std::size_t next, SimTime gauge_started);
+  void finish(std::size_t idx, const std::vector<std::string>& affected);
+  std::vector<std::string> affected_gauge_elements(
+      const std::vector<model::OpRecord>& op_records) const;
+  static void summarize_ops(const std::vector<model::OpRecord>& op_records,
+                            RepairRecord& record);
+
+  sim::Simulator& sim_;
+  model::System& root_;
+  const acme::Script& script_;
+  RuntimeQueries* queries_;
+  Translator* translator_;
+  monitor::GaugeManager* gauges_;
+  RepairEngineConfig config_;
+  acme::Interpreter interpreter_;
+  std::map<std::string, CxxStrategy> native_;
+
+  bool busy_ = false;
+  std::map<std::string, SimTime> settle_until_;    // element -> time
+  std::map<std::string, SimTime> cooldown_until_;  // constraint -> time
+  std::vector<RepairRecord> records_;
+  RepairStats stats_;
+};
+
+}  // namespace arcadia::repair

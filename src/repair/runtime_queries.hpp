@@ -1,0 +1,48 @@
+// The queries repair strategies pose to the running system (the paper's
+// Section 3.3: "The next operation queries the state of the running
+// system"). The runtime layer implements this against the environment
+// manager and Remos; tests implement it with stubs.
+//
+// Every query accumulates its modeled latency (e.g. a cold Remos query
+// costs minutes, a cached one milliseconds); the repair engine drains the
+// accumulator and charges it to the repair's duration.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace arcadia::repair {
+
+class RuntimeQueries {
+ public:
+  virtual ~RuntimeQueries() = default;
+
+  /// findGoodSGrp(cl, bw): the server group with the best available
+  /// bandwidth (above `min_bw`) to the client; nullopt when none qualifies.
+  virtual std::optional<std::string> find_good_sgrp(const std::string& client,
+                                                    Bandwidth min_bw) = 0;
+
+  /// A spare (inactive) server that could join `group`, with at least
+  /// `min_bw` to the group's clients — Table 1's findServer. Returns the
+  /// server's name.
+  virtual std::optional<std::string> find_spare_server(
+      const std::string& group, Bandwidth min_bw) = 0;
+
+  /// The least-loaded server group other than `exclude` whose bandwidth to
+  /// the client clears `min_bw` and whose queue is at least
+  /// `improvement` requests shorter than `exclude`'s.
+  virtual std::optional<std::string> find_less_loaded_sgrp(
+      const std::string& client, const std::string& exclude, Bandwidth min_bw,
+      double improvement) = 0;
+
+  /// A dynamically-recruited (removable) server of `group`, if any.
+  virtual std::optional<std::string> find_removable_server(
+      const std::string& group) = 0;
+
+  /// Modeled time spent in queries since the last drain.
+  virtual SimTime drain_query_cost() = 0;
+};
+
+}  // namespace arcadia::repair

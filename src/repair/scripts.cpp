@@ -1,0 +1,93 @@
+#include "repair/scripts.hpp"
+
+namespace arcadia::repair {
+
+const char* extended_script() {
+  return R"script(
+// Latency constraint (Figure 5 line 1) and its strategy.
+invariant r : averageLatency <= maxLatency !-> fixLatency(r);
+
+strategy fixLatency(badClient : ClientT) = {
+  if (fixServerLoad(badClient)) {
+    commit repair;
+  } else if (fixBandwidth(badClient, roleOf(badClient))) {
+    commit repair;
+  } else if (fixLoadByMove(badClient)) {
+    commit repair;
+  } else {
+    abort NoApplicableTactic;
+  }
+}
+
+// Grow overloaded groups. addServer() reports whether a spare server was
+// actually recruited, so this tactic fails over to the move tactics when
+// the pool is exhausted.
+tactic fixServerLoad(client : ClientT) : boolean = {
+  let loaded : set{ServerGroupT} =
+    select sgrp : ServerGroupT in self.Components |
+      connected(sgrp, client) and sgrp.load > maxServerLoad;
+  if (size(loaded) == 0) {
+    return false;
+  }
+  let grown : set{ServerGroupT} =
+    select sgrp : ServerGroupT in loaded | sgrp.addServer();
+  return size(grown) > 0;
+}
+
+// Move a bandwidth-starved client to the group with the best path.
+tactic fixBandwidth(client : ClientT, role : ClientRoleT) : boolean = {
+  if (role.bandwidth >= minBandwidth) {
+    return false;
+  }
+  let goodSGrp : ServerGroupT = findGoodSGrp(client, minBandwidth);
+  if (goodSGrp != nil) {
+    client.move(goodSGrp);
+    return true;
+  }
+  return false;
+}
+
+// Load-shedding move: the client's group is overloaded, no spare servers
+// exist, but another group is meaningfully less loaded.
+tactic fixLoadByMove(client : ClientT) : boolean = {
+  let current : ServerGroupT = groupOf(client);
+  if (current == nil) {
+    return false;
+  }
+  if (current.load <= maxServerLoad) {
+    return false;
+  }
+  let target : ServerGroupT = findLessLoadedSGrp(client, current);
+  if (target == nil) {
+    return false;
+  }
+  client.move(target);
+  return true;
+}
+
+// Cost control: release dynamically-recruited servers from underutilized
+// groups (the paper's "third repair", not shown in Figure 5).
+invariant u : utilization >= minUtilization or replicationCount <= minReplicas
+  !-> trimServers(u);
+
+strategy trimServers(group : ServerGroupT) = {
+  if (shrinkGroup(group)) {
+    commit repair;
+  } else {
+    abort NothingToTrim;
+  }
+}
+
+tactic shrinkGroup(group : ServerGroupT) : boolean = {
+  if (group.utilization >= minUtilization) {
+    return false;
+  }
+  if (group.replicationCount <= minReplicas) {
+    return false;
+  }
+  return group.removeServer();
+}
+)script";
+}
+
+}  // namespace arcadia::repair

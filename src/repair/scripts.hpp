@@ -1,0 +1,15 @@
+// Shipped repair scripts. figure5 (in acme/script.hpp) is the paper's
+// strategy verbatim; the extended script is the production default: it
+// makes addServer failure observable (no spare server -> tactic fails) and
+// adds the load-shedding move the paper's experiment fell back to once
+// both spare servers were recruited ("the only repair possible was to
+// move clients", Section 5.3).
+#pragma once
+
+namespace arcadia::repair {
+
+/// Default installed script: fixLatency with three tactics
+/// (fixServerLoad, fixBandwidth, fixLoadByMove) plus trimServers.
+const char* extended_script();
+
+}  // namespace arcadia::repair

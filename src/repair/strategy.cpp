@@ -1,0 +1,190 @@
+#include "repair/strategy.hpp"
+
+#include "model/types.hpp"
+#include "util/log.hpp"
+
+namespace arcadia::repair {
+
+namespace cs = model::cs;
+
+acme::StrategyOutcome CxxStrategy::run(TacticContext& ctx) const {
+  acme::StrategyOutcome outcome;
+  bool any = false;
+  try {
+    for (const CxxTactic& tactic : tactics) {
+      bool applied = tactic.run(ctx);
+      outcome.tactics_run.emplace_back(tactic.name, applied);
+      if (applied) {
+        any = true;
+        if (policy == StrategyPolicy::FirstSuccess) break;
+      }
+    }
+  } catch (const Error& e) {
+    outcome.aborted = true;
+    outcome.abort_reason = e.what();
+    return outcome;
+  }
+  if (any) {
+    outcome.committed = true;
+  } else {
+    outcome.aborted = true;
+    outcome.abort_reason = "NoApplicableTactic";
+  }
+  return outcome;
+}
+
+namespace {
+
+double group_load(const model::Component& group) {
+  return group.property_or(cs::kPropLoad, model::PropertyValue(0.0)).as_double();
+}
+
+}  // namespace
+
+bool tactic_fix_server_load(TacticContext& ctx) {
+  // Figure 5 lines 17-21: the connected server groups whose load exceeds
+  // the threshold.
+  std::vector<const model::Component*> loaded;
+  for (const model::Component* grp :
+       groups_of_client(ctx.system, ctx.element, ctx.conventions)) {
+    if (group_load(*grp) > ctx.max_server_load) loaded.push_back(grp);
+  }
+  if (loaded.empty()) return false;
+  bool grew = false;
+  for (const model::Component* grp : loaded) {
+    std::string server;
+    if (ctx.queries) {
+      auto found = ctx.queries->find_spare_server(grp->name(), ctx.min_bandwidth);
+      if (!found) continue;
+      server = *found;
+    } else {
+      server = grp->name() + "_srv_new";
+      if (grp->has_representation() &&
+          grp->representation_const().has_component(server)) {
+        continue;
+      }
+    }
+    perform_add_server(ctx.txn, ctx.system, grp->name(), server,
+                       ctx.conventions);
+    grew = true;
+  }
+  return grew;
+}
+
+bool tactic_fix_bandwidth(TacticContext& ctx) {
+  // Figure 5 lines 30-31: applicable only when the client's connector role
+  // reports insufficient bandwidth.
+  const model::Connector* conn =
+      client_connector(ctx.system, ctx.element, ctx.conventions);
+  if (!conn || !conn->has_role(ctx.conventions.client_role)) return false;
+  const double bw =
+      conn->role(ctx.conventions.client_role)
+          .property_or(cs::kPropBandwidth, model::PropertyValue(1.0e12))
+          .as_double();
+  if (bw >= ctx.min_bandwidth.as_bps()) return false;
+
+  std::string target;
+  if (ctx.queries) {
+    auto found = ctx.queries->find_good_sgrp(ctx.element, ctx.min_bandwidth);
+    if (!found) {
+      throw ScriptError("NoServerGroupFound");  // Figure 5 line 41
+    }
+    target = *found;
+  } else {
+    const std::string current =
+        group_of_client(ctx.system, ctx.element, ctx.conventions);
+    for (const model::Component* c : ctx.system.components()) {
+      if (c->type_name() == cs::kServerGroupT && c->name() != current) {
+        target = c->name();
+        break;
+      }
+    }
+    if (target.empty()) throw ScriptError("NoServerGroupFound");
+  }
+  const std::string current =
+      group_of_client(ctx.system, ctx.element, ctx.conventions);
+  if (target == current) return false;
+  perform_move(ctx.txn, ctx.system, ctx.element, target, ctx.conventions);
+  return true;
+}
+
+bool tactic_fix_load_by_move(TacticContext& ctx) {
+  const std::string current =
+      group_of_client(ctx.system, ctx.element, ctx.conventions);
+  if (current.empty()) return false;
+  const model::Component& grp = ctx.system.component(current);
+  if (group_load(grp) <= ctx.max_server_load) return false;
+
+  std::string target;
+  if (ctx.queries) {
+    auto found = ctx.queries->find_less_loaded_sgrp(
+        ctx.element, current, ctx.min_bandwidth, ctx.load_improvement);
+    if (!found) return false;
+    target = *found;
+  } else {
+    double best = group_load(grp) - ctx.load_improvement;
+    for (const model::Component* c : ctx.system.components()) {
+      if (c->type_name() != cs::kServerGroupT || c->name() == current) continue;
+      if (group_load(*c) < best) {
+        best = group_load(*c);
+        target = c->name();
+      }
+    }
+    if (target.empty()) return false;
+  }
+  perform_move(ctx.txn, ctx.system, ctx.element, target, ctx.conventions);
+  return true;
+}
+
+bool tactic_shrink_group(TacticContext& ctx) {
+  if (!ctx.system.has_component(ctx.element)) return false;
+  const model::Component& grp = ctx.system.component(ctx.element);
+  if (grp.type_name() != cs::kServerGroupT) return false;
+  const double util =
+      grp.property_or(cs::kPropUtilization, model::PropertyValue(1.0))
+          .as_double();
+  if (util >= ctx.min_utilization) return false;
+  const std::int64_t replicas =
+      grp.property_or(cs::kPropReplication, model::PropertyValue(0)).as_int();
+  if (replicas <= ctx.min_replicas) return false;
+
+  std::string victim;
+  if (ctx.queries) {
+    auto found = ctx.queries->find_removable_server(ctx.element);
+    if (!found) return false;
+    victim = *found;
+  } else {
+    if (!grp.has_representation()) return false;
+    for (const model::Component* s : grp.representation_const().components()) {
+      auto dyn = s->property_or(ctx.conventions.dynamic_prop,
+                                model::PropertyValue(false));
+      if (dyn.is_bool() && dyn.as_bool()) {
+        victim = s->name();
+        break;
+      }
+    }
+    if (victim.empty()) return false;
+  }
+  perform_remove_server(ctx.txn, ctx.system, ctx.element, victim);
+  return true;
+}
+
+CxxStrategy make_fix_latency_strategy() {
+  CxxStrategy s;
+  s.name = "fixLatency";
+  s.policy = StrategyPolicy::FirstSuccess;
+  s.tactics.push_back({"fixServerLoad", tactic_fix_server_load});
+  s.tactics.push_back({"fixBandwidth", tactic_fix_bandwidth});
+  s.tactics.push_back({"fixLoadByMove", tactic_fix_load_by_move});
+  return s;
+}
+
+CxxStrategy make_trim_strategy() {
+  CxxStrategy s;
+  s.name = "trimServers";
+  s.policy = StrategyPolicy::FirstSuccess;
+  s.tactics.push_back({"shrinkGroup", tactic_shrink_group});
+  return s;
+}
+
+}  // namespace arcadia::repair

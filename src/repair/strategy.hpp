@@ -1,0 +1,90 @@
+// C++-native repair strategies: the second authoring path (the first is
+// the interpreted script language). A strategy is an ordered list of
+// guarded tactics with an execution policy — "the general form of a repair
+// strategy is a sequence of repair tactics. Each repair tactic is guarded
+// by a precondition" (Section 3.2).
+//
+// The native fixLatency / trimServers strategies implement exactly the
+// semantics of the shipped scripts; an integration test checks the two
+// paths make identical decisions.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "acme/interpreter.hpp"
+#include "model/transaction.hpp"
+#include "repair/runtime_queries.hpp"
+#include "repair/style_ops.hpp"
+
+namespace arcadia::repair {
+
+/// Everything a native tactic may consult or mutate.
+struct TacticContext {
+  const model::System& system;
+  model::Transaction& txn;
+  RuntimeQueries* queries = nullptr;  ///< may be null (model-only mode)
+  StyleConventions conventions;
+  /// Task-layer thresholds.
+  double max_server_load = 6.0;
+  Bandwidth min_bandwidth = Bandwidth::kbps(10);
+  double min_utilization = 0.2;
+  std::int64_t min_replicas = 2;
+  double load_improvement = 2.0;
+  /// The element whose constraint fired.
+  std::string element;
+};
+
+/// Returns true when the tactic applied (its precondition held and it made
+/// a change); false when not applicable. Throws ScriptError/ModelError on
+/// hard failure (treated as abort).
+using TacticFn = std::function<bool(TacticContext&)>;
+
+struct CxxTactic {
+  std::string name;
+  TacticFn run;
+};
+
+enum class StrategyPolicy {
+  FirstSuccess,  ///< apply the first tactic that succeeds, then commit
+  TryAll,        ///< run every applicable tactic; commit if any succeeded
+};
+
+struct CxxStrategy {
+  std::string name;
+  StrategyPolicy policy = StrategyPolicy::FirstSuccess;
+  std::vector<CxxTactic> tactics;
+
+  /// Execute per the policy. Mirrors acme::StrategyOutcome semantics:
+  /// committed when at least one tactic succeeded (the caller still owns
+  /// the transaction commit), aborted otherwise.
+  acme::StrategyOutcome run(TacticContext& ctx) const;
+};
+
+// ---- the standard client-server tactics (native forms) ----
+
+/// fixServerLoad: grow every overloaded group connected to the client.
+/// Applicable when some connected group's load exceeds max_server_load and
+/// a spare server exists.
+bool tactic_fix_server_load(TacticContext& ctx);
+
+/// fixBandwidth: the client's role bandwidth is under min_bandwidth ->
+/// move the client to the group with the best available bandwidth.
+bool tactic_fix_bandwidth(TacticContext& ctx);
+
+/// fixLoadByMove: no spare servers -> shed load by moving the client from
+/// an overloaded group to a meaningfully less-loaded one (the repair the
+/// paper's experiment fell back to once both spares were recruited).
+bool tactic_fix_load_by_move(TacticContext& ctx);
+
+/// shrinkGroup: release a dynamically-recruited server from an
+/// underutilized group (the paper's third, unshown repair).
+bool tactic_shrink_group(TacticContext& ctx);
+
+/// fixLatency = [fixServerLoad, fixBandwidth, fixLoadByMove], first-success.
+CxxStrategy make_fix_latency_strategy();
+/// trimServers = [shrinkGroup], first-success.
+CxxStrategy make_trim_strategy();
+
+}  // namespace arcadia::repair

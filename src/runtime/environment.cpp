@@ -1,0 +1,128 @@
+#include "runtime/environment.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace arcadia::rt {
+
+SimEnvironmentManager::SimEnvironmentManager(sim::GridApp& app,
+                                             const sim::Topology& topo,
+                                             remos::RemosService& remos,
+                                             EnvironmentCosts costs)
+    : app_(app), topo_(topo), remos_(remos), costs_(costs) {}
+
+sim::ClientIdx SimEnvironmentManager::client_or_throw(
+    const std::string& name) const {
+  sim::ClientIdx c = app_.find_client(name);
+  if (c < 0) throw RuntimeOpError("unknown client '" + name + "'");
+  return c;
+}
+
+sim::ServerIdx SimEnvironmentManager::server_or_throw(
+    const std::string& name) const {
+  sim::ServerIdx s = app_.find_server(name);
+  if (s < 0) throw RuntimeOpError("unknown server '" + name + "'");
+  return s;
+}
+
+sim::GroupIdx SimEnvironmentManager::group_or_throw(
+    const std::string& name) const {
+  sim::GroupIdx g = app_.find_group(name);
+  if (g == sim::kNoGroup) throw RuntimeOpError("unknown queue '" + name + "'");
+  return g;
+}
+
+std::string SimEnvironmentManager::createReqQueue(const std::string& name) {
+  ++stats_.ops;
+  last_cost_ = costs_.rmi_call;
+  if (app_.find_group(name) != sim::kNoGroup) {
+    throw RuntimeOpError("queue '" + name + "' already exists");
+  }
+  app_.create_group(name);
+  return name;
+}
+
+std::optional<std::string> SimEnvironmentManager::findServer(
+    const std::string& client, Bandwidth bw_thresh) {
+  ++stats_.queries;
+  const sim::ClientIdx c = client_or_throw(client);
+  SimTime cost = costs_.rmi_call;
+  std::optional<std::string> best;
+  Bandwidth best_bw = bw_thresh;
+  for (sim::ServerIdx s : app_.spare_servers()) {
+    Bandwidth bw = remos_.get_flow(app_.server_node(s), app_.client_node(c));
+    cost += remos_.last_query_cost();
+    if (bw >= best_bw) {
+      best_bw = bw;
+      best = app_.server_name(s);
+    }
+  }
+  last_cost_ = cost;
+  return best;
+}
+
+void SimEnvironmentManager::moveClient(const std::string& client,
+                                       const std::string& queue) {
+  ++stats_.ops;
+  ++stats_.moves;
+  last_cost_ = costs_.rmi_call;
+  app_.move_client(client_or_throw(client), group_or_throw(queue));
+  ARC_DEBUG << "env: moveClient(" << client << ", " << queue << ")";
+}
+
+void SimEnvironmentManager::connectServer(const std::string& server,
+                                          const std::string& queue) {
+  ++stats_.ops;
+  last_cost_ = costs_.rmi_call;
+  app_.connect_server(server_or_throw(server), group_or_throw(queue));
+}
+
+void SimEnvironmentManager::activateServer(const std::string& server) {
+  ++stats_.ops;
+  ++stats_.activations;
+  last_cost_ = costs_.rmi_call + costs_.activate_extra;
+  app_.activate_server(server_or_throw(server));
+  ARC_INFO << "env: activateServer(" << server << ")";
+}
+
+void SimEnvironmentManager::deactivateServer(const std::string& server) {
+  ++stats_.ops;
+  ++stats_.deactivations;
+  last_cost_ = costs_.rmi_call;
+  app_.deactivate_server(server_or_throw(server));
+  ARC_INFO << "env: deactivateServer(" << server << ")";
+}
+
+Bandwidth SimEnvironmentManager::remos_get_flow(const std::string& src_machine,
+                                                const std::string& dst_machine) {
+  ++stats_.queries;
+  const sim::NodeId src = topo_.find_node(src_machine);
+  const sim::NodeId dst = topo_.find_node(dst_machine);
+  if (src == sim::kNoNode || dst == sim::kNoNode) {
+    throw RuntimeOpError("remos_get_flow: unknown machine '" +
+                         (src == sim::kNoNode ? src_machine : dst_machine) +
+                         "'");
+  }
+  Bandwidth bw = remos_.get_flow(src, dst);
+  last_cost_ = remos_.last_query_cost();
+  return bw;
+}
+
+std::vector<std::string> SimEnvironmentManager::recruited_servers() const {
+  return recruited_;
+}
+
+void SimEnvironmentManager::note_recruited(const std::string& server) {
+  if (std::find(recruited_.begin(), recruited_.end(), server) ==
+      recruited_.end()) {
+    recruited_.push_back(server);
+  }
+}
+
+void SimEnvironmentManager::note_released(const std::string& server) {
+  recruited_.erase(std::remove(recruited_.begin(), recruited_.end(), server),
+                   recruited_.end());
+}
+
+}  // namespace arcadia::rt

@@ -1,0 +1,105 @@
+// The environment manager: exactly the operator/query set of the paper's
+// Table 1, executed against the (simulated) runtime system. Each call
+// reports a modeled cost — the RMI round trip the paper's Java
+// implementation paid, or the Remos collection delay for remos_get_flow.
+//
+//   createReqQueue()            add a logical request queue
+//   findServer(cli, bw)         spare server with >= bw to the client
+//   moveClient(cli, newQ)       retarget a client's requests
+//   connectServer(srv, q)       re-home a server onto a queue
+//   activateServer(srv)         server starts pulling requests
+//   deactivateServer(srv)       server stops pulling requests
+//   remos_get_flow(a, b)        predicted bandwidth between two machines
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "remos/remos.hpp"
+#include "sim/app.hpp"
+#include "util/error.hpp"
+
+namespace arcadia::rt {
+
+struct EnvironmentCosts {
+  /// One RMI round trip to a change operation.
+  SimTime rmi_call = SimTime::millis(120);
+  /// Activation involves process start-up on the server machine.
+  SimTime activate_extra = SimTime::millis(400);
+};
+
+struct EnvironmentStats {
+  std::uint64_t ops = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t moves = 0;
+  std::uint64_t activations = 0;
+  std::uint64_t deactivations = 0;
+};
+
+class EnvironmentManager {
+ public:
+  virtual ~EnvironmentManager() = default;
+
+  virtual std::string createReqQueue(const std::string& name) = 0;
+  /// Best spare server with at least `bw_thresh` predicted bandwidth to the
+  /// client's machine; nullopt when none.
+  virtual std::optional<std::string> findServer(const std::string& client,
+                                                Bandwidth bw_thresh) = 0;
+  virtual void moveClient(const std::string& client,
+                          const std::string& queue) = 0;
+  virtual void connectServer(const std::string& server,
+                             const std::string& queue) = 0;
+  virtual void activateServer(const std::string& server) = 0;
+  virtual void deactivateServer(const std::string& server) = 0;
+  virtual Bandwidth remos_get_flow(const std::string& src_machine,
+                                   const std::string& dst_machine) = 0;
+
+  /// Modeled latency of the most recent call.
+  virtual SimTime last_op_cost() const = 0;
+};
+
+/// Environment manager over the simulated grid application. Queue names
+/// are server-group names (each group owns one logical queue, as in
+/// Figure 2); machine names are topology node names.
+class SimEnvironmentManager : public EnvironmentManager {
+ public:
+  SimEnvironmentManager(sim::GridApp& app, const sim::Topology& topo,
+                        remos::RemosService& remos,
+                        EnvironmentCosts costs = {});
+
+  std::string createReqQueue(const std::string& name) override;
+  std::optional<std::string> findServer(const std::string& client,
+                                        Bandwidth bw_thresh) override;
+  void moveClient(const std::string& client, const std::string& queue) override;
+  void connectServer(const std::string& server,
+                     const std::string& queue) override;
+  void activateServer(const std::string& server) override;
+  void deactivateServer(const std::string& server) override;
+  Bandwidth remos_get_flow(const std::string& src_machine,
+                           const std::string& dst_machine) override;
+
+  SimTime last_op_cost() const override { return last_cost_; }
+  const EnvironmentStats& stats() const { return stats_; }
+
+  /// Servers recruited by repairs since start (release candidates for the
+  /// trim repair).
+  std::vector<std::string> recruited_servers() const;
+  void note_recruited(const std::string& server);
+  void note_released(const std::string& server);
+
+ private:
+  sim::ClientIdx client_or_throw(const std::string& name) const;
+  sim::ServerIdx server_or_throw(const std::string& name) const;
+  sim::GroupIdx group_or_throw(const std::string& name) const;
+
+  sim::GridApp& app_;
+  const sim::Topology& topo_;
+  remos::RemosService& remos_;
+  EnvironmentCosts costs_;
+  SimTime last_cost_;
+  EnvironmentStats stats_;
+  std::vector<std::string> recruited_;
+};
+
+}  // namespace arcadia::rt

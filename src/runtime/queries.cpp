@@ -1,0 +1,95 @@
+#include "runtime/queries.hpp"
+
+namespace arcadia::rt {
+
+SimRuntimeQueries::SimRuntimeQueries(sim::GridApp& app,
+                                     SimEnvironmentManager& env,
+                                     remos::RemosService& remos)
+    : app_(app), env_(env), remos_(remos) {}
+
+std::optional<std::string> SimRuntimeQueries::find_good_sgrp(
+    const std::string& client, Bandwidth min_bw) {
+  const sim::ClientIdx c = app_.find_client(client);
+  if (c < 0) return std::nullopt;
+  const sim::GroupIdx current = app_.client_group(c);
+  std::optional<std::string> best;
+  Bandwidth best_bw = min_bw;
+  for (sim::GroupIdx g = 0; g < static_cast<sim::GroupIdx>(app_.group_count());
+       ++g) {
+    if (g == current) continue;
+    if (app_.active_servers(g).empty()) continue;
+    // Bandwidth in the direction the (large) responses flow.
+    Bandwidth bw = remos_.get_flow(app_.group_node(g), app_.client_node(c));
+    charge(remos_.last_query_cost());
+    if (bw >= best_bw) {
+      best_bw = bw;
+      best = app_.group_name(g);
+    }
+  }
+  return best;
+}
+
+std::optional<std::string> SimRuntimeQueries::find_spare_server(
+    const std::string& group, Bandwidth min_bw) {
+  const sim::GroupIdx g = app_.find_group(group);
+  if (g == sim::kNoGroup) return std::nullopt;
+  // Per Table 1, findServer checks bandwidth between the spare and a
+  // client; use the group's clients (fall back to any client when the
+  // group is currently empty).
+  std::vector<sim::ClientIdx> clients = app_.clients_assigned(g);
+  if (clients.empty() && app_.client_count() > 0) clients.push_back(0);
+  if (clients.empty()) return std::nullopt;
+  std::optional<std::string> found =
+      env_.findServer(app_.client_name(clients.front()), min_bw);
+  charge(env_.last_op_cost());
+  return found;
+}
+
+std::optional<std::string> SimRuntimeQueries::find_less_loaded_sgrp(
+    const std::string& client, const std::string& exclude, Bandwidth min_bw,
+    double improvement) {
+  const sim::ClientIdx c = app_.find_client(client);
+  const sim::GroupIdx ex = app_.find_group(exclude);
+  if (c < 0 || ex == sim::kNoGroup) return std::nullopt;
+  const double exclude_len = static_cast<double>(app_.queue_length(ex));
+  std::optional<std::string> best;
+  double best_len = exclude_len - improvement;
+  for (sim::GroupIdx g = 0; g < static_cast<sim::GroupIdx>(app_.group_count());
+       ++g) {
+    if (g == ex) continue;
+    if (app_.active_servers(g).empty()) continue;
+    const double len = static_cast<double>(app_.queue_length(g));
+    if (len > best_len) continue;
+    Bandwidth bw = remos_.get_flow(app_.group_node(g), app_.client_node(c));
+    charge(remos_.last_query_cost());
+    if (bw < min_bw) continue;
+    best_len = len;
+    best = app_.group_name(g);
+  }
+  return best;
+}
+
+std::optional<std::string> SimRuntimeQueries::find_removable_server(
+    const std::string& group) {
+  const sim::GroupIdx g = app_.find_group(group);
+  if (g == sim::kNoGroup) return std::nullopt;
+  charge(SimTime::millis(20));
+  // Only dynamically recruited servers are release candidates; prefer the
+  // most recently recruited one still serving this group.
+  const auto recruited = env_.recruited_servers();
+  for (auto it = recruited.rbegin(); it != recruited.rend(); ++it) {
+    sim::ServerIdx s = app_.find_server(*it);
+    if (s >= 0 && app_.server_group(s) == g && app_.server_active(s)) {
+      return *it;
+    }
+  }
+  return std::nullopt;
+}
+
+SimTime SimRuntimeQueries::drain_query_cost() {
+  SimTime out = accumulated_;
+  accumulated_ = SimTime::zero();
+  return out;
+}
+
+}  // namespace arcadia::rt

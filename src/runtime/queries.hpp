@@ -1,0 +1,39 @@
+// repair::RuntimeQueries implemented against the environment manager and
+// Remos — the bridge the repair scripts' query functions (findGoodSGrp,
+// findServer, ...) call through. Accumulates the modeled latency of every
+// query so the repair engine can charge it to the repair duration.
+#pragma once
+
+#include "repair/runtime_queries.hpp"
+#include "runtime/environment.hpp"
+
+namespace arcadia::rt {
+
+class SimRuntimeQueries : public repair::RuntimeQueries {
+ public:
+  SimRuntimeQueries(sim::GridApp& app, SimEnvironmentManager& env,
+                    remos::RemosService& remos);
+
+  std::optional<std::string> find_good_sgrp(const std::string& client,
+                                            Bandwidth min_bw) override;
+  std::optional<std::string> find_spare_server(const std::string& group,
+                                               Bandwidth min_bw) override;
+  std::optional<std::string> find_less_loaded_sgrp(const std::string& client,
+                                                   const std::string& exclude,
+                                                   Bandwidth min_bw,
+                                                   double improvement) override;
+  std::optional<std::string> find_removable_server(
+      const std::string& group) override;
+
+  SimTime drain_query_cost() override;
+
+ private:
+  void charge(SimTime cost) { accumulated_ += cost; }
+
+  sim::GridApp& app_;
+  SimEnvironmentManager& env_;
+  remos::RemosService& remos_;
+  SimTime accumulated_;
+};
+
+}  // namespace arcadia::rt

@@ -1,0 +1,69 @@
+#include "runtime/translator.hpp"
+
+#include "util/log.hpp"
+
+namespace arcadia::rt {
+
+SimTranslator::SimTranslator(SimEnvironmentManager& env,
+                             repair::StyleConventions conventions)
+    : env_(env), conv_(conventions) {}
+
+SimTime SimTranslator::apply(const std::vector<model::OpRecord>& records) {
+  SimTime cost = SimTime::zero();
+  for (const model::OpRecord& op : records) {
+    ++stats_.records_seen;
+    switch (op.kind) {
+      case model::OpKind::AddComponent: {
+        if (op.scope.empty()) {
+          ++stats_.ignored;
+          break;
+        }
+        // A server component appeared inside a group's representation:
+        // recruit the matching runtime server into the group's queue.
+        const std::string& group = op.scope.front();
+        env_.connectServer(op.element, group);
+        cost += env_.last_op_cost();
+        env_.activateServer(op.element);
+        cost += env_.last_op_cost();
+        env_.note_recruited(op.element);
+        stats_.runtime_ops += 2;
+        break;
+      }
+      case model::OpKind::RemoveComponent: {
+        if (op.scope.empty()) {
+          ++stats_.ignored;
+          break;
+        }
+        env_.deactivateServer(op.element);
+        cost += env_.last_op_cost();
+        env_.note_released(op.element);
+        ++stats_.runtime_ops;
+        break;
+      }
+      case model::OpKind::SetProperty: {
+        if (op.property == conv_.bound_to_prop && op.value.is_string()) {
+          env_.moveClient(op.element, op.value.as_string());
+          cost += env_.last_op_cost();
+          ++stats_.runtime_ops;
+        } else {
+          ++stats_.ignored;
+        }
+        break;
+      }
+      case model::OpKind::Attach:
+      case model::OpKind::Detach:
+        // Structural halves of move(); the boundTo property carries the
+        // runtime action.
+        ++stats_.ignored;
+        break;
+      default:
+        ++stats_.ignored;
+        break;
+    }
+  }
+  ARC_DEBUG << "translator: applied " << records.size() << " record(s), cost "
+            << cost.as_seconds() << "s";
+  return cost;
+}
+
+}  // namespace arcadia::rt

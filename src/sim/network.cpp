@@ -1,0 +1,333 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace arcadia::sim {
+
+NodeId Topology::add_node(const std::string& name, NodeKind kind) {
+  if (routes_ready_) throw SimError("Topology frozen: routes already computed");
+  if (by_name_.count(name)) throw SimError("duplicate node name: " + name);
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{name, kind, {}});
+  by_name_[name] = id;
+  return id;
+}
+
+LinkId Topology::add_link(NodeId a, NodeId b, Bandwidth capacity) {
+  if (routes_ready_) throw SimError("Topology frozen: routes already computed");
+  if (a == b) throw SimError("self-link at node " + node_name(a));
+  if (a < 0 || b < 0 || a >= static_cast<NodeId>(nodes_.size()) ||
+      b >= static_cast<NodeId>(nodes_.size())) {
+    throw SimError("add_link: bad node id");
+  }
+  LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{a, b, capacity});
+  nodes_[a].adj.emplace_back(b, id);
+  nodes_[b].adj.emplace_back(a, id);
+  return id;
+}
+
+NodeId Topology::find_node(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kNoNode : it->second;
+}
+
+std::pair<NodeId, NodeId> Topology::channel_endpoints(ChannelId c) const {
+  const Link& l = links_.at(c / 2);
+  if (c % 2 == 0) return {l.a, l.b};
+  return {l.b, l.a};
+}
+
+void Topology::compute_routes() {
+  const std::size_t n = nodes_.size();
+  paths_.assign(n * n, {});
+  reachable_.assign(n * n, false);
+  // BFS from every source; deterministic neighbor order = insertion order.
+  for (NodeId src = 0; src < static_cast<NodeId>(n); ++src) {
+    std::vector<NodeId> prev_node(n, kNoNode);
+    std::vector<LinkId> prev_link(n, -1);
+    std::vector<bool> seen(n, false);
+    std::deque<NodeId> frontier{src};
+    seen[src] = true;
+    while (!frontier.empty()) {
+      NodeId u = frontier.front();
+      frontier.pop_front();
+      for (const auto& [v, link] : nodes_[u].adj) {
+        if (seen[v]) continue;
+        seen[v] = true;
+        prev_node[v] = u;
+        prev_link[v] = link;
+        frontier.push_back(v);
+      }
+    }
+    for (NodeId dst = 0; dst < static_cast<NodeId>(n); ++dst) {
+      if (!seen[dst]) continue;
+      reachable_[src * n + dst] = true;
+      if (dst == src) continue;
+      std::vector<ChannelId> rev;
+      for (NodeId cur = dst; cur != src; cur = prev_node[cur]) {
+        LinkId link = prev_link[cur];
+        NodeId from = prev_node[cur];
+        // channel direction: even = a->b, odd = b->a
+        ChannelId chan = (links_[link].a == from) ? link * 2 : link * 2 + 1;
+        rev.push_back(chan);
+      }
+      std::reverse(rev.begin(), rev.end());
+      paths_[src * n + dst] = std::move(rev);
+    }
+  }
+  routes_ready_ = true;
+}
+
+const std::vector<ChannelId>& Topology::path(NodeId src, NodeId dst) const {
+  if (!routes_ready_) throw SimError("Topology::path before compute_routes");
+  const std::size_t n = nodes_.size();
+  if (src < 0 || dst < 0 || src >= static_cast<NodeId>(n) ||
+      dst >= static_cast<NodeId>(n)) {
+    throw SimError("path: bad node id");
+  }
+  if (!reachable_[src * n + dst]) {
+    throw SimError("no route " + node_name(src) + " -> " + node_name(dst));
+  }
+  return paths_[src * n + dst];
+}
+
+FlowNetwork::FlowNetwork(Simulator& sim, const Topology& topo)
+    : sim_(sim), topo_(topo) {
+  if (!topo_.routes_ready()) {
+    throw SimError("FlowNetwork requires Topology::compute_routes()");
+  }
+}
+
+FlowId FlowNetwork::start_transfer(NodeId src, NodeId dst, DataSize size,
+                                   std::function<void()> on_complete) {
+  FlowId id = next_id_++;
+  ++stats_.transfers_started;
+  if (src == dst) {
+    // Local delivery: no network resources consumed.
+    sim_.schedule_in(loopback_delay_, [cb = std::move(on_complete), this] {
+      ++stats_.transfers_completed;
+      cb();
+    });
+    return id;
+  }
+  Transfer t;
+  t.src = src;
+  t.dst = dst;
+  t.remaining_bits = size.as_bits();
+  t.last_update = sim_.now();
+  t.on_complete = std::move(on_complete);
+  t.path = &topo_.path(src, dst);
+  transfers_.emplace(id, std::move(t));
+  reallocate();
+  return id;
+}
+
+void FlowNetwork::cancel_transfer(FlowId id) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return;
+  it->second.completion.cancel();
+  transfers_.erase(it);
+  reallocate();
+}
+
+FlowId FlowNetwork::add_background(NodeId src, NodeId dst) {
+  if (src == dst) throw SimError("background flow with src == dst");
+  FlowId id = next_id_++;
+  Background b;
+  b.src = src;
+  b.dst = dst;
+  b.path = &topo_.path(src, dst);
+  backgrounds_.emplace(id, std::move(b));
+  return id;
+}
+
+void FlowNetwork::set_background_rate(FlowId id, Bandwidth rate) {
+  auto it = backgrounds_.find(id);
+  if (it == backgrounds_.end()) throw SimError("unknown background flow");
+  if (it->second.rate_bps == rate.as_bps()) return;
+  it->second.rate_bps = rate.as_bps();
+  reallocate();
+}
+
+Bandwidth FlowNetwork::background_rate(FlowId id) const {
+  auto it = backgrounds_.find(id);
+  return it == backgrounds_.end() ? Bandwidth::zero()
+                                  : Bandwidth::bps(it->second.rate_bps);
+}
+
+Bandwidth FlowNetwork::transfer_rate(FlowId id) const {
+  auto it = transfers_.find(id);
+  return it == transfers_.end() ? Bandwidth::zero()
+                                : Bandwidth::bps(it->second.rate_bps);
+}
+
+DataSize FlowNetwork::transfer_remaining(FlowId id) const {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return DataSize::zero();
+  const Transfer& t = it->second;
+  double elapsed = (sim_.now() - t.last_update).as_seconds();
+  double remaining = std::max(0.0, t.remaining_bits - t.rate_bps * elapsed);
+  return DataSize::bytes(remaining / 8.0);
+}
+
+std::vector<double> FlowNetwork::effective_capacity() const {
+  std::vector<double> eff(topo_.channel_count());
+  for (ChannelId c = 0; c < static_cast<ChannelId>(eff.size()); ++c) {
+    eff[c] = topo_.channel_capacity(c).as_bps();
+  }
+  // Background demand per channel; if oversubscribed, scale pro-rata (a
+  // non-responsive blast cannot push more than the wire carries).
+  std::vector<double> bg(eff.size(), 0.0);
+  for (const auto& [id, b] : backgrounds_) {
+    for (ChannelId c : *b.path) bg[c] += b.rate_bps;
+  }
+  for (std::size_t c = 0; c < eff.size(); ++c) {
+    eff[c] = std::max(0.0, eff[c] - std::min(bg[c], eff[c]));
+  }
+  return eff;
+}
+
+void FlowNetwork::advance_progress() {
+  const SimTime now = sim_.now();
+  for (auto& [id, t] : transfers_) {
+    double elapsed = (now - t.last_update).as_seconds();
+    if (elapsed > 0.0) {
+      t.remaining_bits = std::max(0.0, t.remaining_bits - t.rate_bps * elapsed);
+    }
+    t.last_update = now;
+  }
+}
+
+void FlowNetwork::reallocate() {
+  ++stats_.reallocations;
+  advance_progress();
+
+  std::vector<double> residual = effective_capacity();
+  // Guard: a channel fully consumed by background still trickles, otherwise
+  // transfers on it would never complete and the event queue would stall.
+  const double kTrickleBps = 1.0;
+
+  // Progressive filling (water-filling) max-min fairness. All application
+  // transfers are greedy (infinite demand), so each round saturates at least
+  // one channel and freezes the flows crossing it.
+  std::vector<FlowId> unfrozen;
+  unfrozen.reserve(transfers_.size());
+  for (auto& [id, t] : transfers_) {
+    t.rate_bps = 0.0;
+    unfrozen.push_back(id);
+  }
+  // Deterministic ordering regardless of hash-map iteration order.
+  std::sort(unfrozen.begin(), unfrozen.end());
+
+  std::vector<int> load(residual.size(), 0);
+  while (!unfrozen.empty()) {
+    ++stats_.waterfill_rounds;
+    std::fill(load.begin(), load.end(), 0);
+    for (FlowId id : unfrozen) {
+      for (ChannelId c : *transfers_.at(id).path) ++load[c];
+    }
+    double share = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < residual.size(); ++c) {
+      if (load[c] == 0) continue;
+      share = std::min(share, std::max(residual[c], 0.0) / load[c]);
+    }
+    if (!std::isfinite(share)) break;  // no unfrozen flow crosses any channel
+    share = std::max(share, kTrickleBps);
+    // Identify the bottleneck channels of this round against the pristine
+    // residuals, then freeze the flows crossing them. (Deciding and
+    // subtracting must be separate passes: subtracting while scanning
+    // would make later flows see already-reduced residuals and freeze on
+    // channels that are not actually saturated.)
+    std::vector<char> bottleneck(residual.size(), 0);
+    for (std::size_t c = 0; c < residual.size(); ++c) {
+      if (load[c] == 0) continue;
+      if (std::max(residual[c], 0.0) / load[c] <= share * (1.0 + 1e-12) + 1e-9) {
+        bottleneck[c] = 1;
+      }
+    }
+    std::vector<FlowId> still;
+    std::vector<FlowId> frozen_now;
+    still.reserve(unfrozen.size());
+    for (FlowId id : unfrozen) {
+      Transfer& t = transfers_.at(id);
+      bool crosses = false;
+      for (ChannelId c : *t.path) {
+        if (bottleneck[c]) {
+          crosses = true;
+          break;
+        }
+      }
+      if (crosses) {
+        frozen_now.push_back(id);
+      } else {
+        still.push_back(id);
+      }
+    }
+    if (frozen_now.empty()) {
+      // Numerical safety net (should not happen): freeze everything.
+      frozen_now = std::move(still);
+      still.clear();
+    }
+    for (FlowId id : frozen_now) {
+      Transfer& t = transfers_.at(id);
+      t.rate_bps = share;
+      for (ChannelId c : *t.path) residual[c] -= share;
+    }
+    unfrozen = std::move(still);
+  }
+
+  for (auto& [id, t] : transfers_) schedule_completion(id, t);
+}
+
+void FlowNetwork::schedule_completion(FlowId id, Transfer& t) {
+  t.completion.cancel();
+  SimTime eta = transfer_time(DataSize::bytes(t.remaining_bits / 8.0),
+                              Bandwidth::bps(t.rate_bps));
+  if (eta.is_infinite()) return;  // will be rescheduled on the next reallocate
+  t.completion = sim_.schedule_in(eta, [this, id] { complete_transfer(id); });
+}
+
+void FlowNetwork::complete_transfer(FlowId id) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return;
+  std::function<void()> cb = std::move(it->second.on_complete);
+  transfers_.erase(it);
+  ++stats_.transfers_completed;
+  reallocate();
+  if (cb) cb();
+}
+
+Bandwidth FlowNetwork::available_bandwidth(NodeId src, NodeId dst) const {
+  if (src == dst) return Bandwidth::infinity();
+  std::vector<double> residual = effective_capacity();
+  for (const auto& [id, t] : transfers_) {
+    for (ChannelId c : *t.path) residual[c] -= t.rate_bps;
+  }
+  double avail = std::numeric_limits<double>::infinity();
+  for (ChannelId c : topo_.path(src, dst)) {
+    avail = std::min(avail, residual[c]);
+  }
+  return Bandwidth::bps(std::max(avail, floor_.as_bps()));
+}
+
+double FlowNetwork::path_utilization(NodeId src, NodeId dst) const {
+  if (src == dst) return 0.0;
+  std::vector<double> used(topo_.channel_count(), 0.0);
+  for (const auto& [id, b] : backgrounds_) {
+    for (ChannelId c : *b.path) used[c] += b.rate_bps;
+  }
+  for (const auto& [id, t] : transfers_) {
+    for (ChannelId c : *t.path) used[c] += t.rate_bps;
+  }
+  double worst = 0.0;
+  for (ChannelId c : topo_.path(src, dst)) {
+    double cap = topo_.channel_capacity(c).as_bps();
+    if (cap > 0.0) worst = std::max(worst, std::min(used[c] / cap, 1.0));
+  }
+  return worst;
+}
+
+}  // namespace arcadia::sim

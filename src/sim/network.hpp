@@ -1,0 +1,172 @@
+// Flow-level network model. Links are full-duplex (a capacity per
+// direction); application transfers share each directed channel max-min
+// fairly, while background "competition" traffic is non-responsive: it takes
+// its configured rate off the top, exactly like the constant-rate competition
+// generator the paper ran on its testbed (Section 5.1). Available bandwidth
+// — what Remos predicts — is the residual capacity a new flow would see.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace arcadia::sim {
+
+using NodeId = std::int32_t;
+using LinkId = std::int32_t;
+/// A directed half of a link: link*2 (a->b) or link*2+1 (b->a).
+using ChannelId = std::int32_t;
+using FlowId = std::int64_t;
+
+inline constexpr NodeId kNoNode = -1;
+inline constexpr FlowId kNoFlow = -1;
+
+enum class NodeKind { Host, Router };
+
+/// Static topology plus shortest-path routing. Routes are computed once
+/// (hop-count BFS, deterministic tie-break by node id) and are stable for
+/// the lifetime of the topology — the testbed's static routing.
+class Topology {
+ public:
+  NodeId add_node(const std::string& name, NodeKind kind);
+  LinkId add_link(NodeId a, NodeId b, Bandwidth capacity_per_direction);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+  std::size_t channel_count() const { return links_.size() * 2; }
+
+  const std::string& node_name(NodeId n) const { return nodes_.at(n).name; }
+  NodeKind node_kind(NodeId n) const { return nodes_.at(n).kind; }
+  /// Lookup by name; returns kNoNode if absent.
+  NodeId find_node(const std::string& name) const;
+
+  Bandwidth channel_capacity(ChannelId c) const {
+    return links_.at(c / 2).capacity;
+  }
+  std::pair<NodeId, NodeId> channel_endpoints(ChannelId c) const;
+
+  /// Finalize and compute all-pairs shortest paths. Must be called after the
+  /// last add_*; path() throws before this.
+  void compute_routes();
+  bool routes_ready() const { return routes_ready_; }
+
+  /// Directed channel sequence from src to dst (empty when src == dst).
+  /// Throws SimError if unreachable.
+  const std::vector<ChannelId>& path(NodeId src, NodeId dst) const;
+
+ private:
+  struct Node {
+    std::string name;
+    NodeKind kind;
+    std::vector<std::pair<NodeId, LinkId>> adj;  // neighbor, link
+  };
+  struct Link {
+    NodeId a;
+    NodeId b;
+    Bandwidth capacity;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  bool routes_ready_ = false;
+  // paths_[src * N + dst]
+  std::vector<std::vector<ChannelId>> paths_;
+  std::vector<bool> reachable_;
+};
+
+/// Statistics the benches report about the allocator.
+struct FlowNetworkStats {
+  std::uint64_t reallocations = 0;
+  std::uint64_t transfers_started = 0;
+  std::uint64_t transfers_completed = 0;
+  std::uint64_t waterfill_rounds = 0;
+};
+
+/// Dynamic flow state over a Topology, integrated with the Simulator: every
+/// transfer completion is an event; every flow arrival/departure/rate change
+/// triggers a max-min reallocation and completion rescheduling.
+class FlowNetwork {
+ public:
+  FlowNetwork(Simulator& sim, const Topology& topo);
+
+  /// Start a finite transfer; `on_complete` fires (once) at delivery time.
+  /// Same-node transfers complete after a configurable loopback delay.
+  FlowId start_transfer(NodeId src, NodeId dst, DataSize size,
+                        std::function<void()> on_complete);
+
+  /// Abort a transfer; its completion callback never fires.
+  void cancel_transfer(FlowId id);
+
+  /// Register a persistent non-responsive background flow (rate 0 until
+  /// set_background_rate is called).
+  FlowId add_background(NodeId src, NodeId dst);
+  void set_background_rate(FlowId id, Bandwidth rate);
+  Bandwidth background_rate(FlowId id) const;
+
+  /// Current allocated rate of an active transfer (0 if finished/unknown).
+  Bandwidth transfer_rate(FlowId id) const;
+  /// Bytes not yet delivered (as of now).
+  DataSize transfer_remaining(FlowId id) const;
+  std::size_t active_transfers() const { return transfers_.size(); }
+
+  /// Residual bandwidth a new flow from src to dst would observe: the
+  /// minimum over path channels of (capacity - background - transfer usage),
+  /// floored at `floor` so log-scale plots behave (the paper's Figure 10
+  /// bottoms out around 100 bps). This is the Remos estimate.
+  Bandwidth available_bandwidth(NodeId src, NodeId dst) const;
+
+  /// Utilization in [0,1] of the most loaded channel along src->dst.
+  double path_utilization(NodeId src, NodeId dst) const;
+
+  const Topology& topology() const { return topo_; }
+  const FlowNetworkStats& stats() const { return stats_; }
+
+  /// Floor for available_bandwidth reporting (default 100 bps).
+  void set_available_floor(Bandwidth floor) { floor_ = floor; }
+  /// Delay for src==dst transfers (default 1 ms).
+  void set_loopback_delay(SimTime d) { loopback_delay_ = d; }
+
+ private:
+  struct Transfer {
+    NodeId src;
+    NodeId dst;
+    double remaining_bits;
+    double rate_bps = 0.0;
+    SimTime last_update;
+    std::function<void()> on_complete;
+    EventHandle completion;
+    const std::vector<ChannelId>* path;
+  };
+  struct Background {
+    NodeId src;
+    NodeId dst;
+    double rate_bps = 0.0;
+    const std::vector<ChannelId>* path;
+  };
+
+  void reallocate();
+  void advance_progress();
+  void schedule_completion(FlowId id, Transfer& t);
+  void complete_transfer(FlowId id);
+  /// Effective per-channel capacity after subtracting background traffic.
+  std::vector<double> effective_capacity() const;
+
+  Simulator& sim_;
+  const Topology& topo_;
+  std::unordered_map<FlowId, Transfer> transfers_;
+  std::unordered_map<FlowId, Background> backgrounds_;
+  FlowId next_id_ = 1;
+  Bandwidth floor_ = Bandwidth::bps(100.0);
+  SimTime loopback_delay_ = SimTime::millis(1.0);
+  FlowNetworkStats stats_;
+};
+
+}  // namespace arcadia::sim

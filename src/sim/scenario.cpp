@@ -1,0 +1,164 @@
+#include "sim/scenario.hpp"
+
+namespace arcadia::sim {
+
+namespace {
+
+/// The Figure 7 request-rate steps, shared by all clients.
+StepFunction rate_schedule(const ScenarioConfig& c) {
+  StepFunction f(c.normal_rate_hz);
+  f.step(c.stress_start, c.stress_rate_hz);
+  f.step(c.stress_end, c.normal_rate_hz);
+  return f;
+}
+
+StepFunction response_mean_schedule(const ScenarioConfig& c) {
+  StepFunction f(c.normal_response_mean.as_bytes());
+  f.step(c.stress_start, c.stress_response_size.as_bytes());
+  f.step(c.stress_end, c.normal_response_mean.as_bytes());
+  return f;
+}
+
+StepFunction response_sigma_schedule(const ScenarioConfig& c) {
+  StepFunction f(c.normal_response_sigma);
+  f.step(c.stress_start, 0.0);  // stress responses are fixed 20 KB
+  f.step(c.stress_end, c.normal_response_sigma);
+  return f;
+}
+
+}  // namespace
+
+Testbed build_testbed(Simulator& sim, const ScenarioConfig& config) {
+  Testbed tb;
+  tb.sim = &sim;
+  tb.topo = std::make_unique<Topology>();
+  Topology& topo = *tb.topo;
+
+  // --- Figure 6: five routers in a ring, eleven application machines.
+  // Machine placement (per the figure): {C1,C2 | S4}, {S1,S2,S3},
+  // {C3, C4}, {S5+RQ | S6}, {C5,C6 | S7}.
+  NodeId r1 = topo.add_node("R1", NodeKind::Router);
+  NodeId r2 = topo.add_node("R2", NodeKind::Router);
+  NodeId r3 = topo.add_node("R3", NodeKind::Router);
+  NodeId r4 = topo.add_node("R4", NodeKind::Router);
+  NodeId r5 = topo.add_node("R5", NodeKind::Router);
+
+  NodeId m_c12 = topo.add_node("m_c12", NodeKind::Host);    // C1, C2
+  NodeId m_s4 = topo.add_node("m_s4", NodeKind::Host);      // spare S4 + repair infra
+  NodeId m_s1 = topo.add_node("m_s1", NodeKind::Host);      // SG1
+  NodeId m_s2 = topo.add_node("m_s2", NodeKind::Host);
+  NodeId m_s3 = topo.add_node("m_s3", NodeKind::Host);
+  NodeId m_c3 = topo.add_node("m_c3", NodeKind::Host);
+  NodeId m_c4 = topo.add_node("m_c4", NodeKind::Host);
+  NodeId m_s5rq = topo.add_node("m_s5rq", NodeKind::Host);  // S5 + request queue
+  NodeId m_s6 = topo.add_node("m_s6", NodeKind::Host);
+  NodeId m_c56 = topo.add_node("m_c56", NodeKind::Host);    // C5, C6
+  NodeId m_s7 = topo.add_node("m_s7", NodeKind::Host);      // spare S7
+  // Endpoints for the bandwidth-competition generator (Section 5.1's
+  // competing-traffic program).
+  NodeId x_sg1 = topo.add_node("x_sg1", NodeKind::Host);
+  NodeId x_c34a = topo.add_node("x_c34a", NodeKind::Host);
+  NodeId x_sg2 = topo.add_node("x_sg2", NodeKind::Host);
+  NodeId x_c34b = topo.add_node("x_c34b", NodeKind::Host);
+
+  const Bandwidth cap = config.link_capacity;
+  // Access links.
+  topo.add_link(m_c12, r1, cap);
+  topo.add_link(m_s4, r1, cap);
+  topo.add_link(m_s1, r2, cap);
+  topo.add_link(m_s2, r2, cap);
+  topo.add_link(m_s3, r2, cap);
+  topo.add_link(m_c3, r3, cap);
+  topo.add_link(m_c4, r3, cap);
+  topo.add_link(m_s5rq, r4, cap);
+  topo.add_link(m_s6, r4, cap);
+  topo.add_link(m_c56, r5, cap);
+  topo.add_link(m_s7, r5, cap);
+  topo.add_link(x_sg1, r2, cap);
+  topo.add_link(x_c34a, r3, cap);
+  topo.add_link(x_sg2, r4, cap);
+  topo.add_link(x_c34b, r3, cap);
+  // Router ring (order matters: it fixes BFS tie-breaks so that C1/C2 and
+  // C5/C6 reach SG1 without crossing the R2<->R3 trunk the competition
+  // saturates — mirroring the testbed's routing).
+  topo.add_link(r1, r2, cap);
+  topo.add_link(r2, r3, cap);
+  topo.add_link(r3, r4, cap);
+  topo.add_link(r4, r5, cap);
+  topo.add_link(r5, r1, cap);
+  topo.compute_routes();
+
+  tb.net = std::make_unique<FlowNetwork>(sim, topo);
+
+  AppConfig app_cfg;
+  app_cfg.service_base = config.service_base;
+  app_cfg.service_per_kb = config.service_per_kb;
+  app_cfg.service_sigma = config.service_sigma;
+  app_cfg.seed = config.seed ^ 0xA5A5A5A5ULL;
+  tb.app = std::make_unique<GridApp>(sim, *tb.net, app_cfg);
+  GridApp& app = *tb.app;
+
+  app.set_queue_node(m_s5rq);
+  tb.manager_node = m_s4;
+
+  tb.sg1 = app.add_group("ServerGrp1");
+  tb.sg2 = app.add_group("ServerGrp2");
+  tb.sg1_servers.push_back(app.add_server("Server1", m_s1, tb.sg1, true));
+  tb.sg1_servers.push_back(app.add_server("Server2", m_s2, tb.sg1, true));
+  tb.sg1_servers.push_back(app.add_server("Server3", m_s3, tb.sg1, true));
+  tb.sg2_servers.push_back(app.add_server("Server5", m_s5rq, tb.sg2, true));
+  tb.sg2_servers.push_back(app.add_server("Server6", m_s6, tb.sg2, true));
+  // Spares: powered off, not connected to any queue.
+  tb.spare_s4 = app.add_server("Server4", m_s4, kNoGroup, false);
+  tb.spare_s7 = app.add_server("Server7", m_s7, kNoGroup, false);
+
+  const NodeId client_nodes[6] = {m_c12, m_c12, m_c3, m_c4, m_c56, m_c56};
+  for (int i = 0; i < 6; ++i) {
+    ClientIdx c =
+        app.add_client("User" + std::to_string(i + 1), client_nodes[i]);
+    app.assign_client(c, tb.sg1);  // all six start on Server Group 1
+    tb.clients.push_back(c);
+  }
+
+  // --- Figure 7 workload.
+  tb.workload =
+      std::make_unique<WorkloadDriver>(sim, app, config.seed ^ 0x5EED5EEDULL);
+  for (ClientIdx c : tb.clients) {
+    ClientWorkload w;
+    w.client = c;
+    w.rate_hz = rate_schedule(config);
+    w.response_mean_bytes = response_mean_schedule(config);
+    w.response_sigma = response_sigma_schedule(config);
+    w.request_size = config.request_size;
+    tb.workload->add(std::move(w));
+  }
+
+  // --- Figure 7 competition. comp_sg1 saturates the R2->R3 trunk (the
+  // direction SG1's responses to C3/C4 travel); comp_sg2 loads R4->R3.
+  tb.competition = std::make_unique<CompetitionDriver>(sim, *tb.net);
+  tb.comp_sg1 = tb.net->add_background(x_sg1, x_c34a);
+  tb.comp_sg2 = tb.net->add_background(x_sg2, x_c34b);
+
+  StepFunction sg1_rate(0.0);
+  sg1_rate.step(config.quiescent_end, config.comp_sg1_phase1_mbps * 1e6);
+  sg1_rate.step(config.stress_start, config.comp_sg1_stress_mbps * 1e6);
+  sg1_rate.step(config.stress_end, config.comp_sg1_final_mbps * 1e6);
+  tb.competition->add(CompetitionSchedule{tb.comp_sg1, sg1_rate});
+
+  StepFunction sg2_rate(0.0);
+  sg2_rate.step(config.quiescent_end, config.comp_sg2_phase1_mbps * 1e6);
+  sg2_rate.step(config.stress_start, config.comp_sg2_stress_mbps * 1e6);
+  sg2_rate.step(config.stress_end, config.comp_sg2_final_mbps * 1e6);
+  tb.competition->add(CompetitionSchedule{tb.comp_sg2, sg2_rate});
+
+  if (config.comp_bidirectional) {
+    tb.comp_sg1_rev = tb.net->add_background(x_c34a, x_sg1);
+    tb.comp_sg2_rev = tb.net->add_background(x_c34b, x_sg2);
+    tb.competition->add(CompetitionSchedule{tb.comp_sg1_rev, sg1_rate});
+    tb.competition->add(CompetitionSchedule{tb.comp_sg2_rev, sg2_rate});
+  }
+
+  return tb;
+}
+
+}  // namespace arcadia::sim

@@ -1,0 +1,113 @@
+// The paper's experimental set-up: the Figure 6 testbed (five routers,
+// eleven application machines, 10 Mbps links) and the Figure 7 schedule
+// (quiescent warm-up, bandwidth competition against C3/C4 <-> SG1, a
+// stress phase with 20 KB requests twice a second from every client, and a
+// recovery phase with better bandwidth to SG2).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/app.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/workload.hpp"
+
+namespace arcadia::sim {
+
+/// Architectural thresholds from the paper's task-layer profile.
+struct Thresholds {
+  SimTime max_latency = SimTime::seconds(2.0);  ///< 2 s latency bound
+  double max_server_load = 6.0;                 ///< > 6 queued => overloaded
+  Bandwidth min_bandwidth = Bandwidth::kbps(10.0);  ///< < 10 Kbps => starved
+  /// Utilization below which a dynamically-recruited server may be released
+  /// (the paper's third, unshown repair).
+  double min_utilization = 0.2;
+};
+
+/// All knobs for one experiment run. Defaults reproduce the paper's set-up;
+/// see DESIGN.md section 5 for the calibration rationale.
+struct ScenarioConfig {
+  std::uint64_t seed = 42;
+  SimTime horizon = SimTime::seconds(1800);
+
+  // -- schedule breakpoints (Figure 7)
+  SimTime quiescent_end = SimTime::seconds(120);
+  SimTime stress_start = SimTime::seconds(600);
+  SimTime stress_end = SimTime::seconds(1200);
+
+  // -- workload
+  double normal_rate_hz = 1.0;  ///< per client; 6 clients ~ 6 req/s total
+  double stress_rate_hz = 2.0;  ///< "twice every second"
+  DataSize request_size = DataSize::bytes(512);  ///< "0.5K on average"
+  DataSize normal_response_mean = DataSize::kilobytes(10);
+  DataSize stress_response_size = DataSize::kilobytes(20);  ///< fixed 20 KB
+  double normal_response_sigma = 0.5;
+
+  // -- service model (size-dependent; see DESIGN.md)
+  SimTime service_base = SimTime::millis(50);
+  SimTime service_per_kb = SimTime::millis(20);
+  double service_sigma = 0.2;
+
+  // -- network
+  Bandwidth link_capacity = Bandwidth::mbps(10.0);
+
+  // -- competition rates (Mbps) per phase, applied to the trunk the
+  //    responses traverse. `phase1` = 120..600 s, `stress` = 600..1200 s,
+  //    `final` = 1200..1800 s.
+  double comp_sg1_phase1_mbps = 9.95;
+  double comp_sg1_stress_mbps = 5.0;
+  double comp_sg1_final_mbps = 3.0;
+  double comp_sg2_phase1_mbps = 3.0;
+  double comp_sg2_stress_mbps = 2.0;
+  double comp_sg2_final_mbps = 0.5;
+
+  /// Run the competition generators in both link directions (the testbed's
+  /// cross traffic loaded the return path too). With this on, monitoring
+  /// messages from the starved clients share the congestion — the
+  /// Section 5.3 "monitoring lag" effect.
+  bool comp_bidirectional = false;
+
+  Thresholds thresholds;
+};
+
+/// The built testbed: topology, network, application, drivers, and the
+/// well-known element indices the rest of the framework wires against.
+struct Testbed {
+  Simulator* sim = nullptr;
+  std::unique_ptr<Topology> topo;
+  std::unique_ptr<FlowNetwork> net;
+  std::unique_ptr<GridApp> app;
+  std::unique_ptr<WorkloadDriver> workload;
+  std::unique_ptr<CompetitionDriver> competition;
+
+  std::vector<ClientIdx> clients;  // C1..C6
+  GroupIdx sg1 = kNoGroup;
+  GroupIdx sg2 = kNoGroup;
+  std::vector<ServerIdx> sg1_servers;  // S1,S2,S3
+  std::vector<ServerIdx> sg2_servers;  // S5,S6
+  ServerIdx spare_s4 = -1;
+  ServerIdx spare_s7 = -1;
+
+  /// The machine hosting the repair infrastructure (paper: the machine
+  /// running Server 4); monitoring messages travel to it.
+  NodeId manager_node = kNoNode;
+
+  FlowId comp_sg1 = kNoFlow;
+  FlowId comp_sg2 = kNoFlow;
+  /// Reverse-direction competition (kNoFlow unless comp_bidirectional).
+  FlowId comp_sg1_rev = kNoFlow;
+  FlowId comp_sg2_rev = kNoFlow;
+
+  /// Arm workload and competition; call before Simulator::run_until.
+  void start() {
+    competition->start();
+    workload->start();
+  }
+};
+
+/// Build the Figure 6 testbed and Figure 7 drivers over `sim`.
+Testbed build_testbed(Simulator& sim, const ScenarioConfig& config);
+
+}  // namespace arcadia::sim

@@ -1,0 +1,71 @@
+#include "sim/simulator.hpp"
+
+namespace arcadia::sim {
+
+EventHandle Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+  if (at < now_) {
+    throw SimError("schedule_at(" + std::to_string(at.as_seconds()) +
+                   "s) is in the past (now=" + std::to_string(now_.as_seconds()) +
+                   "s)");
+  }
+  auto cancelled = std::make_shared<bool>(false);
+  EventHandle handle{std::weak_ptr<bool>(cancelled)};
+  queue_.push(Entry{at, next_seq_++, std::move(fn), std::move(cancelled)});
+  return handle;
+}
+
+std::uint64_t Simulator::run_until(SimTime horizon) {
+  std::uint64_t ran = 0;
+  while (!queue_.empty() && queue_.top().time <= horizon) {
+    if (step()) ++ran;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return ran;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (*entry.cancelled) continue;
+    now_ = entry.time;
+    ++executed_;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+SimTime Simulator::next_event_time() const {
+  // The top may be a cancelled tombstone; that only makes this an upper
+  // bound in rare cases, which run_until tolerates.
+  return queue_.empty() ? SimTime::infinity() : queue_.top().time;
+}
+
+PeriodicTask::PeriodicTask(Simulator& sim, SimTime start, SimTime period,
+                           std::function<bool()> fn)
+    : sim_(sim),
+      period_(period),
+      fn_(std::move(fn)),
+      alive_(std::make_shared<bool>(true)) {
+  arm(start);
+}
+
+void PeriodicTask::arm(SimTime at) {
+  std::shared_ptr<bool> alive = alive_;
+  next_ = sim_.schedule_at(at, [this, alive] {
+    if (!*alive) return;
+    if (fn_()) {
+      arm(sim_.now() + period_);
+    } else {
+      *alive = false;
+    }
+  });
+}
+
+void PeriodicTask::cancel() {
+  *alive_ = false;
+  next_.cancel();
+}
+
+}  // namespace arcadia::sim

@@ -1,0 +1,109 @@
+// Discrete-event simulation kernel. Deterministic: events at equal times run
+// in scheduling order (FIFO tie-break by sequence number), so a run is a pure
+// function of the initial schedule and the RNG seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace arcadia::sim {
+
+/// Cancellation token for a scheduled event. Copyable; cheap. Cancelling an
+/// already-fired or already-cancelled event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  void cancel() {
+    if (auto s = state_.lock()) *s = true;
+  }
+  bool valid() const { return !state_.expired(); }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::weak_ptr<bool> state) : state_(std::move(state)) {}
+  std::weak_ptr<bool> state_;
+};
+
+/// The event queue and clock.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (>= now). Returns a handle usable
+  /// to cancel the event before it fires.
+  EventHandle schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedule `fn` after a delay from now.
+  EventHandle schedule_in(SimTime delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Run events until the queue is empty or the next event is after
+  /// `horizon`; the clock ends at min(horizon, last event time). Returns the
+  /// number of events executed.
+  std::uint64_t run_until(SimTime horizon);
+
+  /// Execute the single next event. Returns false if the queue is empty.
+  bool step();
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+  /// Time of the next pending event, or SimTime::infinity().
+  SimTime next_event_time() const;
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+/// Repeats a callback at a fixed period starting at `start`, until cancelled
+/// or the callback returns false. Used for probe sampling and gauge reports.
+class PeriodicTask {
+ public:
+  /// `fn` returns true to keep going.
+  PeriodicTask(Simulator& sim, SimTime start, SimTime period,
+               std::function<bool()> fn);
+  ~PeriodicTask() { cancel(); }
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void cancel();
+  bool active() const { return *alive_; }
+
+ private:
+  void arm(SimTime at);
+  Simulator& sim_;
+  SimTime period_;
+  std::function<bool()> fn_;
+  std::shared_ptr<bool> alive_;
+  EventHandle next_;
+};
+
+}  // namespace arcadia::sim

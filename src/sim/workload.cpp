@@ -1,0 +1,77 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace arcadia::sim {
+
+WorkloadDriver::WorkloadDriver(Simulator& sim, GridApp& app, std::uint64_t seed)
+    : sim_(sim), app_(app), master_(seed) {}
+
+void WorkloadDriver::add(ClientWorkload workload) {
+  Stream s;
+  s.spec = std::move(workload);
+  s.rng = master_.fork(streams_.size() + 1);
+  streams_.push_back(std::move(s));
+}
+
+void WorkloadDriver::start() {
+  if (started_) throw SimError("WorkloadDriver::start called twice");
+  started_ = true;
+  for (std::size_t i = 0; i < streams_.size(); ++i) arm_next(i);
+}
+
+void WorkloadDriver::arm_next(std::size_t i) {
+  Stream& s = streams_[i];
+  const SimTime now = sim_.now();
+  const double rate = s.spec.rate_hz.value_at(now);
+  if (rate <= 0.0) {
+    // Paused: wake up when the rate next changes.
+    SimTime wake = s.spec.rate_hz.next_change_after(now);
+    if (wake.is_infinite()) return;  // silent for the rest of the run
+    sim_.schedule_at(wake, [this, i] { arm_next(i); });
+    return;
+  }
+  const SimTime gap = SimTime::seconds(s.rng.exponential(1.0 / rate));
+  sim_.schedule_in(gap, [this, i] { fire(i); });
+}
+
+void WorkloadDriver::fire(std::size_t i) {
+  Stream& s = streams_[i];
+  const SimTime now = sim_.now();
+  const double mean = s.spec.response_mean_bytes.value_at(now);
+  const double sigma = s.spec.response_sigma.value_at(now);
+  double size = mean;
+  if (sigma > 0.0) {
+    size = s.rng.lognormal_with_mean(mean, sigma);
+    // Keep sizes physical: at least 1 KB, at most 8x the mean.
+    size = std::clamp(size, 1024.0, mean * 8.0);
+  }
+  app_.issue_request(s.spec.client, s.spec.request_size, DataSize::bytes(size));
+  ++issued_;
+  arm_next(i);
+}
+
+CompetitionDriver::CompetitionDriver(Simulator& sim, FlowNetwork& net)
+    : sim_(sim), net_(net) {}
+
+void CompetitionDriver::add(CompetitionSchedule schedule) {
+  schedules_.push_back(std::move(schedule));
+}
+
+void CompetitionDriver::start() {
+  for (std::size_t i = 0; i < schedules_.size(); ++i) apply(i);
+}
+
+void CompetitionDriver::apply(std::size_t i) {
+  CompetitionSchedule& s = schedules_[i];
+  const SimTime now = sim_.now();
+  net_.set_background_rate(s.flow, Bandwidth::bps(s.rate_bps.value_at(now)));
+  SimTime next = s.rate_bps.next_change_after(now);
+  if (!next.is_infinite()) {
+    sim_.schedule_at(next, [this, i] { apply(i); });
+  }
+}
+
+}  // namespace arcadia::sim

@@ -1,0 +1,65 @@
+#include "task/task.hpp"
+
+#include <cmath>
+
+#include "model/types.hpp"
+
+namespace arcadia::task {
+
+void apply_profile(model::System& system, const PerformanceProfile& profile) {
+  for (model::Component* c : system.components()) {
+    if (c->type_name() == model::cs::kClientT) {
+      c->set_property(model::cs::kPropMaxLatency,
+                      model::PropertyValue(profile.max_latency.as_seconds()));
+    }
+  }
+}
+
+double erlang_c(std::int64_t servers, double offered_load) {
+  if (servers <= 0) return 1.0;
+  const double a = offered_load;
+  const double c = static_cast<double>(servers);
+  if (a >= c) return 1.0;  // unstable: every arrival waits
+  // Iteratively compute B (Erlang-B), then convert to C: numerically
+  // stable for large a and c.
+  double b = 1.0;
+  for (std::int64_t k = 1; k <= servers; ++k) {
+    b = (a * b) / (static_cast<double>(k) + a * b);
+  }
+  const double rho = a / c;
+  return b / (1.0 - rho + rho * b);
+}
+
+SizingResult size_server_group(const SizingInput& input) {
+  SizingResult result;
+  if (input.service_time_s <= 0.0 || input.arrival_rate_hz <= 0.0) {
+    result.feasible = false;
+    return result;
+  }
+  const double mu = 1.0 / input.service_time_s;
+  const double a = input.arrival_rate_hz / mu;  // offered erlangs
+  for (std::int64_t c = 1; c <= input.max_servers; ++c) {
+    if (a >= static_cast<double>(c)) continue;  // unstable
+    const double pw = erlang_c(c, a);
+    const double wq =
+        pw / (static_cast<double>(c) * mu - input.arrival_rate_hz);
+    if (wq <= input.target_wait_s) {
+      result.servers = c;
+      result.utilization = a / static_cast<double>(c);
+      result.erlang_c = pw;
+      result.expected_wait_s = wq;
+      result.expected_queue = wq * input.arrival_rate_hz;
+      result.feasible = true;
+      return result;
+    }
+  }
+  result.feasible = false;
+  return result;
+}
+
+Bandwidth min_bandwidth_for(DataSize response_size, SimTime budget) {
+  if (budget <= SimTime::zero()) return Bandwidth::infinity();
+  return Bandwidth::bps(response_size.as_bits() / budget.as_seconds());
+}
+
+}  // namespace arcadia::task

@@ -1,0 +1,65 @@
+#include "util/csv.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace arcadia {
+
+bool CsvWriter::needs_quoting(const std::string& value) {
+  return value.find_first_of(",\"\n") != std::string::npos;
+}
+
+CsvWriter& CsvWriter::field(const std::string& value) {
+  if (row_started_) out_ << ',';
+  row_started_ = true;
+  if (needs_quoting(value)) {
+    out_ << '"';
+    for (char c : value) {
+      if (c == '"') out_ << '"';
+      out_ << c;
+    }
+    out_ << '"';
+  } else {
+    out_ << value;
+  }
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double value) {
+  if (row_started_) out_ << ',';
+  row_started_ = true;
+  out_ << value;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::int64_t value) {
+  if (row_started_) out_ << ',';
+  row_started_ = true;
+  out_ << value;
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  out_ << '\n';
+  row_started_ = false;
+}
+
+void write_series_csv(std::ostream& out,
+                      const std::vector<const TimeSeries*>& series) {
+  CsvWriter csv(out);
+  csv.field(std::string("time_s"));
+  for (const auto* s : series) csv.field(s->name());
+  csv.end_row();
+
+  std::set<SimTime> times;
+  for (const auto* s : series) {
+    for (const auto& [t, v] : s->points()) times.insert(t);
+  }
+  for (SimTime t : times) {
+    csv.field(t.as_seconds());
+    for (const auto* s : series) csv.field(s->value_at(t));
+    csv.end_row();
+  }
+}
+
+}  // namespace arcadia

@@ -1,0 +1,33 @@
+// CSV emission for experiment results. Benches write the series backing each
+// figure to CSV (and to stdout) so plots can be regenerated externally.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/timeseries.hpp"
+
+namespace arcadia {
+
+/// Streaming CSV writer with RFC-4180-style quoting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  CsvWriter& field(const std::string& value);
+  CsvWriter& field(double value);
+  CsvWriter& field(std::int64_t value);
+  void end_row();
+
+ private:
+  static bool needs_quoting(const std::string& value);
+  std::ostream& out_;
+  bool row_started_ = false;
+};
+
+/// Write several time series as aligned columns (union of timestamps,
+/// sample-and-hold for missing points). Column 0 is time in seconds.
+void write_series_csv(std::ostream& out, const std::vector<const TimeSeries*>& series);
+
+}  // namespace arcadia

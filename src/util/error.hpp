@@ -1,0 +1,64 @@
+// Exception hierarchy for Arcadia. Every module throws a subclass of
+// arcadia::Error so callers can catch framework errors distinctly from
+// std:: failures.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace arcadia {
+
+/// Root of the Arcadia exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Architectural-model violations: unknown elements, invalid attachments,
+/// style violations, transaction misuse. Matches the paper's `abort
+/// ModelError` escape in Figure 5.
+class ModelError : public Error {
+ public:
+  explicit ModelError(const std::string& what) : Error("ModelError: " + what) {}
+};
+
+/// Lexing/parsing failures in the Acme ADL, Armani expressions, or repair
+/// scripts. Carries a 1-based source position.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line, int column)
+      : Error("ParseError at " + std::to_string(line) + ":" +
+              std::to_string(column) + ": " + what),
+        line_(line),
+        column_(column) {}
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Runtime faults while interpreting a repair script (bad types, unknown
+/// operators, `abort <reason>` statements).
+class ScriptError : public Error {
+ public:
+  explicit ScriptError(const std::string& what) : Error("ScriptError: " + what) {}
+};
+
+/// Failures of environment-manager operators against the (simulated)
+/// runtime system, e.g. activating a server that does not exist.
+class RuntimeOpError : public Error {
+ public:
+  explicit RuntimeOpError(const std::string& what)
+      : Error("RuntimeOpError: " + what) {}
+};
+
+/// Simulation-kernel misuse (scheduling into the past, running a finished
+/// simulator, malformed topologies).
+class SimError : public Error {
+ public:
+  explicit SimError(const std::string& what) : Error("SimError: " + what) {}
+};
+
+}  // namespace arcadia

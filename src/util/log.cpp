@@ -1,0 +1,41 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace arcadia {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& message) {
+    std::fprintf(stderr, "[%s] %s\n", to_string(level), message.c_str());
+  };
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+void Logger::log(LogLevel level, const std::string& message) {
+  if (!enabled(level)) return;
+  std::lock_guard lock(mutex_);
+  if (sink_) sink_(level, message);
+}
+
+}  // namespace arcadia

@@ -1,0 +1,70 @@
+// Minimal leveled logger. The adaptation framework narrates repairs through
+// this; experiments usually run with level Warn to keep bench output clean,
+// examples run with Info to show the repair timeline.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace arcadia {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+const char* to_string(LogLevel level);
+
+/// Process-wide logger with a pluggable sink. Thread-safe: the sink is
+/// invoked under a mutex, so interleaved messages never shear.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Replace the output sink (default writes to stderr). Used by tests to
+  /// capture log output.
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::Warn;
+  Sink sink_;
+  std::mutex mutex_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().log(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace arcadia
+
+#define ARC_LOG(level)                                    \
+  if (!::arcadia::Logger::instance().enabled(level)) {    \
+  } else                                                  \
+    ::arcadia::detail::LogLine(level)
+
+#define ARC_TRACE ARC_LOG(::arcadia::LogLevel::Trace)
+#define ARC_DEBUG ARC_LOG(::arcadia::LogLevel::Debug)
+#define ARC_INFO ARC_LOG(::arcadia::LogLevel::Info)
+#define ARC_WARN ARC_LOG(::arcadia::LogLevel::Warn)
+#define ARC_ERROR ARC_LOG(::arcadia::LogLevel::Error)

@@ -1,0 +1,49 @@
+#include "util/step_function.hpp"
+
+#include <algorithm>
+
+namespace arcadia {
+
+StepFunction& StepFunction::step(SimTime at, double value) {
+  auto it = std::lower_bound(
+      steps_.begin(), steps_.end(), at,
+      [](const auto& entry, SimTime t) { return entry.first < t; });
+  if (it != steps_.end() && it->first == at) {
+    it->second = value;
+  } else {
+    steps_.insert(it, {at, value});
+  }
+  return *this;
+}
+
+double StepFunction::value_at(SimTime t) const {
+  // Last step with start <= t.
+  auto it = std::upper_bound(
+      steps_.begin(), steps_.end(), t,
+      [](SimTime tt, const auto& entry) { return tt < entry.first; });
+  if (it == steps_.begin()) return initial_;
+  return std::prev(it)->second;
+}
+
+SimTime StepFunction::next_change_after(SimTime t) const {
+  auto it = std::upper_bound(
+      steps_.begin(), steps_.end(), t,
+      [](SimTime tt, const auto& entry) { return tt < entry.first; });
+  if (it == steps_.end()) return SimTime::infinity();
+  return it->first;
+}
+
+double StepFunction::integrate(SimTime from, SimTime to) const {
+  if (to <= from) return 0.0;
+  double total = 0.0;
+  SimTime cursor = from;
+  while (cursor < to) {
+    SimTime next = next_change_after(cursor);
+    SimTime segment_end = std::min(next, to);
+    total += value_at(cursor) * (segment_end - cursor).as_seconds();
+    cursor = segment_end;
+  }
+  return total;
+}
+
+}  // namespace arcadia

@@ -1,0 +1,46 @@
+// Piecewise-constant functions of simulated time. Figure 7 of the paper
+// specifies both the bandwidth-competition schedule and the request-rate /
+// file-size schedule as stepping functions; this is their direct
+// representation.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace arcadia {
+
+/// Right-continuous step function: value(t) is the value of the latest step
+/// whose start time is <= t. Before the first step the `initial` value
+/// applies.
+class StepFunction {
+ public:
+  explicit StepFunction(double initial = 0.0) : initial_(initial) {}
+
+  /// Add a step: from `at` onward the function takes `value`. Steps may be
+  /// added in any order; they are kept sorted. Adding a second step at the
+  /// same instant replaces the first.
+  StepFunction& step(SimTime at, double value);
+
+  double value_at(SimTime t) const;
+  double initial_value() const { return initial_; }
+
+  /// The first change time strictly after `t`, or SimTime::infinity() if the
+  /// function is constant afterwards. Lets the simulator schedule exactly at
+  /// breakpoints instead of polling.
+  SimTime next_change_after(SimTime t) const;
+
+  /// Definite integral over [from, to] (value-seconds); used by tests to
+  /// validate workload totals.
+  double integrate(SimTime from, SimTime to) const;
+
+  const std::vector<std::pair<SimTime, double>>& steps() const { return steps_; }
+  bool empty() const { return steps_.empty(); }
+
+ private:
+  double initial_;
+  std::vector<std::pair<SimTime, double>> steps_;  // sorted by time
+};
+
+}  // namespace arcadia

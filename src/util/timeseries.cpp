@@ -1,0 +1,144 @@
+#include "util/timeseries.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/error.hpp"
+
+namespace arcadia {
+
+void TimeSeries::append(SimTime t, double value) {
+  if (!points_.empty() && t < points_.back().first) {
+    throw Error("TimeSeries '" + name_ + "': non-monotonic append");
+  }
+  points_.emplace_back(t, value);
+}
+
+SimTime TimeSeries::first_time() const {
+  return points_.empty() ? SimTime::zero() : points_.front().first;
+}
+
+SimTime TimeSeries::last_time() const {
+  return points_.empty() ? SimTime::zero() : points_.back().first;
+}
+
+double TimeSeries::last_value() const {
+  return points_.empty() ? 0.0 : points_.back().second;
+}
+
+double TimeSeries::value_at(SimTime t, double fallback) const {
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](SimTime tt, const auto& p) { return tt < p.first; });
+  if (it == points_.begin()) return fallback;
+  return std::prev(it)->second;
+}
+
+double TimeSeries::mean_over(SimTime from, SimTime to) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& [t, v] : points_) {
+    if (t < from || t > to) continue;
+    sum += v;
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double TimeSeries::max_over(SimTime from, SimTime to) const {
+  double best = 0.0;
+  bool any = false;
+  for (const auto& [t, v] : points_) {
+    if (t < from || t > to) continue;
+    best = any ? std::max(best, v) : v;
+    any = true;
+  }
+  return best;
+}
+
+double TimeSeries::min_over(SimTime from, SimTime to) const {
+  double best = 0.0;
+  bool any = false;
+  for (const auto& [t, v] : points_) {
+    if (t < from || t > to) continue;
+    best = any ? std::min(best, v) : v;
+    any = true;
+  }
+  return best;
+}
+
+double TimeSeries::fraction_above(double threshold, SimTime from,
+                                  SimTime to) const {
+  if (points_.empty() || to <= from) return 0.0;
+  double above = 0.0;
+  // Sample-and-hold: each sample's value applies until the next sample.
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    SimTime seg_start = std::max(points_[i].first, from);
+    SimTime seg_end = (i + 1 < points_.size()) ? points_[i + 1].first : to;
+    seg_end = std::min(seg_end, to);
+    if (seg_end <= seg_start) continue;
+    if (points_[i].second > threshold) {
+      above += (seg_end - seg_start).as_seconds();
+    }
+  }
+  return above / (to - from).as_seconds();
+}
+
+SimTime TimeSeries::first_crossing(double threshold) const {
+  for (const auto& [t, v] : points_) {
+    if (v >= threshold) return t;
+  }
+  return SimTime::infinity();
+}
+
+TimeSeries TimeSeries::windowed_mean(SimTime window, SimTime step, SimTime from,
+                                     SimTime to) const {
+  TimeSeries out(name_);
+  if (step <= SimTime::zero()) return out;
+  std::size_t lo = 0;  // first sample with time > t - window
+  std::size_t hi = 0;  // first sample with time > t
+  double sum = 0.0;
+  bool have_value = false;
+  double held = 0.0;
+  for (SimTime t = from; t <= to; t += step) {
+    while (hi < points_.size() && points_[hi].first <= t) {
+      sum += points_[hi].second;
+      ++hi;
+    }
+    while (lo < hi && points_[lo].first <= t - window) {
+      sum -= points_[lo].second;
+      ++lo;
+    }
+    const std::size_t n = hi - lo;
+    if (n > 0) {
+      held = sum / static_cast<double>(n);
+      have_value = true;
+    }
+    if (have_value) out.append(t, held);
+  }
+  return out;
+}
+
+TimeSeries TimeSeries::resample(SimTime bucket) const {
+  TimeSeries out(name_);
+  if (points_.empty() || bucket <= SimTime::zero()) return out;
+  SimTime bucket_start = points_.front().first;
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& [t, v] : points_) {
+    while (t >= bucket_start + bucket) {
+      if (n > 0) {
+        out.append(bucket_start, sum / static_cast<double>(n));
+      }
+      bucket_start += bucket;
+      sum = 0.0;
+      n = 0;
+    }
+    sum += v;
+    ++n;
+  }
+  if (n > 0) out.append(bucket_start, sum / static_cast<double>(n));
+  return out;
+}
+
+}  // namespace arcadia

@@ -1,0 +1,69 @@
+// Time-stamped sample sequences. Every figure in the paper's evaluation is a
+// log-scale time series (latency, queue length, available bandwidth); the
+// experiment runner records these and the bench harness prints them.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace arcadia {
+
+/// An append-only series of (time, value) samples, non-decreasing in time.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Append a sample. Time must be >= the last sample's time.
+  void append(SimTime t, double value);
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const std::vector<std::pair<SimTime, double>>& points() const {
+    return points_;
+  }
+  SimTime first_time() const;
+  SimTime last_time() const;
+  double last_value() const;
+
+  /// Value of the most recent sample at or before t (sample-and-hold);
+  /// `fallback` before the first sample.
+  double value_at(SimTime t, double fallback = 0.0) const;
+
+  /// Mean of samples with time in [from, to].
+  double mean_over(SimTime from, SimTime to) const;
+  double max_over(SimTime from, SimTime to) const;
+  double min_over(SimTime from, SimTime to) const;
+
+  /// Fraction of *time* (sample-and-hold weighting) in [from, to] during
+  /// which the series exceeds `threshold`. This is the paper's headline
+  /// metric: how long latency spent above 2 s.
+  double fraction_above(double threshold, SimTime from, SimTime to) const;
+
+  /// First time the series reaches or exceeds `threshold`, or
+  /// SimTime::infinity(). Used for "latency crossed 2 s at ~140 s".
+  SimTime first_crossing(double threshold) const;
+
+  /// Downsample to one point per `bucket` (mean within each bucket) for
+  /// compact printing.
+  TimeSeries resample(SimTime bucket) const;
+
+  /// Sliding-window mean sampled on a regular grid: at each step in
+  /// [from, to], the mean of samples within the trailing `window`. Grid
+  /// points with an empty window repeat the previous value (gauge-style
+  /// sample-and-hold); leading empty windows are skipped.
+  TimeSeries windowed_mean(SimTime window, SimTime step, SimTime from,
+                           SimTime to) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<SimTime, double>> points_;
+};
+
+}  // namespace arcadia

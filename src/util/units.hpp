@@ -1,0 +1,153 @@
+// Strong unit types shared across Arcadia: simulated time, data sizes and
+// bandwidths. Keeping these as distinct types (rather than bare doubles)
+// prevents the classic seconds-vs-microseconds and bits-vs-bytes mixups that
+// plague flow-level network simulators.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace arcadia {
+
+/// Simulated time, an integer count of microseconds since simulation start.
+/// Integer representation keeps the event queue exact (no floating-point
+/// clock drift over an 1800-second experiment).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime micros(std::int64_t us) { return SimTime{us}; }
+  static constexpr SimTime millis(double ms) {
+    return SimTime{static_cast<std::int64_t>(ms * 1e3)};
+  }
+  static constexpr SimTime seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e6)};
+  }
+  static constexpr SimTime minutes(double m) { return seconds(m * 60.0); }
+  /// A time beyond any experiment horizon; used as "never".
+  static constexpr SimTime infinity() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t as_micros() const { return us_; }
+  constexpr double as_seconds() const { return static_cast<double>(us_) / 1e6; }
+  constexpr double as_millis() const { return static_cast<double>(us_) / 1e3; }
+  constexpr bool is_infinite() const { return *this == infinity(); }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.us_ + b.us_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.us_ - b.us_};
+  }
+  constexpr SimTime& operator+=(SimTime o) {
+    us_ += o.us_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    us_ -= o.us_;
+    return *this;
+  }
+  friend constexpr SimTime operator*(SimTime a, double k) {
+    return SimTime{static_cast<std::int64_t>(static_cast<double>(a.us_) * k)};
+  }
+  friend constexpr SimTime operator*(double k, SimTime a) { return a * k; }
+  friend constexpr double operator/(SimTime a, SimTime b) {
+    return static_cast<double>(a.us_) / static_cast<double>(b.us_);
+  }
+
+ private:
+  explicit constexpr SimTime(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// A quantity of data in bytes (requests, responses, monitoring messages).
+class DataSize {
+ public:
+  constexpr DataSize() = default;
+  static constexpr DataSize zero() { return DataSize{0.0}; }
+  static constexpr DataSize bytes(double b) { return DataSize{b}; }
+  static constexpr DataSize kilobytes(double kb) { return DataSize{kb * 1024.0}; }
+  static constexpr DataSize megabytes(double mb) {
+    return DataSize{mb * 1024.0 * 1024.0};
+  }
+
+  constexpr double as_bytes() const { return bytes_; }
+  constexpr double as_kilobytes() const { return bytes_ / 1024.0; }
+  constexpr double as_bits() const { return bytes_ * 8.0; }
+
+  friend constexpr auto operator<=>(DataSize, DataSize) = default;
+  friend constexpr DataSize operator+(DataSize a, DataSize b) {
+    return DataSize{a.bytes_ + b.bytes_};
+  }
+  friend constexpr DataSize operator-(DataSize a, DataSize b) {
+    return DataSize{a.bytes_ - b.bytes_};
+  }
+  friend constexpr DataSize operator*(DataSize a, double k) {
+    return DataSize{a.bytes_ * k};
+  }
+  constexpr DataSize& operator+=(DataSize o) {
+    bytes_ += o.bytes_;
+    return *this;
+  }
+
+ private:
+  explicit constexpr DataSize(double b) : bytes_(b) {}
+  double bytes_ = 0.0;
+};
+
+/// Link or flow bandwidth in bits per second.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+  static constexpr Bandwidth zero() { return Bandwidth{0.0}; }
+  static constexpr Bandwidth bps(double v) { return Bandwidth{v}; }
+  static constexpr Bandwidth kbps(double v) { return Bandwidth{v * 1e3}; }
+  static constexpr Bandwidth mbps(double v) { return Bandwidth{v * 1e6}; }
+  static constexpr Bandwidth infinity() {
+    return Bandwidth{std::numeric_limits<double>::infinity()};
+  }
+
+  constexpr double as_bps() const { return bps_; }
+  constexpr double as_kbps() const { return bps_ / 1e3; }
+  constexpr double as_mbps() const { return bps_ / 1e6; }
+
+  friend constexpr auto operator<=>(Bandwidth, Bandwidth) = default;
+  friend constexpr Bandwidth operator+(Bandwidth a, Bandwidth b) {
+    return Bandwidth{a.bps_ + b.bps_};
+  }
+  friend constexpr Bandwidth operator-(Bandwidth a, Bandwidth b) {
+    return Bandwidth{a.bps_ - b.bps_};
+  }
+  friend constexpr Bandwidth operator*(Bandwidth a, double k) {
+    return Bandwidth{a.bps_ * k};
+  }
+  friend constexpr Bandwidth operator/(Bandwidth a, double k) {
+    return Bandwidth{a.bps_ / k};
+  }
+
+ private:
+  explicit constexpr Bandwidth(double v) : bps_(v) {}
+  double bps_ = 0.0;
+};
+
+/// Time to move `size` at `rate`; SimTime::infinity() when the rate is zero.
+inline SimTime transfer_time(DataSize size, Bandwidth rate) {
+  if (rate.as_bps() <= 0.0) return SimTime::infinity();
+  return SimTime::seconds(size.as_bits() / rate.as_bps());
+}
+
+std::string inline to_string(SimTime t) {
+  return std::to_string(t.as_seconds()) + "s";
+}
+std::string inline to_string(Bandwidth b) {
+  return std::to_string(b.as_mbps()) + "Mbps";
+}
+std::string inline to_string(DataSize d) {
+  return std::to_string(d.as_kilobytes()) + "KB";
+}
+
+}  // namespace arcadia

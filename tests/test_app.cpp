@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include "sim/app.hpp"
+#include "sim/scenario.hpp"
+#include "sim/workload.hpp"
+
+namespace arcadia::sim {
+namespace {
+
+/// Minimal two-group rig: client on h_c, queue on h_q, servers on h_s1/h_s2,
+/// all through one router with ample bandwidth.
+struct Rig {
+  Simulator sim;
+  Topology topo;
+  std::unique_ptr<FlowNetwork> net;
+  std::unique_ptr<GridApp> app;
+  NodeId h_c, h_q, h_s1, h_s2;
+  ClientIdx client;
+  GroupIdx g1, g2;
+  ServerIdx s1, s2, spare;
+
+  explicit Rig(AppConfig cfg = {}) {
+    NodeId r = topo.add_node("r", NodeKind::Router);
+    h_c = topo.add_node("h_c", NodeKind::Host);
+    h_q = topo.add_node("h_q", NodeKind::Host);
+    h_s1 = topo.add_node("h_s1", NodeKind::Host);
+    h_s2 = topo.add_node("h_s2", NodeKind::Host);
+    for (NodeId h : {h_c, h_q, h_s1, h_s2}) {
+      topo.add_link(h, r, Bandwidth::mbps(100));
+    }
+    topo.compute_routes();
+    net = std::make_unique<FlowNetwork>(sim, topo);
+    cfg.service_sigma = 0.0;  // deterministic service for exact assertions
+    app = std::make_unique<GridApp>(sim, *net, cfg);
+    app->set_queue_node(h_q);
+    g1 = app->add_group("G1");
+    g2 = app->add_group("G2");
+    s1 = app->add_server("S1", h_s1, g1, true);
+    s2 = app->add_server("S2", h_s2, g2, true);
+    spare = app->add_server("SP", h_s2, kNoGroup, false);
+    client = app->add_client("C", h_c);
+    app->assign_client(client, g1);
+  }
+
+  void issue(double resp_kb = 10.0) {
+    app->issue_request(client, DataSize::bytes(512),
+                       DataSize::kilobytes(resp_kb));
+  }
+};
+
+TEST(GridAppTest, RequestLifecycleCompletes) {
+  Rig rig;
+  std::vector<Request> done;
+  rig.app->on_response = [&](const Request& r) { done.push_back(r); };
+  rig.issue();
+  rig.sim.run_until(SimTime::seconds(10));
+  ASSERT_EQ(done.size(), 1u);
+  const Request& r = done[0];
+  EXPECT_EQ(r.client, rig.client);
+  EXPECT_EQ(r.served_by, rig.s1);
+  EXPECT_EQ(r.served_by_group, rig.g1);
+  EXPECT_GT(r.latency().as_seconds(), 0.0);
+  EXPECT_LT(r.latency().as_seconds(), 2.0);
+  EXPECT_LE(r.created, r.enqueued);
+  EXPECT_LE(r.enqueued, r.dequeued);
+  EXPECT_LE(r.dequeued, r.service_done);
+  EXPECT_LE(r.service_done, r.completed);
+}
+
+TEST(GridAppTest, FifoOrderWithinGroup) {
+  Rig rig;
+  std::vector<std::uint64_t> completion_order;
+  rig.app->on_response = [&](const Request& r) {
+    completion_order.push_back(r.id);
+  };
+  // Spaced issues give a deterministic arrival order at the queue machine.
+  for (int i = 0; i < 5; ++i) {
+    rig.sim.schedule_at(SimTime::millis(10 * i), [&rig] { rig.issue(); });
+  }
+  rig.sim.run_until(SimTime::seconds(60));
+  ASSERT_EQ(completion_order.size(), 5u);
+  // One server, equal sizes: strict FIFO.
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(completion_order[i], i);
+}
+
+TEST(GridAppTest, MoveClientRoutesFutureRequests) {
+  Rig rig;
+  std::vector<GroupIdx> served_by;
+  rig.app->on_response = [&](const Request& r) {
+    served_by.push_back(r.served_by_group);
+  };
+  rig.issue();
+  rig.sim.run_until(SimTime::seconds(5));
+  rig.app->move_client(rig.client, rig.g2);
+  rig.issue();
+  rig.sim.run_until(SimTime::seconds(10));
+  ASSERT_EQ(served_by.size(), 2u);
+  EXPECT_EQ(served_by[0], rig.g1);
+  EXPECT_EQ(served_by[1], rig.g2);
+}
+
+TEST(GridAppTest, QueueGrowsWithoutActiveServers) {
+  Rig rig;
+  rig.app->deactivate_server(rig.s1);
+  rig.sim.run_until(SimTime::seconds(1));
+  for (int i = 0; i < 4; ++i) rig.issue();
+  rig.sim.run_until(SimTime::seconds(5));
+  EXPECT_EQ(rig.app->queue_length(rig.g1), 4u);
+  // Activation drains it.
+  rig.app->activate_server(rig.s1);
+  rig.sim.run_until(SimTime::seconds(60));
+  EXPECT_EQ(rig.app->queue_length(rig.g1), 0u);
+  EXPECT_EQ(rig.app->total_completed(), 4u);
+}
+
+TEST(GridAppTest, DeactivateFinishesCurrentRequest) {
+  Rig rig;
+  int completed = 0;
+  rig.app->on_response = [&](const Request&) { ++completed; };
+  rig.issue();
+  rig.sim.run_until(SimTime::millis(100));  // request in service
+  EXPECT_TRUE(rig.app->server_busy(rig.s1));
+  rig.app->deactivate_server(rig.s1);
+  rig.issue();  // queued but never served
+  rig.sim.run_until(SimTime::seconds(30));
+  EXPECT_EQ(completed, 1);
+  EXPECT_FALSE(rig.app->server_active(rig.s1));
+  EXPECT_EQ(rig.app->queue_length(rig.g1), 1u);
+}
+
+TEST(GridAppTest, SpareConnectsAndActivates) {
+  Rig rig;
+  EXPECT_EQ(rig.app->spare_servers(), (std::vector<ServerIdx>{rig.spare}));
+  EXPECT_THROW(rig.app->activate_server(rig.spare), SimError);  // no queue yet
+  rig.app->connect_server(rig.spare, rig.g1);
+  rig.app->activate_server(rig.spare);
+  EXPECT_TRUE(rig.app->server_active(rig.spare));
+  EXPECT_EQ(rig.app->server_group(rig.spare), rig.g1);
+  EXPECT_EQ(rig.app->active_servers(rig.g1).size(), 2u);
+  EXPECT_TRUE(rig.app->spare_servers().empty());
+}
+
+TEST(GridAppTest, ConnectServerMovesBetweenGroups) {
+  Rig rig;
+  rig.app->connect_server(rig.s2, rig.g1);
+  EXPECT_EQ(rig.app->active_servers(rig.g1).size(), 2u);
+  EXPECT_TRUE(rig.app->active_servers(rig.g2).empty());
+}
+
+TEST(GridAppTest, ServerStateHookFires) {
+  Rig rig;
+  std::vector<std::pair<ServerIdx, bool>> events;
+  rig.app->on_server_state = [&](ServerIdx s, bool a) {
+    events.emplace_back(s, a);
+  };
+  rig.app->deactivate_server(rig.s1);
+  rig.app->connect_server(rig.spare, rig.g1);
+  rig.app->activate_server(rig.spare);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], (std::pair<ServerIdx, bool>{rig.s1, false}));
+  EXPECT_EQ(events[1], (std::pair<ServerIdx, bool>{rig.spare, true}));
+}
+
+TEST(GridAppTest, UtilizationTracksBusyServers) {
+  Rig rig;
+  EXPECT_DOUBLE_EQ(rig.app->group_utilization(rig.g1), 0.0);
+  rig.issue();
+  rig.sim.run_until(SimTime::millis(100));
+  EXPECT_DOUBLE_EQ(rig.app->group_utilization(rig.g1), 1.0);
+  rig.sim.run_until(SimTime::seconds(10));
+  EXPECT_DOUBLE_EQ(rig.app->group_utilization(rig.g1), 0.0);
+}
+
+TEST(GridAppTest, ServiceTimeScalesWithResponseSize) {
+  Rig rig;
+  std::vector<double> service_s;
+  rig.app->on_response = [&](const Request& r) {
+    service_s.push_back((r.service_done - r.dequeued).as_seconds());
+  };
+  rig.issue(10.0);
+  rig.sim.run_until(SimTime::seconds(10));
+  rig.issue(20.0);
+  rig.sim.run_until(SimTime::seconds(20));
+  ASSERT_EQ(service_s.size(), 2u);
+  // base 50 ms + 20 ms/KB (deterministic in this rig).
+  EXPECT_NEAR(service_s[0], 0.05 + 0.02 * 10, 1e-6);
+  EXPECT_NEAR(service_s[1], 0.05 + 0.02 * 20, 1e-6);
+}
+
+TEST(GridAppTest, LookupsByName) {
+  Rig rig;
+  EXPECT_EQ(rig.app->find_client("C"), rig.client);
+  EXPECT_EQ(rig.app->find_server("SP"), rig.spare);
+  EXPECT_EQ(rig.app->find_group("G2"), rig.g2);
+  EXPECT_EQ(rig.app->find_client("nope"), -1);
+  EXPECT_EQ(rig.app->find_group("nope"), kNoGroup);
+}
+
+TEST(GridAppTest, ClientsAssigned) {
+  Rig rig;
+  EXPECT_EQ(rig.app->clients_assigned(rig.g1).size(), 1u);
+  EXPECT_TRUE(rig.app->clients_assigned(rig.g2).empty());
+}
+
+TEST(GridAppTest, PendingResponsesCountsConnBacklog) {
+  // Throttle the response path so responses pile up on the connection.
+  Rig rig;
+  FlowId bg = rig.net->add_background(rig.h_s1, rig.h_c);
+  rig.net->set_background_rate(bg, Bandwidth::mbps(99.999));
+  for (int i = 0; i < 3; ++i) rig.issue(100.0);
+  rig.sim.run_until(SimTime::seconds(20));
+  EXPECT_GE(rig.app->pending_responses(rig.client), 2u);
+}
+
+// ---- workload driver ----
+
+TEST(WorkloadDriverTest, GeneratesRequestsAtConfiguredRate) {
+  Rig rig;
+  WorkloadDriver driver(rig.sim, *rig.app, /*seed=*/99);
+  ClientWorkload w;
+  w.client = rig.client;
+  w.rate_hz = StepFunction(10.0);
+  w.response_mean_bytes = StepFunction(10 * 1024.0);
+  w.response_sigma = StepFunction(0.0);
+  driver.add(std::move(w));
+  driver.start();
+  rig.sim.run_until(SimTime::seconds(100));
+  // ~1000 expected; Poisson 3-sigma is about +/-95.
+  EXPECT_GT(driver.requests_issued(), 850u);
+  EXPECT_LT(driver.requests_issued(), 1150u);
+}
+
+TEST(WorkloadDriverTest, RateStepChangesArrivals) {
+  Rig rig;
+  WorkloadDriver driver(rig.sim, *rig.app, 7);
+  ClientWorkload w;
+  w.client = rig.client;
+  StepFunction rate(0.0);  // silent, then bursts
+  rate.step(SimTime::seconds(50), 20.0);
+  w.rate_hz = rate;
+  driver.add(std::move(w));
+  driver.start();
+  rig.sim.run_until(SimTime::seconds(49));
+  EXPECT_EQ(driver.requests_issued(), 0u);
+  rig.sim.run_until(SimTime::seconds(100));
+  EXPECT_GT(driver.requests_issued(), 700u);
+}
+
+TEST(WorkloadDriverTest, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    Rig rig;
+    WorkloadDriver driver(rig.sim, *rig.app, seed);
+    ClientWorkload w;
+    w.client = rig.client;
+    w.rate_hz = StepFunction(5.0);
+    driver.add(std::move(w));
+    driver.start();
+    rig.sim.run_until(SimTime::seconds(50));
+    return std::make_pair(driver.requests_issued(),
+                          rig.app->total_completed());
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42).first, run(43).first);
+}
+
+TEST(CompetitionDriverTest, AppliesScheduledRates) {
+  Rig rig;
+  FlowId bg = rig.net->add_background(rig.h_s1, rig.h_c);
+  CompetitionDriver driver(rig.sim, *rig.net);
+  StepFunction rate(0.0);
+  rate.step(SimTime::seconds(10), 5e6);
+  rate.step(SimTime::seconds(20), 1e6);
+  driver.add(CompetitionSchedule{bg, rate});
+  driver.start();
+  rig.sim.run_until(SimTime::seconds(5));
+  EXPECT_DOUBLE_EQ(rig.net->background_rate(bg).as_bps(), 0.0);
+  rig.sim.run_until(SimTime::seconds(15));
+  EXPECT_DOUBLE_EQ(rig.net->background_rate(bg).as_bps(), 5e6);
+  rig.sim.run_until(SimTime::seconds(25));
+  EXPECT_DOUBLE_EQ(rig.net->background_rate(bg).as_bps(), 1e6);
+}
+
+// ---- the Figure 6 testbed builder ----
+
+TEST(ScenarioTest, TestbedShapeMatchesFigure6) {
+  Simulator sim;
+  ScenarioConfig cfg;
+  Testbed tb = build_testbed(sim, cfg);
+  EXPECT_EQ(tb.clients.size(), 6u);
+  EXPECT_EQ(tb.app->group_count(), 2u);
+  EXPECT_EQ(tb.sg1_servers.size(), 3u);  // the paper's initial sizing
+  EXPECT_EQ(tb.sg2_servers.size(), 2u);
+  EXPECT_EQ(tb.app->spare_servers().size(), 2u);  // S4 and S7
+  for (ClientIdx c : tb.clients) {
+    EXPECT_EQ(tb.app->client_group(c), tb.sg1);  // all start on SG1
+  }
+  EXPECT_NE(tb.manager_node, kNoNode);
+}
+
+TEST(ScenarioTest, CompetitionThrottlesOnlyC34Paths) {
+  Simulator sim;
+  ScenarioConfig cfg;
+  Testbed tb = build_testbed(sim, cfg);
+  tb.start();
+  sim.run_until(SimTime::seconds(130));  // competition active since 120 s
+  GridApp& app = *tb.app;
+  NodeId sg1 = app.group_node(tb.sg1);
+  // C3 (index 2) starved; C1 (index 0) unaffected.
+  Bandwidth c3 = tb.net->available_bandwidth(sg1, app.client_node(tb.clients[2]));
+  Bandwidth c1 = tb.net->available_bandwidth(sg1, app.client_node(tb.clients[0]));
+  EXPECT_LT(c3.as_kbps(), 10.0 + 41.0);  // near the repair threshold
+  EXPECT_GT(c1.as_mbps(), 5.0);
+}
+
+TEST(ScenarioTest, DeterministicForSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim;
+    ScenarioConfig cfg;
+    cfg.seed = seed;
+    cfg.horizon = SimTime::seconds(200);
+    Testbed tb = build_testbed(sim, cfg);
+    tb.start();
+    sim.run_until(cfg.horizon);
+    return std::make_pair(tb.app->total_issued(), sim.executed());
+  };
+  EXPECT_EQ(run(1), run(1));
+  EXPECT_NE(run(1), run(2));
+}
+
+}  // namespace
+}  // namespace arcadia::sim

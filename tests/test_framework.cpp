@@ -1,0 +1,118 @@
+// Framework wiring: gauge reports update the model, the architecture
+// manager triggers repairs, the Remos pre-query behaviour, and the gauge
+// deployment inventory.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "monitor/topics.hpp"
+
+namespace arcadia::core {
+namespace {
+
+struct FrameworkRig {
+  sim::Simulator sim;
+  sim::ScenarioConfig scenario;
+  sim::Testbed tb;
+  FrameworkConfig cfg;
+  std::unique_ptr<Framework> fw;
+
+  FrameworkRig() : tb(sim::build_testbed(sim, scenario)) {
+    fw = std::make_unique<Framework>(sim, tb, cfg);
+  }
+};
+
+TEST(FrameworkTest, DeploysExpectedGauges) {
+  FrameworkRig rig;
+  rig.fw->start();
+  // 6 latency + 6 bandwidth + 2 load + 2 utilization.
+  EXPECT_EQ(rig.fw->gauges().gauge_count(), 16u);
+  rig.sim.run_until(SimTime::seconds(20));
+  EXPECT_TRUE(rig.fw->gauges().is_live("latency:User1"));
+  EXPECT_TRUE(rig.fw->gauges().is_live("load:ServerGrp1"));
+  EXPECT_TRUE(rig.fw->gauges().is_live("bandwidth:User3"));
+}
+
+TEST(FrameworkTest, PrequeryWarmsRemos) {
+  FrameworkRig rig;
+  rig.fw->start();
+  EXPECT_GT(rig.fw->remos().stats().cold_queries, 0u);
+  sim::GridApp& app = *rig.tb.app;
+  EXPECT_TRUE(rig.fw->remos().is_warm(app.group_node(rig.tb.sg1),
+                                      app.client_node(rig.tb.clients[0])));
+}
+
+TEST(FrameworkTest, StartTwiceThrows) {
+  FrameworkRig rig;
+  rig.fw->start();
+  EXPECT_THROW(rig.fw->start(), Error);
+}
+
+TEST(FrameworkTest, ConstraintsInstantiated) {
+  FrameworkRig rig;
+  // 6 latency constraints + 2 utilization constraints.
+  EXPECT_EQ(rig.fw->manager().checker().constraints().size(), 8u);
+}
+
+TEST(FrameworkTest, GaugeReportsUpdateModelProperties) {
+  FrameworkRig rig;
+  rig.fw->start();
+  rig.tb.start();
+  rig.sim.run_until(SimTime::seconds(60));
+  // After a minute of quiescent traffic, latency gauges have reported and
+  // the model's averageLatency reflects sub-second latencies.
+  const model::Component& user1 = rig.fw->system().component("User1");
+  double lat = user1.property("averageLatency").as_double();
+  EXPECT_GT(lat, 0.0);
+  EXPECT_LT(lat, 2.0);
+  // Role bandwidth reflects the quiet network.
+  double bw = rig.fw->system()
+                  .connector("Conn_User1")
+                  .role("clientSide")
+                  .property("bandwidth")
+                  .as_double();
+  EXPECT_GT(bw, 1e6);
+  EXPECT_GT(rig.fw->manager().stats().reports_applied, 0u);
+}
+
+TEST(FrameworkTest, ManagerAppliesDottedElementReports) {
+  FrameworkRig rig;
+  events::Notification n(monitor::topics::kGaugeReport);
+  n.set(monitor::topics::kAttrElement, "Conn_User2.clientSide")
+      .set(monitor::topics::kAttrProperty, "bandwidth")
+      .set(monitor::topics::kAttrValue, 1234.0);
+  EXPECT_TRUE(rig.fw->manager().apply_gauge_report(n));
+  EXPECT_DOUBLE_EQ(rig.fw->system()
+                       .connector("Conn_User2")
+                       .role("clientSide")
+                       .property("bandwidth")
+                       .as_double(),
+                   1234.0);
+}
+
+TEST(FrameworkTest, ManagerIgnoresUnknownElements) {
+  FrameworkRig rig;
+  events::Notification n(monitor::topics::kGaugeReport);
+  n.set(monitor::topics::kAttrElement, "Ghost")
+      .set(monitor::topics::kAttrProperty, "x")
+      .set(monitor::topics::kAttrValue, 1.0);
+  EXPECT_FALSE(rig.fw->manager().apply_gauge_report(n));
+  events::Notification partial(monitor::topics::kGaugeReport);
+  partial.set(monitor::topics::kAttrElement, "User1");
+  EXPECT_FALSE(rig.fw->manager().apply_gauge_report(partial));
+}
+
+TEST(FrameworkTest, CustomScriptSourceUsed) {
+  sim::Simulator sim;
+  sim::ScenarioConfig scenario;
+  sim::Testbed tb = sim::build_testbed(sim, scenario);
+  FrameworkConfig cfg;
+  cfg.script_source =
+      "invariant r : averageLatency <= maxLatency !-> fixLatency(r);\n"
+      "strategy fixLatency(c : ClientT) = { abort AlwaysGiveUp; }\n";
+  Framework fw(sim, tb, cfg);
+  EXPECT_EQ(fw.script().strategies.size(), 1u);
+  EXPECT_EQ(fw.manager().checker().constraints().size(), 6u);
+}
+
+}  // namespace
+}  // namespace arcadia::core

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "events/bus.hpp"
+#include "monitor/gauge.hpp"
+#include "monitor/gauge_manager.hpp"
+#include "monitor/probes.hpp"
+#include "monitor/topics.hpp"
+
+namespace arcadia::monitor {
+namespace {
+
+using events::Filter;
+using events::LocalEventBus;
+using events::Notification;
+
+Notification latency_obs(const std::string& client, double value) {
+  Notification n(topics::kProbeLatency);
+  n.set(topics::kAttrClient, client).set(topics::kAttrValue, value);
+  return n;
+}
+
+TEST(SlidingWindowGaugeTest, MeansSamplesInWindow) {
+  sim::Simulator sim;
+  auto gauge = make_latency_gauge(sim, "User3", sim::kNoNode,
+                                  SimTime::seconds(30));
+  EXPECT_FALSE(gauge->read().has_value());
+  gauge->consume(latency_obs("User3", 1.0));
+  gauge->consume(latency_obs("User3", 3.0));
+  ASSERT_TRUE(gauge->read().has_value());
+  EXPECT_DOUBLE_EQ(*gauge->read(), 2.0);
+}
+
+TEST(SlidingWindowGaugeTest, EvictsOldSamples) {
+  sim::Simulator sim;
+  auto gauge = make_latency_gauge(sim, "U", sim::kNoNode, SimTime::seconds(30));
+  gauge->consume(latency_obs("U", 100.0));
+  sim.schedule_at(SimTime::seconds(40), [&] {
+    gauge->consume(latency_obs("U", 2.0));
+  });
+  sim.run_until(SimTime::seconds(40));
+  ASSERT_TRUE(gauge->read().has_value());
+  EXPECT_DOUBLE_EQ(*gauge->read(), 2.0);  // 100.0 fell out of the window
+}
+
+TEST(SlidingWindowGaugeTest, HoldsLastValueThenGoesStale) {
+  sim::Simulator sim;
+  auto gauge = make_latency_gauge(sim, "U", sim::kNoNode, SimTime::seconds(10));
+  gauge->consume(latency_obs("U", 5.0));
+  // Within 2x window: holds.
+  sim.run_until(SimTime::seconds(15));
+  ASSERT_TRUE(gauge->read().has_value());
+  EXPECT_DOUBLE_EQ(*gauge->read(), 5.0);
+  // Beyond max staleness: empty.
+  sim.run_until(SimTime::seconds(31));
+  EXPECT_FALSE(gauge->read().has_value());
+}
+
+TEST(SlidingWindowGaugeTest, FilterRejectsOtherClients) {
+  sim::Simulator sim;
+  auto gauge = make_latency_gauge(sim, "User3", sim::kNoNode,
+                                  SimTime::seconds(30));
+  EXPECT_TRUE(gauge->probe_filter().matches(latency_obs("User3", 1.0)));
+  EXPECT_FALSE(gauge->probe_filter().matches(latency_obs("User4", 1.0)));
+}
+
+TEST(EwmaGaugeTest, Smooths) {
+  sim::Simulator sim;
+  auto gauge = make_utilization_gauge(sim, "G", sim::kNoNode, 0.5);
+  Notification n(topics::kProbeUtilization);
+  n.set(topics::kAttrGroup, "G").set(topics::kAttrValue, 1.0);
+  gauge->consume(n);
+  n.set(topics::kAttrValue, 0.0);
+  gauge->consume(n);
+  ASSERT_TRUE(gauge->read().has_value());
+  EXPECT_DOUBLE_EQ(*gauge->read(), 0.5);
+}
+
+TEST(LatestValueGaugeTest, ReportsLatest) {
+  sim::Simulator sim;
+  auto gauge = make_bandwidth_gauge(sim, "U", "Conn_U.clientSide", sim::kNoNode);
+  Notification n(topics::kProbeBandwidth);
+  n.set(topics::kAttrClient, "U").set(topics::kAttrValue, 1e6);
+  gauge->consume(n);
+  n.set(topics::kAttrValue, 5e3);
+  gauge->consume(n);
+  ASSERT_TRUE(gauge->read().has_value());
+  EXPECT_DOUBLE_EQ(*gauge->read(), 5e3);
+  EXPECT_EQ(gauge->spec().element, "Conn_U.clientSide");
+  EXPECT_EQ(gauge->spec().property, "bandwidth");
+}
+
+// ---- GaugeManager ----
+
+struct ManagerRig {
+  sim::Simulator sim;
+  LocalEventBus probe_bus;
+  LocalEventBus gauge_bus;
+  GaugeManagerConfig cfg;
+  std::unique_ptr<GaugeManager> mgr;
+
+  explicit ManagerRig(bool caching = false) {
+    cfg.report_period = SimTime::seconds(5);
+    cfg.create_cost = SimTime::seconds(12);
+    cfg.destroy_cost = SimTime::seconds(3);
+    cfg.relocate_cost = SimTime::seconds(1.5);
+    cfg.caching = caching;
+    mgr = std::make_unique<GaugeManager>(sim, probe_bus, gauge_bus, cfg);
+  }
+};
+
+TEST(GaugeManagerTest, DeployTakesCreateCost) {
+  ManagerRig rig;
+  bool live = false;
+  rig.mgr->deploy(make_latency_gauge(rig.sim, "U", sim::kNoNode,
+                                     SimTime::seconds(30)),
+                  [&] { live = true; });
+  rig.sim.run_until(SimTime::seconds(11));
+  EXPECT_FALSE(live);
+  EXPECT_FALSE(rig.mgr->is_live("latency:U"));
+  rig.sim.run_until(SimTime::seconds(12));
+  EXPECT_TRUE(live);
+  EXPECT_TRUE(rig.mgr->is_live("latency:U"));
+}
+
+TEST(GaugeManagerTest, LiveGaugeConsumesAndReports) {
+  ManagerRig rig;
+  rig.mgr->deploy(make_latency_gauge(rig.sim, "U", sim::kNoNode,
+                                     SimTime::seconds(30)));
+  std::vector<double> reported;
+  rig.gauge_bus.subscribe(
+      Filter::topic(topics::kGaugeReport),
+      [&](const Notification& n) {
+        reported.push_back(n.get(topics::kAttrValue).as_double());
+      });
+  rig.sim.schedule_at(SimTime::seconds(13), [&] {
+    rig.probe_bus.publish(latency_obs("U", 4.0));
+  });
+  rig.sim.run_until(SimTime::seconds(30));
+  ASSERT_FALSE(reported.empty());
+  EXPECT_DOUBLE_EQ(reported.front(), 4.0);
+}
+
+TEST(GaugeManagerTest, DuplicateDeployThrows) {
+  ManagerRig rig;
+  rig.mgr->deploy(make_latency_gauge(rig.sim, "U", sim::kNoNode,
+                                     SimTime::seconds(30)));
+  EXPECT_THROW(rig.mgr->deploy(make_latency_gauge(rig.sim, "U", sim::kNoNode,
+                                                  SimTime::seconds(30))),
+               Error);
+}
+
+TEST(GaugeManagerTest, DestroyRemovesAndCharges) {
+  ManagerRig rig;
+  rig.mgr->deploy(make_latency_gauge(rig.sim, "U", sim::kNoNode,
+                                     SimTime::seconds(30)));
+  rig.sim.run_until(SimTime::seconds(15));
+  SimTime done;
+  rig.mgr->destroy("latency:U", [&] { done = rig.sim.now(); });
+  rig.sim.run_until(SimTime::seconds(30));
+  EXPECT_EQ(done, SimTime::seconds(15) + rig.cfg.destroy_cost);
+  EXPECT_EQ(rig.mgr->gauge_count(), 0u);
+  EXPECT_THROW(rig.mgr->destroy("latency:U"), Error);
+}
+
+TEST(GaugeManagerTest, RedeployColdCostIsDestroyPlusCreatePerGauge) {
+  ManagerRig rig;
+  rig.mgr->deploy(make_latency_gauge(rig.sim, "U", sim::kNoNode,
+                                     SimTime::seconds(30)));
+  rig.mgr->deploy(make_load_gauge(rig.sim, "U", sim::kNoNode,
+                                  SimTime::seconds(30)));
+  rig.sim.run_until(SimTime::seconds(20));
+  SimTime start = rig.sim.now();
+  SimTime done;
+  rig.mgr->redeploy_element("U", [&] { done = rig.sim.now(); });
+  rig.sim.run_until(SimTime::seconds(120));
+  // Two gauges, sequential destroy+create: 2 * (3 + 12) = 30 s — the
+  // paper's ~30 s repair time.
+  EXPECT_EQ(done - start, SimTime::seconds(30));
+  EXPECT_EQ(rig.mgr->redeploy_cost("U"), SimTime::seconds(30));
+}
+
+TEST(GaugeManagerTest, RedeployCachedIsFast) {
+  ManagerRig rig(/*caching=*/true);
+  rig.mgr->deploy(make_latency_gauge(rig.sim, "U", sim::kNoNode,
+                                     SimTime::seconds(30)));
+  rig.mgr->deploy(make_load_gauge(rig.sim, "U", sim::kNoNode,
+                                  SimTime::seconds(30)));
+  rig.sim.run_until(SimTime::seconds(20));
+  SimTime start = rig.sim.now();
+  SimTime done;
+  rig.mgr->redeploy_element("U", [&] { done = rig.sim.now(); });
+  rig.sim.run_until(SimTime::seconds(120));
+  EXPECT_EQ(done - start, SimTime::seconds(3));  // 2 * 1.5 s relocations
+  EXPECT_EQ(rig.mgr->stats().relocated, 2u);
+}
+
+TEST(GaugeManagerTest, ColdRedeployResetsGaugeState) {
+  ManagerRig rig;
+  rig.mgr->deploy(make_latency_gauge(rig.sim, "U", sim::kNoNode,
+                                     SimTime::seconds(3000)));
+  rig.sim.run_until(SimTime::seconds(13));
+  rig.probe_bus.publish(latency_obs("U", 99.0));
+  std::vector<double> reported;
+  rig.gauge_bus.subscribe(Filter::topic(topics::kGaugeReport),
+                          [&](const Notification& n) {
+                            reported.push_back(
+                                n.get(topics::kAttrValue).as_double());
+                          });
+  rig.sim.schedule_at(SimTime::seconds(20),
+                      [&] { rig.mgr->redeploy_element("U"); });
+  // After the redeploy completes, feed a fresh observation.
+  rig.sim.schedule_at(SimTime::seconds(40), [&] {
+    rig.probe_bus.publish(latency_obs("U", 1.0));
+  });
+  rig.sim.run_until(SimTime::seconds(60));
+  ASSERT_FALSE(reported.empty());
+  // The stale 99.0 must not survive the cold redeploy.
+  EXPECT_DOUBLE_EQ(reported.back(), 1.0);
+}
+
+TEST(GaugeManagerTest, OfflineGaugeDoesNotReport) {
+  ManagerRig rig;
+  rig.mgr->deploy(make_latency_gauge(rig.sim, "U", sim::kNoNode,
+                                     SimTime::seconds(30)));
+  rig.sim.run_until(SimTime::seconds(13));
+  rig.probe_bus.publish(latency_obs("U", 1.0));
+  std::uint64_t before = 0;
+  rig.sim.schedule_at(SimTime::seconds(20), [&] {
+    rig.mgr->redeploy_element("U");
+    before = rig.mgr->stats().reports;
+  });
+  // During the 15 s redeploy no reports may appear.
+  rig.sim.run_until(SimTime::seconds(34));
+  EXPECT_EQ(rig.mgr->stats().reports, before);
+}
+
+TEST(GaugeManagerTest, ElementsEnumeration) {
+  ManagerRig rig;
+  rig.mgr->deploy(make_latency_gauge(rig.sim, "U", sim::kNoNode,
+                                     SimTime::seconds(30)));
+  rig.mgr->deploy(make_load_gauge(rig.sim, "G", sim::kNoNode,
+                                  SimTime::seconds(30)));
+  auto elements = rig.mgr->all_elements();
+  EXPECT_EQ(elements.size(), 2u);
+  EXPECT_EQ(rig.mgr->gauges_for("U").size(), 1u);
+  EXPECT_TRUE(rig.mgr->gauges_for("missing").empty());
+}
+
+TEST(GaugeManagerTest, RedeployUnknownElementCompletesImmediately) {
+  ManagerRig rig;
+  bool done = false;
+  rig.mgr->redeploy_element("ghost", [&] { done = true; });
+  rig.sim.run_until(SimTime::seconds(1));
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace arcadia::monitor

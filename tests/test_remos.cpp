@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "remos/remos.hpp"
+
+namespace arcadia::remos {
+namespace {
+
+struct Rig {
+  sim::Simulator sim;
+  sim::Topology topo;
+  std::unique_ptr<sim::FlowNetwork> net;
+  sim::NodeId a, b;
+  std::unique_ptr<RemosService> remos;
+
+  explicit Rig(RemosConfig cfg = {}) {
+    auto r = topo.add_node("r", sim::NodeKind::Router);
+    a = topo.add_node("a", sim::NodeKind::Host);
+    b = topo.add_node("b", sim::NodeKind::Host);
+    topo.add_link(a, r, Bandwidth::mbps(10));
+    topo.add_link(b, r, Bandwidth::mbps(10));
+    topo.compute_routes();
+    net = std::make_unique<sim::FlowNetwork>(sim, topo);
+    remos = std::make_unique<RemosService>(sim, *net, cfg);
+  }
+};
+
+TEST(RemosTest, FirstQueryIsExpensiveThenCheap) {
+  Rig rig;
+  rig.remos->get_flow(rig.a, rig.b);
+  EXPECT_EQ(rig.remos->last_query_cost(), SimTime::seconds(60));
+  rig.remos->get_flow(rig.a, rig.b);
+  EXPECT_EQ(rig.remos->last_query_cost(), SimTime::millis(10));
+  EXPECT_EQ(rig.remos->stats().cold_queries, 1u);
+  EXPECT_EQ(rig.remos->stats().cache_hits, 1u);
+}
+
+TEST(RemosTest, DirectionsAreSeparatePairs) {
+  Rig rig;
+  rig.remos->get_flow(rig.a, rig.b);
+  rig.remos->get_flow(rig.b, rig.a);
+  EXPECT_EQ(rig.remos->stats().cold_queries, 2u);
+}
+
+TEST(RemosTest, CachedValueServedWithinTtl) {
+  Rig rig;
+  Bandwidth before = rig.remos->get_flow(rig.a, rig.b);
+  // Saturate the path; within the TTL Remos still reports the cached value.
+  auto bg = rig.net->add_background(rig.a, rig.b);
+  rig.net->set_background_rate(bg, Bandwidth::mbps(9.9));
+  Bandwidth cached = rig.remos->get_flow(rig.a, rig.b);
+  EXPECT_DOUBLE_EQ(cached.as_bps(), before.as_bps());
+}
+
+TEST(RemosTest, TtlExpiryRefreshes) {
+  Rig rig;
+  rig.remos->get_flow(rig.a, rig.b);
+  auto bg = rig.net->add_background(rig.a, rig.b);
+  rig.net->set_background_rate(bg, Bandwidth::mbps(9.0));
+  rig.sim.run_until(SimTime::seconds(31));  // beyond the 30 s TTL
+  Bandwidth refreshed = rig.remos->get_flow(rig.a, rig.b);
+  EXPECT_NEAR(refreshed.as_mbps(), 1.0, 1e-6);
+  EXPECT_EQ(rig.remos->stats().refreshes, 1u);
+  EXPECT_EQ(rig.remos->last_query_cost(), SimTime::millis(10));
+}
+
+TEST(RemosTest, PrequeryWarmsPairs) {
+  Rig rig;
+  SimTime cost = rig.remos->prequery({{rig.a, rig.b}, {rig.b, rig.a}});
+  EXPECT_EQ(cost, SimTime::seconds(60));  // one parallel collection round
+  EXPECT_TRUE(rig.remos->is_warm(rig.a, rig.b));
+  rig.remos->get_flow(rig.a, rig.b);
+  EXPECT_EQ(rig.remos->last_query_cost(), SimTime::millis(10));
+  // Re-prequerying warm pairs is free.
+  EXPECT_EQ(rig.remos->prequery({{rig.a, rig.b}}), SimTime::zero());
+}
+
+TEST(RemosTest, ReportsAvailableBandwidth) {
+  Rig rig;
+  Bandwidth bw = rig.remos->get_flow(rig.a, rig.b);
+  EXPECT_NEAR(bw.as_mbps(), 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace arcadia::remos

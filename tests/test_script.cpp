@@ -1,0 +1,306 @@
+// Repair-script parsing and interpretation: Figure 5 fidelity, commit/abort
+// semantics, operator dispatch through transactions, and equivalence of the
+// interpreted strategies with the native C++ ones.
+#include <gtest/gtest.h>
+
+#include "acme/interpreter.hpp"
+#include "acme/script.hpp"
+#include "model/types.hpp"
+#include "repair/scripts.hpp"
+#include "repair/strategy.hpp"
+#include "repair/style_ops.hpp"
+
+namespace arcadia::acme {
+namespace {
+
+namespace cs = model::cs;
+
+TEST(ScriptParserTest, ParsesFigure5Verbatim) {
+  Script script = parse_script(figure5_script());
+  ASSERT_EQ(script.invariants.size(), 2u);
+  EXPECT_EQ(script.invariants[0].name, "r");
+  EXPECT_EQ(script.invariants[0].handler, "fixLatency");
+  EXPECT_EQ(script.invariants[0].args, std::vector<std::string>{"r"});
+  ASSERT_NE(script.find_strategy("fixLatency"), nullptr);
+  ASSERT_NE(script.find_tactic("fixServerLoad"), nullptr);
+  ASSERT_NE(script.find_tactic("fixBandwidth"), nullptr);
+  EXPECT_EQ(script.find_tactic("fixServerLoad")->return_type, "boolean");
+  EXPECT_EQ(script.find_tactic("fixBandwidth")->params.size(), 2u);
+}
+
+TEST(ScriptParserTest, ParsesExtendedScript) {
+  Script script = parse_script(repair::extended_script());
+  EXPECT_NE(script.find_strategy("fixLatency"), nullptr);
+  EXPECT_NE(script.find_strategy("trimServers"), nullptr);
+  EXPECT_NE(script.find_tactic("fixLoadByMove"), nullptr);
+  EXPECT_EQ(script.invariants.size(), 2u);
+}
+
+TEST(ScriptParserTest, SyntaxErrorsPositioned) {
+  EXPECT_THROW(parse_script("strategy s() = { commit; }"), ParseError);
+  EXPECT_THROW(parse_script("tactic t() = { let = 3; }"), ParseError);
+  EXPECT_THROW(parse_script("unexpected"), ParseError);
+  EXPECT_THROW(parse_script("invariant x > 1"), ParseError);  // missing ';'
+}
+
+TEST(ScriptParserTest, ElseIfChains) {
+  Script script = parse_script(
+      "strategy s(x : ClientT) = {"
+      "  if (true) { commit repair; }"
+      "  else if (false) { abort A; }"
+      "  else { abort B; }"
+      "}");
+  ASSERT_EQ(script.strategies.size(), 1u);
+}
+
+// ---- interpretation against the paper's model ----
+
+struct ScriptRig {
+  model::System sys{"GridStorage"};
+  Script script;
+  std::unique_ptr<Interpreter> interp;
+
+  explicit ScriptRig(const char* source = repair::extended_script())
+      : script(parse_script(source)) {
+    auto& g1 = sys.add_component("ServerGrp1", cs::kServerGroupT);
+    g1.set_property("load", model::PropertyValue(9.0));  // overloaded
+    g1.set_property("replicationCount", model::PropertyValue(3));
+    g1.set_property("utilization", model::PropertyValue(0.9));
+    g1.add_port("provide", cs::kProvidePortT);
+    g1.representation().add_component("Server1", cs::kServerT);
+
+    auto& g2 = sys.add_component("ServerGrp2", cs::kServerGroupT);
+    g2.set_property("load", model::PropertyValue(1.0));
+    g2.set_property("replicationCount", model::PropertyValue(2));
+    g2.set_property("utilization", model::PropertyValue(0.4));
+    g2.add_port("provide", cs::kProvidePortT);
+
+    auto& c = sys.add_component("User3", cs::kClientT);
+    c.set_property("averageLatency", model::PropertyValue(5.0));
+    c.set_property("maxLatency", model::PropertyValue(2.0));
+    c.add_port("request", cs::kRequestPortT);
+
+    auto& conn = sys.add_connector("Conn_User3", cs::kConnT);
+    conn.add_role("clientSide", cs::kClientRoleT)
+        .set_property("bandwidth", model::PropertyValue(5e3));  // starved
+    conn.add_role("serverSide", cs::kServerRoleT);
+    sys.attach({"User3", "request", "Conn_User3", "clientSide"});
+    sys.attach({"ServerGrp1", "provide", "Conn_User3", "serverSide"});
+
+    interp = std::make_unique<Interpreter>(sys, script);
+    repair::register_client_server_ops(*interp, sys, /*queries=*/nullptr);
+    interp->bind_global("maxServerLoad", EvalValue(6.0));
+    interp->bind_global("minBandwidth", EvalValue(1e4));
+    interp->bind_global("minUtilization", EvalValue(0.2));
+    interp->bind_global("minReplicas", EvalValue(2.0));
+  }
+
+  EvalValue client_ref() {
+    return EvalValue(ElementRef::of_component(sys, sys.component("User3")));
+  }
+  EvalValue group_ref(const std::string& g) {
+    return EvalValue(ElementRef::of_component(sys, sys.component(g)));
+  }
+};
+
+TEST(InterpreterTest, FixServerLoadGrowsOverloadedGroup) {
+  ScriptRig rig;
+  model::Transaction txn(rig.sys);
+  StrategyOutcome out =
+      rig.interp->run_strategy("fixLatency", {rig.client_ref()}, txn);
+  EXPECT_TRUE(out.committed);
+  ASSERT_FALSE(out.tactics_run.empty());
+  EXPECT_EQ(out.tactics_run[0].first, "fixServerLoad");
+  EXPECT_TRUE(out.tactics_run[0].second);
+  txn.commit();
+  // A server was added to the overloaded group and the count bumped.
+  const model::Component& g1 = rig.sys.component("ServerGrp1");
+  EXPECT_EQ(g1.property("replicationCount").as_int(), 4);
+  EXPECT_EQ(g1.representation_const().components().size(), 2u);
+}
+
+TEST(InterpreterTest, FixBandwidthMovesWhenLoadFine) {
+  ScriptRig rig;
+  // No overload: the bandwidth tactic applies instead.
+  rig.sys.component("ServerGrp1")
+      .set_property("load", model::PropertyValue(1.0));
+  model::Transaction txn(rig.sys);
+  StrategyOutcome out =
+      rig.interp->run_strategy("fixLatency", {rig.client_ref()}, txn);
+  EXPECT_TRUE(out.committed);
+  txn.commit();
+  // Client now attached to ServerGrp2.
+  EXPECT_TRUE(rig.sys.attached("ServerGrp2", "provide", "Conn_User3",
+                               "serverSide"));
+  EXPECT_FALSE(rig.sys.attached("ServerGrp1", "provide", "Conn_User3",
+                                "serverSide"));
+  EXPECT_EQ(rig.sys.component("User3").property("boundTo").as_string(),
+            "ServerGrp2");
+}
+
+TEST(InterpreterTest, NoTacticApplicableAborts) {
+  ScriptRig rig;
+  rig.sys.component("ServerGrp1").set_property("load",
+                                               model::PropertyValue(1.0));
+  rig.sys.connector("Conn_User3")
+      .role("clientSide")
+      .set_property("bandwidth", model::PropertyValue(1e7));  // healthy
+  model::Transaction txn(rig.sys);
+  StrategyOutcome out =
+      rig.interp->run_strategy("fixLatency", {rig.client_ref()}, txn);
+  EXPECT_FALSE(out.committed);
+  EXPECT_TRUE(out.aborted);
+  EXPECT_EQ(out.abort_reason, "NoApplicableTactic");
+  EXPECT_EQ(txn.op_count(), 0u);
+}
+
+TEST(InterpreterTest, AbortLeavesModelUntouchedAfterRollback) {
+  // Figure 5 strict version: fixBandwidth aborts NoServerGroupFound when
+  // no better group exists. Remove ServerGrp2 so the lookup fails.
+  ScriptRig rig(figure5_script());
+  rig.sys.component("ServerGrp1").set_property("load",
+                                               model::PropertyValue(1.0));
+  rig.sys.remove_component("ServerGrp2");
+  model::Transaction txn(rig.sys);
+  StrategyOutcome out =
+      rig.interp->run_strategy("fixLatency", {rig.client_ref()}, txn);
+  EXPECT_TRUE(out.aborted);
+  EXPECT_EQ(out.abort_reason, "NoServerGroupFound");
+  txn.rollback();
+  EXPECT_TRUE(rig.sys.attached("ServerGrp1", "provide", "Conn_User3",
+                               "serverSide"));
+}
+
+TEST(InterpreterTest, Figure5CommitsViaServerLoad) {
+  ScriptRig rig(figure5_script());
+  model::Transaction txn(rig.sys);
+  StrategyOutcome out =
+      rig.interp->run_strategy("fixLatency", {rig.client_ref()}, txn);
+  EXPECT_TRUE(out.committed);
+  EXPECT_EQ(out.tactics_run.front().first, "fixServerLoad");
+}
+
+TEST(InterpreterTest, TrimServersRemovesDynamicReplica) {
+  ScriptRig rig;
+  // Mark the group underutilized with a removable dynamic server.
+  auto& g1 = rig.sys.component("ServerGrp1");
+  g1.set_property("utilization", model::PropertyValue(0.05));
+  g1.set_property("replicationCount", model::PropertyValue(3));
+  auto& dyn = g1.representation().add_component("ServerX", cs::kServerT);
+  dyn.set_property("dynamic", model::PropertyValue(true));
+  model::Transaction txn(rig.sys);
+  StrategyOutcome out =
+      rig.interp->run_strategy("trimServers", {rig.group_ref("ServerGrp1")}, txn);
+  EXPECT_TRUE(out.committed);
+  txn.commit();
+  EXPECT_FALSE(g1.representation_const().has_component("ServerX"));
+  EXPECT_EQ(g1.property("replicationCount").as_int(), 2);
+}
+
+TEST(InterpreterTest, TrimRespectsMinReplicas) {
+  ScriptRig rig;
+  auto& g2 = rig.sys.component("ServerGrp2");
+  g2.set_property("utilization", model::PropertyValue(0.0));
+  // replicationCount already 2 == minReplicas.
+  model::Transaction txn(rig.sys);
+  StrategyOutcome out =
+      rig.interp->run_strategy("trimServers", {rig.group_ref("ServerGrp2")}, txn);
+  EXPECT_TRUE(out.aborted);
+  EXPECT_EQ(out.abort_reason, "NothingToTrim");
+}
+
+TEST(InterpreterTest, UnknownStrategyThrows) {
+  ScriptRig rig;
+  model::Transaction txn(rig.sys);
+  EXPECT_THROW(rig.interp->run_strategy("nope", {}, txn), ScriptError);
+}
+
+TEST(InterpreterTest, ArgumentArityChecked) {
+  ScriptRig rig;
+  model::Transaction txn(rig.sys);
+  EXPECT_THROW(rig.interp->run_strategy("fixLatency", {}, txn), ScriptError);
+}
+
+TEST(InterpreterTest, RunTacticDirectly) {
+  ScriptRig rig;
+  model::Transaction txn(rig.sys);
+  EXPECT_TRUE(rig.interp->run_tactic("fixServerLoad", {rig.client_ref()}, txn));
+  txn.rollback();
+  model::Transaction txn2(rig.sys);
+  rig.sys.component("ServerGrp1").set_property("load",
+                                               model::PropertyValue(0.0));
+  EXPECT_FALSE(rig.interp->run_tactic("fixServerLoad", {rig.client_ref()}, txn2));
+}
+
+TEST(InterpreterTest, OperatorOutsideTransactionRejected) {
+  ScriptRig rig;
+  auto expr = parse_expression(
+      "(select one g : ServerGroupT in self.Components | true).addServer()");
+  EXPECT_THROW(rig.interp->eval(*expr), ScriptError);
+}
+
+// ---- native/script equivalence ----
+
+struct EquivCase {
+  double load;
+  double bandwidth;
+  const char* expected_tactic;  // nullptr = abort
+};
+
+class EquivalenceTest : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(EquivalenceTest, ScriptAndNativeAgree) {
+  const EquivCase& p = GetParam();
+
+  // Script path.
+  ScriptRig script_rig;
+  script_rig.sys.component("ServerGrp1")
+      .set_property("load", model::PropertyValue(p.load));
+  script_rig.sys.connector("Conn_User3")
+      .role("clientSide")
+      .set_property("bandwidth", model::PropertyValue(p.bandwidth));
+  model::Transaction stxn(script_rig.sys);
+  StrategyOutcome script_out =
+      script_rig.interp->run_strategy("fixLatency", {script_rig.client_ref()},
+                                      stxn);
+  if (stxn.is_open()) stxn.rollback();
+
+  // Native path on an identically prepared model.
+  ScriptRig native_rig;
+  native_rig.sys.component("ServerGrp1")
+      .set_property("load", model::PropertyValue(p.load));
+  native_rig.sys.connector("Conn_User3")
+      .role("clientSide")
+      .set_property("bandwidth", model::PropertyValue(p.bandwidth));
+  model::Transaction ntxn(native_rig.sys);
+  repair::TacticContext ctx{native_rig.sys, ntxn,    nullptr, {}, 6.0,
+                            Bandwidth::bps(1e4),     0.2,     2,  2.0,
+                            "User3"};
+  StrategyOutcome native_out = repair::make_fix_latency_strategy().run(ctx);
+  if (ntxn.is_open()) ntxn.rollback();
+
+  EXPECT_EQ(script_out.committed, native_out.committed);
+  if (p.expected_tactic) {
+    ASSERT_TRUE(script_out.committed);
+    // The deciding tactic is the last one that ran and succeeded.
+    EXPECT_EQ(script_out.tactics_run.back().first, p.expected_tactic);
+    EXPECT_EQ(native_out.tactics_run.back().first, p.expected_tactic);
+  } else {
+    EXPECT_TRUE(script_out.aborted);
+    EXPECT_TRUE(native_out.aborted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Decisions, EquivalenceTest,
+    ::testing::Values(
+        // Overloaded group -> grow it (server-load repair prioritized).
+        EquivCase{9.0, 5e3, "fixServerLoad"},
+        EquivCase{9.0, 1e7, "fixServerLoad"},
+        // Healthy load, starved bandwidth -> move.
+        EquivCase{1.0, 5e3, "fixBandwidth"},
+        // Healthy everything -> no repair.
+        EquivCase{1.0, 1e7, nullptr}));
+
+}  // namespace
+}  // namespace arcadia::acme

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace arcadia::sim {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::seconds(3), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime::seconds(1), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::seconds(2), [&] { order.push_back(2); });
+  sim.run_until(SimTime::seconds(10));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::seconds(10));
+}
+
+TEST(SimulatorTest, FifoTieBreakAtEqualTimes) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(SimTime::seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run_until(SimTime::seconds(2));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.schedule_at(SimTime::seconds(5), [] {});
+  sim.run_until(SimTime::seconds(10));
+  EXPECT_THROW(sim.schedule_at(SimTime::seconds(5), [] {}), SimError);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_at(SimTime::seconds(1), [&] { fired = true; });
+  h.cancel();
+  sim.run_until(SimTime::seconds(2));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsNoop) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_at(SimTime::seconds(1), [&] { fired = true; });
+  sim.run_until(SimTime::seconds(2));
+  EXPECT_TRUE(fired);
+  h.cancel();  // must not crash
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime::seconds(1), [&] { ++fired; });
+  sim.schedule_at(SimTime::seconds(5), [&] { ++fired; });
+  sim.run_until(SimTime::seconds(3));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), SimTime::seconds(3));
+  sim.run_until(SimTime::seconds(10));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) sim.schedule_in(SimTime::seconds(1), chain);
+  };
+  sim.schedule_in(SimTime::seconds(1), chain);
+  sim.run_until(SimTime::seconds(100));
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.executed(), 10u);
+}
+
+TEST(SimulatorTest, StepExecutesSingleEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime::seconds(1), [&] { ++fired; });
+  sim.schedule_at(SimTime::seconds(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), SimTime::seconds(1));
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, NextEventTime) {
+  Simulator sim;
+  EXPECT_TRUE(sim.next_event_time().is_infinite());
+  sim.schedule_at(SimTime::seconds(4), [] {});
+  EXPECT_EQ(sim.next_event_time(), SimTime::seconds(4));
+}
+
+TEST(PeriodicTaskTest, FiresAtPeriod) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(sim, SimTime::seconds(1), SimTime::seconds(2), [&] {
+    ++count;
+    return true;
+  });
+  sim.run_until(SimTime::seconds(10));
+  EXPECT_EQ(count, 5);  // t = 1, 3, 5, 7, 9
+}
+
+TEST(PeriodicTaskTest, StopsWhenCallbackReturnsFalse) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(sim, SimTime::seconds(1), SimTime::seconds(1), [&] {
+    ++count;
+    return count < 3;
+  });
+  sim.run_until(SimTime::seconds(10));
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(task.active());
+}
+
+TEST(PeriodicTaskTest, CancelStops) {
+  Simulator sim;
+  int count = 0;
+  auto task = std::make_unique<PeriodicTask>(
+      sim, SimTime::seconds(1), SimTime::seconds(1), [&] {
+        ++count;
+        return true;
+      });
+  sim.schedule_at(SimTime::seconds(3.5), [&] { task->cancel(); });
+  sim.run_until(SimTime::seconds(10));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTaskTest, DestructionCancels) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicTask task(sim, SimTime::seconds(1), SimTime::seconds(1), [&] {
+      ++count;
+      return true;
+    });
+  }
+  sim.run_until(SimTime::seconds(5));
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace arcadia::sim

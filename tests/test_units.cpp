@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace arcadia {
+namespace {
+
+TEST(SimTimeTest, ConversionRoundTrips) {
+  EXPECT_EQ(SimTime::seconds(1.5).as_micros(), 1'500'000);
+  EXPECT_DOUBLE_EQ(SimTime::millis(250).as_seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(SimTime::minutes(2).as_seconds(), 120.0);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  SimTime t = SimTime::seconds(1) + SimTime::millis(500);
+  EXPECT_DOUBLE_EQ(t.as_seconds(), 1.5);
+  t -= SimTime::millis(500);
+  EXPECT_DOUBLE_EQ(t.as_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ((t * 3.0).as_seconds(), 3.0);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(3) / SimTime::seconds(2), 1.5);
+}
+
+TEST(SimTimeTest, InfinityIsSticky) {
+  EXPECT_TRUE(SimTime::infinity().is_infinite());
+  EXPECT_LT(SimTime::seconds(1e9), SimTime::infinity());
+}
+
+TEST(DataSizeTest, UnitsAgree) {
+  EXPECT_DOUBLE_EQ(DataSize::kilobytes(20).as_bytes(), 20 * 1024.0);
+  EXPECT_DOUBLE_EQ(DataSize::kilobytes(1).as_bits(), 8192.0);
+  EXPECT_DOUBLE_EQ(DataSize::megabytes(1).as_kilobytes(), 1024.0);
+}
+
+TEST(BandwidthTest, UnitsAgree) {
+  EXPECT_DOUBLE_EQ(Bandwidth::mbps(10).as_bps(), 1e7);
+  EXPECT_DOUBLE_EQ(Bandwidth::kbps(10).as_bps(), 1e4);
+}
+
+TEST(TransferTimeTest, BasicAndZeroRate) {
+  SimTime t = transfer_time(DataSize::kilobytes(20), Bandwidth::kbps(10));
+  EXPECT_NEAR(t.as_seconds(), 20 * 1024 * 8 / 1e4, 1e-9);
+  EXPECT_TRUE(transfer_time(DataSize::bytes(1), Bandwidth::zero()).is_infinite());
+}
+
+}  // namespace
+}  // namespace arcadia
