@@ -7,12 +7,16 @@
 //   * strategy authoring: interpreted Figure 5 script vs native C++;
 //   * Figure 5 strict script vs the extended script with the load-shedding
 //     move tactic.
+//
+// All configurations fan out across an ExperimentSuite (one simulator per
+// run, every core busy) and print in queue order.
 #include <iomanip>
 #include <iostream>
 #include <map>
 
 #include "acme/script.hpp"
-#include "core/experiment.hpp"
+#include "core/suite.hpp"
+#include "paper_experiment.hpp"
 
 namespace {
 
@@ -28,14 +32,10 @@ struct Row {
   int oscillations = 0;  ///< client move-backs (A->B then back to A)
 };
 
-Row measure(const std::string& name,
-            const std::function<void(core::ExperimentOptions&)>& tweak) {
-  core::ExperimentOptions opt;
-  opt.adaptation = true;
-  tweak(opt);
-  core::ExperimentResult r = core::run_experiment(opt);
+Row summarize(const core::SuiteOutcome& outcome) {
+  const core::ExperimentResult& r = outcome.result;
   Row row;
-  row.name = name;
+  row.name = outcome.label;
   row.frac_above = r.mean_fraction_above();
   row.committed = r.repair_stats.committed;
   row.aborted = r.repair_stats.aborted;
@@ -69,44 +69,66 @@ void print(const Row& row) {
             << std::setw(9) << row.added << row.oscillations << "\n";
 }
 
+core::ExperimentOptions tweaked(
+    const std::function<void(core::ExperimentOptions&)>& tweak) {
+  core::ExperimentOptions opt = core::options_for(bench::kPaperScenario);
+  opt.adaptation = true;
+  tweak(opt);
+  return opt;
+}
+
 }  // namespace
 
 int main() {
   std::cout << "=== Repair policy ablations (1800 s paper scenario) ===\n\n";
-  std::cout << std::left << std::setw(30) << "configuration" << std::setw(11)
-            << "frac>2s" << std::setw(11) << "committed" << std::setw(10)
-            << "aborted" << std::setw(8) << "moves" << std::setw(9)
-            << "+servers" << "move-backs\n";
 
-  print(measure("first-reported (paper)", [](core::ExperimentOptions&) {}));
-  print(measure("worst-client-first", [](core::ExperimentOptions& o) {
-    o.framework.policy = repair::ViolationPolicy::WorstFirst;
-  }));
-  print(measure("damping off", [](core::ExperimentOptions& o) {
-    o.framework.damping = false;
-  }));
-  print(measure("native C++ strategies", [](core::ExperimentOptions& o) {
-    o.framework.use_script = false;
-  }));
-  print(measure("figure-5 strict script", [](core::ExperimentOptions& o) {
-    o.framework.script_source = acme::figure5_script();
-  }));
-  print(measure("no adaptation thresholds x2", [](core::ExperimentOptions& o) {
-    // Looser profile: is the 2 s bound load-bearing?
-    o.framework.profile.max_latency = SimTime::seconds(4);
-    o.scenario.thresholds.max_latency = SimTime::seconds(4);
-  }));
+  core::ExperimentSuite suite;
+  suite.add("first-reported (paper)",
+            tweaked([](core::ExperimentOptions&) {}));
+  suite.add("worst-client-first", tweaked([](core::ExperimentOptions& o) {
+              o.framework.policy_name = "worst-first";
+            }));
+  suite.add("damping off", tweaked([](core::ExperimentOptions& o) {
+              o.framework.damping = false;
+            }));
+  suite.add("native C++ strategies", tweaked([](core::ExperimentOptions& o) {
+              o.framework.use_script = false;
+            }));
+  suite.add("figure-5 strict script", tweaked([](core::ExperimentOptions& o) {
+              o.framework.script_source = acme::figure5_script();
+            }));
+  suite.add("no adaptation thresholds x2",
+            tweaked([](core::ExperimentOptions& o) {
+              // Looser profile: is the 2 s bound load-bearing?
+              o.framework.profile.max_latency = SimTime::seconds(4);
+              o.scenario.thresholds.max_latency = SimTime::seconds(4);
+            }));
   // Heavier stress leaves both groups marginal even after the spares are
   // recruited — the regime where the paper observed clients "moving back
   // and forth between server groups".
   auto heavy = [](core::ExperimentOptions& o) {
     o.scenario.stress_rate_hz = 2.6;
   };
-  print(measure("heavy stress, damped", heavy));
-  print(measure("heavy stress, damping off", [&](core::ExperimentOptions& o) {
-    heavy(o);
-    o.framework.damping = false;
-  }));
+  suite.add("heavy stress, damped", tweaked(heavy));
+  suite.add("heavy stress, damping off",
+            tweaked([&](core::ExperimentOptions& o) {
+              heavy(o);
+              o.framework.damping = false;
+            }));
+
+  std::vector<core::SuiteOutcome> outcomes = suite.run();
+
+  std::cout << std::left << std::setw(30) << "configuration" << std::setw(11)
+            << "frac>2s" << std::setw(11) << "committed" << std::setw(10)
+            << "aborted" << std::setw(8) << "moves" << std::setw(9)
+            << "+servers" << "move-backs\n";
+  for (const core::SuiteOutcome& outcome : outcomes) {
+    if (!outcome.ok()) {
+      std::cout << outcome.label << ": FAILED: " << outcome.error << "\n";
+      continue;
+    }
+    print(summarize(outcome));
+  }
 
   std::cout << "\nnotes: the figure-5 strict script lacks the load-shedding "
                "move, so once both\nspares are active further load "

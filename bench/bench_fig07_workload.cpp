@@ -3,12 +3,12 @@
 // them and validates their integrals (total offered work).
 #include <iostream>
 
-#include "sim/scenario.hpp"
+#include "sim/scenario_registry.hpp"
 #include "util/step_function.hpp"
 
 int main() {
   using namespace arcadia;
-  sim::ScenarioConfig cfg;
+  sim::ScenarioConfig cfg = sim::scenario_defaults("paper-fig6");
 
   std::cout << "=== Figure 7: bandwidth and server load generation ===\n\n";
 

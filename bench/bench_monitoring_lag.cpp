@@ -14,15 +14,17 @@
 
 #include "core/experiment.hpp"
 #include "events/bus.hpp"
-#include "sim/scenario.hpp"
+#include "sim/scenario_registry.hpp"
 
 namespace {
 
 using namespace arcadia;
 
+/// The bidirectional-competition scenario from the registry.
+constexpr const char* kScenario = "paper-fig6-bidir";
+
 sim::ScenarioConfig lag_scenario() {
-  sim::ScenarioConfig cfg;
-  cfg.comp_bidirectional = true;
+  sim::ScenarioConfig cfg = sim::scenario_defaults(kScenario);
   // Heavier competition so the monitoring direction is genuinely starved
   // (the paper's cross traffic saturated shared links in both directions).
   cfg.comp_sg1_phase1_mbps = 9.9999;
@@ -34,7 +36,7 @@ sim::ScenarioConfig lag_scenario() {
 void delivery_delay_probe() {
   sim::Simulator sim;
   sim::ScenarioConfig cfg = lag_scenario();
-  sim::Testbed tb = sim::build_testbed(sim, cfg);
+  sim::Testbed tb = sim::build_scenario(sim, kScenario, cfg);
   tb.start();
   sim.run_until(SimTime::seconds(200));
 
@@ -67,7 +69,7 @@ void delivery_delay_probe() {
 
 /// End-to-end: time from competition onset to the first committed repair.
 double detection_lag(bool qos) {
-  core::ExperimentOptions opt;
+  core::ExperimentOptions opt = core::options_for(kScenario);
   opt.adaptation = true;
   opt.scenario = lag_scenario();
   opt.scenario.horizon = SimTime::seconds(600);

@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "core/experiment.hpp"
+#include "paper_experiment.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -29,7 +30,7 @@ struct Row {
 };
 
 Row measure(const std::string& name, bool caching, bool prequery) {
-  core::ExperimentOptions opt;
+  core::ExperimentOptions opt = core::options_for(bench::kPaperScenario);
   opt.adaptation = true;
   opt.framework.gauge_caching = caching;
   opt.framework.remos_prequery = prequery;

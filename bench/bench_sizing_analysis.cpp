@@ -8,7 +8,7 @@
 #include <iostream>
 #include <mutex>
 
-#include "sim/scenario.hpp"
+#include "sim/scenario_registry.hpp"
 #include "task/task.hpp"
 #include "util/thread_pool.hpp"
 
@@ -20,7 +20,7 @@ using namespace arcadia;
 /// load (six clients at 1 req/s, 10 KB mean responses).
 double simulated_wait(int servers, std::uint64_t seed) {
   sim::Simulator sim;
-  sim::ScenarioConfig cfg;
+  sim::ScenarioConfig cfg = sim::scenario_defaults("paper-fig6");
   cfg.seed = seed;
   cfg.horizon = SimTime::seconds(600);
   // Flat workload: no competition, no stress.
@@ -29,7 +29,7 @@ double simulated_wait(int servers, std::uint64_t seed) {
   cfg.stress_end = cfg.horizon;
   cfg.comp_sg1_phase1_mbps = 0.0;
   cfg.comp_sg2_phase1_mbps = 0.0;
-  sim::Testbed tb = sim::build_testbed(sim, cfg);
+  sim::Testbed tb = sim::build_scenario(sim, "paper-fig6", cfg);
   // Trim or grow SG1 to the requested replica count.
   auto active = tb.app->active_servers(tb.sg1);
   for (std::size_t i = static_cast<std::size_t>(servers); i < active.size();

@@ -7,13 +7,12 @@
 
 #include "remos/remos.hpp"
 #include "runtime/environment.hpp"
-#include "sim/scenario.hpp"
+#include "sim/scenario_registry.hpp"
 
 int main() {
   using namespace arcadia;
   sim::Simulator sim;
-  sim::ScenarioConfig cfg;
-  sim::Testbed tb = sim::build_testbed(sim, cfg);
+  sim::Testbed tb = sim::build_scenario(sim, "paper-fig6");
   remos::RemosService remos(sim, *tb.net);
   rt::SimEnvironmentManager env(*tb.app, *tb.topo, remos);
 

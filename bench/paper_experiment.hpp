@@ -10,9 +10,12 @@
 
 namespace arcadia::bench {
 
+/// The registry scenario every figure-reproduction bench runs.
+inline constexpr const char* kPaperScenario = "paper-fig6";
+
 inline core::ExperimentOptions paper_options() {
-  core::ExperimentOptions opt;  // defaults are the paper's parameters
-  return opt;
+  // The scenario's registered defaults are the paper's parameters.
+  return core::options_for(kPaperScenario);
 }
 
 inline core::ExperimentResult run_paper_experiment(bool adaptation) {

@@ -1,65 +1,35 @@
-// Authoring a custom repair strategy. The framework accepts any repair
-// script in the Figure 5 language: this one ("conservative") never recruits
-// spare servers — it only sheds load by moving clients — which keeps the
-// operating cost flat at the price of worse stress-phase latency. The demo
-// runs it against the default strategy and compares.
+// Authoring a custom repair strategy through the repair registries — no
+// engine subclassing, no rewiring. A "conservative" native strategy that
+// never recruits spare servers (it only sheds load by moving clients) is
+// registered under the constraint's handler name, and a custom violation
+// policy under its own name; the framework picks both up by string key.
+// The demo runs the default strategy and the conservative one and compares.
 //
 // This is the externalized-adaptation payoff the paper argues for:
-// changing the adaptation policy is editing a script, not the application.
+// changing the adaptation policy is registering a strategy, not editing
+// the application or the framework.
 #include <iostream>
 
 #include "core/experiment.hpp"
 #include "core/report.hpp"
+#include "repair/registry.hpp"
+#include "repair/strategy.hpp"
 
 namespace {
 
-const char* conservative_script() {
-  return R"script(
-invariant r : averageLatency <= maxLatency !-> fixLatency(r);
+using namespace arcadia;
 
-strategy fixLatency(badClient : ClientT) = {
-  if (fixBandwidth(badClient, roleOf(badClient))) {
-    commit repair;
-  } else if (shedLoad(badClient)) {
-    commit repair;
-  } else {
-    abort NoCheapRepair;
-  }
+/// Never add servers; rebalance across the groups we already pay for.
+repair::CxxStrategy conservative_fix_latency() {
+  repair::CxxStrategy s;
+  s.name = "fixLatency";  // shadow the handler the constraints invoke
+  s.policy = repair::StrategyPolicy::FirstSuccess;
+  s.tactics.push_back({"fixBandwidth", repair::tactic_fix_bandwidth});
+  s.tactics.push_back({"shedLoad", repair::tactic_fix_load_by_move});
+  return s;
 }
 
-// Move a starved client to the best-bandwidth group (as in Figure 5).
-tactic fixBandwidth(client : ClientT, role : ClientRoleT) : boolean = {
-  if (role.bandwidth >= minBandwidth) {
-    return false;
-  }
-  let goodSGrp : ServerGroupT = findGoodSGrp(client, minBandwidth);
-  if (goodSGrp != nil) {
-    client.move(goodSGrp);
-    return true;
-  }
-  return false;
-}
-
-// Never add servers; just rebalance clients across the groups we pay for.
-tactic shedLoad(client : ClientT) : boolean = {
-  let current : ServerGroupT = groupOf(client);
-  if (current == nil) {
-    return false;
-  }
-  if (current.load <= maxServerLoad) {
-    return false;
-  }
-  let target : ServerGroupT = findLessLoadedSGrp(client, current);
-  if (target == nil) {
-    return false;
-  }
-  client.move(target);
-  return true;
-}
-)script";
-}
-
-void summarize(const char* name, const arcadia::core::ExperimentResult& r) {
+void summarize(const char* name, const core::ExperimentResult& r) {
   std::cout << name << ": fraction above 2 s = " << r.mean_fraction_above()
             << ", repairs committed = " << r.repair_stats.committed
             << ", servers added = " << r.repair_stats.servers_added
@@ -69,16 +39,39 @@ void summarize(const char* name, const arcadia::core::ExperimentResult& r) {
 }  // namespace
 
 int main() {
-  using namespace arcadia;
-  std::cout << "=== Custom repair strategy: cost-conservative vs default ===\n\n";
+  std::cout << "=== Custom repair strategy via StrategyRegistry ===\n\n";
 
-  core::ExperimentOptions defaults;
+  // A custom violation policy, selectable by name anywhere a
+  // FrameworkConfig travels: repair the *least* recently reported
+  // violation last, i.e. keep the paper's first-reported order but skip
+  // utilization constraints (cost trimming) entirely.
+  repair::PolicyRegistry::instance().add_or_replace(
+      "latency-only",
+      [](const std::vector<const repair::Violation*>& candidates)
+          -> std::size_t {
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+          if (candidates[i]->constraint->handler != "trimServers") return i;
+        }
+        return candidates.size();  // only trims pending: decline
+      });
+
+  core::ExperimentOptions defaults = core::options_for("paper-fig6");
   defaults.adaptation = true;
+  defaults.framework.use_script = false;  // native registry strategies
   core::ExperimentResult standard = core::run_experiment(defaults);
 
+  // Shadow the stock fixLatency with the conservative variant; every
+  // engine assembled afterwards resolves the new one by name.
+  repair::CxxStrategy original =
+      repair::StrategyRegistry::instance().at("fixLatency");
+  repair::StrategyRegistry::instance().add_or_replace(
+      conservative_fix_latency());
+
   core::ExperimentOptions conservative = defaults;
-  conservative.framework.script_source = conservative_script();
+  conservative.framework.policy_name = "latency-only";
   core::ExperimentResult cheap = core::run_experiment(conservative);
+
+  repair::StrategyRegistry::instance().add_or_replace(original);  // restore
 
   summarize("default (grow + move)   ", standard);
   summarize("conservative (move only)", cheap);

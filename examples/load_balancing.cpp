@@ -16,7 +16,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  core::ExperimentOptions options;  // paper defaults: 1800 s, seed 42
+  // The paper's scenario, by registry name: 1800 s, seed 42.
+  core::ExperimentOptions options = core::options_for("paper-fig6");
 
   std::cout << "=== Grid storage load balancing (Cheng et al., HPDC'02) ===\n";
   std::cout << "Testbed: 5 routers, 11 machines, 10 Mbps links (Figure 6)\n";

@@ -12,7 +12,7 @@
 #include "monitor/probes.hpp"
 #include "monitor/topics.hpp"
 #include "remos/remos.hpp"
-#include "sim/scenario.hpp"
+#include "sim/scenario_registry.hpp"
 
 int main() {
   using namespace arcadia;
@@ -20,10 +20,10 @@ int main() {
                "consumer) ===\n\n";
 
   sim::Simulator sim;
-  sim::ScenarioConfig cfg;
+  sim::ScenarioConfig cfg = sim::scenario_defaults("paper-fig6");
   cfg.horizon = SimTime::seconds(300);
   cfg.quiescent_end = SimTime::seconds(120);  // competition starts at 120 s
-  sim::Testbed tb = sim::build_testbed(sim, cfg);
+  sim::Testbed tb = sim::build_scenario(sim, "paper-fig6", cfg);
 
   remos::RemosService remos(sim, *tb.net);
   events::SimEventBus probe_bus(sim, events::fixed_delay(SimTime::millis(5)));

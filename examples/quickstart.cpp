@@ -1,16 +1,55 @@
-// Quickstart: run the paper's experiment end-to-end — build the Figure 6
-// testbed, attach the adaptation framework, drive the Figure 7 schedule,
-// and print what happened. A shortened horizon keeps it snappy; pass
-// --full for the whole 1800 s run, --control to disable adaptation.
+// Quickstart on the builder/registry API: pick a scenario from the
+// ScenarioRegistry by name, run it with the adaptation framework, and
+// print what happened.
+//
+//   quickstart                      # shortened paper experiment
+//   quickstart --scenario flash-crowd
+//   quickstart --list               # the scenario catalog
+//   quickstart --policy worst-first # violation policy by registry name
+//   quickstart --builder            # the 10-line FrameworkBuilder loop
+//   quickstart --full --control --verbose
 #include <iostream>
 #include <string>
 
 #include "core/experiment.hpp"
+#include "core/framework_builder.hpp"
 #include "core/report.hpp"
+#include "repair/registry.hpp"
+#include "sim/scenario_registry.hpp"
 #include "util/log.hpp"
 
+namespace {
+
+using namespace arcadia;
+
+void print_catalog() {
+  std::cout << "registered scenarios:\n";
+  for (const std::string& name : sim::ScenarioRegistry::instance().names()) {
+    std::cout << "  " << name << "\n      "
+              << sim::ScenarioRegistry::instance().at(name).description
+              << "\n";
+  }
+}
+
+/// The README's minimal loop: registry scenario + FrameworkBuilder.
+int run_builder_demo() {
+  sim::Simulator s;
+  sim::Testbed tb = sim::build_scenario(s, "flash-crowd");
+  auto fw = core::FrameworkBuilder(s, tb).with_policy("worst-first")
+                .build_started();
+  tb.start();
+  s.run_until(SimTime::seconds(900));
+  std::cout << "flash-crowd: " << fw->engine().stats().committed
+            << " repairs committed, " << fw->engine().stats().servers_added
+            << " servers recruited\n";
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace arcadia;
+  std::string scenario = "paper-fig6";
+  std::string policy;
   bool full = false;
   bool adaptation = true;
   for (int i = 1; i < argc; ++i) {
@@ -18,11 +57,23 @@ int main(int argc, char** argv) {
     if (arg == "--full") full = true;
     if (arg == "--control") adaptation = false;
     if (arg == "--verbose") Logger::instance().set_level(LogLevel::Info);
+    if (arg == "--list") return print_catalog(), 0;
+    if (arg == "--builder") return run_builder_demo();
+    if (arg == "--scenario" && i + 1 < argc) scenario = argv[++i];
+    if (arg == "--policy" && i + 1 < argc) policy = argv[++i];
   }
 
   core::ExperimentOptions options;
+  try {
+    options = core::options_for(scenario);
+    if (!policy.empty()) repair::PolicyRegistry::instance().at(policy);
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
   options.adaptation = adaptation;
-  if (!full) {
+  options.framework.policy_name = policy;
+  if (!full && scenario == "paper-fig6") {
     // Quick run: quiescent 60 s, bandwidth trouble until 300 s, done.
     options.scenario.horizon = SimTime::seconds(420);
     options.scenario.quiescent_end = SimTime::seconds(60);
@@ -30,9 +81,9 @@ int main(int argc, char** argv) {
     options.scenario.stress_end = SimTime::seconds(360);
   }
 
-  std::cout << "Running " << (adaptation ? "adaptive" : "control")
-            << " experiment (" << options.scenario.horizon.as_seconds()
-            << " s simulated)...\n";
+  std::cout << "Running scenario '" << scenario << "' ("
+            << (adaptation ? "adaptive" : "control") << ", "
+            << options.scenario.horizon.as_seconds() << " s simulated)...\n";
   core::ExperimentResult result = core::run_experiment(options);
 
   std::cout << "\nsimulated " << result.sim_events << " events; "

@@ -4,6 +4,7 @@
 
 #include "model/types.hpp"
 #include "repair/style_ops.hpp"
+#include "sim/scenario_registry.hpp"
 
 namespace arcadia::core {
 
@@ -95,9 +96,17 @@ const GroupSeries* ExperimentResult::group(const std::string& name) const {
   return nullptr;
 }
 
+ExperimentOptions options_for(const std::string& scenario_name) {
+  ExperimentOptions options;
+  options.scenario_name = scenario_name;
+  options.scenario = sim::scenario_defaults(scenario_name);
+  return options;
+}
+
 ExperimentResult run_experiment(const ExperimentOptions& options) {
   sim::Simulator sim;
-  sim::Testbed tb = sim::build_testbed(sim, options.scenario);
+  sim::Testbed tb =
+      sim::build_scenario(sim, options.scenario_name, options.scenario);
   sim::GridApp& app = *tb.app;
 
   ExperimentResult result;
@@ -153,7 +162,8 @@ ExperimentResult run_experiment(const ExperimentOptions& options) {
   // ---- optional adaptation framework ----
   std::unique_ptr<Framework> framework;
   if (options.adaptation) {
-    framework = std::make_unique<Framework>(sim, tb, options.framework);
+    framework = std::make_unique<Framework>(sim, tb, options.framework,
+                                            options.parts);
     framework->start();
   }
 

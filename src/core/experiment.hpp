@@ -17,8 +17,14 @@
 namespace arcadia::core {
 
 struct ExperimentOptions {
+  /// Which registered scenario to run (sim::ScenarioRegistry name). Use
+  /// options_for() to start from a scenario's calibrated defaults.
+  std::string scenario_name = "paper-fig6";
   sim::ScenarioConfig scenario;
   FrameworkConfig framework;
+  /// Part substitutions applied when the framework is assembled (see
+  /// FrameworkBuilder; default-constructed = the paper's wiring).
+  FrameworkParts parts;
   /// false = the paper's control run (no adaptation infrastructure at all).
   bool adaptation = true;
   /// Sampling period for queue-length / bandwidth / utilization series.
@@ -79,6 +85,9 @@ struct ExperimentResult {
   const ClientSeries* client(const std::string& name) const;
   const GroupSeries* group(const std::string& name) const;
 };
+
+/// Options seeded with a registered scenario's calibrated defaults.
+ExperimentOptions options_for(const std::string& scenario_name);
 
 ExperimentResult run_experiment(const ExperimentOptions& options);
 

@@ -9,9 +9,14 @@ namespace arcadia::core {
 
 Framework::Framework(sim::Simulator& sim, sim::Testbed& testbed,
                      FrameworkConfig config)
+    : Framework(sim, testbed, std::move(config), FrameworkParts{}) {}
+
+Framework::Framework(sim::Simulator& sim, sim::Testbed& testbed,
+                     FrameworkConfig config, FrameworkParts parts)
     : sim_(sim),
       testbed_(testbed),
       config_(std::move(config)),
+      parts_(std::move(parts)),
       script_(acme::parse_script(config_.script_source.empty()
                                      ? repair::extended_script()
                                      : config_.script_source)) {
@@ -27,30 +32,45 @@ Framework::Framework(sim::Simulator& sim, sim::Testbed& testbed,
 
   sim::GridApp& app = *testbed_.app;
 
-  remos_ = std::make_unique<remos::RemosService>(sim_, *testbed_.net,
-                                                 config_.remos_config);
+  remos_ = parts_.remos
+               ? parts_.remos(sim_, testbed_, config_)
+               : std::make_unique<remos::RemosService>(sim_, *testbed_.net,
+                                                       config_.remos_config);
 
   // Probe bus: probes and gauges are effectively colocated per machine, so
   // delivery is a small fixed cost. Gauge bus: reports cross the shared
   // network to the manager machine, so congestion delays them — unless the
   // QoS option prioritizes monitoring traffic (Section 5.3).
-  probe_bus_ = std::make_unique<events::SimEventBus>(
-      sim_, events::fixed_delay(SimTime::millis(5)));
-  gauge_bus_ = std::make_unique<events::SimEventBus>(
-      sim_, events::network_delay(*testbed_.net, config_.bus_base_delay,
-                                  config_.monitoring_qos));
+  probe_bus_ = parts_.probe_bus
+                   ? parts_.probe_bus(sim_, testbed_, config_)
+                   : std::make_unique<events::SimEventBus>(
+                         sim_, events::fixed_delay(SimTime::millis(5)));
+  gauge_bus_ = parts_.gauge_bus
+                   ? parts_.gauge_bus(sim_, testbed_, config_)
+                   : std::make_unique<events::SimEventBus>(
+                         sim_, events::network_delay(*testbed_.net,
+                                                     config_.bus_base_delay,
+                                                     config_.monitoring_qos));
 
-  rt::ModelBuildOptions model_opts;
-  model_opts.conventions = config_.conventions;
-  model_opts.max_latency = config_.profile.max_latency;
-  system_ = rt::build_grid_model(testbed_, model_opts);
+  if (parts_.model) {
+    system_ = parts_.model(testbed_, config_);
+  } else {
+    rt::ModelBuildOptions model_opts;
+    model_opts.conventions = config_.conventions;
+    model_opts.max_latency = config_.profile.max_latency;
+    system_ = rt::build_grid_model(testbed_, model_opts);
+  }
+  // Task-layer objectives are applied on top of whatever the factory
+  // built, so a substituted model cannot silently run un-profiled.
   task::apply_profile(*system_, config_.profile);
 
   env_ = std::make_unique<rt::SimEnvironmentManager>(app, *testbed_.topo,
                                                      *remos_, config_.env_costs);
   queries_ = std::make_unique<rt::SimRuntimeQueries>(app, *env_, *remos_);
-  translator_ =
-      std::make_unique<rt::SimTranslator>(*env_, config_.conventions);
+  translator_ = parts_.translator
+                    ? parts_.translator(*env_, config_)
+                    : std::make_unique<rt::SimTranslator>(*env_,
+                                                          config_.conventions);
 
   monitor::GaugeManagerConfig gauge_cfg = config_.gauge_costs;
   gauge_cfg.caching = config_.gauge_caching;
@@ -59,6 +79,7 @@ Framework::Framework(sim::Simulator& sim, sim::Testbed& testbed,
 
   repair::RepairEngineConfig engine_cfg;
   engine_cfg.policy = config_.policy;
+  engine_cfg.policy_name = config_.policy_name;
   engine_cfg.damping = config_.damping;
   engine_cfg.settle_time = config_.settle_time;
   engine_cfg.abort_cooldown = config_.abort_cooldown;
@@ -117,6 +138,10 @@ void Framework::warm_remos() {
 }
 
 void Framework::deploy_gauges() {
+  if (parts_.gauges) {
+    parts_.gauges(sim_, testbed_, *gauge_manager_, config_);
+    return;
+  }
   sim::GridApp& app = *testbed_.app;
   const sim::Topology& topo = *testbed_.topo;
   (void)topo;
@@ -144,8 +169,11 @@ void Framework::start() {
   if (started_) throw Error("Framework::start called twice");
   started_ = true;
   warm_remos();
-  probes_ = monitor::make_standard_probes(sim_, *testbed_.app, *remos_,
-                                          *probe_bus_, config_.probe_period);
+  probes_ = parts_.probes
+                ? parts_.probes(sim_, testbed_, *remos_, *probe_bus_, config_)
+                : monitor::make_standard_probes(sim_, *testbed_.app, *remos_,
+                                                *probe_bus_,
+                                                config_.probe_period);
   probes_.start_all();
   deploy_gauges();
   manager_->start();

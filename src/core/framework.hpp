@@ -26,12 +26,16 @@ namespace arcadia::core {
 struct FrameworkConfig {
   task::PerformanceProfile profile;
 
-  /// Interpreted script strategies (default) vs native C++ strategies.
+  /// Interpreted script strategies (default) vs native C++ strategies
+  /// (resolved through repair::StrategyRegistry).
   bool use_script = true;
   /// Repair-script source; empty selects repair::extended_script().
   std::string script_source;
 
   repair::ViolationPolicy policy = repair::ViolationPolicy::FirstReported;
+  /// Registry name of the violation policy (repair::PolicyRegistry);
+  /// overrides the `policy` enum when non-empty.
+  std::string policy_name;
   bool damping = true;
   SimTime settle_time = SimTime::seconds(30);
   SimTime abort_cooldown = SimTime::seconds(60);
@@ -60,9 +64,42 @@ struct FrameworkConfig {
   repair::StyleConventions conventions;
 };
 
+/// The framework's pluggable assembly points. A null member selects the
+/// default wiring (what the paper's experiment ran); FrameworkBuilder is
+/// the ergonomic way to fill these in.
+struct FrameworkParts {
+  using RemosFactory = std::function<std::unique_ptr<remos::RemosService>(
+      sim::Simulator&, sim::Testbed&, const FrameworkConfig&)>;
+  using BusFactory = std::function<std::unique_ptr<events::SimEventBus>(
+      sim::Simulator&, sim::Testbed&, const FrameworkConfig&)>;
+  using ModelFactory = std::function<std::unique_ptr<model::System>(
+      const sim::Testbed&, const FrameworkConfig&)>;
+  using TranslatorFactory = std::function<std::unique_ptr<repair::Translator>(
+      rt::SimEnvironmentManager&, const FrameworkConfig&)>;
+  using ProbeFactory = std::function<monitor::ProbeSet(
+      sim::Simulator&, sim::Testbed&, remos::RemosService&, events::EventBus&,
+      const FrameworkConfig&)>;
+  using GaugeDeployer =
+      std::function<void(sim::Simulator&, sim::Testbed&, monitor::GaugeManager&,
+                         const FrameworkConfig&)>;
+
+  RemosFactory remos;            ///< default: RemosService over testbed.net
+  BusFactory probe_bus;          ///< default: fixed 5 ms colocated delivery
+  BusFactory gauge_bus;          ///< default: shared-network delay (+QoS knob)
+  ModelFactory model;            ///< default: rt::build_grid_model (the task
+                                 ///  profile is applied on top either way)
+  TranslatorFactory translator;  ///< default: rt::SimTranslator
+  ProbeFactory probes;           ///< default: monitor::make_standard_probes
+  GaugeDeployer gauges;          ///< default: latency/bw per client, load/util
+                                 ///  per group
+};
+
 class Framework {
  public:
   Framework(sim::Simulator& sim, sim::Testbed& testbed, FrameworkConfig config);
+  /// Assemble with substituted parts (see FrameworkBuilder).
+  Framework(sim::Simulator& sim, sim::Testbed& testbed, FrameworkConfig config,
+            FrameworkParts parts);
   ~Framework();
 
   Framework(const Framework&) = delete;
@@ -78,7 +115,7 @@ class Framework {
   monitor::GaugeManager& gauges() { return *gauge_manager_; }
   remos::RemosService& remos() { return *remos_; }
   rt::SimEnvironmentManager& environment() { return *env_; }
-  rt::SimTranslator& translator() { return *translator_; }
+  repair::Translator& translator() { return *translator_; }
   events::SimEventBus& probe_bus() { return *probe_bus_; }
   events::SimEventBus& gauge_bus() { return *gauge_bus_; }
   const FrameworkConfig& config() const { return config_; }
@@ -90,6 +127,7 @@ class Framework {
   sim::Simulator& sim_;
   sim::Testbed& testbed_;
   FrameworkConfig config_;
+  FrameworkParts parts_;
 
   std::unique_ptr<remos::RemosService> remos_;
   std::unique_ptr<events::SimEventBus> probe_bus_;
@@ -98,7 +136,7 @@ class Framework {
   acme::Script script_;
   std::unique_ptr<rt::SimEnvironmentManager> env_;
   std::unique_ptr<rt::SimRuntimeQueries> queries_;
-  std::unique_ptr<rt::SimTranslator> translator_;
+  std::unique_ptr<repair::Translator> translator_;
   std::unique_ptr<monitor::GaugeManager> gauge_manager_;
   std::unique_ptr<repair::RepairEngine> engine_;
   std::unique_ptr<ArchitectureManager> manager_;

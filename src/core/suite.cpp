@@ -1,0 +1,44 @@
+#include "core/suite.hpp"
+
+#include "util/thread_pool.hpp"
+
+namespace arcadia::core {
+
+ExperimentSuite& ExperimentSuite::add(std::string label,
+                                      ExperimentOptions options) {
+  cases_.push_back(SuiteCase{std::move(label), std::move(options)});
+  return *this;
+}
+
+ExperimentSuite& ExperimentSuite::add_grid(
+    const std::vector<std::string>& scenarios,
+    const std::vector<SuiteVariant>& variants) {
+  for (const std::string& scenario : scenarios) {
+    for (const SuiteVariant& variant : variants) {
+      ExperimentOptions options = options_for(scenario);
+      options.framework = variant.framework;
+      options.adaptation = variant.adaptation;
+      add(scenario + "/" + variant.label, std::move(options));
+    }
+  }
+  return *this;
+}
+
+std::vector<SuiteOutcome> ExperimentSuite::run(std::size_t threads) const {
+  std::vector<SuiteOutcome> outcomes(cases_.size());
+  if (cases_.empty()) return outcomes;
+  ThreadPool pool(threads);
+  pool.parallel_for(cases_.size(), [&](std::size_t i) {
+    const SuiteCase& c = cases_[i];
+    outcomes[i].label = c.label;
+    outcomes[i].scenario = c.options.scenario_name;
+    try {
+      outcomes[i].result = run_experiment(c.options);
+    } catch (const std::exception& e) {
+      outcomes[i].error = e.what();
+    }
+  });
+  return outcomes;
+}
+
+}  // namespace arcadia::core

@@ -1,0 +1,60 @@
+// Batched experiment runner: fans a list of labeled runs — typically a
+// (scenario x framework-config) grid — across a thread pool. Each run owns
+// its whole simulator, so parallelism at experiment granularity is safe by
+// construction; registries are read-only at run time and thread-safe.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace arcadia::core {
+
+struct SuiteCase {
+  std::string label;
+  ExperimentOptions options;
+};
+
+struct SuiteOutcome {
+  std::string label;
+  std::string scenario;
+  ExperimentResult result;
+  /// Non-empty when the run threw; `result` is then default-constructed.
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+/// One named framework variant for grid expansion.
+struct SuiteVariant {
+  std::string label;
+  FrameworkConfig framework;
+  bool adaptation = true;
+};
+
+class ExperimentSuite {
+ public:
+  /// Queue one labeled run.
+  ExperimentSuite& add(std::string label, ExperimentOptions options);
+  /// Queue scenario x variant runs: every registered scenario name in
+  /// `scenarios` under every framework variant, labeled
+  /// "<scenario>/<variant>". Scenario defaults come from the registry.
+  ExperimentSuite& add_grid(const std::vector<std::string>& scenarios,
+                            const std::vector<SuiteVariant>& variants);
+
+  std::size_t size() const { return cases_.size(); }
+  const std::vector<SuiteCase>& cases() const { return cases_; }
+
+  /// Run every queued case across `threads` workers (0 = hardware
+  /// concurrency). Outcomes keep queue order; failures are captured per
+  /// case, not thrown.
+  std::vector<SuiteOutcome> run(std::size_t threads = 0) const;
+
+ private:
+  std::vector<SuiteCase> cases_;
+};
+
+}  // namespace arcadia::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "model/types.hpp"
+#include "repair/registry.hpp"
 #include "util/log.hpp"
 
 namespace arcadia::repair {
@@ -35,8 +36,27 @@ RepairEngine::RepairEngine(sim::Simulator& sim, model::System& root,
       "minReplicas",
       acme::EvalValue(static_cast<double>(config_.min_replicas)));
 
-  native_[make_fix_latency_strategy().name] = make_fix_latency_strategy();
-  native_[make_trim_strategy().name] = make_trim_strategy();
+  // Seed the native catalog from the registry; add_strategy() entries
+  // shadow it per engine.
+  for (const std::string& name : StrategyRegistry::instance().names()) {
+    native_[name] = StrategyRegistry::instance().at(name);
+  }
+  chooser_ = PolicyRegistry::instance().at(
+      config_.policy_name.empty()
+          ? (config_.policy == ViolationPolicy::WorstFirst ? "worst-first"
+                                                           : "first-reported")
+          : config_.policy_name);
+}
+
+void RepairEngine::add_strategy(CxxStrategy strategy) {
+  native_[strategy.name] = std::move(strategy);
+}
+
+std::vector<std::string> RepairEngine::strategy_names() const {
+  std::vector<std::string> out;
+  out.reserve(native_.size());
+  for (const auto& [name, strategy] : native_) out.push_back(name);
+  return out;
 }
 
 bool RepairEngine::suppressed(const std::string& element) const {
@@ -51,23 +71,19 @@ bool RepairEngine::constraint_cooling(const std::string& constraint_id) const {
 
 bool RepairEngine::handle_violations(const std::vector<Violation>& violations) {
   if (busy_) return false;
-  const Violation* chosen = nullptr;
+  std::vector<const Violation*> candidates;
   for (const Violation& v : violations) {
     if (v.constraint->handler.empty()) continue;
     if (config_.damping) {
       if (suppressed(v.element)) continue;
       if (constraint_cooling(v.constraint->id)) continue;
     }
-    if (!chosen) {
-      chosen = &v;
-      if (config_.policy == ViolationPolicy::FirstReported) break;
-    } else if (config_.policy == ViolationPolicy::WorstFirst &&
-               v.observed > chosen->observed) {
-      chosen = &v;
-    }
+    candidates.push_back(&v);
   }
-  if (!chosen) return false;
-  execute(*chosen);
+  if (candidates.empty()) return false;
+  const std::size_t pick = chooser_(candidates);
+  if (pick >= candidates.size()) return false;  // the policy declined
+  execute(*candidates[pick]);
   return true;
 }
 

@@ -53,6 +53,10 @@ enum class ViolationPolicy {
 
 struct RepairEngineConfig {
   ViolationPolicy policy = ViolationPolicy::FirstReported;
+  /// Registry name of the violation policy (PolicyRegistry); overrides the
+  /// `policy` enum when non-empty. Built-ins: "first-reported",
+  /// "worst-first".
+  std::string policy_name;
   /// Strategy-evaluation cost charged before runtime ops.
   SimTime decision_cost = SimTime::millis(100);
   /// Per-element suppression after a repair completes.
@@ -134,6 +138,12 @@ class RepairEngine {
 
   acme::Interpreter& interpreter() { return interpreter_; }
 
+  /// Instance-local strategy override: shadows the StrategyRegistry entry
+  /// of the same name for this engine only.
+  void add_strategy(CxxStrategy strategy);
+  /// Native strategy names this engine can run (registry + local).
+  std::vector<std::string> strategy_names() const;
+
  private:
   void execute(const Violation& violation);
   acme::StrategyOutcome run_native(const std::string& handler,
@@ -159,6 +169,7 @@ class RepairEngine {
   RepairEngineConfig config_;
   acme::Interpreter interpreter_;
   std::map<std::string, CxxStrategy> native_;
+  std::function<std::size_t(const std::vector<const Violation*>&)> chooser_;
 
   bool busy_ = false;
   std::map<std::string, SimTime> settle_until_;    // element -> time

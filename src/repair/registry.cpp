@@ -1,0 +1,121 @@
+#include "repair/registry.hpp"
+
+#include "util/catalog.hpp"
+#include "util/error.hpp"
+
+namespace arcadia::repair {
+
+StrategyRegistry::StrategyRegistry() {
+  CxxStrategy fix = make_fix_latency_strategy();
+  strategies_.emplace(fix.name, std::move(fix));
+  CxxStrategy trim = make_trim_strategy();
+  strategies_.emplace(trim.name, std::move(trim));
+}
+
+StrategyRegistry& StrategyRegistry::instance() {
+  static StrategyRegistry registry;
+  return registry;
+}
+
+void StrategyRegistry::add(CxxStrategy strategy) {
+  if (strategy.name.empty()) {
+    throw Error("StrategyRegistry: empty strategy name");
+  }
+  std::lock_guard lock(mutex_);
+  if (strategies_.count(strategy.name)) {
+    throw Error("StrategyRegistry: strategy '" + strategy.name +
+                "' already registered");
+  }
+  strategies_.emplace(strategy.name, std::move(strategy));
+}
+
+void StrategyRegistry::add_or_replace(CxxStrategy strategy) {
+  if (strategy.name.empty()) {
+    throw Error("StrategyRegistry: empty strategy name");
+  }
+  std::lock_guard lock(mutex_);
+  strategies_[strategy.name] = std::move(strategy);
+}
+
+bool StrategyRegistry::contains(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  return strategies_.count(name) > 0;
+}
+
+CxxStrategy StrategyRegistry::at(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  auto it = strategies_.find(name);
+  if (it == strategies_.end()) {
+    throw Error("StrategyRegistry: unknown strategy '" + name +
+                "' (catalog:" + catalog_of(strategies_) + ")");
+  }
+  return it->second;
+}
+
+std::vector<std::string> StrategyRegistry::names() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(strategies_.size());
+  for (const auto& [key, value] : strategies_) out.push_back(key);
+  return out;
+}
+
+PolicyRegistry::PolicyRegistry() {
+  policies_["first-reported"] =
+      [](const std::vector<const Violation*>&) -> std::size_t { return 0; };
+  policies_["worst-first"] =
+      [](const std::vector<const Violation*>& candidates) -> std::size_t {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      if (candidates[i]->observed > candidates[best]->observed) best = i;
+    }
+    return best;
+  };
+}
+
+PolicyRegistry& PolicyRegistry::instance() {
+  static PolicyRegistry registry;
+  return registry;
+}
+
+void PolicyRegistry::add(std::string name, ViolationChooser chooser) {
+  if (name.empty()) throw Error("PolicyRegistry: empty policy name");
+  if (!chooser) throw Error("PolicyRegistry: policy '" + name + "' is null");
+  std::lock_guard lock(mutex_);
+  if (policies_.count(name)) {
+    throw Error("PolicyRegistry: policy '" + name + "' already registered");
+  }
+  policies_.emplace(std::move(name), std::move(chooser));
+}
+
+void PolicyRegistry::add_or_replace(std::string name, ViolationChooser chooser) {
+  if (name.empty()) throw Error("PolicyRegistry: empty policy name");
+  if (!chooser) throw Error("PolicyRegistry: policy '" + name + "' is null");
+  std::lock_guard lock(mutex_);
+  policies_[std::move(name)] = std::move(chooser);
+}
+
+bool PolicyRegistry::contains(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  return policies_.count(name) > 0;
+}
+
+ViolationChooser PolicyRegistry::at(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  auto it = policies_.find(name);
+  if (it == policies_.end()) {
+    throw Error("PolicyRegistry: unknown policy '" + name +
+                "' (catalog:" + catalog_of(policies_) + ")");
+  }
+  return it->second;
+}
+
+std::vector<std::string> PolicyRegistry::names() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(policies_.size());
+  for (const auto& [key, value] : policies_) out.push_back(key);
+  return out;
+}
+
+}  // namespace arcadia::repair

@@ -1,0 +1,70 @@
+// String-keyed registries for the repair layer: native C++ repair
+// strategies and violation-selection policies. Both are open catalogs —
+// user code registers its own entries at start-up and selects them by name
+// through RepairEngineConfig / FrameworkBuilder, instead of subclassing
+// and rewiring the engine (see examples/custom_strategy.cpp).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "repair/constraint.hpp"
+#include "repair/strategy.hpp"
+
+namespace arcadia::repair {
+
+/// Process-wide catalog of native repair strategies, keyed by
+/// CxxStrategy::name. The built-ins (fixLatency, trimServers) register on
+/// first access.
+class StrategyRegistry {
+ public:
+  static StrategyRegistry& instance();
+
+  /// Register a strategy; throws Error when the name is taken.
+  void add(CxxStrategy strategy);
+  /// Register or overwrite (e.g. swapping fixLatency for a variant).
+  void add_or_replace(CxxStrategy strategy);
+
+  bool contains(const std::string& name) const;
+  /// Look up a strategy; throws Error listing the catalog when unknown.
+  CxxStrategy at(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  StrategyRegistry();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, CxxStrategy> strategies_;
+};
+
+/// Picks which eligible violation to repair next. `candidates` is never
+/// empty and already filtered (handlers bound, damping applied); return an
+/// index into it, or candidates.size() to decline this round.
+using ViolationChooser =
+    std::function<std::size_t(const std::vector<const Violation*>& candidates)>;
+
+/// Process-wide catalog of violation policies. Built-ins:
+///   "first-reported"  the paper's experiment: repair whatever fired first
+///   "worst-first"     repair the worst observed value (its future work)
+class PolicyRegistry {
+ public:
+  static PolicyRegistry& instance();
+
+  void add(std::string name, ViolationChooser chooser);
+  void add_or_replace(std::string name, ViolationChooser chooser);
+
+  bool contains(const std::string& name) const;
+  ViolationChooser at(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  PolicyRegistry();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, ViolationChooser> policies_;
+};
+
+}  // namespace arcadia::repair

@@ -191,6 +191,9 @@ void GridApp::connect_server(ServerIdx s, GroupIdx g) {
 
 void GridApp::activate_server(ServerIdx s) {
   Server& server = servers_.at(s);
+  if (server.failed) {
+    throw SimError("activate_server(" + server.name + "): machine is down");
+  }
   if (server.group == kNoGroup) {
     throw SimError("activate_server(" + server.name + "): not connected to a queue");
   }
@@ -210,6 +213,10 @@ void GridApp::deactivate_server(ServerIdx s) {
     server.active = false;
     if (on_server_state) on_server_state(s, false);
   }
+}
+
+void GridApp::set_server_failed(ServerIdx s, bool failed) {
+  servers_.at(s).failed = failed;
 }
 
 GroupIdx GridApp::create_group(const std::string& name) {
@@ -258,6 +265,7 @@ NodeId GridApp::group_node(GroupIdx g) const {
 GroupIdx GridApp::client_group(ClientIdx c) const { return clients_.at(c).group; }
 GroupIdx GridApp::server_group(ServerIdx s) const { return servers_.at(s).group; }
 bool GridApp::server_active(ServerIdx s) const { return servers_.at(s).active; }
+bool GridApp::server_failed(ServerIdx s) const { return servers_.at(s).failed; }
 bool GridApp::server_busy(ServerIdx s) const { return servers_.at(s).busy; }
 
 std::size_t GridApp::queue_length(GroupIdx g) const {
@@ -283,7 +291,7 @@ std::vector<ClientIdx> GridApp::clients_assigned(GroupIdx g) const {
 std::vector<ServerIdx> GridApp::spare_servers() const {
   std::vector<ServerIdx> out;
   for (std::size_t i = 0; i < servers_.size(); ++i) {
-    if (!servers_[i].active && !servers_[i].busy) {
+    if (!servers_[i].active && !servers_[i].busy && !servers_[i].failed) {
       out.push_back(static_cast<ServerIdx>(i));
     }
   }

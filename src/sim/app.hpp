@@ -101,6 +101,10 @@ class GridApp {
   void activate_server(ServerIdx s);
   /// Server stops pulling after finishing its current request.
   void deactivate_server(ServerIdx s);
+  /// Mark a server failed (FaultDriver outages): it leaves the recruitable
+  /// spare pool and activate_server throws until the fault clears.
+  /// Clearing does not reactivate — that is the fault driver's decision.
+  void set_server_failed(ServerIdx s, bool failed);
   /// Add a new (empty) request queue == a new server group.
   GroupIdx create_group(const std::string& name);
 
@@ -125,11 +129,13 @@ class GridApp {
   GroupIdx client_group(ClientIdx c) const;
   GroupIdx server_group(ServerIdx s) const;
   bool server_active(ServerIdx s) const;
+  bool server_failed(ServerIdx s) const;
   bool server_busy(ServerIdx s) const;
   std::size_t queue_length(GroupIdx g) const;
   std::vector<ServerIdx> active_servers(GroupIdx g) const;
   std::vector<ClientIdx> clients_assigned(GroupIdx g) const;
-  /// Inactive servers not currently assigned work — the recruitable pool.
+  /// Inactive, non-failed servers not currently assigned work — the
+  /// recruitable pool.
   std::vector<ServerIdx> spare_servers() const;
   /// Fraction of active servers currently busy, in [0,1]; 0 for no actives.
   double group_utilization(GroupIdx g) const;
@@ -189,6 +195,7 @@ class GridApp {
     GroupIdx group = kNoGroup;
     bool active = false;
     bool busy = false;
+    bool failed = false;
     bool deactivate_requested = false;
     Rng rng;
     std::uint64_t served = 0;

@@ -29,6 +29,38 @@ StepFunction response_sigma_schedule(const ScenarioConfig& c) {
 }  // namespace
 
 Testbed build_testbed(Simulator& sim, const ScenarioConfig& config) {
+  Testbed tb = build_testbed_without_workload(sim, config);
+  install_paper_workload(sim, tb, config);
+  return tb;
+}
+
+void install_paper_workload(Simulator& sim, Testbed& tb,
+                            const ScenarioConfig& config) {
+  install_uniform_workload(sim, tb, config, rate_schedule(config),
+                           response_mean_schedule(config),
+                           response_sigma_schedule(config));
+}
+
+void install_uniform_workload(Simulator& sim, Testbed& tb,
+                              const ScenarioConfig& config,
+                              const StepFunction& rate_hz,
+                              const StepFunction& response_mean_bytes,
+                              const StepFunction& response_sigma) {
+  tb.workload =
+      std::make_unique<WorkloadDriver>(sim, *tb.app, config.seed ^ 0x5EED5EEDULL);
+  for (ClientIdx c : tb.clients) {
+    ClientWorkload w;
+    w.client = c;
+    w.rate_hz = rate_hz;
+    w.response_mean_bytes = response_mean_bytes;
+    w.response_sigma = response_sigma;
+    w.request_size = config.request_size;
+    tb.workload->add(std::move(w));
+  }
+}
+
+Testbed build_testbed_without_workload(Simulator& sim,
+                                       const ScenarioConfig& config) {
   Testbed tb;
   tb.sim = &sim;
   tb.topo = std::make_unique<Topology>();
@@ -103,6 +135,7 @@ Testbed build_testbed(Simulator& sim, const ScenarioConfig& config) {
 
   tb.sg1 = app.add_group("ServerGrp1");
   tb.sg2 = app.add_group("ServerGrp2");
+  tb.groups = {tb.sg1, tb.sg2};
   tb.sg1_servers.push_back(app.add_server("Server1", m_s1, tb.sg1, true));
   tb.sg1_servers.push_back(app.add_server("Server2", m_s2, tb.sg1, true));
   tb.sg1_servers.push_back(app.add_server("Server3", m_s3, tb.sg1, true));
@@ -111,6 +144,7 @@ Testbed build_testbed(Simulator& sim, const ScenarioConfig& config) {
   // Spares: powered off, not connected to any queue.
   tb.spare_s4 = app.add_server("Server4", m_s4, kNoGroup, false);
   tb.spare_s7 = app.add_server("Server7", m_s7, kNoGroup, false);
+  tb.spares = {tb.spare_s4, tb.spare_s7};
 
   const NodeId client_nodes[6] = {m_c12, m_c12, m_c3, m_c4, m_c56, m_c56};
   for (int i = 0; i < 6; ++i) {
@@ -118,19 +152,6 @@ Testbed build_testbed(Simulator& sim, const ScenarioConfig& config) {
         app.add_client("User" + std::to_string(i + 1), client_nodes[i]);
     app.assign_client(c, tb.sg1);  // all six start on Server Group 1
     tb.clients.push_back(c);
-  }
-
-  // --- Figure 7 workload.
-  tb.workload =
-      std::make_unique<WorkloadDriver>(sim, app, config.seed ^ 0x5EED5EEDULL);
-  for (ClientIdx c : tb.clients) {
-    ClientWorkload w;
-    w.client = c;
-    w.rate_hz = rate_schedule(config);
-    w.response_mean_bytes = response_mean_schedule(config);
-    w.response_sigma = response_sigma_schedule(config);
-    w.request_size = config.request_size;
-    tb.workload->add(std::move(w));
   }
 
   // --- Figure 7 competition. comp_sg1 saturates the R2->R3 trunk (the

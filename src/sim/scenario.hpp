@@ -26,8 +26,36 @@ struct Thresholds {
   double min_utilization = 0.2;
 };
 
+/// Scaled grid-NxM topology knobs (used by the "grid-NxM" scenarios).
+struct GridScaleConfig {
+  int groups = 4;             ///< server groups, one router + queue share each
+  int servers_per_group = 2;  ///< initially active replicas per group
+  int clients = 16;           ///< clients, spread over client-pod routers
+  int clients_per_pod = 4;    ///< clients sharing one access router
+  int spares = 2;             ///< powered-off recruitable servers
+};
+
+/// Flash-crowd schedule knobs (used by the "flash-crowd" scenario): a
+/// sudden request-rate spike on top of the normal workload.
+struct FlashCrowdConfig {
+  SimTime start = SimTime::seconds(300);
+  SimTime end = SimTime::seconds(600);
+  double rate_multiplier = 6.0;  ///< normal_rate_hz * this during the crowd
+};
+
+/// Server-churn schedule knobs (used by the "server-churn" scenario):
+/// periodic outages rotating over a group's servers.
+struct ChurnConfig {
+  SimTime first_outage = SimTime::seconds(240);
+  SimTime period = SimTime::seconds(300);  ///< between outage starts
+  SimTime outage = SimTime::seconds(120);  ///< down-time per outage
+  int outages = 3;                         ///< total outages scheduled
+};
+
 /// All knobs for one experiment run. Defaults reproduce the paper's set-up;
-/// see DESIGN.md section 5 for the calibration rationale.
+/// see DESIGN.md ("Calibration") for the rationale. Scenario factories in
+/// the ScenarioRegistry interpret the sub-configs they care about (`grid`,
+/// `flash`, `churn`) and ignore the rest.
 struct ScenarioConfig {
   std::uint64_t seed = 42;
   SimTime horizon = SimTime::seconds(1800);
@@ -70,19 +98,35 @@ struct ScenarioConfig {
   bool comp_bidirectional = false;
 
   Thresholds thresholds;
+
+  // -- scenario-specific sub-configs (see the ScenarioRegistry catalog)
+  GridScaleConfig grid;
+  FlashCrowdConfig flash;
+  ChurnConfig churn;
 };
 
 /// The built testbed: topology, network, application, drivers, and the
 /// well-known element indices the rest of the framework wires against.
 struct Testbed {
   Simulator* sim = nullptr;
+  /// Registry name of the scenario that built this testbed ("" for ad-hoc
+  /// construction).
+  std::string scenario;
   std::unique_ptr<Topology> topo;
   std::unique_ptr<FlowNetwork> net;
   std::unique_ptr<GridApp> app;
   std::unique_ptr<WorkloadDriver> workload;
   std::unique_ptr<CompetitionDriver> competition;
+  /// Scheduled server outages (null unless the scenario churns servers).
+  std::unique_ptr<FaultDriver> faults;
 
-  std::vector<ClientIdx> clients;  // C1..C6
+  std::vector<ClientIdx> clients;
+  /// Every server group, in creation order; `spares` are the powered-off
+  /// recruitable servers. Scenario-agnostic consumers iterate these.
+  std::vector<GroupIdx> groups;
+  std::vector<ServerIdx> spares;
+
+  // -- Figure 6 well-known indices (kNoGroup/-1 outside the paper testbed)
   GroupIdx sg1 = kNoGroup;
   GroupIdx sg2 = kNoGroup;
   std::vector<ServerIdx> sg1_servers;  // S1,S2,S3
@@ -100,14 +144,36 @@ struct Testbed {
   FlowId comp_sg1_rev = kNoFlow;
   FlowId comp_sg2_rev = kNoFlow;
 
-  /// Arm workload and competition; call before Simulator::run_until.
+  /// Arm whatever drivers the scenario installed; call before
+  /// Simulator::run_until.
   void start() {
-    competition->start();
-    workload->start();
+    if (competition) competition->start();
+    if (workload) workload->start();
+    if (faults) faults->start();
   }
 };
 
-/// Build the Figure 6 testbed and Figure 7 drivers over `sim`.
+/// Build the Figure 6 testbed and Figure 7 drivers over `sim` (the
+/// "paper-fig6" scenario; kept as a plain function for ad-hoc rigs).
 Testbed build_testbed(Simulator& sim, const ScenarioConfig& config);
+
+/// The Figure 6 testbed with competition but no workload driver installed —
+/// for scenarios that substitute their own request schedule.
+Testbed build_testbed_without_workload(Simulator& sim,
+                                       const ScenarioConfig& config);
+
+/// Install the Figure 7 per-client workload (normal -> stress -> normal
+/// stepping rates and response sizes) on a built testbed's clients.
+void install_paper_workload(Simulator& sim, Testbed& testbed,
+                            const ScenarioConfig& config);
+
+/// Install the same schedules on every client of a built testbed (the
+/// seeding matches install_paper_workload, so scenarios sharing a config
+/// see identical arrival processes where their schedules agree).
+void install_uniform_workload(Simulator& sim, Testbed& testbed,
+                              const ScenarioConfig& config,
+                              const StepFunction& rate_hz,
+                              const StepFunction& response_mean_bytes,
+                              const StepFunction& response_sigma);
 
 }  // namespace arcadia::sim

@@ -1,0 +1,34 @@
+// The built-in scenario library behind the ScenarioRegistry:
+//
+//   paper-fig6        the paper's Figure 6 testbed + Figure 7 schedule
+//   paper-fig6-bidir  same, with bidirectional competition (the Section 5.3
+//                     "monitoring lag" variant)
+//   grid-4x16         scaled grid: 4 server groups x 16 clients over a pod
+//                     ring (parameterized via ScenarioConfig::grid)
+//   flash-crowd       Figure 6 testbed under a sudden request-rate spike
+//                     (ScenarioConfig::flash) instead of competition
+//   server-churn      Figure 6 testbed with rotating server outages
+//                     (ScenarioConfig::churn) the monitoring stack must
+//                     detect and repair around
+#pragma once
+
+#include "sim/scenario.hpp"
+
+namespace arcadia::sim {
+
+class ScenarioRegistry;
+
+/// The parameterized grid-NxM factory (grid shape from `config.grid`);
+/// exposed so user code can register other sizes under their own names.
+Testbed build_grid_testbed(Simulator& sim, const ScenarioConfig& config);
+
+/// Figure 6 testbed + flash-crowd workload (no competition traffic).
+Testbed build_flash_crowd_testbed(Simulator& sim, const ScenarioConfig& config);
+
+/// Figure 6 testbed + rotating SG1 outages on top of the normal workload.
+Testbed build_server_churn_testbed(Simulator& sim, const ScenarioConfig& config);
+
+/// Called once by ScenarioRegistry on first access.
+void register_builtin_scenarios(ScenarioRegistry& registry);
+
+}  // namespace arcadia::sim

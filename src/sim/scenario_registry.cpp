@@ -1,0 +1,85 @@
+#include "sim/scenario_registry.hpp"
+
+#include "sim/scenario_library.hpp"
+#include "util/catalog.hpp"
+#include "util/error.hpp"
+
+namespace arcadia::sim {
+
+ScenarioRegistry::ScenarioRegistry() { register_builtin_scenarios(*this); }
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::add(ScenarioSpec spec) {
+  if (spec.name.empty()) throw Error("ScenarioRegistry: empty scenario name");
+  if (!spec.build) {
+    throw Error("ScenarioRegistry: scenario '" + spec.name + "' has no factory");
+  }
+  std::lock_guard lock(mutex_);
+  if (specs_.count(spec.name)) {
+    throw Error("ScenarioRegistry: scenario '" + spec.name +
+                "' already registered");
+  }
+  specs_.emplace(spec.name, std::move(spec));
+}
+
+void ScenarioRegistry::add_or_replace(ScenarioSpec spec) {
+  if (spec.name.empty()) throw Error("ScenarioRegistry: empty scenario name");
+  if (!spec.build) {
+    throw Error("ScenarioRegistry: scenario '" + spec.name + "' has no factory");
+  }
+  std::lock_guard lock(mutex_);
+  specs_[spec.name] = std::move(spec);
+}
+
+bool ScenarioRegistry::contains(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  return specs_.count(name) > 0;
+}
+
+ScenarioSpec ScenarioRegistry::at(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  auto it = specs_.find(name);
+  if (it == specs_.end()) {
+    throw Error("ScenarioRegistry: unknown scenario '" + name +
+                "' (catalog:" + catalog_of(specs_) + ")");
+  }
+  return it->second;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const auto& [key, spec] : specs_) out.push_back(key);
+  return out;  // std::map keeps them sorted
+}
+
+std::size_t ScenarioRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return specs_.size();
+}
+
+Testbed build_scenario(Simulator& sim, const std::string& name) {
+  const ScenarioSpec spec = ScenarioRegistry::instance().at(name);
+  Testbed tb = spec.build(sim, spec.defaults);
+  tb.scenario = name;
+  return tb;
+}
+
+Testbed build_scenario(Simulator& sim, const std::string& name,
+                       const ScenarioConfig& config) {
+  const ScenarioSpec spec = ScenarioRegistry::instance().at(name);
+  Testbed tb = spec.build(sim, config);
+  tb.scenario = name;
+  return tb;
+}
+
+ScenarioConfig scenario_defaults(const std::string& name) {
+  return ScenarioRegistry::instance().at(name).defaults;
+}
+
+}  // namespace arcadia::sim

@@ -1,0 +1,68 @@
+// String-keyed scenario registry: the open entry point to the scenario
+// library. A scenario is a named (defaults, testbed factory) pair; benches,
+// examples, and the experiment runner select scenarios by name instead of
+// hard-wiring build_testbed. User code may register its own scenarios at
+// start-up — the registry is how new workloads plug in without touching
+// the core.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.hpp"
+
+namespace arcadia::sim {
+
+/// Builds a testbed for `config` over `sim`. Factories read the sub-config
+/// fields they care about and ignore the rest.
+using TestbedFactory =
+    std::function<Testbed(Simulator& sim, const ScenarioConfig& config)>;
+
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  /// The config the scenario is calibrated for; callers typically start
+  /// from this and override individual knobs.
+  ScenarioConfig defaults;
+  TestbedFactory build;
+};
+
+/// Process-wide scenario catalog. Thread-safe; the built-in library
+/// (paper-fig6, grid-NxM, flash-crowd, server-churn, ...) registers on
+/// first access, so link order cannot drop it.
+class ScenarioRegistry {
+ public:
+  static ScenarioRegistry& instance();
+
+  /// Register a scenario; throws Error when the name is taken.
+  void add(ScenarioSpec spec);
+  /// Register or overwrite (for examples that tweak a stock scenario).
+  void add_or_replace(ScenarioSpec spec);
+
+  bool contains(const std::string& name) const;
+  /// Look up a scenario; throws Error listing the catalog when unknown.
+  ScenarioSpec at(const std::string& name) const;
+  /// All registered names, sorted.
+  std::vector<std::string> names() const;
+  std::size_t size() const;
+
+ private:
+  ScenarioRegistry();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, ScenarioSpec> specs_;
+};
+
+/// Build a registered scenario with its calibrated defaults.
+Testbed build_scenario(Simulator& sim, const std::string& name);
+/// Build a registered scenario with an explicit config (start from
+/// scenario_defaults(name) and override knobs).
+Testbed build_scenario(Simulator& sim, const std::string& name,
+                       const ScenarioConfig& config);
+/// The calibrated defaults of a registered scenario.
+ScenarioConfig scenario_defaults(const std::string& name);
+
+}  // namespace arcadia::sim

@@ -53,6 +53,52 @@ void WorkloadDriver::fire(std::size_t i) {
   arm_next(i);
 }
 
+FaultDriver::FaultDriver(Simulator& sim, GridApp& app)
+    : sim_(sim), app_(app) {}
+
+void FaultDriver::add(FaultSchedule fault) {
+  if (fault.server < 0 ||
+      fault.server >= static_cast<ServerIdx>(app_.server_count())) {
+    throw SimError("FaultDriver::add: no such server index " +
+                   std::to_string(fault.server));
+  }
+  if (fault.up_at <= fault.down_at) {
+    throw SimError("FaultDriver::add: outage must end after it starts");
+  }
+  faults_.push_back(fault);
+}
+
+void FaultDriver::start() {
+  if (started_) throw SimError("FaultDriver::start called twice");
+  started_ = true;
+  for (const FaultSchedule& f : faults_) {
+    sim_.schedule_at(f.down_at, [this, f] {
+      // A server that is already down (e.g. released by a trim repair)
+      // cannot fail: the outage is skipped entirely, counters untouched,
+      // and the reactivation is never scheduled — otherwise the driver
+      // would silently undo a repair's deactivation.
+      if (app_.server_active(f.server)) {
+        // Failed first: a down machine must not look like a recruitable
+        // spare, or a repair would cancel the outage by recruiting it.
+        app_.set_server_failed(f.server, true);
+        app_.deactivate_server(f.server);
+        ++started_count_;
+        sim_.schedule_at(f.up_at, [this, f] {
+          app_.set_server_failed(f.server, false);
+          if (app_.server_group(f.server) != kNoGroup) {
+            // Reactivates a fully-down victim — and, when the outage ends
+            // while the victim is still draining its in-flight request,
+            // cancels the pending deferred deactivation so the server is
+            // not stranded down after the outage officially ended.
+            app_.activate_server(f.server);
+          }
+          ++ended_count_;
+        });
+      }
+    });
+  }
+}
+
 CompetitionDriver::CompetitionDriver(Simulator& sim, FlowNetwork& net)
     : sim_(sim), net_(net) {}
 

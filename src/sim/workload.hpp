@@ -62,6 +62,38 @@ struct CompetitionSchedule {
   StepFunction rate_bps{0.0};
 };
 
+/// One scheduled server outage: the server stops pulling at `down_at` and
+/// resumes at `up_at` (server-churn scenarios; the model layer is *not*
+/// told — detecting the effect is the monitoring stack's job).
+struct FaultSchedule {
+  ServerIdx server = -1;
+  SimTime down_at;
+  SimTime up_at;
+};
+
+/// Deactivates/reactivates servers per a fault schedule. An outage only
+/// applies to a server that is up when it fires (a machine that is already
+/// off cannot fail) — `outages_started` counts the outages that actually
+/// took a server down.
+class FaultDriver {
+ public:
+  FaultDriver(Simulator& sim, GridApp& app);
+  void add(FaultSchedule fault);
+  /// Arm the outages; call once before Simulator::run_until.
+  void start();
+
+  std::uint64_t outages_started() const { return started_count_; }
+  std::uint64_t outages_ended() const { return ended_count_; }
+
+ private:
+  Simulator& sim_;
+  GridApp& app_;
+  std::vector<FaultSchedule> faults_;
+  std::uint64_t started_count_ = 0;
+  std::uint64_t ended_count_ = 0;
+  bool started_ = false;
+};
+
 /// Applies competition-rate steps at their breakpoints.
 class CompetitionDriver {
  public:

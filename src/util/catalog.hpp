@@ -1,0 +1,17 @@
+// Shared helper for the string-keyed registries: renders a map's keys as
+// " key1 key2 ..." for "unknown X (catalog: ...)" error messages.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace arcadia {
+
+template <typename Map>
+std::string catalog_of(const Map& map) {
+  std::ostringstream out;
+  for (const auto& [key, value] : map) out << " " << key;
+  return out.str();
+}
+
+}  // namespace arcadia

@@ -1,0 +1,124 @@
+// ScenarioRegistry: the catalog carries the built-in library, look-ups
+// fail loudly, and — the load-bearing property — every registered scenario
+// builds, runs under the adaptation framework, and keeps the
+// model<->runtime correspondence clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/experiment.hpp"
+#include "sim/scenario_library.hpp"
+#include "sim/scenario_registry.hpp"
+
+namespace arcadia::sim {
+namespace {
+
+TEST(ScenarioRegistryTest, CatalogHasTheBuiltinLibrary) {
+  ScenarioRegistry& reg = ScenarioRegistry::instance();
+  EXPECT_GE(reg.size(), 4u);
+  for (const char* name : {"paper-fig6", "paper-fig6-bidir", "grid-4x16",
+                           "flash-crowd", "server-churn"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+    EXPECT_FALSE(reg.at(name).description.empty()) << name;
+  }
+  std::vector<std::string> names = reg.names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(ScenarioRegistryTest, UnknownScenarioThrowsWithCatalog) {
+  try {
+    ScenarioRegistry::instance().at("no-such-scenario");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("paper-fig6"), std::string::npos);
+  }
+}
+
+TEST(ScenarioRegistryTest, DuplicateAddThrowsButReplaceWorks) {
+  ScenarioSpec spec;
+  spec.name = "test-duplicate-probe";
+  spec.description = "registered by test_scenario_registry";
+  spec.build = [](Simulator& sim, const ScenarioConfig& config) {
+    return build_testbed(sim, config);
+  };
+  ScenarioRegistry& reg = ScenarioRegistry::instance();
+  if (!reg.contains(spec.name)) reg.add(spec);
+  EXPECT_THROW(reg.add(spec), Error);
+  spec.description = "replaced";
+  reg.add_or_replace(spec);
+  EXPECT_EQ(reg.at(spec.name).description, "replaced");
+}
+
+TEST(ScenarioRegistryTest, DefaultsAreScenarioSpecific) {
+  EXPECT_FALSE(scenario_defaults("paper-fig6").comp_bidirectional);
+  EXPECT_TRUE(scenario_defaults("paper-fig6-bidir").comp_bidirectional);
+  EXPECT_DOUBLE_EQ(scenario_defaults("server-churn").normal_rate_hz, 1.5);
+  EXPECT_DOUBLE_EQ(scenario_defaults("flash-crowd").comp_sg1_phase1_mbps, 0.0);
+}
+
+TEST(ScenarioRegistryTest, GridShapeIsParameterized) {
+  Simulator sim;
+  ScenarioConfig cfg = scenario_defaults("grid-4x16");
+  cfg.grid.groups = 2;
+  cfg.grid.servers_per_group = 1;
+  cfg.grid.clients = 4;
+  cfg.grid.spares = 1;
+  Testbed tb = build_scenario(sim, "grid-4x16", cfg);
+  EXPECT_EQ(tb.app->group_count(), 2u);
+  EXPECT_EQ(tb.app->server_count(), 3u);  // 2 active + 1 spare
+  EXPECT_EQ(tb.app->client_count(), 4u);
+  EXPECT_EQ(tb.groups.size(), 2u);
+  EXPECT_EQ(tb.spares.size(), 1u);
+  EXPECT_EQ(tb.app->spare_servers().size(), 1u);
+}
+
+TEST(ScenarioRegistryTest, FaultDriverChurnsServers) {
+  Simulator sim;
+  ScenarioConfig cfg = scenario_defaults("server-churn");
+  cfg.churn.first_outage = SimTime::seconds(10);
+  cfg.churn.period = SimTime::seconds(30);
+  cfg.churn.outage = SimTime::seconds(10);
+  cfg.churn.outages = 2;
+  Testbed tb = build_scenario(sim, "server-churn", cfg);
+  ASSERT_TRUE(tb.faults);
+  int downs = 0;
+  int ups = 0;
+  tb.app->on_server_state = [&](ServerIdx, bool active) {
+    active ? ++ups : ++downs;
+  };
+  tb.start();
+  // Mid-outage (10..20 s): the victim is down, must NOT look like a
+  // recruitable spare, and cannot be activated behind the fault's back.
+  sim.run_until(SimTime::seconds(15));
+  const ServerIdx victim = tb.sg1_servers[0];
+  EXPECT_FALSE(tb.app->server_active(victim));
+  EXPECT_TRUE(tb.app->server_failed(victim));
+  std::vector<ServerIdx> spares = tb.app->spare_servers();
+  EXPECT_EQ(std::count(spares.begin(), spares.end(), victim), 0);
+  EXPECT_THROW(tb.app->activate_server(victim), SimError);
+  sim.run_until(SimTime::seconds(90));
+  EXPECT_EQ(tb.faults->outages_started(), 2u);
+  EXPECT_EQ(tb.faults->outages_ended(), 2u);
+  EXPECT_EQ(downs, 2);
+  EXPECT_EQ(ups, 2);
+  EXPECT_EQ(tb.app->active_servers(tb.sg1).size(), 3u);  // all recovered
+}
+
+// The acceptance gate: every registered scenario builds, runs 60
+// sim-seconds under the full adaptation framework, makes progress, and
+// ends with the architectural model matching the runtime exactly.
+TEST(ScenarioRegistryTest, AllScenariosRunAdaptedAndStayConsistent) {
+  for (const std::string& name : ScenarioRegistry::instance().names()) {
+    if (name.rfind("test-", 0) == 0) continue;  // fixtures from other tests
+    core::ExperimentOptions options = core::options_for(name);
+    options.adaptation = true;
+    options.scenario.horizon = SimTime::seconds(60);
+    core::ExperimentResult result = core::run_experiment(options);
+    EXPECT_GT(result.responses_completed, 0u) << name;
+    EXPECT_TRUE(result.consistency_issues.empty())
+        << name << ": " << result.consistency_issues.front();
+  }
+}
+
+}  // namespace
+}  // namespace arcadia::sim

@@ -1,0 +1,60 @@
+// ExperimentSuite: grid expansion produces the right (scenario x variant)
+// cases with registry defaults, and the thread-pooled run keeps queue
+// order, isolates failures per case, and actually completes experiments.
+#include <gtest/gtest.h>
+
+#include "core/suite.hpp"
+
+namespace arcadia::core {
+namespace {
+
+TEST(ExperimentSuiteTest, GridExpandsScenarioByVariant) {
+  ExperimentSuite suite;
+  SuiteVariant control{"control", FrameworkConfig{}, /*adaptation=*/false};
+  SuiteVariant adapted{"adapted", FrameworkConfig{}, /*adaptation=*/true};
+  suite.add_grid({"paper-fig6", "flash-crowd"}, {control, adapted});
+
+  ASSERT_EQ(suite.size(), 4u);
+  EXPECT_EQ(suite.cases()[0].label, "paper-fig6/control");
+  EXPECT_EQ(suite.cases()[1].label, "paper-fig6/adapted");
+  EXPECT_EQ(suite.cases()[3].label, "flash-crowd/adapted");
+  EXPECT_EQ(suite.cases()[3].options.scenario_name, "flash-crowd");
+  EXPECT_FALSE(suite.cases()[0].options.adaptation);
+  EXPECT_TRUE(suite.cases()[1].options.adaptation);
+  // Scenario defaults came from the registry, not ScenarioConfig{}.
+  EXPECT_DOUBLE_EQ(suite.cases()[2].options.scenario.comp_sg1_phase1_mbps,
+                   0.0);
+}
+
+TEST(ExperimentSuiteTest, GridWithUnknownScenarioThrows) {
+  ExperimentSuite suite;
+  EXPECT_THROW(suite.add_grid({"no-such-scenario"}, {SuiteVariant{}}), Error);
+}
+
+TEST(ExperimentSuiteTest, ParallelRunKeepsOrderAndIsolatesFailures) {
+  ExperimentSuite suite;
+  ExperimentOptions quick = options_for("paper-fig6");
+  quick.scenario.horizon = SimTime::seconds(30);
+  suite.add("first", quick);
+  ExperimentOptions broken = quick;
+  broken.framework.script_source = "this is not a repair script";
+  suite.add("broken", broken);
+  suite.add("last", quick);
+
+  std::vector<SuiteOutcome> outcomes = suite.run(2);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0].label, "first");
+  EXPECT_EQ(outcomes[1].label, "broken");
+  EXPECT_EQ(outcomes[2].label, "last");
+  EXPECT_TRUE(outcomes[0].ok());
+  EXPECT_GT(outcomes[0].result.responses_completed, 0u);
+  EXPECT_FALSE(outcomes[1].ok());
+  EXPECT_FALSE(outcomes[1].error.empty());
+  EXPECT_TRUE(outcomes[2].ok());
+  // Determinism across workers: identical options, identical results.
+  EXPECT_EQ(outcomes[0].result.responses_completed,
+            outcomes[2].result.responses_completed);
+}
+
+}  // namespace
+}  // namespace arcadia::core
