@@ -187,8 +187,9 @@ void parse_system_body(TokenStream& ts, model::System& system) {
 
 void print_properties(std::ostringstream& out, const model::Element& el,
                       const std::string& indent) {
-  for (const auto& [name, value] : el.properties()) {
-    out << indent << "Property " << name;
+  for (const auto& entry : el.properties()) {
+    const model::PropertyValue& value = entry.value;
+    out << indent << "Property " << entry.key.str();
     if (value.is_bool()) {
       out << " : boolean = " << (value.as_bool() ? "true" : "false");
     } else if (value.is_int()) {

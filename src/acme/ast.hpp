@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "util/symbol.hpp"
+
 namespace arcadia::acme {
 
 // ---------- expressions ----------
@@ -40,6 +42,10 @@ struct LiteralExpr : Expr {
 /// invariants attached to an element: `averageLatency <= maxLatency`).
 struct NameExpr : Expr {
   std::string name;
+  /// Interned by the parser; evaluation resolves bindings and properties by
+  /// integer id instead of string compares. Empty on hand-built ASTs — the
+  /// evaluator then interns on the fly.
+  util::Symbol sym;
 };
 
 /// object.member — property access or a built-in collection
@@ -47,6 +53,8 @@ struct NameExpr : Expr {
 struct MemberExpr : Expr {
   ExprPtr object;
   std::string member;
+  /// Interned member name (see NameExpr::sym).
+  util::Symbol sym;
 };
 
 /// Free-function call f(args) or method-style call obj.m(args); in the
@@ -76,6 +84,7 @@ struct BinaryExpr : Expr {
 struct SelectExpr : Expr {
   bool one = false;
   std::string binder;
+  util::Symbol binder_sym;  ///< interned `binder` (see NameExpr::sym)
   std::string type_name;  ///< empty = untyped binder
   ExprPtr domain;
   ExprPtr predicate;
@@ -85,6 +94,7 @@ struct SelectExpr : Expr {
 struct QuantExpr : Expr {
   bool exists = true;
   std::string binder;
+  util::Symbol binder_sym;  ///< interned `binder` (see NameExpr::sym)
   std::string type_name;
   ExprPtr domain;
   ExprPtr predicate;

@@ -14,6 +14,31 @@ namespace {
 }
 
 const std::string kSelfName = "self";
+
+/// Pre-interned names the evaluator compares against on every member access.
+struct WellKnown {
+  util::Symbol self = util::Symbol::intern("self");
+  util::Symbol components = util::Symbol::intern("Components");
+  util::Symbol connectors = util::Symbol::intern("Connectors");
+  util::Symbol ports = util::Symbol::intern("Ports");
+  util::Symbol roles = util::Symbol::intern("Roles");
+  util::Symbol representation = util::Symbol::intern("Representation");
+  util::Symbol name = util::Symbol::intern("name");
+  util::Symbol type = util::Symbol::intern("type");
+};
+
+const WellKnown& wk() {
+  static const WellKnown w;
+  return w;
+}
+
+/// Parser-interned symbol, or a one-off intern for hand-built AST nodes.
+util::Symbol sym_of(const NameExpr& n) {
+  return n.sym.empty() ? util::Symbol::intern(n.name) : n.sym;
+}
+util::Symbol sym_of(const MemberExpr& m) {
+  return m.sym.empty() ? util::Symbol::intern(m.member) : m.sym;
+}
 }  // namespace
 
 const std::string& ElementRef::name() const {
@@ -94,9 +119,8 @@ std::string EvalValue::to_string() const {
   return "?";
 }
 
-const EvalValue* EvalContext::lookup(const std::string& name) const {
-  auto it = bindings_.find(name);
-  if (it != bindings_.end()) return &it->second;
+const EvalValue* EvalContext::lookup(util::Symbol name) const {
+  if (const EvalValue* found = bindings_.find(name)) return found;
   return parent_ ? parent_->lookup(name) : nullptr;
 }
 
@@ -110,10 +134,9 @@ EvalContext EvalContext::child() const {
   return c;
 }
 
-const ExprFn* EvalContext::find_function(const std::string& name) const {
+const ExprFn* EvalContext::find_function(util::Symbol name) const {
   if (functions_) {
-    auto it = functions_->find(name);
-    if (it != functions_->end()) return &it->second;
+    if (const ExprFn* found = functions_->find(name)) return found;
   }
   return parent_ ? parent_->find_function(name) : nullptr;
 }
@@ -131,17 +154,17 @@ const ElementRef* EvalContext::context_element() const {
 // ---------------------------------------------------------------------------
 
 Evaluator::Evaluator() {
-  builtins_["size"] = [](std::vector<EvalValue>& args,
+  builtins_[util::Symbol::intern("size")] = [](std::vector<EvalValue>& args,
                          EvalContext&) -> EvalValue {
     if (args.size() != 1) throw ScriptError("size() takes one argument");
     return EvalValue(static_cast<double>(args[0].as_set().size()));
   };
-  builtins_["empty"] = [](std::vector<EvalValue>& args,
+  builtins_[util::Symbol::intern("empty")] = [](std::vector<EvalValue>& args,
                           EvalContext&) -> EvalValue {
     if (args.size() != 1) throw ScriptError("empty() takes one argument");
     return EvalValue(args[0].as_set().empty());
   };
-  builtins_["contains"] = [](std::vector<EvalValue>& args,
+  builtins_[util::Symbol::intern("contains")] = [](std::vector<EvalValue>& args,
                              EvalContext&) -> EvalValue {
     if (args.size() != 2) throw ScriptError("contains(set, x) takes two arguments");
     for (const EvalValue& v : args[0].as_set()) {
@@ -149,7 +172,7 @@ Evaluator::Evaluator() {
     }
     return EvalValue(false);
   };
-  builtins_["connected"] = [](std::vector<EvalValue>& args,
+  builtins_[util::Symbol::intern("connected")] = [](std::vector<EvalValue>& args,
                               EvalContext& ctx) -> EvalValue {
     if (args.size() != 2) {
       throw ScriptError("connected(a, b) takes two arguments");
@@ -159,7 +182,7 @@ Evaluator::Evaluator() {
     const model::System& sys = a.system ? *a.system : ctx.self();
     return EvalValue(sys.connected(a.name(), b.name()));
   };
-  builtins_["attached"] = [](std::vector<EvalValue>& args,
+  builtins_[util::Symbol::intern("attached")] = [](std::vector<EvalValue>& args,
                              EvalContext& ctx) -> EvalValue {
     if (args.size() != 2) {
       throw ScriptError("attached(x, y) takes two arguments");
@@ -182,19 +205,19 @@ Evaluator::Evaluator() {
     }
     return EvalValue(false);
   };
-  builtins_["abs"] = [](std::vector<EvalValue>& args, EvalContext&) -> EvalValue {
+  builtins_[util::Symbol::intern("abs")] = [](std::vector<EvalValue>& args, EvalContext&) -> EvalValue {
     if (args.size() != 1) throw ScriptError("abs() takes one argument");
     return EvalValue(std::fabs(args[0].as_number()));
   };
-  builtins_["min"] = [](std::vector<EvalValue>& args, EvalContext&) -> EvalValue {
+  builtins_[util::Symbol::intern("min")] = [](std::vector<EvalValue>& args, EvalContext&) -> EvalValue {
     if (args.size() != 2) throw ScriptError("min() takes two arguments");
     return EvalValue(std::min(args[0].as_number(), args[1].as_number()));
   };
-  builtins_["max"] = [](std::vector<EvalValue>& args, EvalContext&) -> EvalValue {
+  builtins_[util::Symbol::intern("max")] = [](std::vector<EvalValue>& args, EvalContext&) -> EvalValue {
     if (args.size() != 2) throw ScriptError("max() takes two arguments");
     return EvalValue(std::max(args[0].as_number(), args[1].as_number()));
   };
-  builtins_["hasProperty"] = [](std::vector<EvalValue>& args,
+  builtins_[util::Symbol::intern("hasProperty")] = [](std::vector<EvalValue>& args,
                                 EvalContext&) -> EvalValue {
     if (args.size() != 2) {
       throw ScriptError("hasProperty(element, name) takes two arguments");
@@ -215,12 +238,13 @@ EvalValue Evaluator::evaluate(const Expr& expr, EvalContext& ctx) const {
     }
   }
   if (const auto* name = dynamic_cast<const NameExpr*>(&expr)) {
-    if (name->name == "self") return EvalValue(ElementRef::of_system(ctx.self()));
-    if (const EvalValue* bound = ctx.lookup(name->name)) return *bound;
+    const util::Symbol sym = sym_of(*name);
+    if (sym == wk().self) return EvalValue(ElementRef::of_system(ctx.self()));
+    if (const EvalValue* bound = ctx.lookup(sym)) return *bound;
     // Unqualified property reference against the contextual element.
     if (const ElementRef* el = ctx.context_element()) {
-      if (el->element && el->element->has_property(name->name)) {
-        return member_of_element(*el, name->name, name->line);
+      if (el->element && el->element->has_property(sym)) {
+        return member_of_element(*el, sym, name->line);
       }
     }
     fail(name->line, "unbound name '" + name->name + "'");
@@ -253,51 +277,50 @@ bool Evaluator::evaluate_bool(const Expr& expr, EvalContext& ctx) const {
 }
 
 EvalValue Evaluator::member_of_element(const ElementRef& ref,
-                                       const std::string& member,
-                                       int line) const {
+                                       util::Symbol member, int line) const {
   using model::ElementKind;
   // System-level collections.
   if (ref.is_system()) {
     const model::System& sys = *ref.system;
-    if (member == "Components") {
+    if (member == wk().components) {
       EvalValue::Set set;
       for (const model::Component* c : sys.components()) {
         set.push_back(EvalValue(ElementRef::of_component(sys, *c)));
       }
       return EvalValue(std::move(set));
     }
-    if (member == "Connectors") {
+    if (member == wk().connectors) {
       EvalValue::Set set;
       for (const model::Connector* c : sys.connectors()) {
         set.push_back(EvalValue(ElementRef::of_connector(sys, *c)));
       }
       return EvalValue(std::move(set));
     }
-    if (member == "name") return EvalValue(sys.name());
-    fail(line, "system has no member '" + member + "'");
+    if (member == wk().name) return EvalValue(sys.name());
+    fail(line, "system has no member '" + member.str() + "'");
   }
 
   const model::Element& el = *ref.element;
-  if (member == "name") return EvalValue(el.name());
-  if (member == "type") return EvalValue(el.type_name());
+  if (member == wk().name) return EvalValue(el.name());
+  if (member == wk().type) return EvalValue(el.type_name());
 
   if (ref.kind == ElementKind::Component) {
     const auto& comp = static_cast<const model::Component&>(el);
-    if (member == "Ports") {
+    if (member == wk().ports) {
       EvalValue::Set set;
       for (const model::Port* p : comp.ports()) {
         set.push_back(EvalValue(ElementRef::of_port(*ref.system, comp, *p)));
       }
       return EvalValue(std::move(set));
     }
-    if (member == "Representation") {
+    if (member == wk().representation) {
       if (!comp.has_representation()) return EvalValue::nil();
       return EvalValue(ElementRef::of_system(comp.representation_const()));
     }
   }
   if (ref.kind == ElementKind::Connector) {
     const auto& conn = static_cast<const model::Connector&>(el);
-    if (member == "Roles") {
+    if (member == wk().roles) {
       EvalValue::Set set;
       for (const model::Role* r : conn.roles()) {
         set.push_back(EvalValue(ElementRef::of_role(*ref.system, conn, *r)));
@@ -309,7 +332,7 @@ EvalValue Evaluator::member_of_element(const ElementRef& ref,
   // Property access.
   if (!el.has_property(member)) {
     fail(line, std::string(to_string(ref.kind)) + " '" + el.name() +
-                   "' has no property or member '" + member + "'");
+                   "' has no property or member '" + member.str() + "'");
   }
   const model::PropertyValue& v = el.property(member);
   if (v.is_bool()) return EvalValue(v.as_bool());
@@ -323,7 +346,7 @@ EvalValue Evaluator::eval_member(const MemberExpr& m, EvalContext& ctx) const {
     fail(m.line, "member access '." + m.member + "' on non-element value " +
                      object.to_string());
   }
-  return member_of_element(object.as_element(), m.member, m.line);
+  return member_of_element(object.as_element(), sym_of(m), m.line);
 }
 
 EvalValue Evaluator::eval_call(const CallExpr& c, EvalContext& ctx) const {
@@ -342,18 +365,20 @@ EvalValue Evaluator::eval_call(const CallExpr& c, EvalContext& ctx) const {
       fail(c.line, "no operator dispatch available for '" + member->member +
                        "' (method calls are only valid inside repair scripts)");
     }
-    return (*handler)(object.as_element(), member->member, args, ctx);
+    return (*handler)(object.as_element(), sym_of(*member), args, ctx);
   }
 
   const auto* name = dynamic_cast<const NameExpr*>(c.callee.get());
   if (!name) fail(c.line, "call of non-function expression");
   for (const ExprPtr& a : c.args) args.push_back(evaluate(*a, ctx));
 
-  if (const ExprFn* fn = ctx.find_function(name->name)) {
+  const util::Symbol callee = sym_of(*name);
+  if (const ExprFn* fn = ctx.find_function(callee)) {
     return (*fn)(args, ctx);
   }
-  auto it = builtins_.find(name->name);
-  if (it != builtins_.end()) return it->second(args, ctx);
+  if (const ExprFn* builtin = builtins_.find(callee)) {
+    return (*builtin)(args, ctx);
+  }
   fail(c.line, "unknown function '" + name->name + "'");
 }
 
@@ -429,11 +454,13 @@ bool binder_matches(const EvalValue& v, const std::string& type_name) {
 
 EvalValue Evaluator::eval_select(const SelectExpr& s, EvalContext& ctx) const {
   EvalValue domain = evaluate(*s.domain, ctx);
+  const util::Symbol binder =
+      s.binder_sym.empty() ? util::Symbol::intern(s.binder) : s.binder_sym;
   EvalValue::Set out;
   for (const EvalValue& item : domain.as_set()) {
     if (!binder_matches(item, s.type_name)) continue;
     EvalContext scope = ctx.child();
-    scope.bind(s.binder, item);
+    scope.bind(binder, item);
     if (evaluate(*s.predicate, scope).truthy()) {
       if (s.one) return item;
       out.push_back(item);
@@ -445,10 +472,12 @@ EvalValue Evaluator::eval_select(const SelectExpr& s, EvalContext& ctx) const {
 
 EvalValue Evaluator::eval_quant(const QuantExpr& q, EvalContext& ctx) const {
   EvalValue domain = evaluate(*q.domain, ctx);
+  const util::Symbol binder =
+      q.binder_sym.empty() ? util::Symbol::intern(q.binder) : q.binder_sym;
   for (const EvalValue& item : domain.as_set()) {
     if (!binder_matches(item, q.type_name)) continue;
     EvalContext scope = ctx.child();
-    scope.bind(q.binder, item);
+    scope.bind(binder, item);
     bool holds = evaluate(*q.predicate, scope).truthy();
     if (q.exists && holds) return EvalValue(true);
     if (!q.exists && !holds) return EvalValue(false);

@@ -4,13 +4,14 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "acme/ast.hpp"
 #include "model/system.hpp"
+#include "util/symbol.hpp"
 
 namespace arcadia::acme {
 
@@ -103,28 +104,36 @@ class EvalContext;
 using ExprFn =
     std::function<EvalValue(std::vector<EvalValue>&, EvalContext&)>;
 /// Method dispatch hook for `element.op(args)` calls (style operators);
-/// installed by the script interpreter.
-using MethodFn = std::function<EvalValue(const ElementRef&, const std::string&,
+/// installed by the script interpreter. The operator name arrives interned.
+using MethodFn = std::function<EvalValue(const ElementRef&, util::Symbol,
                                          std::vector<EvalValue>&, EvalContext&)>;
 
-/// Lexical scope chain + the model being queried.
+/// Lexical scope chain + the model being queried. Bindings and function
+/// registries are keyed by interned Symbols; per-evaluation lookups are
+/// integer probes.
 class EvalContext {
  public:
   explicit EvalContext(const model::System& self) : self_(&self) {}
 
   const model::System& self() const { return *self_; }
 
-  void bind(const std::string& name, EvalValue value) {
-    bindings_[name] = std::move(value);
+  void bind(util::Symbol name, EvalValue value) {
+    bindings_.insert_or_assign(name, std::move(value));
+  }
+  void bind(std::string_view name, EvalValue value) {
+    bind(util::Symbol::intern(name), std::move(value));
   }
   /// Walks the scope chain; null when unbound.
-  const EvalValue* lookup(const std::string& name) const;
+  const EvalValue* lookup(util::Symbol name) const;
+  const EvalValue* lookup(std::string_view name) const {
+    return lookup(util::Symbol::intern(name));
+  }
 
   /// Child scope sharing registries and self.
   EvalContext child() const;
 
-  void set_functions(std::map<std::string, ExprFn>* fns) { functions_ = fns; }
-  const ExprFn* find_function(const std::string& name) const;
+  void set_functions(util::SymbolMap<ExprFn>* fns) { functions_ = fns; }
+  const ExprFn* find_function(util::Symbol name) const;
   void set_method_handler(MethodFn* handler) { method_handler_ = handler; }
   const MethodFn* method_handler() const;
 
@@ -139,8 +148,8 @@ class EvalContext {
  private:
   const model::System* self_;
   const EvalContext* parent_ = nullptr;
-  std::map<std::string, EvalValue> bindings_;
-  std::map<std::string, ExprFn>* functions_ = nullptr;
+  util::SymbolMap<EvalValue> bindings_;
+  util::SymbolMap<ExprFn>* functions_ = nullptr;
   MethodFn* method_handler_ = nullptr;
   ElementRef context_element_;
   bool has_context_element_ = false;
@@ -162,10 +171,10 @@ class Evaluator {
   EvalValue eval_binary(const BinaryExpr& b, EvalContext& ctx) const;
   EvalValue eval_select(const SelectExpr& s, EvalContext& ctx) const;
   EvalValue eval_quant(const QuantExpr& q, EvalContext& ctx) const;
-  EvalValue member_of_element(const ElementRef& ref, const std::string& member,
+  EvalValue member_of_element(const ElementRef& ref, util::Symbol member,
                               int line) const;
 
-  std::map<std::string, ExprFn> builtins_;
+  util::SymbolMap<ExprFn> builtins_;
 };
 
 }  // namespace arcadia::acme

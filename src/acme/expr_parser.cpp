@@ -100,6 +100,7 @@ ExprPtr parse_primary(TokenStream& ts) {
         sel->one = ts.accept_keyword("one");
         parse_comprehension_tail(ts, sel->binder, sel->type_name, sel->domain,
                                  sel->predicate);
+        sel->binder_sym = util::Symbol::intern(sel->binder);
         return sel;
       }
       if (t.text == "exists" || t.text == "forall") {
@@ -108,10 +109,12 @@ ExprPtr parse_primary(TokenStream& ts) {
         ts.take();
         parse_comprehension_tail(ts, q->binder, q->type_name, q->domain,
                                  q->predicate);
+        q->binder_sym = util::Symbol::intern(q->binder);
         return q;
       }
       auto name = node<NameExpr>(t);
       name->name = t.text;
+      name->sym = util::Symbol::intern(name->name);
       ts.take();
       return name;
     }
@@ -127,6 +130,7 @@ ExprPtr parse_postfix(TokenStream& ts) {
       const Token& dot = ts.take();
       auto member = node<MemberExpr>(dot);
       member->member = ts.expect_identifier("after '.'");
+      member->sym = util::Symbol::intern(member->member);
       member->object = std::move(expr);
       expr = std::move(member);
       continue;

@@ -8,52 +8,53 @@ namespace arcadia::acme {
 Interpreter::Interpreter(const model::System& system, const Script& script)
     : system_(system), script_(script) {
   // Bridge element.method(args) calls to registered style operators.
-  method_bridge_ = [this](const ElementRef& target, const std::string& name,
+  method_bridge_ = [this](const ElementRef& target, util::Symbol name,
                           std::vector<EvalValue>& args,
                           EvalContext&) -> EvalValue {
-    auto it = operators_.find(name);
-    if (it == operators_.end()) {
-      throw ScriptError("unknown style operator '" + name + "' on element '" +
-                        target.name() + "'");
+    const OperatorFn* op = operators_.find(name);
+    if (!op) {
+      throw ScriptError("unknown style operator '" + name.str() +
+                        "' on element '" + target.name() + "'");
     }
     if (!txn_) {
-      throw ScriptError("operator '" + name +
+      throw ScriptError("operator '" + name.str() +
                         "' invoked outside a repair transaction");
     }
-    return it->second(target, args, *txn_);
+    return (*op)(target, args, *txn_);
   };
 
   // Tactics are callable as functions from strategy bodies.
   for (const TacticDecl& tactic : script_.tactics) {
     const TacticDecl* decl = &tactic;
-    functions_[tactic.name] = [this, decl](std::vector<EvalValue>& args,
-                                           EvalContext&) -> EvalValue {
-      if (!txn_) {
-        throw ScriptError("tactic '" + decl->name +
-                          "' invoked outside a repair transaction");
-      }
-      return call_tactic(*decl, args, *txn_, trace_);
-    };
+    functions_.insert_or_assign(
+        util::Symbol::intern(tactic.name),
+        [this, decl](std::vector<EvalValue>& args, EvalContext&) -> EvalValue {
+          if (!txn_) {
+            throw ScriptError("tactic '" + decl->name +
+                              "' invoked outside a repair transaction");
+          }
+          return call_tactic(*decl, args, *txn_, trace_);
+        });
   }
 }
 
 void Interpreter::register_operator(const std::string& name, OperatorFn fn) {
-  operators_[name] = std::move(fn);
+  operators_.insert_or_assign(util::Symbol::intern(name), std::move(fn));
 }
 
 void Interpreter::register_function(const std::string& name, ExprFn fn) {
-  functions_[name] = std::move(fn);
+  functions_.insert_or_assign(util::Symbol::intern(name), std::move(fn));
 }
 
 void Interpreter::bind_global(const std::string& name, EvalValue value) {
-  globals_[name] = std::move(value);
+  globals_.insert_or_assign(util::Symbol::intern(name), std::move(value));
 }
 
 EvalContext Interpreter::make_root_context() {
   EvalContext ctx(system_);
   ctx.set_functions(&functions_);
   ctx.set_method_handler(&method_bridge_);
-  for (const auto& [name, value] : globals_) ctx.bind(name, value);
+  for (const auto& e : globals_) ctx.bind(e.key, e.value);
   return ctx;
 }
 

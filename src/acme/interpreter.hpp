@@ -7,13 +7,13 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "acme/ast.hpp"
 #include "acme/evaluator.hpp"
 #include "model/transaction.hpp"
+#include "util/symbol.hpp"
 
 namespace arcadia::acme {
 
@@ -78,9 +78,9 @@ class Interpreter {
   const model::System& system_;
   const Script& script_;
   Evaluator evaluator_;
-  std::map<std::string, OperatorFn> operators_;
-  std::map<std::string, ExprFn> functions_;
-  std::map<std::string, EvalValue> globals_;
+  util::SymbolMap<OperatorFn> operators_;
+  util::SymbolMap<ExprFn> functions_;
+  util::SymbolMap<EvalValue> globals_;
 
   // Per-run state (valid while run_strategy is on the stack).
   model::Transaction* txn_ = nullptr;

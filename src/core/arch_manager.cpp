@@ -51,19 +51,24 @@ bool ArchitectureManager::apply_gauge_report(const events::Notification& n) {
       !n.has(monitor::topics::kAttrValue)) {
     return false;
   }
-  const std::string element = n.get(monitor::topics::kAttrElement).as_string();
-  const std::string property =
-      n.get(monitor::topics::kAttrProperty).as_string();
+  const std::string& element = n.get(monitor::topics::kAttrElement).as_string();
+  // Intern once per report; the model lookups and the property write below
+  // are integer-keyed from here on.
+  const util::Symbol property =
+      util::Symbol::intern(n.get(monitor::topics::kAttrProperty).as_string());
   const events::Value& value = n.get(monitor::topics::kAttrValue);
 
   const auto dot = element.find('.');
   if (dot == std::string::npos) {
-    if (!system_.has_component(element)) return false;
-    system_.component(element).set_property(property, value);
+    const util::Symbol key = util::Symbol::intern(element);
+    if (!system_.has_component(key)) return false;
+    system_.component(key).set_property(property, value);
     return true;
   }
-  const std::string connector = element.substr(0, dot);
-  const std::string role = element.substr(dot + 1);
+  const util::Symbol connector =
+      util::Symbol::intern(std::string_view(element).substr(0, dot));
+  const util::Symbol role =
+      util::Symbol::intern(std::string_view(element).substr(dot + 1));
   if (!system_.has_connector(connector)) return false;
   model::Connector& conn = system_.connector(connector);
   if (!conn.has_role(role)) return false;

@@ -15,18 +15,19 @@ const char* to_string(ElementKind kind) {
   return "?";
 }
 
-const PropertyValue& Element::property(const std::string& prop) const {
-  auto it = properties_.find(prop);
-  if (it == properties_.end()) {
-    throw ModelError("element '" + name_ + "' has no property '" + prop + "'");
+const PropertyValue& Element::property(util::Symbol prop) const {
+  const PropertyValue* found = properties_.find(prop);
+  if (!found) {
+    throw ModelError("element '" + name_ + "' has no property '" + prop.str() +
+                     "'");
   }
-  return it->second;
+  return *found;
 }
 
-PropertyValue Element::property_or(const std::string& prop,
+PropertyValue Element::property_or(util::Symbol prop,
                                    PropertyValue fallback) const {
-  auto it = properties_.find(prop);
-  return it == properties_.end() ? fallback : it->second;
+  const PropertyValue* found = properties_.find(prop);
+  return found ? *found : fallback;
 }
 
 std::unique_ptr<Port> Port::clone() const {
@@ -43,45 +44,49 @@ std::unique_ptr<Role> Role::clone() const {
 
 Port& Component::add_port(const std::string& name,
                           const std::string& type_name) {
-  if (ports_.count(name)) {
+  const util::Symbol key = util::Symbol::intern(name);
+  if (ports_.contains(key)) {
     throw ModelError("component '" + this->name() + "' already has port '" +
                      name + "'");
   }
-  auto [it, _] = ports_.emplace(name, std::make_unique<Port>(name, type_name));
-  return *it->second;
+  auto& stored =
+      ports_.insert_or_assign(key, std::make_unique<Port>(name, type_name));
+  bump_structure_clock();
+  return *stored;
 }
 
 void Component::remove_port(const std::string& name) {
-  if (ports_.erase(name) == 0) {
+  if (!ports_.erase(util::Symbol::intern(name))) {
     throw ModelError("component '" + this->name() + "' has no port '" + name +
                      "'");
   }
+  bump_structure_clock();
 }
 
-Port& Component::port(const std::string& name) {
-  auto it = ports_.find(name);
-  if (it == ports_.end()) {
-    throw ModelError("component '" + this->name() + "' has no port '" + name +
-                     "'");
+Port& Component::port(util::Symbol name) {
+  std::unique_ptr<Port>* found = ports_.find(name);
+  if (!found) {
+    throw ModelError("component '" + this->name() + "' has no port '" +
+                     name.str() + "'");
   }
-  return *it->second;
+  return **found;
 }
 
-const Port& Component::port(const std::string& name) const {
+const Port& Component::port(util::Symbol name) const {
   return const_cast<Component*>(this)->port(name);
 }
 
 std::vector<const Port*> Component::ports() const {
   std::vector<const Port*> out;
   out.reserve(ports_.size());
-  for (const auto& [n, p] : ports_) out.push_back(p.get());
+  for (const auto& e : ports_) out.push_back(e.value.get());
   return out;
 }
 
 std::vector<Port*> Component::ports() {
   std::vector<Port*> out;
   out.reserve(ports_.size());
-  for (auto& [n, p] : ports_) out.push_back(p.get());
+  for (auto& e : ports_) out.push_back(e.value.get());
   return out;
 }
 
@@ -102,59 +107,67 @@ const System& Component::representation_const() const {
 std::unique_ptr<Component> Component::clone() const {
   auto copy = std::make_unique<Component>(name(), type_name());
   copy->copy_properties_from(*this);
-  for (const auto& [n, p] : ports_) copy->ports_[n] = p->clone();
+  for (const auto& e : ports_) {
+    copy->ports_.insert_or_assign(e.key, e.value->clone());
+  }
   if (representation_) copy->representation_ = representation_->clone();
   return copy;
 }
 
 Role& Connector::add_role(const std::string& name,
                           const std::string& type_name) {
-  if (roles_.count(name)) {
+  const util::Symbol key = util::Symbol::intern(name);
+  if (roles_.contains(key)) {
     throw ModelError("connector '" + this->name() + "' already has role '" +
                      name + "'");
   }
-  auto [it, _] = roles_.emplace(name, std::make_unique<Role>(name, type_name));
-  return *it->second;
+  auto& stored =
+      roles_.insert_or_assign(key, std::make_unique<Role>(name, type_name));
+  bump_structure_clock();
+  return *stored;
 }
 
 void Connector::remove_role(const std::string& name) {
-  if (roles_.erase(name) == 0) {
+  if (!roles_.erase(util::Symbol::intern(name))) {
     throw ModelError("connector '" + this->name() + "' has no role '" + name +
                      "'");
   }
+  bump_structure_clock();
 }
 
-Role& Connector::role(const std::string& name) {
-  auto it = roles_.find(name);
-  if (it == roles_.end()) {
-    throw ModelError("connector '" + this->name() + "' has no role '" + name +
-                     "'");
+Role& Connector::role(util::Symbol name) {
+  std::unique_ptr<Role>* found = roles_.find(name);
+  if (!found) {
+    throw ModelError("connector '" + this->name() + "' has no role '" +
+                     name.str() + "'");
   }
-  return *it->second;
+  return **found;
 }
 
-const Role& Connector::role(const std::string& name) const {
+const Role& Connector::role(util::Symbol name) const {
   return const_cast<Connector*>(this)->role(name);
 }
 
 std::vector<const Role*> Connector::roles() const {
   std::vector<const Role*> out;
   out.reserve(roles_.size());
-  for (const auto& [n, r] : roles_) out.push_back(r.get());
+  for (const auto& e : roles_) out.push_back(e.value.get());
   return out;
 }
 
 std::vector<Role*> Connector::roles() {
   std::vector<Role*> out;
   out.reserve(roles_.size());
-  for (auto& [n, r] : roles_) out.push_back(r.get());
+  for (auto& e : roles_) out.push_back(e.value.get());
   return out;
 }
 
 std::unique_ptr<Connector> Connector::clone() const {
   auto copy = std::make_unique<Connector>(name(), type_name());
   copy->copy_properties_from(*this);
-  for (const auto& [n, r] : roles_) copy->roles_[n] = r->clone();
+  for (const auto& e : roles_) {
+    copy->roles_.insert_or_assign(e.key, e.value->clone());
+  }
   return copy;
 }
 

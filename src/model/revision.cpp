@@ -1,0 +1,30 @@
+#include "model/revision.hpp"
+
+#include <atomic>
+
+namespace arcadia::model {
+
+namespace {
+// Start at 1 so a default-initialised "last seen" stamp of 0 always reads
+// as stale.
+std::atomic<std::uint64_t> g_property_clock{1};
+std::atomic<std::uint64_t> g_structure_clock{1};
+}  // namespace
+
+std::uint64_t property_clock() {
+  return g_property_clock.load(std::memory_order_relaxed);
+}
+
+std::uint64_t bump_property_clock() {
+  return g_property_clock.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::uint64_t structure_clock() {
+  return g_structure_clock.load(std::memory_order_relaxed);
+}
+
+std::uint64_t bump_structure_clock() {
+  return g_structure_clock.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace arcadia::model

@@ -7,48 +7,54 @@ namespace arcadia::model {
 
 Component& System::add_component(const std::string& name,
                                  const std::string& type_name) {
-  if (components_.count(name)) {
+  const util::Symbol key = util::Symbol::intern(name);
+  if (components_.contains(key)) {
     throw ModelError("system '" + name_ + "' already has component '" + name +
                      "'");
   }
-  auto [it, _] =
-      components_.emplace(name, std::make_unique<Component>(name, type_name));
-  return *it->second;
+  auto& stored = components_.insert_or_assign(
+      key, std::make_unique<Component>(name, type_name));
+  bump_structure_clock();
+  return *stored;
 }
 
 void System::remove_component(const std::string& name) {
-  auto it = components_.find(name);
-  if (it == components_.end()) {
+  const util::Symbol key = util::Symbol::intern(name);
+  if (!components_.contains(key)) {
     throw ModelError("system '" + name_ + "' has no component '" + name + "'");
   }
   attachments_.erase(
       std::remove_if(attachments_.begin(), attachments_.end(),
                      [&](const Attachment& a) { return a.component == name; }),
       attachments_.end());
-  components_.erase(it);
+  components_.erase(key);
+  bump_structure_clock();
 }
 
 Connector& System::add_connector(const std::string& name,
                                  const std::string& type_name) {
-  if (connectors_.count(name)) {
+  const util::Symbol key = util::Symbol::intern(name);
+  if (connectors_.contains(key)) {
     throw ModelError("system '" + name_ + "' already has connector '" + name +
                      "'");
   }
-  auto [it, _] =
-      connectors_.emplace(name, std::make_unique<Connector>(name, type_name));
-  return *it->second;
+  auto& stored = connectors_.insert_or_assign(
+      key, std::make_unique<Connector>(name, type_name));
+  bump_structure_clock();
+  return *stored;
 }
 
 void System::remove_connector(const std::string& name) {
-  auto it = connectors_.find(name);
-  if (it == connectors_.end()) {
+  const util::Symbol key = util::Symbol::intern(name);
+  if (!connectors_.contains(key)) {
     throw ModelError("system '" + name_ + "' has no connector '" + name + "'");
   }
   attachments_.erase(
       std::remove_if(attachments_.begin(), attachments_.end(),
                      [&](const Attachment& a) { return a.connector == name; }),
       attachments_.end());
-  connectors_.erase(it);
+  connectors_.erase(key);
+  bump_structure_clock();
 }
 
 void System::attach(const Attachment& a) {
@@ -68,6 +74,7 @@ void System::attach(const Attachment& a) {
                      a.port + " <-> " + a.connector + "." + a.role);
   }
   attachments_.push_back(a);
+  bump_structure_clock();
 }
 
 void System::detach(const Attachment& a) {
@@ -77,100 +84,110 @@ void System::detach(const Attachment& a) {
                      " <-> " + a.connector + "." + a.role);
   }
   attachments_.erase(it);
+  bump_structure_clock();
 }
 
 Component& System::adopt_component(std::unique_ptr<Component> component) {
-  const std::string name = component->name();
-  if (components_.count(name)) {
-    throw ModelError("adopt: duplicate component '" + name + "'");
+  const util::Symbol key = component->name_symbol();
+  if (components_.contains(key)) {
+    throw ModelError("adopt: duplicate component '" + component->name() + "'");
   }
-  auto [it, _] = components_.emplace(name, std::move(component));
-  return *it->second;
+  auto& stored = components_.insert_or_assign(key, std::move(component));
+  bump_structure_clock();
+  return *stored;
 }
 
 Connector& System::adopt_connector(std::unique_ptr<Connector> connector) {
-  const std::string name = connector->name();
-  if (connectors_.count(name)) {
-    throw ModelError("adopt: duplicate connector '" + name + "'");
+  const util::Symbol key = connector->name_symbol();
+  if (connectors_.contains(key)) {
+    throw ModelError("adopt: duplicate connector '" + connector->name() + "'");
   }
-  auto [it, _] = connectors_.emplace(name, std::move(connector));
-  return *it->second;
+  auto& stored = connectors_.insert_or_assign(key, std::move(connector));
+  bump_structure_clock();
+  return *stored;
 }
 
 std::unique_ptr<Component> System::release_component(const std::string& name) {
-  auto it = components_.find(name);
-  if (it == components_.end()) {
+  std::unique_ptr<Component>* found =
+      components_.find(util::Symbol::intern(name));
+  if (!found) {
     throw ModelError("release: no component '" + name + "'");
   }
-  auto out = std::move(it->second);
-  components_.erase(it);
+  auto out = std::move(*found);
+  components_.erase(out->name_symbol());
+  bump_structure_clock();
   return out;
 }
 
 std::unique_ptr<Connector> System::release_connector(const std::string& name) {
-  auto it = connectors_.find(name);
-  if (it == connectors_.end()) {
+  std::unique_ptr<Connector>* found =
+      connectors_.find(util::Symbol::intern(name));
+  if (!found) {
     throw ModelError("release: no connector '" + name + "'");
   }
-  auto out = std::move(it->second);
-  connectors_.erase(it);
+  auto out = std::move(*found);
+  connectors_.erase(out->name_symbol());
+  bump_structure_clock();
   return out;
 }
 
-Component& System::component(const std::string& name) {
-  auto it = components_.find(name);
-  if (it == components_.end()) {
-    throw ModelError("system '" + name_ + "' has no component '" + name + "'");
+Component& System::component(util::Symbol name) {
+  std::unique_ptr<Component>* found = components_.find(name);
+  if (!found) {
+    throw ModelError("system '" + name_ + "' has no component '" + name.str() +
+                     "'");
   }
-  return *it->second;
+  return **found;
 }
 
-const Component& System::component(const std::string& name) const {
+const Component& System::component(util::Symbol name) const {
   return const_cast<System*>(this)->component(name);
 }
 
-Connector& System::connector(const std::string& name) {
-  auto it = connectors_.find(name);
-  if (it == connectors_.end()) {
-    throw ModelError("system '" + name_ + "' has no connector '" + name + "'");
+Connector& System::connector(util::Symbol name) {
+  std::unique_ptr<Connector>* found = connectors_.find(name);
+  if (!found) {
+    throw ModelError("system '" + name_ + "' has no connector '" + name.str() +
+                     "'");
   }
-  return *it->second;
+  return **found;
 }
 
-const Connector& System::connector(const std::string& name) const {
+const Connector& System::connector(util::Symbol name) const {
   return const_cast<System*>(this)->connector(name);
 }
 
 std::vector<Component*> System::components() {
   std::vector<Component*> out;
   out.reserve(components_.size());
-  for (auto& [n, c] : components_) out.push_back(c.get());
+  for (auto& e : components_) out.push_back(e.value.get());
   return out;
 }
 
 std::vector<const Component*> System::components() const {
   std::vector<const Component*> out;
   out.reserve(components_.size());
-  for (const auto& [n, c] : components_) out.push_back(c.get());
+  for (const auto& e : components_) out.push_back(e.value.get());
   return out;
 }
 
 std::vector<Connector*> System::connectors() {
   std::vector<Connector*> out;
   out.reserve(connectors_.size());
-  for (auto& [n, c] : connectors_) out.push_back(c.get());
+  for (auto& e : connectors_) out.push_back(e.value.get());
   return out;
 }
 
 std::vector<const Connector*> System::connectors() const {
   std::vector<const Connector*> out;
   out.reserve(connectors_.size());
-  for (const auto& [n, c] : connectors_) out.push_back(c.get());
+  for (const auto& e : connectors_) out.push_back(e.value.get());
   return out;
 }
 
 bool System::connected(const std::string& a, const std::string& b) const {
-  for (const auto& [name, conn] : connectors_) {
+  for (const auto& e : connectors_) {
+    const std::string& name = e.value->name();
     bool touches_a = false;
     bool touches_b = false;
     for (const Attachment& att : attachments_) {
@@ -248,23 +265,25 @@ std::vector<std::string> System::structural_violations() const {
   std::vector<std::string> out;
   std::set<std::pair<std::string, std::string>> seen_roles;
   for (const Attachment& a : attachments_) {
-    auto cit = components_.find(a.component);
-    if (cit == components_.end()) {
+    const std::unique_ptr<Component>* comp =
+        components_.find(util::Symbol::intern(a.component));
+    if (!comp) {
       out.push_back("attachment references missing component '" + a.component +
                     "'");
       continue;
     }
-    if (!cit->second->has_port(a.port)) {
+    if (!(*comp)->has_port(a.port)) {
       out.push_back("attachment references missing port '" + a.component +
                     "." + a.port + "'");
     }
-    auto kit = connectors_.find(a.connector);
-    if (kit == connectors_.end()) {
+    const std::unique_ptr<Connector>* conn =
+        connectors_.find(util::Symbol::intern(a.connector));
+    if (!conn) {
       out.push_back("attachment references missing connector '" + a.connector +
                     "'");
       continue;
     }
-    if (!kit->second->has_role(a.role)) {
+    if (!(*conn)->has_role(a.role)) {
       out.push_back("attachment references missing role '" + a.connector +
                     "." + a.role + "'");
     }
@@ -275,10 +294,11 @@ std::vector<std::string> System::structural_violations() const {
     }
   }
   // Recurse into representations.
-  for (const auto& [n, c] : components_) {
-    if (!c->has_representation()) continue;
-    for (const std::string& v : c->representation_const().structural_violations()) {
-      out.push_back(n + ": " + v);
+  for (const auto& e : components_) {
+    if (!e.value->has_representation()) continue;
+    for (const std::string& v :
+         e.value->representation_const().structural_violations()) {
+      out.push_back(e.value->name() + ": " + v);
     }
   }
   return out;
@@ -286,8 +306,12 @@ std::vector<std::string> System::structural_violations() const {
 
 std::unique_ptr<System> System::clone() const {
   auto copy = std::make_unique<System>(name_);
-  for (const auto& [n, c] : components_) copy->components_[n] = c->clone();
-  for (const auto& [n, c] : connectors_) copy->connectors_[n] = c->clone();
+  for (const auto& e : components_) {
+    copy->components_.insert_or_assign(e.key, e.value->clone());
+  }
+  for (const auto& e : connectors_) {
+    copy->connectors_.insert_or_assign(e.key, e.value->clone());
+  }
   copy->attachments_ = attachments_;
   return copy;
 }

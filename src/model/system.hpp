@@ -1,15 +1,22 @@
 // The architectural model: a graph of components and connectors joined by
 // attachments (port <-> role). Systems nest: a component's representation
 // is itself a System.
+//
+// Components and connectors are keyed by interned util::Symbols (see
+// util/symbol.hpp); lookups on the adaptation loop's hot paths are integer
+// hashes. Iteration order is name-sorted, matching the std::map the
+// containers replaced, so every run stays deterministic.
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "model/element.hpp"
+#include "model/revision.hpp"
+#include "util/symbol.hpp"
 
 namespace arcadia::model {
 
@@ -50,16 +57,34 @@ class System {
   std::unique_ptr<Connector> release_connector(const std::string& name);
 
   // ---- lookup ----
-  bool has_component(const std::string& name) const {
-    return components_.count(name) > 0;
+  bool has_component(util::Symbol name) const {
+    return components_.contains(name);
   }
-  bool has_connector(const std::string& name) const {
-    return connectors_.count(name) > 0;
+  bool has_component(std::string_view name) const {
+    return has_component(util::Symbol::intern(name));
   }
-  Component& component(const std::string& name);
-  const Component& component(const std::string& name) const;
-  Connector& connector(const std::string& name);
-  const Connector& connector(const std::string& name) const;
+  bool has_connector(util::Symbol name) const {
+    return connectors_.contains(name);
+  }
+  bool has_connector(std::string_view name) const {
+    return has_connector(util::Symbol::intern(name));
+  }
+  Component& component(util::Symbol name);
+  const Component& component(util::Symbol name) const;
+  Component& component(std::string_view name) {
+    return component(util::Symbol::intern(name));
+  }
+  const Component& component(std::string_view name) const {
+    return component(util::Symbol::intern(name));
+  }
+  Connector& connector(util::Symbol name);
+  const Connector& connector(util::Symbol name) const;
+  Connector& connector(std::string_view name) {
+    return connector(util::Symbol::intern(name));
+  }
+  const Connector& connector(std::string_view name) const {
+    return connector(util::Symbol::intern(name));
+  }
   std::vector<Component*> components();
   std::vector<const Component*> components() const;
   std::vector<Connector*> connectors();
@@ -93,8 +118,8 @@ class System {
 
  private:
   std::string name_;
-  std::map<std::string, std::unique_ptr<Component>> components_;
-  std::map<std::string, std::unique_ptr<Connector>> connectors_;
+  util::SymbolMap<std::unique_ptr<Component>> components_;
+  util::SymbolMap<std::unique_ptr<Connector>> connectors_;
   std::vector<Attachment> attachments_;
 };
 

@@ -95,6 +95,7 @@ std::unique_ptr<Gauge> make_latency_gauge(sim::Simulator& sim,
   GaugeSpec spec;
   spec.id = "latency:" + client;
   spec.element = client;
+  spec.element_sym = util::Symbol::intern(client);
   spec.property = "averageLatency";
   spec.host_node = host;
   auto filter = events::Filter::topic(topics::kProbeLatency)
@@ -110,6 +111,7 @@ std::unique_ptr<Gauge> make_load_gauge(sim::Simulator& sim,
   GaugeSpec spec;
   spec.id = "load:" + group;
   spec.element = group;
+  spec.element_sym = util::Symbol::intern(group);
   spec.property = "load";
   spec.host_node = host;
   auto filter = events::Filter::topic(topics::kProbeQueue)
@@ -126,6 +128,7 @@ std::unique_ptr<Gauge> make_bandwidth_gauge(sim::Simulator& sim,
   GaugeSpec spec;
   spec.id = "bandwidth:" + client;
   spec.element = role_element;
+  spec.element_sym = util::Symbol::intern(role_element);
   spec.property = "bandwidth";
   spec.host_node = host;
   auto filter = events::Filter::topic(topics::kProbeBandwidth)
@@ -141,6 +144,7 @@ std::unique_ptr<Gauge> make_utilization_gauge(sim::Simulator& sim,
   GaugeSpec spec;
   spec.id = "utilization:" + group;
   spec.element = group;
+  spec.element_sym = util::Symbol::intern(group);
   spec.property = "utilization";
   spec.host_node = host;
   auto filter = events::Filter::topic(topics::kProbeUtilization)

@@ -13,6 +13,7 @@
 #include "events/bus.hpp"
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
+#include "util/symbol.hpp"
 
 namespace arcadia::monitor {
 
@@ -22,6 +23,16 @@ struct GaugeSpec {
   std::string element;   ///< model element name the property lives on
   std::string property;  ///< property name ("averageLatency", "load", ...)
   sim::NodeId host_node = sim::kNoNode;  ///< machine the gauge runs on
+
+  /// Interned `element`, used for grouping/redeploy lookups; interns on
+  /// first use when a hand-built spec left it empty.
+  util::Symbol element_symbol() const {
+    if (element_sym.empty() && !element.empty()) {
+      element_sym = util::Symbol::intern(element);
+    }
+    return element_sym;
+  }
+  mutable util::Symbol element_sym;
 };
 
 /// Base class. Subclasses define which probe notifications feed the gauge

@@ -98,9 +98,10 @@ void GaugeManager::publish_lifecycle(const std::string& id,
 
 std::vector<std::string> GaugeManager::gauges_for(
     const std::string& element) const {
+  const util::Symbol key = util::Symbol::intern(element);
   std::vector<std::string> out;
   for (const auto& [id, m] : gauges_) {
-    if (m.gauge->spec().element == element) out.push_back(id);
+    if (m.gauge->spec().element_symbol() == key) out.push_back(id);
   }
   return out;
 }

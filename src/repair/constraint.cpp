@@ -3,6 +3,7 @@
 #include <set>
 
 #include "acme/expr_parser.hpp"
+#include "model/revision.hpp"
 
 namespace arcadia::repair {
 
@@ -58,12 +59,34 @@ std::vector<std::string> free_names(const acme::Expr& expr) {
   return {set.begin(), set.end()};
 }
 
+bool expression_is_local(const acme::Expr& expr) {
+  using namespace acme;
+  if (dynamic_cast<const LiteralExpr*>(&expr)) return true;
+  if (dynamic_cast<const NameExpr*>(&expr)) {
+    // Bare names resolve to globals or the context element's properties;
+    // even `self` alone carries no other element's state — reading through
+    // it requires the member/call/comprehension nodes rejected below.
+    return true;
+  }
+  if (const auto* unary = dynamic_cast<const UnaryExpr*>(&expr)) {
+    return expression_is_local(*unary->operand);
+  }
+  if (const auto* binary = dynamic_cast<const BinaryExpr*>(&expr)) {
+    return expression_is_local(*binary->lhs) &&
+           expression_is_local(*binary->rhs);
+  }
+  // MemberExpr, CallExpr, SelectExpr, QuantExpr can all reach elements
+  // other than the one the constraint is attached to.
+  return false;
+}
+
 ConstraintChecker::ConstraintChecker(const model::System& system)
     : system_(system) {}
 
 void ConstraintChecker::bind_global(const std::string& name,
                                     acme::EvalValue value) {
-  globals_[name] = std::move(value);
+  globals_.insert_or_assign(util::Symbol::intern(name), std::move(value));
+  ++globals_stamp_;
 }
 
 void ConstraintChecker::add_constraint(const std::string& id,
@@ -76,6 +99,8 @@ void ConstraintChecker::add_constraint(const std::string& id,
   c.condition = std::shared_ptr<acme::Expr>(acme::parse_expression(armani_source));
   c.handler = handler;
   c.source = armani_source;
+  c.id_sym = util::Symbol::intern(c.id);
+  c.element_sym = util::Symbol::intern(c.element);
   constraints_.push_back(std::move(c));
 }
 
@@ -85,7 +110,7 @@ std::size_t ConstraintChecker::instantiate(const acme::Script& script) {
     // Which properties must an element carry for this invariant to apply?
     std::vector<std::string> needed;
     for (const std::string& name : free_names(*inv.condition)) {
-      if (!globals_.count(name)) needed.push_back(name);
+      if (!globals_.contains(util::Symbol::intern(name))) needed.push_back(name);
     }
     for (const model::Component* comp : system_.components()) {
       bool applies = !needed.empty();
@@ -102,6 +127,8 @@ std::size_t ConstraintChecker::instantiate(const acme::Script& script) {
       c.condition = inv.condition;  // shared across instances
       c.handler = inv.handler;
       c.source = "<script invariant line " + std::to_string(inv.line) + ">";
+      c.id_sym = util::Symbol::intern(c.id);
+      c.element_sym = comp->name_symbol();
       constraints_.push_back(std::move(c));
       ++created;
     }
@@ -112,10 +139,10 @@ std::size_t ConstraintChecker::instantiate(const acme::Script& script) {
 bool ConstraintChecker::eval_constraint(const Constraint& c,
                                         double* observed) const {
   acme::EvalContext ctx(system_);
-  for (const auto& [name, value] : globals_) ctx.bind(name, value);
-  if (!c.element.empty() && system_.has_component(c.element)) {
+  for (const auto& e : globals_) ctx.bind(e.key, e.value);
+  if (!c.element_sym.empty() && system_.has_component(c.element_sym)) {
     ctx.set_context_element(acme::ElementRef::of_component(
-        system_, system_.component(c.element)));
+        system_, system_.component(c.element_sym)));
   }
   bool ok = evaluator_.evaluate_bool(*c.condition, ctx);
   if (observed) {
@@ -138,15 +165,63 @@ bool ConstraintChecker::eval_constraint(const Constraint& c,
   return ok;
 }
 
+void ConstraintChecker::ensure_memos() const {
+  while (memos_.size() < constraints_.size()) {
+    const Constraint& c = constraints_[memos_.size()];
+    Memo memo;
+    memo.local = expression_is_local(*c.condition);
+    memos_.push_back(memo);
+  }
+}
+
 std::vector<Violation> ConstraintChecker::check() const {
+  ensure_memos();
+  ++check_stats_.sweeps;
+
+  const std::uint64_t structure_now = model::structure_clock();
+  const std::uint64_t property_now = model::property_clock();
+  const bool full = structure_now != structure_seen_ ||
+                    globals_stamp_ != globals_seen_;
+  if (full) ++check_stats_.full_sweeps;
+
   std::vector<Violation> out;
-  for (const Constraint& c : constraints_) {
-    if (!c.element.empty() && !system_.has_component(c.element)) continue;
-    double observed = 0.0;
-    if (!eval_constraint(c, &observed)) {
-      out.push_back(Violation{&c, c.element, observed});
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    const Constraint& c = constraints_[i];
+    Memo& memo = memos_[i];
+    if (!c.element_sym.empty() && !system_.has_component(c.element_sym)) {
+      memo.valid = false;
+      continue;
+    }
+    const model::Component* element =
+        c.element_sym.empty() ? nullptr : &system_.component(c.element_sym);
+
+    bool reuse = memo.valid && !full;
+    if (reuse) {
+      if (memo.local && element) {
+        reuse = element->property_stamp() <= memo.element_stamp;
+      } else {
+        // Non-local (or element-less): any property write in the process
+        // could have changed the verdict.
+        reuse = property_now == property_seen_;
+      }
+    }
+
+    if (reuse) {
+      ++check_stats_.cache_hits;
+    } else {
+      memo.satisfied = eval_constraint(c, &memo.observed);
+      memo.element_stamp = element ? element->property_stamp() : 0;
+      memo.valid = true;
+      ++check_stats_.evaluations;
+    }
+    if (!memo.satisfied) {
+      out.push_back(Violation{&c, c.element, memo.observed});
     }
   }
+
+  structure_seen_ = structure_now;
+  property_seen_ = property_now;
+  globals_seen_ = globals_stamp_;
   return out;
 }
 

@@ -2,9 +2,22 @@
 // threshold properties ("average latency < maxLatency"); the checker
 // evaluates each constraint against the live model and emits violations
 // that trigger repair strategies (Section 3.2).
+//
+// Evaluation is incremental: the checker caches each constraint's last
+// verdict and re-evaluates only when something it could have read changed,
+// using the model's revision clocks (model/revision.hpp):
+//   - "local" constraints (conditions built purely from literals, globals,
+//     and the attached element's own properties — the paper's threshold
+//     form) re-evaluate when that element's property stamp moves;
+//   - "non-local" constraints (calls, member chains, quantifiers — anything
+//     that can reach other elements) re-evaluate when any property in the
+//     process changed;
+//   - any structural edit or global rebinding falls back to a full sweep.
+// A cached verdict is returned verbatim, so check() output is bit-for-bit
+// what a full sweep would produce, in the same deterministic order.
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,6 +25,7 @@
 #include "acme/ast.hpp"
 #include "acme/evaluator.hpp"
 #include "model/system.hpp"
+#include "util/symbol.hpp"
 
 namespace arcadia::repair {
 
@@ -21,6 +35,8 @@ struct Constraint {
   std::shared_ptr<acme::Expr> condition;  ///< must evaluate to true
   std::string handler;  ///< strategy invoked on violation (may be empty)
   std::string source;   ///< original Armani text (for reports)
+  util::Symbol id_sym;       ///< interned `id` (set by the checker)
+  util::Symbol element_sym;  ///< interned `element` (set by the checker)
 };
 
 struct Violation {
@@ -37,6 +53,7 @@ class ConstraintChecker {
 
   /// Global bindings visible in constraint expressions (task-layer
   /// thresholds such as maxServerLoad / minBandwidth / minUtilization).
+  /// Invalidates every cached verdict.
   void bind_global(const std::string& name, acme::EvalValue value);
 
   /// Attach a parsed constraint to a specific element.
@@ -49,26 +66,63 @@ class ConstraintChecker {
   /// not global bindings). Returns the number of constraints created.
   std::size_t instantiate(const acme::Script& script);
 
-  /// Evaluate everything; returns current violations in a deterministic
-  /// order (constraint id).
+  /// Evaluate everything that may have changed; returns current violations
+  /// in a deterministic order (constraint insertion order, as always).
   std::vector<Violation> check() const;
 
-  /// Evaluate one constraint (by id); true = satisfied.
+  /// Evaluate one constraint (by id), bypassing the cache; true = satisfied.
   bool satisfied(const std::string& id) const;
 
   const std::vector<Constraint>& constraints() const { return constraints_; }
 
+  /// Incremental-evaluation accounting (benches / tests).
+  struct CheckStats {
+    std::uint64_t sweeps = 0;       ///< check() calls
+    std::uint64_t evaluations = 0;  ///< constraints actually re-evaluated
+    std::uint64_t cache_hits = 0;   ///< constraints answered from cache
+    std::uint64_t full_sweeps = 0;  ///< sweeps forced by structure/globals
+  };
+  const CheckStats& check_stats() const { return check_stats_; }
+
  private:
+  /// Per-constraint memo of the last evaluation.
+  struct Memo {
+    bool valid = false;
+    bool satisfied = false;
+    double observed = 0.0;
+    /// Condition reads only literals, globals, and context-element
+    /// properties (computed once per constraint).
+    bool local = false;
+    /// Property clock of the attached element when last evaluated.
+    std::uint64_t element_stamp = 0;
+  };
+
   bool eval_constraint(const Constraint& c, double* observed) const;
+  void ensure_memos() const;
 
   const model::System& system_;
   acme::Evaluator evaluator_;
-  std::map<std::string, acme::EvalValue> globals_;
+  util::SymbolMap<acme::EvalValue> globals_;
   std::vector<Constraint> constraints_;
+
+  mutable std::vector<Memo> memos_;
+  /// Structure clock at the end of the previous sweep.
+  mutable std::uint64_t structure_seen_ = 0;
+  /// Property clock at the end of the previous sweep (non-local reuse).
+  mutable std::uint64_t property_seen_ = 0;
+  /// Bumped by bind_global; forces the next sweep to re-evaluate all.
+  std::uint64_t globals_stamp_ = 1;
+  mutable std::uint64_t globals_seen_ = 0;
+  mutable CheckStats check_stats_;
 };
 
 /// Free unqualified names mentioned in an expression (helper exposed for
 /// tests; used to decide which elements an invariant applies to).
 std::vector<std::string> free_names(const acme::Expr& expr);
+
+/// True when `expr` can only read literals, bound names, and unqualified
+/// context-element properties — no calls, member chains, or comprehensions
+/// that could reach other elements (exposed for tests).
+bool expression_is_local(const acme::Expr& expr);
 
 }  // namespace arcadia::repair

@@ -59,14 +59,14 @@ std::vector<std::string> RepairEngine::strategy_names() const {
   return out;
 }
 
-bool RepairEngine::suppressed(const std::string& element) const {
-  auto it = settle_until_.find(element);
-  return it != settle_until_.end() && sim_.now() < it->second;
+bool RepairEngine::suppressed(util::Symbol element) const {
+  const SimTime* until = settle_until_.find(element);
+  return until && sim_.now() < *until;
 }
 
-bool RepairEngine::constraint_cooling(const std::string& constraint_id) const {
-  auto it = cooldown_until_.find(constraint_id);
-  return it != cooldown_until_.end() && sim_.now() < it->second;
+bool RepairEngine::constraint_cooling(util::Symbol constraint_id) const {
+  const SimTime* until = cooldown_until_.find(constraint_id);
+  return until && sim_.now() < *until;
 }
 
 bool RepairEngine::handle_violations(const std::vector<Violation>& violations) {
@@ -75,8 +75,10 @@ bool RepairEngine::handle_violations(const std::vector<Violation>& violations) {
   for (const Violation& v : violations) {
     if (v.constraint->handler.empty()) continue;
     if (config_.damping) {
-      if (suppressed(v.element)) continue;
-      if (constraint_cooling(v.constraint->id)) continue;
+      // The constraint carries pre-interned symbols: no string hashing on
+      // the per-check damping filter.
+      if (suppressed(v.constraint->element_sym)) continue;
+      if (constraint_cooling(v.constraint->id_sym)) continue;
     }
     candidates.push_back(&v);
   }
@@ -163,8 +165,8 @@ void RepairEngine::execute(const Violation& violation) {
   record.finished = true;
   ++stats_.aborted;
   if (config_.damping) {
-    cooldown_until_[record.constraint_id] =
-        sim_.now() + config_.abort_cooldown;
+    cooldown_until_.insert_or_assign(util::Symbol::intern(record.constraint_id),
+                                     sim_.now() + config_.abort_cooldown);
   }
   ARC_INFO << "  -> aborted: " << record.abort_reason;
   records_.push_back(std::move(record));
@@ -212,8 +214,9 @@ void RepairEngine::apply_committed(std::size_t idx,
       busy_ = false;
       ++stats_.aborted;
       if (config_.damping) {
-        cooldown_until_[record.constraint_id] =
-            sim_.now() + config_.abort_cooldown;
+        cooldown_until_.insert_or_assign(
+            util::Symbol::intern(record.constraint_id),
+            sim_.now() + config_.abort_cooldown);
       }
       ARC_ERROR << "repair #" << record.id
                 << " failed at the runtime layer: " << e.what()
@@ -257,9 +260,11 @@ void RepairEngine::finish(std::size_t idx,
   stats_.repair_seconds_total += record.duration().as_seconds();
   if (config_.damping) {
     for (const std::string& element : affected) {
-      settle_until_[element] = sim_.now() + config_.settle_time;
+      settle_until_.insert_or_assign(util::Symbol::intern(element),
+                                     sim_.now() + config_.settle_time);
     }
-    settle_until_[record.element] = sim_.now() + config_.settle_time;
+    settle_until_.insert_or_assign(util::Symbol::intern(record.element),
+                                   sim_.now() + config_.settle_time);
   }
   ARC_INFO << "[" << sim_.now().as_seconds() << "s] repair #" << record.id
            << " done in " << record.duration().as_seconds() << "s (ops "

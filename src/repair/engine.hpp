@@ -33,6 +33,7 @@
 #include "repair/runtime_queries.hpp"
 #include "repair/strategy.hpp"
 #include "sim/simulator.hpp"
+#include "util/symbol.hpp"
 
 namespace arcadia::repair {
 
@@ -127,8 +128,14 @@ class RepairEngine {
 
   bool busy() const { return busy_; }
   /// Element currently under repair or settling.
-  bool suppressed(const std::string& element) const;
-  bool constraint_cooling(const std::string& constraint_id) const;
+  bool suppressed(util::Symbol element) const;
+  bool suppressed(const std::string& element) const {
+    return suppressed(util::Symbol::intern(element));
+  }
+  bool constraint_cooling(util::Symbol constraint_id) const;
+  bool constraint_cooling(const std::string& constraint_id) const {
+    return constraint_cooling(util::Symbol::intern(constraint_id));
+  }
 
   const std::vector<RepairRecord>& records() const { return records_; }
   const RepairStats& stats() const { return stats_; }
@@ -172,8 +179,8 @@ class RepairEngine {
   std::function<std::size_t(const std::vector<const Violation*>&)> chooser_;
 
   bool busy_ = false;
-  std::map<std::string, SimTime> settle_until_;    // element -> time
-  std::map<std::string, SimTime> cooldown_until_;  // constraint -> time
+  util::SymbolMap<SimTime> settle_until_;    // element -> time
+  util::SymbolMap<SimTime> cooldown_until_;  // constraint -> time
   std::vector<RepairRecord> records_;
   RepairStats stats_;
 };

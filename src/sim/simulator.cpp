@@ -2,21 +2,68 @@
 
 namespace arcadia::sim {
 
-EventHandle Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+void EventHandle::cancel() {
+  auto alive = sim_.lock();
+  if (!alive) return;
+  Simulator* sim = *alive;
+  if (!sim->slot_pending(slot_, gen_)) return;
+  sim->release_slot(slot_);
+  --sim->live_;
+}
+
+bool EventHandle::valid() const {
+  auto alive = sim_.lock();
+  return alive && (*alive)->slot_pending(slot_, gen_);
+}
+
+std::uint32_t Simulator::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t idx = free_slots_.back();
+    free_slots_.pop_back();
+    return idx;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t idx) {
+  Slot& slot = slots_[idx];
+  slot.fn = {};
+  slot.armed = false;
+  ++slot.gen;  // invalidates outstanding handles and queue tombstones
+  free_slots_.push_back(idx);
+}
+
+EventHandle Simulator::schedule_at(SimTime at, util::SmallFn<void()> fn) {
   if (at < now_) {
     throw SimError("schedule_at(" + std::to_string(at.as_seconds()) +
                    "s) is in the past (now=" + std::to_string(now_.as_seconds()) +
                    "s)");
   }
-  auto cancelled = std::make_shared<bool>(false);
-  EventHandle handle{std::weak_ptr<bool>(cancelled)};
-  queue_.push(Entry{at, next_seq_++, std::move(fn), std::move(cancelled)});
-  return handle;
+  const std::uint32_t idx = acquire_slot();
+  Slot& slot = slots_[idx];
+  slot.fn = std::move(fn);
+  slot.armed = true;
+  queue_.push(Entry{at, next_seq_++, idx, slot.gen});
+  ++live_;
+  return EventHandle{std::weak_ptr<Simulator*>(self_), idx, slot.gen};
+}
+
+void Simulator::drop_stale_top() const {
+  while (!queue_.empty() &&
+         !slot_pending(queue_.top().slot, queue_.top().gen)) {
+    queue_.pop();
+  }
 }
 
 std::uint64_t Simulator::run_until(SimTime horizon) {
   std::uint64_t ran = 0;
-  while (!queue_.empty() && queue_.top().time <= horizon) {
+  for (;;) {
+    // Purge cancelled tombstones first: the horizon gate must see the next
+    // LIVE event's time, or a stale entry before the horizon would let
+    // step() execute a live event beyond it.
+    drop_stale_top();
+    if (queue_.empty() || queue_.top().time > horizon) break;
     if (step()) ++ran;
   }
   if (now_ < horizon) now_ = horizon;
@@ -25,20 +72,25 @@ std::uint64_t Simulator::run_until(SimTime horizon) {
 
 bool Simulator::step() {
   while (!queue_.empty()) {
-    Entry entry = queue_.top();
+    const Entry entry = queue_.top();
     queue_.pop();
-    if (*entry.cancelled) continue;
+    if (!slot_pending(entry.slot, entry.gen)) continue;  // cancelled tombstone
+    // Take the callback and recycle the slot before running: the callback
+    // may schedule new events (reusing this slot under a new generation),
+    // and its own handle must already read as fired.
+    util::SmallFn<void()> fn = std::move(slots_[entry.slot].fn);
+    release_slot(entry.slot);
+    --live_;
     now_ = entry.time;
     ++executed_;
-    entry.fn();
+    fn();
     return true;
   }
   return false;
 }
 
 SimTime Simulator::next_event_time() const {
-  // The top may be a cancelled tombstone; that only makes this an upper
-  // bound in rare cases, which run_until tolerates.
+  drop_stale_top();
   return queue_.empty() ? SimTime::infinity() : queue_.top().time;
 }
 

@@ -1,6 +1,13 @@
 // Discrete-event simulation kernel. Deterministic: events at equal times run
 // in scheduling order (FIFO tie-break by sequence number), so a run is a pure
 // function of the initial schedule and the RNG seeds.
+//
+// The queue is allocation-free on the steady state: callbacks live in a
+// pooled slot array inside small-buffer storage (util::SmallFn, >= 48 bytes
+// inline), and cancellation is a slot + generation check instead of the
+// shared_ptr<bool> token per event this design replaced. Heap traffic only
+// happens when the pool or queue grows, or a capture exceeds the inline
+// buffer.
 #pragma once
 
 #include <cstdint>
@@ -10,41 +17,53 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/small_fn.hpp"
 #include "util/units.hpp"
 
 namespace arcadia::sim {
 
+class Simulator;
+
 /// Cancellation token for a scheduled event. Copyable; cheap. Cancelling an
-/// already-fired or already-cancelled event is a no-op.
+/// already-fired or already-cancelled event is a no-op, and a handle that
+/// outlives its Simulator degrades to a safe no-op (the weak liveness token
+/// expires with the simulator). valid() is true only while the event is
+/// still pending: a cancelled or fired event's handle reports invalid.
 class EventHandle {
  public:
   EventHandle() = default;
-  void cancel() {
-    if (auto s = state_.lock()) *s = true;
-  }
-  bool valid() const { return !state_.expired(); }
+  void cancel();
+  bool valid() const;
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::weak_ptr<bool> state) : state_(std::move(state)) {}
-  std::weak_ptr<bool> state_;
+  EventHandle(std::weak_ptr<Simulator*> sim, std::uint32_t slot,
+              std::uint32_t gen)
+      : sim_(std::move(sim)), slot_(slot), gen_(gen) {}
+  std::weak_ptr<Simulator*> sim_;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 /// The event queue and clock.
 class Simulator {
  public:
   Simulator() = default;
+  // Pinned identity: self_ captures `this` for handle liveness checks, so
+  // the simulator can neither be copied nor moved.
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+  Simulator(Simulator&&) = delete;
+  Simulator& operator=(Simulator&&) = delete;
 
   SimTime now() const { return now_; }
 
   /// Schedule `fn` at absolute time `at` (>= now). Returns a handle usable
   /// to cancel the event before it fires.
-  EventHandle schedule_at(SimTime at, std::function<void()> fn);
+  EventHandle schedule_at(SimTime at, util::SmallFn<void()> fn);
 
   /// Schedule `fn` after a delay from now.
-  EventHandle schedule_in(SimTime delay, std::function<void()> fn) {
+  EventHandle schedule_in(SimTime delay, util::SmallFn<void()> fn) {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
@@ -56,19 +75,32 @@ class Simulator {
   /// Execute the single next event. Returns false if the queue is empty.
   bool step();
 
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  bool empty() const { return live_ == 0; }
+  /// Number of pending (scheduled, not yet fired or cancelled) events.
+  std::size_t pending() const { return live_; }
   std::uint64_t executed() const { return executed_; }
 
   /// Time of the next pending event, or SimTime::infinity().
   SimTime next_event_time() const;
 
  private:
+  friend class EventHandle;
+
+  /// Pooled callback storage. A slot is re-armed under a new generation
+  /// every time it is reused, so stale queue entries and stale handles are
+  /// recognised by a generation mismatch.
+  struct Slot {
+    util::SmallFn<void()> fn;
+    std::uint32_t gen = 1;
+    bool armed = false;
+  };
+  /// Queue entries are 24-byte PODs; the priority_queue never touches the
+  /// callable itself.
   struct Entry {
     SimTime time;
     std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -77,10 +109,26 @@ class Simulator {
     }
   };
 
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx);
+  bool slot_pending(std::uint32_t idx, std::uint32_t gen) const {
+    return idx < slots_.size() && slots_[idx].gen == gen && slots_[idx].armed;
+  }
+  /// Pop cancelled tombstones off the queue head so the top entry, if any,
+  /// is a live event.
+  void drop_stale_top() const;
+
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::size_t live_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  /// mutable: lazy tombstone purging from const observers.
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  /// Liveness token handed (weakly) to every EventHandle; dies with the
+  /// simulator, so stale handles expire instead of dangling.
+  std::shared_ptr<Simulator*> self_ = std::make_shared<Simulator*>(this);
 };
 
 /// Repeats a callback at a fixed period starting at `start`, until cancelled

@@ -1,0 +1,128 @@
+// A move-only type-erased callable with small-buffer optimisation. The
+// simulator schedules hundreds of thousands of events per run; storing each
+// callback in a std::function costs a heap allocation for anything beyond a
+// pointer or two of captures. SmallFn keeps callables up to kInlineSize
+// bytes (>= 48: this covers every scheduling lambda in the codebase — a
+// couple of pointers, a SimTime, a shared_ptr) inline in the event slot,
+// falling back to the heap only for oversized captures.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace arcadia::util {
+
+template <typename Signature>
+class SmallFn;
+
+template <typename R, typename... Args>
+class SmallFn<R(Args...)> {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFn(F&& f) {  // NOLINT: implicit, mirrors std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* obj, Args&&... args) -> R {
+        return (*static_cast<Fn*>(obj))(std::forward<Args>(args)...);
+      };
+      manage_ = [](void* dst, void* src) {
+        if (dst) {
+          ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        }
+        static_cast<Fn*>(src)->~Fn();
+      };
+      inline_ = true;
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+      invoke_ = [](void* obj, Args&&... args) -> R {
+        return (*static_cast<Fn*>(obj))(std::forward<Args>(args)...);
+      };
+      manage_ = [](void* dst, void* src) {
+        if (!dst) delete static_cast<Fn*>(src);
+      };
+      inline_ = false;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  /// Throws std::bad_function_call when empty, matching the std::function
+  /// this type replaced (fail-fast instead of a call through null).
+  R operator()(Args... args) {
+    if (!invoke_) throw std::bad_function_call();
+    return invoke_(target(), std::forward<Args>(args)...);
+  }
+
+  /// True when the callable lives in the inline buffer (bench/diagnostics).
+  bool is_inline() const { return invoke_ != nullptr && inline_; }
+
+ private:
+  void* target() { return inline_ ? static_cast<void*>(buf_) : heap_; }
+
+  void reset() {
+    if (!invoke_) return;
+    if (inline_) {
+      manage_(nullptr, buf_);
+    } else {
+      manage_(nullptr, heap_);
+    }
+    invoke_ = nullptr;
+    manage_ = nullptr;
+    heap_ = nullptr;
+  }
+
+  void move_from(SmallFn& other) {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    inline_ = other.inline_;
+    if (invoke_) {
+      if (inline_) {
+        other.manage_(buf_, other.buf_);  // move-construct + destroy source
+      } else {
+        heap_ = other.heap_;
+      }
+    }
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+    other.heap_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  void* heap_ = nullptr;
+  R (*invoke_)(void*, Args&&...) = nullptr;
+  /// dst != null: move-construct *dst from *src and destroy *src (inline
+  /// storage); dst == null: destroy/delete *src.
+  void (*manage_)(void* dst, void* src) = nullptr;
+  bool inline_ = false;
+};
+
+}  // namespace arcadia::util

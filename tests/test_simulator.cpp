@@ -54,6 +54,102 @@ TEST(SimulatorTest, CancelAfterFireIsNoop) {
   h.cancel();  // must not crash
 }
 
+TEST(EventHandleTest, ValidWhilePendingInvalidAfterCancel) {
+  Simulator sim;
+  EventHandle h = sim.schedule_at(SimTime::seconds(1), [] {});
+  EXPECT_TRUE(h.valid());
+  h.cancel();
+  EXPECT_FALSE(h.valid());
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(EventHandleTest, InvalidAfterFire) {
+  Simulator sim;
+  EventHandle h = sim.schedule_at(SimTime::seconds(1), [] {});
+  sim.run_until(SimTime::seconds(2));
+  EXPECT_FALSE(h.valid());
+}
+
+TEST(EventHandleTest, DoubleCancelIsNoop) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_at(SimTime::seconds(1), [&] { fired = true; });
+  h.cancel();
+  h.cancel();  // second cancel must not disturb the pool
+  EXPECT_FALSE(h.valid());
+  sim.run_until(SimTime::seconds(2));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+TEST(EventHandleTest, CancelAfterFireDoesNotKillSlotReuse) {
+  Simulator sim;
+  bool first = false;
+  bool second = false;
+  EventHandle h = sim.schedule_at(SimTime::seconds(1), [&] { first = true; });
+  sim.run_until(SimTime::seconds(2));
+  EXPECT_TRUE(first);
+  // The next event reuses the recycled slot; the stale handle must not be
+  // able to cancel it.
+  EventHandle h2 = sim.schedule_at(SimTime::seconds(3), [&] { second = true; });
+  h.cancel();
+  EXPECT_TRUE(h2.valid());
+  sim.run_until(SimTime::seconds(4));
+  EXPECT_TRUE(second);
+}
+
+TEST(EventHandleTest, DefaultHandleIsInvalidAndCancelSafe) {
+  EventHandle h;
+  EXPECT_FALSE(h.valid());
+  h.cancel();  // must not crash
+}
+
+TEST(SimulatorTest, CancelledTombstoneDoesNotBreachHorizon) {
+  // A cancelled event before the horizon must not let run_until execute a
+  // live event scheduled after it.
+  Simulator sim;
+  bool late_fired = false;
+  EventHandle early = sim.schedule_at(SimTime::seconds(5), [] {});
+  sim.schedule_at(SimTime::seconds(20), [&] { late_fired = true; });
+  early.cancel();
+  sim.run_until(SimTime::seconds(10));
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(sim.now(), SimTime::seconds(10));
+  sim.run_until(SimTime::seconds(30));
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(SimulatorTest, NextEventTimeSkipsCancelledTombstones) {
+  Simulator sim;
+  EventHandle early = sim.schedule_at(SimTime::seconds(1), [] {});
+  sim.schedule_at(SimTime::seconds(4), [] {});
+  early.cancel();
+  EXPECT_EQ(sim.next_event_time(), SimTime::seconds(4));
+}
+
+TEST(EventHandleTest, OutlivingTheSimulatorIsSafe) {
+  EventHandle h;
+  {
+    Simulator sim;
+    h = sim.schedule_at(SimTime::seconds(1), [] {});
+    EXPECT_TRUE(h.valid());
+  }
+  EXPECT_FALSE(h.valid());
+  h.cancel();  // must be a no-op, not a use-after-free
+}
+
+TEST(SimulatorTest, PendingCountsLiveEventsOnly) {
+  Simulator sim;
+  EventHandle a = sim.schedule_at(SimTime::seconds(1), [] {});
+  sim.schedule_at(SimTime::seconds(2), [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  a.cancel();
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(SimTime::seconds(3));
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_TRUE(sim.empty());
+}
+
 TEST(SimulatorTest, RunUntilStopsAtHorizon) {
   Simulator sim;
   int fired = 0;
