@@ -1,5 +1,9 @@
 #include "core/arch_manager.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
 #include "monitor/topics.hpp"
 #include "util/log.hpp"
 
@@ -20,13 +24,26 @@ ArchitectureManager::ArchitectureManager(sim::Simulator& sim,
 ArchitectureManager::~ArchitectureManager() { stop(); }
 
 void ArchitectureManager::start() {
+  if (config_.passive) return;  // fleet mode: the FleetManager drives us
   sub_ = gauge_bus_.subscribe(
       events::Filter::topic(monitor::topics::kGaugeReport),
       [this](const events::Notification& n) {
-        if (apply_gauge_report(n)) {
-          ++stats_.reports_applied;
-        } else {
+        util::Symbol element, role, property;
+        if (!parse_gauge_report(n, element, role, property)) {
           ++stats_.reports_ignored;
+          return;
+        }
+        switch (apply_gauge_value(element, role, property,
+                                  n.get(monitor::topics::kAttrValue))) {
+          case GaugeApply::Applied:
+            ++stats_.reports_applied;
+            break;
+          case GaugeApply::Unchanged:
+            ++stats_.reports_unchanged;
+            break;
+          case GaugeApply::NoTarget:
+            ++stats_.reports_ignored;
+            break;
         }
       },
       config_.manager_node);
@@ -45,45 +62,107 @@ void ArchitectureManager::stop() {
   check_task_.reset();
 }
 
-bool ArchitectureManager::apply_gauge_report(const events::Notification& n) {
+bool ArchitectureManager::parse_gauge_report(const events::Notification& n,
+                                             util::Symbol& element,
+                                             util::Symbol& role,
+                                             util::Symbol& property) {
   if (!n.has(monitor::topics::kAttrElement) ||
       !n.has(monitor::topics::kAttrProperty) ||
       !n.has(monitor::topics::kAttrValue)) {
     return false;
   }
-  const std::string& element = n.get(monitor::topics::kAttrElement).as_string();
-  // Intern once per report; the model lookups and the property write below
-  // are integer-keyed from here on.
-  const util::Symbol property =
-      util::Symbol::intern(n.get(monitor::topics::kAttrProperty).as_string());
-  const events::Value& value = n.get(monitor::topics::kAttrValue);
-
-  const auto dot = element.find('.');
+  // Intern once per report; model lookups and the property write are
+  // integer-keyed from here on.
+  const std::string& addr = n.get(monitor::topics::kAttrElement).as_string();
+  if (addr.empty()) return false;
+  const auto dot = addr.find('.');
   if (dot == std::string::npos) {
-    const util::Symbol key = util::Symbol::intern(element);
-    if (!system_.has_component(key)) return false;
-    system_.component(key).set_property(property, value);
-    return true;
+    element = util::Symbol::intern(addr);
+    role = util::Symbol();
+  } else {
+    // "Connector.role" needs both halves; "X." must not degrade to a
+    // component write against X.
+    if (dot == 0 || dot + 1 == addr.size()) return false;
+    element = util::Symbol::intern(std::string_view(addr).substr(0, dot));
+    role = util::Symbol::intern(std::string_view(addr).substr(dot + 1));
   }
-  const util::Symbol connector =
-      util::Symbol::intern(std::string_view(element).substr(0, dot));
-  const util::Symbol role =
-      util::Symbol::intern(std::string_view(element).substr(dot + 1));
-  if (!system_.has_connector(connector)) return false;
-  model::Connector& conn = system_.connector(connector);
-  if (!conn.has_role(role)) return false;
-  conn.role(role).set_property(property, value);
+  property =
+      util::Symbol::intern(n.get(monitor::topics::kAttrProperty).as_string());
+  return true;
+}
+
+bool ArchitectureManager::apply_gauge_report(const events::Notification& n) {
+  util::Symbol element, role, property;
+  if (!parse_gauge_report(n, element, role, property)) return false;
+  return apply_gauge_value(element, role, property,
+                           n.get(monitor::topics::kAttrValue)) !=
+         GaugeApply::NoTarget;
+}
+
+namespace {
+
+/// The monitoring noise floor: a repeated reading within this band carries
+/// no information the constraint layer could act on. Thresholds in the task
+/// layer are O(0.1)+ (utilization 0.2, latency 2 s, load 6), so 1e-5
+/// absolute cannot mask a crossing; the relative term covers large
+/// magnitudes (bandwidths in bps).
+bool within_noise_floor(const model::Element& el, util::Symbol property,
+                        const events::Value& value) {
+  if (!el.has_property(property)) return false;
+  const events::Value& current = el.property(property);
+  if (current == value) return true;
+  if (current.is_numeric() && value.is_numeric()) {
+    const double a = current.as_double();
+    const double b = value.as_double();
+    return std::abs(a - b) <=
+           std::max(1e-5, 1e-9 * std::max(std::abs(a), std::abs(b)));
+  }
+  return false;
+}
+
+}  // namespace
+
+ArchitectureManager::GaugeApply ArchitectureManager::apply_gauge_value(
+    util::Symbol element, util::Symbol role, util::Symbol property,
+    const events::Value& value) {
+  model::Element* target = nullptr;
+  if (role.empty()) {
+    if (!system_.has_component(element)) return GaugeApply::NoTarget;
+    target = &system_.component(element);
+  } else {
+    if (!system_.has_connector(element)) return GaugeApply::NoTarget;
+    model::Connector& conn = system_.connector(element);
+    if (!conn.has_role(role)) return GaugeApply::NoTarget;
+    target = &conn.role(role);
+  }
+  if (within_noise_floor(*target, property, value)) {
+    return GaugeApply::Unchanged;
+  }
+  target->set_property(property, value);
+  return GaugeApply::Applied;
+}
+
+std::vector<repair::Violation> ArchitectureManager::detect() {
+  ++stats_.checks;
+  std::vector<repair::Violation> violations = checker_.check();
+  stats_.violations_seen += violations.size();
+  return violations;
+}
+
+bool ArchitectureManager::dispatch(
+    const std::vector<repair::Violation>& violations) {
+  if (violations.empty()) return false;
+  if (!engine_.handle_violations(violations)) return false;
+  ++stats_.repairs_triggered;
   return true;
 }
 
 void ArchitectureManager::run_check() {
-  ++stats_.checks;
-  std::vector<repair::Violation> violations = checker_.check();
-  stats_.violations_seen += violations.size();
-  if (violations.empty()) return;
-  if (engine_.handle_violations(violations)) {
-    ++stats_.repairs_triggered;
-  }
+  const auto t0 = std::chrono::steady_clock::now();
+  dispatch(detect());
+  stats_.check_wall_s +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
 }
 
 }  // namespace arcadia::core

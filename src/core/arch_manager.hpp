@@ -24,14 +24,22 @@ struct ArchManagerConfig {
   /// The machine the manager runs on (gauge reports are delivered here —
   /// in the paper's testbed, the machine running Server 4).
   sim::NodeId manager_node = sim::kNoNode;
+  /// Fleet mode: start() arms nothing — a core::FleetManager owns the gauge
+  /// subscription (batched) and drives detect()/dispatch() on its own
+  /// schedule. The manager keeps owning the checker, model, and engine.
+  bool passive = false;
 };
 
 struct ArchManagerStats {
   std::uint64_t reports_applied = 0;
+  std::uint64_t reports_unchanged = 0;  ///< dead-band: repeated steady values
   std::uint64_t reports_ignored = 0;
   std::uint64_t checks = 0;
   std::uint64_t violations_seen = 0;
   std::uint64_t repairs_triggered = 0;
+  /// Real (host) wall-clock spent in periodic checks — the control-plane
+  /// cost benches compare against fleet mode. Not simulated time.
+  double check_wall_s = 0.0;
 };
 
 class ArchitectureManager {
@@ -54,8 +62,52 @@ class ArchitectureManager {
   void stop();
 
   /// Apply one gauge report to the model (public for tests). Element may
-  /// be a component name or "Connector.role".
+  /// be a component name or "Connector.role". True unless the report was
+  /// malformed or named a missing element (an Unchanged dead-band hit still
+  /// counts as accepted).
   bool apply_gauge_report(const events::Notification& n);
+
+  /// Parse a gauge report's address into interned symbols — the single
+  /// source of truth for the "Component" / "Connector.role" convention,
+  /// shared with the fleet's batched sink. False when attributes are
+  /// missing.
+  static bool parse_gauge_report(const events::Notification& n,
+                                 util::Symbol& element, util::Symbol& role,
+                                 util::Symbol& property);
+
+  /// Outcome of folding one gauge value into the model.
+  enum class GaugeApply {
+    Applied,    ///< the property was written (value changed)
+    Unchanged,  ///< dead-band: the report repeats the current value, so the
+                ///  model — and every constraint verdict — is untouched; no
+                ///  stamp bump, no re-evaluation, no shard dirtying
+    NoTarget,   ///< the element does not exist in this model
+  };
+
+  /// Pre-parsed fast path (also the fleet's batched sink): `element` is a
+  /// component, or a connector when `role` is non-empty. Reports whose
+  /// value matches the current property within the monitoring noise floor
+  /// (1e-5 absolute / 1e-9 relative) are Unchanged — gauges re-publish
+  /// steady values forever, and re-stamping the element for them would
+  /// force constraint re-evaluation that provably cannot change a verdict.
+  GaugeApply apply_gauge_value(util::Symbol element, util::Symbol role,
+                               util::Symbol property,
+                               const events::Value& value);
+
+  // ---- the two halves of a check, split so a FleetManager can run
+  //      detection for many shards in parallel and dispatch afterwards in
+  //      deterministic shard order ----
+
+  /// Evaluate the constraints (incremental) and return current violations.
+  /// Read-only on the model; safe to run concurrently with other shards'
+  /// detect() — never with anything that mutates this shard.
+  std::vector<repair::Violation> detect();
+  /// Hand violations to the repair engine; true when a repair started.
+  /// Mutates the model (must run on the simulation thread, in shard order).
+  bool dispatch(const std::vector<repair::Violation>& violations);
+
+  /// A repair is in flight on this shard's engine.
+  bool repair_active() const { return engine_.busy(); }
 
  private:
   void run_check();

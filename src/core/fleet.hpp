@@ -1,0 +1,88 @@
+// Fleet assembly: N tenant stacks — testbed, monitoring, model shard,
+// repair engine — over ONE simulator, coordinated by a FleetManager.
+//
+//   sim::Simulator sim;
+//   core::FleetOptions opt;
+//   opt.tenants = 8;                       // 0 = scenario default
+//   auto fleet = core::FrameworkBuilder::build_fleet(sim, opt);
+//   fleet->start();
+//   sim.run_until(SimTime::seconds(600));
+//
+// Every tenant is a full Framework (its own probes, gauges, buses, model,
+// constraint checker, and repair engine) built from a registered scenario;
+// the scenario's `fleet.tenant_index` is looped to clone phase-shifted
+// tenants. With `coordinated` (the default), the per-tenant architecture
+// managers are passive and the FleetManager batches reports and sweeps in
+// parallel; with it off, every tenant runs the classic per-tenant loop —
+// the baseline bench_fleet_scaling measures against.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fleet_manager.hpp"
+#include "core/framework.hpp"
+#include "sim/scenario_registry.hpp"
+
+namespace arcadia::core {
+
+struct FleetOptions {
+  /// Registered scenario cloned per tenant (its factory must honour
+  /// ScenarioConfig::fleet::tenant_index, as "fleet-4x16" does).
+  std::string scenario = "fleet-4x16";
+  /// Tenant count; 0 uses the scenario default (config.fleet.tenants).
+  int tenants = 0;
+  /// Base scenario config; tenant index is overwritten per tenant. Unset
+  /// (nullopt-like empty flag below) uses the scenario's defaults.
+  sim::ScenarioConfig config;
+  bool use_scenario_defaults = true;
+
+  FrameworkConfig framework;
+  /// Fleet coordination knobs. check_period/first_check are taken from
+  /// `framework` (single source of truth for the check cadence); the
+  /// values here apply only to a standalone FleetManager.
+  FleetManagerConfig manager;
+  /// true: passive tenant managers + FleetManager (batched, parallel).
+  /// false: classic per-tenant control loops, no FleetManager — the naive
+  /// baseline for A/B runs.
+  bool coordinated = true;
+};
+
+/// One tenant's stack. Heap-allocated and pinned: the framework holds
+/// references into the testbed, so neither may relocate. Declaration order
+/// matters too — the framework must be destroyed first.
+struct FleetTenant {
+  std::string name;
+  sim::Testbed testbed;
+  std::unique_ptr<Framework> framework;
+};
+
+class Fleet {
+ public:
+  /// Build all tenants (does not start anything).
+  Fleet(sim::Simulator& sim, FleetOptions options);
+  ~Fleet();
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  /// Start every tenant's framework and drivers, then the fleet manager.
+  void start();
+
+  std::size_t tenant_count() const { return tenants_.size(); }
+  FleetTenant& tenant(std::size_t i) { return *tenants_[i]; }
+  const FleetTenant& tenant(std::size_t i) const { return *tenants_[i]; }
+  /// Null when options.coordinated was false.
+  FleetManager* manager() { return manager_.get(); }
+  const FleetOptions& options() const { return options_; }
+
+ private:
+  sim::Simulator& sim_;
+  FleetOptions options_;
+  std::vector<std::unique_ptr<FleetTenant>> tenants_;
+  std::unique_ptr<FleetManager> manager_;
+  bool started_ = false;
+};
+
+}  // namespace arcadia::core

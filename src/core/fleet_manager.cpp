@@ -1,0 +1,236 @@
+#include "core/fleet_manager.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "model/revision.hpp"
+#include "monitor/topics.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/symbol.hpp"
+
+namespace arcadia::core {
+
+FleetManager::FleetManager(sim::Simulator& sim, FleetManagerConfig config)
+    : sim_(sim), config_(config) {}
+
+FleetManager::~FleetManager() { stop(); }
+
+FleetManager::ShardId FleetManager::add_shard(std::string name,
+                                              ArchitectureManager& manager,
+                                              events::EventBus& gauge_bus,
+                                              sim::NodeId manager_node) {
+  if (started_) throw Error("FleetManager: add_shard after start");
+  Shard shard;
+  shard.name = std::move(name);
+  shard.manager = &manager;
+  shard.bus = &gauge_bus;
+  shard.manager_node = manager_node;
+  shards_.push_back(std::move(shard));
+  return shards_.size() - 1;
+}
+
+void FleetManager::start() {
+  if (started_) throw Error("FleetManager::start called twice");
+  started_ = true;
+  // The pool is sized only now, when the shard count is known: more workers
+  // than shards could never receive a chunk, and a small fleet should not
+  // carry a hardware_concurrency-sized pool of idle threads.
+  std::size_t threads = config_.sweep_threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, shards_.size());
+  if (threads > 1 && !pool_) pool_ = std::make_unique<ThreadPool>(threads);
+  for (ShardId id = 0; id < shards_.size(); ++id) {
+    Shard& shard = shards_[id];
+    shard.sub = shard.bus->subscribe(
+        events::Filter::topic(monitor::topics::kGaugeReport),
+        [this, id](const events::Notification& n) { enqueue(id, n); },
+        shard.manager_node);
+  }
+  sweep_task_ = std::make_unique<sim::PeriodicTask>(
+      sim_, sim_.now() + config_.first_check, config_.check_period, [this] {
+        run_sweep();
+        return true;
+      });
+  ARC_INFO << "fleet: started (" << shards_.size() << " shards, "
+           << sweep_threads() << " sweep threads, coalesce "
+           << config_.coalesce_window.as_seconds() << " s)";
+}
+
+void FleetManager::stop() {
+  sweep_task_.reset();
+  for (Shard& shard : shards_) {
+    if (shard.sub != 0) {
+      shard.bus->unsubscribe(shard.sub);
+      shard.sub = 0;
+    }
+    shard.flush_timer.cancel();
+    for (std::uint32_t idx : shard.touched) shard.slots[idx].armed = false;
+    shard.touched.clear();
+  }
+  started_ = false;
+}
+
+void FleetManager::apply(Shard& shard, const Shard::PendingSlot& slot) {
+  switch (shard.manager->apply_gauge_value(slot.element, slot.role,
+                                           slot.property, slot.value)) {
+    case ArchitectureManager::GaugeApply::Applied:
+      ++shard.stats.reports_applied;
+      shard.dirty = true;
+      break;
+    case ArchitectureManager::GaugeApply::Unchanged:
+      // The model did not move, so neither could any verdict: the shard
+      // stays clean and a quiet tenant's sweep is skipped outright.
+      ++shard.stats.reports_unchanged;
+      break;
+    case ArchitectureManager::GaugeApply::NoTarget:
+      ++shard.stats.reports_ignored;
+      break;
+  }
+}
+
+void FleetManager::enqueue(ShardId id, const events::Notification& n) {
+  Shard& shard = shards_[id];
+  ++shard.stats.reports_enqueued;
+  // Parse and intern once, at delivery (shared address convention); from
+  // here the report is three symbol ids and a value.
+  util::Symbol element_sym, role_sym, property;
+  if (!ArchitectureManager::parse_gauge_report(n, element_sym, role_sym,
+                                               property)) {
+    ++shard.stats.reports_ignored;  // malformed, same verdict as unbatched
+    return;
+  }
+  const events::Value& value = n.get(monitor::topics::kAttrValue);
+
+  if (config_.coalesce_window <= SimTime::zero()) {
+    Shard::PendingSlot direct;
+    direct.element = element_sym;
+    direct.role = role_sym;
+    direct.property = property;
+    direct.value = value;
+    apply(shard, direct);
+    return;
+  }
+
+  // Coalesce into the key's persistent slot: a newer report supersedes the
+  // armed value in place — one model write per key per window.
+  const std::array<std::uint32_t, 3> key = {element_sym.id(), role_sym.id(),
+                                            property.id()};
+  auto [it, inserted] =
+      shard.slot_index.emplace(key, static_cast<std::uint32_t>(shard.slots.size()));
+  if (inserted) {
+    Shard::PendingSlot slot;
+    slot.element = element_sym;
+    slot.role = role_sym;
+    slot.property = property;
+    shard.slots.push_back(std::move(slot));
+  }
+  Shard::PendingSlot& slot = shard.slots[it->second];
+  slot.value = value;
+  if (slot.armed) {
+    ++shard.stats.reports_coalesced;
+    return;
+  }
+  slot.armed = true;
+  shard.touched.push_back(it->second);
+  // Sweep-aligned batching: when the window spans a whole sweep period the
+  // periodic sweep's own flush is always soon enough — no timer needed.
+  if (config_.coalesce_window >= config_.check_period) return;
+  if (!shard.flush_timer.valid()) {
+    shard.flush_timer =
+        sim_.schedule_in(config_.coalesce_window, [this, id] { flush(id); });
+  }
+}
+
+void FleetManager::flush(ShardId id) {
+  Shard& shard = shards_[id];
+  shard.flush_timer.cancel();
+  if (shard.touched.empty()) return;
+  ++shard.stats.batches;
+  // One model pass, in first-touch order of each key. Keys are distinct
+  // (element, role, property) triples, so relative order cannot change the
+  // resulting model state.
+  for (std::uint32_t idx : shard.touched) {
+    Shard::PendingSlot& slot = shard.slots[idx];
+    apply(shard, slot);
+    slot.armed = false;
+  }
+  shard.touched.clear();  // capacity retained: steady state allocates nothing
+}
+
+void FleetManager::run_sweep() {
+  const auto wall0 = std::chrono::steady_clock::now();
+  ++stats_.sweep_rounds;
+  // Apply everything still coalescing so this sweep sees values at least as
+  // fresh as an unbatched manager would at the same instant.
+  for (ShardId id = 0; id < shards_.size(); ++id) flush(id);
+
+  // Any structural edit since the last round (repairs are the only in-run
+  // source) re-sweeps every shard: the clock is process-global, so we
+  // cannot attribute it to one shard — spurious detection for the
+  // untouched ones, never a stale verdict.
+  const std::uint64_t structure_now = model::structure_clock();
+  const bool structure_moved = structure_now != structure_seen_;
+
+  std::vector<ShardId> sweep;
+  sweep.reserve(shards_.size());
+  std::vector<char> selected(shards_.size(), 0);
+  for (ShardId id = 0; id < shards_.size(); ++id) {
+    Shard& shard = shards_[id];
+    const bool clean = config_.skip_clean_shards && shard.swept_once &&
+                       !shard.dirty && !structure_moved &&
+                       !shard.manager->repair_active();
+    if (clean) {
+      ++shard.stats.sweeps_skipped;
+      ++stats_.shard_skips;
+    } else {
+      selected[id] = 1;
+      sweep.push_back(id);
+    }
+  }
+
+  // Parallel detection: read-only per shard, disjoint models, results into
+  // disjoint slots. Dispatch below stays strictly on this thread.
+  std::vector<std::vector<repair::Violation>> found(shards_.size());
+  auto detect_one = [&](std::size_t k) {
+    const ShardId id = sweep[k];
+    found[id] = shards_[id].manager->detect();
+  };
+  if (pool_ && sweep.size() > 1) {
+    ++stats_.parallel_rounds;
+    pool_->parallel_for(sweep.size(), detect_one);
+  } else {
+    for (std::size_t k = 0; k < sweep.size(); ++k) detect_one(k);
+  }
+
+  // Deterministic dispatch, shard order. A skipped shard re-dispatches its
+  // cached verdicts — exactly what its incremental checker would have
+  // returned verbatim had we swept it.
+  for (ShardId id = 0; id < shards_.size(); ++id) {
+    Shard& shard = shards_[id];
+    if (selected[id]) {
+      shard.last_violations = std::move(found[id]);
+      shard.swept_once = true;
+      shard.dirty = false;
+      ++shard.stats.sweeps;
+      ++stats_.shard_sweeps;
+    }
+    if (shard.last_violations.empty()) continue;
+    shard.stats.violations += shard.last_violations.size();
+    if (shard.manager->dispatch(shard.last_violations)) {
+      ++shard.stats.repairs_triggered;
+      // The repair just mutated this shard's model; whatever it changed must
+      // be re-examined next round even if no report arrives meanwhile.
+      shard.dirty = true;
+    }
+  }
+  structure_seen_ = structure_now;
+  stats_.sweep_wall_s +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+}
+
+}  // namespace arcadia::core

@@ -1,0 +1,188 @@
+// Fleet-scale adaptation (the ROADMAP's many-tenant north star): one
+// simulator hosts N independent tenant applications, each with its own
+// architectural model *shard* (an ArchitectureManager in passive mode), and
+// a single FleetManager coordinates the control loop across all of them:
+//
+//   * batched gauge application — reports landing on a shard's gauge bus
+//     within a coalescing window are applied in one model pass; reports for
+//     the same (element, property) are superseded in place, so a burst of
+//     samples costs one property write instead of one per report;
+//   * parallel constraint sweep — the periodic check runs each shard's
+//     incremental detection concurrently on a util::ThreadPool. Detection is
+//     read-only per shard (disjoint models), so threads never contend on
+//     model state;
+//   * clean-shard skipping — a shard that received no reports, ran no
+//     repair, and saw no structural edit since its last sweep is not swept
+//     at all; its cached verdicts (what the incremental checker would have
+//     returned verbatim) are re-dispatched instead.
+//
+// Determinism contract: parallel evaluation only *detects* violations.
+// Violation dispatch — and therefore every repair, every model mutation,
+// every scheduled simulator event — happens afterwards on the simulation
+// thread in fixed shard order. A fleet run is bit-for-bit identical for any
+// sweep_threads value.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/arch_manager.hpp"
+#include "events/bus.hpp"
+#include "repair/constraint.hpp"
+#include "sim/simulator.hpp"
+#include "util/thread_pool.hpp"
+
+namespace arcadia::core {
+
+struct FleetManagerConfig {
+  /// Constraint-sweep period across the whole fleet.
+  SimTime check_period = SimTime::seconds(5);
+  SimTime first_check = SimTime::seconds(15);
+  /// Gauge reports arriving within this window are applied per-shard in one
+  /// pass, newest value per (element, property) winning. Zero applies every
+  /// report on delivery (unbatched). A window >= check_period is
+  /// sweep-aligned: no per-shard flush timers at all — batches are applied
+  /// exactly when the sweep needs them.
+  SimTime coalesce_window = SimTime::millis(500);
+  /// Worker threads for the parallel sweep; <= 1 sweeps on the simulation
+  /// thread (still batched, still skipping clean shards).
+  std::size_t sweep_threads = 0;  ///< 0 = hardware concurrency
+  /// Skip shards whose model provably did not change since their last
+  /// sweep. Disable to force every shard through detection every period.
+  bool skip_clean_shards = true;
+};
+
+struct FleetShardStats {
+  std::uint64_t reports_enqueued = 0;   ///< gauge reports received
+  std::uint64_t reports_coalesced = 0;  ///< superseded inside a batch
+  std::uint64_t reports_applied = 0;    ///< property writes that reached the model
+  std::uint64_t reports_unchanged = 0;  ///< dead-band: repeated steady values
+  std::uint64_t reports_ignored = 0;    ///< malformed / unknown element
+  std::uint64_t batches = 0;            ///< batch flushes
+  std::uint64_t sweeps = 0;             ///< detections actually run
+  std::uint64_t sweeps_skipped = 0;     ///< clean-shard skips
+  std::uint64_t violations = 0;         ///< violations dispatched (incl. cached)
+  std::uint64_t repairs_triggered = 0;
+};
+
+struct FleetStats {
+  std::uint64_t sweep_rounds = 0;     ///< periodic sweeps of the whole fleet
+  std::uint64_t parallel_rounds = 0;  ///< rounds that used the thread pool
+  std::uint64_t shard_sweeps = 0;     ///< sum of per-shard detections
+  std::uint64_t shard_skips = 0;      ///< sum of per-shard skips
+  /// Real (host) wall-clock spent inside run_sweep — flush + parallel
+  /// detect + ordered dispatch. The apples-to-apples counterpart of
+  /// ArchManagerStats::check_wall_s summed over naive per-tenant loops.
+  double sweep_wall_s = 0.0;
+};
+
+/// Coordinates the adaptation control loop over N model shards. Shards are
+/// registered once at assembly (see core::Fleet), then start() subscribes
+/// the batched report sinks and arms the periodic sweep.
+///
+/// Lifetime: every registered manager and gauge bus must outlive this
+/// object (or its stop()) — the destructor unsubscribes from the buses.
+/// core::Fleet destroys the FleetManager before the tenants for exactly
+/// this reason; hand-rolled rigs must declare shards first.
+class FleetManager {
+ public:
+  using ShardId = std::size_t;
+
+  FleetManager(sim::Simulator& sim, FleetManagerConfig config);
+  ~FleetManager();
+
+  FleetManager(const FleetManager&) = delete;
+  FleetManager& operator=(const FleetManager&) = delete;
+
+  /// Register a shard: its (passive) architecture manager and the gauge bus
+  /// its tenant's monitoring reports on. `manager_node` is where the
+  /// tenant's control loop runs — reports cross the simulated network to
+  /// it, exactly as they would to a non-fleet ArchitectureManager. Shard
+  /// ids are dense, in registration order — which is also the
+  /// deterministic dispatch order.
+  ShardId add_shard(std::string name, ArchitectureManager& manager,
+                    events::EventBus& gauge_bus,
+                    sim::NodeId manager_node = sim::kNoNode);
+
+  /// Subscribe the report sinks and arm the periodic sweep.
+  void start();
+  void stop();
+
+  std::size_t shard_count() const { return shards_.size(); }
+  const std::string& shard_name(ShardId id) const { return shards_[id].name; }
+  const FleetShardStats& shard_stats(ShardId id) const {
+    return shards_[id].stats;
+  }
+  const FleetStats& stats() const { return stats_; }
+  std::size_t sweep_threads() const { return pool_ ? pool_->size() : 1; }
+
+  /// Apply a shard's pending coalesced reports immediately (also happens
+  /// automatically before every sweep and when the window timer fires).
+  void flush(ShardId id);
+
+  /// One fleet sweep: flush pending batches, detect (parallel) on every
+  /// non-clean shard, dispatch in shard order. Runs from the periodic task;
+  /// public so tests and benches can drive sweeps explicitly.
+  void run_sweep();
+
+ private:
+  struct Shard {
+    std::string name;
+    ArchitectureManager* manager = nullptr;
+    events::EventBus* bus = nullptr;
+    sim::NodeId manager_node = sim::kNoNode;
+    events::SubscriptionId sub = 0;
+
+    /// One coalescing slot per distinct (element, role, property) gauge key
+    /// this shard has ever reported. The key set is the gauge deployment —
+    /// stable across windows — so slots and their index persist: after the
+    /// first window, enqueue is an integer-keyed lookup plus a value store,
+    /// with no parsing state, no notification copies, and (for numeric
+    /// values) no allocation.
+    struct PendingSlot {
+      util::Symbol element;  ///< component, or connector when role set
+      util::Symbol role;
+      util::Symbol property;
+      events::Value value;
+      bool armed = false;  ///< holds a value for the current window
+    };
+    std::vector<PendingSlot> slots;
+    /// (element, role, property) symbol ids -> slot. Persistent; ~one entry
+    /// per gauge, so the tree stays tiny.
+    std::map<std::array<std::uint32_t, 3>, std::uint32_t> slot_index;
+    /// Armed slots in first-touch order — the deterministic apply order.
+    std::vector<std::uint32_t> touched;
+    sim::EventHandle flush_timer;
+
+    /// Reports were applied since the last sweep.
+    bool dirty = false;
+    bool swept_once = false;
+    /// The violations of this shard's last detection; re-dispatched verbatim
+    /// when the shard is skipped as clean (matching what the incremental
+    /// checker's cache would have produced).
+    std::vector<repair::Violation> last_violations;
+
+    FleetShardStats stats;
+  };
+
+  void enqueue(ShardId id, const events::Notification& n);
+  void apply(Shard& shard, const Shard::PendingSlot& slot);
+
+  sim::Simulator& sim_;
+  FleetManagerConfig config_;
+  std::vector<Shard> shards_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<sim::PeriodicTask> sweep_task_;
+  /// Structure clock at the end of the previous sweep round: any structural
+  /// edit anywhere (repairs are the only in-run source) re-sweeps every
+  /// shard — spurious work for the untouched ones, never a stale verdict.
+  std::uint64_t structure_seen_ = 0;
+  bool started_ = false;
+  FleetStats stats_;
+};
+
+}  // namespace arcadia::core

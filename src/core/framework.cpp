@@ -98,6 +98,7 @@ Framework::Framework(sim::Simulator& sim, sim::Testbed& testbed,
   mgr_cfg.check_period = config_.check_period;
   mgr_cfg.first_check = config_.first_check;
   mgr_cfg.manager_node = testbed_.manager_node;
+  mgr_cfg.passive = config_.fleet_managed;
   manager_ = std::make_unique<ArchitectureManager>(sim_, *system_, *gauge_bus_,
                                                    *engine_, mgr_cfg);
 

@@ -60,6 +60,11 @@ struct FrameworkConfig {
   SimTime check_period = SimTime::seconds(5);
   SimTime first_check = SimTime::seconds(15);
 
+  /// Fleet mode: the ArchitectureManager is assembled passive — no gauge
+  /// subscription, no periodic check — and a core::FleetManager batches the
+  /// reports and drives the sweep across all tenants (see core/fleet.hpp).
+  bool fleet_managed = false;
+
   rt::EnvironmentCosts env_costs;
   repair::StyleConventions conventions;
 };

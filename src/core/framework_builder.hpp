@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 
+#include "core/fleet.hpp"
 #include "core/framework.hpp"
 
 namespace arcadia::core {
@@ -54,6 +55,13 @@ class FrameworkBuilder {
   std::unique_ptr<Framework> build();
   /// Assemble and start: probes deployed, Remos warmed, checking armed.
   std::unique_ptr<Framework> build_started();
+
+  /// Fleet-mode entry point: N tenant frameworks over one simulator,
+  /// coordinated by a FleetManager (batched gauge application + parallel
+  /// constraint sweep). Static because a fleet spans many testbeds where
+  /// the builder instance is bound to one. See core/fleet.hpp.
+  static std::unique_ptr<Fleet> build_fleet(sim::Simulator& sim,
+                                            FleetOptions options);
 
  private:
   sim::Simulator& sim_;

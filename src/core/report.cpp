@@ -26,7 +26,7 @@ void print_series_table(std::ostream& out,
   for (SimTime t = SimTime::zero();; t += bucket) {
     bool any = false;
     for (const TimeSeries& s : resampled) {
-      if (!s.empty() && t <= s.last_time()) {
+      if (!s.empty() && t <= *s.last_time()) {
         any = true;
         break;
       }

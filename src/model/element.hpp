@@ -86,6 +86,14 @@ class Element {
   /// (0 = never written). Consumed by the incremental constraint checker.
   std::uint64_t property_stamp() const { return property_stamp_; }
 
+  /// Rewind the stamp to a value captured before a journaled write —
+  /// Transaction::rollback only. A rolled-back write restores the old value,
+  /// so the pre-write stamp is again the truth; leaving the undo's own bump
+  /// in place would advertise a change that no longer exists. Rewinding is
+  /// safe in either direction because the checker treats any stamp change
+  /// (not just advancement) as dirtying the element.
+  void restore_property_stamp(std::uint64_t stamp) { property_stamp_ = stamp; }
+
  protected:
   void copy_properties_from(const Element& other) {
     properties_ = other.properties_;

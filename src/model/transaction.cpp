@@ -190,10 +190,12 @@ void Transaction::set_property(const std::vector<std::string>& scope,
   Element& el = resolve_element(sys, kind, element, sub);
   const bool had = el.has_property(property);
   const PropertyValue old = had ? el.property(property) : PropertyValue();
+  const std::uint64_t stamp = el.property_stamp();
   el.set_property(property, value);
   records_.push_back({OpKind::SetProperty, scope, element, sub, "", property,
                       std::move(value), {}, kind});
-  undo_.push_back([this, scope, kind, element, sub, property, had, old] {
+  undo_.push_back([this, scope, kind, element, sub, property, had, old,
+                   stamp] {
     System& s = resolve_scope(scope);
     Element& e = resolve_element(s, kind, element, sub);
     if (had) {
@@ -201,6 +203,10 @@ void Transaction::set_property(const std::vector<std::string>& scope,
     } else {
       e.clear_property(property);
     }
+    // The value is back to its pre-write state; so is the stamp. Undoing
+    // newest-first means the oldest op's restore runs last, leaving the
+    // element exactly at its pre-transaction stamp.
+    e.restore_property_stamp(stamp);
   });
 }
 

@@ -100,7 +100,14 @@ class Transaction {
   /// Seal the transaction. Changes are already in the model; records()
   /// describes them for the translator.
   void commit();
-  /// Undo everything, newest first.
+  /// Undo everything, newest first. Per-element property stamps are
+  /// restored to their pre-transaction values (the values are back, so the
+  /// stamps must be too — otherwise a rolled-back repair leaves revision
+  /// clocks advertising changes that no longer exist and the incremental
+  /// checker re-evaluates for nothing). The global clocks are deliberately
+  /// NOT rewound: they are process-wide and may have interleaved foreign
+  /// writes; leaving them advanced only costs spurious re-evaluation of
+  /// non-local constraints, never a stale verdict.
   void rollback();
 
   bool is_open() const { return state_ == State::Open; }

@@ -198,7 +198,10 @@ std::vector<Violation> ConstraintChecker::check() const {
     bool reuse = memo.valid && !full;
     if (reuse) {
       if (memo.local && element) {
-        reuse = element->property_stamp() <= memo.element_stamp;
+        // Exact match, not <=: a transaction rollback rewinds an element's
+        // stamp below what a mid-transaction sweep may have memoised, and
+        // that memo (of the discarded value) must not be reused.
+        reuse = element->property_stamp() == memo.element_stamp;
       } else {
         // Non-local (or element-less): any property write in the process
         // could have changed the verdict.

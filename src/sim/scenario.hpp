@@ -43,6 +43,23 @@ struct FlashCrowdConfig {
   double rate_multiplier = 6.0;  ///< normal_rate_hz * this during the crowd
 };
 
+/// Fleet-mode knobs (used by the "fleet-NxM" scenarios): one simulator
+/// hosting `tenants` independent copies of a tenant testbed, each with its
+/// own seed and a workload schedule phase-shifted by `tenant_index *
+/// phase_shift` so tenants do not hit their stress windows in lockstep.
+/// The scenario factory builds ONE tenant (the `tenant_index`-th);
+/// core::Fleet loops the index to assemble the whole fleet.
+struct FleetConfig {
+  int tenants = 4;
+  int tenant_index = 0;
+  SimTime phase_shift = SimTime::seconds(60);
+  /// Duty-cycled tenants: each tenant sends traffic only during
+  /// [quiescent_end + tenant_index * phase_shift, + active_duration) and is
+  /// quiet otherwise — the production-fleet regime where most tenants are
+  /// idle at any instant. Zero keeps the always-on Figure 7 schedule.
+  SimTime active_duration = SimTime::zero();
+};
+
 /// Server-churn schedule knobs (used by the "server-churn" scenario):
 /// periodic outages rotating over a group's servers.
 struct ChurnConfig {
@@ -103,6 +120,7 @@ struct ScenarioConfig {
   GridScaleConfig grid;
   FlashCrowdConfig flash;
   ChurnConfig churn;
+  FleetConfig fleet;
 };
 
 /// The built testbed: topology, network, application, drivers, and the

@@ -1,5 +1,6 @@
 #include "sim/scenario_library.hpp"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -154,6 +155,39 @@ Testbed build_server_churn_testbed(Simulator& sim,
   return tb;
 }
 
+Testbed build_fleet_tenant_testbed(Simulator& sim,
+                                   const ScenarioConfig& config) {
+  const FleetConfig& fleet = config.fleet;
+  if (fleet.tenants < 1 || fleet.tenant_index < 0 ||
+      fleet.tenant_index >= fleet.tenants) {
+    throw Error("build_fleet_tenant_testbed: invalid tenant index");
+  }
+  ScenarioConfig tenant = config;
+  // Decorrelate the arrival/service processes across tenants; the golden-
+  // ratio multiplier spreads consecutive indices over the seed space.
+  tenant.seed = config.seed + 0x9E3779B97F4A7C15ULL *
+                                  static_cast<std::uint64_t>(fleet.tenant_index);
+  // Phase-shift the Figure 7 schedule so tenants stress at staggered times
+  // (the fleet's aggregate load stays bounded, like real multi-tenant grids).
+  const SimTime shift = fleet.phase_shift * fleet.tenant_index;
+  tenant.quiescent_end += shift;
+  tenant.stress_start += shift;
+  tenant.stress_end += shift;
+  Testbed tb = build_grid_testbed(sim, tenant);
+  if (fleet.active_duration > SimTime::zero()) {
+    // Duty-cycled tenant: traffic only inside the staggered active window.
+    const SimTime start = config.quiescent_end + shift;
+    StepFunction rate(0.0);
+    rate.step(start, tenant.normal_rate_hz);
+    rate.step(start + fleet.active_duration, 0.0);
+    install_uniform_workload(
+        sim, tb, tenant, rate,
+        StepFunction(tenant.normal_response_mean.as_bytes()),
+        StepFunction(tenant.normal_response_sigma));
+  }
+  return tb;
+}
+
 void register_builtin_scenarios(ScenarioRegistry& registry) {
   {
     ScenarioSpec spec;
@@ -185,6 +219,20 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
         "Scaled grid: 4 server groups x 16 clients over an interleaved "
         "router ring; load-driven adaptation, no competition traffic";
     spec.build = build_grid_testbed;  // shape from ScenarioConfig::grid
+    registry.add(std::move(spec));
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "fleet-4x16";
+    spec.description =
+        "One tenant shard of a 4-tenant fleet: a grid-4x16 clone whose "
+        "workload is phase-shifted per fleet.tenant_index; assemble the "
+        "whole fleet with core::Fleet / FrameworkBuilder::build_fleet";
+    spec.defaults.fleet.tenants = 4;
+    spec.defaults.fleet.phase_shift = SimTime::seconds(60);
+    // grid shape: the GridScaleConfig defaults ARE grid-4x16.
+    spec.defaults.horizon = SimTime::seconds(600);
+    spec.build = build_fleet_tenant_testbed;
     registry.add(std::move(spec));
   }
   {

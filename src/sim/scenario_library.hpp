@@ -10,6 +10,10 @@
 //   server-churn      Figure 6 testbed with rotating server outages
 //                     (ScenarioConfig::churn) the monitoring stack must
 //                     detect and repair around
+//   fleet-4x16        one tenant shard of a fleet: a grid-4x16 clone whose
+//                     workload schedule is phase-shifted and re-seeded by
+//                     ScenarioConfig::fleet::tenant_index; core::Fleet
+//                     builds one per tenant over a shared simulator
 #pragma once
 
 #include "sim/scenario.hpp"
@@ -27,6 +31,11 @@ Testbed build_flash_crowd_testbed(Simulator& sim, const ScenarioConfig& config);
 
 /// Figure 6 testbed + rotating SG1 outages on top of the normal workload.
 Testbed build_server_churn_testbed(Simulator& sim, const ScenarioConfig& config);
+
+/// One fleet tenant: the grid testbed of `config.grid`, with the Figure 7
+/// schedule shifted by `config.fleet.tenant_index * config.fleet.phase_shift`
+/// and the RNG seed decorrelated per tenant.
+Testbed build_fleet_tenant_testbed(Simulator& sim, const ScenarioConfig& config);
 
 /// Called once by ScenarioRegistry on first access.
 void register_builtin_scenarios(ScenarioRegistry& registry);

@@ -42,12 +42,36 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
   }
-  for (auto& f : futures) f.get();
+  // Chunk into at most one contiguous block per worker: cheaper than one
+  // future per index, and a throwing iteration abandons only the rest of
+  // its own chunk.
+  const std::size_t chunks = std::min(n, workers_.size());
+  const std::size_t per_chunk = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t begin = 0; begin < n; begin += per_chunk) {
+    const std::size_t end = std::min(n, begin + per_chunk);
+    futures.push_back(submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
+  }
+  // Join every future before letting any exception unwind: once we return,
+  // no worker may still be touching `fn` or the caller's captures. The
+  // lowest-indexed chunk's exception wins, deterministically.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace arcadia

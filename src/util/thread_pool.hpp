@@ -42,7 +42,10 @@ class ThreadPool {
   }
 
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
-  /// Exceptions from tasks propagate (the first one encountered rethrows).
+  /// The index space is chunked into at most size() contiguous blocks. All
+  /// blocks are joined before this returns — even when one throws — so the
+  /// caller's captures never outlive the call; the exception from the
+  /// lowest-indexed throwing block is rethrown (deterministic choice).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

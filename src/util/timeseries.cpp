@@ -14,12 +14,14 @@ void TimeSeries::append(SimTime t, double value) {
   points_.emplace_back(t, value);
 }
 
-SimTime TimeSeries::first_time() const {
-  return points_.empty() ? SimTime::zero() : points_.front().first;
+std::optional<SimTime> TimeSeries::first_time() const {
+  if (points_.empty()) return std::nullopt;
+  return points_.front().first;
 }
 
-SimTime TimeSeries::last_time() const {
-  return points_.empty() ? SimTime::zero() : points_.back().first;
+std::optional<SimTime> TimeSeries::last_time() const {
+  if (points_.empty()) return std::nullopt;
+  return points_.back().first;
 }
 
 double TimeSeries::last_value() const {

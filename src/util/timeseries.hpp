@@ -3,6 +3,7 @@
 // experiment runner records these and the bench harness prints them.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -28,8 +29,12 @@ class TimeSeries {
   const std::vector<std::pair<SimTime, double>>& points() const {
     return points_;
   }
-  SimTime first_time() const;
-  SimTime last_time() const;
+  /// Time of the first/last sample; nullopt on an empty series. (These used
+  /// to return SimTime::zero() when empty, indistinguishable from a real
+  /// t=0 sample — monitoring-lag math would treat "no data yet" as "data
+  /// since t=0".)
+  std::optional<SimTime> first_time() const;
+  std::optional<SimTime> last_time() const;
   double last_value() const;
 
   /// Value of the most recent sample at or before t (sample-and-hold);

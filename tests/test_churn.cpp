@@ -35,7 +35,8 @@ TEST_P(ChurnTest, AdaptationLoopSurvivesRandomizedSchedules) {
   // The loop ran and did not wedge: requests kept flowing to the end.
   EXPECT_GT(r.responses_completed, 0u);
   for (const auto& c : r.clients) {
-    EXPECT_GT(c.raw_latency.last_time(), SimTime::seconds(3500));
+    ASSERT_TRUE(c.raw_latency.last_time().has_value());
+    EXPECT_GT(*c.raw_latency.last_time(), SimTime::seconds(3500));
   }
   // Repairs are bounded (no runaway repair storm): the engine serializes
   // ~30 s repairs, so an hour admits at most ~120; damping keeps it far

@@ -101,6 +101,20 @@ TEST(FrameworkTest, ManagerIgnoresUnknownElements) {
   EXPECT_FALSE(rig.fw->manager().apply_gauge_report(partial));
 }
 
+TEST(FrameworkTest, ManagerRejectsMalformedElementAddresses) {
+  // A dangling dot must not degrade to a component write: "User1." used to
+  // be rejected on the connector path and has to stay rejected.
+  FrameworkRig rig;
+  for (const char* addr : {"User1.", ".clientSide", "."}) {
+    events::Notification n(monitor::topics::kGaugeReport);
+    n.set(monitor::topics::kAttrElement, addr)
+        .set(monitor::topics::kAttrProperty, "load")
+        .set(monitor::topics::kAttrValue, 9.0);
+    EXPECT_FALSE(rig.fw->manager().apply_gauge_report(n)) << addr;
+  }
+  EXPECT_FALSE(rig.fw->system().component("User1").has_property("load"));
+}
+
 TEST(FrameworkTest, CustomScriptSourceUsed) {
   sim::Simulator sim;
   sim::ScenarioConfig scenario;

@@ -4,9 +4,11 @@
 // structural edits — all without ever changing check()'s verdicts.
 #include <gtest/gtest.h>
 
+#include "acme/adl.hpp"
 #include "acme/expr_parser.hpp"
 #include "acme/script.hpp"
 #include "model/revision.hpp"
+#include "model/transaction.hpp"
 #include "repair/constraint.hpp"
 #include "repair/scripts.hpp"
 
@@ -144,6 +146,93 @@ TEST(IncrementalCheckTest, RemovedElementStillSkipped) {
                                       model::PropertyValue(9.0));
   sys.remove_component("User1");
   EXPECT_TRUE(checker.check().empty());
+}
+
+TEST(RollbackStampTest, PropertyRollbackRestoresStampAndCache) {
+  // A rolled-back property-only transaction restores the model exactly, so
+  // the element's stamp must be back where it was and the next sweep must
+  // answer every local constraint from cache — no full-sweep storm.
+  model::System sys = make_system(3);
+  ConstraintChecker checker(sys);
+  for (int c = 1; c <= 3; ++c) {
+    checker.add_constraint("lat:User" + std::to_string(c),
+                           "User" + std::to_string(c),
+                           "averageLatency <= maxLatency", "fix");
+  }
+  EXPECT_TRUE(checker.check().empty());
+  const std::uint64_t evals = checker.check_stats().evaluations;
+  const std::uint64_t stamp = sys.component("User1").property_stamp();
+  {
+    model::Transaction txn(sys);
+    txn.set_property({}, model::ElementKind::Component, "User1", "",
+                     "averageLatency", model::PropertyValue(9.0));
+    txn.set_property({}, model::ElementKind::Component, "User1", "",
+                     "averageLatency", model::PropertyValue(12.0));
+    txn.rollback();
+  }
+  EXPECT_EQ(sys.component("User1").property_stamp(), stamp);
+  EXPECT_DOUBLE_EQ(
+      sys.component("User1").property("averageLatency").as_double(), 0.5);
+  EXPECT_TRUE(checker.check().empty());
+  EXPECT_EQ(checker.check_stats().evaluations, evals);  // all cache hits
+}
+
+TEST(RollbackStampTest, MidTransactionSweepCannotGoStaleClean) {
+  // The dangerous direction: a sweep runs while a transaction is open and
+  // memoises a *satisfied* verdict of the in-flight value; the rollback then
+  // rewinds the element's stamp below what the memo recorded. The rewound
+  // stamp must read as dirty (exact-match comparison), or the violation the
+  // rollback restored would be silently swallowed.
+  model::System sys = make_system(1);
+  sys.component("User1").set_property("averageLatency",
+                                      model::PropertyValue(9.0));
+  ConstraintChecker checker(sys);
+  checker.add_constraint("lat:User1", "User1",
+                         "averageLatency <= maxLatency", "fix");
+  ASSERT_EQ(checker.check().size(), 1u);  // violating before the txn
+  {
+    model::Transaction txn(sys);
+    txn.set_property({}, model::ElementKind::Component, "User1", "",
+                     "averageLatency", model::PropertyValue(0.5));
+    EXPECT_TRUE(checker.check().empty());  // mid-txn sweep sees the fix
+    txn.rollback();                        // ... which is then discarded
+  }
+  auto after = checker.check();
+  ASSERT_EQ(after.size(), 1u);  // stale-clean would report nothing here
+  EXPECT_DOUBLE_EQ(after[0].observed, 9.0);
+}
+
+TEST(RollbackStampTest, RollbackAfterStructuralEditRestoresVerdicts) {
+  // Structural + property edits rolled back together: the model text is
+  // bit-identical to before, the structure clock forces one full sweep (safe
+  // fallback, not a storm), and the verdicts reproduce the pre-transaction
+  // state.
+  model::System sys = make_system(2);
+  sys.component("User2").set_property("averageLatency",
+                                      model::PropertyValue(9.0));
+  ConstraintChecker checker(sys);
+  for (int c = 1; c <= 2; ++c) {
+    checker.add_constraint("lat:User" + std::to_string(c),
+                           "User" + std::to_string(c),
+                           "averageLatency <= maxLatency", "fix");
+  }
+  ASSERT_EQ(checker.check().size(), 1u);
+  const std::string before = acme::print_system(sys);
+  {
+    model::Transaction txn(sys);
+    txn.add_component("Extra", "ClientT");
+    txn.add_connector("ExtraConn", "LinkT");
+    txn.set_property({}, model::ElementKind::Component, "User2", "",
+                     "averageLatency", model::PropertyValue(0.1));
+    txn.set_property({}, model::ElementKind::Component, "Extra", "",
+                     "load", model::PropertyValue(1.0));
+    txn.rollback();
+  }
+  EXPECT_EQ(acme::print_system(sys), before);
+  auto after = checker.check();
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].element, "User2");
+  EXPECT_DOUBLE_EQ(after[0].observed, 9.0);
 }
 
 TEST(IncrementalCheckTest, VerdictsMatchAFreshChecker) {

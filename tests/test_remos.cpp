@@ -74,6 +74,55 @@ TEST(RemosTest, PrequeryWarmsPairs) {
   EXPECT_EQ(rig.remos->prequery({{rig.a, rig.b}}), SimTime::zero());
 }
 
+// ---- prequery warm/cold accounting, pinned per direction ----
+// The intended semantics (Section 5.3's "we pre-queried Remos"): the pairs
+// collect in PARALLEL, so the batch is charged first_query_cost ONCE when
+// any pair is cold — while the stats count every cold pair individually
+// (each is a real collection, they just overlap in time).
+
+TEST(RemosPrequeryAccountingTest, AllColdChargesOnceCountsEach) {
+  Rig rig;
+  const RemosStats before = rig.remos->stats();
+  SimTime cost = rig.remos->prequery({{rig.a, rig.b}, {rig.b, rig.a}});
+  EXPECT_EQ(cost, SimTime::seconds(60));  // one parallel collection round
+  EXPECT_EQ(rig.remos->stats().cold_queries, before.cold_queries + 2);
+  EXPECT_EQ(rig.remos->stats().queries, before.queries + 2);
+  EXPECT_EQ(rig.remos->stats().cache_hits, before.cache_hits);
+  EXPECT_TRUE(rig.remos->is_warm(rig.a, rig.b));
+  EXPECT_TRUE(rig.remos->is_warm(rig.b, rig.a));
+}
+
+TEST(RemosPrequeryAccountingTest, AllWarmIsFreeAndUncounted) {
+  Rig rig;
+  rig.remos->prequery({{rig.a, rig.b}, {rig.b, rig.a}});
+  const RemosStats before = rig.remos->stats();
+  // Warm pairs are skipped outright: zero cost, no query traffic at all
+  // (not even cache hits — prequery never reads values).
+  EXPECT_EQ(rig.remos->prequery({{rig.a, rig.b}, {rig.b, rig.a}}),
+            SimTime::zero());
+  EXPECT_EQ(rig.remos->stats().queries, before.queries);
+  EXPECT_EQ(rig.remos->stats().cold_queries, before.cold_queries);
+  EXPECT_EQ(rig.remos->stats().cache_hits, before.cache_hits);
+}
+
+TEST(RemosPrequeryAccountingTest, MixedBatchChargesOnceCountsColdOnly) {
+  Rig rig;
+  rig.remos->prequery({{rig.a, rig.b}});  // warm one direction
+  const RemosStats before = rig.remos->stats();
+  // One warm + one cold: still one parallel collection round, and only the
+  // cold pair shows up in the counters.
+  SimTime cost = rig.remos->prequery({{rig.a, rig.b}, {rig.b, rig.a}});
+  EXPECT_EQ(cost, SimTime::seconds(60));
+  EXPECT_EQ(rig.remos->stats().cold_queries, before.cold_queries + 1);
+  EXPECT_EQ(rig.remos->stats().queries, before.queries + 1);
+  // A duplicated cold pair in one batch collects once, not twice.
+  Rig rig2;
+  SimTime dup = rig2.remos->prequery(
+      {{rig2.a, rig2.b}, {rig2.a, rig2.b}, {rig2.a, rig2.b}});
+  EXPECT_EQ(dup, SimTime::seconds(60));
+  EXPECT_EQ(rig2.remos->stats().cold_queries, 1u);
+}
+
 TEST(RemosTest, ReportsAvailableBandwidth) {
   Rig rig;
   Bandwidth bw = rig.remos->get_flow(rig.a, rig.b);

@@ -150,6 +150,20 @@ TEST(TimeSeriesTest, AppendMonotonicEnforced) {
   EXPECT_THROW(ts.append(SimTime::zero(), 0.0), Error);
 }
 
+TEST(TimeSeriesTest, EmptySeriesHasNoEndpointTimes) {
+  // Regression: these used to return SimTime::zero() when empty, which made
+  // "no data yet" indistinguishable from a genuine t=0 sample.
+  TimeSeries ts("x");
+  EXPECT_FALSE(ts.first_time().has_value());
+  EXPECT_FALSE(ts.last_time().has_value());
+  ts.append(SimTime::zero(), 7.0);  // a real t=0 sample is distinguishable
+  ASSERT_TRUE(ts.first_time().has_value());
+  EXPECT_EQ(*ts.first_time(), SimTime::zero());
+  ts.append(SimTime::seconds(3), 8.0);
+  EXPECT_EQ(*ts.first_time(), SimTime::zero());
+  EXPECT_EQ(*ts.last_time(), SimTime::seconds(3));
+}
+
 TEST(TimeSeriesTest, ValueAtSampleAndHold) {
   TimeSeries ts("x");
   ts.append(SimTime::seconds(10), 1.0);

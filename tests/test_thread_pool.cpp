@@ -35,6 +35,61 @@ TEST(ThreadPoolTest, ExceptionsPropagate) {
       std::runtime_error);
 }
 
+TEST(ThreadPoolTest, ParallelForJoinsBeforeRethrowing) {
+  // Regression: a worker throwing early must not let parallel_for unwind
+  // while other workers still reference the caller's callable and captures.
+  // `live` goes out of scope right after the EXPECT_THROW; if any worker
+  // were still running, the final counter check (and ASan) would catch it.
+  ThreadPool pool(4);
+  std::atomic<int> started{0};
+  std::atomic<int> finished{0};
+  {
+    std::atomic<bool> live{true};
+    EXPECT_THROW(
+        pool.parallel_for(64,
+                          [&](std::size_t i) {
+                            ASSERT_TRUE(live.load());
+                            started++;
+                            if (i == 0) throw std::runtime_error("early boom");
+                            finished++;
+                          }),
+        std::runtime_error);
+    live.store(false);
+  }
+  // Nothing may run after parallel_for returned: all chunks were joined, so
+  // the counters are final and no worker can observe live == false.
+  EXPECT_GE(started.load(), 1);
+  EXPECT_LE(finished.load(), 63);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsLowestChunkDeterministically) {
+  // When several chunks throw, the exception from the lowest-indexed chunk
+  // must win, run after run.
+  ThreadPool pool(4);
+  for (int round = 0; round < 8; ++round) {
+    std::string what;
+    try {
+      pool.parallel_for(16, [](std::size_t i) {
+        throw std::runtime_error("chunk@" + std::to_string(i));
+      });
+      FAIL() << "parallel_for did not throw";
+    } catch (const std::runtime_error& e) {
+      what = e.what();
+    }
+    // Chunk 0 starts at index 0; its first iteration throws immediately.
+    EXPECT_EQ(what, "chunk@0");
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForChunksCoverUnevenRanges) {
+  ThreadPool pool(3);
+  for (std::size_t n : {1u, 2u, 3u, 4u, 7u, 100u}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) { hits[i]++; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
 TEST(ThreadPoolTest, ManyTasksDrain) {
   ThreadPool pool(8);
   std::atomic<int> count{0};
