@@ -1,0 +1,482 @@
+// Publish→filter→deliver→consume microbenchmarks for the monitoring bus
+// path, with a recorded perf trajectory and a heap-allocation audit.
+//
+// Measures the overhauled pipeline against an in-bench re-implementation of
+// the design it replaced (string topics, std::map attributes, O(subscribers)
+// filter scan, per-publish snapshot vector, per-delivery notification copy),
+// so every future run re-verifies the speedup instead of trusting a stale
+// number:
+//
+//   local_publish   LocalEventBus publish+dispatch vs the legacy scan bus,
+//                   on a fleet-shaped subscription table (4 probe topics x
+//                   16 per-client subscriptions each)
+//   sim_pipeline    SimEventBus delayed delivery (shared pooled payload,
+//                   inline event captures) vs legacy per-delivery
+//                   std::function copies through the same simulator
+//   allocations     steady-state probe-path publishes counted against a
+//                   global operator-new hook; the current path must be
+//                   exactly zero per publish on both buses
+//
+// Emits BENCH_buspath.json (cwd, or argv[1]) for CI artifact upload.
+// Run Release: the numbers are meaningless under -O0.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "events/bus.hpp"
+#include "monitor/topics.hpp"
+#include "sim/simulator.hpp"
+#include "util/symbol.hpp"
+
+// ---------------------------------------------------------------------------
+// Counting allocation hook: every operator new in the binary bumps the
+// counter. Good enough to prove "zero allocations per publish" — if the
+// steady-state loop does not move the counter, nothing in it touched the
+// heap.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+// GCC pairs our malloc-backed operator new with the replaced operator
+// delete just fine at runtime; the diagnostic only sees the free() call.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace arcadia;
+using Clock = std::chrono::steady_clock;
+
+double ns_per_op(Clock::time_point begin, Clock::time_point end,
+                 std::uint64_t ops) {
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin).count();
+  return static_cast<double>(ns) / static_cast<double>(ops ? ops : 1);
+}
+
+volatile double g_sink = 0.0;
+
+// ---------------------------------------------------------------------------
+// The legacy bus, verbatim in miniature: heap-keyed notification, linear
+// subscriber scan, snapshot vector per publish.
+// ---------------------------------------------------------------------------
+
+struct LegacyNotification {
+  std::string topic;
+  std::map<std::string, events::Value> attributes;
+};
+
+struct LegacyFilter {
+  std::string topic;  // exact, or prefix ending in '*', or "" = any
+  std::vector<std::pair<std::string, events::Value>> eq_constraints;
+
+  bool matches(const LegacyNotification& n) const {
+    if (!topic.empty()) {
+      if (topic.back() == '*') {
+        const std::string prefix = topic.substr(0, topic.size() - 1);
+        if (n.topic.compare(0, prefix.size(), prefix) != 0) return false;
+      } else if (n.topic != topic) {
+        return false;
+      }
+    }
+    for (const auto& [name, want] : eq_constraints) {
+      auto it = n.attributes.find(name);
+      if (it == n.attributes.end() || !(it->second == want)) return false;
+    }
+    return true;
+  }
+};
+
+using LegacyHandler = std::function<void(const LegacyNotification&)>;
+
+class LegacyLocalBus {
+ public:
+  void subscribe(LegacyFilter filter, LegacyHandler handler) {
+    subs_.push_back(Sub{std::move(filter),
+                        std::make_shared<LegacyHandler>(std::move(handler))});
+  }
+  void publish(const LegacyNotification& n) {
+    std::vector<std::shared_ptr<LegacyHandler>> targets;
+    for (const Sub& s : subs_) {
+      if (s.filter.matches(n)) targets.push_back(s.handler);
+    }
+    for (const auto& h : targets) (*h)(n);
+  }
+
+ private:
+  struct Sub {
+    LegacyFilter filter;
+    std::shared_ptr<LegacyHandler> handler;
+  };
+  std::vector<Sub> subs_;
+};
+
+/// The legacy delayed bus: every matched delivery schedules a std::function
+/// owning its own full copy of the notification.
+class LegacySimBus {
+ public:
+  explicit LegacySimBus(sim::Simulator& sim) : sim_(sim) {}
+  void subscribe(LegacyFilter filter, LegacyHandler handler) {
+    subs_.push_back(Sub{std::move(filter),
+                        std::make_shared<LegacyHandler>(std::move(handler)),
+                        std::make_shared<bool>(true)});
+  }
+  void publish(const LegacyNotification& n, SimTime delay) {
+    for (const Sub& s : subs_) {
+      if (!s.filter.matches(n)) continue;
+      // std::function-sized capture with an owned copy: one heap block for
+      // the callable, one per attribute node, one per string.
+      std::function<void()> deliver = [copy = n, handler = s.handler,
+                                       alive = s.alive] {
+        if (*alive) (*handler)(copy);
+      };
+      sim_.schedule_in(delay, std::move(deliver));
+    }
+  }
+
+ private:
+  struct Sub {
+    LegacyFilter filter;
+    std::shared_ptr<LegacyHandler> handler;
+    std::shared_ptr<bool> alive;
+  };
+  sim::Simulator& sim_;
+  std::vector<Sub> subs_;
+};
+
+// ---------------------------------------------------------------------------
+// Fleet-shaped workload: 4 probe topics, 16 per-client subscriptions each
+// (one gauge per client/group, Eq-constrained), probe notifications
+// carrying (name, value) pairs that match exactly one gauge.
+// ---------------------------------------------------------------------------
+
+constexpr int kNames = 16;
+const char* kTopics[4] = {"probe.latency", "probe.queue", "probe.bandwidth",
+                          "probe.utilization"};
+
+std::vector<std::string> make_names() {
+  std::vector<std::string> names;
+  for (int i = 0; i < kNames; ++i) names.push_back("User" + std::to_string(i));
+  return names;
+}
+
+struct LocalPublishResult {
+  double legacy_ns = 0.0;
+  double current_ns = 0.0;
+  std::uint64_t deliveries = 0;
+};
+
+LocalPublishResult bench_local_publish() {
+  constexpr std::uint64_t kPublishes = 200'000;
+  const std::vector<std::string> names = make_names();
+  LocalPublishResult out;
+
+  std::uint64_t legacy_hits = 0;
+  LegacyLocalBus legacy;
+  for (const char* topic : kTopics) {
+    for (const std::string& name : names) {
+      LegacyFilter f;
+      f.topic = topic;
+      f.eq_constraints.push_back({"client", events::Value(name)});
+      legacy.subscribe(std::move(f), [&legacy_hits](const LegacyNotification& n) {
+        legacy_hits += n.attributes.count("value");
+      });
+    }
+  }
+  auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < kPublishes; ++i) {
+    LegacyNotification n;
+    n.topic = kTopics[i % 4];
+    n.attributes["client"] = events::Value(names[i % kNames]);
+    n.attributes["value"] = events::Value(static_cast<double>(i));
+    legacy.publish(n);
+  }
+  out.legacy_ns = ns_per_op(t0, Clock::now(), kPublishes);
+
+  std::uint64_t current_hits = 0;
+  events::LocalEventBus bus;
+  std::vector<util::Symbol> topic_syms;
+  std::vector<util::Symbol> name_syms;
+  for (const char* topic : kTopics) {
+    topic_syms.push_back(util::Symbol::intern(topic));
+  }
+  for (const std::string& name : names) {
+    name_syms.push_back(util::Symbol::intern(name));
+  }
+  const util::Symbol client_sym = util::Symbol::intern("client");
+  const util::Symbol value_sym = util::Symbol::intern("value");
+  for (util::Symbol topic : topic_syms) {
+    for (util::Symbol name : name_syms) {
+      bus.subscribe(events::Filter::topic(topic).where(
+                        client_sym, events::Op::Eq, events::Value(name)),
+                    [&current_hits, value_sym](const events::Notification& n) {
+                      current_hits += n.get_if(value_sym) != nullptr;
+                    });
+    }
+  }
+  t0 = Clock::now();
+  for (std::uint64_t i = 0; i < kPublishes; ++i) {
+    events::Notification n(topic_syms[i % 4]);
+    n.set(client_sym, name_syms[i % kNames])
+        .set(value_sym, static_cast<double>(i));
+    bus.publish(std::move(n));
+  }
+  out.current_ns = ns_per_op(t0, Clock::now(), kPublishes);
+
+  if (legacy_hits != current_hits || legacy_hits != kPublishes) {
+    std::cerr << "local_publish: routing mismatch (legacy " << legacy_hits
+              << ", current " << current_hits << ")\n";
+    std::exit(2);
+  }
+  out.deliveries = current_hits;
+  g_sink = static_cast<double>(legacy_hits + current_hits);
+  return out;
+}
+
+struct SimPipelineResult {
+  double legacy_ns = 0.0;   ///< per delivery
+  double current_ns = 0.0;  ///< per delivery
+  int fanout = 0;
+};
+
+SimPipelineResult bench_sim_pipeline() {
+  constexpr int kRounds = 200;
+  constexpr int kPerRound = 500;
+  constexpr int kFanout = 8;  // subscribers matched per publish
+  SimPipelineResult out;
+  out.fanout = kFanout;
+  const SimTime delay = SimTime::millis(10);
+
+  std::uint64_t legacy_hits = 0;
+  auto t0 = Clock::now();
+  for (int r = 0; r < kRounds; ++r) {
+    sim::Simulator sim;
+    LegacySimBus bus(sim);
+    for (int s = 0; s < kFanout; ++s) {
+      LegacyFilter f;
+      f.topic = "gauge.report";
+      bus.subscribe(std::move(f), [&legacy_hits](const LegacyNotification& n) {
+        legacy_hits += n.attributes.count("value");
+      });
+    }
+    for (int i = 0; i < kPerRound; ++i) {
+      LegacyNotification n;
+      n.topic = "gauge.report";
+      n.attributes["element"] = events::Value(std::string("User3"));
+      n.attributes["property"] = events::Value(std::string("averageLatency"));
+      n.attributes["value"] = events::Value(static_cast<double>(i));
+      bus.publish(n, delay);
+    }
+    sim.run_until(SimTime::seconds(10));
+  }
+  out.legacy_ns = ns_per_op(t0, Clock::now(),
+                            std::uint64_t(kRounds) * kPerRound * kFanout);
+
+  const util::Symbol element_sym = monitor::topics::kAttrElementSym;
+  const util::Symbol property_sym = monitor::topics::kAttrPropertySym;
+  const util::Symbol value_sym = monitor::topics::kAttrValueSym;
+  const util::Symbol user_sym = util::Symbol::intern("User3");
+  const util::Symbol latency_sym = util::Symbol::intern("averageLatency");
+  std::uint64_t current_hits = 0;
+  t0 = Clock::now();
+  for (int r = 0; r < kRounds; ++r) {
+    sim::Simulator sim;
+    events::SimEventBus bus(sim, events::fixed_delay(delay));
+    for (int s = 0; s < kFanout; ++s) {
+      bus.subscribe(events::Filter::topic(monitor::topics::kGaugeReportSym),
+                    [&current_hits, value_sym](const events::Notification& n) {
+                      current_hits += n.get_if(value_sym) != nullptr;
+                    });
+    }
+    for (int i = 0; i < kPerRound; ++i) {
+      events::Notification n(monitor::topics::kGaugeReportSym);
+      n.set(element_sym, user_sym)
+          .set(property_sym, latency_sym)
+          .set(value_sym, static_cast<double>(i));
+      bus.publish(std::move(n));
+    }
+    sim.run_until(SimTime::seconds(10));
+  }
+  out.current_ns = ns_per_op(t0, Clock::now(),
+                             std::uint64_t(kRounds) * kPerRound * kFanout);
+
+  if (legacy_hits != current_hits) {
+    std::cerr << "sim_pipeline: delivery mismatch (legacy " << legacy_hits
+              << ", current " << current_hits << ")\n";
+    std::exit(2);
+  }
+  g_sink = static_cast<double>(current_hits);
+  return out;
+}
+
+struct AllocResult {
+  double local_per_publish = 0.0;
+  double sim_per_publish = 0.0;
+  double legacy_local_per_publish = 0.0;
+};
+
+AllocResult bench_allocations() {
+  constexpr std::uint64_t kWarmup = 2'000;
+  constexpr std::uint64_t kMeasured = 50'000;
+  AllocResult out;
+  const std::vector<std::string> names = make_names();
+  const util::Symbol client_sym = util::Symbol::intern("client");
+  const util::Symbol value_sym = util::Symbol::intern("value");
+  const util::Symbol topic_sym = monitor::topics::kProbeLatencySym;
+  const util::Symbol user_sym = util::Symbol::intern("User3");
+
+  {  // current LocalEventBus, steady-state probe path
+    events::LocalEventBus bus;
+    double consumed = 0.0;
+    bus.subscribe(events::Filter::topic(topic_sym).where(
+                      client_sym, events::Op::Eq, events::Value(user_sym)),
+                  [&consumed, value_sym](const events::Notification& n) {
+                    consumed += n.get_if(value_sym)->as_double();
+                  });
+    auto publish_one = [&](std::uint64_t i) {
+      events::Notification n(topic_sym);
+      n.set(client_sym, user_sym).set(value_sym, static_cast<double>(i));
+      bus.publish(std::move(n));
+    };
+    for (std::uint64_t i = 0; i < kWarmup; ++i) publish_one(i);
+    const std::uint64_t before = g_alloc_count.load();
+    for (std::uint64_t i = 0; i < kMeasured; ++i) publish_one(i);
+    out.local_per_publish =
+        static_cast<double>(g_alloc_count.load() - before) / kMeasured;
+    g_sink = consumed;
+  }
+
+  {  // current SimEventBus, steady-state probe path (batches drained)
+    sim::Simulator sim;
+    events::SimEventBus bus(sim, events::fixed_delay(SimTime::millis(5)));
+    double consumed = 0.0;
+    bus.subscribe(events::Filter::topic(topic_sym),
+                  [&consumed, value_sym](const events::Notification& n) {
+                    consumed += n.get_if(value_sym)->as_double();
+                  });
+    auto round = [&](std::uint64_t base) {
+      for (std::uint64_t i = 0; i < 100; ++i) {
+        events::Notification n(topic_sym);
+        n.set(client_sym, user_sym)
+            .set(value_sym, static_cast<double>(base + i));
+        bus.publish(std::move(n));
+      }
+      sim.run_until(sim.now() + SimTime::seconds(1));
+    };
+    for (std::uint64_t r = 0; r < kWarmup / 100; ++r) round(r);
+    const std::uint64_t before = g_alloc_count.load();
+    for (std::uint64_t r = 0; r < kMeasured / 100; ++r) round(r);
+    out.sim_per_publish = static_cast<double>(g_alloc_count.load() - before) /
+                          kMeasured;
+    g_sink = consumed;
+  }
+
+  {  // legacy local bus, same workload, for contrast
+    LegacyLocalBus bus;
+    LegacyFilter f;
+    f.topic = "probe.latency";
+    f.eq_constraints.push_back({"client", events::Value(std::string("User3"))});
+    double consumed = 0.0;
+    bus.subscribe(std::move(f), [&consumed](const LegacyNotification& n) {
+      consumed += n.attributes.find("value")->second.as_double();
+    });
+    auto publish_one = [&](std::uint64_t i) {
+      LegacyNotification n;
+      n.topic = "probe.latency";
+      n.attributes["client"] = events::Value(std::string("User3"));
+      n.attributes["value"] = events::Value(static_cast<double>(i));
+      bus.publish(n);
+    };
+    for (std::uint64_t i = 0; i < kWarmup; ++i) publish_one(i);
+    const std::uint64_t before = g_alloc_count.load();
+    for (std::uint64_t i = 0; i < kMeasured; ++i) publish_one(i);
+    out.legacy_local_per_publish =
+        static_cast<double>(g_alloc_count.load() - before) / kMeasured;
+    g_sink = consumed;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_buspath.json";
+
+  std::cout << "bench_buspath: local publish/dispatch...\n";
+  const LocalPublishResult local = bench_local_publish();
+  std::cout << "bench_buspath: sim delayed pipeline...\n";
+  const SimPipelineResult pipeline = bench_sim_pipeline();
+  std::cout << "bench_buspath: allocation audit...\n";
+  const AllocResult allocs = bench_allocations();
+
+  const double local_speedup = local.legacy_ns / local.current_ns;
+  const double sim_speedup = pipeline.legacy_ns / pipeline.current_ns;
+
+  std::ofstream json(out_path);
+  json << "{\n"
+       << "  \"local_publish\": {\n"
+       << "    \"subscribers\": " << (kNames * 4) << ",\n"
+       << "    \"legacy_scan_ns_per_publish\": " << local.legacy_ns << ",\n"
+       << "    \"indexed_ns_per_publish\": " << local.current_ns << ",\n"
+       << "    \"speedup\": " << local_speedup << "\n"
+       << "  },\n"
+       << "  \"sim_pipeline\": {\n"
+       << "    \"fanout\": " << pipeline.fanout << ",\n"
+       << "    \"legacy_copy_ns_per_delivery\": " << pipeline.legacy_ns
+       << ",\n"
+       << "    \"shared_payload_ns_per_delivery\": " << pipeline.current_ns
+       << ",\n"
+       << "    \"speedup\": " << sim_speedup << "\n"
+       << "  },\n"
+       << "  \"allocations_per_publish\": {\n"
+       << "    \"local_steady_state\": " << allocs.local_per_publish << ",\n"
+       << "    \"sim_steady_state\": " << allocs.sim_per_publish << ",\n"
+       << "    \"legacy_local_steady_state\": "
+       << allocs.legacy_local_per_publish << "\n"
+       << "  }\n"
+       << "}\n";
+  json.close();
+
+  std::cout << "\nlocal publish:  " << local.legacy_ns
+            << " ns (legacy scan) -> " << local.current_ns
+            << " ns (indexed), " << local_speedup << "x  ["
+            << (kNames * 4) << " subscribers]\n"
+            << "sim pipeline:   " << pipeline.legacy_ns
+            << " ns/delivery (copy) -> " << pipeline.current_ns
+            << " ns/delivery (shared payload), " << sim_speedup << "x  [fanout "
+            << pipeline.fanout << "]\n"
+            << "allocs/publish: local " << allocs.local_per_publish << ", sim "
+            << allocs.sim_per_publish << " (legacy "
+            << allocs.legacy_local_per_publish << ")\n"
+            << "\nwrote " << out_path << "\n";
+
+  // Acceptance gate: >= 2x on both paths, zero steady-state allocations.
+  const bool pass = local_speedup >= 2.0 && sim_speedup >= 2.0 &&
+                    allocs.local_per_publish == 0.0 &&
+                    allocs.sim_per_publish == 0.0;
+  if (!pass) {
+    std::cout << "WARNING: below the acceptance floor (2x + zero allocs)\n";
+  }
+  return pass ? 0 : 1;
+}

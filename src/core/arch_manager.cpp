@@ -26,7 +26,7 @@ ArchitectureManager::~ArchitectureManager() { stop(); }
 void ArchitectureManager::start() {
   if (config_.passive) return;  // fleet mode: the FleetManager drives us
   sub_ = gauge_bus_.subscribe(
-      events::Filter::topic(monitor::topics::kGaugeReport),
+      events::Filter::topic(monitor::topics::kGaugeReportSym),
       [this](const events::Notification& n) {
         util::Symbol element, role, property;
         if (!parse_gauge_report(n, element, role, property)) {
@@ -34,7 +34,7 @@ void ArchitectureManager::start() {
           return;
         }
         switch (apply_gauge_value(element, role, property,
-                                  n.get(monitor::topics::kAttrValue))) {
+                                  *n.get_if(monitor::topics::kAttrValueSym))) {
           case GaugeApply::Applied:
             ++stats_.reports_applied;
             break;
@@ -66,18 +66,21 @@ bool ArchitectureManager::parse_gauge_report(const events::Notification& n,
                                              util::Symbol& element,
                                              util::Symbol& role,
                                              util::Symbol& property) {
-  if (!n.has(monitor::topics::kAttrElement) ||
-      !n.has(monitor::topics::kAttrProperty) ||
-      !n.has(monitor::topics::kAttrValue)) {
+  const events::Value* addr_v = n.get_if(monitor::topics::kAttrElementSym);
+  const events::Value* prop_v = n.get_if(monitor::topics::kAttrPropertySym);
+  if (!addr_v || !prop_v || !n.has(monitor::topics::kAttrValueSym) ||
+      !addr_v->is_string() || !prop_v->is_string()) {
     return false;
   }
-  // Intern once per report; model lookups and the property write are
-  // integer-keyed from here on.
-  const std::string& addr = n.get(monitor::topics::kAttrElement).as_string();
+  // Gauge managers publish interned addresses; the component case (no dot)
+  // passes the symbol straight through — no hashing at all. Connector-role
+  // addresses and raw string reports intern once per report here; model
+  // lookups and the property write are integer-keyed from there on.
+  const std::string& addr = addr_v->as_string();
   if (addr.empty()) return false;
   const auto dot = addr.find('.');
   if (dot == std::string::npos) {
-    element = util::Symbol::intern(addr);
+    element = addr_v->to_symbol();
     role = util::Symbol();
   } else {
     // "Connector.role" needs both halves; "X." must not degrade to a
@@ -86,8 +89,7 @@ bool ArchitectureManager::parse_gauge_report(const events::Notification& n,
     element = util::Symbol::intern(std::string_view(addr).substr(0, dot));
     role = util::Symbol::intern(std::string_view(addr).substr(dot + 1));
   }
-  property =
-      util::Symbol::intern(n.get(monitor::topics::kAttrProperty).as_string());
+  property = prop_v->to_symbol();
   return true;
 }
 
@@ -95,7 +97,7 @@ bool ArchitectureManager::apply_gauge_report(const events::Notification& n) {
   util::Symbol element, role, property;
   if (!parse_gauge_report(n, element, role, property)) return false;
   return apply_gauge_value(element, role, property,
-                           n.get(monitor::topics::kAttrValue)) !=
+                           *n.get_if(monitor::topics::kAttrValueSym)) !=
          GaugeApply::NoTarget;
 }
 

@@ -46,7 +46,7 @@ void FleetManager::start() {
   for (ShardId id = 0; id < shards_.size(); ++id) {
     Shard& shard = shards_[id];
     shard.sub = shard.bus->subscribe(
-        events::Filter::topic(monitor::topics::kGaugeReport),
+        events::Filter::topic(monitor::topics::kGaugeReportSym),
         [this, id](const events::Notification& n) { enqueue(id, n); },
         shard.manager_node);
   }
@@ -103,7 +103,7 @@ void FleetManager::enqueue(ShardId id, const events::Notification& n) {
     ++shard.stats.reports_ignored;  // malformed, same verdict as unbatched
     return;
   }
-  const events::Value& value = n.get(monitor::topics::kAttrValue);
+  const events::Value& value = *n.get_if(monitor::topics::kAttrValueSym);
 
   if (config_.coalesce_window <= SimTime::zero()) {
     Shard::PendingSlot direct;

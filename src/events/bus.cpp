@@ -8,33 +8,56 @@ SubscriptionId LocalEventBus::subscribe(Filter filter, Handler handler,
                                         sim::NodeId /*subscriber_node*/) {
   std::lock_guard lock(mutex_);
   SubscriptionId id = next_id_++;
-  subs_.push_back(
-      Sub{id, std::move(filter), std::make_shared<Handler>(std::move(handler))});
+  subs_.add(id, std::move(filter),
+            SubData{std::make_shared<Handler>(std::move(handler))});
   return id;
 }
 
 void LocalEventBus::unsubscribe(SubscriptionId id) {
   std::lock_guard lock(mutex_);
-  subs_.erase(std::remove_if(subs_.begin(), subs_.end(),
-                             [id](const Sub& s) { return s.id == id; }),
-              subs_.end());
+  // Immediate slot reuse is safe: dispatched handlers run from
+  // snapshot-held shared_ptrs, never from the slot.
+  subs_.remove(id);
+}
+
+std::unique_ptr<LocalEventBus::Scratch> LocalEventBus::acquire_scratch() {
+  // Thread-local, so snapshot buffers need no lock of their own: one buffer
+  // per publish depth (re-entrant publishes nest), each keeping its
+  // capacity across publishes.
+  auto& pool = scratch_pool();
+  if (pool.empty()) return std::make_unique<Scratch>();
+  auto scratch = std::move(pool.back());
+  pool.pop_back();
+  return scratch;
+}
+
+std::vector<std::unique_ptr<LocalEventBus::Scratch>>&
+LocalEventBus::scratch_pool() {
+  static thread_local std::vector<std::unique_ptr<Scratch>> pool;
+  return pool;
 }
 
 void LocalEventBus::publish(Notification n) {
-  std::vector<std::shared_ptr<Handler>> targets;
+  std::unique_ptr<Scratch> targets = acquire_scratch();
   {
     std::lock_guard lock(mutex_);
     ++stats_.published;
-    for (const Sub& s : subs_) {
-      if (s.filter.matches(n)) targets.push_back(s.handler);
-    }
-    if (targets.empty()) {
+    subs_.for_candidates(
+        n.topic, [&](std::uint32_t, auto& slot, bool topic_prechecked) {
+          const bool hit = topic_prechecked
+                               ? slot.filter.matches_constraints(n)
+                               : slot.filter.matches(n);
+          if (hit) targets->push_back(slot.data.handler);
+        });
+    if (targets->empty()) {
       ++stats_.dropped_no_match;
     } else {
-      stats_.delivered += targets.size();
+      stats_.delivered += targets->size();
     }
   }
-  for (const auto& h : targets) (*h)(n);
+  for (const auto& h : *targets) (*h)(n);
+  targets->clear();  // drop handler refs outside the lock; keep capacity
+  scratch_pool().push_back(std::move(targets));
 }
 
 DelayModel fixed_delay(SimTime delay) {
@@ -60,41 +83,49 @@ SimEventBus::SimEventBus(sim::Simulator& sim, DelayModel delay)
 SubscriptionId SimEventBus::subscribe(Filter filter, Handler handler,
                                       sim::NodeId subscriber_node) {
   SubscriptionId id = next_id_++;
-  subs_.push_back(Sub{id, std::move(filter),
-                      std::make_shared<Handler>(std::move(handler)),
-                      subscriber_node, std::make_shared<bool>(true)});
+  subs_.add(id, std::move(filter),
+            SubData{std::make_shared<Handler>(std::move(handler)),
+                    subscriber_node});
   return id;
 }
 
-void SimEventBus::unsubscribe(SubscriptionId id) {
-  for (auto& s : subs_) {
-    if (s.id == id) *s.alive = false;
-  }
-  subs_.erase(std::remove_if(subs_.begin(), subs_.end(),
-                             [id](const Sub& s) { return s.id == id; }),
-              subs_.end());
+void SimEventBus::unsubscribe(SubscriptionId id) { subs_.remove(id); }
+
+void SimEventBus::deliver(std::uint32_t idx, std::uint32_t gen,
+                          const Notification& n) {
+  --in_flight_;
+  // Generation mismatch: the subscription was deleted while this delivery
+  // was in flight — dropped, like messages to a deleted Siena subscription.
+  if (!subs_.alive(idx, gen)) return;
+  ++stats_.delivered;
+  // Pin the closure (refcount bump, no allocation) before invoking: the
+  // handler may re-enter the bus — a re-entrant subscribe can reallocate
+  // the slot vector, a self-unsubscribe recycles the slot — and the
+  // executing closure must outlive its own call either way.
+  std::shared_ptr<Handler> handler = subs_.slot(idx).data.handler;
+  (*handler)(n);
 }
 
 void SimEventBus::publish(Notification n) {
   ++stats_.published;
   n.published = sim_.now();
-  auto shared = std::make_shared<Notification>(std::move(n));
+  NotificationPtr shared = payloads_.acquire(std::move(n));
   bool matched = false;
-  for (const Sub& s : subs_) {
-    if (!s.filter.matches(*shared)) continue;
-    matched = true;
-    SimTime delay = delay_(*shared, s.node);
-    ++in_flight_;
-    // Capture the liveness token: deliveries racing an unsubscribe are
-    // dropped, like messages to a deleted Siena subscription.
-    sim_.schedule_in(delay,
-                     [this, shared, handler = s.handler, alive = s.alive] {
-                       --in_flight_;
-                       if (!*alive) return;
-                       ++stats_.delivered;
-                       (*handler)(*shared);
-                     });
-  }
+  subs_.for_candidates(
+      shared->topic, [&](std::uint32_t idx, auto& slot, bool topic_prechecked) {
+        const bool hit = topic_prechecked
+                             ? slot.filter.matches_constraints(*shared)
+                             : slot.filter.matches(*shared);
+        if (!hit) return;
+        matched = true;
+        SimTime delay = delay_(*shared, slot.data.node);
+        ++in_flight_;
+        // 32-byte capture: fits the simulator's inline event slot, so a
+        // delivery schedules without touching the heap.
+        sim_.schedule_in(delay, [this, shared, idx, gen = slot.gen] {
+          deliver(idx, gen, *shared);
+        });
+      });
   if (!matched) ++stats_.dropped_no_match;
 }
 

@@ -1,5 +1,12 @@
 // Content-based subscription filters: a topic pattern plus a conjunction of
 // attribute constraints, following Siena's filter model.
+//
+// The topic pattern is classified once at construction — exact (interned
+// symbol, id-compared), prefix ("probe.*"), or any — so the buses can route
+// exact-topic subscriptions through a topic index and only string-compare
+// the wildcard minority. Constraint names are interned; Eq/Ne string
+// constraint values are stored as symbols so the common "client == User3"
+// match is an integer compare against a symbol-valued attribute.
 #pragma once
 
 #include <string>
@@ -25,7 +32,7 @@ enum class Op {
 const char* to_string(Op op);
 
 struct AttrConstraint {
-  std::string name;
+  util::Symbol name;
   Op op = Op::Exists;
   Value value;
 };
@@ -34,27 +41,57 @@ struct AttrConstraint {
 /// prefix ending in '*' ("gauge.*").
 class Filter {
  public:
+  enum class TopicKind {
+    Any,     ///< "" — every topic
+    Exact,   ///< id-compared against the notification's interned topic
+    Prefix,  ///< pattern ending in '*'
+  };
+
   Filter() = default;
   static Filter topic(std::string pattern) {
     Filter f;
-    f.topic_ = std::move(pattern);
+    f.set_topic(std::move(pattern));
+    return f;
+  }
+  static Filter topic(util::Symbol pattern) {
+    // Classified like the string overload, so a '*'-suffixed symbol is a
+    // prefix filter, not an exact match against the literal pattern text.
+    Filter f;
+    f.set_topic(pattern.str());
     return f;
   }
   static Filter any() { return Filter(); }
 
-  Filter& where(std::string name, Op op, Value value = Value()) {
-    constraints_.push_back({std::move(name), op, std::move(value)});
+  Filter& where(util::Symbol name, Op op, Value value = Value()) {
+    // Store Eq/Ne string operands interned: equality is textual either way,
+    // and a symbol-vs-symbol compare is one integer op on the match path.
+    if ((op == Op::Eq || op == Op::Ne) && value.is_string()) {
+      value = Value(value.to_symbol());
+    }
+    constraints_.push_back({name, op, std::move(value)});
     return *this;
+  }
+  Filter& where(std::string_view name, Op op, Value value = Value()) {
+    return where(util::Symbol::intern(name), op, std::move(value));
   }
 
   bool matches(const Notification& n) const;
+  /// The attribute-constraint half of matches(); used by the indexed buses,
+  /// which have already routed on the topic.
+  bool matches_constraints(const Notification& n) const;
 
+  TopicKind topic_kind() const { return kind_; }
+  /// Interned topic for Exact filters (empty symbol otherwise).
+  util::Symbol topic_symbol() const { return topic_sym_; }
   const std::string& topic_pattern() const { return topic_; }
   const std::vector<AttrConstraint>& constraints() const { return constraints_; }
 
  private:
+  void set_topic(std::string pattern);
   static bool match_constraint(const AttrConstraint& c, const Notification& n);
   std::string topic_;
+  util::Symbol topic_sym_;  ///< set for Exact
+  TopicKind kind_ = TopicKind::Any;
   std::vector<AttrConstraint> constraints_;
 };
 

@@ -4,9 +4,16 @@
 
 namespace arcadia::events {
 
+Value::Value(const Value& other) = default;
+Value& Value::operator=(const Value& other) = default;
+Value::Value(Value&& other) noexcept = default;
+Value& Value::operator=(Value&& other) noexcept = default;
+Value::~Value() = default;
+
 bool operator==(const Value& a, const Value& b) {
   if (a.is_numeric() && b.is_numeric()) return a.as_double() == b.as_double();
   if (a.is_bool() && b.is_bool()) return a.as_bool() == b.as_bool();
+  if (a.is_symbol() && b.is_symbol()) return a.as_symbol() == b.as_symbol();
   if (a.is_string() && b.is_string()) return a.as_string() == b.as_string();
   return false;
 }

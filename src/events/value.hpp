@@ -2,11 +2,19 @@
 // notifications are flat sets of named, typed attributes; filters constrain
 // them. Numeric comparisons coerce int<->double, mirroring Siena's
 // behaviour for numeric attribute types.
+//
+// Strings come in two flavours: an owned std::string for arbitrary payload
+// text, and an interned util::Symbol for the names the monitoring stack
+// repeats forever (client/element/property identifiers). A Symbol value is
+// 4 bytes, never allocates, and compares by id against other symbols; it
+// still reads, compares, and filters exactly like the string it interns.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <variant>
+
+#include "util/symbol.hpp"
 
 namespace arcadia::events {
 
@@ -19,16 +27,44 @@ class Value {
   Value(double d) : v_(d) {}                     // NOLINT(runtime/explicit)
   Value(std::string s) : v_(std::move(s)) {}     // NOLINT(runtime/explicit)
   Value(const char* s) : v_(std::string(s)) {}   // NOLINT(runtime/explicit)
+  Value(util::Symbol s) : v_(s) {}               // NOLINT(runtime/explicit)
+
+  // The special members are defined out-of-line: GCC 12's
+  // -Wmaybe-uninitialized misfires on the inlined five-alternative variant
+  // copy/move at call sites. The indirection is one call on paths that
+  // already run a variant visit.
+  Value(const Value& other);
+  Value& operator=(const Value& other);
+  Value(Value&& other) noexcept;
+  Value& operator=(Value&& other) noexcept;
+  ~Value();
 
   bool is_bool() const { return std::holds_alternative<bool>(v_); }
   bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
   bool is_double() const { return std::holds_alternative<double>(v_); }
-  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  /// True for both owned strings and interned symbols: the two are the same
+  /// logical type, differing only in storage.
+  bool is_string() const {
+    return std::holds_alternative<std::string>(v_) || is_symbol();
+  }
+  bool is_symbol() const { return std::holds_alternative<util::Symbol>(v_); }
   bool is_numeric() const { return is_int() || is_double(); }
 
   bool as_bool() const { return std::get<bool>(v_); }
   std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
-  const std::string& as_string() const { return std::get<std::string>(v_); }
+  /// String read; for a symbol, the interned text (stable for the process
+  /// lifetime, so returning a reference is safe).
+  const std::string& as_string() const {
+    if (const auto* sym = std::get_if<util::Symbol>(&v_)) return sym->str();
+    return std::get<std::string>(v_);
+  }
+  util::Symbol as_symbol() const { return std::get<util::Symbol>(v_); }
+  /// The value as an interned symbol: identity for symbols, interns owned
+  /// strings. Throws std::bad_variant_access for non-string values.
+  util::Symbol to_symbol() const {
+    if (const auto* sym = std::get_if<util::Symbol>(&v_)) return *sym;
+    return util::Symbol::intern(std::get<std::string>(v_));
+  }
   /// Numeric read with int->double coercion; throws std::bad_variant_access
   /// for non-numeric values.
   double as_double() const {
@@ -36,8 +72,9 @@ class Value {
     return std::get<double>(v_);
   }
 
-  /// Equality with numeric coercion (1 == 1.0); distinct non-numeric types
-  /// are never equal.
+  /// Equality with numeric coercion (1 == 1.0); symbols and strings compare
+  /// by text (two symbols by id — same thing, interning is idempotent);
+  /// distinct non-numeric types are never equal.
   friend bool operator==(const Value& a, const Value& b);
   friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
 
@@ -49,7 +86,7 @@ class Value {
   std::string to_string() const;
 
  private:
-  std::variant<bool, std::int64_t, double, std::string> v_;
+  std::variant<bool, std::int64_t, double, util::Symbol, std::string> v_;
 };
 
 }  // namespace arcadia::events

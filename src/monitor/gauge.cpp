@@ -6,22 +6,22 @@ namespace arcadia::monitor {
 
 SlidingWindowGauge::SlidingWindowGauge(sim::Simulator& sim, GaugeSpec spec,
                                        events::Filter filter,
-                                       std::string value_attr, SimTime window,
+                                       util::Symbol value_attr, SimTime window,
                                        SimTime max_staleness)
     : Gauge(sim, std::move(spec)),
       filter_(std::move(filter)),
-      value_attr_(std::move(value_attr)),
+      value_attr_(value_attr),
       window_(window),
       max_staleness_(max_staleness) {}
 
 void SlidingWindowGauge::consume(const events::Notification& n) {
-  auto it = n.attributes.find(value_attr_);
-  if (it == n.attributes.end() || !it->second.is_numeric()) return;
-  samples_.emplace_back(sim_.now(), it->second.as_double());
+  const events::Value* v = n.get_if(value_attr_);
+  if (!v || !v->is_numeric()) return;
+  samples_.push_back({sim_.now(), v->as_double()});
   last_sample_time_ = sim_.now();
   // Track the newest observation so read() can hold a value through short
   // probe silences even if it never ran while the window was populated.
-  last_value_ = it->second.as_double();
+  last_value_ = v->as_double();
   evict();
 }
 
@@ -36,7 +36,7 @@ std::optional<double> SlidingWindowGauge::read() {
   evict();
   if (!samples_.empty()) {
     double sum = 0.0;
-    for (const auto& [t, v] : samples_) sum += v;
+    for (std::size_t i = 0; i < samples_.size(); ++i) sum += samples_[i].second;
     last_value_ = sum / static_cast<double>(samples_.size());
     return last_value_;
   }
@@ -53,16 +53,16 @@ void SlidingWindowGauge::reset() {
 }
 
 EwmaGauge::EwmaGauge(sim::Simulator& sim, GaugeSpec spec, events::Filter filter,
-                     std::string value_attr, double alpha)
+                     util::Symbol value_attr, double alpha)
     : Gauge(sim, std::move(spec)),
       filter_(std::move(filter)),
-      value_attr_(std::move(value_attr)),
+      value_attr_(value_attr),
       ewma_(alpha) {}
 
 void EwmaGauge::consume(const events::Notification& n) {
-  auto it = n.attributes.find(value_attr_);
-  if (it == n.attributes.end() || !it->second.is_numeric()) return;
-  ewma_.add(it->second.as_double());
+  const events::Value* v = n.get_if(value_attr_);
+  if (!v || !v->is_numeric()) return;
+  ewma_.add(v->as_double());
 }
 
 std::optional<double> EwmaGauge::read() {
@@ -74,15 +74,15 @@ void EwmaGauge::reset() { ewma_.reset(); }
 
 LatestValueGauge::LatestValueGauge(sim::Simulator& sim, GaugeSpec spec,
                                    events::Filter filter,
-                                   std::string value_attr)
+                                   util::Symbol value_attr)
     : Gauge(sim, std::move(spec)),
       filter_(std::move(filter)),
-      value_attr_(std::move(value_attr)) {}
+      value_attr_(value_attr) {}
 
 void LatestValueGauge::consume(const events::Notification& n) {
-  auto it = n.attributes.find(value_attr_);
-  if (it == n.attributes.end() || !it->second.is_numeric()) return;
-  latest_ = it->second.as_double();
+  const events::Value* v = n.get_if(value_attr_);
+  if (!v || !v->is_numeric()) return;
+  latest_ = v->as_double();
 }
 
 std::optional<double> LatestValueGauge::read() { return latest_; }
@@ -93,15 +93,16 @@ std::unique_ptr<Gauge> make_latency_gauge(sim::Simulator& sim,
                                           const std::string& client,
                                           sim::NodeId host, SimTime window) {
   GaugeSpec spec;
-  spec.id = "latency:" + client;
-  spec.element = client;
-  spec.element_sym = util::Symbol::intern(client);
-  spec.property = "averageLatency";
+  spec.id = util::Symbol::intern("latency:" + client);
+  spec.element = util::Symbol::intern(client);
+  spec.property = util::Symbol::intern("averageLatency");
   spec.host_node = host;
-  auto filter = events::Filter::topic(topics::kProbeLatency)
-                    .where(topics::kAttrClient, events::Op::Eq, client);
+  auto filter =
+      events::Filter::topic(topics::kProbeLatencySym)
+          .where(topics::kAttrClientSym, events::Op::Eq,
+                 events::Value(util::Symbol::intern(client)));
   return std::make_unique<SlidingWindowGauge>(
-      sim, std::move(spec), std::move(filter), topics::kAttrValue, window,
+      sim, std::move(spec), std::move(filter), topics::kAttrValueSym, window,
       window * 2.0);
 }
 
@@ -109,15 +110,15 @@ std::unique_ptr<Gauge> make_load_gauge(sim::Simulator& sim,
                                        const std::string& group,
                                        sim::NodeId host, SimTime window) {
   GaugeSpec spec;
-  spec.id = "load:" + group;
-  spec.element = group;
-  spec.element_sym = util::Symbol::intern(group);
-  spec.property = "load";
+  spec.id = util::Symbol::intern("load:" + group);
+  spec.element = util::Symbol::intern(group);
+  spec.property = util::Symbol::intern("load");
   spec.host_node = host;
-  auto filter = events::Filter::topic(topics::kProbeQueue)
-                    .where(topics::kAttrGroup, events::Op::Eq, group);
+  auto filter = events::Filter::topic(topics::kProbeQueueSym)
+                    .where(topics::kAttrGroupSym, events::Op::Eq,
+                           events::Value(util::Symbol::intern(group)));
   return std::make_unique<SlidingWindowGauge>(
-      sim, std::move(spec), std::move(filter), topics::kAttrValue, window,
+      sim, std::move(spec), std::move(filter), topics::kAttrValueSym, window,
       window * 2.0);
 }
 
@@ -126,31 +127,32 @@ std::unique_ptr<Gauge> make_bandwidth_gauge(sim::Simulator& sim,
                                             const std::string& role_element,
                                             sim::NodeId host) {
   GaugeSpec spec;
-  spec.id = "bandwidth:" + client;
-  spec.element = role_element;
-  spec.element_sym = util::Symbol::intern(role_element);
-  spec.property = "bandwidth";
+  spec.id = util::Symbol::intern("bandwidth:" + client);
+  spec.element = util::Symbol::intern(role_element);
+  spec.property = util::Symbol::intern("bandwidth");
   spec.host_node = host;
-  auto filter = events::Filter::topic(topics::kProbeBandwidth)
-                    .where(topics::kAttrClient, events::Op::Eq, client);
+  auto filter =
+      events::Filter::topic(topics::kProbeBandwidthSym)
+          .where(topics::kAttrClientSym, events::Op::Eq,
+                 events::Value(util::Symbol::intern(client)));
   return std::make_unique<LatestValueGauge>(sim, std::move(spec),
                                             std::move(filter),
-                                            topics::kAttrValue);
+                                            topics::kAttrValueSym);
 }
 
 std::unique_ptr<Gauge> make_utilization_gauge(sim::Simulator& sim,
                                               const std::string& group,
                                               sim::NodeId host, double alpha) {
   GaugeSpec spec;
-  spec.id = "utilization:" + group;
-  spec.element = group;
-  spec.element_sym = util::Symbol::intern(group);
-  spec.property = "utilization";
+  spec.id = util::Symbol::intern("utilization:" + group);
+  spec.element = util::Symbol::intern(group);
+  spec.property = util::Symbol::intern("utilization");
   spec.host_node = host;
-  auto filter = events::Filter::topic(topics::kProbeUtilization)
-                    .where(topics::kAttrGroup, events::Op::Eq, group);
+  auto filter = events::Filter::topic(topics::kProbeUtilizationSym)
+                    .where(topics::kAttrGroupSym, events::Op::Eq,
+                           events::Value(util::Symbol::intern(group)));
   return std::make_unique<EwmaGauge>(sim, std::move(spec), std::move(filter),
-                                     topics::kAttrValue, alpha);
+                                     topics::kAttrValueSym, alpha);
 }
 
 }  // namespace arcadia::monitor

@@ -5,34 +5,32 @@
 // deletion, relocation) is owned by the GaugeManager.
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "events/bus.hpp"
 #include "sim/simulator.hpp"
+#include "util/ring_buffer.hpp"
 #include "util/stats.hpp"
 #include "util/symbol.hpp"
 
 namespace arcadia::monitor {
 
 /// Identity of a gauge: which model element and property it measures.
+/// All names are interned eagerly at construction — specs are read
+/// concurrently by the fleet's parallel shard sweep, so there must be no
+/// lazy intern-on-first-use mutation behind a const accessor.
 struct GaugeSpec {
-  std::string id;        ///< unique gauge id ("latency:User3")
-  std::string element;   ///< model element name the property lives on
-  std::string property;  ///< property name ("averageLatency", "load", ...)
+  util::Symbol id;        ///< unique gauge id ("latency:User3")
+  util::Symbol element;   ///< model element address ("User3",
+                          ///  "Conn_User3.clientSide")
+  util::Symbol property;  ///< property name ("averageLatency", "load", ...)
   sim::NodeId host_node = sim::kNoNode;  ///< machine the gauge runs on
 
-  /// Interned `element`, used for grouping/redeploy lookups; interns on
-  /// first use when a hand-built spec left it empty.
-  util::Symbol element_symbol() const {
-    if (element_sym.empty() && !element.empty()) {
-      element_sym = util::Symbol::intern(element);
-    }
-    return element_sym;
-  }
-  mutable util::Symbol element_sym;
+  /// Interned `element`, used for grouping/redeploy lookups.
+  util::Symbol element_symbol() const { return element; }
 };
 
 /// Base class. Subclasses define which probe notifications feed the gauge
@@ -66,7 +64,7 @@ class Gauge {
 class SlidingWindowGauge : public Gauge {
  public:
   SlidingWindowGauge(sim::Simulator& sim, GaugeSpec spec,
-                     events::Filter filter, std::string value_attr,
+                     events::Filter filter, util::Symbol value_attr,
                      SimTime window, SimTime max_staleness);
 
   events::Filter probe_filter() const override { return filter_; }
@@ -79,10 +77,12 @@ class SlidingWindowGauge : public Gauge {
  private:
   void evict();
   events::Filter filter_;
-  std::string value_attr_;
+  util::Symbol value_attr_;
   SimTime window_;
   SimTime max_staleness_;
-  std::deque<std::pair<SimTime, double>> samples_;
+  /// Ring, not deque: the window slides for the whole run, and the ring
+  /// stops allocating once it reaches the high-water sample count.
+  util::RingBuffer<std::pair<SimTime, double>> samples_;
   std::optional<double> last_value_;
   SimTime last_sample_time_;
 };
@@ -91,7 +91,7 @@ class SlidingWindowGauge : public Gauge {
 class EwmaGauge : public Gauge {
  public:
   EwmaGauge(sim::Simulator& sim, GaugeSpec spec, events::Filter filter,
-            std::string value_attr, double alpha);
+            util::Symbol value_attr, double alpha);
 
   events::Filter probe_filter() const override { return filter_; }
   void consume(const events::Notification& n) override;
@@ -100,7 +100,7 @@ class EwmaGauge : public Gauge {
 
  private:
   events::Filter filter_;
-  std::string value_attr_;
+  util::Symbol value_attr_;
   Ewma ewma_;
 };
 
@@ -108,7 +108,7 @@ class EwmaGauge : public Gauge {
 class LatestValueGauge : public Gauge {
  public:
   LatestValueGauge(sim::Simulator& sim, GaugeSpec spec, events::Filter filter,
-                   std::string value_attr);
+                   util::Symbol value_attr);
 
   events::Filter probe_filter() const override { return filter_; }
   void consume(const events::Notification& n) override;
@@ -117,7 +117,7 @@ class LatestValueGauge : public Gauge {
 
  private:
   events::Filter filter_;
-  std::string value_attr_;
+  util::Symbol value_attr_;
   std::optional<double> latest_;
 };
 

@@ -1,5 +1,7 @@
 #include "monitor/gauge_manager.hpp"
 
+#include <algorithm>
+
 #include "monitor/topics.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -12,27 +14,25 @@ GaugeManager::GaugeManager(sim::Simulator& sim, events::EventBus& probe_bus,
     : sim_(sim), probe_bus_(probe_bus), gauge_bus_(gauge_bus), config_(config) {}
 
 GaugeManager::~GaugeManager() {
-  for (auto& [id, m] : gauges_) take_offline(m);
+  for (auto& entry : gauges_) take_offline(entry.value);
 }
 
 std::string GaugeManager::deploy(std::unique_ptr<Gauge> gauge,
                                  std::function<void()> on_live) {
-  const std::string id = gauge->spec().id;
-  if (gauges_.count(id)) throw Error("gauge already deployed: " + id);
+  const util::Symbol id = gauge->spec().id;
+  if (gauges_.contains(id)) {
+    throw Error("gauge already deployed: " + id.str());
+  }
   Managed m;
   m.gauge = std::move(gauge);
-  gauges_.emplace(id, std::move(m));
+  gauges_.insert_or_assign(id, std::move(m));
   sim_.schedule_in(config_.create_cost, [this, id, on_live] {
     go_live(id, on_live);
   });
-  return id;
+  return id.str();
 }
 
-void GaugeManager::go_live(const std::string& id,
-                           std::function<void()> on_live) {
-  auto it = gauges_.find(id);
-  if (it == gauges_.end()) return;  // destroyed while being created
-  Managed& m = it->second;
+void GaugeManager::bring_online(Managed& m) {
   Gauge* g = m.gauge.get();
   m.probe_sub = probe_bus_.subscribe(
       g->probe_filter(), [g](const events::Notification& n) { g->consume(n); },
@@ -40,14 +40,20 @@ void GaugeManager::go_live(const std::string& id,
   m.reporter = std::make_unique<sim::PeriodicTask>(
       sim_, sim_.now() + config_.report_period, config_.report_period,
       [this, g]() {
-        auto it2 = gauges_.find(g->spec().id);
-        if (it2 == gauges_.end() || !it2->second.live) return false;
-        report(it2->second);
+        Managed* mm = gauges_.find(g->spec().id);
+        if (!mm || !mm->live) return false;
+        report(*mm);
         return true;
       });
   m.live = true;
+}
+
+void GaugeManager::go_live(util::Symbol id, std::function<void()> on_live) {
+  Managed* m = gauges_.find(id);
+  if (!m) return;  // destroyed while being created
+  bring_online(*m);
   ++stats_.created;
-  publish_lifecycle(id, "created");
+  publish_lifecycle(id, topics::kPhaseCreated);
   if (on_live) on_live();
 }
 
@@ -55,11 +61,13 @@ void GaugeManager::report(Managed& m) {
   std::optional<double> value = m.gauge->read();
   if (!value) return;
   const GaugeSpec& spec = m.gauge->spec();
-  events::Notification n(topics::kGaugeReport);
-  n.set(topics::kAttrGaugeId, spec.id)
-      .set(topics::kAttrElement, spec.element)
-      .set(topics::kAttrProperty, spec.property)
-      .set(topics::kAttrValue, *value);
+  // Symbols and a double end to end: the busiest notification in the
+  // system carries no owned strings and allocates nothing to build.
+  events::Notification n(topics::kGaugeReportSym);
+  n.set(topics::kAttrGaugeIdSym, spec.id)
+      .set(topics::kAttrElementSym, spec.element)
+      .set(topics::kAttrPropertySym, spec.property)
+      .set(topics::kAttrValueSym, *value);
   n.source_node = spec.host_node;
   n.wire_size = DataSize::bytes(512);
   ++stats_.reports;
@@ -77,51 +85,70 @@ void GaugeManager::take_offline(Managed& m) {
 
 void GaugeManager::destroy(const std::string& gauge_id,
                            std::function<void()> on_done) {
-  auto it = gauges_.find(gauge_id);
-  if (it == gauges_.end()) throw Error("destroy: unknown gauge " + gauge_id);
-  take_offline(it->second);
-  gauges_.erase(it);
+  destroy(util::Symbol::intern(gauge_id), std::move(on_done));
+}
+
+void GaugeManager::destroy(util::Symbol gauge_id,
+                           std::function<void()> on_done) {
+  Managed* m = gauges_.find(gauge_id);
+  if (!m) throw Error("destroy: unknown gauge " + gauge_id.str());
+  take_offline(*m);
+  gauges_.erase(gauge_id);
   ++stats_.destroyed;
-  publish_lifecycle(gauge_id, "deleted");
+  publish_lifecycle(gauge_id, topics::kPhaseDeleted);
   sim_.schedule_in(config_.destroy_cost, [on_done] {
     if (on_done) on_done();
   });
 }
 
-void GaugeManager::publish_lifecycle(const std::string& id,
-                                     const std::string& phase) {
-  events::Notification n(topics::kGaugeLifecycle);
-  n.set(topics::kAttrGaugeId, id).set(topics::kAttrPhase, phase);
+void GaugeManager::publish_lifecycle(util::Symbol id, util::Symbol phase) {
+  events::Notification n(topics::kGaugeLifecycleSym);
+  n.set(topics::kAttrGaugeIdSym, id).set(topics::kAttrPhaseSym, phase);
   n.wire_size = DataSize::bytes(256);
   gauge_bus_.publish(std::move(n));
 }
 
+std::vector<util::Symbol> GaugeManager::gauge_ids_for(
+    util::Symbol element) const {
+  std::vector<util::Symbol> out;
+  for (const auto& entry : gauges_) {
+    if (entry.value.gauge->spec().element_symbol() == element) {
+      out.push_back(entry.key);
+    }
+  }
+  return out;
+}
+
 std::vector<std::string> GaugeManager::gauges_for(
     const std::string& element) const {
-  const util::Symbol key = util::Symbol::intern(element);
   std::vector<std::string> out;
-  for (const auto& [id, m] : gauges_) {
-    if (m.gauge->spec().element_symbol() == key) out.push_back(id);
+  for (util::Symbol id : gauge_ids_for(util::Symbol::intern(element))) {
+    out.push_back(id.str());
   }
   return out;
 }
 
 std::vector<std::string> GaugeManager::all_elements() const {
   std::vector<std::string> out;
-  for (const auto& [id, m] : gauges_) {
-    const std::string& el = m.gauge->spec().element;
+  for (const auto& entry : gauges_) {
+    const std::string& el = entry.value.gauge->spec().element.str();
     if (std::find(out.begin(), out.end(), el) == out.end()) out.push_back(el);
   }
   return out;
 }
 
 bool GaugeManager::is_live(const std::string& gauge_id) const {
-  auto it = gauges_.find(gauge_id);
-  return it != gauges_.end() && it->second.live;
+  return is_live(util::Symbol::intern(gauge_id));
+}
+
+bool GaugeManager::is_live(util::Symbol gauge_id) const {
+  const Managed* m = gauges_.find(gauge_id);
+  return m && m->live;
 }
 
 SimTime GaugeManager::redeploy_cost(const std::string& element) const {
-  const std::size_t n = gauges_for(element).size();
+  const std::size_t n =
+      gauge_ids_for(util::Symbol::intern(element)).size();
   const SimTime per = config_.caching
                           ? config_.relocate_cost
                           : config_.destroy_cost + config_.create_cost;
@@ -130,7 +157,8 @@ SimTime GaugeManager::redeploy_cost(const std::string& element) const {
 
 void GaugeManager::redeploy_element(const std::string& element,
                                     std::function<void()> on_done) {
-  std::vector<std::string> ids = gauges_for(element);
+  std::vector<util::Symbol> ids =
+      gauge_ids_for(util::Symbol::intern(element));
   ++stats_.redeploys;
   if (ids.empty()) {
     sim_.schedule_in(SimTime::zero(), [on_done] {
@@ -142,8 +170,12 @@ void GaugeManager::redeploy_element(const std::string& element,
   // All of the element's gauges stop reporting now; they come back one by
   // one as the (sequential) lifecycle communication completes.
   SimTime cursor = SimTime::zero();
-  for (const std::string& id : ids) {
-    Managed& m = gauges_.at(id);
+  for (util::Symbol id : ids) {
+    // A lifecycle subscriber may destroy() gauges synchronously from the
+    // publish below; re-resolve and skip ids that vanished mid-loop.
+    Managed* found = gauges_.find(id);
+    if (!found) continue;
+    Managed& m = *found;
     take_offline(m);
     if (config_.caching) {
       ++stats_.relocated;
@@ -155,28 +187,15 @@ void GaugeManager::redeploy_element(const std::string& element,
       m.gauge->reset();
       cursor += config_.destroy_cost + config_.create_cost;
     }
-    publish_lifecycle(id, config_.caching ? "relocating" : "deleted");
+    publish_lifecycle(id, config_.caching ? topics::kPhaseRelocating
+                                          : topics::kPhaseDeleted);
     const bool last = (id == ids.back());
     sim_.schedule_in(cursor, [this, id, last, started, on_done] {
-      auto it = gauges_.find(id);
-      if (it == gauges_.end()) return;
+      Managed* mm = gauges_.find(id);
+      if (!mm) return;
       // Bring the gauge back online.
-      Managed& mm = it->second;
-      Gauge* g = mm.gauge.get();
-      mm.probe_sub = probe_bus_.subscribe(
-          g->probe_filter(),
-          [g](const events::Notification& n) { g->consume(n); },
-          g->spec().host_node);
-      mm.reporter = std::make_unique<sim::PeriodicTask>(
-          sim_, sim_.now() + config_.report_period, config_.report_period,
-          [this, g]() {
-            auto it2 = gauges_.find(g->spec().id);
-            if (it2 == gauges_.end() || !it2->second.live) return false;
-            report(it2->second);
-            return true;
-          });
-      mm.live = true;
-      publish_lifecycle(id, "created");
+      bring_online(*mm);
+      publish_lifecycle(id, topics::kPhaseCreated);
       if (last) {
         stats_.redeploy_time_total_s += (sim_.now() - started).as_seconds();
         if (on_done) on_done();

@@ -10,7 +10,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,6 +17,7 @@
 #include "events/bus.hpp"
 #include "monitor/gauge.hpp"
 #include "sim/simulator.hpp"
+#include "util/symbol.hpp"
 
 namespace arcadia::monitor {
 
@@ -44,7 +44,11 @@ struct GaugeManagerStats {
 
 /// Owns gauges; wires them to the probe bus; reports their readings on the
 /// gauge bus; models the (dominant) communication costs of lifecycle
-/// operations.
+/// operations. Gauges are keyed by their interned id (util::SymbolMap, the
+/// PR 2 container convention): the periodic report path — the busiest
+/// consumer — resolves a gauge with an integer probe instead of a string
+/// tree walk, and a report itself carries only symbols and a double, so
+/// steady-state reporting allocates nothing.
 class GaugeManager {
  public:
   GaugeManager(sim::Simulator& sim, events::EventBus& probe_bus,
@@ -61,6 +65,7 @@ class GaugeManager {
 
   /// Tear a gauge down (costs destroy_cost before `on_done`).
   void destroy(const std::string& gauge_id, std::function<void()> on_done = {});
+  void destroy(util::Symbol gauge_id, std::function<void()> on_done = {});
 
   /// Re-deploy every gauge attached to `element` — the step a repair incurs
   /// after reconfiguring an element. Costs are sequential over the
@@ -71,6 +76,7 @@ class GaugeManager {
                         std::function<void()> on_done = {});
 
   bool is_live(const std::string& gauge_id) const;
+  bool is_live(util::Symbol gauge_id) const;
   std::vector<std::string> gauges_for(const std::string& element) const;
   /// Distinct element names that have at least one gauge.
   std::vector<std::string> all_elements() const;
@@ -90,16 +96,20 @@ class GaugeManager {
     bool live = false;
   };
 
-  void go_live(const std::string& id, std::function<void()> on_live);
+  void go_live(util::Symbol id, std::function<void()> on_live);
+  void bring_online(Managed& m);
   void take_offline(Managed& m);
-  void publish_lifecycle(const std::string& id, const std::string& phase);
+  void publish_lifecycle(util::Symbol id, util::Symbol phase);
   void report(Managed& m);
+  std::vector<util::Symbol> gauge_ids_for(util::Symbol element) const;
 
   sim::Simulator& sim_;
   events::EventBus& probe_bus_;
   events::EventBus& gauge_bus_;
   GaugeManagerConfig config_;
-  std::map<std::string, Managed> gauges_;
+  /// Interned gauge id -> managed gauge; iteration is name-sorted, matching
+  /// the std::map<std::string, ...> order this container replaced.
+  util::SymbolMap<Managed> gauges_;
   GaugeManagerStats stats_;
 };
 

@@ -4,6 +4,12 @@
 
 namespace arcadia::monitor {
 
+namespace {
+// MethodCallProbe's fixed attribute names/values, interned once.
+const util::Symbol kAttrMethod = util::Symbol::intern("method");
+const util::Symbol kMethodEnqueue = util::Symbol::intern("enqueueRequest");
+}  // namespace
+
 LatencyProbe::LatencyProbe(sim::Simulator& sim, sim::GridApp& app,
                            events::EventBus& bus, SimTime stall_check_period,
                            SimTime stall_threshold)
@@ -17,9 +23,10 @@ LatencyProbe::LatencyProbe(sim::Simulator& sim, sim::GridApp& app,
 LatencyProbe::~LatencyProbe() { stop(); }
 
 void LatencyProbe::publish_latency(sim::ClientIdx client, double seconds) {
-  events::Notification n(topics::kProbeLatency);
-  n.set(topics::kAttrClient, app_.client_name(client))
-      .set(topics::kAttrValue, seconds);
+  events::Notification n(topics::kProbeLatencySym);
+  n.set(topics::kAttrClientSym,
+        client_syms_.get(client, app_.client_name(client)))
+      .set(topics::kAttrValueSym, seconds);
   n.source_node = app_.client_node(client);
   n.wire_size = DataSize::bytes(256);
   bus_.publish(std::move(n));
@@ -63,9 +70,10 @@ void QueueLengthProbe::start() {
       sim_, sim_.now() + period_, period_, [this] {
         for (sim::GroupIdx g = 0;
              g < static_cast<sim::GroupIdx>(app_.group_count()); ++g) {
-          events::Notification n(topics::kProbeQueue);
-          n.set(topics::kAttrGroup, app_.group_name(g))
-              .set(topics::kAttrValue,
+          events::Notification n(topics::kProbeQueueSym);
+          n.set(topics::kAttrGroupSym,
+                group_syms_.get(g, app_.group_name(g)))
+              .set(topics::kAttrValueSym,
                    static_cast<std::int64_t>(app_.queue_length(g)));
           n.source_node = app_.queue_node();
           n.wire_size = DataSize::bytes(128);
@@ -91,9 +99,10 @@ void UtilizationProbe::start() {
       sim_, sim_.now() + period_, period_, [this] {
         for (sim::GroupIdx g = 0;
              g < static_cast<sim::GroupIdx>(app_.group_count()); ++g) {
-          events::Notification n(topics::kProbeUtilization);
-          n.set(topics::kAttrGroup, app_.group_name(g))
-              .set(topics::kAttrValue, app_.group_utilization(g));
+          events::Notification n(topics::kProbeUtilizationSym);
+          n.set(topics::kAttrGroupSym,
+                group_syms_.get(g, app_.group_name(g)))
+              .set(topics::kAttrValueSym, app_.group_utilization(g));
           n.source_node = app_.queue_node();
           n.wire_size = DataSize::bytes(128);
           bus_.publish(std::move(n));
@@ -123,10 +132,12 @@ void BandwidthProbe::start() {
           if (g == sim::kNoGroup) continue;
           Bandwidth bw =
               remos_.get_flow(app_.group_node(g), app_.client_node(c));
-          events::Notification n(topics::kProbeBandwidth);
-          n.set(topics::kAttrClient, app_.client_name(c))
-              .set(topics::kAttrGroup, app_.group_name(g))
-              .set(topics::kAttrValue, bw.as_bps());
+          events::Notification n(topics::kProbeBandwidthSym);
+          n.set(topics::kAttrClientSym,
+                client_syms_.get(c, app_.client_name(c)))
+              .set(topics::kAttrGroupSym,
+                   group_syms_.get(g, app_.group_name(g)))
+              .set(topics::kAttrValueSym, bw.as_bps());
           n.source_node = app_.client_node(c);
           n.wire_size = DataSize::bytes(128);
           bus_.publish(std::move(n));
@@ -163,11 +174,12 @@ void MethodCallProbe::start() {
   task_ = std::make_unique<sim::PeriodicTask>(
       sim_, sim_.now() + period_, period_, [this] {
         for (std::size_t g = 0; g < counts_.size(); ++g) {
-          events::Notification n(topics::kProbeMethodCall);
-          n.set(topics::kAttrGroup,
-                app_.group_name(static_cast<sim::GroupIdx>(g)))
-              .set("method", "enqueueRequest")
-              .set(topics::kAttrValue,
+          events::Notification n(topics::kProbeMethodCallSym);
+          n.set(topics::kAttrGroupSym,
+                group_syms_.get(g, app_.group_name(
+                                       static_cast<sim::GroupIdx>(g))))
+              .set(kAttrMethod, kMethodEnqueue)
+              .set(topics::kAttrValueSym,
                    static_cast<double>(counts_[g]) / period_.as_seconds());
           n.source_node = app_.queue_node();
           n.wire_size = DataSize::bytes(128);

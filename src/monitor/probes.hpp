@@ -13,8 +13,27 @@
 #include "remos/remos.hpp"
 #include "sim/app.hpp"
 #include "sim/simulator.hpp"
+#include "util/symbol.hpp"
 
 namespace arcadia::monitor {
+
+namespace detail {
+/// Lazily interned per-index name symbols (client/group names are stable
+/// for an app's lifetime). Probes publish every period; this keeps the
+/// steady state free of string hashing — `name` is only read on the first
+/// sighting of an index.
+class NameCache {
+ public:
+  util::Symbol get(std::size_t idx, const std::string& name) {
+    if (idx >= syms_.size()) syms_.resize(idx + 1);
+    if (syms_[idx].empty()) syms_[idx] = util::Symbol::intern(name);
+    return syms_[idx];
+  }
+
+ private:
+  std::vector<util::Symbol> syms_;
+};
+}  // namespace detail
 
 /// Base: deployable/undeployable observation source.
 class Probe {
@@ -59,6 +78,7 @@ class LatencyProbe : public Probe {
   SimTime stall_threshold_;
   std::function<void(const sim::Request&)> chained_;
   std::unique_ptr<sim::PeriodicTask> stall_task_;
+  detail::NameCache client_syms_;
   bool installed_ = false;
 };
 
@@ -78,6 +98,7 @@ class QueueLengthProbe : public Probe {
   events::EventBus& bus_;
   SimTime period_;
   std::unique_ptr<sim::PeriodicTask> task_;
+  detail::NameCache group_syms_;
 };
 
 /// Samples the busy fraction of each group's active servers.
@@ -94,6 +115,7 @@ class UtilizationProbe : public Probe {
   events::EventBus& bus_;
   SimTime period_;
   std::unique_ptr<sim::PeriodicTask> task_;
+  detail::NameCache group_syms_;
 };
 
 /// Periodically queries Remos for the available bandwidth from each
@@ -114,6 +136,8 @@ class BandwidthProbe : public Probe {
   events::EventBus& bus_;
   SimTime period_;
   std::unique_ptr<sim::PeriodicTask> task_;
+  detail::NameCache client_syms_;
+  detail::NameCache group_syms_;
 };
 
 /// AIDE-style method-call counter: counts request enqueues per group and
@@ -135,6 +159,7 @@ class MethodCallProbe : public Probe {
   std::vector<std::uint64_t> counts_;
   std::function<void(const sim::Request&, sim::GroupIdx)> chained_;
   std::unique_ptr<sim::PeriodicTask> task_;
+  detail::NameCache group_syms_;
   bool installed_ = false;
 };
 

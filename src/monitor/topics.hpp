@@ -2,7 +2,14 @@
 // (Figure 4): probes publish observations on the probe bus; gauges publish
 // interpreted model properties on the gauge reporting bus; the gauge
 // manager publishes lifecycle messages per the gauge protocol.
+//
+// Each name exists twice: the raw string (stable external spelling, used
+// in docs/logs and by call sites that still build filters from strings)
+// and a pre-interned util::Symbol (the hot-path identity — publishers and
+// consumers route on these without ever re-hashing the text).
 #pragma once
+
+#include "util/symbol.hpp"
 
 namespace arcadia::monitor::topics {
 
@@ -25,5 +32,33 @@ inline constexpr const char* kAttrGaugeId = "gauge";
 inline constexpr const char* kAttrClient = "client";
 inline constexpr const char* kAttrGroup = "group";
 inline constexpr const char* kAttrPhase = "phase";  // lifecycle: created/deleted
+
+// Interned counterparts (interning is idempotent and thread-safe; these
+// initialize once at startup).
+inline const util::Symbol kProbeLatencySym = util::Symbol::intern(kProbeLatency);
+inline const util::Symbol kProbeQueueSym = util::Symbol::intern(kProbeQueue);
+inline const util::Symbol kProbeBandwidthSym =
+    util::Symbol::intern(kProbeBandwidth);
+inline const util::Symbol kProbeUtilizationSym =
+    util::Symbol::intern(kProbeUtilization);
+inline const util::Symbol kProbeMethodCallSym =
+    util::Symbol::intern(kProbeMethodCall);
+
+inline const util::Symbol kGaugeReportSym = util::Symbol::intern(kGaugeReport);
+inline const util::Symbol kGaugeLifecycleSym =
+    util::Symbol::intern(kGaugeLifecycle);
+
+inline const util::Symbol kAttrElementSym = util::Symbol::intern(kAttrElement);
+inline const util::Symbol kAttrPropertySym = util::Symbol::intern(kAttrProperty);
+inline const util::Symbol kAttrValueSym = util::Symbol::intern(kAttrValue);
+inline const util::Symbol kAttrGaugeIdSym = util::Symbol::intern(kAttrGaugeId);
+inline const util::Symbol kAttrClientSym = util::Symbol::intern(kAttrClient);
+inline const util::Symbol kAttrGroupSym = util::Symbol::intern(kAttrGroup);
+inline const util::Symbol kAttrPhaseSym = util::Symbol::intern(kAttrPhase);
+
+// Lifecycle phase values.
+inline const util::Symbol kPhaseCreated = util::Symbol::intern("created");
+inline const util::Symbol kPhaseDeleted = util::Symbol::intern("deleted");
+inline const util::Symbol kPhaseRelocating = util::Symbol::intern("relocating");
 
 }  // namespace arcadia::monitor::topics

@@ -1,0 +1,66 @@
+// A growable FIFO ring buffer: push_back / pop_front in O(1) with no
+// per-element allocation. Replaces std::deque on hot monitoring paths
+// (sliding-window gauges evict thousands of samples per run); a deque
+// allocates and frees fixed-size chunks as the window slides, while the
+// ring reaches its high-water capacity once and then never touches the
+// heap again.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace arcadia::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void push_back(T value) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask_] = std::move(value);
+    ++size_;
+  }
+
+  void pop_front() {
+    buf_[head_] = T{};  // release held resources eagerly
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  const T& front() const { return buf_[head_]; }
+  const T& back() const { return buf_[(head_ + size_ - 1) & mask_]; }
+
+  /// Index from the front (0 = oldest element).
+  const T& operator[](std::size_t i) const { return buf_[(head_ + i) & mask_]; }
+
+  /// Drops the contents; keeps the capacity for reuse.
+  void clear() {
+    for (std::size_t i = 0; i < size_; ++i) buf_[(head_ + i) & mask_] = T{};
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & mask_]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  std::vector<T> buf_;       ///< power-of-two capacity
+  std::size_t head_ = 0;     ///< index of the oldest element
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;     ///< capacity - 1
+};
+
+}  // namespace arcadia::util

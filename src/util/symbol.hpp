@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -33,8 +34,18 @@ class Symbol {
 
   friend bool operator==(Symbol a, Symbol b) { return a.id_ == b.id_; }
   friend bool operator!=(Symbol a, Symbol b) { return a.id_ != b.id_; }
+  /// Text comparison against raw strings, so call sites (and tests) can
+  /// compare a symbol-typed field without interning first.
+  friend bool operator==(Symbol a, std::string_view b) { return a.view() == b; }
+  friend bool operator==(std::string_view a, Symbol b) { return a == b.view(); }
+  friend bool operator!=(Symbol a, std::string_view b) { return a.view() != b; }
+  friend bool operator!=(std::string_view a, Symbol b) { return a != b.view(); }
   /// Orders by interned text (deterministic across runs), not by id.
   friend bool operator<(Symbol a, Symbol b) { return a.view() < b.view(); }
+
+  friend std::ostream& operator<<(std::ostream& os, Symbol s) {
+    return os << s.view();
+  }
 
   /// Number of distinct symbols interned so far (diagnostics/benches).
   static std::size_t interned_count();

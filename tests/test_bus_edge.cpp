@@ -1,0 +1,318 @@
+// Bus edge semantics pinned: dropped_no_match accounting, unsubscribe
+// during dispatch, re-entrant publish from a handler, wildcard-vs-indexed
+// routing equivalence, slot reuse, and the notification's small-buffer
+// attribute storage. These are the contracts the topic-indexed routing and
+// shared-payload delivery must not bend.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "events/bus.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace arcadia::events {
+namespace {
+
+TEST(BusAccountingTest, LocalDroppedNoMatchCountsOnlyUnmatched) {
+  LocalEventBus bus;
+  int hits = 0;
+  bus.subscribe(Filter::topic("a"), [&](const Notification&) { ++hits; });
+  bus.publish(Notification("a"));  // delivered
+  bus.publish(Notification("b"));  // no subscriber at all -> dropped
+  // Topic matches but the constraint does not -> still dropped.
+  bus.subscribe(Filter::topic("c").where("k", Op::Eq, 1),
+                [&](const Notification&) { ++hits; });
+  bus.publish(Notification("c").set("k", 2));
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(bus.stats().published, 3u);
+  EXPECT_EQ(bus.stats().delivered, 1u);
+  EXPECT_EQ(bus.stats().dropped_no_match, 2u);
+}
+
+TEST(BusAccountingTest, SimDroppedNoMatchCountsOnlyUnmatched) {
+  sim::Simulator sim;
+  SimEventBus bus(sim, fixed_delay(SimTime::millis(1)));
+  int hits = 0;
+  bus.subscribe(Filter::topic("a"), [&](const Notification&) { ++hits; });
+  bus.publish(Notification("a"));
+  bus.publish(Notification("b"));
+  sim.run_until(SimTime::seconds(1));
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(bus.stats().delivered, 1u);
+  EXPECT_EQ(bus.stats().dropped_no_match, 1u);
+}
+
+TEST(BusDispatchTest, LocalUnsubscribeDuringDispatchIsSnapshotted) {
+  LocalEventBus bus;
+  // A unsubscribes B mid-dispatch; the snapshot still delivers to B for
+  // the in-flight notification, and B is gone for the next one.
+  int b_hits = 0;
+  SubscriptionId b = 0;
+  bus.subscribe(Filter::topic("t"),
+                [&](const Notification&) { bus.unsubscribe(b); });
+  b = bus.subscribe(Filter::topic("t"),
+                    [&](const Notification&) { ++b_hits; });
+  bus.publish(Notification("t"));
+  EXPECT_EQ(b_hits, 1);
+  bus.publish(Notification("t"));
+  EXPECT_EQ(b_hits, 1);
+}
+
+TEST(BusDispatchTest, LocalHandlerMayUnsubscribeItself) {
+  LocalEventBus bus;
+  int hits = 0;
+  SubscriptionId id = 0;
+  id = bus.subscribe(Filter::topic("t"), [&](const Notification&) {
+    ++hits;
+    bus.unsubscribe(id);
+  });
+  bus.publish(Notification("t"));
+  bus.publish(Notification("t"));
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(BusDispatchTest, LocalSubscribeDuringDispatchMissesInFlight) {
+  LocalEventBus bus;
+  int late_hits = 0;
+  bus.subscribe(Filter::topic("t"), [&](const Notification&) {
+    bus.subscribe(Filter::topic("t"),
+                  [&](const Notification&) { ++late_hits; });
+  });
+  bus.publish(Notification("t"));
+  EXPECT_EQ(late_hits, 0);  // added mid-dispatch: not snapshotted
+  bus.publish(Notification("t"));
+  EXPECT_EQ(late_hits, 1);  // ...but sees the next publish
+}
+
+TEST(BusDispatchTest, LocalReentrantPublishFromHandler) {
+  LocalEventBus bus;
+  std::vector<std::string> order;
+  bus.subscribe(Filter::topic("first"), [&](const Notification&) {
+    order.push_back("first");
+    bus.publish(Notification("second"));
+    order.push_back("first-done");
+  });
+  bus.subscribe(Filter::topic("second"),
+                [&](const Notification&) { order.push_back("second"); });
+  bus.publish(Notification("first"));
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "first");
+  EXPECT_EQ(order[1], "second");  // synchronous, runs inside the outer dispatch
+  EXPECT_EQ(order[2], "first-done");
+  EXPECT_EQ(bus.stats().published, 2u);
+  EXPECT_EQ(bus.stats().delivered, 2u);
+}
+
+TEST(BusDispatchTest, SimHandlerMayUnsubscribeItselfAndRepublish) {
+  sim::Simulator sim;
+  SimEventBus bus(sim, fixed_delay(SimTime::millis(1)));
+  int first = 0, second = 0;
+  SubscriptionId id = 0;
+  id = bus.subscribe(Filter::topic("ping"), [&](const Notification&) {
+    ++first;
+    bus.unsubscribe(id);
+    bus.publish(Notification("pong"));  // re-entrant publish from a delivery
+  });
+  bus.subscribe(Filter::topic("pong"),
+                [&](const Notification&) { ++second; });
+  bus.publish(Notification("ping"));
+  bus.publish(Notification("ping"));  // second one finds the sub deleted? No —
+  // both publishes match (unsubscribe happens at the first delivery), but
+  // the second delivery is dropped by the generation check.
+  sim.run_until(SimTime::seconds(1));
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+  EXPECT_EQ(bus.in_flight(), 0u);
+}
+
+TEST(BusDispatchTest, SimHandlerMaySubscribeDuringItsOwnDelivery) {
+  // Regression: a re-entrant subscribe can reallocate the slot table while
+  // a delivery handler is executing; the handler's closure must stay alive
+  // through its own call (deliveries pin it by refcount).
+  sim::Simulator sim;
+  SimEventBus bus(sim, fixed_delay(SimTime::millis(1)));
+  int grown = 0, late = 0;
+  bus.subscribe(Filter::topic("t"), [&](const Notification&) {
+    ++grown;
+    // Enough re-entrant subscriptions to force slot-vector growth.
+    for (int i = 0; i < 64; ++i) {
+      bus.subscribe(Filter::topic("later"),
+                    [&](const Notification&) { ++late; });
+    }
+  });
+  bus.publish(Notification("t"));
+  sim.run_until(SimTime::seconds(1));
+  EXPECT_EQ(grown, 1);
+  bus.publish(Notification("later"));
+  sim.run_until(SimTime::seconds(2));
+  EXPECT_EQ(late, 64);
+}
+
+TEST(BusDispatchTest, WildcardSymbolTopicFilterKeepsPrefixSemantics) {
+  // The symbol overload of Filter::topic must classify '*' patterns like
+  // the string overload, not treat them as exact topic text.
+  Filter f = Filter::topic(util::Symbol::intern("probe.*"));
+  EXPECT_TRUE(f.matches(Notification("probe.latency")));
+  EXPECT_FALSE(f.matches(Notification("gauge.report")));
+  EXPECT_FALSE(f.matches(Notification("probe.*")) &&
+               !f.matches(Notification("probe.latency")));
+}
+
+TEST(BusDispatchTest, SimSlotReuseDoesNotLeakOldDeliveries) {
+  sim::Simulator sim;
+  SimEventBus bus(sim, fixed_delay(SimTime::seconds(1)));
+  int stale = 0, fresh = 0;
+  SubscriptionId old_id =
+      bus.subscribe(Filter::topic("t"), [&](const Notification&) { ++stale; });
+  bus.publish(Notification("t"));  // in flight for 1 s
+  bus.unsubscribe(old_id);
+  // New subscription likely reuses the freed slot; the in-flight delivery
+  // carries the old generation and must not reach it.
+  bus.subscribe(Filter::topic("t"), [&](const Notification&) { ++fresh; });
+  sim.run_until(SimTime::seconds(2));
+  EXPECT_EQ(stale, 0);
+  EXPECT_EQ(fresh, 0);  // subscribed after the publish: not matched either
+  bus.publish(Notification("t"));
+  sim.run_until(SimTime::seconds(4));
+  EXPECT_EQ(fresh, 1);
+}
+
+// The routing-equivalence matrix: a wildcard prefix filter, an any filter,
+// and exact-topic filters must see exactly the same notifications in the
+// same per-subscriber order whether they were routed through the topic
+// index or the fallback scan.
+template <typename MakeBus, typename Pump>
+void RoutingEquivalence(MakeBus&& make_bus, Pump&& pump) {
+  auto& bus = make_bus();
+  std::vector<std::string> exact_a, exact_b, wild, any, interleaved;
+  auto log = [&](std::vector<std::string>& into, const char* tag) {
+    return [&into, &interleaved, tag](const Notification& n) {
+      into.push_back(n.topic.str());
+      interleaved.push_back(std::string(tag) + ":" + n.topic.str());
+    };
+  };
+  bus.subscribe(Filter::topic("probe.a"), log(exact_a, "ea"));
+  bus.subscribe(Filter::topic("probe.*"), log(wild, "w"));
+  bus.subscribe(Filter::topic("probe.b"), log(exact_b, "eb"));
+  bus.subscribe(Filter::any(), log(any, "any"));
+
+  bus.publish(Notification("probe.a"));
+  bus.publish(Notification("probe.b"));
+  bus.publish(Notification("gauge.x"));
+  bus.publish(Notification("probe.a"));
+  pump();
+
+  EXPECT_EQ(exact_a, (std::vector<std::string>{"probe.a", "probe.a"}));
+  EXPECT_EQ(exact_b, (std::vector<std::string>{"probe.b"}));
+  EXPECT_EQ(wild,
+            (std::vector<std::string>{"probe.a", "probe.b", "probe.a"}));
+  EXPECT_EQ(any, (std::vector<std::string>{"probe.a", "probe.b", "gauge.x",
+                                           "probe.a"}));
+  // Cross-subscriber order: subscription order per notification, with the
+  // indexed (exact) and fallback (wildcard/any) candidates merged — the
+  // same interleaving the linear scan produced.
+  EXPECT_EQ(interleaved,
+            (std::vector<std::string>{
+                "ea:probe.a", "w:probe.a", "any:probe.a",    // n1
+                "w:probe.b", "eb:probe.b", "any:probe.b",    // n2
+                "any:gauge.x",                               // n3
+                "ea:probe.a", "w:probe.a", "any:probe.a"})); // n4
+}
+
+TEST(BusRoutingTest, WildcardVsIndexedEquivalenceLocal) {
+  LocalEventBus bus;
+  RoutingEquivalence([&]() -> LocalEventBus& { return bus; }, [] {});
+}
+
+TEST(BusRoutingTest, WildcardVsIndexedEquivalenceSim) {
+  sim::Simulator sim;
+  SimEventBus bus(sim, fixed_delay(SimTime::millis(1)));
+  RoutingEquivalence([&]() -> SimEventBus& { return bus; },
+                     [&] { sim.run_until(SimTime::seconds(1)); });
+}
+
+TEST(BusRoutingTest, UnsubscribeRemovesFromTopicBucket) {
+  LocalEventBus bus;
+  int a = 0, b = 0;
+  SubscriptionId ida =
+      bus.subscribe(Filter::topic("t"), [&](const Notification&) { ++a; });
+  bus.subscribe(Filter::topic("t"), [&](const Notification&) { ++b; });
+  bus.publish(Notification("t"));
+  bus.unsubscribe(ida);
+  bus.publish(Notification("t"));
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+  EXPECT_EQ(bus.stats().delivered, 3u);
+}
+
+TEST(NotificationTest, GetIfReturnsPointerWithoutCopy) {
+  Notification n("t");
+  n.set("value", 3.5).set("name", util::Symbol::intern("User3"));
+  const Value* v = n.get_if("value");
+  ASSERT_NE(v, nullptr);
+  EXPECT_DOUBLE_EQ(v->as_double(), 3.5);
+  EXPECT_EQ(v, n.get_if(util::Symbol::intern("value")));  // same storage
+  EXPECT_EQ(n.get_if("absent"), nullptr);
+  // Symbol-valued attributes still read as strings.
+  EXPECT_EQ(n.get("name").as_string(), "User3");
+  EXPECT_TRUE(n.get("name").is_string());
+}
+
+TEST(NotificationTest, AttributeOverflowBeyondInlineCapacity) {
+  Notification n("t");
+  const int kCount = 20;  // > AttrList::kInlineCap
+  for (int i = 0; i < kCount; ++i) {
+    n.set("attr" + std::to_string(i), i);
+  }
+  EXPECT_EQ(n.attributes.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    const Value* v = n.get_if("attr" + std::to_string(i));
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->as_int(), i);
+  }
+  // Overwrite keeps size and position.
+  n.set("attr3", 99);
+  EXPECT_EQ(n.attributes.size(), static_cast<std::size_t>(kCount));
+  EXPECT_EQ(n.get("attr3").as_int(), 99);
+  // Copies preserve the overflowed list.
+  Notification copy = n;
+  EXPECT_EQ(copy.get("attr19").as_int(), 19);
+}
+
+TEST(NotificationTest, FilterMatchesSymbolValuedAttributes) {
+  Notification n("probe.latency");
+  n.set("client", util::Symbol::intern("User3")).set("value", 1.0);
+  // String-built filter vs symbol-valued attribute: equality is textual.
+  EXPECT_TRUE(Filter::topic("probe.latency")
+                  .where("client", Op::Eq, "User3")
+                  .matches(n));
+  EXPECT_FALSE(Filter::topic("probe.latency")
+                   .where("client", Op::Eq, "User4")
+                   .matches(n));
+  // Prefix/contains operators read through the symbol too.
+  EXPECT_TRUE(Filter::topic("probe.*")
+                  .where("client", Op::Prefix, "User")
+                  .matches(n));
+}
+
+TEST(RingBufferTest, FifoAcrossGrowthAndWrap) {
+  util::RingBuffer<int> ring;
+  for (int i = 0; i < 5; ++i) ring.push_back(i);
+  ring.pop_front();
+  ring.pop_front();
+  for (int i = 5; i < 40; ++i) ring.push_back(i);  // forces growth mid-wrap
+  ASSERT_EQ(ring.size(), 38u);
+  EXPECT_EQ(ring.front(), 2);
+  EXPECT_EQ(ring.back(), 39);
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring[i], static_cast<int>(i) + 2);
+  }
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  ring.push_back(7);
+  EXPECT_EQ(ring.front(), 7);
+}
+
+}  // namespace
+}  // namespace arcadia::events
