@@ -37,6 +37,8 @@
 #include "sim/simulator.hpp"
 #include "util/symbol.hpp"
 
+#include "bench_output.hpp"
+
 // ---------------------------------------------------------------------------
 // Counting allocation hook: every operator new in the binary bumps the
 // counter. Good enough to prove "zero allocations per publish" — if the
@@ -421,7 +423,7 @@ AllocResult bench_allocations() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_buspath.json";
+  const std::string out_path = arcadia::bench::output_path(argc, argv, "BENCH_buspath.json");
 
   std::cout << "bench_buspath: local publish/dispatch...\n";
   const LocalPublishResult local = bench_local_publish();

@@ -24,6 +24,8 @@
 #include "repair/scripts.hpp"
 #include "sim/scenario_registry.hpp"
 
+#include "bench_output.hpp"
+
 namespace {
 
 using namespace arcadia;
@@ -137,7 +139,7 @@ RunResult run_best(int tenants, bool coordinated) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_fleet.json";
+  const std::string out_path = arcadia::bench::output_path(argc, argv, "BENCH_fleet.json");
   const std::vector<int> tenant_counts = {2, 4, 8, 16};
 
   struct Row {

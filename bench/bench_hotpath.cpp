@@ -30,6 +30,8 @@
 #include "sim/simulator.hpp"
 #include "util/symbol.hpp"
 
+#include "bench_output.hpp"
+
 namespace {
 
 using namespace arcadia;
@@ -277,7 +279,7 @@ SweepBenchResult bench_constraint_sweep() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_hotpath.json";
+  const std::string out_path = arcadia::bench::output_path(argc, argv, "BENCH_hotpath.json");
 
   std::cout << "bench_hotpath: model lookup...\n";
   const ModelLookupResult lookup = bench_model_lookup();

@@ -1,0 +1,23 @@
+// Default output location for bench JSON artifacts: next to the bench
+// executable (the build directory), never the source tree — a bench run
+// from the repo root must not litter it with BENCH_*.json files. An
+// explicit argv[1] always wins.
+#pragma once
+
+#include <string>
+
+namespace arcadia::bench {
+
+inline std::string default_output_path(const char* argv0,
+                                       const char* filename) {
+  const std::string self = argv0 ? argv0 : "";
+  const auto slash = self.find_last_of('/');
+  if (slash == std::string::npos) return filename;  // PATH lookup: use cwd
+  return self.substr(0, slash + 1) + filename;
+}
+
+inline std::string output_path(int argc, char** argv, const char* filename) {
+  return argc > 1 ? argv[1] : default_output_path(argv[0], filename);
+}
+
+}  // namespace arcadia::bench

@@ -154,8 +154,11 @@ std::vector<repair::Violation> ArchitectureManager::detect() {
 bool ArchitectureManager::dispatch(
     const std::vector<repair::Violation>& violations) {
   if (violations.empty()) return false;
+  const std::uint64_t preempted_before = engine_.stats().plans_preempted;
   if (!engine_.handle_violations(violations)) return false;
   ++stats_.repairs_triggered;
+  stats_.repairs_preempted +=
+      engine_.stats().plans_preempted - preempted_before;
   return true;
 }
 

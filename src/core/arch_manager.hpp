@@ -37,6 +37,10 @@ struct ArchManagerStats {
   std::uint64_t checks = 0;
   std::uint64_t violations_seen = 0;
   std::uint64_t repairs_triggered = 0;
+  /// Repairs that started by preempting a plan in flight (dispatch keeps
+  /// running while the engine enacts, so a strictly worse violation can
+  /// displace the active repair — see RepairEngineConfig::preemption).
+  std::uint64_t repairs_preempted = 0;
   /// Real (host) wall-clock spent in periodic checks — the control-plane
   /// cost benches compare against fleet mode. Not simulated time.
   double check_wall_s = 0.0;
@@ -104,6 +108,8 @@ class ArchitectureManager {
   std::vector<repair::Violation> detect();
   /// Hand violations to the repair engine; true when a repair started.
   /// Mutates the model (must run on the simulation thread, in shard order).
+  /// Detection and dispatch keep running while a plan enacts — the engine
+  /// declines while busy unless a strictly worse violation preempts it.
   bool dispatch(const std::vector<repair::Violation>& violations);
 
   /// A repair is in flight on this shard's engine.

@@ -49,6 +49,12 @@ void FleetManager::start() {
         events::Filter::topic(monitor::topics::kGaugeReportSym),
         [this, id](const events::Notification& n) { enqueue(id, n); },
         shard.manager_node);
+    // Observe the tenant's repair plans in flight (overlapped lifecycle:
+    // detection keeps sweeping while these enact).
+    shard.plan_sub = shard.bus->subscribe(
+        events::Filter::topic(monitor::topics::kRepairPlanSym),
+        [this, id](const events::Notification& n) { note_plan_event(id, n); },
+        shard.manager_node);
   }
   sweep_task_ = std::make_unique<sim::PeriodicTask>(
       sim_, sim_.now() + config_.first_check, config_.check_period, [this] {
@@ -66,6 +72,10 @@ void FleetManager::stop() {
     if (shard.sub != 0) {
       shard.bus->unsubscribe(shard.sub);
       shard.sub = 0;
+    }
+    if (shard.plan_sub != 0) {
+      shard.bus->unsubscribe(shard.plan_sub);
+      shard.plan_sub = 0;
     }
     shard.flush_timer.cancel();
     for (std::uint32_t idx : shard.touched) shard.slots[idx].armed = false;
@@ -89,6 +99,22 @@ void FleetManager::apply(Shard& shard, const Shard::PendingSlot& slot) {
     case ArchitectureManager::GaugeApply::NoTarget:
       ++shard.stats.reports_ignored;
       break;
+  }
+}
+
+void FleetManager::note_plan_event(ShardId id, const events::Notification& n) {
+  const events::Value* phase = n.get_if(monitor::topics::kAttrPhaseSym);
+  if (!phase || !phase->is_string()) return;
+  FleetShardStats& stats = shards_[id].stats;
+  const util::Symbol sym = phase->to_symbol();
+  if (sym == monitor::topics::kPhasePlanStarted) {
+    ++stats.plans_started;
+  } else if (sym == monitor::topics::kPhasePlanCompleted) {
+    ++stats.plans_completed;
+  } else if (sym == monitor::topics::kPhasePlanPreempted) {
+    ++stats.plans_preempted;
+  } else if (sym == monitor::topics::kPhasePlanFailed) {
+    ++stats.plans_failed;
   }
 }
 

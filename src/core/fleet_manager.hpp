@@ -67,6 +67,12 @@ struct FleetShardStats {
   std::uint64_t sweeps_skipped = 0;     ///< clean-shard skips
   std::uint64_t violations = 0;         ///< violations dispatched (incl. cached)
   std::uint64_t repairs_triggered = 0;
+  // Repair-plan lifecycle observed on the shard's bus (topics::kRepairPlan;
+  // the engine publishes when the framework wires its event bus).
+  std::uint64_t plans_started = 0;
+  std::uint64_t plans_completed = 0;
+  std::uint64_t plans_preempted = 0;
+  std::uint64_t plans_failed = 0;  ///< runtime failure mid-plan
 };
 
 struct FleetStats {
@@ -136,6 +142,7 @@ class FleetManager {
     events::EventBus* bus = nullptr;
     sim::NodeId manager_node = sim::kNoNode;
     events::SubscriptionId sub = 0;
+    events::SubscriptionId plan_sub = 0;
 
     /// One coalescing slot per distinct (element, role, property) gauge key
     /// this shard has ever reported. The key set is the gauge deployment —
@@ -171,6 +178,7 @@ class FleetManager {
 
   void enqueue(ShardId id, const events::Notification& n);
   void apply(Shard& shard, const Shard::PendingSlot& slot);
+  void note_plan_event(ShardId id, const events::Notification& n);
 
   sim::Simulator& sim_;
   FleetManagerConfig config_;

@@ -84,6 +84,9 @@ Framework::Framework(sim::Simulator& sim, sim::Testbed& testbed,
   engine_cfg.settle_time = config_.settle_time;
   engine_cfg.abort_cooldown = config_.abort_cooldown;
   engine_cfg.use_script = config_.use_script;
+  engine_cfg.use_plan = config_.plan_pipeline;
+  engine_cfg.preemption = config_.plan_preemption;
+  engine_cfg.preempt_factor = config_.plan_preempt_factor;
   engine_cfg.max_server_load = config_.profile.max_server_load;
   engine_cfg.min_bandwidth = config_.profile.min_bandwidth;
   engine_cfg.min_utilization = config_.profile.min_utilization;
@@ -93,6 +96,9 @@ Framework::Framework(sim::Simulator& sim, sim::Testbed& testbed,
   engine_ = std::make_unique<repair::RepairEngine>(
       sim_, *system_, script_, queries_.get(), translator_.get(),
       gauge_manager_.get(), engine_cfg);
+  // Plan lifecycle notifications share the gauge bus: fleet managers and
+  // tools observe repairs in flight without new wiring.
+  engine_->set_event_bus(gauge_bus_.get());
 
   ArchManagerConfig mgr_cfg;
   mgr_cfg.check_period = config_.check_period;

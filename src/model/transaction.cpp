@@ -41,6 +41,75 @@ std::string OpRecord::describe() const {
   return s;
 }
 
+std::optional<OpRecord> OpRecord::inverse() const {
+  OpRecord inv = *this;
+  inv.prev_value = PropertyValue();
+  inv.had_prev = false;
+  switch (kind) {
+    case OpKind::AddComponent:
+      inv.kind = OpKind::RemoveComponent;
+      return inv;
+    case OpKind::RemoveComponent:
+      inv.kind = OpKind::AddComponent;
+      return inv;
+    case OpKind::AddConnector:
+      inv.kind = OpKind::RemoveConnector;
+      return inv;
+    case OpKind::RemoveConnector:
+      inv.kind = OpKind::AddConnector;
+      return inv;
+    case OpKind::Attach:
+      inv.kind = OpKind::Detach;
+      return inv;
+    case OpKind::Detach:
+      inv.kind = OpKind::Attach;
+      return inv;
+    case OpKind::SetProperty:
+      inv.value = had_prev ? prev_value : PropertyValue();
+      inv.prev_value = value;
+      inv.had_prev = true;
+      return inv;
+    default:
+      return std::nullopt;  // port/role ops: not invertible from the record
+  }
+}
+
+void apply_op(Transaction& txn, const OpRecord& op) {
+  switch (op.kind) {
+    case OpKind::AddComponent:
+      txn.add_component(op.scope, op.element, op.type_name);
+      return;
+    case OpKind::RemoveComponent:
+      txn.remove_component(op.scope, op.element);
+      return;
+    case OpKind::AddConnector:
+      txn.add_connector(op.scope, op.element, op.type_name);
+      return;
+    case OpKind::RemoveConnector:
+      txn.remove_connector(op.scope, op.element);
+      return;
+    case OpKind::AddPort:
+      txn.add_port(op.scope, op.element, op.sub, op.type_name);
+      return;
+    case OpKind::AddRole:
+      txn.add_role(op.scope, op.element, op.sub, op.type_name);
+      return;
+    case OpKind::Attach:
+      txn.attach(op.scope, op.attachment);
+      return;
+    case OpKind::Detach:
+      txn.detach(op.scope, op.attachment);
+      return;
+    case OpKind::SetProperty:
+      txn.set_property(op.scope, op.element_kind, op.element, op.sub,
+                       op.property, op.value);
+      return;
+    default:
+      throw ModelError(std::string("apply_op: unsupported kind ") +
+                       to_string(op.kind));
+  }
+}
+
 Transaction::~Transaction() {
   if (state_ == State::Open) rollback();
 }
@@ -66,7 +135,7 @@ Component& Transaction::add_component(const std::vector<std::string>& scope,
   System& sys = resolve_scope(scope);
   Component& c = sys.add_component(name, type_name);
   records_.push_back({OpKind::AddComponent, scope, name, "", type_name, "",
-                      PropertyValue(), {}, ElementKind::Component});
+                      PropertyValue(), {}, ElementKind::Component, PropertyValue(), false});
   undo_.push_back([&sys, name] { sys.remove_component(name); });
   return c;
 }
@@ -79,9 +148,10 @@ void Transaction::remove_component(const std::vector<std::string>& scope,
   auto snapshot = std::make_shared<std::unique_ptr<Component>>(
       sys.component(name).clone());
   auto atts = std::make_shared<std::vector<Attachment>>(sys.attachments_of(name));
+  const std::string type_name = sys.component(name).type_name();
   sys.remove_component(name);
-  records_.push_back({OpKind::RemoveComponent, scope, name, "", "", "",
-                      PropertyValue(), {}, ElementKind::Component});
+  records_.push_back({OpKind::RemoveComponent, scope, name, "", type_name, "",
+                      PropertyValue(), {}, ElementKind::Component, PropertyValue(), false});
   undo_.push_back([&sys, snapshot, atts] {
     sys.adopt_component(std::move(*snapshot));
     for (const Attachment& a : *atts) sys.attach(a);
@@ -95,7 +165,7 @@ Connector& Transaction::add_connector(const std::vector<std::string>& scope,
   System& sys = resolve_scope(scope);
   Connector& c = sys.add_connector(name, type_name);
   records_.push_back({OpKind::AddConnector, scope, name, "", type_name, "",
-                      PropertyValue(), {}, ElementKind::Connector});
+                      PropertyValue(), {}, ElementKind::Connector, PropertyValue(), false});
   undo_.push_back([&sys, name] { sys.remove_connector(name); });
   return c;
 }
@@ -107,9 +177,10 @@ void Transaction::remove_connector(const std::vector<std::string>& scope,
   auto snapshot = std::make_shared<std::unique_ptr<Connector>>(
       sys.connector(name).clone());
   auto atts = std::make_shared<std::vector<Attachment>>(sys.attachments_on(name));
+  const std::string type_name = sys.connector(name).type_name();
   sys.remove_connector(name);
-  records_.push_back({OpKind::RemoveConnector, scope, name, "", "", "",
-                      PropertyValue(), {}, ElementKind::Connector});
+  records_.push_back({OpKind::RemoveConnector, scope, name, "", type_name, "",
+                      PropertyValue(), {}, ElementKind::Connector, PropertyValue(), false});
   undo_.push_back([&sys, snapshot, atts] {
     sys.adopt_connector(std::move(*snapshot));
     for (const Attachment& a : *atts) sys.attach(a);
@@ -124,7 +195,7 @@ Port& Transaction::add_port(const std::vector<std::string>& scope,
   System& sys = resolve_scope(scope);
   Port& p = sys.component(component).add_port(port, type_name);
   records_.push_back({OpKind::AddPort, scope, component, port, type_name, "",
-                      PropertyValue(), {}, ElementKind::Port});
+                      PropertyValue(), {}, ElementKind::Port, PropertyValue(), false});
   undo_.push_back(
       [&sys, component, port] { sys.component(component).remove_port(port); });
   return p;
@@ -138,7 +209,7 @@ Role& Transaction::add_role(const std::vector<std::string>& scope,
   System& sys = resolve_scope(scope);
   Role& r = sys.connector(connector).add_role(role, type_name);
   records_.push_back({OpKind::AddRole, scope, connector, role, type_name, "",
-                      PropertyValue(), {}, ElementKind::Role});
+                      PropertyValue(), {}, ElementKind::Role, PropertyValue(), false});
   undo_.push_back(
       [&sys, connector, role] { sys.connector(connector).remove_role(role); });
   return r;
@@ -149,7 +220,7 @@ void Transaction::attach(const std::vector<std::string>& scope, Attachment a) {
   System& sys = resolve_scope(scope);
   sys.attach(a);
   records_.push_back({OpKind::Attach, scope, "", "", "", "", PropertyValue(),
-                      a, ElementKind::System});
+                      a, ElementKind::System, PropertyValue(), false});
   undo_.push_back([&sys, a] { sys.detach(a); });
 }
 
@@ -158,7 +229,7 @@ void Transaction::detach(const std::vector<std::string>& scope, Attachment a) {
   System& sys = resolve_scope(scope);
   sys.detach(a);
   records_.push_back({OpKind::Detach, scope, "", "", "", "", PropertyValue(),
-                      a, ElementKind::System});
+                      a, ElementKind::System, PropertyValue(), false});
   undo_.push_back([&sys, a] { sys.attach(a); });
 }
 
@@ -193,7 +264,7 @@ void Transaction::set_property(const std::vector<std::string>& scope,
   const std::uint64_t stamp = el.property_stamp();
   el.set_property(property, value);
   records_.push_back({OpKind::SetProperty, scope, element, sub, "", property,
-                      std::move(value), {}, kind});
+                      std::move(value), {}, kind, old, had});
   undo_.push_back([this, scope, kind, element, sub, property, had, old,
                    stamp] {
     System& s = resolve_scope(scope);

@@ -7,12 +7,15 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "model/system.hpp"
 
 namespace arcadia::model {
+
+class Transaction;
 
 enum class OpKind {
   AddComponent,
@@ -37,6 +40,13 @@ const char* to_string(OpKind kind);
 ///  - Attach/Detach:                 attachment
 ///  - SetProperty:                   element_kind, element, sub (port/role
 ///                                   name or empty), property, value
+///
+/// Every record also carries enough compensation metadata to build its
+/// inverse after commit: SetProperty remembers the pre-write value, and
+/// Remove* records capture the removed element's type. This is what lets
+/// the repair planner abort a half-enacted plan — the inverse records are
+/// replayed (newest first) through the model and the translator to bring
+/// both layers back to their pre-repair state.
 struct OpRecord {
   OpKind kind;
   std::vector<std::string> scope;  ///< representation path from the root
@@ -47,9 +57,29 @@ struct OpRecord {
   PropertyValue value;
   Attachment attachment;
   ElementKind element_kind = ElementKind::Component;
+  /// SetProperty: the value the property held before this write (meaningful
+  /// when `had_prev`); the inverse restores it.
+  PropertyValue prev_value;
+  bool had_prev = false;
 
   std::string describe() const;
+
+  /// The compensating record: applying it to a model (or translating it to
+  /// the runtime) undoes this record's effect. nullopt for kinds that are
+  /// not mechanically invertible from the record alone (Add/RemovePort,
+  /// Add/RemoveRole). A RemoveComponent/Connector inverse re-creates a
+  /// fresh element of the recorded type — properties and sub-structure of
+  /// the removed original are not resurrected (repair plans only ever
+  /// remove dynamically-recruited servers, which carry none that matter).
+  /// A SetProperty inverse with no prior value writes an empty
+  /// PropertyValue.
+  std::optional<OpRecord> inverse() const;
 };
+
+/// Replay one record through an open transaction (used to apply inverse
+/// records during plan compensation). Throws ModelError for kinds a
+/// Transaction cannot express (RemovePort/RemoveRole) or invalid input.
+void apply_op(Transaction& txn, const OpRecord& op);
 
 class Transaction {
  public:

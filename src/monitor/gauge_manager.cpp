@@ -155,6 +155,25 @@ SimTime GaugeManager::redeploy_cost(const std::string& element) const {
   return per * static_cast<double>(n);
 }
 
+void GaugeManager::redeploy_elements(const std::vector<std::string>& elements,
+                                     std::function<void()> on_done) {
+  ++stats_.redeploy_batches;
+  if (elements.empty()) {
+    sim_.schedule_in(SimTime::zero(), [on_done] {
+      if (on_done) on_done();
+    });
+    return;
+  }
+  // Per-element chains launch now and run concurrently; the shared counter
+  // fires the completion when the slowest element finishes.
+  auto remaining = std::make_shared<std::size_t>(elements.size());
+  for (const std::string& element : elements) {
+    redeploy_element(element, [remaining, on_done] {
+      if (--*remaining == 0 && on_done) on_done();
+    });
+  }
+}
+
 void GaugeManager::redeploy_element(const std::string& element,
                                     std::function<void()> on_done) {
   std::vector<util::Symbol> ids =
@@ -192,10 +211,15 @@ void GaugeManager::redeploy_element(const std::string& element,
     const bool last = (id == ids.back());
     sim_.schedule_in(cursor, [this, id, last, started, on_done] {
       Managed* mm = gauges_.find(id);
-      if (!mm) return;
-      // Bring the gauge back online.
-      bring_online(*mm);
-      publish_lifecycle(id, topics::kPhaseCreated);
+      if (mm) {
+        // Bring the gauge back online.
+        bring_online(*mm);
+        publish_lifecycle(id, topics::kPhaseCreated);
+      }
+      // A destroyed-mid-redeploy gauge (lifecycle subscriber tore it down)
+      // has nothing to bring back — but the completion contract still
+      // holds: on_done fires exactly once per redeploy, or a plan step
+      // (and the repair engine behind it) would wait forever.
       if (last) {
         stats_.redeploy_time_total_s += (sim_.now() - started).as_seconds();
         if (on_done) on_done();

@@ -40,6 +40,7 @@ struct GaugeManagerStats {
   std::uint64_t reports = 0;
   double redeploy_time_total_s = 0.0;
   std::uint64_t redeploys = 0;
+  std::uint64_t redeploy_batches = 0;  ///< redeploy_elements() calls
 };
 
 /// Owns gauges; wires them to the probe bus; reports their readings on the
@@ -69,11 +70,20 @@ class GaugeManager {
 
   /// Re-deploy every gauge attached to `element` — the step a repair incurs
   /// after reconfiguring an element. Costs are sequential over the
-  /// element's gauges (they share the manager's command channel), cold mode
+  /// element's gauges (they share the element's command channel), cold mode
   /// destroy+create per gauge, caching mode one relocation per gauge.
   /// `on_done` fires when all of the element's gauges report again.
   void redeploy_element(const std::string& element,
                         std::function<void()> on_done = {});
+
+  /// Batched re-deploy: one reconfigure covering several elements at once
+  /// (the repair planner's gauge step). Elements use independent command
+  /// channels, so their per-element sequential chains run concurrently and
+  /// the batch costs the slowest element rather than the sum — the win
+  /// Section 5.3 predicted for smarter gauge lifecycle handling. `on_done`
+  /// fires when every element's gauges report again.
+  void redeploy_elements(const std::vector<std::string>& elements,
+                         std::function<void()> on_done = {});
 
   bool is_live(const std::string& gauge_id) const;
   bool is_live(util::Symbol gauge_id) const;

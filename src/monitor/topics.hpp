@@ -24,6 +24,11 @@ inline constexpr const char* kProbeMethodCall = "probe.method_call";
 inline constexpr const char* kGaugeReport = "gauge.report";
 inline constexpr const char* kGaugeLifecycle = "gauge.lifecycle";
 
+// Repair-plan lifecycle (published by the repair engine when a bus is
+// wired; consumed by fleet managers and tools observing repairs in
+// flight).
+inline constexpr const char* kRepairPlan = "repair.plan";
+
 // Common attribute names.
 inline constexpr const char* kAttrElement = "element";    // model element
 inline constexpr const char* kAttrProperty = "property";  // model property
@@ -32,6 +37,9 @@ inline constexpr const char* kAttrGaugeId = "gauge";
 inline constexpr const char* kAttrClient = "client";
 inline constexpr const char* kAttrGroup = "group";
 inline constexpr const char* kAttrPhase = "phase";  // lifecycle: created/deleted
+inline constexpr const char* kAttrRepair = "repair";  // repair record id
+inline constexpr const char* kAttrSteps = "steps";  // total plan step count
+                                                    // (same on every phase)
 
 // Interned counterparts (interning is idempotent and thread-safe; these
 // initialize once at startup).
@@ -47,6 +55,7 @@ inline const util::Symbol kProbeMethodCallSym =
 inline const util::Symbol kGaugeReportSym = util::Symbol::intern(kGaugeReport);
 inline const util::Symbol kGaugeLifecycleSym =
     util::Symbol::intern(kGaugeLifecycle);
+inline const util::Symbol kRepairPlanSym = util::Symbol::intern(kRepairPlan);
 
 inline const util::Symbol kAttrElementSym = util::Symbol::intern(kAttrElement);
 inline const util::Symbol kAttrPropertySym = util::Symbol::intern(kAttrProperty);
@@ -55,10 +64,20 @@ inline const util::Symbol kAttrGaugeIdSym = util::Symbol::intern(kAttrGaugeId);
 inline const util::Symbol kAttrClientSym = util::Symbol::intern(kAttrClient);
 inline const util::Symbol kAttrGroupSym = util::Symbol::intern(kAttrGroup);
 inline const util::Symbol kAttrPhaseSym = util::Symbol::intern(kAttrPhase);
+inline const util::Symbol kAttrRepairSym = util::Symbol::intern(kAttrRepair);
+inline const util::Symbol kAttrStepsSym = util::Symbol::intern(kAttrSteps);
 
 // Lifecycle phase values.
 inline const util::Symbol kPhaseCreated = util::Symbol::intern("created");
 inline const util::Symbol kPhaseDeleted = util::Symbol::intern("deleted");
 inline const util::Symbol kPhaseRelocating = util::Symbol::intern("relocating");
+
+// Repair-plan phase values.
+inline const util::Symbol kPhasePlanStarted = util::Symbol::intern("plan-started");
+inline const util::Symbol kPhasePlanCompleted =
+    util::Symbol::intern("plan-completed");
+inline const util::Symbol kPhasePlanPreempted =
+    util::Symbol::intern("plan-preempted");
+inline const util::Symbol kPhasePlanFailed = util::Symbol::intern("plan-failed");
 
 }  // namespace arcadia::monitor::topics

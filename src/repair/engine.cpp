@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "model/types.hpp"
+#include "monitor/topics.hpp"
+#include "repair/plan_optimizer.hpp"
 #include "repair/registry.hpp"
 #include "util/log.hpp"
 
@@ -20,7 +22,8 @@ RepairEngine::RepairEngine(sim::Simulator& sim, model::System& root,
       translator_(translator),
       gauges_(gauges),
       config_(config),
-      interpreter_(root, script) {
+      interpreter_(root, script),
+      executor_(sim, translator, gauges) {
   OperatorThresholds op_th;
   op_th.min_bandwidth = config_.min_bandwidth;
   op_th.load_improvement = config_.load_improvement;
@@ -69,8 +72,16 @@ bool RepairEngine::constraint_cooling(util::Symbol constraint_id) const {
   return until && sim_.now() < *until;
 }
 
+bool RepairEngine::touched_by_active(util::Symbol element) const {
+  if (!active_) return false;
+  return std::find(active_->touched.begin(), active_->touched.end(),
+                   element) != active_->touched.end();
+}
+
 bool RepairEngine::handle_violations(const std::vector<Violation>& violations) {
-  if (busy_) return false;
+  const bool preemptable =
+      busy_ && config_.use_plan && config_.preemption && active_.has_value();
+  if (busy_ && !preemptable) return false;
   std::vector<const Violation*> candidates;
   for (const Violation& v : violations) {
     if (v.constraint->handler.empty()) continue;
@@ -80,12 +91,28 @@ bool RepairEngine::handle_violations(const std::vector<Violation>& violations) {
       if (suppressed(v.constraint->element_sym)) continue;
       if (constraint_cooling(v.constraint->id_sym)) continue;
     }
+    // Never preempt a plan on behalf of an element it is itself acting on:
+    // the in-flight repair has not had the chance to take effect there.
+    if (busy_ && touched_by_active(v.constraint->element_sym)) continue;
     candidates.push_back(&v);
   }
   if (candidates.empty()) return false;
   const std::size_t pick = chooser_(candidates);
   if (pick >= candidates.size()) return false;  // the policy declined
-  execute(*candidates[pick]);
+  const Violation& chosen = *candidates[pick];
+  if (busy_) {
+    // Preemption: only for a strictly worse violation than the one the
+    // active plan is repairing. Severities are only comparable when both
+    // are positive threshold readings (Violation.observed is 0 for
+    // non-threshold constraints, and an idle-group utilization reads 0 —
+    // either would let every candidate "win" and defeat the thrash bound).
+    if (active_->observed <= 0.0 ||
+        !(chosen.observed > active_->observed * config_.preempt_factor)) {
+      return false;
+    }
+    preempt_active("PreemptedBy:" + chosen.constraint->id);
+  }
+  execute(chosen);
   return true;
 }
 
@@ -113,6 +140,10 @@ acme::StrategyOutcome RepairEngine::run_native(const std::string& handler,
 }
 
 void RepairEngine::execute(const Violation& violation) {
+  // Consume the preemption carry-over now: it belongs to THIS repair (the
+  // challenger), never to a later unrelated one.
+  const SimTime start_delay = pending_start_delay_;
+  pending_start_delay_ = SimTime::zero();
   RepairRecord record;
   record.id = records_.size();
   record.constraint_id = violation.constraint->id;
@@ -148,9 +179,52 @@ void RepairEngine::execute(const Violation& violation) {
     record.committed = true;
     summarize_ops(op_records, record);
     std::size_t idx = records_.size();
-    records_.push_back(std::move(record));
     busy_ = true;
-    const SimTime pre = records_[idx].decision_cost + records_[idx].query_cost;
+    const SimTime pre = record.decision_cost + record.query_cost + start_delay;
+
+    if (config_.use_plan) {
+      // Lift the committed journal into a plan, optimize it, and enact it
+      // after the decision + query charge.
+      AdaptationPlan plan =
+          build_plan(op_records, config_.conventions, translator_, gauges_);
+      const PlanOptimizerStats opt = optimize_plan(plan);
+      stats_.plan_steps_merged += opt.moves_merged + opt.gauges_batched;
+      record.plan_steps = static_cast<int>(plan.steps.size());
+      record.plan_steps_merged =
+          static_cast<int>(opt.moves_merged + opt.gauges_batched);
+      ARC_DEBUG << "  plan: " << plan.steps.size() << " steps ("
+                << plan.runtime_step_count() << " runtime), est critical "
+                << plan.estimated_critical_path().as_seconds() << "s vs serial "
+                << plan.estimated_serial_cost().as_seconds() << "s";
+      records_.push_back(std::move(record));
+      active_.emplace();
+      active_->idx = idx;
+      active_->observed = violation.observed;
+      active_->plan = std::move(plan);
+      std::set<util::Symbol> touched;
+      touched.insert(util::Symbol::intern(records_[idx].element));
+      for (const PlanStep& step : active_->plan.steps) {
+        for (const std::string& el : step.elements) {
+          touched.insert(util::Symbol::intern(el));
+        }
+        if (!step.subject.empty()) {
+          touched.insert(util::Symbol::intern(step.subject));
+        }
+      }
+      for (const std::string& el :
+           affected_gauge_elements(active_->plan.journal, nullptr)) {
+        touched.insert(util::Symbol::intern(el));
+      }
+      active_->touched.assign(touched.begin(), touched.end());
+      publish_plan_event(monitor::topics::kPhasePlanStarted, idx,
+                         active_->plan.steps.size());
+      active_->pre_event =
+          sim_.schedule_in(pre, [this, idx] { start_plan(idx); });
+      return;
+    }
+
+    // Legacy strictly-sequential replay (the bench baseline).
+    records_.push_back(std::move(record));
     sim_.schedule_in(pre, [this, idx, ops = std::move(op_records)]() mutable {
       apply_committed(idx, std::move(ops));
     });
@@ -161,7 +235,8 @@ void RepairEngine::execute(const Violation& violation) {
   if (txn.is_open()) txn.rollback();
   record.aborted = true;
   record.abort_reason = outcome.committed ? "NoEffect" : outcome.abort_reason;
-  record.completed = sim_.now() + record.decision_cost + record.query_cost;
+  record.completed =
+      sim_.now() + record.decision_cost + record.query_cost + start_delay;
   record.finished = true;
   ++stats_.aborted;
   if (config_.damping) {
@@ -194,6 +269,132 @@ void RepairEngine::summarize_ops(const std::vector<model::OpRecord>& op_records,
   if (moved) ++record.moves;
 }
 
+// ---- plan pipeline ----
+
+void RepairEngine::start_plan(std::size_t idx) {
+  if (!active_ || active_->idx != idx) return;  // preempted before starting
+  PlanExecutor::Callbacks cb;
+  cb.on_step_done = [this](std::size_t) { ++stats_.plan_steps_executed; };
+  cb.on_done = [this, idx] { finish_plan(idx); };
+  cb.on_failed = [this, idx](std::size_t step, const std::string& reason,
+                             SimTime compensation_cost) {
+    fail_plan(idx, step, reason, compensation_cost);
+  };
+  executor_.run(&active_->plan, std::move(cb));
+}
+
+void RepairEngine::finish_plan(std::size_t idx) {
+  RepairRecord& record = records_[idx];
+  record.op_cost = executor_.runtime_cost();
+  record.gauge_cost = executor_.gauge_wall();
+  // Settle exactly what was re-deployed: the plan's gauge steps are the
+  // source of truth (distinct elements by construction). Model-only rigs
+  // have no gauge steps; fall back to the journal's component set so
+  // settle damping still covers the touched elements.
+  std::vector<std::string> affected;
+  for (const PlanStep& step : active_->plan.steps) {
+    affected.insert(affected.end(), step.elements.begin(),
+                    step.elements.end());
+  }
+  if (affected.empty()) {
+    affected = affected_gauge_elements(active_->plan.journal, nullptr);
+  }
+  publish_plan_event(monitor::topics::kPhasePlanCompleted, idx,
+                     active_->plan.steps.size());
+  active_.reset();
+  finish(idx, affected);
+}
+
+void RepairEngine::abort_in_flight(std::size_t idx, const std::string& reason,
+                                   SimTime completed_at, bool cooldown) {
+  RepairRecord& record = records_[idx];
+  record.committed = false;
+  record.aborted = true;
+  record.abort_reason = reason;
+  record.completed = completed_at;
+  record.finished = true;
+  busy_ = false;
+  ++stats_.aborted;
+  if (cooldown && config_.damping) {
+    cooldown_until_.insert_or_assign(util::Symbol::intern(record.constraint_id),
+                                     sim_.now() + config_.abort_cooldown);
+  }
+}
+
+void RepairEngine::fail_plan(std::size_t idx, std::size_t step,
+                             const std::string& reason,
+                             SimTime compensation_cost) {
+  // The runtime rejected a step (paper Section 7: "if the server load is
+  // too high and there are no available servers ... it may be necessary to
+  // alert a human observer"). The executor already compensated the enacted
+  // steps at the runtime layer; revert the model symmetrically so the two
+  // stay convergent, then cool the constraint down and surface it loudly.
+  revert_model(active_->plan.journal);
+  abort_in_flight(idx, std::string("RuntimeFailure: ") + reason,
+                  sim_.now() + compensation_cost, /*cooldown=*/true);
+  publish_plan_event(monitor::topics::kPhasePlanFailed, idx,
+                     active_->plan.steps.size());
+  ARC_ERROR << "repair #" << records_[idx].id << " failed at plan step "
+            << step << ": " << reason << " — operator attention required";
+  active_.reset();
+}
+
+void RepairEngine::preempt_active(const std::string& reason) {
+  const std::size_t idx = active_->idx;
+  PlanExecutor::AbortResult aborted;
+  if (executor_.active()) {
+    aborted = executor_.abort();
+  } else {
+    // Still inside the decision-charge delay: nothing launched yet.
+    active_->pre_event.cancel();
+    aborted.steps_skipped = active_->plan.steps.size();
+  }
+  stats_.plan_steps_preempted += aborted.steps_skipped;
+  ++stats_.plans_preempted;
+  revert_model(active_->plan.journal);
+  abort_in_flight(idx, reason, sim_.now() + aborted.compensation_cost,
+                  /*cooldown=*/false);
+  records_[idx].preempted = true;
+  // The challenger's enactment queues behind the inverse ops still
+  // clearing the runtime; its decision phase absorbs the wait.
+  pending_start_delay_ = aborted.compensation_cost;
+  publish_plan_event(monitor::topics::kPhasePlanPreempted, idx,
+                     active_->plan.steps.size());
+  ARC_INFO << "[" << sim_.now().as_seconds() << "s] repair #"
+           << records_[idx].id << " preempted (" << reason << "): "
+           << aborted.steps_enacted << " step(s) compensated, "
+           << aborted.steps_skipped << " skipped";
+  active_.reset();
+}
+
+void RepairEngine::revert_model(const std::vector<model::OpRecord>& journal) {
+  model::Transaction txn(root_);
+  try {
+    for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
+      if (std::optional<model::OpRecord> inv = it->inverse()) {
+        model::apply_op(txn, *inv);
+      }
+    }
+    txn.commit();
+  } catch (const Error& e) {
+    ARC_ERROR << "plan compensation: model revert failed: " << e.what();
+    if (txn.is_open()) txn.rollback();
+  }
+}
+
+void RepairEngine::publish_plan_event(util::Symbol phase, std::size_t idx,
+                                      std::size_t steps) {
+  if (!bus_) return;
+  events::Notification n(monitor::topics::kRepairPlanSym);
+  n.set(monitor::topics::kAttrRepairSym, static_cast<double>(idx))
+      .set(monitor::topics::kAttrPhaseSym, phase)
+      .set(monitor::topics::kAttrStepsSym, static_cast<double>(steps));
+  n.wire_size = DataSize::bytes(256);
+  bus_->publish(std::move(n));
+}
+
+// ---- legacy strictly-sequential replay (use_plan = false) ----
+
 void RepairEngine::apply_committed(std::size_t idx,
                                    std::vector<model::OpRecord> op_records) {
   RepairRecord& record = records_[idx];
@@ -202,11 +403,12 @@ void RepairEngine::apply_committed(std::size_t idx,
     try {
       op_cost = translator_->apply(op_records);
     } catch (const Error& e) {
-      // The runtime rejected the change (paper Section 7: "if the server
-      // load is too high and there are no available servers ... it may be
-      // necessary to alert a human observer"). The model now disagrees
-      // with the runtime for this repair; record the failure, cool the
-      // constraint down, and surface it loudly.
+      // See fail_plan: same contract, minus the compensation — this path
+      // is kept exactly as the paper behaved. The model keeps the
+      // committed-but-unenacted change (the consistency checker reports
+      // the drift), the record stays `committed`, and it still shows up
+      // in repair_windows(), matching what the pre-plan repair_windows()
+      // computed from the records.
       record.aborted = true;
       record.abort_reason = std::string("RuntimeFailure: ") + e.what();
       record.completed = sim_.now();
@@ -218,6 +420,7 @@ void RepairEngine::apply_committed(std::size_t idx,
             util::Symbol::intern(record.constraint_id),
             sim_.now() + config_.abort_cooldown);
       }
+      windows_.emplace_back(record.started, record.completed);
       ARC_ERROR << "repair #" << record.id
                 << " failed at the runtime layer: " << e.what()
                 << " — operator attention required";
@@ -226,7 +429,7 @@ void RepairEngine::apply_committed(std::size_t idx,
   }
   record.op_cost = op_cost;
   auto affected = std::make_shared<std::vector<std::string>>(
-      affected_gauge_elements(op_records));
+      affected_gauge_elements(op_records, gauges_));
   sim_.schedule_in(op_cost, [this, idx, affected] {
     redeploy_chain(idx, affected, 0, sim_.now());
   });
@@ -258,6 +461,7 @@ void RepairEngine::finish(std::size_t idx,
   stats_.servers_added += record.servers_added;
   stats_.servers_removed += record.servers_removed;
   stats_.repair_seconds_total += record.duration().as_seconds();
+  windows_.emplace_back(record.started, record.completed);
   if (config_.damping) {
     for (const std::string& element : affected) {
       settle_until_.insert_or_assign(util::Symbol::intern(element),
@@ -272,58 +476,6 @@ void RepairEngine::finish(std::size_t idx,
            << record.gauge_cost.as_seconds() << "s): moves=" << record.moves
            << " +servers=" << record.servers_added
            << " -servers=" << record.servers_removed;
-}
-
-std::vector<std::string> RepairEngine::affected_gauge_elements(
-    const std::vector<model::OpRecord>& op_records) const {
-  std::set<std::string> components;
-  std::set<std::string> connectors;
-  for (const model::OpRecord& op : op_records) {
-    if (!op.scope.empty()) {
-      components.insert(op.scope.front());
-      continue;
-    }
-    switch (op.kind) {
-      case model::OpKind::Attach:
-      case model::OpKind::Detach:
-        // The re-wired element is the connector (and so the client gauges
-        // keyed on its roles); the groups on either end keep serving their
-        // other clients undisturbed.
-        connectors.insert(op.attachment.connector);
-        break;
-      case model::OpKind::SetProperty:
-        components.insert(op.element);
-        break;
-      default:
-        components.insert(op.element);
-    }
-  }
-  std::vector<std::string> out;
-  if (!gauges_) {
-    out.assign(components.begin(), components.end());
-    return out;
-  }
-  // Keep only elements that actually carry gauges; include connector-role
-  // elements ("Conn_User3.clientSide") touched by attach/detach.
-  for (const std::string& element : gauges_->all_elements()) {
-    if (components.count(element)) {
-      out.push_back(element);
-      continue;
-    }
-    auto dot = element.find('.');
-    if (dot != std::string::npos && connectors.count(element.substr(0, dot))) {
-      out.push_back(element);
-    }
-  }
-  return out;
-}
-
-std::vector<std::pair<SimTime, SimTime>> RepairEngine::repair_windows() const {
-  std::vector<std::pair<SimTime, SimTime>> out;
-  for (const RepairRecord& r : records_) {
-    if (r.committed && r.finished) out.emplace_back(r.started, r.completed);
-  }
-  return out;
 }
 
 }  // namespace arcadia::repair

@@ -6,46 +6,49 @@
 //      did, or worst-first, the smarter scheme its future work proposes);
 //   2. run the bound strategy inside a model Transaction (interpreted
 //      script or native C++ strategy);
-//   3. on commit: charge decision + runtime-query time, hand the op records
-//      to the translator (Table 1 operations, each with its RMI cost), then
-//      re-deploy the gauges of every affected element — the step that
-//      dominates the paper's ~30 s repair time;
+//   3. on commit: charge decision + runtime-query time, then enact. The
+//      default pipeline lifts the committed op records into an
+//      AdaptationPlan (repair/plan.hpp), optimizes it (merged moves,
+//      batched gauge re-deployments), and enacts it asynchronously with
+//      independent steps overlapped (repair/plan_executor.hpp). The
+//      paper's strictly sequential record replay — translate every record,
+//      then re-deploy each element's gauges one after another, the step
+//      that dominates its ~30 s repair time — is kept behind
+//      `use_plan = false` as the measured baseline;
 //   4. on abort: roll the transaction back and apply a cooldown so a
 //      hopeless constraint does not spin.
 //
 // While a repair is in flight, and for settle_time afterwards on the
 // affected elements, new violations are suppressed — the paper's "effects
 // of a repair on a system will take time ... without taking this effect
-// into account, unnecessary repairs are likely to occur".
+// into account, unnecessary repairs are likely to occur". Detection keeps
+// running while a plan enacts, and with `preemption` enabled a strictly
+// worse violation somewhere else aborts the running plan: remaining steps
+// are skipped and compensations from the transaction journal bring model
+// and runtime back to their pre-repair state before the new repair starts.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "acme/interpreter.hpp"
 #include "acme/script.hpp"
+#include "events/bus.hpp"
 #include "model/transaction.hpp"
 #include "monitor/gauge_manager.hpp"
 #include "repair/constraint.hpp"
+#include "repair/plan.hpp"
+#include "repair/plan_executor.hpp"
 #include "repair/runtime_queries.hpp"
 #include "repair/strategy.hpp"
 #include "sim/simulator.hpp"
 #include "util/symbol.hpp"
 
 namespace arcadia::repair {
-
-/// Maps committed model changes to runtime operations; implemented by the
-/// runtime module against the environment manager.
-class Translator {
- public:
-  virtual ~Translator() = default;
-  /// Apply the records to the running system; returns the modeled cost of
-  /// the runtime operations performed.
-  virtual SimTime apply(const std::vector<model::OpRecord>& records) = 0;
-};
 
 enum class ViolationPolicy {
   FirstReported,  ///< the paper's experiment
@@ -68,6 +71,22 @@ struct RepairEngineConfig {
   bool damping = true;
   /// true: interpreted script strategies; false: native C++ strategies.
   bool use_script = true;
+  /// Enact through the AdaptationPlan pipeline (lift, optimize, overlap).
+  /// false selects the legacy strictly-sequential record replay — kept as
+  /// the in-bench baseline for bench_fig11_repair_latency.
+  bool use_plan = true;
+  /// Allow a strictly worse violation to abort a plan in flight (remaining
+  /// steps skipped, enacted steps compensated) and start its own repair.
+  bool preemption = false;
+  /// "Strictly worse": the challenger's observed value must exceed the
+  /// active repair's by this factor. Observed values are compared raw and
+  /// assume higher-is-worse threshold readings; repairs whose violation
+  /// observed 0 (non-threshold constraints, idle-group utilization) are
+  /// never preempted — their severity is not comparable. The heuristic is
+  /// sharpest between violations of the same constraint kind (latency vs
+  /// latency) — exactly the mid-repair-fault case the churn-mid-repair
+  /// scenario exercises.
+  double preempt_factor = 2.0;
 
   // Task-layer thresholds, mirrored into script globals and native
   // tactic contexts.
@@ -90,6 +109,8 @@ struct RepairRecord {
   bool committed = false;
   bool aborted = false;
   bool finished = false;
+  /// The plan was aborted mid-flight by a strictly worse violation.
+  bool preempted = false;
   std::string abort_reason;
   std::vector<std::pair<std::string, bool>> tactics;
   std::vector<std::string> ops;
@@ -100,6 +121,10 @@ struct RepairRecord {
   int moves = 0;
   int servers_added = 0;
   int servers_removed = 0;
+  /// Plan pipeline: steps after optimization / steps the optimizer folded
+  /// away (0 on the legacy path).
+  int plan_steps = 0;
+  int plan_steps_merged = 0;
 
   SimTime duration() const { return completed - started; }
 };
@@ -111,6 +136,11 @@ struct RepairStats {
   std::uint64_t servers_added = 0;
   std::uint64_t servers_removed = 0;
   double repair_seconds_total = 0.0;
+  // Plan pipeline counters.
+  std::uint64_t plan_steps_executed = 0;
+  std::uint64_t plan_steps_merged = 0;    ///< folded by the optimizer
+  std::uint64_t plan_steps_preempted = 0; ///< skipped by plan aborts
+  std::uint64_t plans_preempted = 0;
 };
 
 class RepairEngine {
@@ -122,8 +152,17 @@ class RepairEngine {
                Translator* translator, monitor::GaugeManager* gauges,
                RepairEngineConfig config);
 
-  /// Consider current violations; start at most one repair. Returns true
-  /// when a repair was initiated.
+  /// Optional bus for plan lifecycle notifications (topics::kRepairPlan);
+  /// the framework wires the gauge bus here so fleet managers and tools
+  /// can observe repairs in flight.
+  void set_event_bus(events::EventBus* bus) { bus_ = bus; }
+
+  /// Consider current violations; start at most one repair. While a plan
+  /// is in flight this normally declines — unless preemption is enabled
+  /// and a strictly worse violation (outside the elements the plan
+  /// touches) wins the policy pick, in which case the running plan is
+  /// aborted, compensated, and replaced. Returns true when a repair was
+  /// initiated.
   bool handle_violations(const std::vector<Violation>& violations);
 
   bool busy() const { return busy_; }
@@ -140,8 +179,10 @@ class RepairEngine {
   const std::vector<RepairRecord>& records() const { return records_; }
   const RepairStats& stats() const { return stats_; }
   /// (start, end) of committed repairs — the repair-duration bars of
-  /// Figures 11-13.
-  std::vector<std::pair<SimTime, SimTime>> repair_windows() const;
+  /// Figures 11-13. Maintained incrementally; cheap to call every sample.
+  const std::vector<std::pair<SimTime, SimTime>>& repair_windows() const {
+    return windows_;
+  }
 
   acme::Interpreter& interpreter() { return interpreter_; }
 
@@ -152,18 +193,46 @@ class RepairEngine {
   std::vector<std::string> strategy_names() const;
 
  private:
+  /// A committed plan in flight (or scheduled to start after the decision
+  /// + query charge).
+  struct ActiveRepair {
+    std::size_t idx = 0;        ///< records_ index
+    double observed = 0.0;      ///< severity of the repaired violation
+    AdaptationPlan plan;
+    std::vector<util::Symbol> touched;  ///< elements the plan acts on
+    sim::EventHandle pre_event;         ///< pending start (decision charge)
+  };
+
   void execute(const Violation& violation);
   acme::StrategyOutcome run_native(const std::string& handler,
                                    const std::string& element,
                                    model::Transaction& txn);
+  // Plan pipeline.
+  void start_plan(std::size_t idx);
+  void finish_plan(std::size_t idx);
+  void fail_plan(std::size_t idx, std::size_t step, const std::string& reason,
+                 SimTime compensation_cost);
+  void preempt_active(const std::string& reason);
+  /// Shared bookkeeping for an in-flight plan abort (runtime failure,
+  /// preemption): flags, stats, busy. `cooldown` applies the abort
+  /// cooldown — preemption skips it, because the displaced repair was
+  /// viable and should retry once the engine frees up (the strictly-worse
+  /// factor already prevents the two repairs from thrashing).
+  void abort_in_flight(std::size_t idx, const std::string& reason,
+                       SimTime completed_at, bool cooldown);
+  /// Replay the inverse of `journal` (newest first) through a fresh
+  /// transaction, returning the model to its pre-plan state.
+  void revert_model(const std::vector<model::OpRecord>& journal);
+  void publish_plan_event(util::Symbol phase, std::size_t idx,
+                          std::size_t steps);
+  bool touched_by_active(util::Symbol element) const;
+  // Legacy record replay (use_plan = false).
   void apply_committed(std::size_t idx,
                        std::vector<model::OpRecord> op_records);
   void redeploy_chain(std::size_t idx,
                       std::shared_ptr<std::vector<std::string>> elements,
                       std::size_t next, SimTime gauge_started);
   void finish(std::size_t idx, const std::vector<std::string>& affected);
-  std::vector<std::string> affected_gauge_elements(
-      const std::vector<model::OpRecord>& op_records) const;
   static void summarize_ops(const std::vector<model::OpRecord>& op_records,
                             RepairRecord& record);
 
@@ -177,11 +246,19 @@ class RepairEngine {
   acme::Interpreter interpreter_;
   std::map<std::string, CxxStrategy> native_;
   std::function<std::size_t(const std::vector<const Violation*>&)> chooser_;
+  events::EventBus* bus_ = nullptr;
 
   bool busy_ = false;
+  PlanExecutor executor_;
+  std::optional<ActiveRepair> active_;
+  /// Extra enactment delay charged to the next repair started this instant
+  /// — set by preempt_active to the compensation cost, so a challenger's
+  /// plan waits for the displaced plan's inverse ops to clear the runtime.
+  SimTime pending_start_delay_;
   util::SymbolMap<SimTime> settle_until_;    // element -> time
   util::SymbolMap<SimTime> cooldown_until_;  // constraint -> time
   std::vector<RepairRecord> records_;
+  std::vector<std::pair<SimTime, SimTime>> windows_;
   RepairStats stats_;
 };
 

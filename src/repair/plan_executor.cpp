@@ -1,0 +1,179 @@
+#include "repair/plan_executor.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace arcadia::repair {
+
+PlanExecutor::PlanExecutor(sim::Simulator& sim, Translator* translator,
+                           monitor::GaugeManager* gauges)
+    : sim_(sim), translator_(translator), gauges_(gauges) {}
+
+void PlanExecutor::run(const AdaptationPlan* plan, Callbacks callbacks) {
+  if (active_) throw Error("PlanExecutor::run: a plan is already in flight");
+  plan_ = plan;
+  cb_ = std::move(callbacks);
+  const std::size_t n = plan_->steps.size();
+  state_.assign(n, State::Pending);
+  deps_left_.assign(n, 0);
+  dependents_.assign(n, {});
+  enacted_.clear();
+  done_ = 0;
+  runtime_cost_ = SimTime::zero();
+  saw_gauge_ = false;
+  first_gauge_start_ = last_gauge_done_ = SimTime::zero();
+  active_ = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    deps_left_[i] = plan_->steps[i].deps.size();
+    for (std::size_t d : plan_->steps[i].deps) dependents_[d].push_back(i);
+  }
+  if (n == 0) {
+    const std::uint64_t gen = generation_;
+    sim_.schedule_in(SimTime::zero(), [this, gen] {
+      if (gen != generation_ || !active_) return;
+      active_ = false;
+      ++generation_;
+      if (cb_.on_done) cb_.on_done();
+    });
+    return;
+  }
+  launch_ready();
+}
+
+void PlanExecutor::launch_ready() {
+  // Completions always come back through the simulator (even zero-cost
+  // steps), so this sweep never recurses into itself; launching in index
+  // order keeps enactment deterministic.
+  for (std::size_t i = 0; i < state_.size() && active_; ++i) {
+    if (state_[i] == State::Pending && deps_left_[i] == 0) start_step(i);
+  }
+}
+
+void PlanExecutor::start_step(std::size_t idx) {
+  const PlanStep& step = plan_->steps[idx];
+  state_[idx] = State::Running;
+  const std::uint64_t gen = generation_;
+  if (step.kind == PlanStep::Kind::RuntimeOps) {
+    SimTime cost = SimTime::zero();
+    // Enlist for compensation BEFORE applying: a throw partway through the
+    // step's records (connectServer succeeded, activateServer did not)
+    // must still be compensated. Inverting ops that never applied
+    // over-compensates; the best-effort handling of the inverse stream
+    // absorbs that, whereas skipping the step would leak the partial
+    // runtime effects for good.
+    enacted_.push_back(idx);
+    if (translator_) {
+      try {
+        cost = translator_->apply(step.records);
+      } catch (const Error& e) {
+        fail_step(idx, e.what());
+        return;
+      }
+    }
+    runtime_cost_ += cost;
+    sim_.schedule_in(cost, [this, gen, idx] {
+      if (gen != generation_ || !active_) return;
+      complete_step(idx);
+    });
+    return;
+  }
+  // Gauge re-deployment: one batched reconfigure for the step's elements.
+  if (!saw_gauge_) {
+    saw_gauge_ = true;
+    first_gauge_start_ = sim_.now();
+  }
+  auto completion = [this, gen, idx] {
+    if (gen != generation_ || !active_) return;
+    last_gauge_done_ = sim_.now();
+    complete_step(idx);
+  };
+  if (gauges_) {
+    gauges_->redeploy_elements(step.elements, completion);
+  } else {
+    sim_.schedule_in(SimTime::zero(), std::move(completion));
+  }
+}
+
+void PlanExecutor::complete_step(std::size_t idx) {
+  state_[idx] = State::Done;
+  ++done_;
+  if (cb_.on_step_done) cb_.on_step_done(idx);
+  for (std::size_t dep : dependents_[idx]) {
+    if (deps_left_[dep] > 0) --deps_left_[dep];
+  }
+  if (done_ == state_.size()) {
+    active_ = false;
+    ++generation_;
+    if (cb_.on_done) cb_.on_done();
+    return;
+  }
+  launch_ready();
+}
+
+void PlanExecutor::fail_step(std::size_t idx, const std::string& reason) {
+  ARC_ERROR << "plan step " << idx << " (" << plan_->steps[idx].label
+            << ") failed at the runtime layer: " << reason;
+  const SimTime comp = compensate_enacted();
+  active_ = false;
+  ++generation_;
+  if (cb_.on_failed) cb_.on_failed(idx, reason, comp);
+}
+
+PlanExecutor::AbortResult PlanExecutor::abort() {
+  AbortResult result;
+  if (!active_) return result;
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    if (state_[i] == State::Done) continue;
+    // A Running runtime step has already applied its ops (it is in
+    // enacted_); a Running gauge step is detached mid-air.
+    if (state_[i] == State::Running &&
+        plan_->steps[i].kind == PlanStep::Kind::RuntimeOps) {
+      continue;
+    }
+    ++result.steps_skipped;
+  }
+  result.steps_enacted = enacted_.size();
+  result.compensation_cost = compensate_enacted();
+  active_ = false;
+  ++generation_;
+  return result;
+}
+
+SimTime PlanExecutor::compensate_enacted() {
+  if (enacted_.empty() || !translator_) return SimTime::zero();
+  // One inverse stream, newest record first across the enacted steps — a
+  // single translator application, mirroring how a rollback replays the
+  // undo journal.
+  std::vector<model::OpRecord> inverses;
+  for (auto it = enacted_.rbegin(); it != enacted_.rend(); ++it) {
+    const std::vector<model::OpRecord>& records = plan_->steps[*it].records;
+    for (auto op = records.rbegin(); op != records.rend(); ++op) {
+      if (std::optional<model::OpRecord> inv = op->inverse()) {
+        inverses.push_back(std::move(*inv));
+      }
+    }
+  }
+  enacted_.clear();
+  if (inverses.empty()) return SimTime::zero();
+  try {
+    const SimTime cost = translator_->apply(inverses);
+    runtime_cost_ += cost;
+    return cost;
+  } catch (const Error& e) {
+    // Compensation is best-effort: the runtime refused the inverse (e.g.
+    // the server we would re-activate vanished). Surface it loudly; the
+    // model-side revert still runs, and the consistency checker will flag
+    // any residue.
+    ARC_ERROR << "plan compensation failed at the runtime layer: " << e.what();
+    return SimTime::zero();
+  }
+}
+
+SimTime PlanExecutor::gauge_wall() const {
+  if (!saw_gauge_) return SimTime::zero();
+  return last_gauge_done_ - first_gauge_start_;
+}
+
+}  // namespace arcadia::repair

@@ -1,0 +1,94 @@
+// Asynchronous enactment of an AdaptationPlan on the simulator. Every step
+// whose dependencies are satisfied launches immediately — independent
+// runtime operations and gauge re-deployments overlap, so the plan's
+// wall-clock is its critical path, not the serial sum the paper measured.
+//
+// A running plan can be aborted (preemption, or a translator failure mid
+// step): un-launched steps are skipped, in-flight gauge redeployments are
+// detached (their completions become no-ops; the gauges still come back on
+// their own), and the already-enacted runtime steps are compensated by
+// translating the inverse of their op records, newest first. Model-side
+// compensation is the caller's job — it owns the journal and the System.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "repair/plan.hpp"
+#include "sim/simulator.hpp"
+
+namespace arcadia::repair {
+
+class PlanExecutor {
+ public:
+  struct Callbacks {
+    /// Fired as each step completes (optional; step index into the plan).
+    std::function<void(std::size_t)> on_step_done;
+    /// Every step completed.
+    std::function<void()> on_done;
+    /// A runtime step's translation threw. Enacted steps have already been
+    /// compensated at the runtime layer (`compensation_cost` is the modeled
+    /// cost of those inverse ops); the caller reverts the model.
+    std::function<void(std::size_t step, const std::string& reason,
+                       SimTime compensation_cost)>
+        on_failed;
+  };
+
+  struct AbortResult {
+    std::size_t steps_skipped = 0;  ///< never launched (or detached mid-air)
+    std::size_t steps_enacted = 0;  ///< runtime steps whose ops had applied
+    SimTime compensation_cost;      ///< modeled cost of the inverse ops
+  };
+
+  /// `translator` and `gauges` may be null (model-only rigs; the matching
+  /// step kinds then complete instantly and cost nothing).
+  PlanExecutor(sim::Simulator& sim, Translator* translator,
+               monitor::GaugeManager* gauges);
+
+  /// Enact `plan`. The caller keeps the plan alive and unchanged until
+  /// on_done / on_failed fires or abort() returns.
+  void run(const AdaptationPlan* plan, Callbacks callbacks);
+
+  bool active() const { return active_; }
+  /// Sum of translator costs charged so far (compensation included).
+  SimTime runtime_cost() const { return runtime_cost_; }
+  /// Wall-clock between the first gauge step launching and the last one
+  /// completing — the overlapped counterpart of the legacy gauge phase.
+  SimTime gauge_wall() const;
+
+  /// Abort the running plan (see file comment). No-op when idle.
+  AbortResult abort();
+
+ private:
+  enum class State : std::uint8_t { Pending, Running, Done };
+
+  void launch_ready();
+  void start_step(std::size_t idx);
+  void complete_step(std::size_t idx);
+  void fail_step(std::size_t idx, const std::string& reason);
+  SimTime compensate_enacted();
+
+  sim::Simulator& sim_;
+  Translator* translator_;
+  monitor::GaugeManager* gauges_;
+  const AdaptationPlan* plan_ = nullptr;
+  Callbacks cb_;
+  std::vector<State> state_;
+  std::vector<std::size_t> deps_left_;
+  std::vector<std::vector<std::size_t>> dependents_;
+  std::vector<std::size_t> enacted_;  ///< runtime steps applied, launch order
+  std::size_t done_ = 0;
+  bool active_ = false;
+  /// Bumped whenever a run ends (done, failed, aborted): completions from a
+  /// previous generation — e.g. a gauge redeploy finishing after an abort —
+  /// are recognized and dropped.
+  std::uint64_t generation_ = 0;
+  SimTime runtime_cost_;
+  bool saw_gauge_ = false;
+  SimTime first_gauge_start_;
+  SimTime last_gauge_done_;
+};
+
+}  // namespace arcadia::repair

@@ -81,6 +81,9 @@ class SimEnvironmentManager : public EnvironmentManager {
 
   SimTime last_op_cost() const override { return last_cost_; }
   const EnvironmentStats& stats() const { return stats_; }
+  /// The modeled cost table — what the repair planner prices Table-1
+  /// operations with before enacting them.
+  const EnvironmentCosts& costs() const { return costs_; }
 
   /// Servers recruited by repairs since start (release candidates for the
   /// trim repair).

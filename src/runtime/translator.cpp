@@ -66,4 +66,31 @@ SimTime SimTranslator::apply(const std::vector<model::OpRecord>& records) {
   return cost;
 }
 
+SimTime SimTranslator::estimate(
+    const std::vector<model::OpRecord>& records) const {
+  const EnvironmentCosts& costs = env_.costs();
+  SimTime cost = SimTime::zero();
+  for (const model::OpRecord& op : records) {
+    switch (op.kind) {
+      case model::OpKind::AddComponent:
+        if (!op.scope.empty()) {
+          // connectServer + activateServer (process start-up included).
+          cost += costs.rmi_call + costs.rmi_call + costs.activate_extra;
+        }
+        break;
+      case model::OpKind::RemoveComponent:
+        if (!op.scope.empty()) cost += costs.rmi_call;  // deactivateServer
+        break;
+      case model::OpKind::SetProperty:
+        if (op.property == conv_.bound_to_prop && op.value.is_string()) {
+          cost += costs.rmi_call;  // moveClient
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return cost;
+}
+
 }  // namespace arcadia::rt

@@ -15,7 +15,8 @@
 
 #include <cstdint>
 
-#include "repair/engine.hpp"
+#include "repair/plan.hpp"
+#include "repair/style_ops.hpp"
 #include "runtime/environment.hpp"
 
 namespace arcadia::rt {
@@ -32,6 +33,10 @@ class SimTranslator : public repair::Translator {
                 repair::StyleConventions conventions = {});
 
   SimTime apply(const std::vector<model::OpRecord>& records) override;
+
+  /// The planner's Table-1 estimate: the same rule table as apply(), priced
+  /// from the environment's cost model without touching the runtime.
+  SimTime estimate(const std::vector<model::OpRecord>& records) const override;
 
   const TranslatorStats& stats() const { return stats_; }
 

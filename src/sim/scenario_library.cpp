@@ -255,6 +255,36 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
     registry.add(std::move(spec));
   }
   {
+    // Same builder as server-churn, with the outages packed tightly enough
+    // that the next fault lands while the previous repair's plan is still
+    // enacting (repairs take ~30 s with cold gauges). Run it with
+    // FrameworkConfig::plan_preemption to let the strictly worse follow-on
+    // violation abort the in-flight plan.
+    ScenarioSpec spec;
+    spec.name = "churn-mid-repair";
+    spec.description =
+        "server-churn with outages packed so each new fault lands while "
+        "the previous repair's plan is still enacting; pair with "
+        "FrameworkConfig::plan_preemption (factor ~1.2 for same-kind "
+        "latency violations)";
+    spec.defaults.horizon = SimTime::seconds(900);
+    spec.defaults.normal_rate_hz = 1.5;
+    spec.defaults.stress_start = SimTime::seconds(1e9);
+    spec.defaults.stress_end = SimTime::seconds(1e9);
+    spec.defaults.comp_sg1_phase1_mbps = 0.0;
+    spec.defaults.comp_sg1_stress_mbps = 0.0;
+    spec.defaults.comp_sg1_final_mbps = 0.0;
+    spec.defaults.comp_sg2_phase1_mbps = 0.0;
+    spec.defaults.comp_sg2_stress_mbps = 0.0;
+    spec.defaults.comp_sg2_final_mbps = 0.0;
+    spec.defaults.churn.first_outage = SimTime::seconds(240);
+    spec.defaults.churn.period = SimTime::seconds(45);
+    spec.defaults.churn.outage = SimTime::seconds(120);
+    spec.defaults.churn.outages = 2;
+    spec.build = build_server_churn_testbed;
+    registry.add(std::move(spec));
+  }
+  {
     ScenarioSpec spec;
     spec.name = "server-churn";
     spec.description =

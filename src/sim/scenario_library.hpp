@@ -10,6 +10,9 @@
 //   server-churn      Figure 6 testbed with rotating server outages
 //                     (ScenarioConfig::churn) the monitoring stack must
 //                     detect and repair around
+//   churn-mid-repair  server-churn with outages packed so each new fault
+//                     lands while the previous repair's plan is still
+//                     enacting (exercises plan preemption)
 //   fleet-4x16        one tenant shard of a fleet: a grid-4x16 clone whose
 //                     workload schedule is phase-shifted and re-seeded by
 //                     ScenarioConfig::fleet::tenant_index; core::Fleet
