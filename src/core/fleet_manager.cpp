@@ -21,6 +21,7 @@ FleetManager::ShardId FleetManager::add_shard(std::string name,
                                               ArchitectureManager& manager,
                                               events::EventBus& gauge_bus,
                                               sim::NodeId manager_node) {
+  serial_.check();
   if (started_) throw Error("FleetManager: add_shard after start");
   Shard shard;
   shard.name = std::move(name);
@@ -32,6 +33,7 @@ FleetManager::ShardId FleetManager::add_shard(std::string name,
 }
 
 void FleetManager::start() {
+  serial_.check();
   if (started_) throw Error("FleetManager::start called twice");
   started_ = true;
   // The pool is sized only now, when the shard count is known: more workers
@@ -67,6 +69,7 @@ void FleetManager::start() {
 }
 
 void FleetManager::stop() {
+  serial_.check();
   sweep_task_.reset();
   for (Shard& shard : shards_) {
     if (shard.sub != 0) {
@@ -119,6 +122,7 @@ void FleetManager::note_plan_event(ShardId id, const events::Notification& n) {
 }
 
 void FleetManager::enqueue(ShardId id, const events::Notification& n) {
+  serial_.check();
   Shard& shard = shards_[id];
   ++shard.stats.reports_enqueued;
   // Parse and intern once, at delivery (shared address convention); from
@@ -172,6 +176,7 @@ void FleetManager::enqueue(ShardId id, const events::Notification& n) {
 }
 
 void FleetManager::flush(ShardId id) {
+  serial_.check();
   Shard& shard = shards_[id];
   shard.flush_timer.cancel();
   if (shard.touched.empty()) return;
@@ -188,6 +193,7 @@ void FleetManager::flush(ShardId id) {
 }
 
 void FleetManager::run_sweep() {
+  serial_.check();
   const auto wall0 = std::chrono::steady_clock::now();
   ++stats_.sweep_rounds;
   // Apply everything still coalescing so this sweep sees values at least as

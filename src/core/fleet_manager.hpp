@@ -34,6 +34,7 @@
 #include "events/bus.hpp"
 #include "repair/constraint.hpp"
 #include "sim/simulator.hpp"
+#include "util/annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace arcadia::core {
@@ -182,6 +183,11 @@ class FleetManager {
 
   sim::Simulator& sim_;
   FleetManagerConfig config_;
+  /// Concurrency capability: shard state is owned by the simulation thread.
+  /// run_sweep farms the *detection* phase to the pool, but those tasks
+  /// only call const ArchitectureManager::detect() on disjoint models —
+  /// every write to shards_ (enqueue, flush, dispatch, stats) happens on
+  /// the owning thread, which debug builds assert via serial_.
   std::vector<Shard> shards_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<sim::PeriodicTask> sweep_task_;
@@ -191,6 +197,7 @@ class FleetManager {
   std::uint64_t structure_seen_ = 0;
   bool started_ = false;
   FleetStats stats_;
+  util::SerialDomain serial_;
 };
 
 }  // namespace arcadia::core

@@ -6,7 +6,7 @@ namespace arcadia::events {
 
 SubscriptionId LocalEventBus::subscribe(Filter filter, Handler handler,
                                         sim::NodeId /*subscriber_node*/) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   SubscriptionId id = next_id_++;
   subs_.add(id, std::move(filter),
             SubData{std::make_shared<Handler>(std::move(handler))});
@@ -14,7 +14,7 @@ SubscriptionId LocalEventBus::subscribe(Filter filter, Handler handler,
 }
 
 void LocalEventBus::unsubscribe(SubscriptionId id) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   // Immediate slot reuse is safe: dispatched handlers run from
   // snapshot-held shared_ptrs, never from the slot.
   subs_.remove(id);
@@ -40,7 +40,7 @@ LocalEventBus::scratch_pool() {
 void LocalEventBus::publish(Notification n) {
   std::unique_ptr<Scratch> targets = acquire_scratch();
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++stats_.published;
     subs_.for_candidates(
         n.topic, [&](std::uint32_t, auto& slot, bool topic_prechecked) {
@@ -82,6 +82,7 @@ SimEventBus::SimEventBus(sim::Simulator& sim, DelayModel delay)
 
 SubscriptionId SimEventBus::subscribe(Filter filter, Handler handler,
                                       sim::NodeId subscriber_node) {
+  serial_.check();
   SubscriptionId id = next_id_++;
   subs_.add(id, std::move(filter),
             SubData{std::make_shared<Handler>(std::move(handler)),
@@ -89,7 +90,10 @@ SubscriptionId SimEventBus::subscribe(Filter filter, Handler handler,
   return id;
 }
 
-void SimEventBus::unsubscribe(SubscriptionId id) { subs_.remove(id); }
+void SimEventBus::unsubscribe(SubscriptionId id) {
+  serial_.check();
+  subs_.remove(id);
+}
 
 void SimEventBus::deliver(std::uint32_t idx, std::uint32_t gen,
                           const Notification& n) {
@@ -107,6 +111,7 @@ void SimEventBus::deliver(std::uint32_t idx, std::uint32_t gen,
 }
 
 void SimEventBus::publish(Notification n) {
+  serial_.check();
   ++stats_.published;
   n.published = sim_.now();
   NotificationPtr shared = payloads_.acquire(std::move(n));

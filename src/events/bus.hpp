@@ -37,12 +37,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "events/filter.hpp"
 #include "events/notification.hpp"
 #include "sim/simulator.hpp"
+#include "util/annotations.hpp"
 #include "util/symbol.hpp"
 
 namespace arcadia::events {
@@ -226,7 +226,11 @@ class LocalEventBus : public EventBus {
   using EventBus::subscribe;
   void unsubscribe(SubscriptionId id) override;
   void publish(Notification n) override;
-  const BusStats& stats() const override { return stats_; }
+  /// Quiescent read: the counters are mutated under the bus mutex, but the
+  /// accessor hands out an unlocked reference — callers read it only after
+  /// concurrent publishers have been joined (tests/benches do exactly
+  /// that). Analysis is off for this one deliberate hole.
+  const BusStats& stats() const ARC_NO_TSA override { return stats_; }
 
  private:
   struct SubData {
@@ -240,10 +244,10 @@ class LocalEventBus : public EventBus {
   static std::vector<std::unique_ptr<Scratch>>& scratch_pool();
   std::unique_ptr<Scratch> acquire_scratch();
 
-  mutable std::mutex mutex_;
-  detail::SubTable<SubData> subs_;
-  SubscriptionId next_id_ = 1;
-  BusStats stats_;
+  mutable util::Mutex mutex_;
+  detail::SubTable<SubData> subs_ ARC_GUARDED_BY(mutex_);
+  SubscriptionId next_id_ ARC_GUARDED_BY(mutex_) = 1;
+  BusStats stats_ ARC_GUARDED_BY(mutex_);
 };
 
 /// Computes the delivery delay of a notification to a subscriber node.
@@ -290,6 +294,10 @@ class SimEventBus : public EventBus {
 
   sim::Simulator& sim_;
   DelayModel delay_;
+  /// Single-threaded by contract (deliveries are simulator events, and the
+  /// simulator is single-threaded); the domain turns a cross-thread call
+  /// into a debug abort instead of a silent race.
+  util::SerialDomain serial_;
   detail::SubTable<SubData> subs_;
   detail::PayloadPool payloads_;
   SubscriptionId next_id_ = 1;

@@ -10,6 +10,8 @@
 // node-per-attribute std::map this replaced allocated on every set().
 // Lookup is a linear scan over inline storage, which beats a tree walk at
 // these sizes by a wide margin.
+// arclint: hotpath — steady-state code: no std::function (heap-owning
+// type erasure); util::SmallFn, templates, or plain data only.
 #pragma once
 
 #include <cstddef>

@@ -8,6 +8,8 @@
 // repeats forever (client/element/property identifiers). A Symbol value is
 // 4 bytes, never allocates, and compares by id against other symbols; it
 // still reads, compares, and filters exactly like the string it interns.
+// arclint: hotpath — steady-state code: no std::function (heap-owning
+// type erasure); util::SmallFn, templates, or plain data only.
 #pragma once
 
 #include <cstdint>

@@ -19,6 +19,8 @@
 // through their own System objects; a per-root counter would miss those.
 // Cross-system false sharing only costs a spurious re-evaluation, never a
 // stale verdict.
+// arclint: hotpath — steady-state code: no std::function (heap-owning
+// type erasure); util::SmallFn, templates, or plain data only.
 #pragma once
 
 #include <cstdint>

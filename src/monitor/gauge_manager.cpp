@@ -19,6 +19,7 @@ GaugeManager::~GaugeManager() {
 
 std::string GaugeManager::deploy(std::unique_ptr<Gauge> gauge,
                                  std::function<void()> on_live) {
+  serial_.check();
   const util::Symbol id = gauge->spec().id;
   if (gauges_.contains(id)) {
     throw Error("gauge already deployed: " + id.str());
@@ -90,6 +91,7 @@ void GaugeManager::destroy(const std::string& gauge_id,
 
 void GaugeManager::destroy(util::Symbol gauge_id,
                            std::function<void()> on_done) {
+  serial_.check();
   Managed* m = gauges_.find(gauge_id);
   if (!m) throw Error("destroy: unknown gauge " + gauge_id.str());
   take_offline(*m);
@@ -157,6 +159,7 @@ SimTime GaugeManager::redeploy_cost(const std::string& element) const {
 
 void GaugeManager::redeploy_elements(const std::vector<std::string>& elements,
                                      std::function<void()> on_done) {
+  serial_.check();
   ++stats_.redeploy_batches;
   if (elements.empty()) {
     sim_.schedule_in(SimTime::zero(), [on_done] {
@@ -176,6 +179,7 @@ void GaugeManager::redeploy_elements(const std::vector<std::string>& elements,
 
 void GaugeManager::redeploy_element(const std::string& element,
                                     std::function<void()> on_done) {
+  serial_.check();
   std::vector<util::Symbol> ids =
       gauge_ids_for(util::Symbol::intern(element));
   ++stats_.redeploys;

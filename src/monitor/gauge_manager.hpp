@@ -17,6 +17,7 @@
 #include "events/bus.hpp"
 #include "monitor/gauge.hpp"
 #include "sim/simulator.hpp"
+#include "util/annotations.hpp"
 #include "util/symbol.hpp"
 
 namespace arcadia::monitor {
@@ -121,6 +122,11 @@ class GaugeManager {
   /// the std::map<std::string, ...> order this container replaced.
   util::SymbolMap<Managed> gauges_;
   GaugeManagerStats stats_;
+  /// Concurrency capability: not a mutex — every mutating call (deploy,
+  /// destroy, redeploy*) must come from the simulation thread; the fleet's
+  /// parallel sweep only ever *reads* through const accessors. Debug builds
+  /// assert the discipline.
+  util::SerialDomain serial_;
 };
 
 }  // namespace arcadia::monitor

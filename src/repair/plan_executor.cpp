@@ -12,6 +12,7 @@ PlanExecutor::PlanExecutor(sim::Simulator& sim, Translator* translator,
     : sim_(sim), translator_(translator), gauges_(gauges) {}
 
 void PlanExecutor::run(const AdaptationPlan* plan, Callbacks callbacks) {
+  serial_.check();
   if (active_) throw Error("PlanExecutor::run: a plan is already in flight");
   plan_ = plan;
   cb_ = std::move(callbacks);
@@ -122,6 +123,7 @@ void PlanExecutor::fail_step(std::size_t idx, const std::string& reason) {
 }
 
 PlanExecutor::AbortResult PlanExecutor::abort() {
+  serial_.check();
   AbortResult result;
   if (!active_) return result;
   for (std::size_t i = 0; i < state_.size(); ++i) {

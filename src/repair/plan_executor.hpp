@@ -18,6 +18,7 @@
 
 #include "repair/plan.hpp"
 #include "sim/simulator.hpp"
+#include "util/annotations.hpp"
 
 namespace arcadia::repair {
 
@@ -89,6 +90,10 @@ class PlanExecutor {
   bool saw_gauge_ = false;
   SimTime first_gauge_start_;
   SimTime last_gauge_done_;
+  /// Concurrency capability: plan state advances only on the simulation
+  /// thread (run/abort entry points plus completions the simulator fires);
+  /// "overlapped" steps overlap in *simulated* time, not on host threads.
+  util::SerialDomain serial_;
 };
 
 }  // namespace arcadia::repair

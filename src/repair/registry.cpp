@@ -21,7 +21,7 @@ void StrategyRegistry::add(CxxStrategy strategy) {
   if (strategy.name.empty()) {
     throw Error("StrategyRegistry: empty strategy name");
   }
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (strategies_.count(strategy.name)) {
     throw Error("StrategyRegistry: strategy '" + strategy.name +
                 "' already registered");
@@ -33,17 +33,17 @@ void StrategyRegistry::add_or_replace(CxxStrategy strategy) {
   if (strategy.name.empty()) {
     throw Error("StrategyRegistry: empty strategy name");
   }
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   strategies_[strategy.name] = std::move(strategy);
 }
 
 bool StrategyRegistry::contains(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return strategies_.count(name) > 0;
 }
 
 CxxStrategy StrategyRegistry::at(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = strategies_.find(name);
   if (it == strategies_.end()) {
     throw Error("StrategyRegistry: unknown strategy '" + name +
@@ -53,7 +53,7 @@ CxxStrategy StrategyRegistry::at(const std::string& name) const {
 }
 
 std::vector<std::string> StrategyRegistry::names() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(strategies_.size());
   for (const auto& [key, value] : strategies_) out.push_back(key);
@@ -81,7 +81,7 @@ PolicyRegistry& PolicyRegistry::instance() {
 void PolicyRegistry::add(std::string name, ViolationChooser chooser) {
   if (name.empty()) throw Error("PolicyRegistry: empty policy name");
   if (!chooser) throw Error("PolicyRegistry: policy '" + name + "' is null");
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (policies_.count(name)) {
     throw Error("PolicyRegistry: policy '" + name + "' already registered");
   }
@@ -91,17 +91,17 @@ void PolicyRegistry::add(std::string name, ViolationChooser chooser) {
 void PolicyRegistry::add_or_replace(std::string name, ViolationChooser chooser) {
   if (name.empty()) throw Error("PolicyRegistry: empty policy name");
   if (!chooser) throw Error("PolicyRegistry: policy '" + name + "' is null");
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   policies_[std::move(name)] = std::move(chooser);
 }
 
 bool PolicyRegistry::contains(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return policies_.count(name) > 0;
 }
 
 ViolationChooser PolicyRegistry::at(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = policies_.find(name);
   if (it == policies_.end()) {
     throw Error("PolicyRegistry: unknown policy '" + name +
@@ -111,7 +111,7 @@ ViolationChooser PolicyRegistry::at(const std::string& name) const {
 }
 
 std::vector<std::string> PolicyRegistry::names() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(policies_.size());
   for (const auto& [key, value] : policies_) out.push_back(key);

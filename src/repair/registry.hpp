@@ -7,12 +7,12 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "repair/constraint.hpp"
 #include "repair/strategy.hpp"
+#include "util/annotations.hpp"
 
 namespace arcadia::repair {
 
@@ -36,8 +36,8 @@ class StrategyRegistry {
  private:
   StrategyRegistry();
 
-  mutable std::mutex mutex_;
-  std::map<std::string, CxxStrategy> strategies_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, CxxStrategy> strategies_ ARC_GUARDED_BY(mutex_);
 };
 
 /// Picks which eligible violation to repair next. `candidates` is never
@@ -63,8 +63,8 @@ class PolicyRegistry {
  private:
   PolicyRegistry();
 
-  mutable std::mutex mutex_;
-  std::map<std::string, ViolationChooser> policies_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, ViolationChooser> policies_ ARC_GUARDED_BY(mutex_);
 };
 
 }  // namespace arcadia::repair

@@ -215,12 +215,12 @@ void FlowNetwork::reallocate() {
   // one channel and freezes the flows crossing it.
   std::vector<FlowId> unfrozen;
   unfrozen.reserve(transfers_.size());
+  // transfers_ is ordered by FlowId, so this is already the deterministic
+  // (arrival-order) sequence — no compensating sort needed.
   for (auto& [id, t] : transfers_) {
     t.rate_bps = 0.0;
     unfrozen.push_back(id);
   }
-  // Deterministic ordering regardless of hash-map iteration order.
-  std::sort(unfrozen.begin(), unfrozen.end());
 
   std::vector<int> load(residual.size(), 0);
   while (!unfrozen.empty()) {

@@ -9,8 +9,8 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -75,7 +75,10 @@ class Topology {
 
   std::vector<Node> nodes_;
   std::vector<Link> links_;
-  std::unordered_map<std::string, NodeId> by_name_;
+  // Ordered map: only build-time lookups, and keeping it ordered means no
+  // hash-ordered container sits on the simulation path at all (arclint
+  // rule `unordered-container` holds tree-wide).
+  std::map<std::string, NodeId> by_name_;
   bool routes_ready_ = false;
   // paths_[src * N + dst]
   std::vector<std::vector<ChannelId>> paths_;
@@ -161,8 +164,15 @@ class FlowNetwork {
 
   Simulator& sim_;
   const Topology& topo_;
-  std::unordered_map<FlowId, Transfer> transfers_;
-  std::unordered_map<FlowId, Background> backgrounds_;
+  // Ordered by FlowId (ids are monotonic, so this is arrival order). The
+  // allocator *iterates* these maps and the iteration order feeds both
+  // floating-point accumulation (per-channel demand sums) and completion
+  // scheduling — with a hash-ordered container the event sequence would
+  // depend on the standard library's bucket layout. std::map makes every
+  // walk deterministic by construction; flow counts are small (tens), so
+  // the tree walk is not a hot-path concern.
+  std::map<FlowId, Transfer> transfers_;
+  std::map<FlowId, Background> backgrounds_;
   FlowId next_id_ = 1;
   Bandwidth floor_ = Bandwidth::bps(100.0);
   SimTime loopback_delay_ = SimTime::millis(1.0);

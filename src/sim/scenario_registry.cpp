@@ -18,7 +18,7 @@ void ScenarioRegistry::add(ScenarioSpec spec) {
   if (!spec.build) {
     throw Error("ScenarioRegistry: scenario '" + spec.name + "' has no factory");
   }
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (specs_.count(spec.name)) {
     throw Error("ScenarioRegistry: scenario '" + spec.name +
                 "' already registered");
@@ -31,17 +31,17 @@ void ScenarioRegistry::add_or_replace(ScenarioSpec spec) {
   if (!spec.build) {
     throw Error("ScenarioRegistry: scenario '" + spec.name + "' has no factory");
   }
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   specs_[spec.name] = std::move(spec);
 }
 
 bool ScenarioRegistry::contains(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return specs_.count(name) > 0;
 }
 
 ScenarioSpec ScenarioRegistry::at(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = specs_.find(name);
   if (it == specs_.end()) {
     throw Error("ScenarioRegistry: unknown scenario '" + name +
@@ -51,7 +51,7 @@ ScenarioSpec ScenarioRegistry::at(const std::string& name) const {
 }
 
 std::vector<std::string> ScenarioRegistry::names() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(specs_.size());
   for (const auto& [key, spec] : specs_) out.push_back(key);
@@ -59,7 +59,7 @@ std::vector<std::string> ScenarioRegistry::names() const {
 }
 
 std::size_t ScenarioRegistry::size() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return specs_.size();
 }
 

@@ -8,11 +8,11 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "sim/scenario.hpp"
+#include "util/annotations.hpp"
 
 namespace arcadia::sim {
 
@@ -52,8 +52,8 @@ class ScenarioRegistry {
  private:
   ScenarioRegistry();
 
-  mutable std::mutex mutex_;
-  std::map<std::string, ScenarioSpec> specs_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, ScenarioSpec> specs_ ARC_GUARDED_BY(mutex_);
 };
 
 /// Build a registered scenario with its calibrated defaults.

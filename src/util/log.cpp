@@ -28,13 +28,13 @@ Logger::Logger() {
 }
 
 void Logger::set_sink(Sink sink) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   sink_ = std::move(sink);
 }
 
 void Logger::log(LogLevel level, const std::string& message) {
   if (!enabled(level)) return;
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (sink_) sink_(level, message);
 }
 

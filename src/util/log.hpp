@@ -3,10 +3,12 @@
 // examples run with Info to show the repair timeline.
 #pragma once
 
+#include <atomic>
 #include <functional>
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "util/annotations.hpp"
 
 namespace arcadia {
 
@@ -15,16 +17,20 @@ enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off =
 const char* to_string(LogLevel level);
 
 /// Process-wide logger with a pluggable sink. Thread-safe: the sink is
-/// invoked under a mutex, so interleaved messages never shear.
+/// invoked under a mutex, so interleaved messages never shear, and the
+/// level is atomic so the filter check stays lock-free on the fast path
+/// (and set_level from a test thread never races concurrent loggers).
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
 
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
-  bool enabled(LogLevel level) const { return level >= level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  bool enabled(LogLevel level) const { return level >= this->level(); }
 
   /// Replace the output sink (default writes to stderr). Used by tests to
   /// capture log output.
@@ -34,9 +40,9 @@ class Logger {
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::Warn;
-  Sink sink_;
-  std::mutex mutex_;
+  std::atomic<LogLevel> level_{LogLevel::Warn};
+  util::Mutex mutex_;
+  Sink sink_ ARC_GUARDED_BY(mutex_);
 };
 
 namespace detail {

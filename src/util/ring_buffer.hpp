@@ -4,6 +4,8 @@
 // allocates and frees fixed-size chunks as the window slides, while the
 // ring reaches its high-water capacity once and then never touches the
 // heap again.
+// arclint: hotpath — steady-state code: no std::function (heap-owning
+// type erasure); util::SmallFn, templates, or plain data only.
 #pragma once
 
 #include <cstddef>

@@ -5,6 +5,8 @@
 // bytes (>= 48: this covers every scheduling lambda in the codebase — a
 // couple of pointers, a SimTime, a shared_ptr) inline in the event slot,
 // falling back to the heap only for oversized captures.
+// arclint: hotpath — steady-state code: no std::function (heap-owning
+// type erasure); util::SmallFn, templates, or plain data only.
 #pragma once
 
 #include <cstddef>

@@ -2,6 +2,8 @@
 // specifies both the bandwidth-competition schedule and the request-rate /
 // file-size schedule as stepping functions; this is their direct
 // representation.
+// arclint: hotpath — steady-state code: no std::function (heap-owning
+// type erasure); util::SmallFn, templates, or plain data only.
 #pragma once
 
 #include <utility>

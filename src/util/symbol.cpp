@@ -4,9 +4,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace arcadia::util {
 
@@ -42,13 +43,15 @@ struct Index {
 };
 
 struct InternTable {
-  std::mutex mu;  ///< serializes writers only
+  Mutex mu;  ///< serializes writers only; readers go through the atomics
   std::atomic<Block*> blocks[kMaxBlocks] = {};
   std::atomic<Index*> index;
-  std::vector<std::unique_ptr<Index>> retired;  // under mu
-  std::uint32_t count = 0;                      // under mu
+  std::vector<std::unique_ptr<Index>> retired ARC_GUARDED_BY(mu);
+  std::uint32_t count ARC_GUARDED_BY(mu) = 0;
 
-  InternTable() {
+  InternTable() ARC_NO_TSA {
+    // (analysis off: constructors run single-threaded, but the guarded
+    // members are initialized here without the — unnecessary — lock.)
     auto idx = std::make_unique<Index>(1024);
     index.store(idx.get(), std::memory_order_release);
     retired.push_back(std::move(idx));
@@ -77,7 +80,7 @@ struct InternTable {
     const std::size_t hash = std::hash<std::string_view>{}(sought);
     if (std::uint32_t hit = find(sought, hash)) return hit - 1;
 
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     // Re-check: another writer may have interned between probe and lock.
     if (std::uint32_t hit = find(sought, hash)) return hit - 1;
 
@@ -110,7 +113,7 @@ struct InternTable {
     return id;
   }
 
-  void insert_into(Index& idx, std::uint32_t id) {
+  void insert_into(Index& idx, std::uint32_t id) ARC_REQUIRES(mu) {
     const std::size_t hash = std::hash<std::string_view>{}(text(id));
     std::size_t i = hash & idx.mask;
     while (idx.cells[i].load(std::memory_order_relaxed) != 0) {
@@ -120,7 +123,7 @@ struct InternTable {
   }
 
   std::size_t size() {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     return count;
   }
 };

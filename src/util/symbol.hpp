@@ -5,6 +5,8 @@
 // handful of integer probes. Interning is thread-safe (experiment suites run
 // scenarios on a thread pool); reading an already-interned symbol's text is
 // lock-free.
+// arclint: hotpath — steady-state code: no std::function (heap-owning
+// type erasure); util::SmallFn, templates, or plain data only.
 #pragma once
 
 #include <cstdint>

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -27,12 +27,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
+      util::MutexLock lock(mutex_);
+      // Loop form (no predicate lambda): the guarded reads stay in this
+      // function's body where the analysis can see the lock is held.
+      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
+      if (queue_.empty()) return;  // only reachable when stopping
       task = std::move(queue_.front());
       queue_.pop_front();
     }

@@ -5,14 +5,14 @@
 // the granularity of whole experiments (one simulator per task, no sharing).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace arcadia {
 
@@ -34,7 +34,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -52,10 +52,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  util::Mutex mutex_;
+  util::CondVar cv_;
+  std::deque<std::function<void()>> queue_ ARC_GUARDED_BY(mutex_);
+  bool stopping_ ARC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace arcadia

@@ -1,0 +1,185 @@
+// arclint self-test: deliberately seeded violations of every rule must be
+// caught, exemptions must work, and mentions in comments/strings must not
+// fire. This pins the linter's behaviour so the `arclint_tree` ctest gate
+// (and the static-analysis CI lane) stays trustworthy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using arclint::Finding;
+using arclint::lint_source;
+
+std::vector<std::string> rules_hit(const std::vector<Finding>& findings) {
+  std::vector<std::string> out;
+  for (const Finding& f : findings) out.push_back(f.rule);
+  return out;
+}
+
+bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  const std::vector<std::string> hit = rules_hit(findings);
+  return std::find(hit.begin(), hit.end(), rule) != hit.end();
+}
+
+TEST(ArclintTest, ListsAllFourRules) {
+  EXPECT_EQ(arclint::rule_ids().size(), 4u);
+}
+
+// ---- unordered-container -------------------------------------------------
+
+TEST(ArclintTest, CatchesUnorderedMapInSrc) {
+  const std::string src =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> table;\n";
+  const auto findings = lint_source("src/sim/foo.hpp", src);
+  ASSERT_EQ(findings.size(), 2u);  // include + declaration
+  EXPECT_EQ(findings[0].rule, "unordered-container");
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_EQ(findings[1].line, 2u);
+}
+
+TEST(ArclintTest, CatchesUnorderedSetEverywhereUnderSrc) {
+  const std::string src = "std::unordered_set<int> seen;\n";
+  EXPECT_TRUE(has_rule(lint_source("src/util/x.hpp", src),
+                       "unordered-container"));
+  EXPECT_TRUE(has_rule(lint_source("src/model/x.cpp", src),
+                       "unordered-container"));
+  // Outside src/ the rule does not apply (tools, tests, benches).
+  EXPECT_TRUE(lint_source("tools/arclint/x.cpp", src).empty());
+  EXPECT_TRUE(lint_source("tests/test_x.cpp", src).empty());
+}
+
+TEST(ArclintTest, UnorderedMentionInCommentOrStringIsFine) {
+  const std::string src =
+      "// replaced a std::unordered_map with util::SymbolMap\n"
+      "const char* kDoc = \"std::unordered_set iteration is hash-ordered\";\n";
+  EXPECT_TRUE(lint_source("src/sim/foo.hpp", src).empty());
+}
+
+// ---- wall-clock ----------------------------------------------------------
+
+TEST(ArclintTest, CatchesWallClockInSimAndRepairOnly) {
+  const std::string src =
+      "auto t0 = std::chrono::steady_clock::now();\n"
+      "int r = rand();\n"
+      "std::random_device rd;\n";
+  const auto findings = lint_source("src/sim/workload.cpp", src);
+  ASSERT_EQ(findings.size(), 3u);
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "wall-clock");
+  EXPECT_TRUE(has_rule(lint_source("src/repair/strategy.cpp", src),
+                       "wall-clock"));
+  // core/ may measure host wall-clock (stats like sweep_wall_s do).
+  EXPECT_TRUE(lint_source("src/core/fleet_manager.cpp", src).empty());
+}
+
+TEST(ArclintTest, WallClockWordBoundariesHold) {
+  // `operand(`, `srandom_x`, SimTime identifiers: no false positives.
+  const std::string src =
+      "int operand(int x);\n"
+      "double rand_like_name = 0;\n"
+      "SimTime time = sim.now();\n";
+  EXPECT_TRUE(lint_source("src/sim/foo.cpp", src).empty());
+}
+
+// ---- raw-mutex -----------------------------------------------------------
+
+TEST(ArclintTest, CatchesRawMutexOutsideAnnotations) {
+  const std::string src =
+      "#include <mutex>\n"
+      "std::mutex mu;\n"
+      "std::lock_guard<std::mutex> lock(mu);\n"
+      "std::condition_variable cv;\n";
+  const auto findings = lint_source("src/events/bus.hpp", src);
+  ASSERT_GE(findings.size(), 4u);
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "raw-mutex");
+  // The wrapper layer itself is the one allowed home.
+  EXPECT_TRUE(lint_source("src/util/annotations.hpp", src).empty());
+}
+
+TEST(ArclintTest, AnnotatedWrappersAreFine) {
+  const std::string src =
+      "util::Mutex mutex_;\n"
+      "util::MutexLock lock(mutex_);\n"
+      "util::CondVar cv_;\n"
+      "// talk about std::mutex in prose all you like\n";
+  EXPECT_TRUE(lint_source("src/events/bus.cpp", src).empty());
+}
+
+// ---- hotpath-std-function ------------------------------------------------
+
+TEST(ArclintTest, CatchesStdFunctionOnlyInMarkedFiles) {
+  const std::string marked =
+      "// arclint: hotpath\n"
+      "std::function<void()> cb;\n";
+  const std::string unmarked = "std::function<void()> cb;\n";
+  const auto findings = lint_source("src/events/notification.hpp", marked);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "hotpath-std-function");
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_TRUE(lint_source("src/events/notification.hpp", unmarked).empty());
+}
+
+TEST(ArclintTest, BadFunctionCallIsNotStdFunction) {
+  const std::string src =
+      "// arclint: hotpath\n"
+      "throw std::bad_function_call();\n";
+  EXPECT_TRUE(lint_source("src/util/small_fn.hpp", src).empty());
+}
+
+// ---- exemptions ----------------------------------------------------------
+
+TEST(ArclintTest, LineExemptionSilencesOnlyThatLine) {
+  const std::string src =
+      "std::unordered_map<int, int> a;  // arclint: allow(unordered-container): lookup-only, never iterated\n"
+      "std::unordered_map<int, int> b;\n";
+  const auto findings = lint_source("src/sim/foo.hpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(ArclintTest, FileExemptionSilencesTheRuleFileWide) {
+  const std::string src =
+      "// arclint: allow-file(wall-clock): this file timestamps host-side "
+      "diagnostics only\n"
+      "auto t = std::chrono::steady_clock::now();\n"
+      "std::unordered_map<int, int> still_caught;\n";
+  const auto findings = lint_source("src/sim/foo.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unordered-container");
+}
+
+TEST(ArclintTest, ExemptionForOneRuleDoesNotSilenceAnother) {
+  const std::string src =
+      "std::mutex mu;  // arclint: allow(wall-clock): wrong rule named\n";
+  EXPECT_TRUE(has_rule(lint_source("src/sim/foo.cpp", src), "raw-mutex"));
+}
+
+// ---- stripping machinery -------------------------------------------------
+
+TEST(ArclintTest, StripPreservesLineNumbers) {
+  const std::string src =
+      "int a; /* multi\nline\ncomment */ int b;\n"
+      "const char* s = \"text\\\"quoted\";\n";
+  const std::string stripped = arclint::strip_comments_and_strings(src);
+  EXPECT_EQ(std::count(src.begin(), src.end(), '\n'),
+            std::count(stripped.begin(), stripped.end(), '\n'));
+  EXPECT_EQ(stripped.find("comment"), std::string::npos);
+  EXPECT_EQ(stripped.find("text"), std::string::npos);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+}
+
+TEST(ArclintTest, StripHandlesRawStrings) {
+  const std::string src =
+      "const char* adl = R\"adl(std::mutex inside raw string)adl\"; int x;\n";
+  const std::string stripped = arclint::strip_comments_and_strings(src);
+  EXPECT_EQ(stripped.find("mutex"), std::string::npos);
+  EXPECT_NE(stripped.find("int x;"), std::string::npos);
+  EXPECT_TRUE(lint_source("src/acme/adl.cpp", src).empty());
+}
+
+}  // namespace

@@ -1,0 +1,268 @@
+// Race stress: hammer every shared-state substrate from multiple host
+// threads so the TSan lane (ARCADIA_SANITIZE=thread) has real contention to
+// chew on. The assertions here are deliberately weak — the point is the
+// interleaving, not the arithmetic; TSan (and the thread-safety
+// annotations) supply the real oracle. Iteration counts are modest: the
+// suite must stay fast under TSan's ~5-15x slowdown on a single core.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "acme/adl.hpp"
+#include "acme/script.hpp"
+#include "core/fleet.hpp"
+#include "events/bus.hpp"
+#include "monitor/topics.hpp"
+#include "repair/scripts.hpp"
+#include "util/log.hpp"
+#include "util/symbol.hpp"
+#include "util/thread_pool.hpp"
+
+namespace arcadia {
+namespace {
+
+// ---- LocalEventBus: publish vs subscribe vs unsubscribe ------------------
+
+TEST(RaceStressTest, BusPublishSubscribeUnsubscribeStorm) {
+  events::LocalEventBus bus;
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 200;
+  std::atomic<std::uint64_t> handled{0};
+
+  // A long-lived subscriber so publishes always have at least one match.
+  const events::SubscriptionId anchor = bus.subscribe(
+      events::Filter::topic("stress.topic"),
+      [&](const events::Notification&) {
+        handled.fetch_add(1, std::memory_order_relaxed);
+      });
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&bus, &handled, t] {
+      for (int i = 0; i < kRounds; ++i) {
+        // Churn a short-lived subscription while other threads publish:
+        // exercises slot reuse + generation bumps under the bus mutex.
+        const events::SubscriptionId id = bus.subscribe(
+            events::Filter::topic("stress.topic"),
+            [&handled](const events::Notification&) {
+              handled.fetch_add(1, std::memory_order_relaxed);
+            });
+        events::Notification n(util::Symbol::intern("stress.topic"));
+        n.set("thread", events::Value(static_cast<std::int64_t>(t)));
+        n.set("round", events::Value(static_cast<std::int64_t>(i)));
+        bus.publish(std::move(n));
+        bus.unsubscribe(id);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  bus.unsubscribe(anchor);
+
+  // Quiescent read: all publishers joined, so the unlocked stats() accessor
+  // is safe (this is the documented contract on LocalEventBus::stats).
+  const events::BusStats& stats = bus.stats();
+  EXPECT_EQ(stats.published, static_cast<std::uint64_t>(kThreads) * kRounds);
+  // Every publish saw the anchor; the churn subscriber may or may not catch
+  // publishes from other threads depending on interleaving.
+  EXPECT_GE(handled.load(), stats.published);
+  EXPECT_EQ(stats.delivered, handled.load());
+}
+
+// ---- Symbol interning: concurrent intern of overlapping name sets --------
+
+TEST(RaceStressTest, ConcurrentInterningIsConsistent) {
+  constexpr int kThreads = 4;
+  constexpr int kNames = 64;
+  std::vector<std::vector<util::Symbol>> per_thread(kThreads);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&per_thread, t] {
+      per_thread[t].reserve(kNames);
+      for (int i = 0; i < kNames; ++i) {
+        // Every thread interns the same names in a different order, so the
+        // first-wins insertion races constantly.
+        const int idx = (i * 7 + t * 13) % kNames;
+        per_thread[t].push_back(util::Symbol::intern(
+            "race.sym." + std::to_string(idx)));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // All threads must agree: same text -> same id, and the id must resolve
+  // back to the text that was interned.
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kNames; ++i) {
+      const int idx = (i * 7 + t * 13) % kNames;
+      const util::Symbol sym = per_thread[t][i];
+      EXPECT_EQ(sym.str(), "race.sym." + std::to_string(idx));
+      EXPECT_EQ(sym, util::Symbol::intern("race.sym." + std::to_string(idx)));
+    }
+  }
+}
+
+// ---- Logger: log vs set_level vs set_sink --------------------------------
+
+TEST(RaceStressTest, LoggerLevelAndSinkChurn) {
+  Logger& log = Logger::instance();
+  std::atomic<std::uint64_t> sunk{0};
+  log.set_sink([&sunk](LogLevel, const std::string&) {
+    sunk.fetch_add(1, std::memory_order_relaxed);
+  });
+  log.set_level(LogLevel::Info);
+
+  std::atomic<bool> stop{false};
+  std::thread flipper([&log, &stop] {
+    // set_level is the documented lock-free knob (atomic); set_sink swaps
+    // the callable under the logger mutex. Both race the writers below.
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      log.set_level(i % 2 ? LogLevel::Info : LogLevel::Warn);
+      std::this_thread::yield();
+      ++i;
+    }
+  });
+
+  constexpr int kThreads = 3;
+  constexpr int kLines = 300;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        ARC_WARN << "race stress t" << t << " line " << i;
+      }
+    });
+  }
+  for (std::thread& th : writers) th.join();
+  stop.store(true);
+  flipper.join();
+
+  // Warn passes both level settings, so every line must have reached a sink.
+  EXPECT_EQ(sunk.load(), static_cast<std::uint64_t>(kThreads) * kLines);
+
+  // Restore defaults for the rest of the process.
+  log.set_sink(nullptr);
+  log.set_level(LogLevel::Warn);
+}
+
+// ---- ThreadPool: submit storm from many threads + parallel_for ------------
+
+TEST(RaceStressTest, ThreadPoolSubmitStorm) {
+  ThreadPool pool(3);
+  constexpr int kProducers = 3;
+  constexpr int kTasks = 100;
+  std::atomic<std::uint64_t> ran{0};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &ran] {
+      std::vector<std::future<void>> futures;
+      futures.reserve(kTasks);
+      for (int i = 0; i < kTasks; ++i) {
+        futures.push_back(pool.submit(
+            [&ran] { ran.fetch_add(1, std::memory_order_relaxed); }));
+      }
+      for (std::future<void>& f : futures) f.get();
+    });
+  }
+  for (std::thread& th : producers) th.join();
+  EXPECT_EQ(ran.load(), static_cast<std::uint64_t>(kProducers) * kTasks);
+
+  // parallel_for on the same (now idle) pool still works after the storm.
+  std::vector<int> hits(64, 0);
+  pool.parallel_for(hits.size(), [&hits](std::size_t i) { hits[i]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+// ---- Fleet: parallel detection sweep vs batched gauge application ---------
+
+events::Notification gauge_report(const std::string& element,
+                                  const std::string& property, double value) {
+  events::Notification n(monitor::topics::kGaugeReport);
+  n.set(monitor::topics::kAttrElement, events::Value(element));
+  n.set(monitor::topics::kAttrProperty, events::Value(property));
+  n.set(monitor::topics::kAttrValue, events::Value(value));
+  return n;
+}
+
+/// Minimal shard (mirrors tests/test_fleet.cpp): one-component model, local
+/// gauge bus, model-only repair engine, passive architecture manager.
+struct ShardRig {
+  explicit ShardRig(sim::Simulator& sim, const std::string& component)
+      : system("ShardSys") {
+    auto& comp = system.add_component(component, "ClientT");
+    comp.set_property("averageLatency", model::PropertyValue(0.5));
+    static acme::Script script = acme::parse_script(repair::extended_script());
+    engine = std::make_unique<repair::RepairEngine>(
+        sim, system, script, nullptr, nullptr, nullptr,
+        repair::RepairEngineConfig{});
+    core::ArchManagerConfig cfg;
+    cfg.passive = true;
+    manager = std::make_unique<core::ArchitectureManager>(sim, system, bus,
+                                                          *engine, cfg);
+    manager->checker().add_constraint("lat:" + component, component,
+                                      "averageLatency <= 2.0", "");
+  }
+
+  model::System system;
+  events::LocalEventBus bus;
+  std::unique_ptr<repair::RepairEngine> engine;
+  std::unique_ptr<core::ArchitectureManager> manager;
+};
+
+TEST(RaceStressTest, FleetParallelSweepUnderReportLoad) {
+  sim::Simulator sim;
+  constexpr int kShards = 6;
+  std::vector<std::unique_ptr<ShardRig>> rigs;
+  for (int s = 0; s < kShards; ++s) {
+    rigs.push_back(
+        std::make_unique<ShardRig>(sim, "Client" + std::to_string(s)));
+  }
+
+  core::FleetManagerConfig cfg;
+  cfg.first_check = SimTime::seconds(1e6);  // sweeps driven manually below
+  cfg.coalesce_window = SimTime::millis(500);
+  cfg.sweep_threads = 4;  // force the pool even on a 1-core host
+  cfg.skip_clean_shards = false;
+  core::FleetManager fleet(sim, cfg);
+  for (int s = 0; s < kShards; ++s) {
+    fleet.add_shard("tenant" + std::to_string(s), *rigs[s]->manager,
+                    rigs[s]->bus);
+  }
+  fleet.start();
+
+  // Alternate breach / recover across all shards, sweeping between waves.
+  // Detection runs on pool threads against shard models the sim thread just
+  // mutated via flushed batches — exactly the handoff the fleet's
+  // "parallel detect, ordered dispatch" contract must keep race-free.
+  constexpr int kWaves = 10;
+  for (int w = 0; w < kWaves; ++w) {
+    const double value = (w % 2 == 0) ? 5.0 : 0.5;  // breach : recover
+    for (int s = 0; s < kShards; ++s) {
+      rigs[s]->bus.publish(gauge_report("Client" + std::to_string(s),
+                                        "averageLatency", value));
+    }
+    fleet.run_sweep();
+  }
+  fleet.stop();
+
+  const core::FleetStats& stats = fleet.stats();
+  EXPECT_EQ(stats.sweep_rounds, static_cast<std::uint64_t>(kWaves));
+  EXPECT_GT(stats.parallel_rounds, 0u);
+  std::uint64_t violations = 0;
+  for (int s = 0; s < kShards; ++s) {
+    const core::FleetShardStats& ss = fleet.shard_stats(s);
+    EXPECT_EQ(ss.reports_enqueued, static_cast<std::uint64_t>(kWaves));
+    violations += ss.violations;
+  }
+  // Half the waves breach on every shard.
+  EXPECT_GE(violations, static_cast<std::uint64_t>(kShards) * (kWaves / 2));
+}
+
+}  // namespace
+}  // namespace arcadia

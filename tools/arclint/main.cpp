@@ -1,0 +1,86 @@
+// arclint driver: walk the repo's src/ tree, lint every C++ source, print
+// findings compiler-style, exit nonzero when any rule fires. Run by ctest
+// (`arclint_tree`) and the static-analysis CI lane.
+//
+// Usage: arclint [--list-rules] <repo-root>
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_cpp_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && args[0] == "--list-rules") {
+    for (const std::string& id : arclint::rule_ids()) {
+      std::cout << id << "\n";
+    }
+    return 0;
+  }
+  if (args.size() != 1) {
+    std::cerr << "usage: arclint [--list-rules] <repo-root>\n";
+    return 2;
+  }
+
+  const fs::path root = args[0];
+  const fs::path src = root / "src";
+  if (!fs::is_directory(src)) {
+    std::cerr << "arclint: no src/ directory under " << root << "\n";
+    return 2;
+  }
+
+  // Deterministic order: collect then sort (directory_iterator order is
+  // filesystem-dependent).
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (entry.is_regular_file() && has_cpp_extension(entry.path())) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t checked = 0;
+  std::vector<arclint::Finding> all;
+  for (const fs::path& file : files) {
+    const std::string rel =
+        fs::relative(file, root).generic_string();
+    const std::string content = read_file(file);
+    std::vector<arclint::Finding> found = arclint::lint_source(rel, content);
+    all.insert(all.end(), found.begin(), found.end());
+    ++checked;
+  }
+
+  for (const arclint::Finding& f : all) {
+    std::cerr << f.path << ":" << f.line << ": error: [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  if (!all.empty()) {
+    std::cerr << "arclint: " << all.size() << " finding(s) in " << checked
+              << " files\n";
+    return 1;
+  }
+  std::cout << "arclint: clean (" << checked << " files)\n";
+  return 0;
+}
