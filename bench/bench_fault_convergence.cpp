@@ -1,0 +1,186 @@
+// Fault convergence: the failure-aware adaptation loop under a sweep of
+// monitoring/repair fault intensities on the lossy-grid scenario. Two
+// claims are measured per intensity:
+//
+//   1. Convergence — despite dropped/delayed/duplicated reports, gauge
+//      channel disconnects, and transiently failing runtime operators, the
+//      loop ends the run with the model and runtime in lockstep (zero
+//      consistency issues) and repairs still committing.
+//   2. Replayability — the same (workload seed, fault seed) pair produces
+//      a bit-identical run: identical event counts, identical injection
+//      counters, identical repair sequence. Fault grids are debuggable
+//      only if a crashing cell can be replayed exactly.
+//
+// Emits BENCH_fault.json (cwd, or argv[1]). Exit 1 when any intensity
+// breaks convergence or replay (run Release before trusting a failure).
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "sim/scenario_registry.hpp"
+
+#include "bench_output.hpp"
+
+namespace {
+
+using namespace arcadia;
+using Clock = std::chrono::steady_clock;
+
+// Covers the grid scenario's stress window (600-900 s): repairs must fire
+// for the repair-seam faults to have anything to bite.
+constexpr double kHorizonS = 900.0;
+
+struct CellResult {
+  double wall_s = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t responses = 0;
+  // Injected.
+  std::uint64_t reports_dropped = 0;
+  std::uint64_t reports_delayed = 0;
+  std::uint64_t reports_duplicated = 0;
+  std::uint64_t reports_suppressed = 0;
+  std::uint64_t channel_disconnects = 0;
+  std::uint64_t ops_transient = 0;
+  // Absorbed.
+  std::uint64_t repairs_committed = 0;
+  std::uint64_t repairs_aborted = 0;
+  std::uint64_t repairs_retried = 0;
+  std::uint64_t ops_retried = 0;
+  std::uint64_t ops_timed_out = 0;
+  std::uint64_t suspects_marked = 0;
+  std::uint64_t verdict_holds = 0;
+  // Outcome quality.
+  double mean_fraction_above = 0.0;
+  std::size_t consistency_issues = 0;
+  // Replay fingerprint: everything above except wall_s, plus the repair
+  // sequence, folded into one comparable string.
+  std::string fingerprint;
+};
+
+CellResult run_cell(double intensity, std::uint64_t fault_seed) {
+  core::ExperimentOptions opt = core::options_for("lossy-grid");
+  opt.scenario.horizon = SimTime::seconds(kHorizonS);
+  opt.scenario.fault.seed = fault_seed;
+  // Scale every monitoring/repair knob with the intensity; intensity 0.10
+  // reproduces the registered lossy-grid profile.
+  opt.scenario.fault.enabled = true;
+  opt.scenario.fault.monitoring.report_loss = intensity;
+  opt.scenario.fault.monitoring.report_dup = intensity / 5.0;
+  opt.scenario.fault.monitoring.report_delay = intensity / 2.0;
+  opt.scenario.fault.monitoring.channel_disconnect = intensity / 50.0;
+  opt.scenario.fault.repair.op_transient = intensity;
+
+  const auto t0 = Clock::now();
+  const core::ExperimentResult r = core::run_experiment(opt);
+  const auto t1 = Clock::now();
+
+  CellResult c;
+  c.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  c.events = r.sim_events;
+  c.responses = r.responses_completed;
+  c.reports_dropped = r.fault_stats.reports_dropped;
+  c.reports_delayed = r.fault_stats.reports_delayed;
+  c.reports_duplicated = r.fault_stats.reports_duplicated;
+  c.reports_suppressed = r.fault_stats.reports_suppressed;
+  c.channel_disconnects = r.fault_stats.channel_disconnects;
+  c.ops_transient = r.fault_stats.ops_transient;
+  c.repairs_committed = r.repair_stats.committed;
+  c.repairs_aborted = r.repair_stats.aborted;
+  c.repairs_retried = r.repair_stats.repairs_retried;
+  c.ops_retried = r.repair_stats.ops_retried;
+  c.ops_timed_out = r.repair_stats.ops_timed_out;
+  c.suspects_marked = r.gauge_stats.suspects_marked;
+  c.verdict_holds = r.verdict_holds;
+  c.mean_fraction_above = r.mean_fraction_above();
+  c.consistency_issues = r.consistency_issues.size();
+
+  std::string fp = std::to_string(c.events) + "|" +
+                   std::to_string(c.responses) + "|" +
+                   std::to_string(c.reports_dropped) + "|" +
+                   std::to_string(c.ops_transient) + "|" +
+                   std::to_string(c.ops_retried);
+  for (const repair::RepairRecord& rec : r.repairs) {
+    fp += "|" + rec.strategy + ":" + rec.element + "@" +
+          std::to_string(rec.started.as_seconds());
+  }
+  c.fingerprint = fp;
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      arcadia::bench::output_path(argc, argv, "BENCH_fault.json");
+  const std::vector<double> intensities = {0.0, 0.05, 0.10, 0.20};
+
+  struct Row {
+    double intensity;
+    CellResult cell;
+    bool replay_identical;
+  };
+  std::vector<Row> rows;
+  for (double intensity : intensities) {
+    std::cout << "bench_fault_convergence: intensity " << intensity << "...\n";
+    CellResult a = run_cell(intensity, 0xFA117C0DEULL);
+    CellResult b = run_cell(intensity, 0xFA117C0DEULL);
+    rows.push_back({intensity, a, a.fingerprint == b.fingerprint});
+  }
+
+  std::ofstream json(out_path);
+  json << "{\n  \"horizon_sim_s\": " << kHorizonS << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const CellResult& c = row.cell;
+    json << "    {\n"
+         << "      \"intensity\": " << row.intensity << ",\n"
+         << "      \"wall_s\": " << c.wall_s << ",\n"
+         << "      \"events\": " << c.events << ",\n"
+         << "      \"responses\": " << c.responses << ",\n"
+         << "      \"reports_dropped\": " << c.reports_dropped << ",\n"
+         << "      \"reports_delayed\": " << c.reports_delayed << ",\n"
+         << "      \"reports_duplicated\": " << c.reports_duplicated << ",\n"
+         << "      \"reports_suppressed\": " << c.reports_suppressed << ",\n"
+         << "      \"channel_disconnects\": " << c.channel_disconnects << ",\n"
+         << "      \"ops_transient\": " << c.ops_transient << ",\n"
+         << "      \"repairs_committed\": " << c.repairs_committed << ",\n"
+         << "      \"repairs_aborted\": " << c.repairs_aborted << ",\n"
+         << "      \"repairs_retried\": " << c.repairs_retried << ",\n"
+         << "      \"ops_retried\": " << c.ops_retried << ",\n"
+         << "      \"ops_timed_out\": " << c.ops_timed_out << ",\n"
+         << "      \"suspects_marked\": " << c.suspects_marked << ",\n"
+         << "      \"verdict_holds\": " << c.verdict_holds << ",\n"
+         << "      \"mean_fraction_above\": " << c.mean_fraction_above << ",\n"
+         << "      \"consistency_issues\": " << c.consistency_issues << ",\n"
+         << "      \"replay_identical\": "
+         << (row.replay_identical ? "true" : "false") << "\n"
+         << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();
+
+  bool pass = true;
+  for (const Row& row : rows) {
+    const CellResult& c = row.cell;
+    std::cout << "intensity " << row.intensity << ": dropped "
+              << c.reports_dropped << ", op faults " << c.ops_transient
+              << " -> retries " << c.ops_retried << ", repairs "
+              << c.repairs_committed << " committed / " << c.repairs_aborted
+              << " aborted, holds " << c.verdict_holds
+              << ", latency-above " << c.mean_fraction_above
+              << (row.replay_identical ? "" : "  REPLAY MISMATCH")
+              << (c.consistency_issues ? "  DIVERGED" : "") << "\n";
+    if (!row.replay_identical || c.consistency_issues != 0) pass = false;
+  }
+  // The baseline cell proves the harness: zero intensity injects nothing.
+  if (!rows.empty() && rows.front().cell.reports_dropped != 0) pass = false;
+  std::cout << "wrote " << out_path << "\n";
+  if (!pass) {
+    std::cout << "WARNING: convergence or replay broke under faults\n";
+  }
+  return pass ? 0 : 1;
+}

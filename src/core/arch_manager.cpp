@@ -47,6 +47,18 @@ void ArchitectureManager::start() {
         }
       },
       config_.manager_node);
+  lifecycle_sub_ = gauge_bus_.subscribe(
+      events::Filter::topic(monitor::topics::kGaugeLifecycleSym),
+      [this](const events::Notification& n) {
+        util::Symbol element, phase;
+        if (!parse_gauge_lifecycle(n, element, phase)) return;
+        if (phase == monitor::topics::kPhaseSuspect) {
+          note_gauge_liveness(element, true);
+        } else if (phase == monitor::topics::kPhaseCleared) {
+          note_gauge_liveness(element, false);
+        }
+      },
+      config_.manager_node);
   check_task_ = std::make_unique<sim::PeriodicTask>(
       sim_, sim_.now() + config_.first_check, config_.check_period, [this] {
         run_check();
@@ -59,7 +71,40 @@ void ArchitectureManager::stop() {
     gauge_bus_.unsubscribe(sub_);
     sub_ = 0;
   }
+  if (lifecycle_sub_ != 0) {
+    gauge_bus_.unsubscribe(lifecycle_sub_);
+    lifecycle_sub_ = 0;
+  }
   check_task_.reset();
+}
+
+bool ArchitectureManager::parse_gauge_lifecycle(const events::Notification& n,
+                                                util::Symbol& element,
+                                                util::Symbol& phase) {
+  const events::Value* el_v = n.get_if(monitor::topics::kAttrElementSym);
+  const events::Value* phase_v = n.get_if(monitor::topics::kAttrPhaseSym);
+  if (!el_v || !phase_v || !el_v->is_string() || !phase_v->is_string()) {
+    return false;
+  }
+  element = el_v->to_symbol();
+  phase = phase_v->to_symbol();
+  return true;
+}
+
+void ArchitectureManager::note_gauge_liveness(util::Symbol element,
+                                              bool suspect) {
+  int& refs = suspect_refs_[element];
+  if (suspect) {
+    if (++refs == 1) {
+      ++stats_.elements_suspected;
+      checker_.set_element_suspect(element, true);
+    }
+    return;
+  }
+  if (refs > 0 && --refs == 0) {
+    ++stats_.elements_cleared;
+    checker_.set_element_suspect(element, false);
+  }
 }
 
 bool ArchitectureManager::parse_gauge_report(const events::Notification& n,

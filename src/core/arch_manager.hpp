@@ -36,6 +36,11 @@ struct ArchManagerStats {
   std::uint64_t reports_ignored = 0;
   std::uint64_t checks = 0;
   std::uint64_t violations_seen = 0;
+  /// Gauge-liveness bookkeeping: elements entering / leaving the suspect
+  /// state (watchdog "suspect"/"cleared" lifecycle events, refcounted per
+  /// element across its gauges).
+  std::uint64_t elements_suspected = 0;
+  std::uint64_t elements_cleared = 0;
   std::uint64_t repairs_triggered = 0;
   /// Repairs that started by preempting a plan in flight (dispatch keeps
   /// running while the engine enacts, so a strictly worse violation can
@@ -78,6 +83,18 @@ class ArchitectureManager {
   static bool parse_gauge_report(const events::Notification& n,
                                  util::Symbol& element, util::Symbol& role,
                                  util::Symbol& property);
+
+  /// Parse a gauge lifecycle notification's element + phase attributes
+  /// (shared with the fleet's per-shard liveness sink). False when absent.
+  static bool parse_gauge_lifecycle(const events::Notification& n,
+                                    util::Symbol& element,
+                                    util::Symbol& phase);
+
+  /// Fold one gauge-liveness transition into the checker's verdict holds.
+  /// Refcounted per element: an element with several gauges stays suspect
+  /// until every stale gauge has cleared. Public so a FleetManager can
+  /// drive it for passive shards.
+  void note_gauge_liveness(util::Symbol element, bool suspect);
 
   /// Outcome of folding one gauge value into the model.
   enum class GaugeApply {
@@ -125,8 +142,11 @@ class ArchitectureManager {
   ArchManagerConfig config_;
   repair::ConstraintChecker checker_;
   events::SubscriptionId sub_ = 0;
+  events::SubscriptionId lifecycle_sub_ = 0;
   std::unique_ptr<sim::PeriodicTask> check_task_;
   ArchManagerStats stats_;
+  /// Per-element count of currently-suspect gauges.
+  util::SymbolMap<int> suspect_refs_;
 };
 
 }  // namespace arcadia::core

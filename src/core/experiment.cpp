@@ -162,8 +162,14 @@ ExperimentResult run_experiment(const ExperimentOptions& options) {
   // ---- optional adaptation framework ----
   std::unique_ptr<Framework> framework;
   if (options.adaptation) {
-    framework = std::make_unique<Framework>(sim, tb, options.framework,
-                                            options.parts);
+    FrameworkConfig fw_cfg = options.framework;
+    // The scenario's fault profile rides into the framework unless the
+    // caller enabled one explicitly (an explicit profile wins).
+    if (options.scenario.fault.enabled && !fw_cfg.fault.enabled) {
+      fw_cfg.fault = options.scenario.fault;
+    }
+    framework =
+        std::make_unique<Framework>(sim, tb, fw_cfg, options.parts);
     framework->start();
   }
 
@@ -185,7 +191,19 @@ ExperimentResult run_experiment(const ExperimentOptions& options) {
     result.repair_windows = framework->engine().repair_windows();
     result.repairs = framework->engine().records();
     result.repair_stats = framework->engine().stats();
-    result.consistency_issues = check_consistency(*framework, app);
+    result.manager_stats = framework->manager().stats();
+    result.gauge_stats = framework->gauges().stats();
+    result.verdict_holds =
+        framework->manager().checker().check_stats().holds;
+    if (framework->fault_plane()) {
+      result.fault_stats = framework->fault_plane()->stats();
+    }
+    // Lockstep is only assessable at plan boundaries: while a plan is in
+    // flight at the horizon, the committed model legitimately leads the
+    // runtime (the executor hasn't finished enacting it).
+    if (!framework->engine().busy()) {
+      result.consistency_issues = check_consistency(*framework, app);
+    }
   }
   return result;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/framework.hpp"
+#include "fault/fault_plane.hpp"
 #include "repair/engine.hpp"
 #include "sim/scenario.hpp"
 #include "util/timeseries.hpp"
@@ -64,6 +65,12 @@ struct ExperimentResult {
   std::vector<std::pair<SimTime, SimTime>> repair_windows;
   std::vector<repair::RepairRecord> repairs;
   repair::RepairStats repair_stats;
+  // Robustness counters (adaptive runs only): the failure model's
+  // observable footprint — what was injected, what the loop absorbed.
+  ArchManagerStats manager_stats;
+  monitor::GaugeManagerStats gauge_stats;
+  fault::FaultPlaneStats fault_stats;  ///< zero unless faults were enabled
+  std::uint64_t verdict_holds = 0;     ///< checker holds on suspect evidence
 
   std::uint64_t requests_issued = 0;
   std::uint64_t responses_completed = 0;

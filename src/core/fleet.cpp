@@ -35,8 +35,19 @@ Fleet::Fleet(sim::Simulator& sim, FleetOptions options)
     auto tenant = std::make_unique<FleetTenant>();
     tenant->name = "tenant" + std::to_string(k + 1);
     tenant->testbed = sim::build_scenario(sim_, options_.scenario, cfg);
+    // Each tenant gets its own fault plane, seed-decorrelated exactly like
+    // the testbed builder decorrelates workload seeds — tenants must not
+    // crash or lose reports in lockstep.
+    FrameworkConfig tenant_fw = fw;
+    if (!tenant_fw.fault.enabled && cfg.fault.enabled) {
+      tenant_fw.fault = cfg.fault;
+    }
+    if (tenant_fw.fault.enabled) {
+      tenant_fw.fault.seed +=
+          0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(k);
+    }
     tenant->framework =
-        std::make_unique<Framework>(sim_, tenant->testbed, fw);
+        std::make_unique<Framework>(sim_, tenant->testbed, tenant_fw);
     if (manager_) {
       manager_->add_shard(tenant->name, tenant->framework->manager(),
                           tenant->framework->gauge_bus(),

@@ -25,6 +25,7 @@ FleetManager::ShardId FleetManager::add_shard(std::string name,
   if (started_) throw Error("FleetManager: add_shard after start");
   Shard shard;
   shard.name = std::move(name);
+  shard.name_sym = util::Symbol::intern(shard.name);
   shard.manager = &manager;
   shard.bus = &gauge_bus;
   shard.manager_node = manager_node;
@@ -57,6 +58,15 @@ void FleetManager::start() {
         events::Filter::topic(monitor::topics::kRepairPlanSym),
         [this, id](const events::Notification& n) { note_plan_event(id, n); },
         shard.manager_node);
+    // Route the watchdog's suspect/cleared marks into the (passive) shard
+    // manager's verdict holds — in fleet mode nobody else is listening.
+    shard.lifecycle_sub = shard.bus->subscribe(
+        events::Filter::topic(monitor::topics::kGaugeLifecycleSym),
+        [this, id](const events::Notification& n) { note_lifecycle(id, n); },
+        shard.manager_node);
+    // Registration counts as liveness: a shard is not silent until it has
+    // had degraded_after of quiet from the moment the fleet starts.
+    shard.last_report_at = sim_.now();
   }
   sweep_task_ = std::make_unique<sim::PeriodicTask>(
       sim_, sim_.now() + config_.first_check, config_.check_period, [this] {
@@ -79,6 +89,10 @@ void FleetManager::stop() {
     if (shard.plan_sub != 0) {
       shard.bus->unsubscribe(shard.plan_sub);
       shard.plan_sub = 0;
+    }
+    if (shard.lifecycle_sub != 0) {
+      shard.bus->unsubscribe(shard.lifecycle_sub);
+      shard.lifecycle_sub = 0;
     }
     shard.flush_timer.cancel();
     for (std::uint32_t idx : shard.touched) shard.slots[idx].armed = false;
@@ -121,10 +135,23 @@ void FleetManager::note_plan_event(ShardId id, const events::Notification& n) {
   }
 }
 
+void FleetManager::note_lifecycle(ShardId id, const events::Notification& n) {
+  util::Symbol element, phase;
+  if (!ArchitectureManager::parse_gauge_lifecycle(n, element, phase)) return;
+  if (phase == monitor::topics::kPhaseSuspect) {
+    shards_[id].manager->note_gauge_liveness(element, true);
+  } else if (phase == monitor::topics::kPhaseCleared) {
+    shards_[id].manager->note_gauge_liveness(element, false);
+  }
+}
+
 void FleetManager::enqueue(ShardId id, const events::Notification& n) {
   serial_.check();
   Shard& shard = shards_[id];
   ++shard.stats.reports_enqueued;
+  // Any report — even one the parse below rejects — proves the tenant's
+  // monitoring path is alive.
+  shard.last_report_at = sim_.now();
   // Parse and intern once, at delivery (shared address convention); from
   // here the report is three symbol ids and a value.
   util::Symbol element_sym, role_sym, property;
@@ -175,10 +202,99 @@ void FleetManager::enqueue(ShardId id, const events::Notification& n) {
   }
 }
 
+void FleetManager::stall_shard(ShardId id, SimTime duration) {
+  serial_.check();
+  Shard& shard = shards_[id];
+  shard.stalled_until = std::max(shard.stalled_until, sim_.now() + duration);
+  ARC_WARN << "fleet: shard '" << shard.name << "' stalled for "
+           << duration.as_seconds() << " s";
+}
+
+void FleetManager::update_health(ShardId id) {
+  Shard& shard = shards_[id];
+  const SimTime silence = sim_.now() - shard.last_report_at;
+  const ShardHealth prev = shard.health;
+  switch (shard.health) {
+    case ShardHealth::Healthy:
+      if (silence > config_.quarantine_after) {
+        shard.health = ShardHealth::Quarantined;
+      } else if (silence > config_.degraded_after) {
+        shard.health = ShardHealth::Degraded;
+      }
+      break;
+    case ShardHealth::Degraded:
+      if (silence > config_.quarantine_after) {
+        shard.health = ShardHealth::Quarantined;
+      } else if (silence <= config_.degraded_after) {
+        shard.health = ShardHealth::Recovering;
+        shard.recovering_since = sim_.now();
+      }
+      break;
+    case ShardHealth::Quarantined:
+      if (silence <= config_.degraded_after) {
+        shard.health = ShardHealth::Recovering;
+        shard.recovering_since = sim_.now();
+      }
+      break;
+    case ShardHealth::Recovering:
+      if (silence > config_.degraded_after) {
+        shard.health = ShardHealth::Degraded;  // relapsed while observing
+      } else if (sim_.now() - shard.recovering_since >=
+                 config_.recovery_observation) {
+        shard.health = ShardHealth::Healthy;
+      }
+      break;
+  }
+  if (shard.health == prev) return;
+  switch (shard.health) {
+    case ShardHealth::Healthy:
+      ++shard.stats.health_recovered;
+      break;
+    case ShardHealth::Degraded:
+      ++shard.stats.health_degraded;
+      break;
+    case ShardHealth::Quarantined:
+      ++shard.stats.health_quarantined;
+      ++stats_.shards_quarantined;
+      ARC_WARN << "fleet: shard '" << shard.name << "' quarantined after "
+               << silence.as_seconds() << " s of report silence";
+      break;
+    case ShardHealth::Recovering:
+      break;
+  }
+  publish_health(shard);
+}
+
+void FleetManager::publish_health(Shard& shard) {
+  util::Symbol state;
+  switch (shard.health) {
+    case ShardHealth::Healthy:
+      state = monitor::topics::kStateHealthy;
+      break;
+    case ShardHealth::Degraded:
+      state = monitor::topics::kStateDegraded;
+      break;
+    case ShardHealth::Quarantined:
+      state = monitor::topics::kStateQuarantined;
+      break;
+    case ShardHealth::Recovering:
+      state = monitor::topics::kStateRecovering;
+      break;
+  }
+  events::Notification n(monitor::topics::kFleetHealthSym);
+  n.set(monitor::topics::kAttrShardSym, shard.name_sym)
+      .set(monitor::topics::kAttrStateSym, state);
+  n.wire_size = DataSize::bytes(128);
+  shard.bus->publish(std::move(n));
+}
+
 void FleetManager::flush(ShardId id) {
   serial_.check();
   Shard& shard = shards_[id];
   shard.flush_timer.cancel();
+  // A stalled control loop applies nothing; the backlog stays armed in its
+  // slots and lands at the first flush after the stall lifts.
+  if (shard.stalled_until > sim_.now()) return;
   if (shard.touched.empty()) return;
   ++shard.stats.batches;
   // One model pass, in first-touch order of each key. Keys are distinct
@@ -212,6 +328,19 @@ void FleetManager::run_sweep() {
   std::vector<char> selected(shards_.size(), 0);
   for (ShardId id = 0; id < shards_.size(); ++id) {
     Shard& shard = shards_[id];
+    if (config_.health_tracking) update_health(id);
+    // Degraded-mode fleet: a stalled or quarantined shard is neither swept
+    // nor dispatched this round — its cached verdicts are held, not acted
+    // on, until the control loop (or the monitoring substrate) returns.
+    if (shard.stalled_until > sim_.now()) {
+      ++shard.stats.sweeps_stalled;
+      continue;
+    }
+    if (config_.health_tracking &&
+        shard.health == ShardHealth::Quarantined) {
+      ++shard.stats.sweeps_quarantined;
+      continue;
+    }
     const bool clean = config_.skip_clean_shards && shard.swept_once &&
                        !shard.dirty && !structure_moved &&
                        !shard.manager->repair_active();
@@ -243,6 +372,11 @@ void FleetManager::run_sweep() {
   // returned verbatim had we swept it.
   for (ShardId id = 0; id < shards_.size(); ++id) {
     Shard& shard = shards_[id];
+    if (shard.stalled_until > sim_.now()) continue;
+    if (config_.health_tracking &&
+        shard.health == ShardHealth::Quarantined) {
+      continue;
+    }
     if (selected[id]) {
       shard.last_violations = std::move(found[id]);
       shard.swept_once = true;

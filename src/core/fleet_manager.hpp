@@ -55,6 +55,25 @@ struct FleetManagerConfig {
   /// Skip shards whose model provably did not change since their last
   /// sweep. Disable to force every shard through detection every period.
   bool skip_clean_shards = true;
+  /// Per-tenant health state machine (healthy -> degraded -> quarantined ->
+  /// recovering). Driven by report silence: gauges report every few
+  /// seconds, so a shard that has been silent past degraded_after has lost
+  /// its monitoring substrate, and past quarantine_after it is quarantined
+  /// — not swept, not dispatched — until reports resume and hold for
+  /// recovery_observation. Healthy fleets never trip these (the thresholds
+  /// are several report periods), so tracking is on by default.
+  bool health_tracking = true;
+  SimTime degraded_after = SimTime::seconds(20);
+  SimTime quarantine_after = SimTime::seconds(60);
+  SimTime recovery_observation = SimTime::seconds(20);
+};
+
+/// Per-tenant health (the fleet seam of the failure model).
+enum class ShardHealth : std::uint8_t {
+  Healthy,
+  Degraded,     ///< report silence past degraded_after
+  Quarantined,  ///< silence past quarantine_after; sweep + dispatch skipped
+  Recovering,   ///< reports resumed; observing before returning to Healthy
 };
 
 struct FleetShardStats {
@@ -74,6 +93,12 @@ struct FleetShardStats {
   std::uint64_t plans_completed = 0;
   std::uint64_t plans_preempted = 0;
   std::uint64_t plans_failed = 0;  ///< runtime failure mid-plan
+  // Health state machine transitions.
+  std::uint64_t health_degraded = 0;     ///< entries into Degraded
+  std::uint64_t health_quarantined = 0;  ///< entries into Quarantined
+  std::uint64_t health_recovered = 0;    ///< returns to Healthy
+  std::uint64_t sweeps_quarantined = 0;  ///< sweeps skipped while quarantined
+  std::uint64_t sweeps_stalled = 0;      ///< sweeps skipped while stalled
 };
 
 struct FleetStats {
@@ -81,6 +106,7 @@ struct FleetStats {
   std::uint64_t parallel_rounds = 0;  ///< rounds that used the thread pool
   std::uint64_t shard_sweeps = 0;     ///< sum of per-shard detections
   std::uint64_t shard_skips = 0;      ///< sum of per-shard skips
+  std::uint64_t shards_quarantined = 0;  ///< quarantine entries, fleet-wide
   /// Real (host) wall-clock spent inside run_sweep — flush + parallel
   /// detect + ordered dispatch. The apples-to-apples counterpart of
   /// ArchManagerStats::check_wall_s summed over naive per-tenant loops.
@@ -124,6 +150,12 @@ class FleetManager {
   const FleetShardStats& shard_stats(ShardId id) const {
     return shards_[id].stats;
   }
+  ShardHealth shard_health(ShardId id) const { return shards_[id].health; }
+
+  /// Fault seam: stall a shard's control loop — its sweeps and dispatches
+  /// are skipped until `duration` elapses (reports keep coalescing; the
+  /// backlog applies at the first sweep after the stall lifts).
+  void stall_shard(ShardId id, SimTime duration);
   const FleetStats& stats() const { return stats_; }
   std::size_t sweep_threads() const { return pool_ ? pool_->size() : 1; }
 
@@ -139,11 +171,13 @@ class FleetManager {
  private:
   struct Shard {
     std::string name;
+    util::Symbol name_sym;
     ArchitectureManager* manager = nullptr;
     events::EventBus* bus = nullptr;
     sim::NodeId manager_node = sim::kNoNode;
     events::SubscriptionId sub = 0;
     events::SubscriptionId plan_sub = 0;
+    events::SubscriptionId lifecycle_sub = 0;
 
     /// One coalescing slot per distinct (element, role, property) gauge key
     /// this shard has ever reported. The key set is the gauge deployment —
@@ -174,12 +208,21 @@ class FleetManager {
     /// checker's cache would have produced).
     std::vector<repair::Violation> last_violations;
 
+    // Health state machine (evaluated on the sim thread each sweep).
+    ShardHealth health = ShardHealth::Healthy;
+    SimTime last_report_at;    ///< any gauge report counts as liveness
+    SimTime recovering_since;  ///< entry time of the Recovering state
+    SimTime stalled_until;     ///< stall_shard fault window
+
     FleetShardStats stats;
   };
 
   void enqueue(ShardId id, const events::Notification& n);
   void apply(Shard& shard, const Shard::PendingSlot& slot);
   void note_plan_event(ShardId id, const events::Notification& n);
+  void note_lifecycle(ShardId id, const events::Notification& n);
+  void update_health(ShardId id);
+  void publish_health(Shard& shard);
 
   sim::Simulator& sim_;
   FleetManagerConfig config_;

@@ -1,6 +1,9 @@
 #include "core/framework.hpp"
 
 #include "acme/checker.hpp"
+#include "fault/fault_plane.hpp"
+#include "fault/faulty_bus.hpp"
+#include "fault/faulty_translator.hpp"
 #include "model/types.hpp"
 #include "monitor/gauge.hpp"
 #include "util/log.hpp"
@@ -52,6 +55,17 @@ Framework::Framework(sim::Simulator& sim, sim::Testbed& testbed,
                                                      config_.bus_base_delay,
                                                      config_.monitoring_qos));
 
+  // Fault plane first, so the decorators below can reference it. Disabled
+  // profiles construct nothing — the wiring is bit-identical to pre-fault
+  // builds.
+  if (config_.fault.enabled) {
+    fault_plane_ = std::make_unique<fault::FaultPlane>(sim_, config_.fault);
+    lossy_probe_bus_ =
+        std::make_unique<fault::FaultyBus>(sim_, *probe_bus_, *fault_plane_);
+    lossy_gauge_bus_ =
+        std::make_unique<fault::FaultyBus>(sim_, *gauge_bus_, *fault_plane_);
+  }
+
   if (parts_.model) {
     system_ = parts_.model(testbed_, config_);
   } else {
@@ -74,8 +88,20 @@ Framework::Framework(sim::Simulator& sim, sim::Testbed& testbed,
 
   monitor::GaugeManagerConfig gauge_cfg = config_.gauge_costs;
   gauge_cfg.caching = config_.gauge_caching;
+  if (fault_plane_ && gauge_cfg.watchdog_period <= SimTime::zero()) {
+    // Faults are on but nobody armed the watchdog: channel disconnects
+    // would silently starve the model. Default to one report period.
+    gauge_cfg.watchdog_period = SimTime::seconds(5);
+  }
+  // Gauges publish reports into the lossy bus (when faults are on); their
+  // probe subscriptions and lifecycle events are control-path and go
+  // through either way.
   gauge_manager_ = std::make_unique<monitor::GaugeManager>(
-      sim_, *probe_bus_, *gauge_bus_, gauge_cfg);
+      sim_, *probe_bus_,
+      lossy_gauge_bus_ ? static_cast<events::EventBus&>(*lossy_gauge_bus_)
+                       : *gauge_bus_,
+      gauge_cfg);
+  if (fault_plane_) gauge_manager_->set_fault_plane(fault_plane_.get());
 
   repair::RepairEngineConfig engine_cfg;
   engine_cfg.policy = config_.policy;
@@ -93,8 +119,15 @@ Framework::Framework(sim::Simulator& sim, sim::Testbed& testbed,
   engine_cfg.min_replicas = config_.profile.min_replicas;
   engine_cfg.load_improvement = config_.load_improvement;
   engine_cfg.conventions = config_.conventions;
+  engine_cfg.retry = config_.retry;
+  repair::Translator* engine_translator = translator_.get();
+  if (fault_plane_) {
+    flaky_translator_ = std::make_unique<fault::FaultyTranslator>(
+        *translator_, *fault_plane_);
+    engine_translator = flaky_translator_.get();
+  }
   engine_ = std::make_unique<repair::RepairEngine>(
-      sim_, *system_, script_, queries_.get(), translator_.get(),
+      sim_, *system_, script_, queries_.get(), engine_translator,
       gauge_manager_.get(), engine_cfg);
   // Plan lifecycle notifications share the gauge bus: fleet managers and
   // tools observe repairs in flight without new wiring.
@@ -176,14 +209,31 @@ void Framework::start() {
   if (started_) throw Error("Framework::start called twice");
   started_ = true;
   warm_remos();
+  // Probes publish into the lossy bus when faults are on — probe-report
+  // loss/delay/duplication is the first monitoring seam.
+  events::EventBus& probe_pub = lossy_probe_bus_
+                                    ? static_cast<events::EventBus&>(
+                                          *lossy_probe_bus_)
+                                    : *probe_bus_;
   probes_ = parts_.probes
-                ? parts_.probes(sim_, testbed_, *remos_, *probe_bus_, config_)
+                ? parts_.probes(sim_, testbed_, *remos_, probe_pub, config_)
                 : monitor::make_standard_probes(sim_, *testbed_.app, *remos_,
-                                                *probe_bus_,
+                                                probe_pub,
                                                 config_.probe_period);
   probes_.start_all();
   deploy_gauges();
   manager_->start();
+  // Fleet seam: one crash draw per tenant. The crash takes every gauge
+  // channel dark for its duration; the watchdog and (in fleet mode) the
+  // health state machine do the rest.
+  if (fault_plane_) {
+    SimTime crash_at, crash_duration;
+    if (fault_plane_->draw_tenant_crash(crash_at, crash_duration)) {
+      sim_.schedule_in(crash_at, [this, crash_duration] {
+        gauge_manager_->crash(crash_duration);
+      });
+    }
+  }
   ARC_INFO << "framework: started (" << gauge_manager_->gauge_count()
            << " gauges deploying, script="
            << (config_.use_script ? "interpreted" : "native") << ")";

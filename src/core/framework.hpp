@@ -9,6 +9,7 @@
 #include "acme/script.hpp"
 #include "core/arch_manager.hpp"
 #include "events/bus.hpp"
+#include "fault/profile.hpp"
 #include "monitor/gauge_manager.hpp"
 #include "monitor/probes.hpp"
 #include "remos/remos.hpp"
@@ -20,6 +21,12 @@
 #include "runtime/translator.hpp"
 #include "sim/scenario.hpp"
 #include "task/task.hpp"
+
+namespace arcadia::fault {
+class FaultPlane;
+class FaultyBus;
+class FaultyTranslator;
+}  // namespace arcadia::fault
 
 namespace arcadia::core {
 
@@ -75,6 +82,16 @@ struct FrameworkConfig {
   /// subscription, no periodic check — and a core::FleetManager batches the
   /// reports and drives the sweep across all tenants (see core/fleet.hpp).
   bool fleet_managed = false;
+
+  /// Fault injection (usually copied from ScenarioConfig::fault by the
+  /// experiment runner). When enabled, the framework constructs a
+  /// FaultPlane, wraps the probe/gauge buses and the translator in their
+  /// faulty decorators, arms the gauge-liveness watchdog, and schedules
+  /// the tenant-crash draw at start().
+  fault::FaultProfile fault;
+  /// Retry/backoff + per-op timeouts for runtime steps (repair/retry.hpp);
+  /// forwarded to the repair engine's plan executor.
+  repair::RetryPolicy retry;
 
   rt::EnvironmentCosts env_costs;
   repair::StyleConventions conventions;
@@ -135,6 +152,8 @@ class Framework {
   events::SimEventBus& probe_bus() { return *probe_bus_; }
   events::SimEventBus& gauge_bus() { return *gauge_bus_; }
   const FrameworkConfig& config() const { return config_; }
+  /// Null unless config().fault.enabled.
+  fault::FaultPlane* fault_plane() { return fault_plane_.get(); }
 
  private:
   void deploy_gauges();
@@ -148,6 +167,13 @@ class Framework {
   std::unique_ptr<remos::RemosService> remos_;
   std::unique_ptr<events::SimEventBus> probe_bus_;
   std::unique_ptr<events::SimEventBus> gauge_bus_;
+  // Fault plane + decorators (null unless config_.fault.enabled). The
+  // wrapped buses carry only *publishes*; subscriptions stay on the inner
+  // buses, so accessors above keep returning the real SimEventBus.
+  std::unique_ptr<fault::FaultPlane> fault_plane_;
+  std::unique_ptr<fault::FaultyBus> lossy_probe_bus_;
+  std::unique_ptr<fault::FaultyBus> lossy_gauge_bus_;
+  std::unique_ptr<fault::FaultyTranslator> flaky_translator_;
   std::unique_ptr<model::System> system_;
   acme::Script script_;
   std::unique_ptr<rt::SimEnvironmentManager> env_;

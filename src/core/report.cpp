@@ -73,6 +73,13 @@ void print_repairs(std::ostream& out, const ExperimentResult& result) {
       << result.repair_stats.moves
       << " +servers=" << result.repair_stats.servers_added
       << " -servers=" << result.repair_stats.servers_removed << "\n";
+  if (result.repair_stats.ops_retried > 0 ||
+      result.repair_stats.ops_timed_out > 0) {
+    out << "# fault absorption: " << result.repair_stats.repairs_retried
+        << " repairs retried (" << result.repair_stats.ops_retried
+        << " op retries, " << result.repair_stats.ops_timed_out
+        << " op timeouts)\n";
+  }
   for (const repair::RepairRecord& r : result.repairs) {
     out << "  [" << std::setw(7) << r.started.as_seconds() << "s] "
         << r.strategy << "(" << r.element << ") ";
@@ -96,6 +103,37 @@ void print_repairs(std::ostream& out, const ExperimentResult& result) {
     out << "  [" << std::setw(7) << e.time.as_seconds() << "s] server "
         << e.server << (e.active ? " activated" : " deactivated") << "\n";
   }
+}
+
+void write_fault_stats_csv(
+    std::ostream& out, const ExperimentResult& result,
+    const std::vector<std::pair<std::string, std::uint64_t>>& extra) {
+  out << "metric,value\n";
+  auto row = [&out](const char* metric, std::uint64_t value) {
+    out << metric << "," << value << "\n";
+  };
+  // Injected.
+  row("reports_dropped", result.fault_stats.reports_dropped);
+  row("reports_duplicated", result.fault_stats.reports_duplicated);
+  row("reports_delayed", result.fault_stats.reports_delayed);
+  row("reports_suppressed", result.fault_stats.reports_suppressed);
+  row("channel_disconnects", result.fault_stats.channel_disconnects);
+  row("ops_transient", result.fault_stats.ops_transient);
+  row("ops_permanent", result.fault_stats.ops_permanent);
+  row("ops_stalled", result.fault_stats.ops_stalled);
+  row("tenant_crashes", result.fault_stats.tenant_crashes);
+  // Absorbed.
+  row("repairs_committed", result.repair_stats.committed);
+  row("repairs_aborted", result.repair_stats.aborted);
+  row("repairs_retried", result.repair_stats.repairs_retried);
+  row("ops_retried", result.repair_stats.ops_retried);
+  row("ops_timed_out", result.repair_stats.ops_timed_out);
+  row("suspects_marked", result.gauge_stats.suspects_marked);
+  row("suspects_cleared", result.gauge_stats.suspects_cleared);
+  row("elements_suspected", result.manager_stats.elements_suspected);
+  row("elements_cleared", result.manager_stats.elements_cleared);
+  row("verdict_holds", result.verdict_holds);
+  for (const auto& [metric, value] : extra) row(metric.c_str(), value);
 }
 
 void print_comparison(std::ostream& out, const ExperimentResult& control,

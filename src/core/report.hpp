@@ -4,8 +4,10 @@
 // examples.
 #pragma once
 
+#include <cstdint>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -35,6 +37,14 @@ void print_bandwidth_figure(std::ostream& out, const ExperimentResult& result,
 
 /// Repair windows + per-repair breakdown (strategy, tactics, costs).
 void print_repairs(std::ostream& out, const ExperimentResult& result);
+
+/// Robustness counters as metric,value CSV rows: injected faults (drops,
+/// duplicates, delays, disconnects, op failures, crashes) and the loop's
+/// absorption of them (retries, timeouts, suspects, verdict holds). Extra
+/// fleet-level rows (shards_quarantined, ...) ride in via `extra`.
+void write_fault_stats_csv(
+    std::ostream& out, const ExperimentResult& result,
+    const std::vector<std::pair<std::string, std::uint64_t>>& extra = {});
 
 /// The control-vs-repair headline comparison (who wins, by how much).
 void print_comparison(std::ostream& out, const ExperimentResult& control,

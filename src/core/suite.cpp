@@ -32,10 +32,16 @@ std::vector<SuiteOutcome> ExperimentSuite::run(std::size_t threads) const {
     const SuiteCase& c = cases_[i];
     outcomes[i].label = c.label;
     outcomes[i].scenario = c.options.scenario_name;
+    outcomes[i].fault_seed = c.options.scenario.fault.seed;
+    // Any escape — including non-std exceptions — fails this experiment,
+    // never the suite: the other grid cells still run and report.
     try {
       outcomes[i].result = run_experiment(c.options);
     } catch (const std::exception& e) {
       outcomes[i].error = e.what();
+    } catch (...) {
+      outcomes[i].error = "non-standard exception (fault seed " +
+                          std::to_string(outcomes[i].fault_seed) + ")";
     }
   });
   return outcomes;

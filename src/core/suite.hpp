@@ -23,7 +23,11 @@ struct SuiteOutcome {
   std::string scenario;
   ExperimentResult result;
   /// Non-empty when the run threw; `result` is then default-constructed.
+  /// The failure is contained to this case — the rest of the suite runs.
   std::string error;
+  /// The case's fault seed (ScenarioConfig::fault.seed), recorded even on
+  /// failure so a crashing fault grid cell can be replayed exactly.
+  std::uint64_t fault_seed = 0;
 
   bool ok() const { return error.empty(); }
 };

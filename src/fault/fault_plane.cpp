@@ -1,0 +1,133 @@
+#include "fault/fault_plane.hpp"
+
+namespace arcadia::fault {
+
+namespace {
+// Stream ids for the per-seam forks; arbitrary but fixed — changing them
+// changes every faulted run byte-for-byte.
+constexpr std::uint64_t kBusStream = 1;
+constexpr std::uint64_t kChannelStream = 2;
+constexpr std::uint64_t kRepairStream = 3;
+constexpr std::uint64_t kFleetStream = 4;
+}  // namespace
+
+FaultPlane::FaultPlane(sim::Simulator& sim, FaultProfile profile)
+    : sim_(sim),
+      profile_(profile),
+      bus_rng_(0),
+      channel_rng_(0),
+      repair_rng_(0),
+      fleet_rng_(0) {
+  Rng root(profile_.seed);
+  bus_rng_ = root.fork(kBusStream);
+  channel_rng_ = root.fork(kChannelStream);
+  repair_rng_ = root.fork(kRepairStream);
+  fleet_rng_ = root.fork(kFleetStream);
+}
+
+bool FaultPlane::monitoring_active() const {
+  const MonitoringFaults& m = profile_.monitoring;
+  return m.report_loss > 0.0 || m.report_dup > 0.0 || m.report_delay > 0.0;
+}
+
+BusFault FaultPlane::next_report_fault() {
+  if (!profile_.enabled || !monitoring_active()) return {};
+  const MonitoringFaults& m = profile_.monitoring;
+  // One uniform draw decides the fate; the rates partition [0, 1). This
+  // keeps the stream consumption rate fixed at one draw per report, so
+  // sweeping the loss rate does not shift the delay-draw sequence.
+  const double u = bus_rng_.uniform();
+  if (u < m.report_loss) {
+    ++stats_.reports_dropped;
+    return {BusFaultAction::Drop, SimTime::zero()};
+  }
+  if (u < m.report_loss + m.report_dup) {
+    ++stats_.reports_duplicated;
+    return {BusFaultAction::Duplicate, SimTime::zero()};
+  }
+  if (u < m.report_loss + m.report_dup + m.report_delay) {
+    ++stats_.reports_delayed;
+    const double span = (m.delay_max - m.delay_min).as_seconds();
+    const SimTime extra =
+        m.delay_min + SimTime::seconds(span > 0.0 ? bus_rng_.uniform() * span
+                                                  : 0.0);
+    return {BusFaultAction::Delay, extra};
+  }
+  return {};
+}
+
+bool FaultPlane::channel_down(util::Symbol gauge_id) {
+  if (!profile_.enabled) return false;
+  if (const SimTime* until = down_until_.find(gauge_id)) {
+    if (sim_.now() < *until) {
+      ++stats_.reports_suppressed;
+      return true;
+    }
+  }
+  const double hazard = profile_.monitoring.channel_disconnect;
+  if (hazard > 0.0 && channel_rng_.bernoulli(hazard)) {
+    const MonitoringFaults& m = profile_.monitoring;
+    const double span = (m.disconnect_max - m.disconnect_min).as_seconds();
+    const SimTime window =
+        m.disconnect_min +
+        SimTime::seconds(span > 0.0 ? channel_rng_.uniform() * span : 0.0);
+    down_until_.insert_or_assign(gauge_id, sim_.now() + window);
+    ++stats_.channel_disconnects;
+    ++stats_.reports_suppressed;
+    return true;
+  }
+  return false;
+}
+
+void FaultPlane::force_channel_down(util::Symbol gauge_id, SimTime until) {
+  down_until_.insert_or_assign(gauge_id, until);
+}
+
+OpFault FaultPlane::next_op_fault() {
+  if (!profile_.enabled) return OpFault::None;
+  const RepairFaults& r = profile_.repair;
+  if (r.op_transient <= 0.0 && r.op_permanent <= 0.0 && r.op_stall <= 0.0) {
+    return OpFault::None;
+  }
+  const SimTime now = sim_.now();
+  const bool in_permanent_window = r.op_permanent > 0.0 &&
+                                   now >= r.permanent_from &&
+                                   now < r.permanent_until;
+  // Fixed stream consumption: one draw per step regardless of the window,
+  // so the permanent window shifts outcomes, not the draw sequence.
+  const double u = repair_rng_.uniform();
+  if (in_permanent_window && u < r.op_permanent) {
+    ++stats_.ops_permanent;
+    return OpFault::Permanent;
+  }
+  if (u < r.op_transient) {
+    ++stats_.ops_transient;
+    return OpFault::Transient;
+  }
+  if (u < r.op_transient + r.op_stall) {
+    ++stats_.ops_stalled;
+    return OpFault::Stall;
+  }
+  return OpFault::None;
+}
+
+SimTime FaultPlane::next_stall_extra() {
+  const RepairFaults& r = profile_.repair;
+  const double span = (r.stall_max - r.stall_min).as_seconds();
+  return r.stall_min +
+         SimTime::seconds(span > 0.0 ? repair_rng_.uniform() * span : 0.0);
+}
+
+bool FaultPlane::draw_tenant_crash(SimTime& at, SimTime& duration) {
+  if (!profile_.enabled) return false;
+  const FleetFaults& f = profile_.fleet;
+  if (f.tenant_crash <= 0.0) return false;
+  if (!fleet_rng_.bernoulli(f.tenant_crash)) return false;
+  const double span = (f.crash_max - f.crash_min).as_seconds();
+  at = f.crash_min +
+       SimTime::seconds(span > 0.0 ? fleet_rng_.uniform() * span : 0.0);
+  duration = f.crash_duration;
+  return true;
+}
+
+}  // namespace arcadia::fault

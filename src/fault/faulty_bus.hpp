@@ -1,0 +1,55 @@
+// FaultyBus: an EventBus decorator that injects monitoring-seam faults on
+// the bus path. Only *report* traffic (probe observations and gauge
+// reports) is eligible — control traffic (gauge lifecycle, repair-plan
+// events) always passes through, matching the failure model: the lossy
+// substrate is the shared monitoring network, not the manager's own
+// control channel.
+//
+// Drop:      the notification vanishes (subscribers never see it).
+// Duplicate: delivered twice (Siena at-least-once semantics under retry).
+// Delay:     delivered once, after an extra plane-drawn delay on top of
+//            whatever the inner bus's delay model adds.
+//
+// Single-threaded like SimEventBus — publish runs on the simulator thread,
+// so fault draws land in deterministic event order.
+#pragma once
+
+#include <memory>
+
+#include "events/bus.hpp"
+#include "fault/fault_plane.hpp"
+#include "sim/simulator.hpp"
+
+namespace arcadia::fault {
+
+class FaultyBus : public events::EventBus {
+ public:
+  FaultyBus(sim::Simulator& sim, events::EventBus& inner, FaultPlane& plane)
+      : sim_(sim), inner_(inner), plane_(plane) {}
+
+  events::SubscriptionId subscribe(events::Filter filter,
+                                   events::Handler handler,
+                                   sim::NodeId subscriber_node) override {
+    return inner_.subscribe(std::move(filter), std::move(handler),
+                            subscriber_node);
+  }
+  using events::EventBus::subscribe;
+
+  void unsubscribe(events::SubscriptionId id) override {
+    inner_.unsubscribe(id);
+  }
+
+  void publish(events::Notification n) override;
+
+  const events::BusStats& stats() const override { return inner_.stats(); }
+
+  /// True for topics eligible for injection (probe.* and gauge.report).
+  static bool faultable_topic(util::Symbol topic);
+
+ private:
+  sim::Simulator& sim_;
+  events::EventBus& inner_;
+  FaultPlane& plane_;
+};
+
+}  // namespace arcadia::fault

@@ -1,0 +1,46 @@
+// FaultyTranslator: a repair::Translator decorator injecting repair-seam
+// faults. Transient and Permanent faults throw a typed repair::OpError
+// *before* delegating (the operator request never reached the runtime, so
+// nothing needs compensating for this step); a Stall lets the inner
+// translator apply the records and then inflates the returned cost — the
+// operator "hangs", which the executor's per-op timeout detects and rolls
+// back.
+#pragma once
+
+#include "fault/fault_plane.hpp"
+#include "repair/plan.hpp"
+#include "repair/retry.hpp"
+
+namespace arcadia::fault {
+
+class FaultyTranslator : public repair::Translator {
+ public:
+  FaultyTranslator(repair::Translator& inner, FaultPlane& plane)
+      : inner_(inner), plane_(plane) {}
+
+  SimTime apply(const std::vector<model::OpRecord>& records) override {
+    switch (plane_.next_op_fault()) {
+      case OpFault::Transient:
+        throw repair::OpError(repair::OpErrorKind::Transient,
+                              "injected transient operator failure");
+      case OpFault::Permanent:
+        throw repair::OpError(repair::OpErrorKind::Permanent,
+                              "injected permanent operator failure");
+      case OpFault::Stall:
+        return inner_.apply(records) + plane_.next_stall_extra();
+      case OpFault::None:
+        break;
+    }
+    return inner_.apply(records);
+  }
+
+  SimTime estimate(const std::vector<model::OpRecord>& records) const override {
+    return inner_.estimate(records);
+  }
+
+ private:
+  repair::Translator& inner_;
+  FaultPlane& plane_;
+};
+
+}  // namespace arcadia::fault

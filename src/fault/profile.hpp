@@ -1,0 +1,78 @@
+// Fault profiles: the declarative half of the fault plane. A profile is
+// plain data carried by ScenarioConfig (so fault grids are part of the
+// experiment configuration, sweepable and replayable), describing fault
+// rates at the three injection seams:
+//   monitoring — probe/gauge report loss, duplication, delay, and
+//                per-channel disconnect windows on the bus path;
+//   repair     — transient/permanent runtime-operator failures and stalls
+//                in the Translator;
+//   fleet      — tenant crash/restart windows (every gauge channel of the
+//                tenant goes dark, then comes back).
+// All randomness is drawn by the FaultPlane from streams forked off
+// `seed` — the profile itself holds no generator state.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace arcadia::fault {
+
+/// Monitoring-seam knobs. Probabilities are per published report (loss,
+/// duplication, delay) or per report send attempt (channel disconnect
+/// hazard); a tripped disconnect silences that gauge's channel for a
+/// window drawn from [disconnect_min, disconnect_max].
+struct MonitoringFaults {
+  double report_loss = 0.0;        ///< P(drop) per report on the bus
+  double report_dup = 0.0;         ///< P(duplicate delivery) per report
+  double report_delay = 0.0;       ///< P(extra delivery delay) per report
+  SimTime delay_min = SimTime::seconds(1);
+  SimTime delay_max = SimTime::seconds(5);
+  double channel_disconnect = 0.0; ///< per-send hazard of a disconnect
+  SimTime disconnect_min = SimTime::seconds(10);
+  SimTime disconnect_max = SimTime::seconds(30);
+};
+
+/// Repair-seam knobs. Transient failures throw repair::OpError(Transient)
+/// before any operator runs (retryable); inside the permanent window the
+/// same draw escalates to OpError(Permanent) (not retryable). A stall lets
+/// the operators run but inflates their cost by a draw from
+/// [stall_min, stall_max] — the op "hangs", which is what per-op timeouts
+/// are for.
+struct RepairFaults {
+  double op_transient = 0.0;  ///< P(transient failure) per runtime step
+  double op_permanent = 0.0;  ///< P(permanent failure) inside the window
+  SimTime permanent_from = SimTime::zero();   ///< window start
+  SimTime permanent_until = SimTime::zero();  ///< window end (0,0 = never)
+  double op_stall = 0.0;      ///< P(stall) per runtime step
+  SimTime stall_min = SimTime::seconds(20);
+  SimTime stall_max = SimTime::seconds(40);
+};
+
+/// Fleet-seam knobs. Each tenant draws once whether it crashes this run;
+/// a crashed tenant's gauge channels all go dark at a time drawn from
+/// [crash_min, crash_max] and recover after crash_duration (the watchdog
+/// marks its elements suspect meanwhile, and sustained silence walks the
+/// shard through degraded -> quarantined).
+struct FleetFaults {
+  double tenant_crash = 0.0;  ///< P(this tenant crashes once)
+  SimTime crash_min = SimTime::seconds(60);
+  SimTime crash_max = SimTime::seconds(180);
+  SimTime crash_duration = SimTime::seconds(60);
+};
+
+/// A complete fault profile. `enabled == false` (the default) means the
+/// fault plane is not even constructed — zero overhead and bit-identical
+/// behavior to pre-fault builds.
+struct FaultProfile {
+  bool enabled = false;
+  /// Seed of the fault plane's root stream; per-seam streams are forked
+  /// from it. Independent from the scenario's workload seed so fault grids
+  /// can sweep one without perturbing the other.
+  std::uint64_t seed = 0xFA117C0DEULL;
+  MonitoringFaults monitoring;
+  RepairFaults repair;
+  FleetFaults fleet;
+};
+
+}  // namespace arcadia::fault

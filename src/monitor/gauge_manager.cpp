@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault_plane.hpp"
 #include "monitor/topics.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -11,7 +12,16 @@ namespace arcadia::monitor {
 GaugeManager::GaugeManager(sim::Simulator& sim, events::EventBus& probe_bus,
                            events::EventBus& gauge_bus,
                            GaugeManagerConfig config)
-    : sim_(sim), probe_bus_(probe_bus), gauge_bus_(gauge_bus), config_(config) {}
+    : sim_(sim), probe_bus_(probe_bus), gauge_bus_(gauge_bus), config_(config) {
+  if (config_.watchdog_period > SimTime::zero()) {
+    watchdog_ = std::make_unique<sim::PeriodicTask>(
+        sim_, sim_.now() + config_.watchdog_period, config_.watchdog_period,
+        [this]() {
+          scan_liveness();
+          return true;
+        });
+  }
+}
 
 GaugeManager::~GaugeManager() {
   for (auto& entry : gauges_) take_offline(entry.value);
@@ -47,6 +57,9 @@ void GaugeManager::bring_online(Managed& m) {
         return true;
       });
   m.live = true;
+  // Deployment counts as a heartbeat: a gauge is not stale until it has
+  // had stale_after of silence from this moment.
+  m.last_report = sim_.now();
 }
 
 void GaugeManager::go_live(util::Symbol id, std::function<void()> on_live) {
@@ -54,7 +67,7 @@ void GaugeManager::go_live(util::Symbol id, std::function<void()> on_live) {
   if (!m) return;  // destroyed while being created
   bring_online(*m);
   ++stats_.created;
-  publish_lifecycle(id, topics::kPhaseCreated);
+  publish_lifecycle(id, m->gauge->spec().element, topics::kPhaseCreated);
   if (on_live) on_live();
 }
 
@@ -62,6 +75,19 @@ void GaugeManager::report(Managed& m) {
   std::optional<double> value = m.gauge->read();
   if (!value) return;
   const GaugeSpec& spec = m.gauge->spec();
+  // Channel-disconnect injection: a down channel silently eats the report
+  // at the source, which is exactly the staleness the watchdog exists to
+  // catch. last_report is *not* advanced.
+  if (plane_ && plane_->channel_down(spec.id)) {
+    ++stats_.reports_suppressed;
+    return;
+  }
+  m.last_report = sim_.now();
+  if (m.suspect) {
+    m.suspect = false;
+    ++stats_.suspects_cleared;
+    publish_lifecycle(spec.id, spec.element, topics::kPhaseCleared);
+  }
   // Symbols and a double end to end: the busiest notification in the
   // system carries no owned strings and allocates nothing to build.
   events::Notification n(topics::kGaugeReportSym);
@@ -94,20 +120,57 @@ void GaugeManager::destroy(util::Symbol gauge_id,
   serial_.check();
   Managed* m = gauges_.find(gauge_id);
   if (!m) throw Error("destroy: unknown gauge " + gauge_id.str());
+  const util::Symbol element = m->gauge->spec().element;
+  // A suspect gauge leaving the fleet must clear its mark first, or the
+  // element's suspect refcount (and the checker's verdict hold) would
+  // leak past the gauge's lifetime.
+  if (m->suspect) {
+    m->suspect = false;
+    ++stats_.suspects_cleared;
+    publish_lifecycle(gauge_id, element, topics::kPhaseCleared);
+  }
   take_offline(*m);
   gauges_.erase(gauge_id);
   ++stats_.destroyed;
-  publish_lifecycle(gauge_id, topics::kPhaseDeleted);
+  publish_lifecycle(gauge_id, element, topics::kPhaseDeleted);
   sim_.schedule_in(config_.destroy_cost, [on_done] {
     if (on_done) on_done();
   });
 }
 
-void GaugeManager::publish_lifecycle(util::Symbol id, util::Symbol phase) {
+void GaugeManager::publish_lifecycle(util::Symbol id, util::Symbol element,
+                                     util::Symbol phase) {
   events::Notification n(topics::kGaugeLifecycleSym);
-  n.set(topics::kAttrGaugeIdSym, id).set(topics::kAttrPhaseSym, phase);
+  n.set(topics::kAttrGaugeIdSym, id)
+      .set(topics::kAttrElementSym, element)
+      .set(topics::kAttrPhaseSym, phase);
   n.wire_size = DataSize::bytes(256);
   gauge_bus_.publish(std::move(n));
+}
+
+void GaugeManager::scan_liveness() {
+  for (auto& entry : gauges_) {
+    Managed& m = entry.value;
+    if (!m.live || m.suspect) continue;
+    if (sim_.now() - m.last_report > config_.stale_after) {
+      m.suspect = true;
+      ++stats_.suspects_marked;
+      publish_lifecycle(entry.key, m.gauge->spec().element,
+                        topics::kPhaseSuspect);
+    }
+  }
+}
+
+void GaugeManager::crash(SimTime duration) {
+  serial_.check();
+  if (!plane_) return;
+  const SimTime until = sim_.now() + duration;
+  for (auto& entry : gauges_) {
+    plane_->force_channel_down(entry.key, until);
+  }
+  plane_->count_tenant_crash();
+  ARC_WARN << "tenant crash injected: " << gauges_.size()
+           << " gauge channels dark for " << duration.as_seconds() << "s";
 }
 
 std::vector<util::Symbol> GaugeManager::gauge_ids_for(
@@ -146,6 +209,23 @@ bool GaugeManager::is_live(const std::string& gauge_id) const {
 bool GaugeManager::is_live(util::Symbol gauge_id) const {
   const Managed* m = gauges_.find(gauge_id);
   return m && m->live;
+}
+
+bool GaugeManager::is_suspect(const std::string& gauge_id) const {
+  return is_suspect(util::Symbol::intern(gauge_id));
+}
+
+bool GaugeManager::is_suspect(util::Symbol gauge_id) const {
+  const Managed* m = gauges_.find(gauge_id);
+  return m && m->suspect;
+}
+
+std::size_t GaugeManager::suspect_count() const {
+  std::size_t n = 0;
+  for (const auto& entry : gauges_) {
+    if (entry.value.suspect) ++n;
+  }
+  return n;
 }
 
 SimTime GaugeManager::redeploy_cost(const std::string& element) const {
@@ -210,15 +290,17 @@ void GaugeManager::redeploy_element(const std::string& element,
       m.gauge->reset();
       cursor += config_.destroy_cost + config_.create_cost;
     }
-    publish_lifecycle(id, config_.caching ? topics::kPhaseRelocating
-                                          : topics::kPhaseDeleted);
+    publish_lifecycle(id, m.gauge->spec().element,
+                      config_.caching ? topics::kPhaseRelocating
+                                      : topics::kPhaseDeleted);
     const bool last = (id == ids.back());
     sim_.schedule_in(cursor, [this, id, last, started, on_done] {
       Managed* mm = gauges_.find(id);
       if (mm) {
         // Bring the gauge back online.
         bring_online(*mm);
-        publish_lifecycle(id, topics::kPhaseCreated);
+        publish_lifecycle(id, mm->gauge->spec().element,
+                          topics::kPhaseCreated);
       }
       // A destroyed-mid-redeploy gauge (lifecycle subscriber tore it down)
       // has nothing to bring back — but the completion contract still

@@ -20,6 +20,10 @@
 #include "util/annotations.hpp"
 #include "util/symbol.hpp"
 
+namespace arcadia::fault {
+class FaultPlane;
+}
+
 namespace arcadia::monitor {
 
 struct GaugeManagerConfig {
@@ -32,6 +36,12 @@ struct GaugeManagerConfig {
   SimTime relocate_cost = SimTime::seconds(1.5);
   /// Cached-gauge mode: redeployments relocate instead of destroy+create.
   bool caching = false;
+  /// Gauge-liveness watchdog scan period; zero disables the watchdog.
+  SimTime watchdog_period = SimTime::zero();
+  /// Silence threshold: a live gauge that has not reported for this long is
+  /// marked suspect ("suspect" lifecycle event); the next report that gets
+  /// through clears it ("cleared").
+  SimTime stale_after = SimTime::seconds(15);
 };
 
 struct GaugeManagerStats {
@@ -39,6 +49,9 @@ struct GaugeManagerStats {
   std::uint64_t destroyed = 0;
   std::uint64_t relocated = 0;
   std::uint64_t reports = 0;
+  std::uint64_t reports_suppressed = 0;  ///< channel down: dropped at source
+  std::uint64_t suspects_marked = 0;     ///< watchdog staleness trips
+  std::uint64_t suspects_cleared = 0;    ///< reports that cleared a suspect
   double redeploy_time_total_s = 0.0;
   std::uint64_t redeploys = 0;
   std::uint64_t redeploy_batches = 0;  ///< redeploy_elements() calls
@@ -88,6 +101,20 @@ class GaugeManager {
 
   bool is_live(const std::string& gauge_id) const;
   bool is_live(util::Symbol gauge_id) const;
+  bool is_suspect(const std::string& gauge_id) const;
+  bool is_suspect(util::Symbol gauge_id) const;
+  /// Gauges currently marked suspect by the watchdog.
+  std::size_t suspect_count() const;
+
+  /// Wire the fault plane: reports consult it for channel-disconnect
+  /// windows (suppressed at source). Null disables injection.
+  void set_fault_plane(fault::FaultPlane* plane) { plane_ = plane; }
+
+  /// Fleet fault seam: every gauge channel of this manager goes dark for
+  /// `duration` (a tenant crash). Needs a fault plane; the watchdog then
+  /// marks the starved gauges suspect until the restart's reports clear
+  /// them.
+  void crash(SimTime duration);
   std::vector<std::string> gauges_for(const std::string& element) const;
   /// Distinct element names that have at least one gauge.
   std::vector<std::string> all_elements() const;
@@ -105,13 +132,17 @@ class GaugeManager {
     events::SubscriptionId probe_sub = 0;
     std::unique_ptr<sim::PeriodicTask> reporter;
     bool live = false;
+    bool suspect = false;
+    SimTime last_report;  ///< watchdog heartbeat (deployment counts)
   };
 
   void go_live(util::Symbol id, std::function<void()> on_live);
   void bring_online(Managed& m);
   void take_offline(Managed& m);
-  void publish_lifecycle(util::Symbol id, util::Symbol phase);
+  void publish_lifecycle(util::Symbol id, util::Symbol element,
+                         util::Symbol phase);
   void report(Managed& m);
+  void scan_liveness();
   std::vector<util::Symbol> gauge_ids_for(util::Symbol element) const;
 
   sim::Simulator& sim_;
@@ -122,6 +153,8 @@ class GaugeManager {
   /// the std::map<std::string, ...> order this container replaced.
   util::SymbolMap<Managed> gauges_;
   GaugeManagerStats stats_;
+  fault::FaultPlane* plane_ = nullptr;
+  std::unique_ptr<sim::PeriodicTask> watchdog_;
   /// Concurrency capability: not a mutex — every mutating call (deploy,
   /// destroy, redeploy*) must come from the simulation thread; the fleet's
   /// parallel sweep only ever *reads* through const accessors. Debug builds

@@ -29,6 +29,10 @@ inline constexpr const char* kGaugeLifecycle = "gauge.lifecycle";
 // flight).
 inline constexpr const char* kRepairPlan = "repair.plan";
 
+// Per-tenant health transitions (published by the fleet manager's health
+// state machine: healthy -> degraded -> quarantined -> recovering).
+inline constexpr const char* kFleetHealth = "fleet.health";
+
 // Common attribute names.
 inline constexpr const char* kAttrElement = "element";    // model element
 inline constexpr const char* kAttrProperty = "property";  // model property
@@ -40,6 +44,8 @@ inline constexpr const char* kAttrPhase = "phase";  // lifecycle: created/delete
 inline constexpr const char* kAttrRepair = "repair";  // repair record id
 inline constexpr const char* kAttrSteps = "steps";  // total plan step count
                                                     // (same on every phase)
+inline constexpr const char* kAttrShard = "shard";  // fleet tenant name
+inline constexpr const char* kAttrState = "state";  // health state value
 
 // Interned counterparts (interning is idempotent and thread-safe; these
 // initialize once at startup).
@@ -56,6 +62,7 @@ inline const util::Symbol kGaugeReportSym = util::Symbol::intern(kGaugeReport);
 inline const util::Symbol kGaugeLifecycleSym =
     util::Symbol::intern(kGaugeLifecycle);
 inline const util::Symbol kRepairPlanSym = util::Symbol::intern(kRepairPlan);
+inline const util::Symbol kFleetHealthSym = util::Symbol::intern(kFleetHealth);
 
 inline const util::Symbol kAttrElementSym = util::Symbol::intern(kAttrElement);
 inline const util::Symbol kAttrPropertySym = util::Symbol::intern(kAttrProperty);
@@ -66,11 +73,18 @@ inline const util::Symbol kAttrGroupSym = util::Symbol::intern(kAttrGroup);
 inline const util::Symbol kAttrPhaseSym = util::Symbol::intern(kAttrPhase);
 inline const util::Symbol kAttrRepairSym = util::Symbol::intern(kAttrRepair);
 inline const util::Symbol kAttrStepsSym = util::Symbol::intern(kAttrSteps);
+inline const util::Symbol kAttrShardSym = util::Symbol::intern(kAttrShard);
+inline const util::Symbol kAttrStateSym = util::Symbol::intern(kAttrState);
 
 // Lifecycle phase values.
 inline const util::Symbol kPhaseCreated = util::Symbol::intern("created");
 inline const util::Symbol kPhaseDeleted = util::Symbol::intern("deleted");
 inline const util::Symbol kPhaseRelocating = util::Symbol::intern("relocating");
+// Gauge-liveness watchdog phases: a live gauge whose channel has gone
+// silent past the staleness threshold is marked suspect; the next report
+// that gets through clears it.
+inline const util::Symbol kPhaseSuspect = util::Symbol::intern("suspect");
+inline const util::Symbol kPhaseCleared = util::Symbol::intern("cleared");
 
 // Repair-plan phase values.
 inline const util::Symbol kPhasePlanStarted = util::Symbol::intern("plan-started");
@@ -79,5 +93,12 @@ inline const util::Symbol kPhasePlanCompleted =
 inline const util::Symbol kPhasePlanPreempted =
     util::Symbol::intern("plan-preempted");
 inline const util::Symbol kPhasePlanFailed = util::Symbol::intern("plan-failed");
+
+// Fleet health-state values (kAttrState on kFleetHealth notifications).
+inline const util::Symbol kStateHealthy = util::Symbol::intern("healthy");
+inline const util::Symbol kStateDegraded = util::Symbol::intern("degraded");
+inline const util::Symbol kStateQuarantined =
+    util::Symbol::intern("quarantined");
+inline const util::Symbol kStateRecovering = util::Symbol::intern("recovering");
 
 }  // namespace arcadia::monitor::topics

@@ -89,6 +89,19 @@ void ConstraintChecker::bind_global(const std::string& name,
   ++globals_stamp_;
 }
 
+void ConstraintChecker::set_element_suspect(util::Symbol element,
+                                            bool suspect) {
+  if (suspect) {
+    suspect_.insert_or_assign(element, 1);
+  } else {
+    suspect_.erase(element);
+  }
+}
+
+bool ConstraintChecker::element_suspect(util::Symbol element) const {
+  return suspect_.contains(element);
+}
+
 void ConstraintChecker::add_constraint(const std::string& id,
                                        const std::string& element,
                                        const std::string& armani_source,
@@ -190,6 +203,14 @@ std::vector<Violation> ConstraintChecker::check() const {
     Memo& memo = memos_[i];
     if (!c.element_sym.empty() && !system_.has_component(c.element_sym)) {
       memo.valid = false;
+      continue;
+    }
+    // Verdict hold: the element's monitoring evidence is suspect (stale
+    // gauge channels), so neither assert a violation nor overwrite the
+    // memo — the last trusted evaluation resumes when the channel clears.
+    if (!c.element_sym.empty() && !suspect_.empty() &&
+        suspect_.contains(c.element_sym)) {
+      ++check_stats_.holds;
       continue;
     }
     const model::Component* element =

@@ -75,12 +75,22 @@ class ConstraintChecker {
 
   const std::vector<Constraint>& constraints() const { return constraints_; }
 
+  /// Mark (or clear) an element whose monitoring evidence is suspect — its
+  /// gauge channels went stale per the watchdog. While suspect, check()
+  /// *holds* the element's verdicts: no violation is asserted for it and
+  /// its memo is left untouched, so repairs neither trigger nor flap on
+  /// data that may simply be missing. Clearing resumes normal evaluation.
+  void set_element_suspect(util::Symbol element, bool suspect);
+  bool element_suspect(util::Symbol element) const;
+  std::size_t suspect_elements() const { return suspect_.size(); }
+
   /// Incremental-evaluation accounting (benches / tests).
   struct CheckStats {
     std::uint64_t sweeps = 0;       ///< check() calls
     std::uint64_t evaluations = 0;  ///< constraints actually re-evaluated
     std::uint64_t cache_hits = 0;   ///< constraints answered from cache
     std::uint64_t full_sweeps = 0;  ///< sweeps forced by structure/globals
+    std::uint64_t holds = 0;        ///< verdicts held on suspect evidence
   };
   const CheckStats& check_stats() const { return check_stats_; }
 
@@ -104,6 +114,9 @@ class ConstraintChecker {
   acme::Evaluator evaluator_;
   util::SymbolMap<acme::EvalValue> globals_;
   std::vector<Constraint> constraints_;
+  /// Elements under a verdict hold (set from the sim thread between
+  /// sweeps; check() only reads it).
+  util::SymbolMap<char> suspect_;
 
   mutable std::vector<Memo> memos_;
   /// Structure clock at the end of the previous sweep.

@@ -24,6 +24,7 @@ RepairEngine::RepairEngine(sim::Simulator& sim, model::System& root,
       config_(config),
       interpreter_(root, script),
       executor_(sim, translator, gauges) {
+  executor_.set_retry_policy(config_.retry);
   OperatorThresholds op_th;
   op_th.min_bandwidth = config_.min_bandwidth;
   op_th.load_improvement = config_.load_improvement;
@@ -283,10 +284,20 @@ void RepairEngine::start_plan(std::size_t idx) {
   executor_.run(&active_->plan, std::move(cb));
 }
 
+void RepairEngine::note_fault_stats(RepairRecord& record) {
+  const PlanExecutor::FaultStats& fs = executor_.fault_stats();
+  record.ops_retried = static_cast<int>(fs.ops_retried);
+  record.ops_timed_out = static_cast<int>(fs.ops_timed_out);
+  stats_.ops_retried += fs.ops_retried;
+  stats_.ops_timed_out += fs.ops_timed_out;
+  if (fs.ops_retried > 0) ++stats_.repairs_retried;
+}
+
 void RepairEngine::finish_plan(std::size_t idx) {
   RepairRecord& record = records_[idx];
   record.op_cost = executor_.runtime_cost();
   record.gauge_cost = executor_.gauge_wall();
+  note_fault_stats(record);
   // Settle exactly what was re-deployed: the plan's gauge steps are the
   // source of truth (distinct elements by construction). Model-only rigs
   // have no gauge steps; fall back to the journal's component set so
@@ -330,6 +341,7 @@ void RepairEngine::fail_plan(std::size_t idx, std::size_t step,
   // steps at the runtime layer; revert the model symmetrically so the two
   // stay convergent, then cool the constraint down and surface it loudly.
   revert_model(active_->plan.journal);
+  note_fault_stats(records_[idx]);
   abort_in_flight(idx, std::string("RuntimeFailure: ") + reason,
                   sim_.now() + compensation_cost, /*cooldown=*/true);
   publish_plan_event(monitor::topics::kPhasePlanFailed, idx,
@@ -344,6 +356,7 @@ void RepairEngine::preempt_active(const std::string& reason) {
   PlanExecutor::AbortResult aborted;
   if (executor_.active()) {
     aborted = executor_.abort();
+    note_fault_stats(records_[idx]);
   } else {
     // Still inside the decision-charge delay: nothing launched yet.
     active_->pre_event.cancel();

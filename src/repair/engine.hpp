@@ -87,6 +87,12 @@ struct RepairEngineConfig {
   /// latency) — exactly the mid-repair-fault case the churn-mid-repair
   /// scenario exercises.
   double preempt_factor = 2.0;
+  /// Failure-aware enactment: bounded retries with deterministic
+  /// exponential backoff for transient runtime-op faults, and per-op
+  /// timeouts — applied by the PlanExecutor ahead of the compensation /
+  /// abort path above. The defaults retry; set max_attempts = 1 to make
+  /// every op fault terminal (the pre-fault-plane behaviour).
+  RetryPolicy retry;
 
   // Task-layer thresholds, mirrored into script globals and native
   // tactic contexts.
@@ -125,6 +131,10 @@ struct RepairRecord {
   /// away (0 on the legacy path).
   int plan_steps = 0;
   int plan_steps_merged = 0;
+  /// Failure-aware enactment: transient-op retries and op timeouts this
+  /// repair absorbed before reaching its verdict.
+  int ops_retried = 0;
+  int ops_timed_out = 0;
 
   SimTime duration() const { return completed - started; }
 };
@@ -141,6 +151,10 @@ struct RepairStats {
   std::uint64_t plan_steps_merged = 0;    ///< folded by the optimizer
   std::uint64_t plan_steps_preempted = 0; ///< skipped by plan aborts
   std::uint64_t plans_preempted = 0;
+  // Failure-aware enactment counters.
+  std::uint64_t ops_retried = 0;     ///< transient-op retries, all repairs
+  std::uint64_t ops_timed_out = 0;   ///< op-timeout rollbacks, all repairs
+  std::uint64_t repairs_retried = 0; ///< repairs that needed >= 1 retry
 };
 
 class RepairEngine {
@@ -213,6 +227,9 @@ class RepairEngine {
   void fail_plan(std::size_t idx, std::size_t step, const std::string& reason,
                  SimTime compensation_cost);
   void preempt_active(const std::string& reason);
+  /// Fold the executor's per-plan retry/timeout counters into the record
+  /// and the engine totals (called on every plan outcome).
+  void note_fault_stats(RepairRecord& record);
   /// Shared bookkeeping for an in-flight plan abort (runtime failure,
   /// preemption): flags, stats, busy. `cooldown` applies the abort
   /// cooldown — preemption skips it, because the displaced repair was

@@ -11,6 +11,11 @@ PlanExecutor::PlanExecutor(sim::Simulator& sim, Translator* translator,
                            monitor::GaugeManager* gauges)
     : sim_(sim), translator_(translator), gauges_(gauges) {}
 
+void PlanExecutor::set_retry_policy(RetryPolicy policy) {
+  retry_ = policy;
+  jitter_rng_.reseed(retry_.jitter_seed);
+}
+
 void PlanExecutor::run(const AdaptationPlan* plan, Callbacks callbacks) {
   serial_.check();
   if (active_) throw Error("PlanExecutor::run: a plan is already in flight");
@@ -21,6 +26,10 @@ void PlanExecutor::run(const AdaptationPlan* plan, Callbacks callbacks) {
   deps_left_.assign(n, 0);
   dependents_.assign(n, {});
   enacted_.clear();
+  attempts_.assign(n, 0);
+  completion_.assign(n, sim::EventHandle{});
+  timeout_.assign(n, sim::EventHandle{});
+  fault_stats_ = FaultStats{};
   done_ = 0;
   runtime_cost_ = SimTime::zero();
   saw_gauge_ = false;
@@ -57,27 +66,7 @@ void PlanExecutor::start_step(std::size_t idx) {
   state_[idx] = State::Running;
   const std::uint64_t gen = generation_;
   if (step.kind == PlanStep::Kind::RuntimeOps) {
-    SimTime cost = SimTime::zero();
-    // Enlist for compensation BEFORE applying: a throw partway through the
-    // step's records (connectServer succeeded, activateServer did not)
-    // must still be compensated. Inverting ops that never applied
-    // over-compensates; the best-effort handling of the inverse stream
-    // absorbs that, whereas skipping the step would leak the partial
-    // runtime effects for good.
-    enacted_.push_back(idx);
-    if (translator_) {
-      try {
-        cost = translator_->apply(step.records);
-      } catch (const Error& e) {
-        fail_step(idx, e.what());
-        return;
-      }
-    }
-    runtime_cost_ += cost;
-    sim_.schedule_in(cost, [this, gen, idx] {
-      if (gen != generation_ || !active_) return;
-      complete_step(idx);
-    });
+    launch_runtime(idx);
     return;
   }
   // Gauge re-deployment: one batched reconfigure for the step's elements.
@@ -94,6 +83,107 @@ void PlanExecutor::start_step(std::size_t idx) {
     gauges_->redeploy_elements(step.elements, completion);
   } else {
     sim_.schedule_in(SimTime::zero(), std::move(completion));
+  }
+}
+
+void PlanExecutor::launch_runtime(std::size_t idx) {
+  const PlanStep& step = plan_->steps[idx];
+  const std::uint64_t gen = generation_;
+  SimTime cost = SimTime::zero();
+  ++attempts_[idx];
+  // Enlist for compensation BEFORE applying: a throw partway through the
+  // step's records (connectServer succeeded, activateServer did not)
+  // must still be compensated. Inverting ops that never applied
+  // over-compensates; the best-effort handling of the inverse stream
+  // absorbs that, whereas skipping the step would leak the partial
+  // runtime effects for good.
+  enacted_.push_back(idx);
+  if (translator_) {
+    try {
+      cost = translator_->apply(step.records);
+    } catch (const OpError& e) {
+      // Typed operator failure: the request failed atomically before any
+      // record applied (the OpError contract), so this step needs no
+      // compensation — and a Transient one is worth retrying.
+      enacted_.pop_back();
+      if (e.transient() && attempts_[idx] < retry_.max_attempts) {
+        schedule_retry(idx);
+        return;
+      }
+      fail_step(idx, e.what());
+      return;
+    } catch (const Error& e) {
+      fail_step(idx, e.what());
+      return;
+    }
+  }
+  runtime_cost_ += cost;
+  completion_[idx] = sim_.schedule_in(cost, [this, gen, idx] {
+    if (gen != generation_ || !active_) return;
+    timeout_[idx].cancel();
+    complete_step(idx);
+  });
+  // Arm the per-op timeout only when it would fire before the completion:
+  // a stalled operator (cost inflated past the deadline) gets rolled back
+  // and retried instead of holding the plan hostage.
+  if (translator_ && retry_.op_timeout > SimTime::zero() &&
+      cost > retry_.op_timeout) {
+    timeout_[idx] = sim_.schedule_in(retry_.op_timeout, [this, gen, idx] {
+      if (gen != generation_ || !active_) return;
+      time_out_step(idx);
+    });
+  }
+}
+
+void PlanExecutor::schedule_retry(std::size_t idx) {
+  ++fault_stats_.ops_retried;
+  const std::uint64_t gen = generation_;
+  const SimTime delay = retry_.backoff(attempts_[idx], jitter_rng_);
+  ARC_WARN << "plan step " << idx << " (" << plan_->steps[idx].label
+           << ") failed transiently; retry " << attempts_[idx] << "/"
+           << (retry_.max_attempts - 1) << " in " << delay.as_seconds()
+           << "s";
+  sim_.schedule_in(delay, [this, gen, idx] {
+    if (gen != generation_ || !active_) return;
+    launch_runtime(idx);
+  });
+}
+
+void PlanExecutor::time_out_step(std::size_t idx) {
+  ++fault_stats_.ops_timed_out;
+  completion_[idx].cancel();
+  ARC_WARN << "plan step " << idx << " (" << plan_->steps[idx].label
+           << ") exceeded the per-op timeout ("
+           << retry_.op_timeout.as_seconds() << "s); rolling back";
+  rollback_step(idx);
+  if (attempts_[idx] < retry_.max_attempts) {
+    schedule_retry(idx);
+    return;
+  }
+  fail_step(idx, "runtime step exceeded op_timeout; retry budget exhausted");
+}
+
+SimTime PlanExecutor::rollback_step(std::size_t idx) {
+  // Undo just this step's records (newest first) — its ops applied, but
+  // the operator never acknowledged within the deadline.
+  auto it = std::find(enacted_.begin(), enacted_.end(), idx);
+  if (it != enacted_.end()) enacted_.erase(it);
+  if (!translator_) return SimTime::zero();
+  std::vector<model::OpRecord> inverses;
+  const std::vector<model::OpRecord>& records = plan_->steps[idx].records;
+  for (auto op = records.rbegin(); op != records.rend(); ++op) {
+    if (std::optional<model::OpRecord> inv = op->inverse()) {
+      inverses.push_back(std::move(*inv));
+    }
+  }
+  if (inverses.empty()) return SimTime::zero();
+  try {
+    const SimTime cost = translator_->apply(inverses);
+    runtime_cost_ += cost;
+    return cost;
+  } catch (const Error& e) {
+    ARC_ERROR << "step rollback failed at the runtime layer: " << e.what();
+    return SimTime::zero();
   }
 }
 

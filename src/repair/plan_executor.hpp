@@ -9,6 +9,14 @@
 // their own), and the already-enacted runtime steps are compensated by
 // translating the inverse of their op records, newest first. Model-side
 // compensation is the caller's job — it owns the journal and the System.
+//
+// Failure awareness (ahead of the compensation/abort path above): a typed
+// repair::OpError(Transient) from the translator re-launches the step on a
+// bounded, seeded-jitter exponential backoff schedule (RetryPolicy); a
+// runtime step whose modeled cost exceeds the per-op timeout is rolled
+// back (its own inverse ops only) and retried the same way. Permanent
+// OpErrors, untyped Errors, and exhausted retry budgets fall through to
+// fail_step / compensation exactly as before.
 #pragma once
 
 #include <cstdint>
@@ -17,8 +25,10 @@
 #include <vector>
 
 #include "repair/plan.hpp"
+#include "repair/retry.hpp"
 #include "sim/simulator.hpp"
 #include "util/annotations.hpp"
+#include "util/deterministic_rng.hpp"
 
 namespace arcadia::repair {
 
@@ -43,6 +53,12 @@ class PlanExecutor {
     SimTime compensation_cost;      ///< modeled cost of the inverse ops
   };
 
+  /// Per-run fault-handling counters (reset by each run()).
+  struct FaultStats {
+    std::uint64_t ops_retried = 0;    ///< retry launches scheduled
+    std::uint64_t ops_timed_out = 0;  ///< steps rolled back by the timeout
+  };
+
   /// `translator` and `gauges` may be null (model-only rigs; the matching
   /// step kinds then complete instantly and cost nothing).
   PlanExecutor(sim::Simulator& sim, Translator* translator,
@@ -51,6 +67,13 @@ class PlanExecutor {
   /// Enact `plan`. The caller keeps the plan alive and unchanged until
   /// on_done / on_failed fires or abort() returns.
   void run(const AdaptationPlan* plan, Callbacks callbacks);
+
+  /// Install the retry/backoff/timeout policy (reseeds the jitter stream;
+  /// call before run()).
+  void set_retry_policy(RetryPolicy policy);
+  const RetryPolicy& retry_policy() const { return retry_; }
+  /// Counters for the current (or most recently finished) run.
+  const FaultStats& fault_stats() const { return fault_stats_; }
 
   bool active() const { return active_; }
   /// Sum of translator costs charged so far (compensation included).
@@ -67,6 +90,10 @@ class PlanExecutor {
 
   void launch_ready();
   void start_step(std::size_t idx);
+  void launch_runtime(std::size_t idx);
+  void schedule_retry(std::size_t idx);
+  void time_out_step(std::size_t idx);
+  SimTime rollback_step(std::size_t idx);
   void complete_step(std::size_t idx);
   void fail_step(std::size_t idx, const std::string& reason);
   SimTime compensate_enacted();
@@ -80,6 +107,12 @@ class PlanExecutor {
   std::vector<std::size_t> deps_left_;
   std::vector<std::vector<std::size_t>> dependents_;
   std::vector<std::size_t> enacted_;  ///< runtime steps applied, launch order
+  std::vector<int> attempts_;         ///< per-step launch count (retries)
+  std::vector<sim::EventHandle> completion_;  ///< pending runtime completions
+  std::vector<sim::EventHandle> timeout_;     ///< pending per-op timeouts
+  RetryPolicy retry_;
+  Rng jitter_rng_{RetryPolicy{}.jitter_seed};
+  FaultStats fault_stats_;
   std::size_t done_ = 0;
   bool active_ = false;
   /// Bumped whenever a run ends (done, failed, aborted): completions from a

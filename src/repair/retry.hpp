@@ -1,0 +1,70 @@
+// Typed runtime-operator errors and the retry policy that absorbs them.
+//
+// OpError splits operator failures the way a grid runtime would: Transient
+// (the operator node was busy / the request timed out — try again) versus
+// Permanent (the target is gone — retrying cannot help). The PlanExecutor
+// retries Transient failures on a bounded, deterministic exponential
+// backoff schedule *before* falling through to the PR 5 compensation/abort
+// path; Permanent failures and untyped Errors abort immediately as before.
+//
+// Backoff is sim-time only and jittered from a seeded Rng stream, so a
+// faulted run replays bit-for-bit: backoff(attempt) =
+//   min(base * multiplier^(attempt-1), max) * (1 + jitter * (2u - 1)),
+// u ~ U[0,1) from the executor's jitter stream.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "util/deterministic_rng.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace arcadia::repair {
+
+enum class OpErrorKind { Transient, Permanent };
+
+/// A typed runtime-operator failure. Derives from arcadia::Error so code
+/// that catches the base class (the executor's legacy fail path, the
+/// engine) keeps working; the executor additionally catches OpError first
+/// to route Transient failures into the retry schedule.
+class OpError : public Error {
+ public:
+  OpError(OpErrorKind kind, const std::string& what)
+      : Error(what), kind_(kind) {}
+  OpErrorKind kind() const { return kind_; }
+  bool transient() const { return kind_ == OpErrorKind::Transient; }
+
+ private:
+  OpErrorKind kind_;
+};
+
+/// Bounded-retry policy for runtime plan steps. `max_attempts` counts the
+/// first try: 4 means one initial attempt plus up to three retries.
+/// `op_timeout` (0 = disabled) bounds the modeled cost of a single runtime
+/// step — a step whose operator stalls past it is rolled back (inverse
+/// ops) and retried like a transient failure.
+struct RetryPolicy {
+  int max_attempts = 4;
+  SimTime backoff_base = SimTime::seconds(2);
+  double backoff_multiplier = 2.0;
+  SimTime backoff_max = SimTime::seconds(60);
+  double jitter = 0.25;  ///< +/- fraction of the nominal delay
+  std::uint64_t jitter_seed = 0x5EEDBACC0FFULL;
+  SimTime op_timeout = SimTime::zero();
+
+  /// Deterministic backoff before retry number `attempt` (1-based: the
+  /// delay after the first failure is backoff(1, ...)). Consumes exactly
+  /// one draw from `rng` per call.
+  SimTime backoff(int attempt, Rng& rng) const {
+    double nominal = backoff_base.as_seconds();
+    for (int i = 1; i < attempt; ++i) nominal *= backoff_multiplier;
+    nominal = std::min(nominal, backoff_max.as_seconds());
+    const double u = rng.uniform();
+    const double jittered = nominal * (1.0 + jitter * (2.0 * u - 1.0));
+    return SimTime::seconds(std::max(0.0, jittered));
+  }
+};
+
+}  // namespace arcadia::repair

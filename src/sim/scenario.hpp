@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/profile.hpp"
 #include "sim/app.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -115,6 +116,14 @@ struct ScenarioConfig {
   bool comp_bidirectional = false;
 
   Thresholds thresholds;
+
+  /// Fault injection (fault/profile.hpp): disabled by default, so every
+  /// pre-existing scenario is bit-identical to pre-fault builds. The
+  /// "lossy-grid" / "flaky-ops" scenarios ship calibrated profiles; the
+  /// experiment runner hands an enabled profile to the framework, which
+  /// constructs the FaultPlane and wraps the monitoring buses and the
+  /// translator.
+  fault::FaultProfile fault;
 
   // -- scenario-specific sub-configs (see the ScenarioRegistry catalog)
   GridScaleConfig grid;

@@ -167,6 +167,11 @@ Testbed build_fleet_tenant_testbed(Simulator& sim,
   // ratio multiplier spreads consecutive indices over the seed space.
   tenant.seed = config.seed + 0x9E3779B97F4A7C15ULL *
                                   static_cast<std::uint64_t>(fleet.tenant_index);
+  // Fault draws decorrelate the same way: tenant k's fault plane must not
+  // mirror tenant 0's, or every tenant would crash/lose reports in lockstep.
+  tenant.fault.seed =
+      config.fault.seed +
+      0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(fleet.tenant_index);
   // Phase-shift the Figure 7 schedule so tenants stress at staggered times
   // (the fleet's aggregate load stays bounded, like real multi-tenant grids).
   const SimTime shift = fleet.phase_shift * fleet.tenant_index;
@@ -281,6 +286,60 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
     spec.defaults.churn.period = SimTime::seconds(45);
     spec.defaults.churn.outage = SimTime::seconds(120);
     spec.defaults.churn.outages = 2;
+    spec.build = build_server_churn_testbed;
+    registry.add(std::move(spec));
+  }
+  {
+    // The fault-plane reference scenario: the scaled grid under a lossy
+    // monitoring substrate. One in ten reports vanishes on the bus, a few
+    // are duplicated or delayed, channels drop out for tens of seconds at
+    // a time, and one in ten runtime ops fails transiently. The adaptation
+    // loop must still converge to zero violations at quiescence — retries
+    // absorb the op faults, the watchdog holds verdicts over dark
+    // channels, and duplicate/late reports coalesce away.
+    ScenarioSpec spec;
+    spec.name = "lossy-grid";
+    spec.description =
+        "grid-4x16 over a lossy monitoring substrate: 10% report loss, "
+        "2% duplication, 5% delayed 1-5 s, channel disconnect windows, "
+        "and 10% transient runtime-op failures (retried with backoff)";
+    spec.defaults.horizon = SimTime::seconds(900);
+    spec.defaults.fault.enabled = true;
+    spec.defaults.fault.monitoring.report_loss = 0.10;
+    spec.defaults.fault.monitoring.report_dup = 0.02;
+    spec.defaults.fault.monitoring.report_delay = 0.05;
+    spec.defaults.fault.monitoring.channel_disconnect = 0.002;
+    spec.defaults.fault.repair.op_transient = 0.10;
+    spec.build = build_grid_testbed;
+    registry.add(std::move(spec));
+  }
+  {
+    // The repair-seam stress scenario: server-churn's guaranteed repair
+    // traffic, but every runtime step rolls against transient failures,
+    // stalls (absorbed by per-op timeouts), and a mid-run permanent-fault
+    // window during which repairs abort cleanly through compensation.
+    ScenarioSpec spec;
+    spec.name = "flaky-ops";
+    spec.description =
+        "server-churn with a flaky runtime: 20% transient op failures, "
+        "10% op stalls (20-40 s, caught by op timeouts), and a permanent-"
+        "failure window at 400-500 s exercising the abort path";
+    spec.defaults.horizon = SimTime::seconds(1200);
+    spec.defaults.normal_rate_hz = 1.5;
+    spec.defaults.stress_start = SimTime::seconds(1e9);
+    spec.defaults.stress_end = SimTime::seconds(1e9);
+    spec.defaults.comp_sg1_phase1_mbps = 0.0;
+    spec.defaults.comp_sg1_stress_mbps = 0.0;
+    spec.defaults.comp_sg1_final_mbps = 0.0;
+    spec.defaults.comp_sg2_phase1_mbps = 0.0;
+    spec.defaults.comp_sg2_stress_mbps = 0.0;
+    spec.defaults.comp_sg2_final_mbps = 0.0;
+    spec.defaults.fault.enabled = true;
+    spec.defaults.fault.repair.op_transient = 0.20;
+    spec.defaults.fault.repair.op_stall = 0.10;
+    spec.defaults.fault.repair.op_permanent = 0.5;
+    spec.defaults.fault.repair.permanent_from = SimTime::seconds(400);
+    spec.defaults.fault.repair.permanent_until = SimTime::seconds(500);
     spec.build = build_server_churn_testbed;
     registry.add(std::move(spec));
   }

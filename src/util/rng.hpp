@@ -1,128 +1,6 @@
-// Deterministic, seedable random number generation. Experiments must be a
-// pure function of (config, seed) so control and repair runs see identical
-// workloads — the paper's "seeding the clients so that the size of requests
-// and responses occurred in the same sequence in both experiments".
+// Forwarding header: the generators moved to util/deterministic_rng.hpp,
+// the single allow-listed randomness source in the tree (see arclint's
+// entropy rule). Kept so existing includers keep compiling.
 #pragma once
 
-#include <cmath>
-#include <cstdint>
-
-namespace arcadia {
-
-/// SplitMix64: used to expand a single 64-bit seed into the larger state of
-/// Xoshiro256**. Reference: Steele, Lea, Flood (2014).
-class SplitMix64 {
- public:
-  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
-
-  constexpr std::uint64_t next() {
-    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-    return z ^ (z >> 31);
-  }
-
- private:
-  std::uint64_t state_;
-};
-
-/// Xoshiro256**: fast, high-quality 64-bit generator (Blackman & Vigna).
-/// Satisfies enough of UniformRandomBitGenerator to feed <random> if needed,
-/// but Arcadia's own distribution helpers below avoid libstdc++'s
-/// implementation-defined distributions for cross-platform determinism.
-class Rng {
- public:
-  using result_type = std::uint64_t;
-
-  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
-
-  void reseed(std::uint64_t seed) {
-    SplitMix64 sm(seed);
-    for (auto& word : state_) word = sm.next();
-  }
-
-  static constexpr result_type min() { return 0; }
-  static constexpr result_type max() { return ~result_type{0}; }
-
-  result_type operator()() { return next(); }
-
-  std::uint64_t next() {
-    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-    const std::uint64_t t = state_[1] << 17;
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
-    return result;
-  }
-
-  /// Uniform double in [0, 1).
-  double uniform() {
-    // 53 random mantissa bits.
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-  }
-
-  /// Uniform double in [lo, hi).
-  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
-
-  /// Uniform integer in [0, n). n must be > 0. Uses rejection sampling to
-  /// avoid modulo bias.
-  std::uint64_t uniform_int(std::uint64_t n) {
-    const std::uint64_t threshold = (0 - n) % n;
-    for (;;) {
-      const std::uint64_t r = next();
-      if (r >= threshold) return r % n;
-    }
-  }
-
-  /// Exponential variate with the given mean (inter-arrival times).
-  double exponential(double mean) {
-    // 1 - uniform() is in (0, 1]; log of it is finite.
-    return -mean * std::log(1.0 - uniform());
-  }
-
-  /// Standard normal via Box-Muller (deterministic across platforms).
-  double normal() {
-    if (have_spare_) {
-      have_spare_ = false;
-      return spare_;
-    }
-    double u1 = 1.0 - uniform();
-    double u2 = uniform();
-    double r = std::sqrt(-2.0 * std::log(u1));
-    double theta = 2.0 * 3.14159265358979323846 * u2;
-    spare_ = r * std::sin(theta);
-    have_spare_ = true;
-    return r * std::cos(theta);
-  }
-
-  double normal(double mean, double stddev) { return mean + stddev * normal(); }
-
-  /// Lognormal variate parameterized by the *target* mean and a shape
-  /// sigma; used for response-size jitter around the paper's 20 KB mean.
-  double lognormal_with_mean(double mean, double sigma) {
-    const double mu = std::log(mean) - 0.5 * sigma * sigma;
-    return std::exp(mu + sigma * normal());
-  }
-
-  bool bernoulli(double p) { return uniform() < p; }
-
-  /// Derive an independent child generator; used to give each client its own
-  /// stream so adding a client does not perturb the others' sequences.
-  Rng fork(std::uint64_t stream_id) {
-    SplitMix64 sm(next() ^ (0xA0761D6478BD642FULL * (stream_id + 1)));
-    return Rng(sm.next());
-  }
-
- private:
-  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
-    return (x << k) | (x >> (64 - k));
-  }
-  std::uint64_t state_[4] = {};
-  bool have_spare_ = false;
-  double spare_ = 0.0;
-};
-
-}  // namespace arcadia
+#include "util/deterministic_rng.hpp"

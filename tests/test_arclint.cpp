@@ -26,8 +26,10 @@ bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
   return std::find(hit.begin(), hit.end(), rule) != hit.end();
 }
 
-TEST(ArclintTest, ListsAllFourRules) {
-  EXPECT_EQ(arclint::rule_ids().size(), 4u);
+TEST(ArclintTest, ListsAllFiveRules) {
+  EXPECT_EQ(arclint::rule_ids().size(), 5u);
+  EXPECT_TRUE(std::find(arclint::rule_ids().begin(), arclint::rule_ids().end(),
+                        "entropy") != arclint::rule_ids().end());
 }
 
 // ---- unordered-container -------------------------------------------------
@@ -66,10 +68,9 @@ TEST(ArclintTest, UnorderedMentionInCommentOrStringIsFine) {
 TEST(ArclintTest, CatchesWallClockInSimAndRepairOnly) {
   const std::string src =
       "auto t0 = std::chrono::steady_clock::now();\n"
-      "int r = rand();\n"
-      "std::random_device rd;\n";
+      "auto t1 = std::chrono::system_clock::now();\n";
   const auto findings = lint_source("src/sim/workload.cpp", src);
-  ASSERT_EQ(findings.size(), 3u);
+  ASSERT_EQ(findings.size(), 2u);
   for (const Finding& f : findings) EXPECT_EQ(f.rule, "wall-clock");
   EXPECT_TRUE(has_rule(lint_source("src/repair/strategy.cpp", src),
                        "wall-clock"));
@@ -78,12 +79,47 @@ TEST(ArclintTest, CatchesWallClockInSimAndRepairOnly) {
 }
 
 TEST(ArclintTest, WallClockWordBoundariesHold) {
-  // `operand(`, `srandom_x`, SimTime identifiers: no false positives.
+  // `operand(`, `rand_like_name`, SimTime identifiers: no false positives
+  // for either the wall-clock or the entropy rule.
   const std::string src =
       "int operand(int x);\n"
       "double rand_like_name = 0;\n"
       "SimTime time = sim.now();\n";
   EXPECT_TRUE(lint_source("src/sim/foo.cpp", src).empty());
+}
+
+// ---- entropy -------------------------------------------------------------
+
+TEST(ArclintTest, CatchesAmbientRandomnessTreeWideUnderSrc) {
+  const std::string src =
+      "#include <random>\n"
+      "std::mt19937 gen(42);\n"
+      "int r = rand();\n"
+      "std::random_device rd;\n";
+  // Unlike wall-clock, entropy applies everywhere under src/ — a stray
+  // generator in core/ or monitor/ breaks fault-seed replay just as badly.
+  const auto findings = lint_source("src/core/fleet_manager.cpp", src);
+  ASSERT_EQ(findings.size(), 4u);
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "entropy");
+  EXPECT_TRUE(has_rule(lint_source("src/sim/workload.cpp", src), "entropy"));
+  EXPECT_TRUE(has_rule(lint_source("src/monitor/gauge.cpp", src), "entropy"));
+}
+
+TEST(ArclintTest, DeterministicRngHeaderIsTheAllowedHome) {
+  const std::string src =
+      "std::uint64_t rand();  // not really, but exercise the words\n"
+      "int seed_from(std::random_device& rd);\n";
+  // The one allow-listed randomness source; everything else draws through
+  // arcadia::Rng forks.
+  EXPECT_TRUE(lint_source("src/util/deterministic_rng.hpp", src).empty());
+  EXPECT_TRUE(has_rule(lint_source("src/util/rng.hpp", src), "entropy"));
+}
+
+TEST(ArclintTest, EntropyRuleStopsAtSrcBoundary) {
+  const std::string src = "std::mt19937 gen;\n";
+  EXPECT_TRUE(lint_source("tests/test_x.cpp", src).empty());
+  EXPECT_TRUE(lint_source("tools/arclint/x.cpp", src).empty());
+  EXPECT_TRUE(lint_source("bench/bench_x.cpp", src).empty());
 }
 
 // ---- raw-mutex -----------------------------------------------------------

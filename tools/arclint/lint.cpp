@@ -221,7 +221,7 @@ std::string strip_comments_and_strings(std::string_view source) {
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> ids = {
       "unordered-container", "wall-clock", "raw-mutex",
-      "hotpath-std-function"};
+      "hotpath-std-function", "entropy"};
   return ids;
 }
 
@@ -233,6 +233,11 @@ std::vector<Finding> lint_source(std::string_view path,
   const bool in_sim_or_repair =
       starts_with(path, "src/sim/") || starts_with(path, "src/repair/");
   const bool is_annotations = path == "src/util/annotations.hpp";
+  // The single allow-listed randomness source tree-wide: every other file
+  // must draw through arcadia::Rng so runs stay a pure function of
+  // (config, seed) — including fault injection (the fault plane forks its
+  // streams from here too).
+  const bool is_rng = path == "src/util/deterministic_rng.hpp";
   const bool hotpath_marked =
       source.find("arclint: hotpath") != std::string_view::npos;
 
@@ -245,14 +250,16 @@ std::vector<Finding> lint_source(std::string_view path,
       {in_sim_or_repair, "wall-clock"},
       {in_src && !is_annotations, "raw-mutex"},
       {hotpath_marked, "hotpath-std-function"},
+      {in_src && !is_rng, "entropy"},
   };
+  constexpr std::size_t kNumRules = sizeof(rules) / sizeof(rules[0]);
   bool any = false;
   for (const Rule& r : rules) any = any || r.applies;
   if (!any) return findings;
 
   // File-level exemptions come off the raw text.
-  bool file_allowed[4] = {};
-  for (std::size_t r = 0; r < 4; ++r) {
+  bool file_allowed[kNumRules] = {};
+  for (std::size_t r = 0; r < kNumRules; ++r) {
     file_allowed[r] = has_directive(source, "allow-file", rules[r].id);
   }
 
@@ -291,11 +298,12 @@ std::vector<Finding> lint_source(std::string_view path,
 
     // wall-clock
     {
+      // Entropy words moved to the tree-wide "entropy" rule below; this
+      // rule keeps the time-source words for sim/ and repair/.
       static constexpr std::string_view kClockWords[] = {
-          "steady_clock",   "system_clock", "high_resolution_clock",
-          "random_device",  "gettimeofday", "clock_gettime",
-          "timespec_get",   "srand",        "rand",
-          "localtime",      "gmtime",
+          "steady_clock", "system_clock", "high_resolution_clock",
+          "gettimeofday", "clock_gettime", "timespec_get",
+          "localtime",    "gmtime",
       };
       bool hit = false;
       for (std::string_view w : kClockWords) {
@@ -305,9 +313,8 @@ std::vector<Finding> lint_source(std::string_view path,
         }
       }
       check(1, hit,
-            "wall-clock / ambient randomness in simulated code; runs must "
-            "be a pure function of (config, seed) — use util::Rng and "
-            "sim::Simulator::now()");
+            "wall-clock in simulated code; runs must be a pure function of "
+            "(config, seed) — use sim::Simulator::now()");
     }
 
     // raw-mutex
@@ -341,6 +348,28 @@ std::vector<Finding> lint_source(std::string_view path,
           "std::function in a `// arclint: hotpath` file; it heap-allocates "
           "beyond two pointers of captures — use util::SmallFn or a "
           "template parameter");
+
+    // entropy: any randomness source other than util/deterministic_rng.hpp
+    {
+      static constexpr std::string_view kEntropyWords[] = {
+          "random_device", "srand",       "rand",
+          "mt19937",       "mt19937_64",  "minstd_rand",
+          "default_random_engine",
+      };
+      bool hit = includes_header(line, {"random"});
+      if (!hit) {
+        for (std::string_view w : kEntropyWords) {
+          if (contains_word(line, w)) {
+            hit = true;
+            break;
+          }
+        }
+      }
+      check(4, hit,
+            "ambient randomness source; the only allowed generator is "
+            "arcadia::Rng from util/deterministic_rng.hpp (seeded, "
+            "forkable) — determinism and fault replay depend on it");
+    }
 
     if (s_end >= stripped.size() || r_end >= source.size()) break;
     s_pos = s_end + 1;
