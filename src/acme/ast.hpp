@@ -158,6 +158,7 @@ struct TacticDecl {
   std::string return_type;  ///< informational
   std::unique_ptr<BlockStmt> body;
   int line = 0;
+  int column = 0;
 };
 
 struct StrategyDecl {
@@ -165,6 +166,7 @@ struct StrategyDecl {
   std::vector<Param> params;
   std::unique_ptr<BlockStmt> body;
   int line = 0;
+  int column = 0;
 };
 
 /// invariant [name :] expr !-> handler(args);
@@ -175,6 +177,7 @@ struct InvariantDecl {
   std::string handler;            ///< strategy to invoke on violation
   std::vector<std::string> args;  ///< argument names (usually the binder)
   int line = 0;
+  int column = 0;
 };
 
 /// A parsed repair script: invariants plus the strategies and tactics they

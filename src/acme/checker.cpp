@@ -15,8 +15,10 @@ std::string property_type_name(model::PropertyType type) {
   return "";
 }
 
-void issue(std::vector<CheckIssue>& out, int line, std::string message) {
-  out.push_back(CheckIssue{line, std::move(message)});
+void issue(std::vector<CheckIssue>& out, int line, int column,
+           std::string message) {
+  out.push_back(
+      CheckIssue{line, column, Severity::Error, std::move(message)});
 }
 
 }  // namespace
@@ -63,13 +65,14 @@ const std::string* ScriptChecker::lookup(const std::vector<Scope>& scopes,
 
 std::string ScriptChecker::member_type(const std::string& object_type,
                                        const std::string& member, int line,
+                                       int column,
                                        std::vector<CheckIssue>& out) const {
   if (object_type.empty() || object_type == "nil") return "";
   if (object_type == "System") {
     if (member == "Components") return "set{}";
     if (member == "Connectors") return "set{}";
     if (member == "name") return "string";
-    issue(out, line, "system has no member '" + member + "'");
+    issue(out, line, column, "system has no member '" + member + "'");
     return "";
   }
   if (member == "name" || member == "type") return "string";
@@ -86,8 +89,9 @@ std::string ScriptChecker::member_type(const std::string& object_type,
   if (const model::PropertySpec* prop = def->find_prop(member)) {
     return property_type_name(prop->type);
   }
-  issue(out, line, "type '" + object_type + "' declares no property '" +
-                       member + "' (style " + style_.name() + ")");
+  issue(out, line, column, "type '" + object_type +
+                               "' declares no property '" + member +
+                               "' (style " + style_.name() + ")");
   return "";
 }
 
@@ -116,7 +120,7 @@ std::string ScriptChecker::infer(const Expr& expr, std::vector<Scope>& scopes,
       }
     }
     if (!lenient_names_) {
-      issue(out, name->line,
+      issue(out, name->line, name->column,
             "unbound name '" + name->name +
                 "' (not a parameter, let, global, or context property)");
     }
@@ -124,7 +128,8 @@ std::string ScriptChecker::infer(const Expr& expr, std::vector<Scope>& scopes,
   }
   if (const auto* member = dynamic_cast<const MemberExpr*>(&expr)) {
     std::string object = infer(*member->object, scopes, context_type, out);
-    return member_type(object, member->member, member->line, out);
+    return member_type(object, member->member, member->line, member->column,
+                       out);
   }
   if (const auto* call = dynamic_cast<const CallExpr*>(&expr)) {
     // Method-style: element.op(args).
@@ -133,18 +138,18 @@ std::string ScriptChecker::infer(const Expr& expr, std::vector<Scope>& scopes,
       for (const ExprPtr& a : call->args) infer(*a, scopes, context_type, out);
       auto op = operators_.find(target->member);
       if (op == operators_.end()) {
-        issue(out, call->line,
+        issue(out, call->line, call->column,
               "unknown style operator '" + target->member + "'");
         return "";
       }
       if (!op->second.target_type.empty() && !object.empty() &&
           object != op->second.target_type) {
-        issue(out, call->line, "operator '" + target->member +
+        issue(out, call->line, call->column, "operator '" + target->member +
                                    "' applies to " + op->second.target_type +
                                    ", not " + object);
       }
       if (call->args.size() != op->second.args) {
-        issue(out, call->line,
+        issue(out, call->line, call->column,
               "operator '" + target->member + "' takes " +
                   std::to_string(op->second.args) + " argument(s), got " +
                   std::to_string(call->args.size()));
@@ -153,7 +158,7 @@ std::string ScriptChecker::infer(const Expr& expr, std::vector<Scope>& scopes,
     }
     const auto* callee = dynamic_cast<const NameExpr*>(call->callee.get());
     if (!callee) {
-      issue(out, call->line, "call of a non-function expression");
+      issue(out, call->line, call->column, "call of a non-function expression");
       return "";
     }
     for (const ExprPtr& a : call->args) infer(*a, scopes, context_type, out);
@@ -161,7 +166,7 @@ std::string ScriptChecker::infer(const Expr& expr, std::vector<Scope>& scopes,
     if (script_) {
       if (const TacticDecl* tactic = script_->find_tactic(callee->name)) {
         if (call->args.size() != tactic->params.size()) {
-          issue(out, call->line,
+          issue(out, call->line, call->column,
                 "tactic '" + callee->name + "' takes " +
                     std::to_string(tactic->params.size()) +
                     " argument(s), got " + std::to_string(call->args.size()));
@@ -171,12 +176,12 @@ std::string ScriptChecker::infer(const Expr& expr, std::vector<Scope>& scopes,
     }
     auto fn = functions_.find(callee->name);
     if (fn == functions_.end()) {
-      issue(out, call->line, "unknown function '" + callee->name + "'");
+      issue(out, call->line, call->column, "unknown function '" + callee->name + "'");
       return "";
     }
     if (call->args.size() < fn->second.min_args ||
         call->args.size() > fn->second.max_args) {
-      issue(out, call->line,
+      issue(out, call->line, call->column,
             "function '" + callee->name + "' takes " +
                 std::to_string(fn->second.min_args) +
                 (fn->second.max_args != fn->second.min_args
@@ -190,12 +195,12 @@ std::string ScriptChecker::infer(const Expr& expr, std::vector<Scope>& scopes,
     std::string operand = infer(*unary->operand, scopes, context_type, out);
     if (unary->op == UnaryExpr::Op::Not) {
       if (!operand.empty() && operand != "boolean") {
-        issue(out, unary->line, "'!' applied to " + operand);
+        issue(out, unary->line, unary->column, "'!' applied to " + operand);
       }
       return "boolean";
     }
     if (!operand.empty() && operand != "number") {
-      issue(out, unary->line, "unary '-' applied to " + operand);
+      issue(out, unary->line, unary->column, "unary '-' applied to " + operand);
     }
     return "number";
   }
@@ -209,7 +214,7 @@ std::string ScriptChecker::infer(const Expr& expr, std::vector<Scope>& scopes,
         for (const auto& [side, type] :
              {std::make_pair("left", lhs), std::make_pair("right", rhs)}) {
           if (!type.empty() && type != "boolean") {
-            issue(out, binary->line,
+            issue(out, binary->line, binary->column,
                   std::string("logical operator's ") + side + " side is " +
                       type + ", not boolean");
           }
@@ -224,7 +229,7 @@ std::string ScriptChecker::infer(const Expr& expr, std::vector<Scope>& scopes,
       case Op::Ge:
         for (const std::string& type : {lhs, rhs}) {
           if (!type.empty() && type != "number" && type != "string") {
-            issue(out, binary->line, "ordering comparison on " + type);
+            issue(out, binary->line, binary->column, "ordering comparison on " + type);
           }
         }
         return "boolean";
@@ -234,7 +239,7 @@ std::string ScriptChecker::infer(const Expr& expr, std::vector<Scope>& scopes,
       default:
         for (const std::string& type : {lhs, rhs}) {
           if (!type.empty() && type != "number") {
-            issue(out, binary->line, "arithmetic on " + type);
+            issue(out, binary->line, binary->column, "arithmetic on " + type);
           }
         }
         return "number";
@@ -243,17 +248,17 @@ std::string ScriptChecker::infer(const Expr& expr, std::vector<Scope>& scopes,
   if (const auto* sel = dynamic_cast<const SelectExpr*>(&expr)) {
     std::string domain = infer(*sel->domain, scopes, context_type, out);
     if (!domain.empty() && !is_set(domain) && domain != "System") {
-      issue(out, sel->line, "select domain is " + domain + ", not a set");
+      issue(out, sel->line, sel->column, "select domain is " + domain + ", not a set");
     }
     if (!sel->type_name.empty() && !style_.find(sel->type_name)) {
-      issue(out, sel->line,
+      issue(out, sel->line, sel->column,
             "unknown style type '" + sel->type_name + "' in select binder");
     }
     scopes.push_back({});
     scopes.back().names[sel->binder] = sel->type_name;
     std::string pred = infer(*sel->predicate, scopes, context_type, out);
     if (!pred.empty() && pred != "boolean") {
-      issue(out, sel->line, "select predicate is " + pred + ", not boolean");
+      issue(out, sel->line, sel->column, "select predicate is " + pred + ", not boolean");
     }
     scopes.pop_back();
     if (sel->one) return sel->type_name;
@@ -262,17 +267,17 @@ std::string ScriptChecker::infer(const Expr& expr, std::vector<Scope>& scopes,
   if (const auto* quant = dynamic_cast<const QuantExpr*>(&expr)) {
     std::string domain = infer(*quant->domain, scopes, context_type, out);
     if (!domain.empty() && !is_set(domain)) {
-      issue(out, quant->line, "quantifier domain is " + domain + ", not a set");
+      issue(out, quant->line, quant->column, "quantifier domain is " + domain + ", not a set");
     }
     if (!quant->type_name.empty() && !style_.find(quant->type_name)) {
-      issue(out, quant->line,
+      issue(out, quant->line, quant->column,
             "unknown style type '" + quant->type_name + "' in quantifier");
     }
     scopes.push_back({});
     scopes.back().names[quant->binder] = quant->type_name;
     std::string pred = infer(*quant->predicate, scopes, context_type, out);
     if (!pred.empty() && pred != "boolean") {
-      issue(out, quant->line,
+      issue(out, quant->line, quant->column,
             "quantifier predicate is " + pred + ", not boolean");
     }
     scopes.pop_back();
@@ -299,7 +304,7 @@ void ScriptChecker::check_stmt(const Stmt& stmt, std::vector<Scope>& scopes,
     if (!declared.empty() && !is_set(declared) && declared != "boolean" &&
         declared != "number" && declared != "string" &&
         !style_.find(declared)) {
-      issue(out, let->line,
+      issue(out, let->line, let->column,
             "unknown type '" + declared + "' in let annotation");
     }
     // The declared type wins when present (nil-able bindings are common).
@@ -309,7 +314,7 @@ void ScriptChecker::check_stmt(const Stmt& stmt, std::vector<Scope>& scopes,
   if (const auto* ifs = dynamic_cast<const IfStmt*>(&stmt)) {
     std::string cond = infer(*ifs->condition, scopes, context_type, out);
     if (!cond.empty() && cond != "boolean") {
-      issue(out, ifs->line, "if condition is " + cond + ", not boolean");
+      issue(out, ifs->line, ifs->column, "if condition is " + cond + ", not boolean");
     }
     check_stmt(*ifs->then_branch, scopes, context_type, in_strategy, out);
     if (ifs->else_branch) {
@@ -320,7 +325,7 @@ void ScriptChecker::check_stmt(const Stmt& stmt, std::vector<Scope>& scopes,
   if (const auto* fe = dynamic_cast<const ForeachStmt*>(&stmt)) {
     std::string domain = infer(*fe->domain, scopes, context_type, out);
     if (!domain.empty() && !is_set(domain)) {
-      issue(out, fe->line, "foreach domain is " + domain + ", not a set");
+      issue(out, fe->line, fe->column, "foreach domain is " + domain + ", not a set");
     }
     scopes.push_back({});
     scopes.back().names[fe->binder] = set_element(domain);
@@ -331,14 +336,14 @@ void ScriptChecker::check_stmt(const Stmt& stmt, std::vector<Scope>& scopes,
   if (const auto* ret = dynamic_cast<const ReturnStmt*>(&stmt)) {
     if (ret->value) infer(*ret->value, scopes, context_type, out);
     if (in_strategy) {
-      issue(out, ret->line,
+      issue(out, ret->line, ret->column,
             "'return' inside a strategy (strategies end with commit/abort)");
     }
     return;
   }
   if (dynamic_cast<const CommitStmt*>(&stmt)) {
     if (!in_strategy) {
-      issue(out, stmt.line, "'commit repair' is only valid inside a strategy");
+      issue(out, stmt.line, stmt.column, "'commit repair' is only valid inside a strategy");
     }
     return;
   }
@@ -365,15 +370,15 @@ std::vector<CheckIssue> ScriptChecker::check_script(const Script& script) {
     // statically (the element is chosen at instantiation); only flag a
     // resolved non-boolean type.
     if (!type.empty() && type != "boolean") {
-      issue(out, inv.line, "invariant condition is " + type + ", not boolean");
+      issue(out, inv.line, inv.column, "invariant condition is " + type + ", not boolean");
     }
     if (!inv.handler.empty() && !script.find_strategy(inv.handler)) {
-      issue(out, inv.line,
+      issue(out, inv.line, inv.column,
             "invariant handler '" + inv.handler + "' is not a strategy");
     }
     if (const StrategyDecl* handler = script.find_strategy(inv.handler)) {
       if (handler->params.size() != inv.args.size()) {
-        issue(out, inv.line,
+        issue(out, inv.line, inv.column,
               "handler '" + inv.handler + "' takes " +
                   std::to_string(handler->params.size()) +
                   " argument(s), invariant passes " +
@@ -390,7 +395,7 @@ std::vector<CheckIssue> ScriptChecker::check_script(const Script& script) {
       scopes.back().names[p.name] = p.type_annotation;
       if (!p.type_annotation.empty() && !is_set(p.type_annotation) &&
           !style_.find(p.type_annotation)) {
-        issue(out, body.line,
+        issue(out, body.line, body.column,
               "unknown style type '" + p.type_annotation + "' in parameter '" +
                   p.name + "'");
       }

@@ -16,11 +16,24 @@
 
 namespace arcadia::acme {
 
+/// Diagnostic severity shared by the checker and the semantic analyses
+/// (acme/analysis.hpp). Errors fail strict verification runs (the arcverify
+/// gate, FrameworkConfig::VerifyMode::Error); warnings are advisory.
+enum class Severity { Error, Warning };
+
+inline const char* to_string(Severity s) {
+  return s == Severity::Error ? "error" : "warning";
+}
+
 struct CheckIssue {
   int line = 0;
+  int column = 0;
+  Severity severity = Severity::Error;
   std::string message;
   std::string to_string() const {
-    return "line " + std::to_string(line) + ": " + message;
+    return "line " + std::to_string(line) + ":" + std::to_string(column) +
+           ": " + std::string(arcadia::acme::to_string(severity)) + ": " +
+           message;
   }
 };
 
@@ -71,7 +84,7 @@ class ScriptChecker {
                   const std::string& context_type, bool in_strategy,
                   std::vector<CheckIssue>& out);
   std::string member_type(const std::string& object_type,
-                          const std::string& member, int line,
+                          const std::string& member, int line, int column,
                           std::vector<CheckIssue>& out) const;
   const std::string* lookup(const std::vector<Scope>& scopes,
                             const std::string& name) const;

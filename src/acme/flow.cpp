@@ -1,0 +1,356 @@
+#include "acme/flow.hpp"
+
+#include <map>
+
+namespace arcadia::acme {
+
+namespace {
+
+/// Rendering with `let` substitution: bound names expand to the rendered
+/// text of their initializer so guards stay comparable across tactics that
+/// factor differently.
+std::string render_subst(const Expr& expr,
+                         const std::map<std::string, std::string>& lets);
+
+std::string render_subst_call(const CallExpr& call,
+                              const std::map<std::string, std::string>& lets) {
+  std::string out = render_subst(*call.callee, lets) + "(";
+  for (std::size_t i = 0; i < call.args.size(); ++i) {
+    if (i) out += ", ";
+    out += render_subst(*call.args[i], lets);
+  }
+  return out + ")";
+}
+
+std::string render_subst(const Expr& expr,
+                         const std::map<std::string, std::string>& lets) {
+  if (const auto* name = dynamic_cast<const NameExpr*>(&expr)) {
+    auto it = lets.find(name->name);
+    if (it != lets.end()) return it->second;
+    return name->name;
+  }
+  if (const auto* member = dynamic_cast<const MemberExpr*>(&expr)) {
+    return render_subst(*member->object, lets) + "." + member->member;
+  }
+  if (const auto* call = dynamic_cast<const CallExpr*>(&expr)) {
+    return render_subst_call(*call, lets);
+  }
+  if (const auto* unary = dynamic_cast<const UnaryExpr*>(&expr)) {
+    const char* op = unary->op == UnaryExpr::Op::Not ? "!" : "-";
+    return std::string(op) + render_subst(*unary->operand, lets);
+  }
+  if (const auto* binary = dynamic_cast<const BinaryExpr*>(&expr)) {
+    // Reuse render_expr's operator spelling by rendering both sides with
+    // substitution and re-parenthesizing identically.
+    std::string lhs = render_subst(*binary->lhs, lets);
+    std::string rhs = render_subst(*binary->rhs, lets);
+    // Extract the operator text from a minimal render of this node kind.
+    using Op = BinaryExpr::Op;
+    const char* op = "?";
+    switch (binary->op) {
+      case Op::Or: op = "or"; break;
+      case Op::And: op = "and"; break;
+      case Op::Eq: op = "=="; break;
+      case Op::Ne: op = "!="; break;
+      case Op::Lt: op = "<"; break;
+      case Op::Le: op = "<="; break;
+      case Op::Gt: op = ">"; break;
+      case Op::Ge: op = ">="; break;
+      case Op::Add: op = "+"; break;
+      case Op::Sub: op = "-"; break;
+      case Op::Mul: op = "*"; break;
+      case Op::Div: op = "/"; break;
+      case Op::Mod: op = "%"; break;
+    }
+    return "(" + lhs + " " + op + " " + rhs + ")";
+  }
+  // Literals, select, quantifiers: substitution never reaches inside a
+  // binder scope in guard position; fall back to the canonical renderer.
+  return render_expr(expr);
+}
+
+using Rel = GuardConjunct::Rel;
+
+/// Negate a relational operator: the guard is ¬(early-out condition).
+Rel negate(BinaryExpr::Op op) {
+  using Op = BinaryExpr::Op;
+  switch (op) {
+    case Op::Lt: return Rel::Ge;
+    case Op::Le: return Rel::Gt;
+    case Op::Gt: return Rel::Le;
+    case Op::Ge: return Rel::Lt;
+    case Op::Eq: return Rel::Ne;
+    case Op::Ne: return Rel::Eq;
+    default: return Rel::Opaque;
+  }
+}
+
+const char* rel_text(Rel rel) {
+  switch (rel) {
+    case Rel::Lt: return "<";
+    case Rel::Le: return "<=";
+    case Rel::Gt: return ">";
+    case Rel::Ge: return ">=";
+    case Rel::Eq: return "==";
+    case Rel::Ne: return "!=";
+    case Rel::Opaque: return "?";
+  }
+  return "?";
+}
+
+GuardConjunct negated_conjunct(const Expr& cond,
+                               const std::map<std::string, std::string>& lets) {
+  GuardConjunct c;
+  if (const auto* binary = dynamic_cast<const BinaryExpr*>(&cond)) {
+    const Rel rel = negate(binary->op);
+    if (rel != Rel::Opaque) {
+      c.rel = rel;
+      c.subject = render_subst(*binary->lhs, lets);
+      c.rhs_text = render_subst(*binary->rhs, lets);
+      if (const auto* lit =
+              dynamic_cast<const LiteralExpr*>(binary->rhs.get())) {
+        if (lit->kind == LiteralExpr::Kind::Number) {
+          c.numeric = true;
+          c.threshold = lit->number_value;
+        }
+      }
+      c.text = "(" + c.subject + " " + rel_text(rel) + " " + c.rhs_text + ")";
+      return c;
+    }
+  }
+  c.rel = Rel::Opaque;
+  c.text = "!" + render_subst(cond, lets);
+  return c;
+}
+
+/// An early-out arm: `if (cond) { return false; }` with no else.
+const Expr* early_out_condition(const IfStmt& ifs) {
+  if (ifs.else_branch) return nullptr;
+  const Stmt* body = ifs.then_branch.get();
+  if (const auto* block = dynamic_cast<const BlockStmt*>(body)) {
+    if (block->statements.size() != 1) return nullptr;
+    body = block->statements.front().get();
+  }
+  const auto* ret = dynamic_cast<const ReturnStmt*>(body);
+  if (!ret || !ret->value) return nullptr;
+  const auto* lit = dynamic_cast<const LiteralExpr*>(ret->value.get());
+  if (!lit || lit->kind != LiteralExpr::Kind::Bool || lit->bool_value) {
+    return nullptr;
+  }
+  return ifs.condition.get();
+}
+
+/// Statements of the tactic body past the leading let / early-out prefix.
+std::vector<const Stmt*> post_guard_statements(
+    const TacticDecl& tactic, std::map<std::string, std::string>* lets_out,
+    TacticGuard* guard_out) {
+  std::map<std::string, std::string> lets;
+  std::vector<const Stmt*> rest;
+  bool in_prefix = true;
+  for (const StmtPtr& s : tactic.body->statements) {
+    if (in_prefix) {
+      if (const auto* let = dynamic_cast<const LetStmt*>(s.get())) {
+        lets[let->name] = render_subst(*let->value, lets);
+        continue;
+      }
+      if (const auto* ifs = dynamic_cast<const IfStmt*>(s.get())) {
+        if (const Expr* cond = early_out_condition(*ifs)) {
+          if (guard_out) {
+            guard_out->conjuncts.push_back(negated_conjunct(*cond, lets));
+          }
+          continue;
+        }
+      }
+      in_prefix = false;
+    }
+    rest.push_back(s.get());
+  }
+  if (lets_out) *lets_out = std::move(lets);
+  return rest;
+}
+
+/// Does every path through `stmt` end in `return true;`? (`reachable
+/// fallthrough` is failure.)
+bool returns_literal_true(const Stmt& stmt);
+
+/// Any return of something other than literal `true`, or any abort,
+/// anywhere inside (used to keep always_succeeds conservative for
+/// statements that may both exit and fall through, e.g. one-armed ifs).
+bool has_non_true_exit(const Stmt& stmt) {
+  if (const auto* ret = dynamic_cast<const ReturnStmt*>(&stmt)) {
+    if (!ret->value) return true;
+    const auto* lit = dynamic_cast<const LiteralExpr*>(ret->value.get());
+    return !(lit && lit->kind == LiteralExpr::Kind::Bool && lit->bool_value);
+  }
+  if (dynamic_cast<const AbortStmt*>(&stmt)) return true;
+  if (const auto* block = dynamic_cast<const BlockStmt*>(&stmt)) {
+    for (const StmtPtr& s : block->statements) {
+      if (has_non_true_exit(*s)) return true;
+    }
+    return false;
+  }
+  if (const auto* ifs = dynamic_cast<const IfStmt*>(&stmt)) {
+    if (has_non_true_exit(*ifs->then_branch)) return true;
+    return ifs->else_branch && has_non_true_exit(*ifs->else_branch);
+  }
+  if (const auto* fe = dynamic_cast<const ForeachStmt*>(&stmt)) {
+    return has_non_true_exit(*fe->body);
+  }
+  return false;
+}
+
+bool block_returns_literal_true(const std::vector<const Stmt*>& stmts) {
+  for (const Stmt* s : stmts) {
+    if (returns_literal_true(*s)) return true;  // rest unreachable
+    if (has_non_true_exit(*s)) return false;    // a failing path survives
+  }
+  return false;
+}
+
+bool returns_literal_true(const Stmt& stmt) {
+  if (const auto* ret = dynamic_cast<const ReturnStmt*>(&stmt)) {
+    if (!ret->value) return false;
+    const auto* lit = dynamic_cast<const LiteralExpr*>(ret->value.get());
+    return lit && lit->kind == LiteralExpr::Kind::Bool && lit->bool_value;
+  }
+  if (const auto* block = dynamic_cast<const BlockStmt*>(&stmt)) {
+    std::vector<const Stmt*> stmts;
+    stmts.reserve(block->statements.size());
+    for (const StmtPtr& s : block->statements) stmts.push_back(s.get());
+    return block_returns_literal_true(stmts);
+  }
+  if (const auto* ifs = dynamic_cast<const IfStmt*>(&stmt)) {
+    return ifs->else_branch != nullptr &&
+           returns_literal_true(*ifs->then_branch) &&
+           returns_literal_true(*ifs->else_branch);
+  }
+  return false;
+}
+
+bool implies(const GuardConjunct& s, const GuardConjunct& w) {
+  if (!s.text.empty() && s.text == w.text) return true;
+  if (s.subject.empty() || s.subject != w.subject) return false;
+  if (!s.numeric || !w.numeric) {
+    // Symbolic thresholds: same subject, same relation, same rhs text.
+    return s.rel == w.rel && s.rhs_text == w.rhs_text;
+  }
+  switch (s.rel) {
+    case Rel::Eq:
+      switch (w.rel) {
+        case Rel::Lt: return s.threshold < w.threshold;
+        case Rel::Le: return s.threshold <= w.threshold;
+        case Rel::Gt: return s.threshold > w.threshold;
+        case Rel::Ge: return s.threshold >= w.threshold;
+        case Rel::Eq: return s.threshold == w.threshold;
+        case Rel::Ne: return s.threshold != w.threshold;
+        case Rel::Opaque: return false;
+      }
+      return false;
+    case Rel::Lt:
+      if (w.rel == Rel::Lt || w.rel == Rel::Le)
+        return s.threshold <= w.threshold;
+      return false;
+    case Rel::Le:
+      if (w.rel == Rel::Lt) return s.threshold < w.threshold;
+      if (w.rel == Rel::Le) return s.threshold <= w.threshold;
+      return false;
+    case Rel::Gt:
+      if (w.rel == Rel::Gt || w.rel == Rel::Ge)
+        return s.threshold >= w.threshold;
+      return false;
+    case Rel::Ge:
+      if (w.rel == Rel::Gt) return s.threshold > w.threshold;
+      if (w.rel == Rel::Ge) return s.threshold >= w.threshold;
+      return false;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+TacticGuard extract_guard(const TacticDecl& tactic) {
+  TacticGuard guard;
+  post_guard_statements(tactic, nullptr, &guard);
+  return guard;
+}
+
+bool always_succeeds(const TacticDecl& tactic) {
+  TacticGuard guard;
+  const std::vector<const Stmt*> rest =
+      post_guard_statements(tactic, nullptr, &guard);
+  if (rest.empty()) return false;  // falls off the end -> nil, not success
+  return block_returns_literal_true(rest);
+}
+
+bool guard_implies(const TacticGuard& stronger, const TacticGuard& weaker) {
+  for (const GuardConjunct& w : weaker.conjuncts) {
+    bool matched = false;
+    for (const GuardConjunct& s : stronger.conjuncts) {
+      if (implies(s, w)) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+std::vector<FirstSuccessArm> first_success_arms(const StrategyDecl& strategy) {
+  std::vector<FirstSuccessArm> arms;
+  // The chain is the sole top-level IfStmt of the body.
+  const IfStmt* chain = nullptr;
+  for (const StmtPtr& s : strategy.body->statements) {
+    if (const auto* ifs = dynamic_cast<const IfStmt*>(s.get())) {
+      if (chain) return {};  // two chains: not the FirstSuccess shape
+      chain = ifs;
+    }
+  }
+  while (chain) {
+    FirstSuccessArm arm;
+    arm.line = chain->condition->line;
+    arm.column = chain->condition->column;
+    if (const auto* call =
+            dynamic_cast<const CallExpr*>(chain->condition.get())) {
+      if (const auto* callee =
+              dynamic_cast<const NameExpr*>(call->callee.get())) {
+        arm.tactic = callee->name;
+      }
+    }
+    arms.push_back(arm);
+    const Stmt* next = chain->else_branch.get();
+    if (!next) break;
+    if (const auto* block = dynamic_cast<const BlockStmt*>(next)) {
+      if (block->statements.size() == 1) next = block->statements.front().get();
+    }
+    chain = dynamic_cast<const IfStmt*>(next);
+  }
+  return arms;
+}
+
+namespace {
+
+bool concludes(const Stmt& stmt) {
+  if (dynamic_cast<const CommitStmt*>(&stmt)) return true;
+  if (dynamic_cast<const AbortStmt*>(&stmt)) return true;
+  if (const auto* block = dynamic_cast<const BlockStmt*>(&stmt)) {
+    for (const StmtPtr& s : block->statements) {
+      if (concludes(*s)) return true;  // later statements unreachable
+    }
+    return false;
+  }
+  if (const auto* ifs = dynamic_cast<const IfStmt*>(&stmt)) {
+    return ifs->else_branch != nullptr && concludes(*ifs->then_branch) &&
+           concludes(*ifs->else_branch);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool strategy_always_concludes(const StrategyDecl& strategy) {
+  return concludes(*strategy.body);
+}
+
+}  // namespace arcadia::acme

@@ -1,0 +1,73 @@
+// Control-flow summaries over repair-script bodies.
+//
+// Tactics are small imperative programs; strategies are FirstSuccess
+// chains of `if (tactic(...)) { ... commit repair; } else if ...`. This
+// module extracts just enough flow structure for the semantic analysis:
+//   - tactic guards: the condition under which the body proceeds past its
+//     leading `if (g) { return false; }` early-outs (normalized for
+//     implication tests);
+//   - always_succeeds: every path that survives the guards returns a
+//     literal `true` (so a later FirstSuccess sibling is unreachable when
+//     its guard is implied);
+//   - strategy termination: every path through a strategy body ends in
+//     `commit repair;` or `abort R;`.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "acme/ast.hpp"
+#include "acme/effects.hpp"
+
+namespace arcadia::acme {
+
+/// One conjunct of a tactic's pass-guard, normalized when it has the shape
+/// `subject REL threshold`. Non-relational conjuncts keep only the
+/// rendered text (comparison falls back to textual equality).
+struct GuardConjunct {
+  enum class Rel { Lt, Le, Gt, Ge, Eq, Ne, Opaque } rel = Rel::Opaque;
+  std::string subject;      ///< canonical rendering of the lhs
+  double threshold = 0.0;   ///< numeric rhs (valid unless Opaque/symbolic)
+  bool numeric = false;     ///< rhs was a number literal
+  std::string rhs_text;     ///< canonical rendering of the rhs
+  std::string text;         ///< canonical rendering of the whole conjunct
+};
+
+/// The conditions under which a tactic's body *proceeds* (conjunction).
+/// Leading `if (g) { return false; }` statements contribute ¬g.
+struct TacticGuard {
+  std::vector<GuardConjunct> conjuncts;
+};
+
+/// Extract the pass-guard of a tactic: the negations of its leading
+/// early-out conditions. `let` bindings before/between the early-outs are
+/// inlined by substitution so guards stay comparable across tactics.
+TacticGuard extract_guard(const TacticDecl& tactic);
+
+/// True when every path through the tactic body that survives the leading
+/// early-outs ends in `return true;` (a literal) — i.e. whenever the guard
+/// holds, the tactic reports success.
+bool always_succeeds(const TacticDecl& tactic);
+
+/// True when `weaker` holds whenever `stronger` holds (conjunct-wise:
+/// every conjunct of `weaker` is implied by some conjunct of `stronger`).
+/// Conservative — false when implication cannot be established.
+bool guard_implies(const TacticGuard& stronger, const TacticGuard& weaker);
+
+/// One arm of a strategy's FirstSuccess chain:
+/// `if (tactic(args)) { ... } else if ...`.
+struct FirstSuccessArm {
+  std::string tactic;  ///< callee tactic name ("" if not a plain call)
+  int line = 0;
+  int column = 0;
+};
+
+/// Extract the FirstSuccess arms of a strategy body (empty when the body
+/// does not have the chain shape).
+std::vector<FirstSuccessArm> first_success_arms(const StrategyDecl& strategy);
+
+/// True when every path through the strategy body ends in commit or abort.
+bool strategy_always_concludes(const StrategyDecl& strategy);
+
+}  // namespace arcadia::acme

@@ -72,6 +72,7 @@ StrategyOutcome Interpreter::run_strategy(const std::string& name,
   StrategyOutcome outcome;
   txn_ = &txn;
   trace_ = &outcome.tactics_run;
+  spans_ = &outcome.spans;
   EvalContext root = make_root_context();
   EvalContext scope = root.child();
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -94,10 +95,12 @@ StrategyOutcome Interpreter::run_strategy(const std::string& name,
   } catch (...) {
     txn_ = nullptr;
     trace_ = nullptr;
+    spans_ = nullptr;
     throw;
   }
   txn_ = nullptr;
   trace_ = nullptr;
+  spans_ = nullptr;
   return outcome;
 }
 
@@ -121,7 +124,7 @@ bool Interpreter::run_tactic(const std::string& name,
 
 EvalValue Interpreter::call_tactic(
     const TacticDecl& tactic, std::vector<EvalValue>& args,
-    model::Transaction& /*txn*/,
+    model::Transaction& txn,
     std::vector<std::pair<std::string, bool>>* trace) {
   if (tactic.params.size() != args.size()) {
     throw ScriptError("tactic '" + tactic.name + "' expects " +
@@ -133,6 +136,7 @@ EvalValue Interpreter::call_tactic(
   for (std::size_t i = 0; i < args.size(); ++i) {
     scope.bind(tactic.params[i].name, args[i]);
   }
+  const std::size_t ops_begin = txn.op_count();
   EvalValue result;
   try {
     exec_block(*tactic.body, scope);
@@ -140,8 +144,13 @@ EvalValue Interpreter::call_tactic(
   } catch (const ReturnSignal& ret) {
     result = ret.value;
   }
+  const bool succeeded = result.is_bool() && result.as_bool();
   if (trace) {
-    trace->emplace_back(tactic.name, result.is_bool() && result.as_bool());
+    trace->emplace_back(tactic.name, succeeded);
+  }
+  if (spans_ && trace) {
+    spans_->push_back(
+        TacticSpan{tactic.name, succeeded, ops_begin, txn.op_count()});
   }
   ARC_DEBUG << "tactic " << tactic.name << " -> " << result.to_string();
   return result;

@@ -23,6 +23,17 @@ using OperatorFn = std::function<EvalValue(
     const ElementRef& target, std::vector<EvalValue>& args,
     model::Transaction& txn)>;
 
+/// The half-open journal window [ops_begin, ops_end) a tactic's execution
+/// covered in the strategy's transaction. The static-analysis soundness
+/// oracle checks every OpRecord in the window against the tactic's
+/// inferred write set (acme/analysis.hpp).
+struct TacticSpan {
+  std::string name;
+  bool succeeded = false;
+  std::size_t ops_begin = 0;
+  std::size_t ops_end = 0;
+};
+
 /// Result of running a strategy.
 struct StrategyOutcome {
   bool committed = false;
@@ -30,6 +41,9 @@ struct StrategyOutcome {
   std::string abort_reason;
   /// Tactics that executed (in order) and whether each returned true.
   std::vector<std::pair<std::string, bool>> tactics_run;
+  /// Journal spans for the same executions (parallel to tactics_run;
+  /// nested tactic calls appear in completion order, innermost first).
+  std::vector<TacticSpan> spans;
 };
 
 class Interpreter {
@@ -85,6 +99,7 @@ class Interpreter {
   // Per-run state (valid while run_strategy is on the stack).
   model::Transaction* txn_ = nullptr;
   std::vector<std::pair<std::string, bool>>* trace_ = nullptr;
+  std::vector<TacticSpan>* spans_ = nullptr;
   MethodFn method_bridge_;
 };
 

@@ -132,6 +132,7 @@ StmtPtr parse_statement(TokenStream& ts) {
 InvariantDecl parse_invariant(TokenStream& ts) {
   InvariantDecl inv;
   inv.line = ts.peek().line;
+  inv.column = ts.peek().column;
   ts.expect_keyword("invariant", "");
   // Optional "name :" prefix — the bound violation variable.
   if (ts.at(TokenKind::Identifier) && ts.peek(1).is(TokenKind::Colon)) {
@@ -169,6 +170,7 @@ Script parse_script(const std::string& source) {
       ts.take();
       StrategyDecl s;
       s.line = t.line;
+      s.column = t.column;
       s.name = ts.expect_identifier("as strategy name");
       s.params = parse_params(ts);
       ts.expect(TokenKind::Assign, "before strategy body");
@@ -180,6 +182,7 @@ Script parse_script(const std::string& source) {
       ts.take();
       TacticDecl d;
       d.line = t.line;
+      d.column = t.column;
       d.name = ts.expect_identifier("as tactic name");
       d.params = parse_params(ts);
       if (ts.accept(TokenKind::Colon)) {

@@ -1,6 +1,7 @@
 #include "core/framework.hpp"
 
 #include "acme/checker.hpp"
+#include "core/verify.hpp"
 #include "fault/fault_plane.hpp"
 #include "fault/faulty_bus.hpp"
 #include "fault/faulty_translator.hpp"
@@ -237,6 +238,23 @@ void Framework::start() {
   ARC_INFO << "framework: started (" << gauge_manager_->gauge_count()
            << " gauges deploying, script="
            << (config_.use_script ? "interpreted" : "native") << ")";
+
+  // Semantic verification over the assembled deployment: script effect/flow
+  // rules plus the cross-artifact checks (constraints vs gauge feeds,
+  // operator costs). Gauges are registered synchronously by deploy_gauges(),
+  // so the view is complete even though their creation cost is still
+  // in flight.
+  if (config_.verify != VerifyMode::Off) {
+    std::size_t errors = 0;
+    for (const acme::analysis::AnalysisIssue& issue : verify_framework(*this)) {
+      if (issue.severity == acme::Severity::Error) ++errors;
+      ARC_WARN << "arcverify: " << issue.to_string();
+    }
+    if (config_.verify == VerifyMode::Error && errors > 0) {
+      throw Error("arcverify: deployment failed verification (" +
+                  std::to_string(errors) + " error(s); see log)");
+    }
+  }
 }
 
 }  // namespace arcadia::core

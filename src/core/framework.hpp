@@ -30,6 +30,13 @@ class FaultyTranslator;
 
 namespace arcadia::core {
 
+/// Startup semantic verification (core/verify.hpp) behavior.
+enum class VerifyMode {
+  Off,   ///< skip verification entirely
+  Warn,  ///< log every issue, never fail (the default)
+  Error, ///< log every issue; throw if any has error severity
+};
+
 struct FrameworkConfig {
   task::PerformanceProfile profile;
 
@@ -95,6 +102,10 @@ struct FrameworkConfig {
 
   rt::EnvironmentCosts env_costs;
   repair::StyleConventions conventions;
+
+  /// Run arcverify's semantic checks (script effect/flow analysis +
+  /// cross-artifact deployment verification) at the end of start().
+  VerifyMode verify = VerifyMode::Warn;
 };
 
 /// The framework's pluggable assembly points. A null member selects the

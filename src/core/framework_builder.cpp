@@ -36,6 +36,11 @@ FrameworkBuilder& FrameworkBuilder::with_policy(std::string policy_name) {
   return *this;
 }
 
+FrameworkBuilder& FrameworkBuilder::with_verification(VerifyMode mode) {
+  config_.verify = mode;
+  return *this;
+}
+
 FrameworkBuilder& FrameworkBuilder::with_remos(
     FrameworkParts::RemosFactory factory) {
   parts_.remos = std::move(factory);

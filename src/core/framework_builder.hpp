@@ -39,6 +39,10 @@ class FrameworkBuilder {
   /// Violation policy by registry name ("first-reported", "worst-first",
   /// or a user-registered one).
   FrameworkBuilder& with_policy(std::string policy_name);
+  /// Startup semantic verification behavior (arcverify's in-process hook):
+  /// Off, Warn (default — log issues), or Error (fail start() on any
+  /// error-severity issue).
+  FrameworkBuilder& with_verification(VerifyMode mode);
 
   // -- part substitution (null restores the default wiring) --
   FrameworkBuilder& with_remos(FrameworkParts::RemosFactory factory);

@@ -1,6 +1,7 @@
 #include "core/report.hpp"
 
 #include <iomanip>
+#include <optional>
 
 namespace arcadia::core {
 
@@ -26,7 +27,8 @@ void print_series_table(std::ostream& out,
   for (SimTime t = SimTime::zero();; t += bucket) {
     bool any = false;
     for (const TimeSeries& s : resampled) {
-      if (!s.empty() && t <= *s.last_time()) {
+      const std::optional<SimTime> last = s.last_time();
+      if (last && t <= *last) {
         any = true;
         break;
       }

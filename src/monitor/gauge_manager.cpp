@@ -202,6 +202,15 @@ std::vector<std::string> GaugeManager::all_elements() const {
   return out;
 }
 
+std::vector<GaugeSpec> GaugeManager::specs() const {
+  std::vector<GaugeSpec> out;
+  out.reserve(gauges_.size());
+  for (const auto& entry : gauges_) {
+    out.push_back(entry.value.gauge->spec());
+  }
+  return out;
+}
+
 bool GaugeManager::is_live(const std::string& gauge_id) const {
   return is_live(util::Symbol::intern(gauge_id));
 }

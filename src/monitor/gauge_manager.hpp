@@ -118,6 +118,9 @@ class GaugeManager {
   std::vector<std::string> gauges_for(const std::string& element) const;
   /// Distinct element names that have at least one gauge.
   std::vector<std::string> all_elements() const;
+  /// Specs of every managed gauge, in deterministic (id-sorted) order —
+  /// the element/property mappings arcverify checks constraints against.
+  std::vector<GaugeSpec> specs() const;
   std::size_t gauge_count() const { return gauges_.size(); }
   const GaugeManagerStats& stats() const { return stats_; }
   const GaugeManagerConfig& config() const { return config_; }

@@ -107,7 +107,7 @@ bool RepairEngine::handle_violations(const std::vector<Violation>& violations) {
     // are positive threshold readings (Violation.observed is 0 for
     // non-threshold constraints, and an idle-group utilization reads 0 —
     // either would let every candidate "win" and defeat the thrash bound).
-    if (active_->observed <= 0.0 ||
+    if (!active_ || active_->observed <= 0.0 ||
         !(chosen.observed > active_->observed * config_.preempt_factor)) {
       return false;
     }
@@ -178,6 +178,8 @@ void RepairEngine::execute(const Violation& violation) {
     std::vector<model::OpRecord> op_records = txn.records();
     txn.commit();
     record.committed = true;
+    record.tactic_spans = outcome.spans;
+    record.journal = op_records;
     summarize_ops(op_records, record);
     std::size_t idx = records_.size();
     busy_ = true;
@@ -188,7 +190,7 @@ void RepairEngine::execute(const Violation& violation) {
       // after the decision + query charge.
       AdaptationPlan plan =
           build_plan(op_records, config_.conventions, translator_, gauges_);
-      const PlanOptimizerStats opt = optimize_plan(plan);
+      const PlanOptimizerStats opt = optimize_plan(plan, &effect_table_);
       stats_.plan_steps_merged += opt.moves_merged + opt.gauges_batched;
       record.plan_steps = static_cast<int>(plan.steps.size());
       record.plan_steps_merged =
@@ -294,6 +296,7 @@ void RepairEngine::note_fault_stats(RepairRecord& record) {
 }
 
 void RepairEngine::finish_plan(std::size_t idx) {
+  if (!active_) return;  // preempted between the executor's done and here
   RepairRecord& record = records_[idx];
   record.op_cost = executor_.runtime_cost();
   record.gauge_cost = executor_.gauge_wall();
@@ -335,6 +338,7 @@ void RepairEngine::abort_in_flight(std::size_t idx, const std::string& reason,
 void RepairEngine::fail_plan(std::size_t idx, std::size_t step,
                              const std::string& reason,
                              SimTime compensation_cost) {
+  if (!active_) return;  // preempted between the executor's failure and here
   // The runtime rejected a step (paper Section 7: "if the server load is
   // too high and there are no available servers ... it may be necessary to
   // alert a human observer"). The executor already compensated the enacted
@@ -352,6 +356,7 @@ void RepairEngine::fail_plan(std::size_t idx, std::size_t step,
 }
 
 void RepairEngine::preempt_active(const std::string& reason) {
+  if (!active_) return;
   const std::size_t idx = active_->idx;
   PlanExecutor::AbortResult aborted;
   if (executor_.active()) {

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "acme/effects.hpp"
 #include "acme/interpreter.hpp"
 #include "acme/script.hpp"
 #include "events/bus.hpp"
@@ -119,6 +120,13 @@ struct RepairRecord {
   bool preempted = false;
   std::string abort_reason;
   std::vector<std::pair<std::string, bool>> tactics;
+  /// Per-tactic journal windows (committed repairs only): which slice of
+  /// `journal` each executed tactic produced. Feeds the static-analysis
+  /// soundness oracle (every op must fall inside its tactic's inferred
+  /// write set).
+  std::vector<acme::TacticSpan> tactic_spans;
+  /// The committed op records, in journal order (empty for aborts).
+  std::vector<model::OpRecord> journal;
   std::vector<std::string> ops;
   SimTime decision_cost;
   SimTime query_cost;
@@ -261,6 +269,8 @@ class RepairEngine {
   monitor::GaugeManager* gauges_;
   RepairEngineConfig config_;
   acme::Interpreter interpreter_;
+  /// Static operator footprints for the plan optimizer's effect-deps pass.
+  acme::EffectTable effect_table_ = acme::make_client_server_effects();
   std::map<std::string, CxxStrategy> native_;
   std::function<std::size_t(const std::vector<const Violation*>&)> chooser_;
   events::EventBus* bus_ = nullptr;

@@ -128,10 +128,107 @@ std::uint64_t pass_batch_gauges(AdaptationPlan& plan) {
   return folded;
 }
 
+/// Operator name behind a runtime step's OpClass (the effect table is
+/// keyed by style-operator name).
+const char* step_operator(const PlanStep& step) {
+  switch (step.op_class) {
+    case PlanStep::OpClass::Move: return "move";
+    case PlanStep::OpClass::Recruit: return "addServer";
+    case PlanStep::OpClass::Release: return "removeServer";
+    case PlanStep::OpClass::Replay: return "";
+  }
+  return "";
+}
+
+/// Server groups whose observed properties a runtime step influences: the
+/// scope group of a recruit/release, and both the source and target group
+/// of a move (load shifts off one onto the other).
+std::set<std::string> step_groups(PlanStep& step) {
+  std::set<std::string> groups;
+  if (step.op_class == PlanStep::OpClass::Move) {
+    if (const model::OpRecord* bound = bound_to_record(step)) {
+      if (bound->value.is_string()) groups.insert(bound->value.as_string());
+      if (bound->had_prev && bound->prev_value.is_string()) {
+        groups.insert(bound->prev_value.as_string());
+      }
+    }
+    return groups;
+  }
+  if (step.effective_record != PlanStep::kNoEffective &&
+      step.effective_record < step.records.size()) {
+    const model::OpRecord& op = step.records[step.effective_record];
+    if (!op.scope.empty()) groups.insert(op.scope.back());
+  }
+  return groups;
+}
+
+bool reaches(const AdaptationPlan& plan, std::size_t from, std::size_t to) {
+  // deps point strictly downward, so walk them depth-first from `from`.
+  std::vector<std::size_t> stack{from};
+  std::set<std::size_t> seen;
+  while (!stack.empty()) {
+    const std::size_t cur = stack.back();
+    stack.pop_back();
+    if (cur == to) return true;
+    if (!seen.insert(cur).second) continue;
+    for (std::size_t d : plan.steps[cur].deps) {
+      if (d >= to) stack.push_back(d);
+    }
+  }
+  return false;
+}
+
+std::uint64_t pass_effect_deps(AdaptationPlan& plan,
+                               const acme::EffectTable& table) {
+  struct StepFx {
+    std::set<std::string> groups;
+    const acme::OperatorEffect* effect = nullptr;
+  };
+  std::vector<StepFx> fx(plan.steps.size());
+  for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+    PlanStep& step = plan.steps[i];
+    if (step.kind != PlanStep::Kind::RuntimeOps) continue;
+    const char* op = step_operator(step);
+    if (*op == '\0') continue;
+    fx[i].effect = table.find(op);
+    if (fx[i].effect) fx[i].groups = step_groups(step);
+  }
+  std::uint64_t added = 0;
+  for (std::size_t j = 1; j < plan.steps.size(); ++j) {
+    if (!fx[j].effect) continue;
+    for (std::size_t i = 0; i < j; ++i) {
+      if (!fx[i].effect) continue;
+      bool shared_group = false;
+      for (const std::string& g : fx[j].groups) {
+        if (fx[i].groups.count(g) != 0) {
+          shared_group = true;
+          break;
+        }
+      }
+      if (!shared_group) continue;
+      bool shared_influence = false;
+      for (const auto& [prop, dir] : fx[j].effect->influences) {
+        (void)dir;
+        if (fx[i].effect->influences.count(prop) != 0) {
+          shared_influence = true;
+          break;
+        }
+      }
+      if (!shared_influence) continue;
+      if (reaches(plan, j, i)) continue;  // already ordered
+      plan.steps[j].deps.push_back(i);
+      ++added;
+    }
+  }
+  return added;
+}
+
 }  // namespace
 
-PlanOptimizerStats optimize_plan(AdaptationPlan& plan) {
+PlanOptimizerStats optimize_plan(AdaptationPlan& plan,
+                                 const acme::EffectTable* effects) {
   PlanOptimizerStats stats;
+  if (effects) stats.effect_edges = pass_effect_deps(plan, *effects);
   stats.moves_merged = pass_merge_moves(plan);
   stats.gauges_batched = pass_batch_gauges(plan);
   return stats;

@@ -14,6 +14,14 @@
 //                       slowest element instead of the sum. This is the
 //                       pass that attacks the paper's "~30 s, dominated by
 //                       gauge create/delete" repair time.
+//   0. effect-deps    — (runs first, when an effect table is supplied)
+//                       adds ordering edges between runtime steps whose
+//                       statically inferred operator influences collide on
+//                       the same server group (e.g. two load-shedding
+//                       moves into one group), even when the lift-time
+//                       element-overlap wiring left them independent. A
+//                       second, semantic source of dependency edges from
+//                       acme's effect inference.
 //
 // Dependency edges through dropped steps are rewired transitively, so the
 // optimized plan keeps exactly the ordering guarantees of the original.
@@ -21,6 +29,7 @@
 
 #include <cstdint>
 
+#include "acme/effects.hpp"
 #include "repair/plan.hpp"
 
 namespace arcadia::repair {
@@ -28,10 +37,17 @@ namespace arcadia::repair {
 struct PlanOptimizerStats {
   std::uint64_t moves_merged = 0;    ///< superseded move steps dropped
   std::uint64_t gauges_batched = 0;  ///< gauge steps folded into batches
+  std::uint64_t effect_edges = 0;    ///< ordering edges from effect overlap
 };
 
 /// Run all passes in place. Deterministic: a given plan always optimizes to
 /// the same result (the fleet determinism contract depends on this).
-PlanOptimizerStats optimize_plan(AdaptationPlan& plan);
+/// `effects` enables the effect-deps pass; pass nullptr to skip it.
+PlanOptimizerStats optimize_plan(AdaptationPlan& plan,
+                                 const acme::EffectTable* effects);
+
+inline PlanOptimizerStats optimize_plan(AdaptationPlan& plan) {
+  return optimize_plan(plan, nullptr);
+}
 
 }  // namespace arcadia::repair

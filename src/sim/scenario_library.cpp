@@ -304,6 +304,10 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
         "2% duplication, 5% delayed 1-5 s, channel disconnect windows, "
         "and 10% transient runtime-op failures (retried with backoff)";
     spec.defaults.horizon = SimTime::seconds(900);
+    // Stress runs from the struct default (600 s) to the shortened
+    // horizon; without this the inherited stress_end (1200 s) dangles
+    // past the run (arcverify: scenario-config).
+    spec.defaults.stress_end = SimTime::seconds(900);
     spec.defaults.fault.enabled = true;
     spec.defaults.fault.monitoring.report_loss = 0.10;
     spec.defaults.fault.monitoring.report_dup = 0.02;

@@ -26,10 +26,12 @@ bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
   return std::find(hit.begin(), hit.end(), rule) != hit.end();
 }
 
-TEST(ArclintTest, ListsAllFiveRules) {
-  EXPECT_EQ(arclint::rule_ids().size(), 5u);
+TEST(ArclintTest, ListsAllSixRules) {
+  EXPECT_EQ(arclint::rule_ids().size(), 6u);
   EXPECT_TRUE(std::find(arclint::rule_ids().begin(), arclint::rule_ids().end(),
                         "entropy") != arclint::rule_ids().end());
+  EXPECT_TRUE(std::find(arclint::rule_ids().begin(), arclint::rule_ids().end(),
+                        "tools-parity") != arclint::rule_ids().end());
 }
 
 // ---- unordered-container -------------------------------------------------
@@ -193,6 +195,47 @@ TEST(ArclintTest, ExemptionForOneRuleDoesNotSilenceAnother) {
   const std::string src =
       "std::mutex mu;  // arclint: allow(wall-clock): wrong rule named\n";
   EXPECT_TRUE(has_rule(lint_source("src/sim/foo.cpp", src), "raw-mutex"));
+}
+
+// ---- tools-parity --------------------------------------------------------
+
+TEST(ArclintTest, ToolsParityPassesWhenToolIsWiredEverywhere) {
+  const std::string cmake =
+      "add_test(NAME arclint_tree COMMAND arclint ${CMAKE_CURRENT_SOURCE_DIR})\n"
+      "add_test(NAME arcverify_gate COMMAND arcverify)\n";
+  const std::string ci =
+      "      - name: Run arclint over the tree\n"
+      "        run: ./build/tools/arclint/arclint .\n"
+      "      - name: Run arcverify\n"
+      "        run: ./build/tools/arcverify/arcverify\n";
+  EXPECT_TRUE(
+      arclint::check_tools_parity({"arclint", "arcverify"}, cmake, ci).empty());
+}
+
+TEST(ArclintTest, ToolsParityFlagsMissingCtestRegistration) {
+  const std::string cmake = "add_executable(newtool main.cpp)\n";
+  const std::string ci = "        run: ./build/tools/newtool/newtool .\n";
+  const auto findings = arclint::check_tools_parity({"newtool"}, cmake, ci);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "tools-parity");
+  EXPECT_EQ(findings[0].path, "CMakeLists.txt");
+}
+
+TEST(ArclintTest, ToolsParityFlagsMissingCiStep) {
+  const std::string cmake = "add_test(NAME newtool_gate COMMAND newtool)\n";
+  const std::string ci = "jobs:\n  build-and-test:\n";
+  const auto findings = arclint::check_tools_parity({"newtool"}, cmake, ci);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "tools-parity");
+  EXPECT_EQ(findings[0].path, ".github/workflows/ci.yml");
+}
+
+TEST(ArclintTest, ToolsParityMatchesWholeWordsOnly) {
+  // "arc" is a prefix of both tool names; a prefix mention is not wiring.
+  const std::string cmake = "add_test(NAME gate COMMAND arclinter)\n";
+  const std::string ci = "        run: ./build/arclinter .\n";
+  const auto findings = arclint::check_tools_parity({"arclint"}, cmake, ci);
+  EXPECT_EQ(findings.size(), 2u);
 }
 
 // ---- stripping machinery -------------------------------------------------

@@ -220,9 +220,48 @@ std::string strip_comments_and_strings(std::string_view source) {
 
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> ids = {
-      "unordered-container", "wall-clock", "raw-mutex",
-      "hotpath-std-function", "entropy"};
+      "unordered-container", "wall-clock",   "raw-mutex",
+      "hotpath-std-function", "entropy",     "tools-parity"};
   return ids;
+}
+
+std::vector<Finding> check_tools_parity(
+    const std::vector<std::string>& tool_names, std::string_view cmake_text,
+    std::string_view ci_text) {
+  std::vector<Finding> findings;
+  for (const std::string& tool : tool_names) {
+    // ctest registration: some add_test(...) argument list names the tool
+    // (as the command or an argument — either way ctest runs it).
+    bool has_test = false;
+    std::size_t pos = 0;
+    while ((pos = cmake_text.find("add_test", pos)) !=
+           std::string_view::npos) {
+      const std::size_t open = cmake_text.find('(', pos);
+      if (open == std::string_view::npos) break;
+      const std::size_t close = cmake_text.find(')', open);
+      if (close == std::string_view::npos) break;
+      if (contains_word(cmake_text.substr(open, close - open), tool)) {
+        has_test = true;
+        break;
+      }
+      pos = close;
+    }
+    if (!has_test) {
+      findings.push_back(Finding{
+          "CMakeLists.txt", 0, "tools-parity",
+          "tool '" + tool +
+              "' is not registered with ctest; add an add_test gate so the "
+              "suite runs what CI runs"});
+    }
+    if (!contains_word(ci_text, tool)) {
+      findings.push_back(Finding{
+          ".github/workflows/ci.yml", 0, "tools-parity",
+          "tool '" + tool +
+              "' has no CI step; a tool the workflow never runs is a gate "
+              "nobody trusts"});
+    }
+  }
+  return findings;
 }
 
 std::vector<Finding> lint_source(std::string_view path,

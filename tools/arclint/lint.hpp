@@ -23,6 +23,12 @@
 //   hotpath-std-function  In files carrying a `// arclint: hotpath` marker,
 //                         no std::function (heap-owning type erasure) —
 //                         util::SmallFn or templates only.
+//   tools-parity          Every tools/* binary must be wired into both the
+//                         ctest suite (an add_test in the root
+//                         CMakeLists.txt) and the CI workflow — a tool
+//                         nobody runs is a gate nobody trusts. Project-
+//                         level: checked once over CMakeLists.txt and
+//                         .github/workflows/ci.yml, not per source file.
 //
 // Exemptions are explicit and carry a justification in the source:
 //   // arclint: allow(<rule>): <reason>        exempts that line
@@ -56,6 +62,14 @@ std::string strip_comments_and_strings(std::string_view source);
 /// from it. Returns findings in line order.
 std::vector<Finding> lint_source(std::string_view path,
                                  std::string_view source);
+
+/// Project-level "tools-parity" rule: for each tool name, the root
+/// CMakeLists text must contain an add_test(...) invocation naming it and
+/// the CI workflow text must mention it as a whole word. Findings point at
+/// the file missing the wiring, with line 0 (file-level).
+std::vector<Finding> check_tools_parity(
+    const std::vector<std::string>& tool_names, std::string_view cmake_text,
+    std::string_view ci_text);
 
 /// All rule ids, for --list-rules and the self-test.
 const std::vector<std::string>& rule_ids();

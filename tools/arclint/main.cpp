@@ -1,4 +1,5 @@
-// arclint driver: walk the repo's src/ tree, lint every C++ source, print
+// arclint driver: walk the repo's src/ tree, lint every C++ source, check
+// tools-parity (every tools/* binary wired into ctest and CI), print
 // findings compiler-style, exit nonzero when any rule fires. Run by ctest
 // (`arclint_tree`) and the static-analysis CI lane.
 //
@@ -70,6 +71,28 @@ int main(int argc, char** argv) {
     std::vector<arclint::Finding> found = arclint::lint_source(rel, content);
     all.insert(all.end(), found.begin(), found.end());
     ++checked;
+  }
+
+  // tools-parity: every tool directory under tools/ must be wired into the
+  // ctest suite and the CI workflow. Lexical over the two wiring files.
+  {
+    std::vector<std::string> tool_names;
+    const fs::path tools = root / "tools";
+    if (fs::is_directory(tools)) {
+      for (const auto& entry : fs::directory_iterator(tools)) {
+        if (entry.is_directory() &&
+            fs::exists(entry.path() / "CMakeLists.txt")) {
+          tool_names.push_back(entry.path().filename().string());
+        }
+      }
+    }
+    std::sort(tool_names.begin(), tool_names.end());
+    const std::string cmake_text = read_file(root / "CMakeLists.txt");
+    const std::string ci_text =
+        read_file(root / ".github" / "workflows" / "ci.yml");
+    std::vector<arclint::Finding> parity =
+        arclint::check_tools_parity(tool_names, cmake_text, ci_text);
+    all.insert(all.end(), parity.begin(), parity.end());
   }
 
   for (const arclint::Finding& f : all) {
