@@ -186,6 +186,12 @@ ArchitectureManager::GaugeApply ArchitectureManager::apply_gauge_value(
     return GaugeApply::Unchanged;
   }
   target->set_property(property, value);
+  if (journal_sink_ != nullptr) {
+    // Only Applied folds reach the journal: dead-banded repeats change
+    // nothing, so replay reconstructs the model exactly from this stream.
+    journal_sink_->on_gauge_applied(journal_shard_, sim_.now(), element, role,
+                                    property, value);
+  }
   return GaugeApply::Applied;
 }
 

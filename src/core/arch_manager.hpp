@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "durability/sink.hpp"
 #include "events/bus.hpp"
 #include "model/system.hpp"
 #include "repair/constraint.hpp"
@@ -65,6 +66,13 @@ class ArchitectureManager {
 
   repair::ConstraintChecker& checker() { return checker_; }
   const ArchManagerStats& stats() const { return stats_; }
+
+  /// Optional write-ahead journal sink: every Applied gauge fold is
+  /// reported (batched by the durability plane). Null = durability off.
+  void set_journal_sink(durability::JournalSink* sink, std::uint32_t shard) {
+    journal_sink_ = sink;
+    journal_shard_ = shard;
+  }
 
   /// Subscribe to the gauge bus and arm periodic constraint checking.
   void start();
@@ -141,6 +149,8 @@ class ArchitectureManager {
   repair::RepairEngine& engine_;
   ArchManagerConfig config_;
   repair::ConstraintChecker checker_;
+  durability::JournalSink* journal_sink_ = nullptr;
+  std::uint32_t journal_shard_ = 0;
   events::SubscriptionId sub_ = 0;
   events::SubscriptionId lifecycle_sub_ = 0;
   std::unique_ptr<sim::PeriodicTask> check_task_;

@@ -196,6 +196,10 @@ ExperimentResult run_experiment(const ExperimentOptions& options) {
     result.verdict_holds =
         framework->manager().checker().check_stats().holds;
     if (framework->fault_plane()) {
+      // Close disconnect windows still open at the horizon first, or the
+      // channels_disconnected gauge would report them as stuck-down forever
+      // (the teardown leak this finalize exists to stop).
+      framework->fault_plane()->finalize(sim.now());
       result.fault_stats = framework->fault_plane()->stats();
     }
     // Lockstep is only assessable at plan boundaries: while a plan is in

@@ -17,6 +17,12 @@ Fleet::Fleet(sim::Simulator& sim, FleetOptions options)
 
   FrameworkConfig fw = options_.framework;
   fw.fleet_managed = options_.coordinated;
+  // The fleet's journal is shared; tenants must not each own a plane.
+  fw.durability = durability::Options{};
+
+  if (options_.durability.enabled()) {
+    plane_ = std::make_unique<durability::DurabilityPlane>(options_.durability);
+  }
 
   if (options_.coordinated) {
     // One source of truth for the check cadence: the framework-level knobs
@@ -48,6 +54,10 @@ Fleet::Fleet(sim::Simulator& sim, FleetOptions options)
     }
     tenant->framework =
         std::make_unique<Framework>(sim_, tenant->testbed, tenant_fw);
+    if (plane_) {
+      tenant->framework->attach_durability(plane_.get(),
+                                           static_cast<std::uint32_t>(k));
+    }
     if (manager_) {
       manager_->add_shard(tenant->name, tenant->framework->manager(),
                           tenant->framework->gauge_bus(),
@@ -59,9 +69,26 @@ Fleet::Fleet(sim::Simulator& sim, FleetOptions options)
 
 Fleet::~Fleet() {
   // The fleet manager holds subscriptions into tenant gauge buses; drop it
-  // before the tenants it points into.
+  // before the tenants it points into. The shared durability plane outlives
+  // the tenants (declaration order) so their teardown can still journal.
+  snapshot_task_.reset();
   manager_.reset();
   tenants_.clear();
+}
+
+std::vector<durability::ShardSnapshot> Fleet::capture_snapshot() const {
+  std::vector<durability::ShardSnapshot> shards;
+  shards.reserve(tenants_.size());
+  for (std::size_t k = 0; k < tenants_.size(); ++k) {
+    durability::ShardSnapshot shard =
+        tenants_[k]->framework->capture_shard_snapshot();
+    shard.name = tenants_[k]->name;
+    if (manager_) {
+      shard.health = static_cast<std::uint8_t>(manager_->shard_health(k));
+    }
+    shards.push_back(std::move(shard));
+  }
+  return shards;
 }
 
 void Fleet::start() {
@@ -72,6 +99,20 @@ void Fleet::start() {
     tenant->testbed.start();
   }
   if (manager_) manager_->start();
+  // One snapshot stream for the whole fleet: snapshot-0 anchors replay,
+  // then periodic captures of every shard together (a torn multi-shard
+  // snapshot is impossible — the capture is a single atomic file).
+  if (plane_) {
+    plane_->take_snapshot(sim_.now(), capture_snapshot());
+    const SimTime period = options_.durability.snapshot_period;
+    if (period > SimTime::zero()) {
+      snapshot_task_ = std::make_unique<sim::PeriodicTask>(
+          sim_, sim_.now() + period, period, [this] {
+            plane_->take_snapshot(sim_.now(), capture_snapshot());
+            return true;
+          });
+    }
+  }
   ARC_INFO << "fleet: " << tenants_.size() << " tenants started ("
            << (manager_ ? "coordinated" : "per-tenant loops") << ")";
 }

@@ -47,6 +47,14 @@ struct FleetOptions {
   /// false: classic per-tenant control loops, no FleetManager — the naive
   /// baseline for A/B runs.
   bool coordinated = true;
+
+  /// Shared durability plane: ONE journal/snapshot stream for the whole
+  /// fleet, each tenant tagged with its shard index. Appends happen on the
+  /// simulation thread in shard order ("parallel detect, ordered dispatch"),
+  /// so the journal bytes are identical for any sweep_threads setting. An
+  /// empty dir disables it. (FrameworkConfig::durability is ignored per
+  /// tenant here — a fleet must not scatter N private journals.)
+  durability::Options durability;
 };
 
 /// One tenant's stack. Heap-allocated and pinned: the framework holds
@@ -75,13 +83,24 @@ class Fleet {
   const FleetTenant& tenant(std::size_t i) const { return *tenants_[i]; }
   /// Null when options.coordinated was false.
   FleetManager* manager() { return manager_.get(); }
+  /// Null unless options.durability was set.
+  durability::DurabilityPlane* durability_plane() { return plane_.get(); }
   const FleetOptions& options() const { return options_; }
+
+  /// One ShardSnapshot per tenant (shard = tenant index), health stamped
+  /// from the FleetManager's state machine. What the periodic snapshot task
+  /// writes; public so crash tests can force a capture.
+  std::vector<durability::ShardSnapshot> capture_snapshot() const;
 
  private:
   sim::Simulator& sim_;
   FleetOptions options_;
+  /// Declared before the tenants: they journal into it through raw sink
+  /// pointers, so it must be destroyed after every framework.
+  std::unique_ptr<durability::DurabilityPlane> plane_;
   std::vector<std::unique_ptr<FleetTenant>> tenants_;
   std::unique_ptr<FleetManager> manager_;
+  std::unique_ptr<sim::PeriodicTask> snapshot_task_;
   bool started_ = false;
 };
 

@@ -2,6 +2,7 @@
 
 #include "acme/checker.hpp"
 #include "core/verify.hpp"
+#include "durability/model_codec.hpp"
 #include "fault/fault_plane.hpp"
 #include "fault/faulty_bus.hpp"
 #include "fault/faulty_translator.hpp"
@@ -155,9 +156,48 @@ Framework::Framework(sim::Simulator& sim, sim::Testbed& testbed,
       "minReplicas",
       acme::EvalValue(static_cast<double>(config_.profile.min_replicas)));
   checker.instantiate(script_);
+
+  // Durability plane last: every collaborator it journals for exists now.
+  // A fleet attaches its shared plane instead (attach_durability overrides
+  // this solo wiring before start()).
+  if (config_.durability.enabled()) {
+    durability_plane_ =
+        std::make_unique<durability::DurabilityPlane>(config_.durability);
+    attach_durability(durability_plane_.get(), /*shard=*/0);
+  }
 }
 
 Framework::~Framework() = default;
+
+void Framework::attach_durability(durability::DurabilityPlane* plane,
+                                  std::uint32_t shard) {
+  durability_sink_ = plane;
+  durability_shard_ = shard;
+  engine_->set_journal_sink(plane, shard);
+  manager_->set_journal_sink(plane, shard);
+}
+
+durability::ShardSnapshot Framework::capture_shard_snapshot() const {
+  durability::ShardSnapshot shard;
+  shard.shard = durability_shard_;
+  shard.name = testbed_.scenario.empty() ? std::string("solo")
+                                         : testbed_.scenario;
+  shard.model = durability::encode_system(*system_);
+  shard.model_digest = durability::fnv1a(shard.model.data(),
+                                         shard.model.size());
+  for (const monitor::GaugeManager::ChannelState& ch :
+       gauge_manager_->snapshot_state()) {
+    durability::GaugeState g;
+    g.id = ch.id;
+    g.live = ch.live;
+    g.suspect = ch.suspect;
+    g.last_report = ch.last_report;
+    shard.gauges.push_back(std::move(g));
+  }
+  if (fault_plane_) shard.rng_streams = fault_plane_->rng_states();
+  shard.repairs_committed = engine_->stats().committed;
+  return shard;
+}
 
 void Framework::warm_remos() {
   if (!config_.remos_prequery) return;
@@ -235,6 +275,22 @@ void Framework::start() {
       });
     }
   }
+  // Solo durability: snapshot-0 anchors replay (arcreplay rebuilds any LSN
+  // from it + the journal), then periodic captures bound recovery work. A
+  // fleet arms one task covering all shards instead (core/fleet.cpp).
+  if (durability_plane_) {
+    durability_plane_->take_snapshot(sim_.now(), {capture_shard_snapshot()});
+    const SimTime period = config_.durability.snapshot_period;
+    if (period > SimTime::zero()) {
+      snapshot_task_ = std::make_unique<sim::PeriodicTask>(
+          sim_, sim_.now() + period, period, [this] {
+            durability_plane_->take_snapshot(sim_.now(),
+                                             {capture_shard_snapshot()});
+            return true;
+          });
+    }
+  }
+
   ARC_INFO << "framework: started (" << gauge_manager_->gauge_count()
            << " gauges deploying, script="
            << (config_.use_script ? "interpreted" : "native") << ")";

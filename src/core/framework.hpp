@@ -8,6 +8,7 @@
 
 #include "acme/script.hpp"
 #include "core/arch_manager.hpp"
+#include "durability/plane.hpp"
 #include "events/bus.hpp"
 #include "fault/profile.hpp"
 #include "monitor/gauge_manager.hpp"
@@ -29,6 +30,8 @@ class FaultyTranslator;
 }  // namespace arcadia::fault
 
 namespace arcadia::core {
+
+struct RestoredRun;  // core/recovery.hpp
 
 /// Startup semantic verification (core/verify.hpp) behavior.
 enum class VerifyMode {
@@ -106,6 +109,13 @@ struct FrameworkConfig {
   /// Run arcverify's semantic checks (script effect/flow analysis +
   /// cross-artifact deployment verification) at the end of start().
   VerifyMode verify = VerifyMode::Warn;
+
+  /// Durability plane (durability/plane.hpp): an empty dir (the default)
+  /// disables journaling/snapshots entirely — bit-identical behavior and
+  /// zero overhead. With a dir set, the framework owns a DurabilityPlane,
+  /// journals every repair commit / plan event / applied gauge delta, and
+  /// snapshots periodically; see core/recovery.hpp for crash restore.
+  durability::Options durability;
 };
 
 /// The framework's pluggable assembly points. A null member selects the
@@ -166,6 +176,29 @@ class Framework {
   /// Null unless config().fault.enabled.
   fault::FaultPlane* fault_plane() { return fault_plane_.get(); }
 
+  /// The journal/snapshot plane this framework reports into, or null when
+  /// durability is off. Solo frameworks own theirs (config().durability);
+  /// fleet tenants share the Fleet's plane via attach_durability().
+  durability::DurabilityPlane* durability_plane() { return durability_sink_; }
+
+  /// Wire an externally-owned durability plane (the fleet's shared journal).
+  /// Every repair commit, plan event, and applied gauge fold on this
+  /// framework is journaled under `shard`. Call before start().
+  void attach_durability(durability::DurabilityPlane* plane,
+                         std::uint32_t shard);
+
+  /// Capture this framework's durable state for a snapshot: the full model
+  /// encoding + digest, every gauge channel's liveness state, and the fault
+  /// plane's RNG stream positions. Health is Healthy here; the fleet's
+  /// snapshot task overwrites it from FleetManager::shard_health().
+  durability::ShardSnapshot capture_shard_snapshot() const;
+
+  /// Rebuild a started run from a durable directory (manifest + snapshots +
+  /// journal): re-executes the deterministic run from t=0, byte-verifying
+  /// every re-journaled frame against the crashed journal's valid prefix.
+  /// Defined in core/recovery.cpp (see DESIGN.md §8).
+  static std::unique_ptr<RestoredRun> restore(const std::string& dir);
+
  private:
   void deploy_gauges();
   void warm_remos();
@@ -194,6 +227,12 @@ class Framework {
   std::unique_ptr<repair::RepairEngine> engine_;
   std::unique_ptr<ArchitectureManager> manager_;
   monitor::ProbeSet probes_;
+  // Durability: the owned plane (solo mode, null when config_.durability is
+  // empty or a fleet plane was attached) and the active sink (own or shared).
+  std::unique_ptr<durability::DurabilityPlane> durability_plane_;
+  durability::DurabilityPlane* durability_sink_ = nullptr;
+  std::uint32_t durability_shard_ = 0;
+  std::unique_ptr<sim::PeriodicTask> snapshot_task_;
   bool started_ = false;
 };
 

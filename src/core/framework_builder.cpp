@@ -41,6 +41,12 @@ FrameworkBuilder& FrameworkBuilder::with_verification(VerifyMode mode) {
   return *this;
 }
 
+FrameworkBuilder& FrameworkBuilder::with_durability(
+    durability::Options options) {
+  config_.durability = std::move(options);
+  return *this;
+}
+
 FrameworkBuilder& FrameworkBuilder::with_remos(
     FrameworkParts::RemosFactory factory) {
   parts_.remos = std::move(factory);

@@ -43,6 +43,9 @@ class FrameworkBuilder {
   /// Off, Warn (default — log issues), or Error (fail start() on any
   /// error-severity issue).
   FrameworkBuilder& with_verification(VerifyMode mode);
+  /// Durability plane: journal + snapshots under options.dir (see
+  /// durability/plane.hpp and core/recovery.hpp). An empty dir disables it.
+  FrameworkBuilder& with_durability(durability::Options options);
 
   // -- part substitution (null restores the default wiring) --
   FrameworkBuilder& with_remos(FrameworkParts::RemosFactory factory);

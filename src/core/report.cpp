@@ -163,4 +163,35 @@ void print_comparison(std::ostream& out, const ExperimentResult& control,
       << " repair=" << repair.max_queue_length() << "\n";
 }
 
+namespace {
+
+/// RFC-4180 quoting for free-text fields (error messages carry commas).
+std::string csv_quote(const std::string& text) {
+  if (text.find_first_of(",\"\n") == std::string::npos) return text;
+  std::string quoted = "\"";
+  for (char ch : text) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+void write_suite_csv(std::ostream& out,
+                     const std::vector<SuiteOutcome>& outcomes) {
+  out << "label,scenario,fault_seed,failed,wall_s,sim_s,requests,responses,"
+         "repairs_committed,error\n";
+  for (const SuiteOutcome& outcome : outcomes) {
+    out << csv_quote(outcome.label) << "," << csv_quote(outcome.scenario)
+        << "," << outcome.fault_seed << "," << (outcome.ok() ? 0 : 1) << ","
+        << outcome.wall_seconds << "," << outcome.sim_seconds << ","
+        << outcome.result.requests_issued << ","
+        << outcome.result.responses_completed << ","
+        << outcome.result.repair_stats.committed << ","
+        << csv_quote(outcome.error) << "\n";
+  }
+}
+
 }  // namespace arcadia::core

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/suite.hpp"
 
 namespace arcadia::core {
 
@@ -49,5 +50,11 @@ void write_fault_stats_csv(
 /// The control-vs-repair headline comparison (who wins, by how much).
 void print_comparison(std::ostream& out, const ExperimentResult& control,
                       const ExperimentResult& repair);
+
+/// Suite grid results, one row per case — including failed cases, which
+/// keep their wall-clock column and set `failed`/`error` instead of being
+/// silently dropped. Commas/quotes in error text are CSV-quoted.
+void write_suite_csv(std::ostream& out,
+                     const std::vector<SuiteOutcome>& outcomes);
 
 }  // namespace arcadia::core

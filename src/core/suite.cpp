@@ -1,5 +1,7 @@
 #include "core/suite.hpp"
 
+#include <chrono>
+
 #include "util/thread_pool.hpp"
 
 namespace arcadia::core {
@@ -34,15 +36,21 @@ std::vector<SuiteOutcome> ExperimentSuite::run(std::size_t threads) const {
     outcomes[i].scenario = c.options.scenario_name;
     outcomes[i].fault_seed = c.options.scenario.fault.seed;
     // Any escape — including non-std exceptions — fails this experiment,
-    // never the suite: the other grid cells still run and report.
+    // never the suite: the other grid cells still run and report. The wall
+    // clock is stopped on both paths so failed cells keep their duration.
+    const auto t0 = std::chrono::steady_clock::now();
     try {
       outcomes[i].result = run_experiment(c.options);
+      outcomes[i].sim_seconds = c.options.scenario.horizon.as_seconds();
     } catch (const std::exception& e) {
       outcomes[i].error = e.what();
     } catch (...) {
       outcomes[i].error = "non-standard exception (fault seed " +
                           std::to_string(outcomes[i].fault_seed) + ")";
     }
+    outcomes[i].wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
   });
   return outcomes;
 }

@@ -28,6 +28,12 @@ struct SuiteOutcome {
   /// The case's fault seed (ScenarioConfig::fault.seed), recorded even on
   /// failure so a crashing fault grid cell can be replayed exactly.
   std::uint64_t fault_seed = 0;
+  /// Host wall-clock spent on this case, measured around the run whether it
+  /// returned or threw — a failed cell's cost must not vanish from the CSV.
+  double wall_seconds = 0.0;
+  /// Simulated seconds covered: the horizon on success, 0 on failure (the
+  /// run died somewhere short of it; the `failed` CSV column marks which).
+  double sim_seconds = 0.0;
 
   bool ok() const { return error.empty(); }
 };

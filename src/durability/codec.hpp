@@ -1,0 +1,97 @@
+// Binary codec for the durability plane: little-endian fixed-width scalars,
+// length-prefixed strings, tagged Values, and whole OpRecords. The encoding
+// is deliberately positional and versioned at the container level (journal /
+// snapshot headers carry the format version) rather than per-field, keeping
+// frames compact — a steady-state gauge delta is a few dozen bytes.
+//
+// Determinism note: symbols encode as their interned TEXT, never their
+// process-local ids, so journal bytes are stable across processes and the
+// crash-recovery oracle can byte-compare journals from different runs.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "events/value.hpp"
+#include "model/transaction.hpp"
+#include "util/units.hpp"
+
+namespace arcadia::durability {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over a byte range; the journal
+/// frames every payload with one.
+std::uint32_t crc32(const void* data, std::size_t size);
+
+/// FNV-1a 64-bit — the model digest hash (cheap, dependency-free, stable).
+std::uint64_t fnv1a(const void* data, std::size_t size);
+inline std::uint64_t fnv1a(const std::vector<std::uint8_t>& bytes) {
+  return fnv1a(bytes.data(), bytes.size());
+}
+
+/// Append-only byte builder.
+class Encoder {
+ public:
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xFF);
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xFF);
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(std::string_view s);
+  void sim_time(SimTime t) { i64(t.as_micros()); }
+  void value(const events::Value& v);
+  void op(const model::OpRecord& op);
+  void raw(const std::vector<std::uint8_t>& bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked reader over an immutable byte range; every underrun or
+/// bad tag throws DurabilityError (callers treat that as a torn/corrupt
+/// record, never as partial data).
+class Decoder {
+ public:
+  Decoder(const std::uint8_t* data, std::size_t size)
+      : p_(data), end_(data + size) {}
+  explicit Decoder(const std::vector<std::uint8_t>& bytes)
+      : Decoder(bytes.data(), bytes.size()) {}
+
+  bool done() const { return p_ == end_; }
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  bool boolean() { return u8() != 0; }
+  std::string str();
+  SimTime sim_time() { return SimTime::micros(i64()); }
+  events::Value value();
+  model::OpRecord op();
+
+ private:
+  void need(std::size_t n) const;
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+};
+
+}  // namespace arcadia::durability

@@ -1,0 +1,178 @@
+#include "durability/io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <dirent.h>
+
+#include <algorithm>
+
+namespace arcadia::durability {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+/// fdatasync, not fsync: flushes the data and the metadata needed to read
+/// it back (file size), skipping timestamp updates — the journal syncs on
+/// every committed op batch, so the cheaper flush is the difference
+/// between ~2% and ~10% steady-state overhead (BENCH_durability.json).
+void fsync_fd(int fd, const std::string& path) {
+  if (::fdatasync(fd) != 0) {
+    throw DurabilityError("fdatasync " + path + ": " + errno_text());
+  }
+}
+
+/// fsync the directory containing `path` so a rename is durable.
+void fsync_parent(const std::string& path) {
+  std::string dir = ".";
+  if (const auto slash = path.find_last_of('/'); slash != std::string::npos) {
+    dir = slash == 0 ? "/" : path.substr(0, slash);
+  }
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    throw DurabilityError("open dir " + dir + ": " + errno_text());
+  }
+  // Some filesystems reject fsync on directories; a failed directory sync
+  // is not an integrity violation (the rename itself succeeded).
+  ::fsync(fd);
+  ::close(fd);
+}
+
+void write_all(int fd, const std::string& path, const void* data,
+               std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t remaining = size;
+  while (remaining > 0) {
+    const ::ssize_t n = ::write(fd, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw DurabilityError("write " + path + ": " + errno_text());
+    }
+    p += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+AppendFile::~AppendFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void AppendFile::create(const std::string& path) {
+  if (fd_ >= 0) throw DurabilityError("AppendFile already open: " + path_);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND | O_CLOEXEC,
+               0644);
+  if (fd_ < 0) throw DurabilityError("create " + path + ": " + errno_text());
+  path_ = path;
+  written_ = 0;
+}
+
+void AppendFile::append(const void* data, std::size_t size) {
+  if (fd_ < 0) throw DurabilityError("append to closed file: " + path_);
+  write_all(fd_, path_, data, size);
+  written_ += size;
+}
+
+void AppendFile::sync() {
+  if (fd_ < 0) throw DurabilityError("sync of closed file: " + path_);
+  fsync_fd(fd_, path_);
+}
+
+void AppendFile::close() {
+  if (fd_ < 0) return;
+  fsync_fd(fd_, path_);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void AppendFile::abandon() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+}
+
+bool file_exists(const std::string& path) {
+  struct ::stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw DurabilityError("open " + path + ": " + errno_text());
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[1 << 16];
+  for (;;) {
+    const ::ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw DurabilityError("read " + path + ": " + errno_text());
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+  return bytes;
+}
+
+void write_file_atomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes,
+                       const std::function<void()>& between) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw DurabilityError("create " + tmp + ": " + errno_text());
+  try {
+    write_all(fd, tmp, bytes.data(), bytes.size());
+    fsync_fd(fd, tmp);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  if (between) between();  // mid-snapshot crash point: .tmp durable, no rename
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw DurabilityError("rename " + tmp + " -> " + path + ": " +
+                          errno_text());
+  }
+  fsync_parent(path);
+}
+
+void ensure_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0) return;
+  if (errno == EEXIST) {
+    struct ::stat st{};
+    if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) return;
+  }
+  throw DurabilityError("mkdir " + path + ": " + errno_text());
+}
+
+std::vector<std::string> list_dir(const std::string& path) {
+  ::DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    throw DurabilityError("opendir " + path + ": " + errno_text());
+  }
+  std::vector<std::string> names;
+  while (const ::dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    if (file_exists(path + "/" + name)) names.push_back(name);
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    throw DurabilityError("unlink " + path + ": " + errno_text());
+  }
+}
+
+}  // namespace arcadia::durability

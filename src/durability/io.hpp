@@ -1,0 +1,92 @@
+// Durable file I/O: the single place in src/ allowed to touch the
+// filesystem (arclint rule `durability-io` pins this). Two disciplines:
+//   append   — AppendFile wraps an O_APPEND descriptor with explicit
+//              fsync, for the write-ahead journal;
+//   replace  — write_file_atomic writes <path>.tmp, fsyncs it, then
+//              rename(2)s into place and fsyncs the directory, so a
+//              reader never observes a half-written snapshot.
+// Everything here is POSIX (::open/::write/::fsync/::rename); the rest of
+// src/ must route file access through these helpers so the crash-matrix
+// lane exercises one audited seam instead of scattered streams.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace arcadia::durability {
+
+/// Durable-storage failures: unwritable directories, short reads, CRC
+/// mismatches surfaced by the journal reader.
+class DurabilityError : public Error {
+ public:
+  explicit DurabilityError(const std::string& what)
+      : Error("DurabilityError: " + what) {}
+};
+
+/// Recovery failures: a restored run diverging from the on-disk journal,
+/// manifest/config mismatches, restore from an empty directory.
+class RecoveryError : public Error {
+ public:
+  explicit RecoveryError(const std::string& what)
+      : Error("RecoveryError: " + what) {}
+};
+
+/// An append-only file descriptor with explicit durability points. close()
+/// syncs; abandon() deliberately does not (the crash seam uses it to model
+/// a kill -9: whatever was not yet fsynced is at the kernel's mercy).
+class AppendFile {
+ public:
+  AppendFile() = default;
+  ~AppendFile();
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  /// Create (truncating any previous file) and open for appending.
+  void create(const std::string& path);
+  void append(const void* data, std::size_t size);
+  void append(const std::vector<std::uint8_t>& bytes) {
+    append(bytes.data(), bytes.size());
+  }
+  /// fsync the descriptor (a journal commit point).
+  void sync();
+  /// sync + close.
+  void close();
+  /// Close the descriptor WITHOUT syncing — crash simulation only.
+  void abandon();
+
+  bool is_open() const { return fd_ >= 0; }
+  std::uint64_t bytes_written() const { return written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::uint64_t written_ = 0;
+};
+
+bool file_exists(const std::string& path);
+
+/// Whole-file read; throws DurabilityError when unreadable.
+std::vector<std::uint8_t> read_file(const std::string& path);
+
+/// Atomic replace: write `<path>.tmp`, fsync, invoke `between` (the
+/// mid-snapshot crash hook — it may throw, leaving only the .tmp behind),
+/// rename over `path`, fsync the parent directory.
+void write_file_atomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes,
+                       const std::function<void()>& between = {});
+
+/// mkdir -p for one level; no-op when the directory exists.
+void ensure_dir(const std::string& path);
+
+/// Regular-file names in `path`, sorted (deterministic retention order).
+std::vector<std::string> list_dir(const std::string& path);
+
+/// Delete a file; no-op when absent.
+void remove_file(const std::string& path);
+
+}  // namespace arcadia::durability

@@ -1,0 +1,206 @@
+#include "durability/journal.hpp"
+
+namespace arcadia::durability {
+
+const char* to_string(RecordType type) {
+  switch (type) {
+    case RecordType::OpBatch:
+      return "op-batch";
+    case RecordType::PlanEvent:
+      return "plan-event";
+    case RecordType::GaugeBatch:
+      return "gauge-batch";
+    case RecordType::RngPositions:
+      return "rng-positions";
+    case RecordType::SnapshotMark:
+      return "snapshot-mark";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void encode_body(Encoder& enc, const JournalRecord& r) {
+  switch (r.type) {
+    case RecordType::OpBatch:
+      enc.u64(r.repair_index);
+      enc.boolean(r.compensation);
+      enc.u32(static_cast<std::uint32_t>(r.ops.size()));
+      for (const auto& op : r.ops) enc.op(op);
+      break;
+    case RecordType::PlanEvent:
+      enc.str(r.phase);
+      enc.u64(r.repair_index);
+      enc.u64(r.plan_steps);
+      break;
+    case RecordType::GaugeBatch:
+      enc.u32(static_cast<std::uint32_t>(r.gauges.size()));
+      for (const auto& g : r.gauges) {
+        enc.sim_time(g.at);
+        enc.str(g.element);
+        enc.str(g.sub);
+        enc.str(g.property);
+        enc.value(g.value);
+      }
+      break;
+    case RecordType::RngPositions:
+      enc.u32(static_cast<std::uint32_t>(r.rng_streams.size()));
+      for (const auto& st : r.rng_streams) {
+        for (const std::uint64_t word : st.s) enc.u64(word);
+        enc.boolean(st.have_spare);
+        enc.f64(st.spare);
+      }
+      break;
+    case RecordType::SnapshotMark:
+      enc.u64(r.snapshot_lsn);
+      enc.str(r.snapshot_file);
+      enc.u64(r.model_digest);
+      break;
+  }
+}
+
+void decode_body(Decoder& dec, JournalRecord& r) {
+  switch (r.type) {
+    case RecordType::OpBatch: {
+      r.repair_index = dec.u64();
+      r.compensation = dec.boolean();
+      const std::uint32_t n = dec.u32();
+      r.ops.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) r.ops.push_back(dec.op());
+      break;
+    }
+    case RecordType::PlanEvent:
+      r.phase = dec.str();
+      r.repair_index = dec.u64();
+      r.plan_steps = dec.u64();
+      break;
+    case RecordType::GaugeBatch: {
+      const std::uint32_t n = dec.u32();
+      r.gauges.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        GaugeDelta g;
+        g.at = dec.sim_time();
+        g.element = dec.str();
+        g.sub = dec.str();
+        g.property = dec.str();
+        g.value = dec.value();
+        r.gauges.push_back(std::move(g));
+      }
+      break;
+    }
+    case RecordType::RngPositions: {
+      const std::uint32_t n = dec.u32();
+      r.rng_streams.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        Rng::State st;
+        for (auto& word : st.s) word = dec.u64();
+        st.have_spare = dec.boolean();
+        st.spare = dec.f64();
+        r.rng_streams.push_back(st);
+      }
+      break;
+    }
+    case RecordType::SnapshotMark:
+      r.snapshot_lsn = dec.u64();
+      r.snapshot_file = dec.str();
+      r.model_digest = dec.u64();
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const JournalRecord& record) {
+  Encoder payload;
+  payload.u8(static_cast<std::uint8_t>(record.type));
+  payload.u64(record.lsn);
+  payload.sim_time(record.at);
+  payload.u32(record.shard);
+  encode_body(payload, record);
+
+  Encoder frame;
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.u32(crc32(payload.bytes().data(), payload.size()));
+  frame.raw(payload.bytes());
+  return frame.take();
+}
+
+std::vector<std::uint8_t> journal_header() {
+  Encoder enc;
+  for (const char c : kJournalMagic) enc.u8(static_cast<std::uint8_t>(c));
+  enc.u32(kJournalVersion);
+  return enc.take();
+}
+
+JournalReadResult read_journal_bytes(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kJournalHeaderSize ||
+      std::memcmp(bytes.data(), kJournalMagic, 4) != 0) {
+    throw DurabilityError("not a journal (bad magic/short header)");
+  }
+  {
+    Decoder header(bytes.data() + 4, 4);
+    const std::uint32_t version = header.u32();
+    if (version != kJournalVersion) {
+      throw DurabilityError("journal format version " +
+                            std::to_string(version) + " (expected " +
+                            std::to_string(kJournalVersion) + ")");
+    }
+  }
+
+  JournalReadResult result;
+  result.valid_bytes = kJournalHeaderSize;
+  std::size_t pos = kJournalHeaderSize;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 8) {
+      result.torn = true;
+      result.warning = "torn frame header at offset " + std::to_string(pos);
+      break;
+    }
+    Decoder head(bytes.data() + pos, 8);
+    const std::uint32_t len = head.u32();
+    const std::uint32_t crc = head.u32();
+    if (bytes.size() - pos - 8 < len) {
+      result.torn = true;
+      result.warning = "torn frame payload at offset " + std::to_string(pos) +
+                       " (need " + std::to_string(len) + " bytes)";
+      break;
+    }
+    const std::uint8_t* payload = bytes.data() + pos + 8;
+    if (crc32(payload, len) != crc) {
+      result.torn = true;
+      result.warning = "CRC mismatch at offset " + std::to_string(pos);
+      break;
+    }
+    JournalRecord record;
+    try {
+      Decoder dec(payload, len);
+      const std::uint8_t type = dec.u8();
+      if (type < 1 ||
+          type > static_cast<std::uint8_t>(RecordType::SnapshotMark)) {
+        throw DurabilityError("unknown record type " + std::to_string(type));
+      }
+      record.type = static_cast<RecordType>(type);
+      record.lsn = dec.u64();
+      record.at = dec.sim_time();
+      record.shard = dec.u32();
+      decode_body(dec, record);
+    } catch (const DurabilityError& e) {
+      // A CRC-valid but undecodable payload means a format bug or version
+      // skew, not a torn write — still refuse to apply it.
+      result.torn = true;
+      result.warning = std::string("undecodable frame at offset ") +
+                       std::to_string(pos) + ": " + e.what();
+      break;
+    }
+    result.records.push_back(std::move(record));
+    pos += 8 + len;
+    result.valid_bytes = pos;
+  }
+  return result;
+}
+
+JournalReadResult read_journal(const std::string& path) {
+  return read_journal_bytes(read_file(path));
+}
+
+}  // namespace arcadia::durability

@@ -1,0 +1,111 @@
+// The write-ahead journal: an append-only, CRC-framed binary log of every
+// committed model mutation, plan lifecycle event, applied gauge delta, and
+// fault-plane RNG checkpoint, keyed by (monotonic LSN, sim-time, shard).
+//
+// File layout:
+//   header  "ARCJ" + u32 format version
+//   frame*  [u32 payload_len][u32 crc32(payload)][payload]
+//   payload u8 record_type, u64 lsn, i64 sim_time_us, u32 shard, body
+//
+// The reader validates frames in order and stops at the first torn or
+// corrupt one, returning the valid prefix plus a warning — a torn tail is
+// an expected crash artifact, never an error. Because every model mutation
+// flows through exactly three commit points (engine execute, compensation
+// revert, gauge apply), replaying OpBatch + GaugeBatch records through a
+// snapshot-0 model reconstructs the model at any LSN without running the
+// simulation; that is what tools/arcreplay does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "durability/codec.hpp"
+#include "durability/io.hpp"
+#include "events/value.hpp"
+#include "model/transaction.hpp"
+#include "util/deterministic_rng.hpp"
+#include "util/units.hpp"
+
+namespace arcadia::durability {
+
+inline constexpr char kJournalMagic[4] = {'A', 'R', 'C', 'J'};
+inline constexpr std::uint32_t kJournalVersion = 1;
+inline constexpr std::size_t kJournalHeaderSize = 8;
+/// Journal file name inside a durability directory.
+inline constexpr const char* kJournalFile = "journal.arcj";
+
+enum class RecordType : std::uint8_t {
+  OpBatch = 1,       ///< one committed transaction (repair or compensation)
+  PlanEvent = 2,     ///< plan lifecycle transition (started/completed/...)
+  GaugeBatch = 3,    ///< applied gauge-report property deltas, batched
+  RngPositions = 4,  ///< fault-plane stream positions (pre-snapshot)
+  SnapshotMark = 5,  ///< a snapshot file became durable
+};
+
+const char* to_string(RecordType type);
+
+/// One applied gauge delta: `element`(.`sub`).`property` = `value` at `at`.
+/// `sub` is a connector role name or empty for component targets.
+struct GaugeDelta {
+  SimTime at;
+  std::string element;
+  std::string sub;
+  std::string property;
+  events::Value value;
+};
+
+/// A decoded journal record. Which fields are meaningful depends on `type`
+/// (the unused ones stay default-constructed; the codec writes only the
+/// fields of the record's own type).
+struct JournalRecord {
+  RecordType type = RecordType::OpBatch;
+  std::uint64_t lsn = 0;
+  SimTime at;
+  std::uint32_t shard = 0;
+
+  // OpBatch
+  std::uint64_t repair_index = 0;  ///< RepairEngine record index
+  bool compensation = false;       ///< true for plan-abort inverse batches
+  std::vector<model::OpRecord> ops;
+
+  // PlanEvent
+  std::string phase;        ///< monitor::topics phase symbol text
+  std::uint64_t plan_steps = 0;
+
+  // GaugeBatch
+  std::vector<GaugeDelta> gauges;
+
+  // RngPositions
+  std::vector<Rng::State> rng_streams;
+
+  // SnapshotMark
+  std::uint64_t snapshot_lsn = 0;
+  std::string snapshot_file;
+  std::uint64_t model_digest = 0;
+};
+
+/// Encode one record as a complete frame (len + crc + payload).
+std::vector<std::uint8_t> encode_frame(const JournalRecord& record);
+
+/// The 8-byte journal header.
+std::vector<std::uint8_t> journal_header();
+
+struct JournalReadResult {
+  std::vector<JournalRecord> records;
+  /// Byte length of the valid prefix (header + intact frames); the torn
+  /// tail, if any, is everything past this offset.
+  std::uint64_t valid_bytes = 0;
+  bool torn = false;
+  std::string warning;  ///< human-readable torn/corrupt diagnosis ("" = clean)
+};
+
+/// Decode as many intact frames as the bytes hold. Throws DurabilityError
+/// only for a bad header (not a journal at all); torn tails and CRC
+/// mismatches are reported via `torn`/`warning`.
+JournalReadResult read_journal_bytes(const std::vector<std::uint8_t>& bytes);
+
+/// read_file + read_journal_bytes.
+JournalReadResult read_journal(const std::string& path);
+
+}  // namespace arcadia::durability

@@ -1,0 +1,232 @@
+#include "durability/model_codec.hpp"
+
+#include <sstream>
+
+#include "durability/io.hpp"
+
+namespace arcadia::durability {
+
+namespace {
+
+void encode_element_common(Encoder& enc, const model::Element& el) {
+  enc.str(el.name());
+  enc.str(el.type_name());
+  enc.u32(static_cast<std::uint32_t>(el.properties().size()));
+  for (const auto& entry : el.properties()) {
+    enc.str(entry.key.view());
+    enc.value(entry.value);
+  }
+}
+
+void decode_properties(Decoder& dec, model::Element& el) {
+  const std::uint32_t n = dec.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::string prop = dec.str();
+    el.set_property(prop, dec.value());
+  }
+}
+
+}  // namespace
+
+void encode_system(Encoder& enc, const model::System& sys) {
+  enc.str(sys.name());
+  const auto components = sys.components();
+  enc.u32(static_cast<std::uint32_t>(components.size()));
+  for (const auto* comp : components) {
+    encode_element_common(enc, *comp);
+    const auto ports = comp->ports();
+    enc.u32(static_cast<std::uint32_t>(ports.size()));
+    for (const auto* port : ports) encode_element_common(enc, *port);
+    enc.boolean(comp->has_representation());
+    if (comp->has_representation()) {
+      encode_system(enc, comp->representation_const());
+    }
+  }
+  const auto connectors = sys.connectors();
+  enc.u32(static_cast<std::uint32_t>(connectors.size()));
+  for (const auto* conn : connectors) {
+    encode_element_common(enc, *conn);
+    const auto roles = conn->roles();
+    enc.u32(static_cast<std::uint32_t>(roles.size()));
+    for (const auto* role : roles) encode_element_common(enc, *role);
+  }
+  enc.u32(static_cast<std::uint32_t>(sys.attachments().size()));
+  for (const auto& a : sys.attachments()) {
+    enc.str(a.component);
+    enc.str(a.port);
+    enc.str(a.connector);
+    enc.str(a.role);
+  }
+}
+
+std::vector<std::uint8_t> encode_system(const model::System& sys) {
+  Encoder enc;
+  encode_system(enc, sys);
+  return enc.take();
+}
+
+std::unique_ptr<model::System> decode_system(Decoder& dec) {
+  auto sys = std::make_unique<model::System>(dec.str());
+  const std::uint32_t components = dec.u32();
+  for (std::uint32_t i = 0; i < components; ++i) {
+    const std::string name = dec.str();
+    const std::string type = dec.str();
+    model::Component& comp = sys->add_component(name, type);
+    decode_properties(dec, comp);
+    const std::uint32_t ports = dec.u32();
+    for (std::uint32_t p = 0; p < ports; ++p) {
+      const std::string port_name = dec.str();
+      const std::string port_type = dec.str();
+      decode_properties(dec, comp.add_port(port_name, port_type));
+    }
+    if (dec.boolean()) {
+      std::unique_ptr<model::System> rep = decode_system(dec);
+      model::System& target = comp.representation();  // creates empty
+      target = std::move(*rep);
+    }
+  }
+  const std::uint32_t connectors = dec.u32();
+  for (std::uint32_t i = 0; i < connectors; ++i) {
+    const std::string name = dec.str();
+    const std::string type = dec.str();
+    model::Connector& conn = sys->add_connector(name, type);
+    decode_properties(dec, conn);
+    const std::uint32_t roles = dec.u32();
+    for (std::uint32_t r = 0; r < roles; ++r) {
+      const std::string role_name = dec.str();
+      const std::string role_type = dec.str();
+      decode_properties(dec, conn.add_role(role_name, role_type));
+    }
+  }
+  const std::uint32_t attachments = dec.u32();
+  for (std::uint32_t i = 0; i < attachments; ++i) {
+    model::Attachment a;
+    a.component = dec.str();
+    a.port = dec.str();
+    a.connector = dec.str();
+    a.role = dec.str();
+    sys->attach(a);
+  }
+  return sys;
+}
+
+std::unique_ptr<model::System> decode_system(
+    const std::vector<std::uint8_t>& bytes) {
+  Decoder dec(bytes);
+  auto sys = decode_system(dec);
+  if (!dec.done()) {
+    throw DurabilityError("trailing bytes after model encoding");
+  }
+  return sys;
+}
+
+std::uint64_t system_digest(const model::System& sys) {
+  const std::vector<std::uint8_t> bytes = encode_system(sys);
+  return fnv1a(bytes);
+}
+
+namespace {
+
+void diff_element(std::ostringstream& out, const std::string& path,
+                  const model::Element& a, const model::Element& b) {
+  if (a.type_name() != b.type_name()) {
+    out << path << ": type " << a.type_name() << " vs " << b.type_name()
+        << "\n";
+  }
+  for (const auto& entry : a.properties()) {
+    const model::PropertyValue* other = b.properties().find(entry.key);
+    if (other == nullptr) {
+      out << path << "." << entry.key << ": only in first ("
+          << entry.value.to_string() << ")\n";
+    } else if (!(entry.value == *other)) {
+      out << path << "." << entry.key << ": " << entry.value.to_string()
+          << " vs " << other->to_string() << "\n";
+    }
+  }
+  for (const auto& entry : b.properties()) {
+    if (a.properties().find(entry.key) == nullptr) {
+      out << path << "." << entry.key << ": only in second ("
+          << entry.value.to_string() << ")\n";
+    }
+  }
+}
+
+void diff_systems_into(std::ostringstream& out, const std::string& prefix,
+                       const model::System& a, const model::System& b) {
+  for (const auto* comp : a.components()) {
+    const std::string path = prefix + comp->name();
+    if (!b.has_component(comp->name())) {
+      out << path << ": only in first\n";
+      continue;
+    }
+    const model::Component& other = b.component(comp->name());
+    diff_element(out, path, *comp, other);
+    for (const auto* port : comp->ports()) {
+      if (!other.has_port(port->name())) {
+        out << path << "." << port->name() << ": port only in first\n";
+      } else {
+        diff_element(out, path + "." + port->name(), *port,
+                     other.port(port->name()));
+      }
+    }
+    if (comp->has_representation() != other.has_representation()) {
+      out << path << ": representation only in "
+          << (comp->has_representation() ? "first" : "second") << "\n";
+    } else if (comp->has_representation()) {
+      diff_systems_into(out, path + "/", comp->representation_const(),
+                        other.representation_const());
+    }
+  }
+  for (const auto* comp : b.components()) {
+    if (!a.has_component(comp->name())) {
+      out << prefix << comp->name() << ": only in second\n";
+    }
+  }
+  for (const auto* conn : a.connectors()) {
+    const std::string path = prefix + conn->name();
+    if (!b.has_connector(conn->name())) {
+      out << path << ": only in first\n";
+      continue;
+    }
+    const model::Connector& other = b.connector(conn->name());
+    diff_element(out, path, *conn, other);
+    for (const auto* role : conn->roles()) {
+      if (!other.has_role(role->name())) {
+        out << path << "." << role->name() << ": role only in first\n";
+      } else {
+        diff_element(out, path + "." + role->name(), *role,
+                     other.role(role->name()));
+      }
+    }
+  }
+  for (const auto* conn : b.connectors()) {
+    if (!a.has_connector(conn->name())) {
+      out << prefix << conn->name() << ": only in second\n";
+    }
+  }
+  // Attachments compare as sets (insertion order may differ when the same
+  // structure was reached via different op interleavings).
+  for (const auto& att : a.attachments()) {
+    if (!b.attached(att.component, att.port, att.connector, att.role)) {
+      out << prefix << att.component << "." << att.port << " -- "
+          << att.connector << "." << att.role << ": attachment only in first\n";
+    }
+  }
+  for (const auto& att : b.attachments()) {
+    if (!a.attached(att.component, att.port, att.connector, att.role)) {
+      out << prefix << att.component << "." << att.port << " -- "
+          << att.connector << "." << att.role
+          << ": attachment only in second\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string diff_systems(const model::System& a, const model::System& b) {
+  std::ostringstream out;
+  diff_systems_into(out, "", a, b);
+  return out.str();
+}
+
+}  // namespace arcadia::durability

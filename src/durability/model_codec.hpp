@@ -1,0 +1,32 @@
+// Canonical binary encoding of the architectural model. The walk order is
+// deterministic by construction — components/connectors iterate name-sorted
+// (SymbolMap), properties name-sorted, attachments in insertion order
+// (itself deterministic under replay) — so two equal models produce equal
+// bytes and `system_digest` can stand in for deep comparison in oracles.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "durability/codec.hpp"
+#include "model/system.hpp"
+
+namespace arcadia::durability {
+
+void encode_system(Encoder& enc, const model::System& sys);
+std::vector<std::uint8_t> encode_system(const model::System& sys);
+
+std::unique_ptr<model::System> decode_system(Decoder& dec);
+std::unique_ptr<model::System> decode_system(
+    const std::vector<std::uint8_t>& bytes);
+
+/// FNV-1a over the canonical encoding.
+std::uint64_t system_digest(const model::System& sys);
+
+/// Human-readable structural/property differences, "" when identical
+/// (arcreplay's snapshot-vs-replay diff).
+std::string diff_systems(const model::System& a, const model::System& b);
+
+}  // namespace arcadia::durability

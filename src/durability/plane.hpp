@@ -1,0 +1,164 @@
+// The durability plane: owns the journal writer, assigns LSNs, batches
+// gauge deltas, writes snapshots, and — during recovery — verifies the
+// re-executed run against the previous journal byte-for-byte.
+//
+// Recovery model (see DESIGN.md §8): runs are pure functions of
+// (config, seed), so restore re-executes the simulation from t = 0. While
+// re-executing, every frame the plane is about to append is compared
+// against the surviving journal's valid prefix ("catchup verification");
+// any mismatch throws RecoveryError — divergence means the config, code,
+// or seed changed and the durable state cannot be trusted. Once the
+// reference is exhausted the run seamlessly continues into new territory.
+// This makes the crash oracle exact: a restored run's full journal equals
+// the uncrashed run's journal as bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "durability/journal.hpp"
+#include "durability/sink.hpp"
+#include "durability/snapshot.hpp"
+
+namespace arcadia::durability {
+
+struct Options {
+  /// Durability directory ("" disables the plane entirely).
+  std::string dir;
+  /// Snapshot cadence in sim-time (armed by Framework/Fleet).
+  SimTime snapshot_period = SimTime::seconds(120);
+  /// Newest snapshots kept on disk.
+  std::size_t retention = 3;
+  /// Distinct buffered gauge keys (across shards) before a forced flush.
+  std::size_t gauge_batch_cap = 256;
+  /// Group commit: op batches are appended immediately but fdatasync'd at
+  /// most once per this much sim-time (zero = sync every batch). Crash
+  /// recovery re-executes from t = 0 either way — a shorter synced prefix
+  /// only means less catchup verification, never lost state — so the
+  /// interval trades the durable-tail length against per-commit sync cost
+  /// (~0.4 ms each; see BENCH_durability.json). flush() and close()
+  /// always sync.
+  SimTime sync_interval = SimTime::seconds(30);
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+class DurabilityPlane : public JournalSink {
+ public:
+  /// Creates `options.dir` if needed. When a journal already exists there,
+  /// its valid prefix becomes the catchup reference (torn tails are
+  /// truncated with a warning) and the file is rewritten from scratch by
+  /// the re-executing run.
+  explicit DurabilityPlane(Options options);
+  ~DurabilityPlane() override;
+
+  const Options& options() const { return options_; }
+  std::string journal_path() const { return options_.dir + "/" + kJournalFile; }
+  std::uint64_t last_lsn() const { return lsn_; }
+  /// True while appends are still being verified against a prior journal.
+  bool in_catchup() const { return ref_pos_ < reference_.size(); }
+  /// Sim-time of the last record in the catchup reference (zero when none):
+  /// the point up to which a restored run re-executes before resuming live.
+  SimTime reference_horizon() const { return reference_horizon_; }
+  std::uint64_t reference_last_lsn() const { return reference_last_lsn_; }
+  /// Non-empty when the prior journal ended in a torn tail that was
+  /// truncated to the last valid frame (also ARC_WARN-logged).
+  const std::string& reference_warning() const { return reference_warning_; }
+
+  // -- JournalSink (sim thread only)
+  void on_ops(std::uint32_t shard, SimTime at, std::uint64_t repair_index,
+              bool compensation,
+              const std::vector<model::OpRecord>& ops) override;
+  void on_plan_event(std::uint32_t shard, SimTime at, const std::string& phase,
+                     std::uint64_t repair_index, std::uint64_t steps) override;
+  void on_gauge_applied(std::uint32_t shard, SimTime at, util::Symbol element,
+                        util::Symbol sub, util::Symbol property,
+                        const events::Value& value) override;
+
+  /// Flush buffered gauge batches (shard order), journal the RNG stream
+  /// positions carried by the shards, write the snapshot atomically,
+  /// append its SnapshotMark, fsync, and prune old snapshots. `shards`
+  /// need not set lsn/at — the plane stamps them.
+  void take_snapshot(SimTime at, std::vector<ShardSnapshot> shards);
+
+  /// Arm the mid-snapshot crash: the hook runs inside the next
+  /// take_snapshot between the tmp write and the rename. One-shot.
+  void set_snapshot_crash_hook(std::function<void()> hook);
+  void crash_next_snapshot() { crash_armed_ = true; }
+
+  /// Flush gauge batches and fsync the journal (a durability point).
+  void flush(SimTime at);
+  /// flush + close the journal cleanly.
+  void close(SimTime at);
+  /// Drop everything without syncing — the crash seam's kill -9.
+  void abandon();
+
+  /// Bytes appended so far, including frames still in the pending buffer
+  /// (diagnostics/bench).
+  std::uint64_t journal_bytes() const {
+    return writer_.bytes_written() + pending_.size();
+  }
+  std::uint64_t records_written() const { return records_written_; }
+  /// Wall-clock spent inside the plane (encode + buffer + write + sync +
+  /// snapshot I/O), accumulated per entry point. BENCH_durability.json
+  /// gates on wall_s / run wall: an in-run ratio is immune to the
+  /// machine-load drift that plagues back-to-back A/B wall comparisons.
+  double wall_s() const { return wall_s_; }
+
+ private:
+  void append(JournalRecord record);
+  void flush_gauges(SimTime at);
+  void commit_pending();
+  void verify_against_reference(const std::vector<std::uint8_t>& frame);
+
+  Options options_;
+  AppendFile writer_;
+  /// Encoded frames not yet handed to the kernel. Writing only at group
+  /// commit points collapses hundreds of small write(2)s per run into a
+  /// handful, and makes abandon() a faithful kill -9: the un-written tail
+  /// is really gone, not sitting in the page cache.
+  std::vector<std::uint8_t> pending_;
+  std::uint64_t lsn_ = 0;
+  std::uint64_t records_written_ = 0;
+  SimTime last_time_;  ///< newest record time seen (final-flush stamp)
+  /// Sim-time of the last op-batch fdatasync; gates the group commit.
+  SimTime last_sync_time_ = SimTime::seconds(-1);
+  bool abandoned_ = false;
+
+  // Catchup reference: the previous journal's valid prefix.
+  std::vector<std::uint8_t> reference_;
+  std::size_t ref_pos_ = 0;
+  SimTime reference_horizon_;
+  std::uint64_t reference_last_lsn_ = 0;
+  std::string reference_warning_;
+
+  /// A buffered gauge delta, coalesced per (element, sub, property): the
+  /// batch carries only the newest applied value per key, so replay
+  /// reconstructs the same model state at every batch boundary while the
+  /// journal stays proportional to distinct gauges, not report rate.
+  /// Symbols keep the per-report path allocation-free; text is rendered
+  /// once at flush time.
+  struct BufferedGauge {
+    SimTime at;
+    util::Symbol element;
+    util::Symbol sub;
+    util::Symbol property;
+    events::Value value;
+  };
+
+  // Per-shard gauge delta buffers, flushed in shard order. Shard ids are
+  // small and dense (tenant indices), so a vector indexed by shard works;
+  // within a shard the distinct-key count is small (the tenant's deployed
+  // gauges), so coalescing is a short linear scan in first-seen order —
+  // deterministic, which the byte-identity oracle requires.
+  std::vector<std::vector<BufferedGauge>> gauge_buffers_;
+  std::size_t buffered_gauges_ = 0;
+
+  std::function<void()> snapshot_crash_hook_;
+  bool crash_armed_ = false;
+  double wall_s_ = 0.0;
+};
+
+}  // namespace arcadia::durability

@@ -1,0 +1,74 @@
+#include "durability/replay.hpp"
+
+#include "durability/io.hpp"
+#include "model/transaction.hpp"
+#include "util/symbol.hpp"
+
+namespace arcadia::durability {
+
+namespace {
+
+void apply_gauge_delta(model::System& system, const GaugeDelta& delta) {
+  const util::Symbol element = util::Symbol::intern(delta.element);
+  const util::Symbol property = util::Symbol::intern(delta.property);
+  model::Element* target = nullptr;
+  if (delta.sub.empty()) {
+    if (system.has_component(element)) target = &system.component(element);
+  } else {
+    const util::Symbol role = util::Symbol::intern(delta.sub);
+    if (system.has_connector(element)) {
+      model::Connector& conn = system.connector(element);
+      if (conn.has_role(role)) target = &conn.role(role);
+    }
+  }
+  if (target == nullptr) {
+    throw DurabilityError("replay: gauge delta names missing element '" +
+                          delta.element +
+                          (delta.sub.empty() ? "" : "." + delta.sub) +
+                          "' — journal does not match this model");
+  }
+  target->set_property(property, delta.value);
+}
+
+}  // namespace
+
+ReplayStats replay_journal(model::System& system,
+                           const std::vector<JournalRecord>& records,
+                           const ReplayOptions& options) {
+  ReplayStats stats;
+  for (const JournalRecord& record : records) {
+    if (record.lsn > options.to_lsn) break;
+    if (record.at > options.to_time) break;
+    stats.last_lsn = record.lsn;
+    stats.last_time = record.at;
+    switch (record.type) {
+      case RecordType::OpBatch: {
+        if (record.shard != options.shard) break;
+        model::Transaction txn(system);
+        for (const model::OpRecord& op : record.ops) {
+          model::apply_op(txn, op);
+          ++stats.ops_applied;
+        }
+        txn.commit();
+        ++stats.records_applied;
+        break;
+      }
+      case RecordType::GaugeBatch: {
+        if (record.shard != options.shard) break;
+        for (const GaugeDelta& delta : record.gauges) {
+          apply_gauge_delta(system, delta);
+          ++stats.gauge_writes;
+        }
+        ++stats.records_applied;
+        break;
+      }
+      case RecordType::PlanEvent:
+      case RecordType::RngPositions:
+      case RecordType::SnapshotMark:
+        break;  // cursor-only: no model effect
+    }
+  }
+  return stats;
+}
+
+}  // namespace arcadia::durability

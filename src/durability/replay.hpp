@@ -1,0 +1,45 @@
+// Journal replay: reconstruct the architectural model at any LSN or
+// sim-time from a snapshot's model encoding plus the journal's committed
+// history — without running the simulation. Works because the journal
+// captures every model mutation at its three commit points (repair engine
+// execute, compensation revert, Applied gauge folds); see DESIGN.md §8.
+// Shared by tools/arcreplay and the durability tests.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "durability/journal.hpp"
+#include "model/system.hpp"
+
+namespace arcadia::durability {
+
+struct ReplayOptions {
+  /// Stop after applying the record with this LSN (inclusive).
+  std::uint64_t to_lsn = std::numeric_limits<std::uint64_t>::max();
+  /// Stop before the first record newer than this sim-time.
+  SimTime to_time = SimTime::infinity();
+  /// Shard whose model is being reconstructed (solo runs journal shard 0).
+  std::uint32_t shard = 0;
+};
+
+struct ReplayStats {
+  std::uint64_t records_applied = 0;  ///< op/gauge batches folded in
+  std::uint64_t ops_applied = 0;
+  std::uint64_t gauge_writes = 0;
+  std::uint64_t last_lsn = 0;  ///< newest record consumed (any type)
+  SimTime last_time;
+};
+
+/// Fold the journal into `system` in LSN order. OpBatch records replay
+/// through a model::Transaction (compensation batches are already inverse
+/// ops — they apply the same way); GaugeBatch deltas write properties
+/// directly, mirroring the architecture manager's Applied fold. Other
+/// record types advance the cursor only. Throws DurabilityError on a gauge
+/// delta naming a missing element (a journal/model mismatch).
+ReplayStats replay_journal(model::System& system,
+                           const std::vector<JournalRecord>& records,
+                           const ReplayOptions& options = {});
+
+}  // namespace arcadia::durability

@@ -1,0 +1,72 @@
+// Periodic snapshots: a point-in-time capture of every shard's model,
+// gauge-channel liveness, health-FSM state, and fault-plane RNG stream
+// positions. Snapshots are written atomically (tmp + fsync + rename via
+// durability/io) and named snap-<zero-padded lsn>.arcs so lexical order is
+// LSN order; a retention policy keeps the newest N. A snapshot is advisory
+// under recovery-by-replay — restore verifies the re-executed model against
+// it — and authoritative for arcreplay, which uses snapshot 0 plus the op
+// stream to reconstruct the model at any LSN.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "durability/codec.hpp"
+#include "util/deterministic_rng.hpp"
+#include "util/units.hpp"
+
+namespace arcadia::durability {
+
+inline constexpr char kSnapshotMagic[4] = {'A', 'R', 'C', 'S'};
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// One gauge channel's monitoring state (mirrors GaugeManager's watchdog
+/// bookkeeping; enough to diff liveness across a crash).
+struct GaugeState {
+  std::string id;
+  bool live = false;
+  bool suspect = false;
+  SimTime last_report;
+};
+
+/// One shard's durable state. `shard` 0 is the solo framework; fleets tag
+/// each tenant with its index.
+struct ShardSnapshot {
+  std::uint32_t shard = 0;
+  std::string name;
+  std::vector<std::uint8_t> model;  ///< canonical encoding (model_codec)
+  std::uint64_t model_digest = 0;
+  std::vector<GaugeState> gauges;
+  std::uint8_t health = 0;  ///< core::ShardHealth (0 = Healthy)
+  std::vector<Rng::State> rng_streams;  ///< fault-plane stream positions
+  std::uint64_t repairs_committed = 0;
+};
+
+struct Snapshot {
+  std::uint64_t lsn = 0;  ///< last LSN journaled before the capture
+  SimTime at;
+  std::vector<ShardSnapshot> shards;
+};
+
+/// "snap-<16-digit lsn>.arcs".
+std::string snapshot_file_name(std::uint64_t lsn);
+
+std::vector<std::uint8_t> encode_snapshot(const Snapshot& snap);
+Snapshot decode_snapshot(const std::vector<std::uint8_t>& bytes);
+
+/// Atomic write into `dir`; returns the file name. `between` runs after the
+/// tmp file is durable and before the rename (the mid-snapshot crash hook).
+std::string write_snapshot(const std::string& dir, const Snapshot& snap,
+                           const std::function<void()>& between = {});
+
+Snapshot load_snapshot(const std::string& path);
+
+/// Snapshot file names in `dir`, ascending LSN.
+std::vector<std::string> list_snapshots(const std::string& dir);
+
+/// Delete all but the newest `keep` snapshots.
+void prune_snapshots(const std::string& dir, std::size_t keep);
+
+}  // namespace arcadia::durability

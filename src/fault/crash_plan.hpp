@@ -1,0 +1,69 @@
+// The crash-recovery seam: a CrashPlan lists seeded sim-times at which the
+// recovery runner kills the framework (durability plane abandoned —
+// unsynced journal tail lost, exactly like a kill -9) and restarts it from
+// durable state. A point may instead target the next snapshot after its
+// time, crashing between the snapshot's tmp write and its rename — the
+// nastiest window the atomic-replace protocol has.
+//
+// CrashSignal is deliberately NOT an arcadia::Error: the repair engine and
+// plan executor catch `const Error&` to convert operator failures into
+// plan aborts, and a simulated process death must tear through those
+// handlers, not be absorbed by them.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/deterministic_rng.hpp"
+#include "util/units.hpp"
+
+namespace arcadia::fault {
+
+/// Thrown to simulate the process dying; escapes every `catch (const
+/// arcadia::Error&)` on the stack by design.
+struct CrashSignal {
+  SimTime at;
+  std::string reason;
+};
+
+struct CrashPoint {
+  SimTime at;
+  /// Crash inside the first snapshot at or after `at` (between tmp write
+  /// and rename) instead of exactly at `at`.
+  bool mid_snapshot = false;
+};
+
+/// A seeded schedule of crash points, sorted by time. Drawn from its own
+/// Rng so crash grids sweep independently of workload and fault seeds.
+struct CrashPlan {
+  std::vector<CrashPoint> points;
+
+  bool empty() const { return points.empty(); }
+
+  /// `count` crash times uniform in [earliest, latest), sorted; every
+  /// `mid_snapshot_every`-th point (1-based) targets a snapshot window.
+  static CrashPlan seeded(std::uint64_t seed, std::size_t count,
+                          SimTime earliest, SimTime latest,
+                          std::size_t mid_snapshot_every = 0) {
+    CrashPlan plan;
+    Rng rng(seed ^ 0xC7A5D0DEULL);
+    const double span = (latest - earliest).as_seconds();
+    for (std::size_t i = 0; i < count; ++i) {
+      CrashPoint point;
+      point.at = earliest +
+                 SimTime::seconds(span > 0.0 ? rng.uniform() * span : 0.0);
+      point.mid_snapshot =
+          mid_snapshot_every > 0 && ((i + 1) % mid_snapshot_every) == 0;
+      plan.points.push_back(point);
+    }
+    std::sort(plan.points.begin(), plan.points.end(),
+              [](const CrashPoint& a, const CrashPoint& b) {
+                return a.at < b.at;
+              });
+    return plan;
+  }
+};
+
+}  // namespace arcadia::fault

@@ -1,5 +1,9 @@
 #include "fault/fault_plane.hpp"
 
+#include <string>
+
+#include "util/error.hpp"
+
 namespace arcadia::fault {
 
 namespace {
@@ -63,6 +67,10 @@ bool FaultPlane::channel_down(util::Symbol gauge_id) {
       ++stats_.reports_suppressed;
       return true;
     }
+    // The window expired: close it, so the open-window gauge reflects
+    // reality and a fresh hazard draw below may open a new one.
+    down_until_.erase(gauge_id);
+    if (stats_.channels_disconnected > 0) --stats_.channels_disconnected;
   }
   const double hazard = profile_.monitoring.channel_disconnect;
   if (hazard > 0.0 && channel_rng_.bernoulli(hazard)) {
@@ -73,6 +81,7 @@ bool FaultPlane::channel_down(util::Symbol gauge_id) {
         SimTime::seconds(span > 0.0 ? channel_rng_.uniform() * span : 0.0);
     down_until_.insert_or_assign(gauge_id, sim_.now() + window);
     ++stats_.channel_disconnects;
+    ++stats_.channels_disconnected;
     ++stats_.reports_suppressed;
     return true;
   }
@@ -80,7 +89,40 @@ bool FaultPlane::channel_down(util::Symbol gauge_id) {
 }
 
 void FaultPlane::force_channel_down(util::Symbol gauge_id, SimTime until) {
+  const SimTime* existing = down_until_.find(gauge_id);
+  const bool was_open = existing != nullptr && sim_.now() < *existing;
+  const bool was_stale = existing != nullptr && !was_open;
   down_until_.insert_or_assign(gauge_id, until);
+  // An open window just gets its deadline moved; a stale (expired, never
+  // closed) entry is replaced — its count carries over to the new window.
+  // Only a genuinely new window bumps the gauge.
+  if (!was_open && !was_stale) ++stats_.channels_disconnected;
+}
+
+void FaultPlane::finalize(SimTime now) {
+  (void)now;
+  // Every remaining entry is either expired (never touched again after its
+  // window lapsed) or straddles the horizon; both close now. Clearing the
+  // map keeps finalize idempotent and consumes no RNG, so calling it
+  // before a stats copy cannot perturb determinism.
+  down_until_.clear();
+  stats_.channels_disconnected = 0;
+}
+
+std::vector<Rng::State> FaultPlane::rng_states() const {
+  return {bus_rng_.save_state(), channel_rng_.save_state(),
+          repair_rng_.save_state(), fleet_rng_.save_state()};
+}
+
+void FaultPlane::restore_rng_states(const std::vector<Rng::State>& states) {
+  if (states.size() != 4) {
+    throw Error("FaultPlane::restore_rng_states: expected 4 streams, got " +
+                std::to_string(states.size()));
+  }
+  bus_rng_.restore_state(states[0]);
+  channel_rng_.restore_state(states[1]);
+  repair_rng_.restore_state(states[2]);
+  fleet_rng_.restore_state(states[3]);
 }
 
 OpFault FaultPlane::next_op_fault() {

@@ -11,6 +11,8 @@
 // parallel detect phase never touches the plane).
 #pragma once
 
+#include <vector>
+
 #include "fault/profile.hpp"
 #include "sim/simulator.hpp"
 #include "util/deterministic_rng.hpp"
@@ -29,6 +31,11 @@ struct FaultPlaneStats {
   std::uint64_t ops_permanent = 0;       ///< non-retryable operator failures
   std::uint64_t ops_stalled = 0;         ///< operator cost inflations
   std::uint64_t tenant_crashes = 0;
+  /// Disconnect windows currently open — a gauge, not a counter. Windows
+  /// close when their channel is next touched after expiry, or at
+  /// FaultPlane::finalize (so windows straddling the horizon do not stay
+  /// "open" in end-of-run stats).
+  std::uint64_t channels_disconnected = 0;
 };
 
 /// What the bus should do with one report notification.
@@ -73,6 +80,19 @@ class FaultPlane {
   void count_tenant_crash() { ++stats_.tenant_crashes; }
 
   const FaultPlaneStats& stats() const { return stats_; }
+
+  /// Close every disconnect window that has expired or straddles `now`:
+  /// the end-of-run stats sweep. Idempotent; the experiment runner calls
+  /// it before copying stats and again at teardown.
+  void finalize(SimTime now);
+
+  /// The four per-seam stream positions (bus, channel, repair, fleet), in
+  /// that fixed order — what the durability plane checkpoints so a crash
+  /// dump records exactly where each fault stream stood.
+  std::vector<Rng::State> rng_states() const;
+  /// Restore positions captured by rng_states(); throws arcadia::Error on
+  /// a stream-count mismatch.
+  void restore_rng_states(const std::vector<Rng::State>& states);
 
  private:
   bool monitoring_active() const;

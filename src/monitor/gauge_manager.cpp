@@ -211,6 +211,20 @@ std::vector<GaugeSpec> GaugeManager::specs() const {
   return out;
 }
 
+std::vector<GaugeManager::ChannelState> GaugeManager::snapshot_state() const {
+  std::vector<ChannelState> out;
+  out.reserve(gauges_.size());
+  for (const auto& entry : gauges_) {
+    ChannelState state;
+    state.id = entry.key.str();
+    state.live = entry.value.live;
+    state.suspect = entry.value.suspect;
+    state.last_report = entry.value.last_report;
+    out.push_back(std::move(state));
+  }
+  return out;
+}
+
 bool GaugeManager::is_live(const std::string& gauge_id) const {
   return is_live(util::Symbol::intern(gauge_id));
 }

@@ -129,6 +129,17 @@ class GaugeManager {
   /// the current mode — used by planning/benches, not by execution.
   SimTime redeploy_cost(const std::string& element) const;
 
+  /// One gauge channel's durable monitoring state (durability snapshots).
+  struct ChannelState {
+    std::string id;
+    bool live = false;
+    bool suspect = false;
+    SimTime last_report;
+  };
+  /// Every channel's liveness/watchdog state, in deterministic (id-sorted)
+  /// order — what the durability plane captures in a snapshot.
+  std::vector<ChannelState> snapshot_state() const;
+
  private:
   struct Managed {
     std::unique_ptr<Gauge> gauge;

@@ -182,6 +182,11 @@ void RepairEngine::execute(const Violation& violation) {
     record.journal = op_records;
     summarize_ops(op_records, record);
     std::size_t idx = records_.size();
+    if (journal_sink_) {
+      // WAL point: the commit is durable before the translator enacts it.
+      journal_sink_->on_ops(journal_shard_, sim_.now(), idx,
+                            /*compensation=*/false, op_records);
+    }
     busy_ = true;
     const SimTime pre = record.decision_cost + record.query_cost + start_delay;
 
@@ -344,7 +349,7 @@ void RepairEngine::fail_plan(std::size_t idx, std::size_t step,
   // alert a human observer"). The executor already compensated the enacted
   // steps at the runtime layer; revert the model symmetrically so the two
   // stay convergent, then cool the constraint down and surface it loudly.
-  revert_model(active_->plan.journal);
+  revert_model(active_->plan.journal, idx);
   note_fault_stats(records_[idx]);
   abort_in_flight(idx, std::string("RuntimeFailure: ") + reason,
                   sim_.now() + compensation_cost, /*cooldown=*/true);
@@ -369,7 +374,7 @@ void RepairEngine::preempt_active(const std::string& reason) {
   }
   stats_.plan_steps_preempted += aborted.steps_skipped;
   ++stats_.plans_preempted;
-  revert_model(active_->plan.journal);
+  revert_model(active_->plan.journal, idx);
   abort_in_flight(idx, reason, sim_.now() + aborted.compensation_cost,
                   /*cooldown=*/false);
   records_[idx].preempted = true;
@@ -385,7 +390,8 @@ void RepairEngine::preempt_active(const std::string& reason) {
   active_.reset();
 }
 
-void RepairEngine::revert_model(const std::vector<model::OpRecord>& journal) {
+void RepairEngine::revert_model(const std::vector<model::OpRecord>& journal,
+                                std::size_t idx) {
   model::Transaction txn(root_);
   try {
     for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
@@ -394,6 +400,12 @@ void RepairEngine::revert_model(const std::vector<model::OpRecord>& journal) {
       }
     }
     txn.commit();
+    if (journal_sink_ && txn.op_count() > 0) {
+      // Compensation commit: journaled like any other, tagged so replay
+      // knows these ops undo repair `idx` rather than advance it.
+      journal_sink_->on_ops(journal_shard_, sim_.now(), idx,
+                            /*compensation=*/true, txn.records());
+    }
   } catch (const Error& e) {
     ARC_ERROR << "plan compensation: model revert failed: " << e.what();
     if (txn.is_open()) txn.rollback();
@@ -402,6 +414,10 @@ void RepairEngine::revert_model(const std::vector<model::OpRecord>& journal) {
 
 void RepairEngine::publish_plan_event(util::Symbol phase, std::size_t idx,
                                       std::size_t steps) {
+  if (journal_sink_) {
+    journal_sink_->on_plan_event(journal_shard_, sim_.now(), phase.str(), idx,
+                                 steps);
+  }
   if (!bus_) return;
   events::Notification n(monitor::topics::kRepairPlanSym);
   n.set(monitor::topics::kAttrRepairSym, static_cast<double>(idx))

@@ -38,6 +38,7 @@
 #include "acme/effects.hpp"
 #include "acme/interpreter.hpp"
 #include "acme/script.hpp"
+#include "durability/sink.hpp"
 #include "events/bus.hpp"
 #include "model/transaction.hpp"
 #include "monitor/gauge_manager.hpp"
@@ -179,6 +180,15 @@ class RepairEngine {
   /// can observe repairs in flight.
   void set_event_bus(events::EventBus* bus) { bus_ = bus; }
 
+  /// Optional write-ahead journal sink (durability plane). When set, every
+  /// committed transaction (execute commit and compensation revert) and
+  /// every plan lifecycle transition is journaled under `shard` before the
+  /// runtime acts on it. Null = durability off, zero overhead.
+  void set_journal_sink(durability::JournalSink* sink, std::uint32_t shard) {
+    journal_sink_ = sink;
+    journal_shard_ = shard;
+  }
+
   /// Consider current violations; start at most one repair. While a plan
   /// is in flight this normally declines — unless preemption is enabled
   /// and a strictly worse violation (outside the elements the plan
@@ -246,8 +256,10 @@ class RepairEngine {
   void abort_in_flight(std::size_t idx, const std::string& reason,
                        SimTime completed_at, bool cooldown);
   /// Replay the inverse of `journal` (newest first) through a fresh
-  /// transaction, returning the model to its pre-plan state.
-  void revert_model(const std::vector<model::OpRecord>& journal);
+  /// transaction, returning the model to its pre-plan state. `idx` is the
+  /// repair whose plan is being compensated (journal tagging).
+  void revert_model(const std::vector<model::OpRecord>& journal,
+                    std::size_t idx);
   void publish_plan_event(util::Symbol phase, std::size_t idx,
                           std::size_t steps);
   bool touched_by_active(util::Symbol element) const;
@@ -274,6 +286,8 @@ class RepairEngine {
   std::map<std::string, CxxStrategy> native_;
   std::function<std::size_t(const std::vector<const Violation*>&)> chooser_;
   events::EventBus* bus_ = nullptr;
+  durability::JournalSink* journal_sink_ = nullptr;
+  std::uint32_t journal_shard_ = 0;
 
   bool busy_ = false;
   PlanExecutor executor_;

@@ -58,6 +58,20 @@ class Simulator {
 
   SimTime now() const { return now_; }
 
+  /// Set the clock origin of a PRISTINE simulator (nothing executed,
+  /// nothing pending); throws SimError otherwise. Restore tooling uses it
+  /// to rebuild ad-hoc rigs whose history starts mid-run; the framework's
+  /// own recovery path never needs it — recovery re-executes from t = 0
+  /// (see DESIGN.md §8), so its clocks always start at zero.
+  void seed_clock(SimTime origin) {
+    if (executed_ != 0 || live_ != 0) {
+      throw SimError("seed_clock on a non-pristine simulator (" +
+                     std::to_string(executed_) + " executed, " +
+                     std::to_string(live_) + " pending)");
+    }
+    now_ = origin;
+  }
+
   /// Schedule `fn` at absolute time `at` (>= now). Returns a handle usable
   /// to cancel the event before it fires.
   EventHandle schedule_at(SimTime at, util::SmallFn<void()> fn);

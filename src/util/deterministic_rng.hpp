@@ -113,6 +113,28 @@ class Rng {
 
   bool bernoulli(double p) { return uniform() < p; }
 
+  /// The complete generator position — the four Xoshiro words plus the
+  /// Box-Muller spare — so the durability plane can checkpoint a stream
+  /// mid-run and a restored run resumes the exact variate sequence.
+  struct State {
+    std::uint64_t s[4] = {};
+    bool have_spare = false;
+    double spare = 0.0;
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+
+  State save_state() const {
+    return State{{state_[0], state_[1], state_[2], state_[3]}, have_spare_,
+                 spare_};
+  }
+
+  void restore_state(const State& st) {
+    for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+    have_spare_ = st.have_spare;
+    spare_ = st.spare;
+  }
+
   /// Derive an independent child generator; used to give each client its own
   /// stream so adding a client does not perturb the others' sequences, and
   /// to give each fault seam its own stream so monitoring faults do not

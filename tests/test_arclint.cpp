@@ -26,12 +26,14 @@ bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
   return std::find(hit.begin(), hit.end(), rule) != hit.end();
 }
 
-TEST(ArclintTest, ListsAllSixRules) {
-  EXPECT_EQ(arclint::rule_ids().size(), 6u);
+TEST(ArclintTest, ListsAllSevenRules) {
+  EXPECT_EQ(arclint::rule_ids().size(), 7u);
   EXPECT_TRUE(std::find(arclint::rule_ids().begin(), arclint::rule_ids().end(),
                         "entropy") != arclint::rule_ids().end());
   EXPECT_TRUE(std::find(arclint::rule_ids().begin(), arclint::rule_ids().end(),
                         "tools-parity") != arclint::rule_ids().end());
+  EXPECT_TRUE(std::find(arclint::rule_ids().begin(), arclint::rule_ids().end(),
+                        "durability-io") != arclint::rule_ids().end());
 }
 
 // ---- unordered-container -------------------------------------------------
@@ -195,6 +197,38 @@ TEST(ArclintTest, ExemptionForOneRuleDoesNotSilenceAnother) {
   const std::string src =
       "std::mutex mu;  // arclint: allow(wall-clock): wrong rule named\n";
   EXPECT_TRUE(has_rule(lint_source("src/sim/foo.cpp", src), "raw-mutex"));
+}
+
+// ---- durability-io -------------------------------------------------------
+
+TEST(ArclintTest, CatchesDirectFileIoUnderSrc) {
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/report.cpp", "#include <fstream>\n"),
+      "durability-io"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/report.cpp", "std::ofstream out(path);\n"),
+      "durability-io"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/monitor/gauge.cpp", "FILE* f = fopen(p, \"r\");\n"),
+      "durability-io"));
+}
+
+TEST(ArclintTest, DurabilityIoSeamAndNonSrcAreExempt) {
+  const std::string src = "#include <fstream>\nstd::ifstream in(path);\n";
+  // The one seam that owns descriptors is allowed — both header and impl.
+  EXPECT_TRUE(lint_source("src/durability/io.cpp", src).empty());
+  EXPECT_TRUE(lint_source("src/durability/io.hpp", src).empty());
+  // Tools, tests, benches, examples write their own outputs freely.
+  EXPECT_TRUE(lint_source("tools/arcviz/main.cpp", src).empty());
+  EXPECT_TRUE(lint_source("bench/bench_durability.cpp", src).empty());
+  // Other durability files still go through the seam.
+  EXPECT_TRUE(has_rule(lint_source("src/durability/journal.cpp", src),
+                       "durability-io"));
+  // <cstdio> alone is stderr logging, not file I/O; only opening a FILE*
+  // (fopen/freopen) trips the rule.
+  EXPECT_TRUE(lint_source("src/util/log.cpp",
+                          "#include <cstdio>\nstd::fprintf(stderr, \"x\");\n")
+                  .empty());
 }
 
 // ---- tools-parity --------------------------------------------------------

@@ -221,7 +221,8 @@ std::string strip_comments_and_strings(std::string_view source) {
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> ids = {
       "unordered-container", "wall-clock",   "raw-mutex",
-      "hotpath-std-function", "entropy",     "tools-parity"};
+      "hotpath-std-function", "entropy",     "tools-parity",
+      "durability-io"};
   return ids;
 }
 
@@ -277,6 +278,10 @@ std::vector<Finding> lint_source(std::string_view path,
   // (config, seed) — including fault injection (the fault plane forks its
   // streams from here too).
   const bool is_rng = path == "src/util/deterministic_rng.hpp";
+  // The single allow-listed file-I/O seam under src/: durability/io owns
+  // every descriptor so crash atomicity (tmp + fsync + rename), torn-tail
+  // handling, and the abandon() kill -9 semantics live in one place.
+  const bool is_durability_io = starts_with(path, "src/durability/io.");
   const bool hotpath_marked =
       source.find("arclint: hotpath") != std::string_view::npos;
 
@@ -290,6 +295,7 @@ std::vector<Finding> lint_source(std::string_view path,
       {in_src && !is_annotations, "raw-mutex"},
       {hotpath_marked, "hotpath-std-function"},
       {in_src && !is_rng, "entropy"},
+      {in_src && !is_durability_io, "durability-io"},
   };
   constexpr std::size_t kNumRules = sizeof(rules) / sizeof(rules[0]);
   bool any = false;
@@ -408,6 +414,29 @@ std::vector<Finding> lint_source(std::string_view path,
             "ambient randomness source; the only allowed generator is "
             "arcadia::Rng from util/deterministic_rng.hpp (seeded, "
             "forkable) — determinism and fault replay depend on it");
+    }
+
+    // durability-io: library code does not open files behind the journal's
+    // back.
+    {
+      // <cstdio> stays legal: stderr logging uses it. Opening a FILE* is
+      // what the rule forbids, and the fopen words catch that.
+      static constexpr std::string_view kFileIoWords[] = {
+          "ofstream", "ifstream", "fstream", "fopen", "freopen",
+      };
+      bool hit = includes_header(line, {"fstream"});
+      if (!hit) {
+        for (std::string_view w : kFileIoWords) {
+          if (contains_word(line, w)) {
+            hit = true;
+            break;
+          }
+        }
+      }
+      check(5, hit,
+            "direct file I/O under src/; route it through durability/io.hpp "
+            "(AppendFile, write_file_atomic, read_file) so crash atomicity "
+            "and torn-tail recovery stay centralized");
     }
 
     if (s_end >= stripped.size() || r_end >= source.size()) break;

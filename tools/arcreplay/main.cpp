@@ -1,0 +1,344 @@
+// arcreplay: replay debugging over a durable run directory (DESIGN.md §8).
+// Reconstructs the architectural model at any LSN or sim-time from a
+// retained snapshot plus the journal's committed history — no simulation —
+// and cross-checks it against the snapshots the run wrote. The mechanics
+// live in the library (durability/replay.*); this is the CLI and the ctest
+// selftest (`arcreplay_selftest`).
+//
+// Usage:
+//   arcreplay <dir> [--shard K] [--to-lsn N | --to-time SECONDS]
+//   arcreplay <dir> --list                 # record-by-record journal dump
+//   arcreplay <dir> --around R [--context N]   # op window around repair R
+//   arcreplay <dir> --diff-snapshot        # replay vs newest snapshot
+//   arcreplay --selftest                   # end-to-end gate (ctest/CI)
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/recovery.hpp"
+#include "durability/io.hpp"
+#include "durability/journal.hpp"
+#include "durability/model_codec.hpp"
+#include "durability/replay.hpp"
+#include "durability/snapshot.hpp"
+#include "fault/crash_plan.hpp"
+#include "sim/scenario_registry.hpp"
+
+using namespace arcadia;
+
+namespace {
+
+struct DurableDir {
+  std::string dir;
+  std::vector<durability::JournalRecord> records;
+  bool torn = false;
+  std::string warning;
+  /// Loaded snapshots, ascending LSN (pruned ones are simply absent).
+  std::vector<durability::Snapshot> snapshots;
+};
+
+DurableDir load_dir(const std::string& dir) {
+  DurableDir loaded;
+  loaded.dir = dir;
+  const durability::JournalReadResult journal =
+      durability::read_journal(dir + "/" + durability::kJournalFile);
+  loaded.records = journal.records;
+  loaded.torn = journal.torn;
+  loaded.warning = journal.warning;
+  if (journal.torn) {
+    std::cerr << "arcreplay: journal tail torn (" << journal.warning
+              << "); using the valid prefix of " << journal.records.size()
+              << " records\n";
+  }
+  for (const std::string& name : durability::list_snapshots(dir)) {
+    loaded.snapshots.push_back(durability::load_snapshot(dir + "/" + name));
+  }
+  return loaded;
+}
+
+const durability::ShardSnapshot* find_shard(const durability::Snapshot& snap,
+                                            std::uint32_t shard) {
+  for (const durability::ShardSnapshot& s : snap.shards) {
+    if (s.shard == shard) return &s;
+  }
+  return nullptr;
+}
+
+/// Rebuild `shard`'s model at (to_lsn, to_time): decode the newest usable
+/// snapshot at or before the target, then fold the journal forward.
+std::unique_ptr<model::System> reconstruct(const DurableDir& loaded,
+                                           std::uint32_t shard,
+                                           std::uint64_t to_lsn,
+                                           SimTime to_time,
+                                           durability::ReplayStats* stats_out) {
+  const durability::Snapshot* base = nullptr;
+  for (const durability::Snapshot& snap : loaded.snapshots) {
+    if (snap.lsn <= to_lsn && snap.at <= to_time &&
+        find_shard(snap, shard) != nullptr) {
+      base = &snap;  // ascending scan keeps the newest eligible one
+    }
+  }
+  if (base == nullptr) {
+    throw durability::DurabilityError(
+        "no retained snapshot at or before the replay target — raise "
+        "Options::retention or target a later LSN");
+  }
+  std::unique_ptr<model::System> system =
+      durability::decode_system(find_shard(*base, shard)->model);
+  durability::ReplayOptions opts;
+  opts.shard = shard;
+  opts.to_lsn = to_lsn;
+  opts.to_time = to_time;
+  durability::ReplayStats stats;
+  // Skip history the snapshot already contains.
+  std::vector<durability::JournalRecord> tail;
+  for (const durability::JournalRecord& r : loaded.records) {
+    if (r.lsn > base->lsn) tail.push_back(r);
+  }
+  stats = durability::replay_journal(*system, tail, opts);
+  if (stats_out != nullptr) *stats_out = stats;
+  return system;
+}
+
+std::string describe(const durability::JournalRecord& r) {
+  std::ostringstream out;
+  out << "lsn " << r.lsn << "  t=" << r.at.as_seconds() << "s  shard "
+      << r.shard << "  " << durability::to_string(r.type);
+  switch (r.type) {
+    case durability::RecordType::OpBatch:
+      out << "  repair #" << r.repair_index
+          << (r.compensation ? " (compensation)" : "") << ", " << r.ops.size()
+          << " ops";
+      break;
+    case durability::RecordType::PlanEvent:
+      out << "  " << r.phase << " repair #" << r.repair_index << " ("
+          << r.plan_steps << " steps)";
+      break;
+    case durability::RecordType::GaugeBatch:
+      out << "  " << r.gauges.size() << " deltas";
+      break;
+    case durability::RecordType::RngPositions:
+      out << "  " << r.rng_streams.size() << " streams";
+      break;
+    case durability::RecordType::SnapshotMark:
+      out << "  " << r.snapshot_file << " (snapshot lsn " << r.snapshot_lsn
+          << ", digest " << std::hex << r.model_digest << std::dec << ")";
+      break;
+  }
+  return out.str();
+}
+
+int cmd_list(const DurableDir& loaded) {
+  for (const durability::JournalRecord& r : loaded.records) {
+    std::cout << describe(r) << "\n";
+  }
+  std::cout << loaded.records.size() << " records, " << loaded.snapshots.size()
+            << " snapshots retained\n";
+  return 0;
+}
+
+/// The op window around one repair: every OpBatch/PlanEvent of repair R,
+/// plus `context` journal records on each side — what you read first when a
+/// repair went wrong.
+int cmd_around(const DurableDir& loaded, std::uint64_t repair,
+               std::size_t context) {
+  std::size_t first = loaded.records.size(), last = 0;
+  for (std::size_t i = 0; i < loaded.records.size(); ++i) {
+    const durability::JournalRecord& r = loaded.records[i];
+    const bool of_repair =
+        (r.type == durability::RecordType::OpBatch ||
+         r.type == durability::RecordType::PlanEvent) &&
+        r.repair_index == repair;
+    if (!of_repair) continue;
+    if (i < first) first = i;
+    last = i;
+  }
+  if (first > last) {
+    std::cerr << "arcreplay: no journal records for repair #" << repair
+              << "\n";
+    return 1;
+  }
+  const std::size_t lo = first > context ? first - context : 0;
+  const std::size_t hi =
+      std::min(loaded.records.size(), last + context + 1);
+  for (std::size_t i = lo; i < hi; ++i) {
+    const durability::JournalRecord& r = loaded.records[i];
+    std::cout << (i >= first && i <= last ? ">> " : "   ") << describe(r)
+              << "\n";
+    if (r.type == durability::RecordType::OpBatch &&
+        r.repair_index == repair) {
+      for (const model::OpRecord& op : r.ops) {
+        std::cout << "        " << op.describe() << "\n";
+      }
+    }
+  }
+  return 0;
+}
+
+int cmd_diff_snapshot(const DurableDir& loaded, std::uint32_t shard) {
+  if (loaded.snapshots.empty()) {
+    std::cerr << "arcreplay: no snapshots in " << loaded.dir << "\n";
+    return 1;
+  }
+  const durability::Snapshot& target = loaded.snapshots.back();
+  const durability::ShardSnapshot* stored = find_shard(target, shard);
+  if (stored == nullptr) {
+    std::cerr << "arcreplay: snapshot has no shard " << shard << "\n";
+    return 1;
+  }
+  if (loaded.snapshots.size() == 1) {
+    std::cout << "only one snapshot retained (lsn " << target.lsn
+              << "); nothing to replay against it\n";
+    return 0;
+  }
+  std::unique_ptr<model::System> replayed =
+      reconstruct(loaded, shard, target.lsn, SimTime::infinity(), nullptr);
+  std::unique_ptr<model::System> snapshot_model =
+      durability::decode_system(stored->model);
+  const std::string diff = durability::diff_systems(*replayed, *snapshot_model);
+  if (diff.empty()) {
+    std::cout << "replay == snapshot at lsn " << target.lsn << " (digest "
+              << std::hex << stored->model_digest << std::dec << ")\n";
+    return 0;
+  }
+  std::cerr << "arcreplay: replayed model diverges from snapshot lsn "
+            << target.lsn << ":\n"
+            << diff;
+  return 1;
+}
+
+int cmd_reconstruct(const DurableDir& loaded, std::uint32_t shard,
+                    std::uint64_t to_lsn, SimTime to_time) {
+  durability::ReplayStats stats;
+  std::unique_ptr<model::System> system =
+      reconstruct(loaded, shard, to_lsn, to_time, &stats);
+  std::cout << "reconstructed shard " << shard << " at lsn " << stats.last_lsn
+            << " (t=" << stats.last_time.as_seconds() << "s): "
+            << stats.records_applied << " batches, " << stats.ops_applied
+            << " ops, " << stats.gauge_writes << " gauge writes\n"
+            << "model digest " << std::hex
+            << durability::system_digest(*system) << std::dec << "\n";
+  return 0;
+}
+
+/// End-to-end gate: run a compressed lossy-grid durable run, then prove the
+/// journal supports both replay modes — final-LSN reconstruction matches
+/// the live model's digest, and snapshot cross-check diffs clean.
+int selftest() {
+  const std::string dir = "arcreplay-selftest.durable";
+  durability::ensure_dir(dir);
+  for (const std::string& name : durability::list_dir(dir)) {
+    durability::remove_file(dir + "/" + name);
+  }
+
+  core::RecoveryOptions opts;
+  opts.dir = dir;
+  opts.scenario = "lossy-grid";
+  opts.config = sim::scenario_defaults("lossy-grid");
+  opts.config.horizon = SimTime::seconds(500);
+  opts.config.stress_start = SimTime::seconds(150);
+  opts.config.stress_end = SimTime::seconds(330);
+  opts.framework.verify = core::VerifyMode::Off;
+  opts.framework.durability.snapshot_period = SimTime::seconds(120);
+  opts.framework.durability.retention = 16;  // keep snapshot-0 for anchoring
+  const core::RecoveryResult run = core::run_with_recovery(opts);
+
+  const DurableDir loaded = load_dir(dir);
+  if (loaded.torn) {
+    std::cerr << "SELFTEST FAILED: clean run produced a torn journal\n";
+    return 1;
+  }
+  if (run.final_lsn == 0 || loaded.records.size() == 0 ||
+      loaded.snapshots.size() < 2) {
+    std::cerr << "SELFTEST FAILED: journal/snapshots empty (lsn "
+              << run.final_lsn << ", " << loaded.snapshots.size()
+              << " snapshots)\n";
+    return 1;
+  }
+  std::unique_ptr<model::System> replayed =
+      reconstruct(loaded, 0, std::numeric_limits<std::uint64_t>::max(),
+                  SimTime::infinity(), nullptr);
+  const std::uint64_t digest = durability::system_digest(*replayed);
+  if (digest != run.model_digest) {
+    std::cerr << "SELFTEST FAILED: replayed digest " << std::hex << digest
+              << " != live digest " << run.model_digest << std::dec << "\n";
+    return 1;
+  }
+  const int diff_rc = cmd_diff_snapshot(loaded, 0);
+  if (diff_rc != 0) {
+    std::cerr << "SELFTEST FAILED: snapshot diff\n";
+    return 1;
+  }
+  std::cout << "OK arcreplay selftest: " << loaded.records.size()
+            << " records, " << loaded.snapshots.size()
+            << " snapshots, replay digest matches live model\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  std::uint32_t shard = 0;
+  std::uint64_t to_lsn = std::numeric_limits<std::uint64_t>::max();
+  SimTime to_time = SimTime::infinity();
+  bool list = false, diff_snapshot = false, run_selftest = false;
+  bool around = false;
+  std::uint64_t repair = 0;
+  std::size_t context = 3;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "arcreplay: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--selftest") {
+      run_selftest = true;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--diff-snapshot") {
+      diff_snapshot = true;
+    } else if (arg == "--shard") {
+      shard = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
+    } else if (arg == "--to-lsn") {
+      to_lsn = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--to-time") {
+      to_time = SimTime::seconds(std::strtod(next(), nullptr));
+    } else if (arg == "--around") {
+      around = true;
+      repair = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--context") {
+      context = std::strtoull(next(), nullptr, 0);
+    } else if (!arg.empty() && arg[0] != '-') {
+      dir = arg;
+    } else {
+      std::cerr << "arcreplay: unknown option " << arg << "\n";
+      return 2;
+    }
+  }
+
+  try {
+    if (run_selftest) return selftest();
+    if (dir.empty()) {
+      std::cerr << "usage: arcreplay <dir> [--shard K] [--to-lsn N] "
+                   "[--to-time S] [--list] [--around R [--context N]] "
+                   "[--diff-snapshot] | arcreplay --selftest\n";
+      return 2;
+    }
+    const DurableDir loaded = load_dir(dir);
+    if (list) return cmd_list(loaded);
+    if (around) return cmd_around(loaded, repair, context);
+    if (diff_snapshot) return cmd_diff_snapshot(loaded, shard);
+    return cmd_reconstruct(loaded, shard, to_lsn, to_time);
+  } catch (const std::exception& e) {
+    std::cerr << "arcreplay: " << e.what() << "\n";
+    return 1;
+  }
+}
