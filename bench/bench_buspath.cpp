@@ -15,7 +15,11 @@
 //                   std::function copies through the same simulator
 //   allocations     steady-state probe-path publishes counted against a
 //                   global operator-new hook; the current path must be
-//                   exactly zero per publish on both buses
+//                   exactly zero per publish on both buses — and a
+//                   reserved sim::Simulator (Simulator::reserve, sized the
+//                   way scenario builds size it from ScenarioConfig) must
+//                   schedule/run events with zero allocations and zero
+//                   pool/queue growths at steady state
 //
 // Emits BENCH_buspath.json (cwd, or argv[1]) for CI artifact upload.
 // Run Release: the numbers are meaningless under -O0.
@@ -336,6 +340,8 @@ struct AllocResult {
   double local_per_publish = 0.0;
   double sim_per_publish = 0.0;
   double legacy_local_per_publish = 0.0;
+  double simulator_per_event = 0.0;
+  std::uint64_t simulator_growths = 0;  ///< pool + queue growths, must be 0
 };
 
 AllocResult bench_allocations() {
@@ -417,6 +423,31 @@ AllocResult bench_allocations() {
         static_cast<double>(g_alloc_count.load() - before) / kMeasured;
     g_sink = consumed;
   }
+
+  {  // reserved simulator: steady-state schedule/run churn
+    // Simulator::reserve pre-sizes the slot pool and the event heap the
+    // same way scenario builds do (sim::estimate_event_reserve); once the
+    // pool is warm, the schedule -> fire -> recycle cycle must never touch
+    // the heap or grow either arena.
+    sim::Simulator sim;
+    sim.reserve(256);
+    std::uint64_t fired = 0;
+    auto round = [&sim, &fired] {
+      for (int i = 0; i < 128; ++i) {
+        sim.schedule_in(SimTime::millis(1 + (i % 7)), [&fired] { ++fired; });
+      }
+      sim.run_until(sim.now() + SimTime::seconds(1));
+    };
+    for (std::uint64_t r = 0; r < kWarmup / 128; ++r) round();
+    const std::uint64_t before = g_alloc_count.load();
+    const std::uint64_t fired_before = fired;
+    for (std::uint64_t r = 0; r < kMeasured / 128; ++r) round();
+    out.simulator_per_event =
+        static_cast<double>(g_alloc_count.load() - before) /
+        static_cast<double>(fired - fired_before);
+    out.simulator_growths = sim.pool_growths() + sim.queue_growths();
+    g_sink = static_cast<double>(fired);
+  }
   return out;
 }
 
@@ -456,6 +487,10 @@ int main(int argc, char** argv) {
        << "    \"sim_steady_state\": " << allocs.sim_per_publish << ",\n"
        << "    \"legacy_local_steady_state\": "
        << allocs.legacy_local_per_publish << "\n"
+       << "  },\n"
+       << "  \"reserved_simulator\": {\n"
+       << "    \"allocs_per_event\": " << allocs.simulator_per_event << ",\n"
+       << "    \"arena_growths\": " << allocs.simulator_growths << "\n"
        << "  }\n"
        << "}\n";
   json.close();
@@ -471,12 +506,19 @@ int main(int argc, char** argv) {
             << "allocs/publish: local " << allocs.local_per_publish << ", sim "
             << allocs.sim_per_publish << " (legacy "
             << allocs.legacy_local_per_publish << ")\n"
+            << "reserved sim:   " << allocs.simulator_per_event
+            << " allocs/event, " << allocs.simulator_growths
+            << " arena growths\n"
             << "\nwrote " << out_path << "\n";
 
-  // Acceptance gate: >= 2x on both paths, zero steady-state allocations.
+  // Acceptance gate: >= 2x on both paths, zero steady-state allocations —
+  // including the reserved simulator's event churn (pool and heap pre-sized
+  // by Simulator::reserve, never grown).
   const bool pass = local_speedup >= 2.0 && sim_speedup >= 2.0 &&
                     allocs.local_per_publish == 0.0 &&
-                    allocs.sim_per_publish == 0.0;
+                    allocs.sim_per_publish == 0.0 &&
+                    allocs.simulator_per_event == 0.0 &&
+                    allocs.simulator_growths == 0;
   if (!pass) {
     std::cout << "WARNING: below the acceptance floor (2x + zero allocs)\n";
   }

@@ -1,28 +1,37 @@
-// Fleet scaling: N tenants on one simulator, the batched + parallel fleet
-// control loop (core::FleetManager) against the naive per-tenant loop (every
-// tenant running its own ArchitectureManager with immediate report
-// application and a sequential check task).
+// Fleet scaling for the sharded simulation kernel: the same coordinated
+// fleet run serial (sim_threads = 0, the legacy single event loop hosting
+// every tenant) and sharded (per-tenant sub-simulators advanced in
+// conservative time windows) at 1 / 2 / 4 / 8 worker threads.
 //
-// The workload is monitoring-heavy on purpose — chatty gauges (4 reports/s
-// per gauge) and a 1 s constraint sweep — because that is the regime fleet
-// mode exists for: at 8+ tenants the gauge-report storm and the sweep are
-// the control plane's cost, and coalescing (one model write per element per
-// window) plus the parallel sweep are what keep it off the critical path.
+// Two scenario sizes: fleet-4x16 with 8 tenants (the CI gate size) and
+// fleet-64x256 (the scale target: 64 tenants x 256 clients, DESIGN.md §9)
+// on a compressed horizon. For every scenario the bench also fingerprints
+// each sharded run — repairs, models, event counts — and fails if any
+// thread count perturbs a single bit (the determinism contract).
 //
-// Emits BENCH_fleet.json (cwd, or argv[1]). Exit 1 when the batched +
-// parallel fleet fails to beat the naive loop at the largest tenant count
-// (run Release on a quiet machine before trusting a failure).
+// Emits BENCH_fleet.json (next to the binary, or argv[1]). Speedup gates
+// are hardware-aware: wall-clock targets are only enforced when the host
+// actually has the cores (hw_concurrency >= 4); a 1-core container still
+// runs everything and enforces determinism, but records gates_enforced =
+// false instead of failing on physics. On CI's 4-vCPU Release runners the
+// gates are real: fleet-4x16 must reach 2x at 4 threads and fleet-64x256
+// must reach 3x at 4+ threads, both vs the serial kernel.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "acme/adl.hpp"
 #include "core/fleet.hpp"
 #include "core/framework_builder.hpp"
+#include "repair/engine.hpp"
 #include "repair/scripts.hpp"
 #include "sim/scenario_registry.hpp"
+#include "util/annotations.hpp"
 
 #include "bench_output.hpp"
 
@@ -31,187 +40,231 @@ namespace {
 using namespace arcadia;
 using Clock = std::chrono::steady_clock;
 
-constexpr double kHorizonS = 360.0;
-constexpr int kReps = 3;  // per cell; the minimum is reported
-
-struct FleetCounters {
-  std::uint64_t reports_enqueued = 0;
-  std::uint64_t reports_coalesced = 0;
-  std::uint64_t reports_applied = 0;
-  std::uint64_t shard_sweeps = 0;
-  std::uint64_t shard_skips = 0;
-  std::uint64_t parallel_rounds = 0;
-  std::uint64_t repairs = 0;
+struct ScenarioSpec {
+  std::string name;
+  int tenants;
+  double horizon_s;
+  int reps;
 };
 
-struct RunResult {
+struct Cell {
+  std::size_t sim_threads = 0;  // 0 = legacy serial kernel
   double wall_s = 0.0;
-  /// Naive: wall-clock inside the managers' periodic checks (report
-  /// application happens per delivery and is not separable). Fleet:
-  /// wall-clock inside run_sweep — batched application + parallel detect +
-  /// ordered dispatch. Not directly comparable; the total is the verdict.
-  double control_wall_s = 0.0;
   std::uint64_t events = 0;
-  FleetCounters counters;
+  std::uint64_t repairs = 0;
+  std::uint64_t fingerprint = 0;
 };
 
-core::FleetOptions make_options(int tenants, bool coordinated) {
+core::FleetOptions make_options(const ScenarioSpec& spec,
+                                std::size_t sim_threads) {
   core::FleetOptions opt;
-  opt.scenario = "fleet-4x16";
-  opt.tenants = tenants;
+  opt.scenario = spec.name;
+  opt.tenants = spec.tenants;
   opt.use_scenario_defaults = false;
-  opt.config = sim::scenario_defaults("fleet-4x16");
-  // Duty-cycled tenants: each is active for 40 s inside its staggered
-  // window and quiet otherwise — at any instant only a couple of tenants
-  // carry traffic, the production-fleet shape. Quiet tenants' gauges keep
-  // re-publishing steady values; the dead-band keeps those from dirtying
-  // their shards, so the fleet sweep skips them while the naive loop
-  // re-checks every tenant every period.
-  opt.config.quiescent_end = SimTime::seconds(40);
-  // Hot enough that an active tenant overloads its groups and repairs fire.
-  opt.config.normal_rate_hz = 2.5;
-  opt.config.fleet.phase_shift = SimTime::seconds(30);
-  opt.config.fleet.active_duration = SimTime::seconds(40);
-  // Monitoring-heavy control plane: chatty gauges, tight sweep, and a
-  // fleet-health invariant quantified over every component — the non-local
-  // form whose evaluation each sweep is what the parallel sweep spreads
-  // across cores. Monitoring QoS (the paper's Section 5.3 mitigation, same
-  // for both modes) keeps per-delivery congestion math from drowning out
-  // the control-plane difference under measurement.
+  opt.config = sim::scenario_defaults(spec.name);
+  // Always-on Figure 7 schedule, compressed so the stress phases (and the
+  // repairs they force) land inside the bench horizon. Every shard carries
+  // load the whole run — the regime the parallel kernel exists for.
+  opt.config.quiescent_end = SimTime::seconds(10);
+  opt.config.stress_start = SimTime::seconds(spec.horizon_s * 0.3);
+  opt.config.stress_end = SimTime::seconds(spec.horizon_s * 0.8);
+  opt.config.fleet.phase_shift = SimTime::seconds(2);
+  opt.config.fleet.active_duration = SimTime::zero();  // always on
+  // Monitoring-heavy control plane: chatty gauges and a 1 s sweep, same as
+  // the historical control-plane bench, so the two bench generations stay
+  // comparable.
   opt.framework.monitoring_qos = true;
   opt.framework.gauge_costs.report_period = SimTime::millis(250);
-  opt.framework.check_period = SimTime::seconds(1);  // fleet sweep inherits
-  opt.framework.script_source =
-      std::string(repair::extended_script()) +
-      "\ninvariant fleetWatch : !(exists c : ClientT in self.Components | "
-      "c.averageLatency > maxLatency * 4.0);\n";
-  // Sweep-aligned window: batches apply exactly when the sweep reads them.
+  opt.framework.check_period = SimTime::seconds(1);
   opt.manager.coalesce_window = SimTime::seconds(1);
-  opt.manager.sweep_threads = 0;  // hardware concurrency
-  opt.coordinated = coordinated;
+  opt.manager.sweep_threads = 1;  // isolate the KERNEL's scaling
+  opt.coordinated = true;
+  opt.sim_threads = sim_threads;
   return opt;
 }
 
-RunResult run_once(int tenants, bool coordinated) {
-  sim::Simulator sim;
-  auto fleet =
-      core::FrameworkBuilder::build_fleet(sim, make_options(tenants, coordinated));
-  fleet->start();
-  const auto t0 = Clock::now();
-  sim.run_until(SimTime::seconds(kHorizonS));
-  const auto t1 = Clock::now();
-
-  RunResult r;
-  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
-  r.events = sim.executed();
-  for (std::size_t t = 0; t < fleet->tenant_count(); ++t) {
-    r.counters.repairs +=
-        fleet->tenant(t).framework->engine().records().size();
-    r.control_wall_s +=
-        fleet->tenant(t).framework->manager().stats().check_wall_s;
-  }
-  if (core::FleetManager* mgr = fleet->manager()) {
-    r.control_wall_s += mgr->stats().sweep_wall_s;
-    for (std::size_t s = 0; s < mgr->shard_count(); ++s) {
-      const core::FleetShardStats& st = mgr->shard_stats(s);
-      r.counters.reports_enqueued += st.reports_enqueued;
-      r.counters.reports_coalesced += st.reports_coalesced;
-      r.counters.reports_applied += st.reports_applied;
+/// FNV-1a over every tenant's repair sequence and printed model: two runs
+/// fingerprint equal iff they made the same repairs at the same sim-times
+/// and left the same architecture behind.
+std::uint64_t fingerprint_fleet(core::Fleet& fleet) {
+  std::uint64_t h = 14695981039346656037ULL;
+  auto mix_bytes = [&h](const void* data, std::size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
     }
-    r.counters.shard_sweeps = mgr->stats().shard_sweeps;
-    r.counters.shard_skips = mgr->stats().shard_skips;
-    r.counters.parallel_rounds = mgr->stats().parallel_rounds;
+  };
+  for (std::size_t t = 0; t < fleet.tenant_count(); ++t) {
+    core::FleetTenant& tenant = fleet.tenant(t);
+    util::SerialLane in_lane(tenant.lane());
+    for (const repair::RepairRecord& r : tenant.framework->engine().records()) {
+      mix_bytes(r.strategy.data(), r.strategy.size());
+      mix_bytes(r.element.data(), r.element.size());
+      const double started = r.started.as_seconds();
+      mix_bytes(&started, sizeof(started));
+    }
+    const std::string model = acme::print_system(tenant.framework->system());
+    mix_bytes(model.data(), model.size());
   }
-  return r;
+  return h;
 }
 
-RunResult run_best(int tenants, bool coordinated) {
-  // The simulation is deterministic — every rep produces identical events
-  // and counters — so only the wall clock varies; report the minimum.
-  RunResult best;
-  for (int rep = 0; rep < kReps; ++rep) {
-    RunResult r = run_once(tenants, coordinated);
-    if (rep == 0 || r.wall_s < best.wall_s) best = r;
+Cell run_once(const ScenarioSpec& spec, std::size_t sim_threads) {
+  sim::Simulator sim;
+  auto fleet = core::FrameworkBuilder::build_fleet(
+      sim, make_options(spec, sim_threads));
+  fleet->start();
+  const auto t0 = Clock::now();
+  fleet->run_until(SimTime::seconds(spec.horizon_s));
+  const auto t1 = Clock::now();
+
+  Cell c;
+  c.sim_threads = sim_threads;
+  c.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  c.events = sim.executed();
+  if (fleet->coordinator()) {
+    c.events += fleet->coordinator()->stats().shard_events;
+  }
+  for (std::size_t t = 0; t < fleet->tenant_count(); ++t) {
+    core::FleetTenant& tenant = fleet->tenant(t);
+    util::SerialLane in_lane(tenant.lane());
+    c.repairs += tenant.framework->engine().records().size();
+  }
+  c.fingerprint = fingerprint_fleet(*fleet);
+  return c;
+}
+
+Cell run_best(const ScenarioSpec& spec, std::size_t sim_threads) {
+  // The simulation is deterministic — every rep produces identical events,
+  // repairs, and fingerprints — so only the wall clock varies; report the
+  // minimum.
+  Cell best;
+  for (int rep = 0; rep < spec.reps; ++rep) {
+    Cell c = run_once(spec, sim_threads);
+    if (rep == 0 || c.wall_s < best.wall_s) best = c;
   }
   return best;
 }
 
+struct ScenarioResult {
+  ScenarioSpec spec;
+  Cell serial;              // sim_threads = 0, legacy kernel
+  std::vector<Cell> cells;  // sharded, 1 / 2 / 4 / 8 threads
+  bool deterministic = true;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = arcadia::bench::output_path(argc, argv, "BENCH_fleet.json");
-  const std::vector<int> tenant_counts = {2, 4, 8, 16};
-
-  struct Row {
-    int tenants;
-    RunResult naive;
-    RunResult fleet;
+  const std::string out_path =
+      arcadia::bench::output_path(argc, argv, "BENCH_fleet.json");
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  const std::vector<ScenarioSpec> specs = {
+      {"fleet-4x16", 8, 120.0, 3},
+      {"fleet-64x256", 64, 45.0, 2},
   };
-  std::vector<Row> rows;
-  for (int tenants : tenant_counts) {
-    std::cout << "bench_fleet_scaling: " << tenants << " tenants, naive...\n";
-    RunResult naive = run_best(tenants, /*coordinated=*/false);
-    std::cout << "bench_fleet_scaling: " << tenants << " tenants, fleet...\n";
-    RunResult fleet = run_best(tenants, /*coordinated=*/true);
-    rows.push_back({tenants, naive, fleet});
+
+  std::vector<ScenarioResult> results;
+  for (const ScenarioSpec& spec : specs) {
+    ScenarioResult res;
+    res.spec = spec;
+    std::cout << "bench_fleet_scaling: " << spec.name << " x" << spec.tenants
+              << " tenants, serial kernel...\n";
+    res.serial = run_best(spec, 0);
+    for (std::size_t threads : thread_counts) {
+      std::cout << "bench_fleet_scaling: " << spec.name << " x"
+                << spec.tenants << " tenants, sharded " << threads
+                << " thread" << (threads == 1 ? "" : "s") << "...\n";
+      res.cells.push_back(run_best(spec, threads));
+    }
+    for (const Cell& c : res.cells) {
+      if (c.fingerprint != res.cells.front().fingerprint ||
+          c.events != res.cells.front().events) {
+        res.deterministic = false;
+      }
+    }
+    results.push_back(std::move(res));
   }
 
+  // Wall-clock gates only bind where the host has the cores to honor them;
+  // determinism binds everywhere.
+  const bool gates_enforced = hw >= 4;
+
   std::ofstream json(out_path);
-  json << "{\n  \"horizon_sim_s\": " << kHorizonS << ",\n  \"results\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& row = rows[i];
-    const double naive_per_sim = row.naive.wall_s / kHorizonS;
-    const double fleet_per_sim = row.fleet.wall_s / kHorizonS;
+  json << "{\n  \"hw_concurrency\": " << hw << ",\n"
+       << "  \"gates_enforced\": " << (gates_enforced ? "true" : "false")
+       << ",\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& res = results[i];
     json << "    {\n"
-         << "      \"tenants\": " << row.tenants << ",\n"
-         << "      \"naive_wall_s_per_sim_s\": " << naive_per_sim << ",\n"
-         << "      \"fleet_wall_s_per_sim_s\": " << fleet_per_sim << ",\n"
-         << "      \"speedup\": " << naive_per_sim / fleet_per_sim << ",\n"
-         << "      \"naive_check_wall_s\": " << row.naive.control_wall_s
-         << ",\n"
-         << "      \"fleet_sweep_wall_s\": " << row.fleet.control_wall_s
-         << ",\n"
-         << "      \"naive_events\": " << row.naive.events << ",\n"
-         << "      \"fleet_events\": " << row.fleet.events << ",\n"
-         << "      \"naive_repairs\": " << row.naive.counters.repairs << ",\n"
-         << "      \"fleet_repairs\": " << row.fleet.counters.repairs << ",\n"
-         << "      \"reports_enqueued\": "
-         << row.fleet.counters.reports_enqueued << ",\n"
-         << "      \"reports_coalesced\": "
-         << row.fleet.counters.reports_coalesced << ",\n"
-         << "      \"reports_applied\": "
-         << row.fleet.counters.reports_applied << ",\n"
-         << "      \"shard_sweeps\": " << row.fleet.counters.shard_sweeps
-         << ",\n"
-         << "      \"shard_skips\": " << row.fleet.counters.shard_skips << ",\n"
-         << "      \"parallel_rounds\": "
-         << row.fleet.counters.parallel_rounds << "\n"
-         << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+         << "      \"name\": \"" << res.spec.name << "\",\n"
+         << "      \"tenants\": " << res.spec.tenants << ",\n"
+         << "      \"horizon_sim_s\": " << res.spec.horizon_s << ",\n"
+         << "      \"serial_wall_s\": " << res.serial.wall_s << ",\n"
+         << "      \"serial_events\": " << res.serial.events << ",\n"
+         << "      \"serial_repairs\": " << res.serial.repairs << ",\n"
+         << "      \"deterministic\": "
+         << (res.deterministic ? "true" : "false") << ",\n"
+         << "      \"cells\": [\n";
+    for (std::size_t k = 0; k < res.cells.size(); ++k) {
+      const Cell& c = res.cells[k];
+      json << "        {\"sim_threads\": " << c.sim_threads
+           << ", \"wall_s\": " << c.wall_s
+           << ", \"speedup_vs_serial\": " << res.serial.wall_s / c.wall_s
+           << ", \"events\": " << c.events << ", \"repairs\": " << c.repairs
+           << "}" << (k + 1 < res.cells.size() ? "," : "") << "\n";
+    }
+    json << "      ]\n    }" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
   json.close();
 
   bool pass = true;
-  for (const Row& row : rows) {
-    const double speedup = row.naive.wall_s / row.fleet.wall_s;
-    std::cout << row.tenants << " tenants: naive "
-              << row.naive.wall_s / kHorizonS << " wall-s/sim-s, fleet "
-              << row.fleet.wall_s / kHorizonS << " wall-s/sim-s  ("
-              << speedup << "x; "
-              << row.fleet.counters.reports_coalesced << "/"
-              << row.fleet.counters.reports_enqueued
-              << " reports coalesced, " << row.fleet.counters.shard_skips
-              << " shard sweeps skipped)\n";
-    if (row.tenants == tenant_counts.back() &&
-        row.fleet.wall_s >= row.naive.wall_s) {
+  for (const ScenarioResult& res : results) {
+    std::cout << res.spec.name << ": serial " << res.serial.wall_s
+              << " s (" << res.serial.events << " events, "
+              << res.serial.repairs << " repairs)\n";
+    for (const Cell& c : res.cells) {
+      std::cout << "  " << c.sim_threads << " thread"
+                << (c.sim_threads == 1 ? " " : "s") << ": " << c.wall_s
+                << " s  (" << res.serial.wall_s / c.wall_s
+                << "x vs serial)\n";
+    }
+    if (!res.deterministic) {
+      std::cout << "FAIL: " << res.spec.name
+                << " fingerprints differ across sim-thread counts — the "
+                   "sharded kernel's determinism contract is broken\n";
       pass = false;
     }
+    if (gates_enforced) {
+      double at4 = 0.0, best_4plus = 0.0;
+      for (const Cell& c : res.cells) {
+        const double speedup = res.serial.wall_s / c.wall_s;
+        if (c.sim_threads == 4) at4 = speedup;
+        if (c.sim_threads >= 4 && c.sim_threads <= hw) {
+          best_4plus = std::max(best_4plus, speedup);
+        }
+      }
+      if (res.spec.name == "fleet-4x16" && at4 < 2.0) {
+        std::cout << "FAIL: fleet-4x16 4-thread speedup " << at4
+                  << "x < 2.0x\n";
+        pass = false;
+      }
+      if (res.spec.name == "fleet-64x256" && best_4plus < 3.0) {
+        std::cout << "FAIL: fleet-64x256 best 4+-thread speedup "
+                  << best_4plus << "x < 3.0x\n";
+        pass = false;
+      }
+    }
+  }
+  if (!gates_enforced) {
+    std::cout << "NOTE: hw_concurrency = " << hw
+              << " < 4 — wall-clock speedup gates skipped (determinism "
+                 "still enforced); run on a 4+-core host for the real "
+                 "gates\n";
   }
   std::cout << "wrote " << out_path << "\n";
-  if (!pass) {
-    std::cout << "WARNING: batched+parallel fleet did not beat the naive "
-                 "per-tenant loop at "
-              << tenant_counts.back() << " tenants\n";
-  }
   return pass ? 0 : 1;
 }

@@ -4,9 +4,15 @@
 //   sim::Simulator sim;
 //   core::FleetOptions opt;
 //   opt.tenants = 8;                       // 0 = scenario default
+//   opt.sim_threads = 4;                   // 0 = legacy shared simulator
 //   auto fleet = core::FrameworkBuilder::build_fleet(sim, opt);
 //   fleet->start();
-//   sim.run_until(SimTime::seconds(600));
+//   fleet->run_until(SimTime::seconds(600));
+//
+// With sim_threads > 0 each tenant runs on a private ShardSimulator and a
+// SimCoordinator advances them concurrently in conservative time windows
+// (DESIGN.md §9); `sim` becomes the control clock (sweeps, snapshots).
+// Event order is bit-identical for any sim_threads >= 1.
 //
 // Every tenant is a full Framework (its own probes, gauges, buses, model,
 // constraint checker, and repair engine) built from a registered scenario;
@@ -23,7 +29,9 @@
 
 #include "core/fleet_manager.hpp"
 #include "core/framework.hpp"
+#include "durability/staging.hpp"
 #include "sim/scenario_registry.hpp"
+#include "sim/shard_sim.hpp"
 
 namespace arcadia::core {
 
@@ -55,6 +63,16 @@ struct FleetOptions {
   /// empty dir disables it. (FrameworkConfig::durability is ignored per
   /// tenant here — a fleet must not scatter N private journals.)
   durability::Options durability;
+
+  /// Sharded simulation kernel (DESIGN.md §9). 0 = legacy: every tenant's
+  /// events run on the one shared simulator. >= 1 = each tenant gets a
+  /// private ShardSimulator advanced in conservative time windows by a
+  /// SimCoordinator with this many worker threads; drive the run with
+  /// Fleet::run_until instead of Simulator::run_until. The event order —
+  /// and therefore every repair, journal byte, and fault draw — is
+  /// bit-identical for sim_threads = 1 and sim_threads = N (windows are
+  /// serial per shard; all coupling happens at barriers in shard order).
+  std::size_t sim_threads = 0;
 };
 
 /// One tenant's stack. Heap-allocated and pinned: the framework holds
@@ -64,6 +82,13 @@ struct FleetTenant {
   std::string name;
   sim::Testbed testbed;
   std::unique_ptr<Framework> framework;
+  /// The tenant's sub-simulator under the sharded kernel (owned by the
+  /// coordinator; null in legacy mode). testbed and framework run on its
+  /// clock, inside its lane.
+  sim::ShardSimulator* shard = nullptr;
+
+  /// SerialLane token for this tenant (0 in legacy mode: thread-keyed).
+  std::uintptr_t lane() const { return shard ? shard->lane() : 0; }
 };
 
 class Fleet {
@@ -78,6 +103,12 @@ class Fleet {
   /// Start every tenant's framework and drivers, then the fleet manager.
   void start();
 
+  /// Advance the fleet to `horizon`. Legacy mode runs the shared simulator
+  /// directly; sharded mode runs the coordinator's window loop and drains
+  /// staged journal records at every barrier (and once more at the end).
+  /// Returns total events executed.
+  std::uint64_t run_until(SimTime horizon);
+
   std::size_t tenant_count() const { return tenants_.size(); }
   FleetTenant& tenant(std::size_t i) { return *tenants_[i]; }
   const FleetTenant& tenant(std::size_t i) const { return *tenants_[i]; }
@@ -85,6 +116,8 @@ class Fleet {
   FleetManager* manager() { return manager_.get(); }
   /// Null unless options.durability was set.
   durability::DurabilityPlane* durability_plane() { return plane_.get(); }
+  /// Null unless options.sim_threads > 0.
+  sim::SimCoordinator* coordinator() { return coordinator_.get(); }
   const FleetOptions& options() const { return options_; }
 
   /// One ShardSnapshot per tenant (shard = tenant index), health stamped
@@ -93,11 +126,24 @@ class Fleet {
   std::vector<durability::ShardSnapshot> capture_snapshot() const;
 
  private:
+  /// Replay every staged journal record into the shared plane, k-way merged
+  /// by (time, shard, emission seq) — a total order independent of which
+  /// worker ran which shard. Runs at every window barrier and at teardown.
+  void drain_staging();
+
   sim::Simulator& sim_;
   FleetOptions options_;
-  /// Declared before the tenants: they journal into it through raw sink
-  /// pointers, so it must be destroyed after every framework.
+  /// Declared before the tenants (and the staging sinks): they journal into
+  /// it through raw sink pointers, so it must be destroyed after every
+  /// framework and after the final drain.
   std::unique_ptr<durability::DurabilityPlane> plane_;
+  /// Per-tenant journal staging under the sharded kernel (parallel windows
+  /// may not write the single-writer plane); indexed by shard. Declared
+  /// before the tenants so teardown-time journaling still has a sink.
+  std::vector<std::unique_ptr<durability::StagingSink>> staging_;
+  /// Owns the ShardSimulators the tenant testbeds run on — destroyed after
+  /// the tenants that reference them.
+  std::unique_ptr<sim::SimCoordinator> coordinator_;
   std::vector<std::unique_ptr<FleetTenant>> tenants_;
   std::unique_ptr<FleetManager> manager_;
   std::unique_ptr<sim::PeriodicTask> snapshot_task_;

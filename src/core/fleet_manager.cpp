@@ -29,8 +29,17 @@ FleetManager::ShardId FleetManager::add_shard(std::string name,
   shard.manager = &manager;
   shard.bus = &gauge_bus;
   shard.manager_node = manager_node;
+  shard.clock = &sim_;  // legacy default; bind_shard_executor overrides
   shards_.push_back(std::move(shard));
   return shards_.size() - 1;
+}
+
+void FleetManager::bind_shard_executor(ShardId id, sim::Simulator* clock,
+                                       std::uintptr_t lane) {
+  serial_.check();
+  if (started_) throw Error("FleetManager: bind_shard_executor after start");
+  shards_[id].clock = clock;
+  shards_[id].lane = lane;
 }
 
 void FleetManager::start() {
@@ -48,6 +57,10 @@ void FleetManager::start() {
   if (threads > 1 && !pool_) pool_ = std::make_unique<ThreadPool>(threads);
   for (ShardId id = 0; id < shards_.size(); ++id) {
     Shard& shard = shards_[id];
+    // The bus belongs to the shard's serial context: subscribe from inside
+    // its lane so the bus's own SerialDomain keys on the lane, not on
+    // whichever thread assembles the fleet.
+    util::SerialLane in_lane(shard.lane);
     shard.sub = shard.bus->subscribe(
         events::Filter::topic(monitor::topics::kGaugeReportSym),
         [this, id](const events::Notification& n) { enqueue(id, n); },
@@ -66,7 +79,7 @@ void FleetManager::start() {
         shard.manager_node);
     // Registration counts as liveness: a shard is not silent until it has
     // had degraded_after of quiet from the moment the fleet starts.
-    shard.last_report_at = sim_.now();
+    shard.last_report_at = shard.clock->now();
   }
   sweep_task_ = std::make_unique<sim::PeriodicTask>(
       sim_, sim_.now() + config_.first_check, config_.check_period, [this] {
@@ -82,6 +95,7 @@ void FleetManager::stop() {
   serial_.check();
   sweep_task_.reset();
   for (Shard& shard : shards_) {
+    util::SerialLane in_lane(shard.lane);  // bus + timer live in the lane
     if (shard.sub != 0) {
       shard.bus->unsubscribe(shard.sub);
       shard.sub = 0;
@@ -122,6 +136,7 @@ void FleetManager::apply(Shard& shard, const Shard::PendingSlot& slot) {
 void FleetManager::note_plan_event(ShardId id, const events::Notification& n) {
   const events::Value* phase = n.get_if(monitor::topics::kAttrPhaseSym);
   if (!phase || !phase->is_string()) return;
+  shards_[id].serial.check();
   FleetShardStats& stats = shards_[id].stats;
   const util::Symbol sym = phase->to_symbol();
   if (sym == monitor::topics::kPhasePlanStarted) {
@@ -138,6 +153,7 @@ void FleetManager::note_plan_event(ShardId id, const events::Notification& n) {
 void FleetManager::note_lifecycle(ShardId id, const events::Notification& n) {
   util::Symbol element, phase;
   if (!ArchitectureManager::parse_gauge_lifecycle(n, element, phase)) return;
+  shards_[id].serial.check();
   if (phase == monitor::topics::kPhaseSuspect) {
     shards_[id].manager->note_gauge_liveness(element, true);
   } else if (phase == monitor::topics::kPhaseCleared) {
@@ -146,12 +162,14 @@ void FleetManager::note_lifecycle(ShardId id, const events::Notification& n) {
 }
 
 void FleetManager::enqueue(ShardId id, const events::Notification& n) {
-  serial_.check();
   Shard& shard = shards_[id];
+  // Delivered on the shard's clock, inside its lane (a pool worker under
+  // the sharded kernel). Everything touched below is this shard's state.
+  shard.serial.check();
   ++shard.stats.reports_enqueued;
   // Any report — even one the parse below rejects — proves the tenant's
   // monitoring path is alive.
-  shard.last_report_at = sim_.now();
+  shard.last_report_at = shard.clock->now();
   // Parse and intern once, at delivery (shared address convention); from
   // here the report is three symbol ids and a value.
   util::Symbol element_sym, role_sym, property;
@@ -197,15 +215,19 @@ void FleetManager::enqueue(ShardId id, const events::Notification& n) {
   // periodic sweep's own flush is always soon enough — no timer needed.
   if (config_.coalesce_window >= config_.check_period) return;
   if (!shard.flush_timer.valid()) {
-    shard.flush_timer =
-        sim_.schedule_in(config_.coalesce_window, [this, id] { flush(id); });
+    // On the shard's own clock: under the sharded kernel the timer must
+    // fire inside a window (in the shard's lane), not on the control loop.
+    shard.flush_timer = shard.clock->schedule_in(config_.coalesce_window,
+                                                 [this, id] { flush(id); });
   }
 }
 
 void FleetManager::stall_shard(ShardId id, SimTime duration) {
-  serial_.check();
   Shard& shard = shards_[id];
-  shard.stalled_until = std::max(shard.stalled_until, sim_.now() + duration);
+  util::SerialLane in_lane(shard.lane);
+  shard.serial.check();
+  shard.stalled_until =
+      std::max(shard.stalled_until, shard.clock->now() + duration);
   ARC_WARN << "fleet: shard '" << shard.name << "' stalled for "
            << duration.as_seconds() << " s";
 }
@@ -289,12 +311,13 @@ void FleetManager::publish_health(Shard& shard) {
 }
 
 void FleetManager::flush(ShardId id) {
-  serial_.check();
   Shard& shard = shards_[id];
+  util::SerialLane in_lane(shard.lane);
+  shard.serial.check();
   shard.flush_timer.cancel();
   // A stalled control loop applies nothing; the backlog stays armed in its
   // slots and lands at the first flush after the stall lifts.
-  if (shard.stalled_until > sim_.now()) return;
+  if (shard.stalled_until > shard.clock->now()) return;
   if (shard.touched.empty()) return;
   ++shard.stats.batches;
   // One model pass, in first-touch order of each key. Keys are distinct
@@ -313,7 +336,9 @@ void FleetManager::run_sweep() {
   const auto wall0 = std::chrono::steady_clock::now();
   ++stats_.sweep_rounds;
   // Apply everything still coalescing so this sweep sees values at least as
-  // fresh as an unbatched manager would at the same instant.
+  // fresh as an unbatched manager would at the same instant. Sweeps run at
+  // barriers: every shard clock equals the control clock here, and flush
+  // re-enters each shard's lane itself.
   for (ShardId id = 0; id < shards_.size(); ++id) flush(id);
 
   // Any structural edit since the last round (repairs are the only in-run
@@ -328,6 +353,8 @@ void FleetManager::run_sweep() {
   std::vector<char> selected(shards_.size(), 0);
   for (ShardId id = 0; id < shards_.size(); ++id) {
     Shard& shard = shards_[id];
+    // Health publishes on the shard's bus; selection reads shard state.
+    util::SerialLane in_lane(shard.lane);
     if (config_.health_tracking) update_health(id);
     // Degraded-mode fleet: a stalled or quarantined shard is neither swept
     // nor dispatched this round — its cached verdicts are held, not acted
@@ -372,6 +399,8 @@ void FleetManager::run_sweep() {
   // returned verbatim had we swept it.
   for (ShardId id = 0; id < shards_.size(); ++id) {
     Shard& shard = shards_[id];
+    // Dispatch mutates the shard's model and schedules tenant events.
+    util::SerialLane in_lane(shard.lane);
     if (shard.stalled_until > sim_.now()) continue;
     if (config_.health_tracking &&
         shard.health == ShardHealth::Quarantined) {

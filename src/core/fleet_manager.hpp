@@ -20,7 +20,10 @@
 // Violation dispatch — and therefore every repair, every model mutation,
 // every scheduled simulator event — happens afterwards on the simulation
 // thread in fixed shard order. A fleet run is bit-for-bit identical for any
-// sweep_threads value.
+// sweep_threads value — and, under the sharded kernel (core::Fleet with
+// sim_threads > 0, DESIGN.md §9), for any simulation-thread count: shard
+// windows are serial per shard and the sweep runs at barriers where every
+// clock agrees.
 #pragma once
 
 #include <array>
@@ -152,6 +155,17 @@ class FleetManager {
   }
   ShardHealth shard_health(ShardId id) const { return shards_[id].health; }
 
+  /// Sharded-kernel binding (core::Fleet with sim_threads > 0): shard `id`'s
+  /// tenant events run on `clock` (its ShardSimulator) inside logical lane
+  /// `lane`. Report enqueueing, coalescing timers, and liveness stamps then
+  /// use the shard clock — which leads the control clock mid-window — and
+  /// the per-shard SerialDomain keys on the lane, so windows may migrate
+  /// between pool workers. Unbound shards (legacy single-simulator fleets)
+  /// keep clock = the control simulator and lane = 0 (thread-keyed). Call
+  /// after add_shard, before start().
+  void bind_shard_executor(ShardId id, sim::Simulator* clock,
+                           std::uintptr_t lane);
+
   /// Fault seam: stall a shard's control loop — its sweeps and dispatches
   /// are skipped until `duration` elapses (reports keep coalescing; the
   /// backlog applies at the first sweep after the stall lifts).
@@ -178,6 +192,15 @@ class FleetManager {
     events::SubscriptionId sub = 0;
     events::SubscriptionId plan_sub = 0;
     events::SubscriptionId lifecycle_sub = 0;
+
+    /// Executor binding (bind_shard_executor): the clock tenant events run
+    /// on — the control simulator for legacy fleets, the shard's private
+    /// ShardSimulator under the sharded kernel — and the SerialLane token
+    /// of that shard (0 = none). All per-shard mutation goes through
+    /// `serial`, keyed on the lane, instead of the fleet-wide serial_.
+    sim::Simulator* clock = nullptr;
+    std::uintptr_t lane = 0;
+    util::SerialDomain serial;
 
     /// One coalescing slot per distinct (element, role, property) gauge key
     /// this shard has ever reported. The key set is the gauge deployment —
@@ -226,11 +249,15 @@ class FleetManager {
 
   sim::Simulator& sim_;
   FleetManagerConfig config_;
-  /// Concurrency capability: shard state is owned by the simulation thread.
-  /// run_sweep farms the *detection* phase to the pool, but those tasks
-  /// only call const ArchitectureManager::detect() on disjoint models —
-  /// every write to shards_ (enqueue, flush, dispatch, stats) happens on
-  /// the owning thread, which debug builds assert via serial_.
+  /// Concurrency capability: each shard's state is owned by its serial
+  /// execution context — the simulation thread for legacy fleets, the
+  /// shard's lane under the sharded kernel (windows migrate between pool
+  /// workers but are serial per shard, and barrier-time work re-enters the
+  /// lane). run_sweep farms the *detection* phase to the pool, but those
+  /// tasks only call const ArchitectureManager::detect() on disjoint
+  /// models — every write to a Shard (enqueue, flush, dispatch, stats)
+  /// happens inside its lane, which debug builds assert via Shard::serial;
+  /// fleet-wide control state stays behind serial_.
   std::vector<Shard> shards_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<sim::PeriodicTask> sweep_task_;

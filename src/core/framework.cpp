@@ -177,6 +177,14 @@ void Framework::attach_durability(durability::DurabilityPlane* plane,
   manager_->set_journal_sink(plane, shard);
 }
 
+void Framework::attach_journal_sink(durability::JournalSink* sink,
+                                    std::uint32_t shard) {
+  durability_sink_ = nullptr;  // snapshots belong to whoever owns the plane
+  durability_shard_ = shard;
+  engine_->set_journal_sink(sink, shard);
+  manager_->set_journal_sink(sink, shard);
+}
+
 durability::ShardSnapshot Framework::capture_shard_snapshot() const {
   durability::ShardSnapshot shard;
   shard.shard = durability_shard_;

@@ -187,6 +187,14 @@ class Framework {
   void attach_durability(durability::DurabilityPlane* plane,
                          std::uint32_t shard);
 
+  /// Wire a bare JournalSink instead of a plane: the sharded fleet kernel
+  /// gives every tenant a per-shard durability::StagingSink (drained into
+  /// the shared plane at window barriers), so tenants never touch the
+  /// single-writer plane from pool workers. Unlike attach_durability this
+  /// leaves durability_plane() null — snapshot capture stays with the
+  /// Fleet, which owns the real plane. Call before start().
+  void attach_journal_sink(durability::JournalSink* sink, std::uint32_t shard);
+
   /// Capture this framework's durable state for a snapshot: the full model
   /// encoding + digest, every gauge channel's liveness state, and the fault
   /// plane's RNG stream positions. Health is Healthy here; the fleet's

@@ -125,6 +125,31 @@ void FaultPlane::restore_rng_states(const std::vector<Rng::State>& states) {
   fleet_rng_.restore_state(states[3]);
 }
 
+std::uint64_t FaultPlane::state_digest() const {
+  // FNV-1a over the stream positions and draw counters, in fixed order.
+  std::uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (byte * 8)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const Rng::State& s : rng_states()) {
+    for (std::uint64_t word : s.s) mix(word);
+    mix(s.have_spare ? 1 : 0);
+  }
+  mix(stats_.reports_dropped);
+  mix(stats_.reports_duplicated);
+  mix(stats_.reports_delayed);
+  mix(stats_.channel_disconnects);
+  mix(stats_.reports_suppressed);
+  mix(stats_.ops_transient);
+  mix(stats_.ops_permanent);
+  mix(stats_.ops_stalled);
+  mix(stats_.tenant_crashes);
+  return h;
+}
+
 OpFault FaultPlane::next_op_fault() {
   if (!profile_.enabled) return OpFault::None;
   const RepairFaults& r = profile_.repair;

@@ -94,6 +94,13 @@ class FaultPlane {
   /// a stream-count mismatch.
   void restore_rng_states(const std::vector<Rng::State>& states);
 
+  /// Order-sensitive fingerprint of every stream position plus the draw
+  /// counters: two planes digest equal iff they made the same draws in the
+  /// same order. The sharded-kernel determinism tests compare this across
+  /// simulation-thread counts — fault sequences must be a pure function of
+  /// the shard's event stream, never of which worker ran the window.
+  std::uint64_t state_digest() const;
+
  private:
   bool monitoring_active() const;
 

@@ -42,12 +42,16 @@ std::pair<NodeId, NodeId> Topology::channel_endpoints(ChannelId c) const {
 
 void Topology::compute_routes() {
   const std::size_t n = nodes_.size();
-  paths_.assign(n * n, {});
+  parent_node_.assign(n * n, kNoNode);
+  parent_link_.assign(n * n, -1);
   reachable_.assign(n * n, false);
+  path_cache_.clear();
   // BFS from every source; deterministic neighbor order = insertion order.
+  // Only the predecessor matrices are kept; channel sequences materialize
+  // on demand in path().
   for (NodeId src = 0; src < static_cast<NodeId>(n); ++src) {
-    std::vector<NodeId> prev_node(n, kNoNode);
-    std::vector<LinkId> prev_link(n, -1);
+    NodeId* prev_node = parent_node_.data() + static_cast<std::size_t>(src) * n;
+    LinkId* prev_link = parent_link_.data() + static_cast<std::size_t>(src) * n;
     std::vector<bool> seen(n, false);
     std::deque<NodeId> frontier{src};
     seen[src] = true;
@@ -63,19 +67,7 @@ void Topology::compute_routes() {
       }
     }
     for (NodeId dst = 0; dst < static_cast<NodeId>(n); ++dst) {
-      if (!seen[dst]) continue;
-      reachable_[src * n + dst] = true;
-      if (dst == src) continue;
-      std::vector<ChannelId> rev;
-      for (NodeId cur = dst; cur != src; cur = prev_node[cur]) {
-        LinkId link = prev_link[cur];
-        NodeId from = prev_node[cur];
-        // channel direction: even = a->b, odd = b->a
-        ChannelId chan = (links_[link].a == from) ? link * 2 : link * 2 + 1;
-        rev.push_back(chan);
-      }
-      std::reverse(rev.begin(), rev.end());
-      paths_[src * n + dst] = std::move(rev);
+      if (seen[dst]) reachable_[src * n + dst] = true;
     }
   }
   routes_ready_ = true;
@@ -91,7 +83,27 @@ const std::vector<ChannelId>& Topology::path(NodeId src, NodeId dst) const {
   if (!reachable_[src * n + dst]) {
     throw SimError("no route " + node_name(src) + " -> " + node_name(dst));
   }
-  return paths_[src * n + dst];
+  if (src == dst) return empty_path_;
+  const std::uint64_t key = static_cast<std::uint64_t>(src) * n + dst;
+  auto it = path_cache_.find(key);
+  if (it != path_cache_.end()) return it->second;
+  // Materialize by backtracking the predecessor chain dst -> src; identical
+  // construction (and therefore identical channel sequence) to the eager
+  // all-pairs table this replaced.
+  const NodeId* prev_node =
+      parent_node_.data() + static_cast<std::size_t>(src) * n;
+  const LinkId* prev_link =
+      parent_link_.data() + static_cast<std::size_t>(src) * n;
+  std::vector<ChannelId> rev;
+  for (NodeId cur = dst; cur != src; cur = prev_node[cur]) {
+    LinkId link = prev_link[cur];
+    NodeId from = prev_node[cur];
+    // channel direction: even = a->b, odd = b->a
+    ChannelId chan = (links_[link].a == from) ? link * 2 : link * 2 + 1;
+    rev.push_back(chan);
+  }
+  std::reverse(rev.begin(), rev.end());
+  return path_cache_.emplace(key, std::move(rev)).first->second;
 }
 
 FlowNetwork::FlowNetwork(Simulator& sim, const Topology& topo)

@@ -52,14 +52,24 @@ class Topology {
   }
   std::pair<NodeId, NodeId> channel_endpoints(ChannelId c) const;
 
-  /// Finalize and compute all-pairs shortest paths. Must be called after the
-  /// last add_*; path() throws before this.
+  /// Finalize routing: run the all-pairs BFS and keep only the parent
+  /// matrices (predecessor node + link per source). Must be called after
+  /// the last add_*; path() throws before this. Channel sequences are
+  /// materialized lazily per (src, dst) pair on first use — a fleet of 64
+  /// tenant topologies only ever asks for the pairs its workload actually
+  /// exercises, so the O(n^2) eager path table this replaces (hundreds of
+  /// MB at fleet-64x256 scale) never gets built.
   void compute_routes();
   bool routes_ready() const { return routes_ready_; }
 
   /// Directed channel sequence from src to dst (empty when src == dst).
-  /// Throws SimError if unreachable.
+  /// Throws SimError if unreachable. The returned reference is stable for
+  /// the lifetime of the topology (FlowNetwork caches the pointer). Not
+  /// thread-safe: confine each topology to its owning shard's lane.
   const std::vector<ChannelId>& path(NodeId src, NodeId dst) const;
+
+  /// Number of (src, dst) channel sequences materialized so far.
+  std::size_t materialized_paths() const { return path_cache_.size(); }
 
  private:
   struct Node {
@@ -80,9 +90,15 @@ class Topology {
   // rule `unordered-container` holds tree-wide).
   std::map<std::string, NodeId> by_name_;
   bool routes_ready_ = false;
-  // paths_[src * N + dst]
-  std::vector<std::vector<ChannelId>> paths_;
+  // BFS predecessor matrices, indexed [src * N + v]: the node before `v`
+  // on the shortest path from `src`, and the link taken into `v`.
+  std::vector<NodeId> parent_node_;
+  std::vector<LinkId> parent_link_;
   std::vector<bool> reachable_;
+  // Lazily materialized channel sequences, keyed src * N + dst. std::map
+  // node stability is what makes path()'s returned reference stable.
+  mutable std::map<std::uint64_t, std::vector<ChannelId>> path_cache_;
+  const std::vector<ChannelId> empty_path_{};
 };
 
 /// Statistics the benches report about the allocator.
@@ -134,8 +150,11 @@ class FlowNetwork {
 
   /// Floor for available_bandwidth reporting (default 100 bps).
   void set_available_floor(Bandwidth floor) { floor_ = floor; }
-  /// Delay for src==dst transfers (default 1 ms).
+  /// Delay for src==dst transfers (default 1 ms). The getter doubles as the
+  /// minimum delivery delay through this network — no transfer completes in
+  /// less — which is what SimCoordinator's lookahead derivation consumes.
   void set_loopback_delay(SimTime d) { loopback_delay_ = d; }
+  SimTime loopback_delay() const { return loopback_delay_; }
 
  private:
   struct Transfer {

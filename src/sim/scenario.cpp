@@ -1,5 +1,7 @@
 #include "sim/scenario.hpp"
 
+#include <algorithm>
+
 namespace arcadia::sim {
 
 namespace {
@@ -27,6 +29,23 @@ StepFunction response_sigma_schedule(const ScenarioConfig& c) {
 }
 
 }  // namespace
+
+std::size_t estimate_event_reserve(const ScenarioConfig& config) {
+  // Concurrently-pending events, not total events: each client keeps a
+  // handful in flight (arrival timer, request/response transfer
+  // completions, service completion, latency probe), each monitored
+  // element a few periodic timers (probe sample, gauge report, watchdog),
+  // plus drivers and control-loop slack. Generous constants — the cost of
+  // over-reserving is a few hundred KB per simulator; the cost of growing
+  // mid-run is a reallocation storm at fleet scale.
+  const std::size_t clients =
+      static_cast<std::size_t>(std::max(config.grid.clients, 16));
+  const std::size_t servers = static_cast<std::size_t>(
+      std::max(1, config.grid.groups) *
+          (std::max(1, config.grid.servers_per_group)) +
+      std::max(0, config.grid.spares));
+  return clients * 8 + servers * 8 + 256;
+}
 
 Testbed build_testbed(Simulator& sim, const ScenarioConfig& config) {
   Testbed tb = build_testbed_without_workload(sim, config);

@@ -180,6 +180,16 @@ struct Testbed {
   }
 };
 
+/// Upper estimate of the events concurrently pending in a simulator running
+/// one testbed built from `config`: per-client request machinery (arrival
+/// timer, transfer completions, service completion), per-element monitoring
+/// timers (probes, gauge reports, watchdog), competition/fault drivers, and
+/// control-loop slack. Scenario assembly passes it to Simulator::reserve()
+/// so big fleets (fleet-64x256) never pay slot-pool or heap reallocation
+/// storms mid-run — the steady state stays zero-alloc (bench_buspath pins
+/// this with its counting operator-new hook).
+std::size_t estimate_event_reserve(const ScenarioConfig& config);
+
 /// Build the Figure 6 testbed and Figure 7 drivers over `sim` (the
 /// "paper-fig6" scenario; kept as a plain function for ad-hoc rigs).
 Testbed build_testbed(Simulator& sim, const ScenarioConfig& config);

@@ -242,6 +242,25 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
   }
   {
     ScenarioSpec spec;
+    spec.name = "fleet-64x256";
+    spec.description =
+        "One tenant shard of a 64-tenant fleet, 256 clients each (the "
+        "sharded-kernel scale target, DESIGN.md §9): 8 server groups x 3 "
+        "replicas + 4 spares per tenant, stress phases staggered by 4 s; "
+        "drive with core::Fleet{sim_threads > 0} and Fleet::run_until";
+    spec.defaults.fleet.tenants = 64;
+    spec.defaults.fleet.phase_shift = SimTime::seconds(4);
+    spec.defaults.grid.groups = 8;
+    spec.defaults.grid.servers_per_group = 3;
+    spec.defaults.grid.clients = 256;
+    spec.defaults.grid.clients_per_pod = 16;
+    spec.defaults.grid.spares = 4;
+    spec.defaults.horizon = SimTime::seconds(300);
+    spec.build = build_fleet_tenant_testbed;
+    registry.add(std::move(spec));
+  }
+  {
+    ScenarioSpec spec;
     spec.name = "flash-crowd";
     spec.description =
         "Figure 6 testbed under a sudden 6x request-rate spike at 300 s "

@@ -65,6 +65,9 @@ std::size_t ScenarioRegistry::size() const {
 
 Testbed build_scenario(Simulator& sim, const std::string& name) {
   const ScenarioSpec spec = ScenarioRegistry::instance().at(name);
+  // Pre-size the event pool from the config before any event is scheduled:
+  // steady-state runs then never grow the slot pool or the heap.
+  sim.reserve(estimate_event_reserve(spec.defaults));
   Testbed tb = spec.build(sim, spec.defaults);
   tb.scenario = name;
   return tb;
@@ -73,6 +76,7 @@ Testbed build_scenario(Simulator& sim, const std::string& name) {
 Testbed build_scenario(Simulator& sim, const std::string& name,
                        const ScenarioConfig& config) {
   const ScenarioSpec spec = ScenarioRegistry::instance().at(name);
+  sim.reserve(estimate_event_reserve(config));
   Testbed tb = spec.build(sim, config);
   tb.scenario = name;
   return tb;

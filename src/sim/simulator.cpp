@@ -22,8 +22,15 @@ std::uint32_t Simulator::acquire_slot() {
     free_slots_.pop_back();
     return idx;
   }
+  if (slots_.size() == slots_.capacity()) ++pool_growths_;
   slots_.emplace_back();
   return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::reserve(std::size_t events) {
+  slots_.reserve(events);
+  free_slots_.reserve(events);
+  queue_.reserve(events);
 }
 
 void Simulator::release_slot(std::uint32_t idx) {
@@ -44,15 +51,15 @@ EventHandle Simulator::schedule_at(SimTime at, util::SmallFn<void()> fn) {
   Slot& slot = slots_[idx];
   slot.fn = std::move(fn);
   slot.armed = true;
-  queue_.push(Entry{at, next_seq_++, idx, slot.gen});
+  heap_push(Entry{at, next_seq_++, idx, slot.gen});
   ++live_;
   return EventHandle{std::weak_ptr<Simulator*>(self_), idx, slot.gen};
 }
 
 void Simulator::drop_stale_top() const {
   while (!queue_.empty() &&
-         !slot_pending(queue_.top().slot, queue_.top().gen)) {
-    queue_.pop();
+         !slot_pending(queue_.front().slot, queue_.front().gen)) {
+    heap_pop();
   }
 }
 
@@ -63,7 +70,7 @@ std::uint64_t Simulator::run_until(SimTime horizon) {
     // LIVE event's time, or a stale entry before the horizon would let
     // step() execute a live event beyond it.
     drop_stale_top();
-    if (queue_.empty() || queue_.top().time > horizon) break;
+    if (queue_.empty() || queue_.front().time > horizon) break;
     if (step()) ++ran;
   }
   if (now_ < horizon) now_ = horizon;
@@ -72,8 +79,8 @@ std::uint64_t Simulator::run_until(SimTime horizon) {
 
 bool Simulator::step() {
   while (!queue_.empty()) {
-    const Entry entry = queue_.top();
-    queue_.pop();
+    const Entry entry = queue_.front();
+    heap_pop();
     if (!slot_pending(entry.slot, entry.gen)) continue;  // cancelled tombstone
     // Take the callback and recycle the slot before running: the callback
     // may schedule new events (reusing this slot under a new generation),
@@ -91,7 +98,7 @@ bool Simulator::step() {
 
 SimTime Simulator::next_event_time() const {
   drop_stale_top();
-  return queue_.empty() ? SimTime::infinity() : queue_.top().time;
+  return queue_.empty() ? SimTime::infinity() : queue_.front().time;
 }
 
 PeriodicTask::PeriodicTask(Simulator& sim, SimTime start, SimTime period,

@@ -10,10 +10,10 @@
 // buffer.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "util/error.hpp"
@@ -97,6 +97,26 @@ class Simulator {
   /// Time of the next pending event, or SimTime::infinity().
   SimTime next_event_time() const;
 
+  /// Coordinator-facing name for next_event_time(): the time this simulator
+  /// would advance to on the next step(), or infinity when idle. Purges
+  /// cancelled tombstones, so the answer is exact — SimCoordinator derives
+  /// the conservative window bound from it.
+  SimTime peek_next_time() const { return next_event_time(); }
+
+  /// Pre-size the slot pool and event heap for ~`events` concurrently
+  /// pending events. Scenario builders call this from the ScenarioConfig
+  /// estimate so big fleets (fleet-64x256) never pay reallocation storms
+  /// mid-run; pool_growths()/queue_growths() stay 0 afterwards on the
+  /// steady state (pinned by bench_buspath's counting-new hook).
+  void reserve(std::size_t events);
+
+  std::size_t slot_capacity() const { return slots_.capacity(); }
+  std::size_t queue_capacity() const { return queue_.capacity(); }
+  /// Number of times the slot pool grew past its reserved capacity.
+  std::uint64_t pool_growths() const { return pool_growths_; }
+  /// Number of times the event heap grew past its reserved capacity.
+  std::uint64_t queue_growths() const { return queue_growths_; }
+
  private:
   friend class EventHandle;
 
@@ -108,8 +128,8 @@ class Simulator {
     std::uint32_t gen = 1;
     bool armed = false;
   };
-  /// Queue entries are 24-byte PODs; the priority_queue never touches the
-  /// callable itself.
+  /// Queue entries are 24-byte PODs; the heap never touches the callable
+  /// itself.
   struct Entry {
     SimTime time;
     std::uint64_t seq;
@@ -128,6 +148,18 @@ class Simulator {
   bool slot_pending(std::uint32_t idx, std::uint32_t gen) const {
     return idx < slots_.size() && slots_[idx].gen == gen && slots_[idx].armed;
   }
+  // Explicit binary heap over queue_ (was std::priority_queue, which hides
+  // its container and therefore cannot be reserve()d). Front is the minimum
+  // (time, seq) — identical ordering to the old Later-comparator queue.
+  void heap_push(const Entry& e) {
+    if (queue_.size() == queue_.capacity()) ++queue_growths_;
+    queue_.push_back(e);
+    std::push_heap(queue_.begin(), queue_.end(), Later{});
+  }
+  void heap_pop() const {
+    std::pop_heap(queue_.begin(), queue_.end(), Later{});
+    queue_.pop_back();
+  }
   /// Pop cancelled tombstones off the queue head so the top entry, if any,
   /// is a live event.
   void drop_stale_top() const;
@@ -136,10 +168,13 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t live_ = 0;
+  std::uint64_t pool_growths_ = 0;
+  std::uint64_t queue_growths_ = 0;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
-  /// mutable: lazy tombstone purging from const observers.
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  /// Min-heap (via Later + std::push_heap/pop_heap). mutable: lazy tombstone
+  /// purging from const observers.
+  mutable std::vector<Entry> queue_;
   /// Liveness token handed (weakly) to every EventHandle; dies with the
   /// simulator, so stale handles expire instead of dangling.
   std::shared_ptr<Simulator*> self_ = std::make_shared<Simulator*>(this);

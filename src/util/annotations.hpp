@@ -17,6 +17,8 @@
 #include <atomic>
 #include <cassert>
 #include <condition_variable>
+#include <cstdint>
+#include <functional>
 #include <mutex>
 #include <thread>
 
@@ -95,26 +97,76 @@ class CondVar {
   std::condition_variable_any cv_;
 };
 
+/// Scoped *logical lane* marker for sharded simulation. A lane names a
+/// serial execution context that may migrate between OS threads: shard k's
+/// window runs on whichever pool worker picks it up this round, but never
+/// on two threads at once (the coordinator's barrier protocol guarantees
+/// that). SerialDomain keys on the active lane when one is set, so the
+/// "all mutating calls happen serially" discipline keeps holding — and
+/// keeps being checked — across thread migrations. Tokens are odd
+/// (shard lanes use `ptr | 1`) so they can never collide with the even
+/// per-thread keys SerialDomain derives when no lane is active. Nesting
+/// saves and restores the outer lane.
+class SerialLane {
+ public:
+  explicit SerialLane(std::uintptr_t token) : saved_(current_) {
+    if (token != 0) current_ = token;
+  }
+  ~SerialLane() { current_ = saved_; }
+
+  SerialLane(const SerialLane&) = delete;
+  SerialLane& operator=(const SerialLane&) = delete;
+
+  static std::uintptr_t current() { return current_; }
+
+ private:
+  inline static thread_local std::uintptr_t current_ = 0;
+  std::uintptr_t saved_;
+};
+
 /// Debug ownership checker for classes whose discipline is not a mutex but
-/// "all mutating calls happen on one thread" (the simulation thread):
-/// GaugeManager, FleetManager, PlanExecutor. Binds to the first thread that
-/// calls check() and asserts every later check() is the same thread; a
-/// no-op in NDEBUG builds. Binding is lazy (not at construction) because
+/// "all mutating calls happen serially" (on the simulation thread, or —
+/// under the sharded kernel — inside one shard's SerialLane): GaugeManager,
+/// FleetManager, PlanExecutor. Binds to the first caller's key and asserts
+/// every later check() presents the same key; a no-op in NDEBUG builds.
+/// The key is the active SerialLane token when one is set (odd), else a
+/// hash of the OS thread id (forced even), so lane-scoped execution may
+/// migrate between pool workers while lane-less code keeps the classic
+/// one-thread binding. Binding is lazy (not at construction) because
 /// ExperimentSuite builds a rig on one pool thread and drives it there —
 /// the constructing thread is the owning thread, but only by the time the
 /// first call lands.
 class SerialDomain {
  public:
+  SerialDomain() = default;
+
+  // Movable so owners can live in growing containers (vector<Shard>).
+  // Moving a domain is only legal while its owner is quiescent, which is
+  // exactly when container growth happens; the binding travels along.
+  SerialDomain(SerialDomain&& other) noexcept {
+#ifndef NDEBUG
+    owner_.store(other.owner_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+#endif
+  }
+  SerialDomain& operator=(SerialDomain&& other) noexcept {
+#ifndef NDEBUG
+    owner_.store(other.owner_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+#endif
+    return *this;
+  }
+
   void check() const {
 #ifndef NDEBUG
-    const std::thread::id self = std::this_thread::get_id();
-    std::thread::id expected{};  // unbound
+    const std::uintptr_t self = caller_key();
+    std::uintptr_t expected = 0;  // unbound
     if (owner_.compare_exchange_strong(expected, self,
                                        std::memory_order_relaxed)) {
-      return;  // first call: bound to this thread
+      return;  // first call: bound to this lane/thread
     }
     assert(expected == self &&
-           "SerialDomain: call from a thread other than the owning one");
+           "SerialDomain: call from outside the owning lane/thread");
 #endif
   }
 
@@ -122,13 +174,22 @@ class SerialDomain {
   /// phases re-bind on the next check()).
   void detach() {
 #ifndef NDEBUG
-    owner_.store(std::thread::id{}, std::memory_order_relaxed);
+    owner_.store(0, std::memory_order_relaxed);
 #endif
   }
 
  private:
 #ifndef NDEBUG
-  mutable std::atomic<std::thread::id> owner_{};
+  static std::uintptr_t caller_key() {
+    if (const std::uintptr_t lane = SerialLane::current(); lane != 0) {
+      return lane;  // shard lanes are odd
+    }
+    const std::size_t h =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return (static_cast<std::uintptr_t>(h) << 1) | 2;  // even, never 0
+  }
+
+  mutable std::atomic<std::uintptr_t> owner_{0};
 #endif
 };
 

@@ -1,8 +1,10 @@
 // Fixed-size thread pool for embarrassingly-parallel experiment work:
 // running control and repair experiments concurrently, parameter sweeps in
-// the ablation benches, and property-test replications. The simulation
-// kernel itself is deterministic and single-threaded; parallelism lives at
-// the granularity of whole experiments (one simulator per task, no sharing).
+// the ablation benches, and property-test replications — plus the worker
+// pool behind sim::SimCoordinator's conservative windows (DESIGN.md §9).
+// Parallelism is always deterministic by construction: either whole
+// experiments (one simulator per task, no sharing) or lane-guarded shard
+// windows whose cross-shard effects drain at single-threaded barriers.
 #pragma once
 
 #include <cstddef>

@@ -26,14 +26,16 @@ bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
   return std::find(hit.begin(), hit.end(), rule) != hit.end();
 }
 
-TEST(ArclintTest, ListsAllSevenRules) {
-  EXPECT_EQ(arclint::rule_ids().size(), 7u);
+TEST(ArclintTest, ListsAllEightRules) {
+  EXPECT_EQ(arclint::rule_ids().size(), 8u);
   EXPECT_TRUE(std::find(arclint::rule_ids().begin(), arclint::rule_ids().end(),
                         "entropy") != arclint::rule_ids().end());
   EXPECT_TRUE(std::find(arclint::rule_ids().begin(), arclint::rule_ids().end(),
                         "tools-parity") != arclint::rule_ids().end());
   EXPECT_TRUE(std::find(arclint::rule_ids().begin(), arclint::rule_ids().end(),
                         "durability-io") != arclint::rule_ids().end());
+  EXPECT_TRUE(std::find(arclint::rule_ids().begin(), arclint::rule_ids().end(),
+                        "shard-isolation") != arclint::rule_ids().end());
 }
 
 // ---- unordered-container -------------------------------------------------
@@ -229,6 +231,60 @@ TEST(ArclintTest, DurabilityIoSeamAndNonSrcAreExempt) {
   EXPECT_TRUE(lint_source("src/util/log.cpp",
                           "#include <cstdio>\nstd::fprintf(stderr, \"x\");\n")
                   .empty());
+}
+
+// ---- shard-isolation -----------------------------------------------------
+
+TEST(ArclintTest, ShardMarkedFileMayNotTouchControlPlane) {
+  const std::string src =
+      "// arclint: shard\n"
+      "#include \"core/fleet_manager.hpp\"\n"
+      "void f(arcadia::core::FleetManager& m);\n";
+  const auto findings = lint_source("src/sim/shard_thing.hpp", src);
+  ASSERT_EQ(findings.size(), 2u);  // quoted include + identifier
+  EXPECT_EQ(findings[0].rule, "shard-isolation");
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_EQ(findings[1].line, 3u);
+}
+
+TEST(ArclintTest, ShardRuleCatchesBusAndPlaneTokens) {
+  const std::string marked = "// arclint: shard\n";
+  EXPECT_TRUE(has_rule(
+      lint_source("src/sim/x.cpp", marked + "arcadia::events::EventBus* b;\n"),
+      "shard-isolation"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/sim/x.cpp",
+                  marked + "durability::DurabilityPlane* p;\n"),
+      "shard-isolation"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/sim/x.cpp",
+                  marked + "#include \"events/bus.hpp\"\n"),
+      "shard-isolation"));
+  // Longer identifiers containing the token as a substring are not hits.
+  EXPECT_TRUE(lint_source("src/sim/x.cpp",
+                          marked + "events::LocalEventBus bus;\n")
+                  .empty());
+}
+
+TEST(ArclintTest, ShardRuleNeedsBothTheMarkerAndSimPath) {
+  const std::string offending = "core::FleetManager* mgr;\n";
+  // Unmarked sim file: the rule does not apply.
+  EXPECT_TRUE(lint_source("src/sim/plain.cpp", offending).empty());
+  // Marked file outside src/sim/ (e.g. core itself): not a shard file.
+  EXPECT_TRUE(lint_source("src/core/fleet.cpp",
+                          "// arclint: shard\n" + offending)
+                  .empty());
+  // Comment mentions in a marked sim file are stripped before matching.
+  EXPECT_TRUE(lint_source("src/sim/doc.hpp",
+                          "// arclint: shard\n// not FleetManager's job\n")
+                  .empty());
+}
+
+TEST(ArclintTest, ShardRuleHonorsAllowDirectives) {
+  const std::string src =
+      "// arclint: shard\n"
+      "core::FleetManager* m;  // arclint: allow(shard-isolation): seam\n";
+  EXPECT_TRUE(lint_source("src/sim/x.cpp", src).empty());
 }
 
 // ---- tools-parity --------------------------------------------------------

@@ -31,6 +31,7 @@
 #include "repair/scripts.hpp"
 #include "repair/style_ops.hpp"
 #include "sim/scenario_registry.hpp"
+#include "util/annotations.hpp"
 
 namespace arcadia {
 namespace {
@@ -669,11 +670,16 @@ struct FleetFaultFingerprint {
       repairs;
   std::uint64_t faults_injected = 0;
   std::uint64_t repairs_total = 0;
+  /// Per-tenant FaultPlane::state_digest(): stream positions + draw
+  /// counters. Equal digests mean the same draws happened in the same
+  /// order — the strongest per-plane determinism witness we have.
+  std::vector<std::uint64_t> digests;
 
   bool operator==(const FleetFaultFingerprint&) const = default;
 };
 
-FleetFaultFingerprint run_faulted_fleet(std::size_t sweep_threads) {
+FleetFaultFingerprint run_faulted_fleet(std::size_t sweep_threads,
+                                        std::size_t sim_threads = 0) {
   sim::Simulator sim;
   core::FleetOptions opt;
   opt.scenario = "fleet-4x16";
@@ -696,14 +702,19 @@ FleetFaultFingerprint run_faulted_fleet(std::size_t sweep_threads) {
   opt.config.fault.repair.op_transient = 0.10;
   opt.manager.sweep_threads = sweep_threads;
   opt.manager.coalesce_window = SimTime::millis(500);
+  opt.sim_threads = sim_threads;  // 0 = legacy shared simulator
   auto fleet = core::FrameworkBuilder::build_fleet(sim, opt);
   fleet->start();
-  sim.run_until(SimTime::seconds(320));
+  fleet->run_until(SimTime::seconds(320));
 
   FleetFaultFingerprint fp;
   fp.events = sim.executed();
+  if (fleet->coordinator()) {
+    fp.events += fleet->coordinator()->stats().shard_events;
+  }
   for (std::size_t t = 0; t < fleet->tenant_count(); ++t) {
     core::FleetTenant& tenant = fleet->tenant(t);
+    util::SerialLane in_lane(tenant.lane());  // no-op on the legacy kernel
     std::vector<std::tuple<std::string, std::string, double>> rs;
     for (const repair::RepairRecord& r :
          tenant.framework->engine().records()) {
@@ -716,6 +727,7 @@ FleetFaultFingerprint run_faulted_fleet(std::size_t sweep_threads) {
       fp.faults_injected += plane->stats().reports_dropped +
                             plane->stats().reports_delayed +
                             plane->stats().ops_transient;
+      fp.digests.push_back(plane->state_digest());
     }
   }
   return fp;
@@ -726,6 +738,19 @@ TEST(FleetFaultDeterminismTest, IdenticalFaultedRunsForThreadCounts1AndN) {
   const FleetFaultFingerprint many = run_faulted_fleet(4);
   EXPECT_EQ(one, many);
   // Vacuity guards: faults were really injected and repairs really ran.
+  EXPECT_GT(one.faults_injected, 0u);
+  EXPECT_GT(one.repairs_total, 0u);
+}
+
+TEST(FleetFaultDeterminismTest, FaultDrawsIdenticalAcrossSimThreadCounts) {
+  // Sharded kernel: each tenant's fault plane lives on its shard's clock,
+  // so every draw is a pure function of the shard's serial event stream —
+  // the worker-thread count must not move a single stream position.
+  const FleetFaultFingerprint one = run_faulted_fleet(2, /*sim_threads=*/1);
+  const FleetFaultFingerprint four = run_faulted_fleet(2, /*sim_threads=*/4);
+  EXPECT_EQ(one, four);
+  ASSERT_FALSE(one.digests.empty());
+  EXPECT_EQ(one.digests, four.digests);
   EXPECT_GT(one.faults_injected, 0u);
   EXPECT_GT(one.repairs_total, 0u);
 }

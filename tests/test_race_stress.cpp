@@ -15,9 +15,13 @@
 #include "acme/adl.hpp"
 #include "acme/script.hpp"
 #include "core/fleet.hpp"
+#include "core/framework_builder.hpp"
 #include "events/bus.hpp"
 #include "monitor/topics.hpp"
 #include "repair/scripts.hpp"
+#include "sim/scenario_registry.hpp"
+#include "sim/shard_sim.hpp"
+#include "util/annotations.hpp"
 #include "util/log.hpp"
 #include "util/symbol.hpp"
 #include "util/thread_pool.hpp"
@@ -262,6 +266,139 @@ TEST(RaceStressTest, FleetParallelSweepUnderReportLoad) {
   }
   // Half the waves breach on every shard.
   EXPECT_GE(violations, static_cast<std::uint64_t>(kShards) * (kWaves / 2));
+}
+
+// ---- sharded simulation kernel: 4 shards x 4 worker threads ---------------
+
+struct ShardStressFingerprint {
+  std::vector<std::uint64_t> work;       // per-shard tick counters
+  std::vector<std::uint64_t> mail_hits;  // per-shard mail deliveries
+  std::vector<std::uint64_t> sweeps;     // control-side sums, per sweep
+  std::uint64_t shard_events = 0;
+  std::uint64_t mail_delivered = 0;
+  std::uint64_t rounds = 0;
+
+  bool operator==(const ShardStressFingerprint&) const = default;
+};
+
+/// Synthetic gauge load on the raw coordinator: every shard runs a 1 ms
+/// tick chain; every fifth tick posts mail to the next shard in the ring at
+/// exactly the lookahead bound (the tightest legal cross-shard delay). A
+/// control-side sweep reads all shard counters at barrier epochs — the pool
+/// join at each barrier is the happens-before edge that makes that legal.
+ShardStressFingerprint run_shard_mail_stress(unsigned threads) {
+  constexpr std::uint32_t kSimShards = 4;
+  const SimTime lookahead = SimTime::millis(10);
+  const SimTime horizon = SimTime::seconds(2);
+
+  sim::Simulator control;
+  sim::SimCoordinatorOptions copt;
+  copt.threads = threads;
+  copt.lookahead = lookahead;
+  sim::SimCoordinator coord(control, copt);
+
+  std::vector<std::uint64_t> work(kSimShards, 0);
+  std::vector<std::uint64_t> mail_hits(kSimShards, 0);
+  std::vector<std::uint64_t> sweeps;
+  for (std::uint32_t s = 0; s < kSimShards; ++s) coord.add_shard();
+
+  for (std::uint32_t s = 0; s < kSimShards; ++s) {
+    // The tick chain captures itself via a heap-pinned holder so every
+    // reschedule reuses one closure, like PeriodicTask does.
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [&, s, tick] {
+      ++work[s];
+      if (work[s] % 5 == 0) {
+        const std::uint32_t to = (s + 1) % kSimShards;
+        coord.post(s, to, coord.shard(s).sim().now() + lookahead,
+                   [&mail_hits, to] { ++mail_hits[to]; });
+      }
+      if (coord.shard(s).sim().now() + SimTime::millis(1) < horizon) {
+        coord.shard(s).sim().schedule_in(SimTime::millis(1),
+                                         [tick] { (*tick)(); });
+      }
+    };
+    coord.shard(s).sim().schedule_at(SimTime::millis(1) * (s + 1),
+                                     [tick] { (*tick)(); });
+  }
+
+  auto sweep = std::make_shared<std::function<void()>>();
+  *sweep = [&, sweep] {
+    std::uint64_t sum = 0;
+    for (std::uint32_t s = 0; s < kSimShards; ++s) sum += work[s];
+    sweeps.push_back(sum);
+    if (control.now() + SimTime::millis(50) < horizon) {
+      control.schedule_in(SimTime::millis(50), [sweep] { (*sweep)(); });
+    }
+  };
+  control.schedule_at(SimTime::millis(50), [sweep] { (*sweep)(); });
+
+  coord.run_until(horizon);
+
+  ShardStressFingerprint fp;
+  fp.work = work;
+  fp.mail_hits = mail_hits;
+  fp.sweeps = sweeps;
+  fp.shard_events = coord.stats().shard_events;
+  fp.mail_delivered = coord.stats().mail_delivered;
+  fp.rounds = coord.stats().rounds;
+  return fp;
+}
+
+TEST(RaceStressTest, FourShardsFourThreadsWithMailMatchSerialRun) {
+  const ShardStressFingerprint serial = run_shard_mail_stress(1);
+  const ShardStressFingerprint parallel = run_shard_mail_stress(4);
+  EXPECT_EQ(serial, parallel);
+  // Vacuity guards: every shard ticked, mail really crossed shards, and the
+  // finite lookahead actually chopped the run into many windows.
+  for (std::size_t s = 0; s < serial.work.size(); ++s) {
+    EXPECT_GT(serial.work[s], 100u) << "shard " << s;
+    EXPECT_GT(serial.mail_hits[s], 0u) << "shard " << s;
+  }
+  EXPECT_GT(serial.mail_delivered, 0u);
+  EXPECT_GT(serial.rounds, 10u);
+  EXPECT_FALSE(serial.sweeps.empty());
+}
+
+TEST(RaceStressTest, ShardedFleetUnderGaugeLoadAndFaults) {
+  // The full stack on 4 worker threads: per-tenant gauges, batched fleet
+  // sweeps, fault draws, repairs. Runs green under TSan or the windows'
+  // thread discipline is broken.
+  sim::Simulator sim;
+  core::FleetOptions opt;
+  opt.scenario = "fleet-4x16";
+  opt.tenants = 4;
+  opt.use_scenario_defaults = false;
+  opt.config = sim::scenario_defaults("fleet-4x16");
+  opt.config.grid.groups = 2;
+  opt.config.grid.clients = 8;
+  opt.config.grid.spares = 1;
+  opt.config.quiescent_end = SimTime::seconds(40);
+  opt.config.stress_start = SimTime::seconds(80);
+  opt.config.stress_end = SimTime::seconds(220);
+  opt.config.normal_rate_hz = 2.0;
+  opt.config.fleet.phase_shift = SimTime::seconds(30);
+  opt.config.fault.enabled = true;
+  opt.config.fault.monitoring.report_loss = 0.10;
+  opt.config.fault.repair.op_transient = 0.10;
+  opt.manager.sweep_threads = 4;
+  opt.manager.coalesce_window = SimTime::millis(500);
+  opt.sim_threads = 4;
+  auto fleet = core::FrameworkBuilder::build_fleet(sim, opt);
+  fleet->start();
+  fleet->run_until(SimTime::seconds(320));
+
+  ASSERT_NE(fleet->coordinator(), nullptr);
+  const sim::SimCoordinatorStats stats = fleet->coordinator()->stats();
+  EXPECT_GT(stats.shard_events, 0u);
+  EXPECT_GT(stats.rounds, 0u);
+  std::uint64_t repairs = 0;
+  for (std::size_t t = 0; t < fleet->tenant_count(); ++t) {
+    core::FleetTenant& tenant = fleet->tenant(t);
+    util::SerialLane in_lane(tenant.lane());
+    repairs += tenant.framework->engine().records().size();
+  }
+  EXPECT_GT(repairs, 0u);
 }
 
 }  // namespace

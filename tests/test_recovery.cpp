@@ -184,39 +184,55 @@ TEST(RecoveryTest, RestoreRunReexecutesToReferenceAndContinues) {
 
 // ---- fleet: sweep-thread independence ------------------------------------
 
-TEST(FleetDurabilityTest, JournalBytesIdenticalAcrossSweepThreads) {
-  auto run_fleet = [](int sweep_threads, const std::string& dir) {
-    sim::Simulator sim;
-    FleetOptions opt;
-    opt.scenario = "fleet-4x16";
-    opt.tenants = 4;
-    opt.use_scenario_defaults = false;
-    opt.config = sim::scenario_defaults("fleet-4x16");
-    opt.config.quiescent_end = SimTime::seconds(40);
-    opt.config.normal_rate_hz = 2.5;
-    opt.config.fleet.phase_shift = SimTime::seconds(30);
-    opt.config.fleet.active_duration = SimTime::seconds(40);
-    opt.framework.monitoring_qos = true;
-    opt.framework.gauge_costs.report_period = SimTime::millis(250);
-    opt.framework.check_period = SimTime::seconds(1);
-    opt.manager.coalesce_window = SimTime::seconds(1);
-    opt.manager.sweep_threads = sweep_threads;
-    opt.coordinated = true;
-    opt.durability.dir = scratch_dir(dir);
-    auto fleet = FrameworkBuilder::build_fleet(sim, opt);
-    fleet->start();
-    sim.run_until(SimTime::seconds(180));
-    fleet.reset();  // closes the shared plane cleanly
-    return durability::read_file(opt.durability.dir + "/" +
-                                 durability::kJournalFile);
-  };
+std::vector<std::uint8_t> run_durable_fleet(int sweep_threads,
+                                            std::size_t sim_threads,
+                                            const std::string& dir) {
+  sim::Simulator sim;
+  FleetOptions opt;
+  opt.scenario = "fleet-4x16";
+  opt.tenants = 4;
+  opt.use_scenario_defaults = false;
+  opt.config = sim::scenario_defaults("fleet-4x16");
+  opt.config.quiescent_end = SimTime::seconds(40);
+  opt.config.normal_rate_hz = 2.5;
+  opt.config.fleet.phase_shift = SimTime::seconds(30);
+  opt.config.fleet.active_duration = SimTime::seconds(40);
+  opt.framework.monitoring_qos = true;
+  opt.framework.gauge_costs.report_period = SimTime::millis(250);
+  opt.framework.check_period = SimTime::seconds(1);
+  opt.manager.coalesce_window = SimTime::seconds(1);
+  opt.manager.sweep_threads = sweep_threads;
+  opt.coordinated = true;
+  opt.sim_threads = sim_threads;  // 0 = legacy shared simulator
+  opt.durability.dir = scratch_dir(dir);
+  auto fleet = FrameworkBuilder::build_fleet(sim, opt);
+  fleet->start();
+  fleet->run_until(SimTime::seconds(180));
+  fleet.reset();  // closes the shared plane cleanly
+  return durability::read_file(opt.durability.dir + "/" +
+                               durability::kJournalFile);
+}
 
-  const auto serial = run_fleet(1, "fleet-t1");
-  const auto parallel = run_fleet(4, "fleet-t4");
+TEST(FleetDurabilityTest, JournalBytesIdenticalAcrossSweepThreads) {
+  const auto serial = run_durable_fleet(1, 0, "fleet-t1");
+  const auto parallel = run_durable_fleet(4, 0, "fleet-t4");
   ASSERT_GT(serial.size(), durability::kJournalHeaderSize);
   EXPECT_EQ(serial, parallel)
       << "shared journal bytes depend on sweep-thread count — the ordered-"
          "dispatch contract is broken";
+}
+
+TEST(FleetDurabilityTest, JournalBytesIdenticalAcrossSimThreads) {
+  // Sharded kernel: workers journal into per-shard staging sinks, drained
+  // at window barriers in (time, shard, emission) order. The bytes that
+  // reach the shared plane must be independent of how many workers ran the
+  // windows — this is the durability half of the determinism contract.
+  const auto one = run_durable_fleet(2, 1, "fleet-s1");
+  const auto four = run_durable_fleet(2, 4, "fleet-s4");
+  ASSERT_GT(one.size(), durability::kJournalHeaderSize);
+  EXPECT_EQ(one, four)
+      << "shared journal bytes depend on simulation-thread count — the "
+         "staged-drain merge order is broken";
 }
 
 }  // namespace

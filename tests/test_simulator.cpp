@@ -193,6 +193,73 @@ TEST(SimulatorTest, NextEventTime) {
   EXPECT_EQ(sim.next_event_time(), SimTime::seconds(4));
 }
 
+// ---- bounded stepping (the shard-coordinator contract) -------------------
+
+TEST(SimulatorTest, PeekNextTimeMirrorsNextEventTime) {
+  Simulator sim;
+  EXPECT_TRUE(sim.peek_next_time().is_infinite());
+  EventHandle h = sim.schedule_at(SimTime::seconds(2), [] {});
+  sim.schedule_at(SimTime::seconds(5), [] {});
+  EXPECT_EQ(sim.peek_next_time(), SimTime::seconds(2));
+  h.cancel();
+  EXPECT_EQ(sim.peek_next_time(), SimTime::seconds(5));  // skips tombstones
+}
+
+TEST(SimulatorTest, RunUntilWithEmptyQueueStillAdvancesTheClock) {
+  // The coordinator clamps idle shards to every window bound; an empty
+  // queue must still move the clock so the next window starts aligned.
+  Simulator sim;
+  EXPECT_EQ(sim.run_until(SimTime::seconds(7)), 0u);
+  EXPECT_EQ(sim.now(), SimTime::seconds(7));
+  EXPECT_TRUE(sim.peek_next_time().is_infinite());
+}
+
+TEST(SimulatorTest, CancellationDuringBoundedWindowIsHonored) {
+  // An event cancelling a later event inside the same bounded window: the
+  // tombstone must not fire and must not count toward the window's total.
+  Simulator sim;
+  bool victim_fired = false;
+  EventHandle victim =
+      sim.schedule_at(SimTime::seconds(2), [&] { victim_fired = true; });
+  sim.schedule_at(SimTime::seconds(1), [&] { victim.cancel(); });
+  EXPECT_EQ(sim.run_until(SimTime::seconds(3)), 1u);
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(sim.now(), SimTime::seconds(3));
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulatorTest, BoundedWindowsPreserveFifoTieBreak) {
+  // Chopping a run into windows (as the shard coordinator does) must not
+  // perturb the (time, seq) order — including for events landing exactly
+  // on a window bound, which run inside that window (run_until is
+  // inclusive).
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    sim.schedule_at(SimTime::seconds(2), [&order, i] { order.push_back(i); });
+  }
+  sim.schedule_at(SimTime::seconds(1), [&order] { order.push_back(-1); });
+  EXPECT_EQ(sim.run_until(SimTime::seconds(2)), 5u);
+  sim.run_until(SimTime::seconds(10));
+  EXPECT_EQ(order, (std::vector<int>{-1, 0, 1, 2, 3}));
+}
+
+TEST(SimulatorTest, ReservePreallocatesPoolAndQueue) {
+  Simulator sim;
+  sim.reserve(64);
+  EXPECT_GE(sim.slot_capacity(), 64u);
+  EXPECT_GE(sim.queue_capacity(), 64u);
+  // Steady-state churn within the reservation never grows either arena.
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 32; ++i) {
+      sim.schedule_in(SimTime::millis(1 + i), [] {});
+    }
+    sim.run_until(sim.now() + SimTime::seconds(1));
+  }
+  EXPECT_EQ(sim.pool_growths(), 0u);
+  EXPECT_EQ(sim.queue_growths(), 0u);
+}
+
 TEST(PeriodicTaskTest, FiresAtPeriod) {
   Simulator sim;
   int count = 0;

@@ -73,6 +73,29 @@ bool includes_header(std::string_view text,
   return std::find(headers.begin(), headers.end(), header) != headers.end();
 }
 
+/// True when the line is `#include "header"` for one of `headers`. Quoted
+/// includes must be matched on the RAW line: the stripper blanks the quoted
+/// path like any other string literal.
+bool includes_quoted_header(std::string_view text,
+                            const std::vector<std::string_view>& headers) {
+  std::size_t i = 0;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  if (i >= text.size() || text[i] != '#') return false;
+  ++i;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  if (text.substr(i, 7) != "include") return false;
+  const std::size_t open = text.find('"', i);
+  if (open == std::string_view::npos) return false;
+  const std::size_t close = text.find('"', open + 1);
+  if (close == std::string_view::npos) return false;
+  const std::string_view header = text.substr(open + 1, close - open - 1);
+  return std::find(headers.begin(), headers.end(), header) != headers.end();
+}
+
 bool starts_with(std::string_view s, std::string_view prefix) {
   return s.substr(0, prefix.size()) == prefix;
 }
@@ -222,7 +245,7 @@ const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> ids = {
       "unordered-container", "wall-clock",   "raw-mutex",
       "hotpath-std-function", "entropy",     "tools-parity",
-      "durability-io"};
+      "durability-io",       "shard-isolation"};
   return ids;
 }
 
@@ -284,6 +307,12 @@ std::vector<Finding> lint_source(std::string_view path,
   const bool is_durability_io = starts_with(path, "src/durability/io.");
   const bool hotpath_marked =
       source.find("arclint: hotpath") != std::string_view::npos;
+  // Shard-kernel files declare themselves with `// arclint: shard`; the
+  // marker never collides with allow directives (those spell
+  // "arclint: allow(...)").
+  const bool shard_marked =
+      starts_with(path, "src/sim/") &&
+      source.find("arclint: shard") != std::string_view::npos;
 
   struct Rule {
     bool applies;
@@ -296,6 +325,7 @@ std::vector<Finding> lint_source(std::string_view path,
       {hotpath_marked, "hotpath-std-function"},
       {in_src && !is_rng, "entropy"},
       {in_src && !is_durability_io, "durability-io"},
+      {shard_marked, "shard-isolation"},
   };
   constexpr std::size_t kNumRules = sizeof(rules) / sizeof(rules[0]);
   bool any = false;
@@ -437,6 +467,27 @@ std::vector<Finding> lint_source(std::string_view path,
             "direct file I/O under src/; route it through durability/io.hpp "
             "(AppendFile, write_file_atomic, read_file) so crash atomicity "
             "and torn-tail recovery stay centralized");
+    }
+
+    // shard-isolation: files under src/sim/ marked `// arclint: shard` (the
+    // sharded simulation kernel) may not reach into the fleet control plane
+    // or the global buses — cross-shard effects must route through the
+    // coordinator seam (mail, barrier hook) or the window bound breaks.
+    {
+      bool hit = contains_word(line, "FleetManager") ||
+                 contains_word(line, "EventBus") ||
+                 contains_word(line, "DurabilityPlane");
+      if (!hit) {
+        // Quoted includes live in string literals, so scan the raw line.
+        hit = includes_quoted_header(
+            raw_line, {"core/fleet_manager.hpp", "core/fleet.hpp",
+                       "events/bus.hpp", "durability/plane.hpp"});
+      }
+      check(6, hit,
+            "shard-kernel file touches the fleet control plane / global "
+            "buses; route cross-shard effects through SimCoordinator mail "
+            "or the barrier hook so the conservative window bound stays "
+            "sound");
     }
 
     if (s_end >= stripped.size() || r_end >= source.size()) break;

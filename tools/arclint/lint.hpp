@@ -29,6 +29,16 @@
 //                         nobody runs is a gate nobody trusts. Project-
 //                         level: checked once over CMakeLists.txt and
 //                         .github/workflows/ci.yml, not per source file.
+//   shard-isolation       In src/sim/ files carrying a `// arclint: shard`
+//                         marker (the sharded simulation kernel), no
+//                         FleetManager / EventBus / DurabilityPlane tokens
+//                         and no quoted include of core/fleet_manager.hpp,
+//                         core/fleet.hpp, events/bus.hpp, or
+//                         durability/plane.hpp. Cross-shard effects route
+//                         through the SimCoordinator seam (mail, barrier
+//                         hook); a kernel that reaches into the control
+//                         plane directly invalidates the conservative
+//                         window bound.
 //
 // Exemptions are explicit and carry a justification in the source:
 //   // arclint: allow(<rule>): <reason>        exempts that line
